@@ -1,0 +1,75 @@
+// Command dcdo-bench regenerates the paper's performance study (§4): every
+// experiment E1–E6, each printing the table it reproduces and the pass/fail
+// shape criteria derived from the paper's reported numbers.
+//
+// Usage:
+//
+//	dcdo-bench            # run all experiments
+//	dcdo-bench -e E4      # run one experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"godcdo/internal/harness"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dcdo-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dcdo-bench", flag.ContinueOnError)
+	experiment := fs.String("e", "all", "experiment to run (E1..E6 or all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	runners := map[string]func() (*harness.Report, error){
+		"E1": harness.RunE1,
+		"E2": harness.RunE2,
+		"E3": harness.RunE3,
+		"E4": harness.RunE4,
+		"E5": harness.RunE5,
+		"E6": harness.RunE6,
+	}
+
+	var reports []*harness.Report
+	switch want := strings.ToUpper(*experiment); want {
+	case "ALL":
+		all, err := harness.RunAll()
+		if err != nil {
+			return err
+		}
+		reports = all
+	default:
+		runner, ok := runners[want]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (want E1..E6 or all)", *experiment)
+		}
+		rep, err := runner()
+		if err != nil {
+			return err
+		}
+		reports = []*harness.Report{rep}
+	}
+
+	failed := 0
+	for _, rep := range reports {
+		fmt.Println(rep.String())
+		if !rep.Passed() {
+			failed++
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d experiment(s) failed their shape criteria", failed)
+	}
+	fmt.Printf("all %d experiment(s) passed their shape criteria\n", len(reports))
+	return nil
+}

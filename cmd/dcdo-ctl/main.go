@@ -1,0 +1,311 @@
+// Command dcdo-ctl drives a running dcdo-node over TCP: invoke dynamic
+// functions, inspect interfaces and versions, and manage evolution through
+// the node's DCDO Manager.
+//
+// Usage:
+//
+//	dcdo-ctl -agent tcp:127.0.0.1:7400 invoke loid:1.1.1 price --uint 20
+//	dcdo-ctl -agent tcp:127.0.0.1:7400 interface loid:1.1.1
+//	dcdo-ctl -agent tcp:127.0.0.1:7400 version loid:1.1.1
+//	dcdo-ctl -agent tcp:127.0.0.1:7400 snapshot loid:1.1.1
+//	dcdo-ctl -agent tcp:127.0.0.1:7400 enable loid:1.1.1 price pricing-v2
+//	dcdo-ctl -agent tcp:127.0.0.1:7400 disable loid:1.1.1 price pricing-v1
+//	dcdo-ctl -agent tcp:127.0.0.1:7400 evolve loid:0.2.1 loid:1.1.1 1.1
+//	dcdo-ctl -agent tcp:127.0.0.1:7400 records loid:0.2.1
+//	dcdo-ctl -agent tcp:127.0.0.1:7400 setcurrent loid:0.2.1 1.1
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"godcdo/internal/core"
+	"godcdo/internal/dfm"
+	"godcdo/internal/manager"
+	"godcdo/internal/naming"
+	"godcdo/internal/rpc"
+	"godcdo/internal/transport"
+	"godcdo/internal/vclock"
+	"godcdo/internal/version"
+	"godcdo/internal/wire"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dcdo-ctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dcdo-ctl", flag.ContinueOnError)
+	agentEndpoint := fs.String("agent", "tcp:127.0.0.1:7400", "endpoint of the binding-agent service")
+	timeout := fs.Duration("timeout", 5*time.Second, "per-call timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		return errors.New("missing command (invoke|interface|version|snapshot|enable|disable|evolve|ensure-current|records|setcurrent)")
+	}
+
+	dialer := transport.NewTCPDialer()
+	defer dialer.Close()
+	remote := &rpc.RemoteAgent{Dialer: dialer, Endpoint: *agentEndpoint, Timeout: *timeout}
+	cache := naming.NewCache(remote, vclock.Real{}, 0)
+	client := rpc.NewClient(cache, dialer)
+	client.CallTimeout = *timeout
+
+	cmd, rest := rest[0], rest[1:]
+	parseLOID := func(i int, what string) (naming.LOID, error) {
+		if i >= len(rest) {
+			return naming.LOID{}, fmt.Errorf("missing %s", what)
+		}
+		return naming.ParseLOID(rest[i])
+	}
+
+	switch cmd {
+	case "invoke":
+		loid, err := parseLOID(0, "target loid")
+		if err != nil {
+			return err
+		}
+		if len(rest) < 2 {
+			return errors.New("missing method name")
+		}
+		method := rest[1]
+		payload, err := encodeArgs(rest[2:])
+		if err != nil {
+			return err
+		}
+		out, err := client.Invoke(loid, method, payload)
+		if err != nil {
+			return err
+		}
+		printResult(out)
+		return nil
+
+	case "interface":
+		loid, err := parseLOID(0, "target loid")
+		if err != nil {
+			return err
+		}
+		out, err := client.Invoke(loid, core.MethodInterface, nil)
+		if err != nil {
+			return err
+		}
+		names, err := wire.NewDecoder(out).StringSlice()
+		if err != nil {
+			return err
+		}
+		for _, n := range names {
+			fmt.Println(n)
+		}
+		return nil
+
+	case "version":
+		loid, err := parseLOID(0, "target loid")
+		if err != nil {
+			return err
+		}
+		out, err := client.Invoke(loid, core.MethodVersion, nil)
+		if err != nil {
+			return err
+		}
+		segs, err := wire.NewDecoder(out).UintSlice()
+		if err != nil {
+			return err
+		}
+		ver, err := version.Decode(segs)
+		if err != nil {
+			return err
+		}
+		fmt.Println(ver)
+		return nil
+
+	case "snapshot":
+		loid, err := parseLOID(0, "target loid")
+		if err != nil {
+			return err
+		}
+		out, err := client.Invoke(loid, core.MethodSnapshot, nil)
+		if err != nil {
+			return err
+		}
+		desc, err := dfm.DecodeDescriptor(out)
+		if err != nil {
+			return err
+		}
+		for _, e := range desc.Entries {
+			state := "disabled"
+			if e.Enabled {
+				state = "enabled"
+			}
+			vis := "internal"
+			if e.Exported {
+				vis = "exported"
+			}
+			fmt.Printf("%-30s %-9s %-9s mandatory=%v permanent=%v\n",
+				e.Key(), state, vis, e.Mandatory, e.Permanent)
+		}
+		for _, dep := range desc.Deps {
+			fmt.Printf("dependency (type %s): %s\n", dep.Kind, dep)
+		}
+		return nil
+
+	case "enable", "disable":
+		loid, err := parseLOID(0, "target loid")
+		if err != nil {
+			return err
+		}
+		if len(rest) < 3 {
+			return errors.New("usage: enable|disable <loid> <function> <component>")
+		}
+		key := dfm.EntryKey{Function: rest[1], Component: rest[2]}
+		method := core.MethodEnable
+		if cmd == "disable" {
+			method = core.MethodDisable
+		}
+		if _, err := client.Invoke(loid, method, core.EncodeEntryKeyArgs(key)); err != nil {
+			return err
+		}
+		fmt.Printf("%sd %s on %s\n", cmd, key, loid)
+		return nil
+
+	case "evolve":
+		mgrLOID, err := parseLOID(0, "manager loid")
+		if err != nil {
+			return err
+		}
+		target, err := parseLOID(1, "target loid")
+		if err != nil {
+			return err
+		}
+		if len(rest) < 3 {
+			return errors.New("usage: evolve <manager-loid> <target-loid> <version>")
+		}
+		ver, err := version.Parse(rest[2])
+		if err != nil {
+			return err
+		}
+		if _, err := client.Invoke(mgrLOID, manager.MethodEvolveInstance,
+			manager.EncodeEvolveInstanceArgs(target, ver)); err != nil {
+			return err
+		}
+		fmt.Printf("evolved %s to version %s\n", target, ver)
+		return nil
+
+	case "records":
+		mgrLOID, err := parseLOID(0, "manager loid")
+		if err != nil {
+			return err
+		}
+		out, err := client.Invoke(mgrLOID, manager.MethodRecords, nil)
+		if err != nil {
+			return err
+		}
+		dec := wire.NewDecoder(out)
+		n, err := dec.Uvarint()
+		if err != nil {
+			return err
+		}
+		for i := uint64(0); i < n; i++ {
+			loidStr, err := dec.String()
+			if err != nil {
+				return err
+			}
+			segs, err := dec.UintSlice()
+			if err != nil {
+				return err
+			}
+			ver, err := version.Decode(segs)
+			if err != nil {
+				return err
+			}
+			implStr, err := dec.String()
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-20s version %-8s impl %s\n", loidStr, ver, implStr)
+		}
+		return nil
+
+	case "ensure-current":
+		mgrLOID, err := parseLOID(0, "manager loid")
+		if err != nil {
+			return err
+		}
+		target, err := parseLOID(1, "target loid")
+		if err != nil {
+			return err
+		}
+		updated, err := manager.EnsureCurrent(client, mgrLOID, target)
+		if err != nil {
+			return err
+		}
+		if updated {
+			fmt.Printf("%s updated to the manager's current version\n", target)
+		} else {
+			fmt.Printf("%s already current\n", target)
+		}
+		return nil
+
+	case "setcurrent":
+		mgrLOID, err := parseLOID(0, "manager loid")
+		if err != nil {
+			return err
+		}
+		if len(rest) < 2 {
+			return errors.New("usage: setcurrent <manager-loid> <version>")
+		}
+		ver, err := version.Parse(rest[1])
+		if err != nil {
+			return err
+		}
+		if _, err := client.Invoke(mgrLOID, manager.MethodSetCurrent, manager.EncodeVersionArgs(ver)); err != nil {
+			return err
+		}
+		fmt.Printf("current version set to %s\n", ver)
+		return nil
+
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+// encodeArgs turns trailing CLI arguments into a payload: "--uint N"
+// encodes N as a uvarint (the demo pricing convention); a bare string is
+// sent as raw bytes.
+func encodeArgs(args []string) ([]byte, error) {
+	if len(args) == 0 {
+		return nil, nil
+	}
+	if args[0] == "--uint" {
+		if len(args) < 2 {
+			return nil, errors.New("--uint needs a value")
+		}
+		n, err := strconv.ParseUint(args[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("--uint: %w", err)
+		}
+		e := wire.NewEncoder(8)
+		e.PutUvarint(n)
+		return e.Bytes(), nil
+	}
+	return []byte(args[0]), nil
+}
+
+// printResult renders a payload: if it parses as a single uvarint consuming
+// the buffer it prints the number, otherwise the raw bytes as a string.
+func printResult(out []byte) {
+	dec := wire.NewDecoder(out)
+	if v, err := dec.Uvarint(); err == nil && dec.Remaining() == 0 {
+		fmt.Println(v)
+		return
+	}
+	fmt.Printf("%s\n", out)
+}

@@ -1,0 +1,215 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"godcdo/internal/demo"
+	"godcdo/internal/legion"
+	"godcdo/internal/naming"
+	"godcdo/internal/rpc"
+	"godcdo/internal/vclock"
+)
+
+// startDemoNode runs the demo deployment on an in-process TCP node and
+// returns its endpoint.
+func startDemoNode(t *testing.T) string {
+	t.Helper()
+	agent := naming.NewAgent(vclock.Real{})
+	node, err := legion.NewNode(legion.NodeConfig{Name: "ctl-test", Agent: agent})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = node.Close() })
+	if _, err := node.HostObject(rpc.AgentLOID, &rpc.AgentService{Agent: agent}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := demo.Install(node); err != nil {
+		t.Fatal(err)
+	}
+	return node.Endpoint()
+}
+
+// captureStdout runs fn with stdout redirected and returns what it printed.
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	_ = w.Close()
+	os.Stdout = old
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), runErr
+}
+
+func ctl(t *testing.T, endpoint string, args ...string) (string, error) {
+	t.Helper()
+	full := append([]string{"-agent", endpoint}, args...)
+	return captureStdout(t, func() error { return run(full) })
+}
+
+func TestCtlInvokeAndEvolveFlow(t *testing.T) {
+	endpoint := startDemoNode(t)
+	pricing := demo.PricingLOID.String()
+	mgr := demo.ManagerLOID.String()
+
+	out, err := ctl(t, endpoint, "invoke", pricing, "price", "--uint", "20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out) != "2000" {
+		t.Fatalf("price = %q, want 2000", out)
+	}
+
+	out, err = ctl(t, endpoint, "interface", pricing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out) != "price" {
+		t.Fatalf("interface = %q", out)
+	}
+
+	out, err = ctl(t, endpoint, "version", pricing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out) != "1" {
+		t.Fatalf("version = %q", out)
+	}
+
+	if _, err := ctl(t, endpoint, "setcurrent", mgr, "1.1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctl(t, endpoint, "evolve", mgr, pricing, "1.1"); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err = ctl(t, endpoint, "invoke", pricing, "price", "--uint", "20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out) != "1600" {
+		t.Fatalf("price after evolution = %q, want 1600", out)
+	}
+
+	out, err = ctl(t, endpoint, "records", mgr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, pricing) || !strings.Contains(out, "1.1") {
+		t.Fatalf("records = %q", out)
+	}
+
+	out, err = ctl(t, endpoint, "snapshot", pricing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "price@pricing-v2") || !strings.Contains(out, "enabled") {
+		t.Fatalf("snapshot = %q", out)
+	}
+}
+
+func TestCtlEnsureCurrent(t *testing.T) {
+	endpoint := startDemoNode(t)
+	pricing := demo.PricingLOID.String()
+	mgr := demo.ManagerLOID.String()
+
+	out, err := ctl(t, endpoint, "ensure-current", mgr, pricing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "already current") {
+		t.Fatalf("output = %q", out)
+	}
+	// The demo manager is proactive: setcurrent already evolves the
+	// instance, so a subsequent ensure-current is a no-op — but the object
+	// must be at 1.1 pricing either way.
+	if _, err := ctl(t, endpoint, "setcurrent", mgr, "1.1"); err != nil {
+		t.Fatal(err)
+	}
+	out, err = ctl(t, endpoint, "ensure-current", mgr, pricing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "already current") {
+		t.Fatalf("output = %q", out)
+	}
+	out, err = ctl(t, endpoint, "invoke", pricing, "price", "--uint", "20")
+	if err != nil || strings.TrimSpace(out) != "1600" {
+		t.Fatalf("price after ensure-current = %q, %v", out, err)
+	}
+}
+
+func TestCtlEnableDisable(t *testing.T) {
+	endpoint := startDemoNode(t)
+	pricing := demo.PricingLOID.String()
+
+	if _, err := ctl(t, endpoint, "disable", pricing, "price", "pricing-v1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctl(t, endpoint, "invoke", pricing, "price", "--uint", "5"); err == nil {
+		t.Fatal("invoke of disabled function succeeded")
+	}
+	if _, err := ctl(t, endpoint, "enable", pricing, "price", "pricing-v1"); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ctl(t, endpoint, "invoke", pricing, "price", "--uint", "5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out) != "500" {
+		t.Fatalf("price = %q", out)
+	}
+}
+
+func TestCtlArgumentErrors(t *testing.T) {
+	endpoint := startDemoNode(t)
+	cases := [][]string{
+		{},                                    // no command
+		{"bogus"},                             // unknown command
+		{"invoke"},                            // missing loid
+		{"invoke", "not-a-loid", "m"},         // bad loid
+		{"invoke", demo.PricingLOID.String()}, // missing method
+		{"enable", demo.PricingLOID.String()}, // missing function/component
+		{"evolve", demo.ManagerLOID.String()}, // missing target
+		{"setcurrent", demo.ManagerLOID.String()},        // missing version
+		{"setcurrent", demo.ManagerLOID.String(), "x.y"}, // bad version
+	}
+	for _, c := range cases {
+		if _, err := ctl(t, endpoint, c...); err == nil {
+			t.Errorf("args %v: expected error", c)
+		}
+	}
+}
+
+func TestEncodeArgs(t *testing.T) {
+	if out, err := encodeArgs(nil); err != nil || out != nil {
+		t.Fatalf("empty args = %v, %v", out, err)
+	}
+	out, err := encodeArgs([]string{"--uint", "42"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 {
+		t.Fatal("empty uvarint encoding")
+	}
+	if _, err := encodeArgs([]string{"--uint"}); err == nil {
+		t.Fatal("--uint without value accepted")
+	}
+	if _, err := encodeArgs([]string{"--uint", "abc"}); err == nil {
+		t.Fatal("--uint with non-number accepted")
+	}
+	raw, err := encodeArgs([]string{"hello"})
+	if err != nil || string(raw) != "hello" {
+		t.Fatalf("raw args = %q, %v", raw, err)
+	}
+}

@@ -1,0 +1,104 @@
+// Command dcdo-node runs one godcdo host over TCP: a binding-agent service
+// (or a connection to a remote one), and — with -demo — a demo pricing DCDO
+// plus the ICOs holding its components and a DCDO Manager, so dcdo-ctl can
+// drive a live multi-process deployment.
+//
+// Usage:
+//
+//	dcdo-node -addr 127.0.0.1:7400 -demo          # agent + manager + demo object
+//	dcdo-node -addr 127.0.0.1:7401 -agent tcp:127.0.0.1:7400
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"godcdo/internal/demo"
+	"godcdo/internal/legion"
+	"godcdo/internal/naming"
+	"godcdo/internal/rpc"
+	"godcdo/internal/transport"
+	"godcdo/internal/vclock"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dcdo-node:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dcdo-node", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7400", "TCP listen address")
+	agentEndpoint := fs.String("agent", "", "endpoint of a remote binding agent (empty: serve one here)")
+	demoFlag := fs.Bool("demo", false, "host the demo pricing DCDO, its ICOs, and a manager")
+	name := fs.String("name", "node", "node display name")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	node, localAgent, err := startNode(*name, *addr, *agentEndpoint)
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+	fmt.Printf("node %q serving at %s\n", *name, node.Endpoint())
+	if localAgent != nil {
+		fmt.Printf("binding agent served at %s as %s\n", node.Endpoint(), rpc.AgentLOID)
+	}
+
+	if *demoFlag {
+		dep, err := demo.Install(node)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("demo pricing DCDO at %s (version %s, interface %v)\n",
+			demo.PricingLOID, dep.Pricing.Version(), dep.Pricing.Interface())
+		fmt.Printf("demo manager at %s (versions 1 instantiable+current, 1.1 instantiable)\n", demo.ManagerLOID)
+		fmt.Printf("try: dcdo-ctl -agent %s invoke %s price --uint 20\n", node.Endpoint(), demo.PricingLOID)
+		fmt.Printf("     dcdo-ctl -agent %s evolve %s %s 1.1\n", node.Endpoint(), demo.ManagerLOID, demo.PricingLOID)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	return nil
+}
+
+// startNode builds the node against a local or remote binding agent. When
+// local, the agent service is hosted on the node itself.
+func startNode(name, addr, agentEndpoint string) (*legion.Node, *naming.Agent, error) {
+	var (
+		authority  naming.Authority
+		localAgent *naming.Agent
+	)
+	if agentEndpoint == "" {
+		localAgent = naming.NewAgent(vclock.Real{})
+		authority = localAgent
+	} else {
+		authority = &rpc.RemoteAgent{
+			Dialer:   transport.NewTCPDialer(),
+			Endpoint: agentEndpoint,
+		}
+	}
+	node, err := legion.NewNode(legion.NodeConfig{
+		Name:    name,
+		Agent:   authority,
+		TCPAddr: addr,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if localAgent != nil {
+		if _, err := node.HostObject(rpc.AgentLOID, &rpc.AgentService{Agent: localAgent}); err != nil {
+			_ = node.Close()
+			return nil, nil, err
+		}
+	}
+	return node, localAgent, nil
+}

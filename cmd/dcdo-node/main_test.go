@@ -1,0 +1,127 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"godcdo/internal/demo"
+	"godcdo/internal/naming"
+	"godcdo/internal/rpc"
+	"godcdo/internal/transport"
+	"godcdo/internal/wire"
+)
+
+func TestStartNodeServesLocalAgent(t *testing.T) {
+	node, localAgent, err := startNode("t1", "127.0.0.1:0", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	if localAgent == nil {
+		t.Fatal("expected a local agent")
+	}
+	// The agent service answers over the node's own endpoint.
+	dialer := transport.NewTCPDialer()
+	defer dialer.Close()
+	remote := &rpc.RemoteAgent{Dialer: dialer, Endpoint: node.Endpoint(), Timeout: 2 * time.Second}
+	loid := naming.LOID{Domain: 5, Class: 5, Instance: 5}
+	remote.Register(loid, naming.Address{Endpoint: "tcp:10.0.0.1:1"})
+	b, err := remote.Lookup(loid)
+	if err != nil || b.Address.Endpoint != "tcp:10.0.0.1:1" {
+		t.Fatalf("lookup = %+v, %v", b, err)
+	}
+}
+
+func TestStartNodeAgainstRemoteAgent(t *testing.T) {
+	// First node serves the agent; second node registers through it.
+	first, _, err := startNode("hub", "127.0.0.1:0", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer first.Close()
+	second, localAgent, err := startNode("leaf", "127.0.0.1:0", first.Endpoint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer second.Close()
+	if localAgent != nil {
+		t.Fatal("leaf node should not run its own agent")
+	}
+	loid := naming.LOID{Domain: 6, Class: 6, Instance: 6}
+	if _, err := second.HostObject(loid, rpc.ObjectFunc(func(string, []byte) ([]byte, error) {
+		return []byte("ok"), nil
+	})); err != nil {
+		t.Fatal(err)
+	}
+	// The first node resolves and calls the object hosted on the second.
+	out, err := first.Client().Invoke(loid, "ping", nil)
+	if err != nil || string(out) != "ok" {
+		t.Fatalf("invoke = %q, %v", out, err)
+	}
+}
+
+func TestStartNodeBadAddr(t *testing.T) {
+	if _, _, err := startNode("bad", "256.0.0.1:99999", ""); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}
+
+func TestDemoInstallEndToEnd(t *testing.T) {
+	node, _, err := startNode("demo", "127.0.0.1:0", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	dep, err := demo.Install(node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := wire.NewEncoder(8)
+	args.PutUvarint(20)
+	out, err := node.Client().Invoke(demo.PricingLOID, "price", args.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, _ := wire.NewDecoder(out).Uvarint()
+	if total != 2000 {
+		t.Fatalf("price = %d, want 2000", total)
+	}
+	// Evolve through the local manager handle and observe the discount.
+	v11, err := dep.Manager.CurrentVersion()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = v11
+	if err := dep.Manager.SetCurrentVersion(mustVersion(t, "1.1")); err != nil {
+		t.Fatal(err)
+	}
+	out, err = node.Client().Invoke(demo.PricingLOID, "price", args.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, _ = wire.NewDecoder(out).Uvarint()
+	if total != 1600 {
+		t.Fatalf("price after evolution = %d, want 1600", total)
+	}
+}
+
+func mustVersion(t *testing.T, s string) []uint32 {
+	t.Helper()
+	segs := []uint32{}
+	cur := uint32(0)
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == '.' {
+			segs = append(segs, cur)
+			cur = 0
+			continue
+		}
+		cur = cur*10 + uint32(s[i]-'0')
+	}
+	return segs
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-no-such-flag"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

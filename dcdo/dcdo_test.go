@@ -1,0 +1,224 @@
+package dcdo_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"godcdo/dcdo"
+)
+
+func TestParseHelpers(t *testing.T) {
+	loid, err := dcdo.ParseLOID("loid:1.2.3")
+	if err != nil || loid.Domain != 1 || loid.Class != 2 || loid.Instance != 3 {
+		t.Fatalf("ParseLOID = %+v, %v", loid, err)
+	}
+	if _, err := dcdo.ParseLOID("garbage"); err == nil {
+		t.Fatal("bad LOID accepted")
+	}
+	v, err := dcdo.ParseVersion("3.2.1")
+	if err != nil || v.String() != "3.2.1" {
+		t.Fatalf("ParseVersion = %v, %v", v, err)
+	}
+	if !dcdo.RootVersion.Equal(dcdo.VersionID{1}) {
+		t.Fatal("RootVersion != 1")
+	}
+}
+
+func TestNodeAndMigrationThroughFacade(t *testing.T) {
+	reg, fetcher, icos, err := buildGreeter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent := dcdo.NewBindingAgent()
+	net := dcdo.NewInprocNetwork()
+	src, err := dcdo.NewNode(dcdo.NodeConfig{Name: "src", Agent: agent, Inproc: net})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	dst, err := dcdo.NewNode(dcdo.NodeConfig{Name: "dst", Agent: agent, Inproc: net})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+
+	loid := dcdo.NewAllocator(1, 1).Next()
+	obj := dcdo.New(dcdo.Config{LOID: loid, Registry: reg, Fetcher: fetcher})
+	if err := obj.Incorporate(icos["greeter-en"], true); err != nil {
+		t.Fatal(err)
+	}
+	obj.SetVersion(dcdo.RootVersion)
+	if _, err := src.HostObject(loid, obj); err != nil {
+		t.Fatal(err)
+	}
+	out, err := dst.Client().Invoke(loid, "greet", nil)
+	if err != nil || string(out) != "hello" {
+		t.Fatalf("greet = %q, %v", out, err)
+	}
+
+	// Migrate the DCDO to dst through the facade.
+	target := dcdo.New(dcdo.Config{LOID: loid, Registry: reg, Fetcher: fetcher})
+	if err := dcdo.Migrate(loid, src, dst, obj, target); err != nil {
+		t.Fatal(err)
+	}
+	out, err = src.Client().Invoke(loid, "greet", nil)
+	if err != nil || string(out) != "hello" {
+		t.Fatalf("greet after migration = %q, %v", out, err)
+	}
+	if !dst.Hosts(loid) {
+		t.Fatal("object not on dst")
+	}
+}
+
+func TestNormalObjectClassFacade(t *testing.T) {
+	agent := dcdo.NewBindingAgent()
+	net := dcdo.NewInprocNetwork()
+	node, err := dcdo.NewNode(dcdo.NodeConfig{Name: "n", Agent: agent, Inproc: net})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+
+	class := dcdo.NewClass("svc", dcdo.NewAllocator(1, 3), map[string]dcdo.Method{
+		"ping": func(*dcdo.ObjectState, []byte) ([]byte, error) { return []byte("pong"), nil },
+	}, 1<<20)
+	obj, err := class.CreateInstance(node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := node.Client().Invoke(obj.LOID(), "ping", nil)
+	if err != nil || string(out) != "pong" {
+		t.Fatalf("ping = %q, %v", out, err)
+	}
+	if _, err := node.Client().Invoke(obj.LOID(), "absent", nil); !errors.Is(err, dcdo.ErrNoSuchFunction) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDiffAndDescriptorFacade(t *testing.T) {
+	_, _, icos, err := buildGreeter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := dcdo.NewDescriptor()
+	a.Components["greeter-en"] = dcdo.ComponentRef{ICO: icos["greeter-en"], CodeRef: "greeter-en:1", Impl: dcdo.NativeImplType}
+	a.Entries = []dcdo.EntryDesc{{Function: "greet", Component: "greeter-en", Exported: true, Enabled: true}}
+	b := a.Clone()
+	b.Components["greeter-fr"] = dcdo.ComponentRef{ICO: icos["greeter-fr"], CodeRef: "greeter-fr:1", Impl: dcdo.NativeImplType}
+	b.Entries = append(b.Entries, dcdo.EntryDesc{Function: "greet", Component: "greeter-fr"})
+
+	plan := dcdo.Diff(a, b)
+	if len(plan.AddComponents) != 1 || plan.AddComponents[0] != "greeter-fr" {
+		t.Fatalf("plan = %+v", plan)
+	}
+	if !plan.NeedsComponents() {
+		t.Fatal("plan should need components")
+	}
+}
+
+func TestLazyUpdaterFacade(t *testing.T) {
+	reg, fetcher, icos, err := buildGreeter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := dcdo.NewManager(dcdo.SingleVersion, dcdo.Lazy)
+	desc := dcdo.NewDescriptor()
+	for id, ico := range icos {
+		desc.Components[id] = dcdo.ComponentRef{ICO: ico, CodeRef: id + ":1", Impl: dcdo.NativeImplType}
+		desc.Entries = append(desc.Entries, dcdo.EntryDesc{
+			Function: "greet", Component: id, Exported: true, Enabled: id == "greeter-en",
+		})
+	}
+	root, err := mgr.Store().CreateRoot(desc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Store().MarkInstantiable(root); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.SetCurrentVersion(root); err != nil {
+		t.Fatal(err)
+	}
+
+	obj := dcdo.New(dcdo.Config{LOID: dcdo.NewAllocator(1, 1).Next(), Registry: reg, Fetcher: fetcher})
+	if err := mgr.CreateInstance(dcdo.LocalInstance{Obj: obj}, nil, dcdo.NativeImplType); err != nil {
+		t.Fatal(err)
+	}
+	lazy := dcdo.NewLazyUpdater(obj, mgr, dcdo.StrictConsistency())
+	if _, err := lazy.InvokeMethod("greet", nil); err != nil {
+		t.Fatal(err)
+	}
+
+	child, err := mgr.Store().Derive(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = mgr.Store().Configure(child, func(d *dcdo.Descriptor) error {
+		d.Entry(dcdo.EntryKey{Function: "greet", Component: "greeter-en"}).Enabled = false
+		d.Entry(dcdo.EntryKey{Function: "greet", Component: "greeter-fr"}).Enabled = true
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Store().MarkInstantiable(child); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.SetCurrentVersion(child); err != nil {
+		t.Fatal(err)
+	}
+	out, err := lazy.InvokeMethod("greet", nil)
+	if err != nil || string(out) != "bonjour" {
+		t.Fatalf("lazy greet = %q, %v", out, err)
+	}
+}
+
+func TestCostModelAndWorkloadFacade(t *testing.T) {
+	model := dcdo.CenturionModel()
+	if d := model.TransferTime(550 << 10); d < 3*time.Second || d > 5*time.Second {
+		t.Fatalf("550KB transfer = %v", d)
+	}
+	reg := dcdo.NewRegistry()
+	built, err := dcdo.BuildWorkload(reg, dcdo.NewAllocator(1, 9), dcdo.WorkloadSpec{
+		Prefix: "fw", Functions: 4, Components: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(built.Components) != 2 {
+		t.Fatalf("components = %d", len(built.Components))
+	}
+}
+
+func TestComponentStoreFacade(t *testing.T) {
+	_, fetcher, icos, err := buildGreeter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := dcdo.NewComponentStore()
+	caching := &dcdo.CachingFetcher{Store: store, Backing: fetcher}
+	ico := icos["greeter-en"]
+	if _, err := caching.Fetch(ico); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := caching.Fetch(ico); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := caching.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("cache stats = %d/%d", hits, misses)
+	}
+	comp, _ := store.Get(ico)
+	ioObj := dcdo.NewICO(comp)
+	if ioObj.Component() != comp {
+		t.Fatal("ICO serves wrong component")
+	}
+}
+
+func TestSyntheticComponentValidation(t *testing.T) {
+	_, err := dcdo.NewSyntheticComponent(dcdo.ComponentDescriptor{})
+	if err == nil {
+		t.Fatal("empty descriptor accepted")
+	}
+}

@@ -1,0 +1,122 @@
+package dcdo_test
+
+import (
+	"bytes"
+	"testing"
+
+	"godcdo/dcdo"
+)
+
+func TestVersionStorePersistenceThroughFacade(t *testing.T) {
+	_, _, icos, err := buildGreeter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := dcdo.NewManager(dcdo.SingleVersion, dcdo.Explicit)
+	desc := dcdo.NewDescriptor()
+	desc.Components["greeter-en"] = dcdo.ComponentRef{
+		ICO: icos["greeter-en"], CodeRef: "greeter-en:1", Impl: dcdo.NativeImplType,
+	}
+	desc.Entries = []dcdo.EntryDesc{
+		{Function: "greet", Component: "greeter-en", Exported: true, Enabled: true},
+	}
+	root, err := mgr.Store().CreateRoot(desc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Store().MarkInstantiable(root); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := mgr.Store().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	store, err := dcdo.LoadVersionStore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restarted := dcdo.NewManagerWithStore(store, dcdo.SingleVersion, dcdo.Explicit)
+	if !restarted.Store().IsInstantiable(root) {
+		t.Fatal("instantiable state lost across restart")
+	}
+	if err := restarted.SetCurrentVersion(root); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVaultsThroughFacade(t *testing.T) {
+	mem := dcdo.NewMemoryVault()
+	loid := dcdo.LOID{Domain: 1, Class: 1, Instance: 1}
+	if err := mem.Store(loid, []byte("state")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := mem.Load(loid)
+	if err != nil || string(got) != "state" {
+		t.Fatalf("memory vault load = %q, %v", got, err)
+	}
+
+	file, err := dcdo.NewFileVault(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := file.Store(loid, []byte("disk")); err != nil {
+		t.Fatal(err)
+	}
+	got, err = file.Load(loid)
+	if err != nil || string(got) != "disk" {
+		t.Fatalf("file vault load = %q, %v", got, err)
+	}
+}
+
+func TestEnsureCurrentThroughFacade(t *testing.T) {
+	reg, fetcher, icos, err := buildGreeter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent := dcdo.NewBindingAgent()
+	net := dcdo.NewInprocNetwork()
+	node, err := dcdo.NewNode(dcdo.NodeConfig{Name: "ec", Agent: agent, Inproc: net})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+
+	mgr := dcdo.NewManager(dcdo.SingleVersion, dcdo.Explicit)
+	desc := dcdo.NewDescriptor()
+	for id, ico := range icos {
+		desc.Components[id] = dcdo.ComponentRef{ICO: ico, CodeRef: id + ":1", Impl: dcdo.NativeImplType}
+		desc.Entries = append(desc.Entries, dcdo.EntryDesc{
+			Function: "greet", Component: id, Exported: true, Enabled: id == "greeter-en",
+		})
+	}
+	root, err := mgr.Store().CreateRoot(desc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Store().MarkInstantiable(root); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.SetCurrentVersion(root); err != nil {
+		t.Fatal(err)
+	}
+
+	obj := dcdo.New(dcdo.Config{
+		LOID: dcdo.NewAllocator(1, 1).Next(), Registry: reg, Fetcher: fetcher,
+	})
+	if _, err := node.HostObject(obj.LOID(), obj); err != nil {
+		t.Fatal(err)
+	}
+	mgrLOID := dcdo.LOID{Domain: 0, Class: 2, Instance: 9}
+	if _, err := node.HostObject(mgrLOID, &dcdo.ManagerObject{Mgr: mgr}); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.CreateInstance(dcdo.RemoteInstance{Client: node.Client(), Target: obj.LOID()}, nil, dcdo.NativeImplType); err != nil {
+		t.Fatal(err)
+	}
+
+	updated, err := dcdo.EnsureCurrent(node.Client(), mgrLOID, obj.LOID())
+	if err != nil || updated {
+		t.Fatalf("EnsureCurrent = %v, %v; want no-op", updated, err)
+	}
+}

@@ -1,0 +1,231 @@
+// Command sortdep reproduces the paper's sort()/compare() scenario (§3.2):
+// sort delegates comparisons to the dynamic function compare; replacing
+// compare's implementation silently reverses sort's output, and a Type B
+// behavioural dependency is the tool that prevents exactly that.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"sort"
+
+	"godcdo/dcdo"
+	"godcdo/internal/wire"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func encodeInts(vals []int64) []byte {
+	e := wire.NewEncoder(8 * len(vals))
+	e.PutUvarint(uint64(len(vals)))
+	for _, v := range vals {
+		e.PutVarint(v)
+	}
+	return e.Bytes()
+}
+
+func decodeInts(buf []byte) ([]int64, error) {
+	d := wire.NewDecoder(buf)
+	n, err := d.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int64, 0, n)
+	for i := uint64(0); i < n; i++ {
+		v, err := d.Varint()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// sortImpl sorts its payload, delegating every comparison to the dynamic
+// function "compare" through the DFM.
+func sortImpl(c dcdo.Caller, args []byte) ([]byte, error) {
+	vals, err := decodeInts(args)
+	if err != nil {
+		return nil, err
+	}
+	var callErr error
+	sort.SliceStable(vals, func(i, j int) bool {
+		if callErr != nil {
+			return false
+		}
+		e := wire.NewEncoder(16)
+		e.PutVarint(vals[i])
+		e.PutVarint(vals[j])
+		res, err := c.CallInternal("compare", e.Bytes())
+		if err != nil {
+			callErr = err
+			return false
+		}
+		cmp, err := wire.NewDecoder(res).Varint()
+		if err != nil {
+			callErr = err
+			return false
+		}
+		return cmp < 0
+	})
+	if callErr != nil {
+		return nil, callErr
+	}
+	return encodeInts(vals), nil
+}
+
+func compareImpl(descending bool) dcdo.Func {
+	return func(_ dcdo.Caller, args []byte) ([]byte, error) {
+		d := wire.NewDecoder(args)
+		a, err := d.Varint()
+		if err != nil {
+			return nil, err
+		}
+		b, err := d.Varint()
+		if err != nil {
+			return nil, err
+		}
+		cmp := int64(0)
+		switch {
+		case a < b:
+			cmp = -1
+		case a > b:
+			cmp = 1
+		}
+		if descending {
+			cmp = -cmp
+		}
+		e := wire.NewEncoder(4)
+		e.PutVarint(cmp)
+		return e.Bytes(), nil
+	}
+}
+
+func run() error {
+	reg := dcdo.NewRegistry()
+	if _, err := reg.Register("mathlib:1", dcdo.NativeImplType, map[string]dcdo.Func{
+		"sort":    sortImpl,
+		"compare": compareImpl(false),
+	}); err != nil {
+		return err
+	}
+	if _, err := reg.Register("revlib:1", dcdo.NativeImplType, map[string]dcdo.Func{
+		"compare": compareImpl(true),
+	}); err != nil {
+		return err
+	}
+
+	icoAlloc := dcdo.NewAllocator(1, 9)
+	icoMath, icoRev := icoAlloc.Next(), icoAlloc.Next()
+	mathComp, err := dcdo.NewSyntheticComponent(dcdo.ComponentDescriptor{
+		ID: "mathlib", Revision: 1, CodeRef: "mathlib:1",
+		Impl: dcdo.NativeImplType, CodeSize: 8 << 10,
+		Functions: []dcdo.FunctionDecl{
+			{Name: "sort", Exported: true, Calls: []string{"compare"}},
+			{Name: "compare"},
+		},
+	})
+	if err != nil {
+		return err
+	}
+	revComp, err := dcdo.NewSyntheticComponent(dcdo.ComponentDescriptor{
+		ID: "revlib", Revision: 1, CodeRef: "revlib:1",
+		Impl: dcdo.NativeImplType, CodeSize: 2 << 10,
+		Functions: []dcdo.FunctionDecl{{Name: "compare"}},
+	})
+	if err != nil {
+		return err
+	}
+	byICO := map[dcdo.LOID]*dcdo.Component{icoMath: mathComp, icoRev: revComp}
+	fetcher := dcdo.FetcherFunc(func(ico dcdo.LOID) (*dcdo.Component, error) {
+		c, ok := byICO[ico]
+		if !ok {
+			return nil, fmt.Errorf("no component at %s", ico)
+		}
+		return c, nil
+	})
+
+	obj := dcdo.New(dcdo.Config{
+		LOID:     dcdo.NewAllocator(1, 1).Next(),
+		Registry: reg,
+		Fetcher:  fetcher,
+	})
+	if err := obj.IncorporateComponent(mathComp, icoMath, true); err != nil {
+		return err
+	}
+	if err := obj.IncorporateComponent(revComp, icoRev, false); err != nil {
+		return err
+	}
+
+	input := []int64{5, 1, 4, 2, 3}
+	show := func(label string) error {
+		out, err := obj.InvokeMethod("sort", encodeInts(input))
+		if err != nil {
+			return err
+		}
+		vals, err := decodeInts(out)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-34s sort(%v) = %v\n", label, input, vals)
+		return nil
+	}
+
+	if err := show("ascending compare (mathlib):"); err != nil {
+		return err
+	}
+
+	// Swap compare's implementation: same signature, reversed behaviour.
+	// No structural dependency is violated — but sort's output flips.
+	mathCompare := dcdo.EntryKey{Function: "compare", Component: "mathlib"}
+	revCompare := dcdo.EntryKey{Function: "compare", Component: "revlib"}
+	if err := obj.DisableFunction(mathCompare); err != nil {
+		return err
+	}
+	if err := obj.EnableFunction(revCompare); err != nil {
+		return err
+	}
+	if err := show("after silent swap (revlib):"); err != nil {
+		return err
+	}
+
+	// Swap back, then declare what the provider of sort() wanted all
+	// along: a Type B behavioural dependency pinning sort to mathlib's
+	// compare.
+	if err := obj.DisableFunction(revCompare); err != nil {
+		return err
+	}
+	if err := obj.EnableFunction(mathCompare); err != nil {
+		return err
+	}
+	dep := dcdo.Dependency{
+		Kind: dcdo.DepB, FromFunc: "sort", FromComp: "mathlib",
+		ToFunc: "compare", ToComp: "mathlib",
+	}
+	if err := obj.AddDependency(dep); err != nil {
+		return err
+	}
+	fmt.Printf("installed behavioural dependency        %s\n", dep)
+
+	err = obj.DisableFunction(mathCompare)
+	fmt.Printf("disable compare@mathlib now refused:    %v\n", err)
+	if err == nil {
+		return errors.New("dependency failed to protect sort")
+	}
+
+	// The protection is not permanent hardwiring: disable sort first and
+	// the dependency's premise goes away.
+	if err := obj.DisableFunction(dcdo.EntryKey{Function: "sort", Component: "mathlib"}); err != nil {
+		return err
+	}
+	if err := obj.DisableFunction(mathCompare); err != nil {
+		return err
+	}
+	fmt.Println("after disabling sort, compare can evolve freely again")
+	return nil
+}

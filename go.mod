@@ -1,0 +1,3 @@
+module godcdo
+
+go 1.22

@@ -1,0 +1,179 @@
+// Package baseline implements evolving a *normal* Legion object — the
+// traditional mechanism the paper compares DCDOs against (§4 "Cost"):
+// capture the object's state, download the new executable that represents
+// the next version, create a new process, read the state back in, and get
+// clients to learn the new physical address (stale-binding discovery).
+//
+// The pipeline performs the functional steps for real against the legion
+// runtime, and simultaneously accounts modeled Centurion time for each
+// phase on a virtual clock, so the multi-second costs the paper reports are
+// reproduced deterministically.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"godcdo/internal/legion"
+	"godcdo/internal/naming"
+	"godcdo/internal/simnet"
+	"godcdo/internal/vclock"
+)
+
+// ErrNoObject is returned when the evolver is given a nil object.
+var ErrNoObject = errors.New("baseline: nil object")
+
+// CostBreakdown itemises one normal-object evolution, phase by phase,
+// matching the decomposition in §4.
+type CostBreakdown struct {
+	StateCapture       time.Duration
+	StateTransfer      time.Duration
+	ExecutableDownload time.Duration
+	ProcessCreation    time.Duration
+	StateRestore       time.Duration
+	ClientRebinding    time.Duration
+}
+
+// Total sums every phase.
+func (c CostBreakdown) Total() time.Duration {
+	return c.StateCapture + c.StateTransfer + c.ExecutableDownload +
+		c.ProcessCreation + c.StateRestore + c.ClientRebinding
+}
+
+// Evolver evolves normal objects by full executable replacement.
+type Evolver struct {
+	// Model supplies network and process costs.
+	Model simnet.CostModel
+	// Discovery models how long clients take to abandon stale bindings.
+	Discovery naming.DiscoverySchedule
+	// StateRateBps is the serialisation rate for state capture/restore in
+	// bytes per second. Zero means 50 MB/s.
+	StateRateBps int64
+	// Clock, when set to a virtual clock, is advanced by each phase's
+	// modeled duration, so concurrent simulated activities observe the
+	// evolution taking its modeled time.
+	Clock *vclock.Virtual
+}
+
+// Input describes one evolution: the object, where it runs, where its next
+// incarnation runs (may be the same node), and the class providing the next
+// version's implementation.
+type Input struct {
+	LOID naming.LOID
+	Src  *legion.Node
+	Dst  *legion.Node
+	Obj  *legion.NormalObject
+	// NewClass supplies the next version's method table and executable
+	// size.
+	NewClass *legion.Class
+	// ClientsHoldBindings indicates live clients cached the old address,
+	// charging the stale-binding discovery cost.
+	ClientsHoldBindings bool
+	// ExecutableCached skips the download (the new binary is already on
+	// the destination's file system).
+	ExecutableCached bool
+}
+
+// Evolve runs the full pipeline and returns its cost breakdown. The object
+// is unavailable to clients for the entire modeled duration — the paper's
+// core argument for DCDOs.
+func (e *Evolver) Evolve(in Input) (CostBreakdown, *legion.NormalObject, error) {
+	var costs CostBreakdown
+	if in.Obj == nil || in.NewClass == nil {
+		return costs, nil, ErrNoObject
+	}
+	if in.Dst == nil {
+		in.Dst = in.Src
+	}
+	stateRate := e.StateRateBps
+	if stateRate == 0 {
+		stateRate = 50 << 20
+	}
+
+	// Phase 1: capture the object's state.
+	state, err := in.Obj.CaptureState()
+	if err != nil {
+		return costs, nil, fmt.Errorf("baseline: capture: %w", err)
+	}
+	stateBytes := int64(len(state))
+	costs.StateCapture = serializationTime(stateBytes, stateRate)
+	e.charge(costs.StateCapture)
+
+	// Phase 2: the old process stops; its binding is now stale.
+	if err := in.Src.EvictObject(in.LOID, false); err != nil {
+		return costs, nil, fmt.Errorf("baseline: %w", err)
+	}
+
+	// Phase 3: transfer the state to the new machine, if moving.
+	if in.Dst != in.Src {
+		costs.StateTransfer = e.Model.TransferTime(stateBytes)
+		e.charge(costs.StateTransfer)
+	}
+
+	// Phase 4: download the new executable.
+	if !in.ExecutableCached {
+		costs.ExecutableDownload = e.Model.TransferTime(in.NewClass.ExecutableSize())
+		e.charge(costs.ExecutableDownload)
+	}
+
+	// Phase 5: create the new process and restore state into it.
+	costs.ProcessCreation = e.Model.ProcessSpawn
+	e.charge(costs.ProcessCreation)
+	next := in.NewClass.NewIncarnation(in.LOID)
+	if err := next.RestoreState(state); err != nil {
+		return costs, nil, fmt.Errorf("baseline: restore: %w", err)
+	}
+	costs.StateRestore = serializationTime(stateBytes, stateRate)
+	e.charge(costs.StateRestore)
+
+	// Phase 6: activate and re-register; clients with cached bindings
+	// spend the discovery window before they find the new address.
+	if _, err := in.Dst.HostObject(in.LOID, next); err != nil {
+		return costs, nil, fmt.Errorf("baseline: activate: %w", err)
+	}
+	if in.ClientsHoldBindings {
+		costs.ClientRebinding = e.Discovery.TotalDiscoveryTime()
+		e.charge(costs.ClientRebinding)
+	}
+	return costs, next, nil
+}
+
+func (e *Evolver) charge(d time.Duration) {
+	if e.Clock != nil && d > 0 {
+		e.Clock.Advance(d)
+	}
+}
+
+func serializationTime(bytes, rateBps int64) time.Duration {
+	if bytes <= 0 || rateBps <= 0 {
+		return 0
+	}
+	return time.Duration(bytes * int64(time.Second) / rateBps)
+}
+
+// DCDOEvolutionCost models the cost of evolving a DCDO for comparison with
+// the baseline (§4): configuration operations cost microseconds through the
+// DFM; cached components bind at ~ComponentBind each; uncached components
+// are download-dominated.
+type DCDOEvolutionCost struct {
+	// RetuneOps is the number of enable/disable/flag operations.
+	RetuneOps int
+	// CachedComponents is the number of incorporated components already in
+	// the host's cache.
+	CachedComponents int
+	// UncachedBytes lists the code sizes of components that must be
+	// downloaded.
+	UncachedBytes []int64
+}
+
+// Model returns the modeled total cost of the DCDO evolution.
+func (c DCDOEvolutionCost) Model(m simnet.CostModel) time.Duration {
+	const perOp = 15 * time.Microsecond // one DFM configuration call
+	total := time.Duration(c.RetuneOps) * perOp
+	total += time.Duration(c.CachedComponents) * m.ComponentBind
+	for _, size := range c.UncachedBytes {
+		total += m.TransferTime(size) + m.ComponentBind
+	}
+	return total
+}

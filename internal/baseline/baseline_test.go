@@ -1,0 +1,234 @@
+package baseline
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"godcdo/internal/legion"
+	"godcdo/internal/naming"
+	"godcdo/internal/simnet"
+	"godcdo/internal/transport"
+	"godcdo/internal/vclock"
+	"godcdo/internal/wire"
+)
+
+func counterMethods(bump uint64) map[string]legion.Method {
+	read := func(s *legion.State) uint64 {
+		raw, ok := s.Get("n")
+		if !ok {
+			return 0
+		}
+		v, _ := wire.NewDecoder(raw).Uvarint()
+		return v
+	}
+	return map[string]legion.Method{
+		"inc": func(s *legion.State, _ []byte) ([]byte, error) {
+			e := wire.NewEncoder(8)
+			e.PutUvarint(read(s) + bump)
+			s.Set("n", e.Bytes())
+			return nil, nil
+		},
+		"get": func(s *legion.State, _ []byte) ([]byte, error) {
+			e := wire.NewEncoder(8)
+			e.PutUvarint(read(s))
+			return e.Bytes(), nil
+		},
+	}
+}
+
+type env struct {
+	agent *naming.Agent
+	src   *legion.Node
+	dst   *legion.Node
+}
+
+func newEnv(t *testing.T) *env {
+	t.Helper()
+	agent := naming.NewAgent(vclock.Real{})
+	net := transport.NewInprocNetwork()
+	src, err := legion.NewNode(legion.NodeConfig{Name: "src", Agent: agent, Inproc: net})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := legion.NewNode(legion.NodeConfig{Name: "dst", Agent: agent, Inproc: net})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = src.Close(); _ = dst.Close() })
+	return &env{agent: agent, src: src, dst: dst}
+}
+
+func TestEvolveReplacesImplementationAndKeepsState(t *testing.T) {
+	e := newEnv(t)
+	alloc := naming.NewAllocator(1, 4)
+	v1 := legion.NewClass("counter-v1", alloc, counterMethods(1), 550<<10)
+	v2 := legion.NewClass("counter-v2", naming.NewAllocator(1, 4), counterMethods(10), 550<<10)
+
+	obj, err := v1.CreateInstance(e.src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.dst.Client().Invoke(obj.LOID(), "inc", nil); err != nil {
+		t.Fatal(err)
+	}
+
+	ev := &Evolver{Model: simnet.Centurion(), Discovery: naming.DefaultDiscoverySchedule()}
+	costs, next, err := ev.Evolve(Input{
+		LOID: obj.LOID(), Src: e.src, Dst: e.src, Obj: obj, NewClass: v2,
+		ClientsHoldBindings: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next == nil {
+		t.Fatal("no new incarnation returned")
+	}
+	// State survived: counter still 1; new behaviour: inc now bumps by 10.
+	if _, err := e.dst.Client().Invoke(obj.LOID(), "inc", nil); err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.dst.Client().Invoke(obj.LOID(), "get", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := wire.NewDecoder(out).Uvarint()
+	if got != 11 {
+		t.Fatalf("counter = %d, want 11 (1 preserved + 10 bump)", got)
+	}
+
+	// Cost shape: paper reports 550 KB download ≈ 4 s, discovery 25–35 s.
+	if costs.ExecutableDownload < 3*time.Second || costs.ExecutableDownload > 5*time.Second {
+		t.Fatalf("download = %v", costs.ExecutableDownload)
+	}
+	if costs.ClientRebinding < 25*time.Second || costs.ClientRebinding > 35*time.Second {
+		t.Fatalf("rebinding = %v", costs.ClientRebinding)
+	}
+	if costs.Total() <= costs.ExecutableDownload {
+		t.Fatal("total should exceed the download alone")
+	}
+}
+
+func TestEvolveCrossHostChargesStateTransfer(t *testing.T) {
+	e := newEnv(t)
+	alloc := naming.NewAllocator(1, 4)
+	v1 := legion.NewClass("v1", alloc, counterMethods(1), 1<<20)
+	v2 := legion.NewClass("v2", naming.NewAllocator(1, 4), counterMethods(2), 1<<20)
+
+	obj, err := v1.CreateInstance(e.src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Give the object ~1 MB of state.
+	big := make([]byte, 1<<20)
+	obj.State().Set("blob", big)
+
+	ev := &Evolver{Model: simnet.Centurion(), Discovery: naming.DefaultDiscoverySchedule()}
+	costs, _, err := ev.Evolve(Input{
+		LOID: obj.LOID(), Src: e.src, Dst: e.dst, Obj: obj, NewClass: v2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if costs.StateTransfer == 0 {
+		t.Fatal("cross-host evolution should charge state transfer")
+	}
+	if costs.StateCapture == 0 || costs.StateRestore == 0 {
+		t.Fatalf("capture/restore = %v/%v", costs.StateCapture, costs.StateRestore)
+	}
+	if !e.dst.Hosts(obj.LOID()) || e.src.Hosts(obj.LOID()) {
+		t.Fatal("object did not move")
+	}
+	// No clients held bindings: no rebinding charge.
+	if costs.ClientRebinding != 0 {
+		t.Fatalf("rebinding = %v, want 0", costs.ClientRebinding)
+	}
+}
+
+func TestEvolveCachedExecutableSkipsDownload(t *testing.T) {
+	e := newEnv(t)
+	v1 := legion.NewClass("v1", naming.NewAllocator(1, 4), counterMethods(1), 5<<20)
+	v2 := legion.NewClass("v2", naming.NewAllocator(1, 4), counterMethods(2), 5<<20)
+	obj, err := v1.CreateInstance(e.src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := &Evolver{Model: simnet.Centurion(), Discovery: naming.DefaultDiscoverySchedule()}
+	costs, _, err := ev.Evolve(Input{
+		LOID: obj.LOID(), Src: e.src, Obj: obj, NewClass: v2, ExecutableCached: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if costs.ExecutableDownload != 0 {
+		t.Fatalf("download = %v, want 0 when cached", costs.ExecutableDownload)
+	}
+	if costs.ProcessCreation == 0 {
+		t.Fatal("process creation should always be charged")
+	}
+}
+
+func TestEvolveAdvancesVirtualClock(t *testing.T) {
+	e := newEnv(t)
+	v1 := legion.NewClass("v1", naming.NewAllocator(1, 4), counterMethods(1), 550<<10)
+	v2 := legion.NewClass("v2", naming.NewAllocator(1, 4), counterMethods(2), 550<<10)
+	obj, err := v1.CreateInstance(e.src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := vclock.NewVirtual(time.Unix(0, 0))
+	ev := &Evolver{Model: simnet.Centurion(), Discovery: naming.DefaultDiscoverySchedule(), Clock: clk}
+	costs, _, err := ev.Evolve(Input{
+		LOID: obj.LOID(), Src: e.src, Obj: obj, NewClass: v2, ClientsHoldBindings: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := clk.Now().Sub(time.Unix(0, 0))
+	if elapsed != costs.Total() {
+		t.Fatalf("clock advanced %v, costs total %v", elapsed, costs.Total())
+	}
+}
+
+func TestEvolveNilObject(t *testing.T) {
+	ev := &Evolver{Model: simnet.Centurion()}
+	if _, _, err := ev.Evolve(Input{}); !errors.Is(err, ErrNoObject) {
+		t.Fatalf("err = %v, want ErrNoObject", err)
+	}
+}
+
+func TestDCDOEvolutionCostModel(t *testing.T) {
+	m := simnet.Centurion()
+
+	// Retune-only evolution: well under half a second (paper: "less than
+	// half a second, except for the case when new components need to be
+	// incorporated").
+	retune := DCDOEvolutionCost{RetuneOps: 100}
+	if got := retune.Model(m); got >= 500*time.Millisecond {
+		t.Fatalf("retune-only = %v, want < 0.5s", got)
+	}
+
+	// Cached components: ~200 µs per component.
+	cached := DCDOEvolutionCost{CachedComponents: 10}
+	got := cached.Model(m)
+	if got < 10*150*time.Microsecond || got > 10*300*time.Microsecond {
+		t.Fatalf("cached incorporation = %v, want ≈2ms for 10 components", got)
+	}
+
+	// Uncached: dominated by the download.
+	uncached := DCDOEvolutionCost{UncachedBytes: []int64{550 << 10}}
+	if got := uncached.Model(m); got < 3*time.Second {
+		t.Fatalf("uncached incorporation = %v, want download-dominated", got)
+	}
+
+	// And the full baseline is dramatically worse than retune-only DCDO
+	// evolution: the paper's headline comparison.
+	base := CostBreakdown{
+		ExecutableDownload: m.TransferTime(550 << 10),
+		ProcessCreation:    m.ProcessSpawn,
+		ClientRebinding:    naming.DefaultDiscoverySchedule().TotalDiscoveryTime(),
+	}
+	if base.Total() < 100*retune.Model(m) {
+		t.Fatalf("baseline (%v) should dwarf DCDO retune (%v)", base.Total(), retune.Model(m))
+	}
+}

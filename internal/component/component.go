@@ -1,0 +1,220 @@
+// Package component implements implementation components and the
+// Implementation Component Objects (ICOs) that serve them (§2.3 of the
+// paper).
+//
+// A component bundles a descriptor — the functions it implements, their
+// exported/mandatory/permanent markings and declared intra-object calls —
+// with the executable code that implements them. In this reproduction the
+// code bytes are synthetic (Go cannot load code at run time; see package
+// registry) but they are real data that travels over the network, so the
+// transfer costs the paper measures are exercised faithfully.
+package component
+
+import (
+	"errors"
+	"fmt"
+
+	"godcdo/internal/registry"
+	"godcdo/internal/wire"
+)
+
+// Errors returned by descriptor validation and decoding.
+var (
+	// ErrInvalidDescriptor is returned for descriptors that fail
+	// validation.
+	ErrInvalidDescriptor = errors.New("component: invalid descriptor")
+	// ErrCorruptDescriptor is returned when a descriptor cannot be
+	// decoded.
+	ErrCorruptDescriptor = errors.New("component: corrupt descriptor")
+)
+
+// FunctionDecl describes one dynamic function implemented by a component.
+type FunctionDecl struct {
+	// Name is the dynamic function's name, unique within the component.
+	Name string
+	// Exported marks the function callable from other objects; otherwise
+	// it is internal (§2, "dynamic functions can be exported or internal").
+	Exported bool
+	// Mandatory requests that any DCDO incorporating this component keep
+	// some implementation of the function present (§3.2).
+	Mandatory bool
+	// Permanent requests that this implementation of the function be
+	// frozen in any DCDO incorporating this component (§3.2).
+	Permanent bool
+	// Calls lists the dynamic functions this implementation calls within
+	// its object — the structural dependencies that the paper notes "could
+	// be automated via static analysis of source code".
+	Calls []string
+}
+
+// Descriptor describes a component's contents: the executable code's
+// identity, its implementation type, and the functions it defines.
+type Descriptor struct {
+	// ID names the component, unique within a DCDO Manager.
+	ID string
+	// Revision distinguishes successive builds of the same component.
+	Revision uint64
+	// CodeRef is the registry code reference the executable binds to.
+	CodeRef string
+	// Impl is the component's implementation type (§2.1).
+	Impl registry.ImplType
+	// CodeSize is the executable's size in bytes; downloads cost
+	// accordingly.
+	CodeSize int64
+	// Functions lists the dynamic functions the component implements.
+	Functions []FunctionDecl
+}
+
+// Validate checks internal consistency.
+func (d *Descriptor) Validate() error {
+	if d.ID == "" {
+		return fmt.Errorf("%w: empty component ID", ErrInvalidDescriptor)
+	}
+	if d.CodeRef == "" {
+		return fmt.Errorf("%w: %q has no code reference", ErrInvalidDescriptor, d.ID)
+	}
+	if d.CodeSize < 0 {
+		return fmt.Errorf("%w: %q has negative code size", ErrInvalidDescriptor, d.ID)
+	}
+	if len(d.Functions) == 0 {
+		return fmt.Errorf("%w: %q declares no functions", ErrInvalidDescriptor, d.ID)
+	}
+	seen := make(map[string]bool, len(d.Functions))
+	for _, f := range d.Functions {
+		if f.Name == "" {
+			return fmt.Errorf("%w: %q declares an unnamed function", ErrInvalidDescriptor, d.ID)
+		}
+		if seen[f.Name] {
+			return fmt.Errorf("%w: %q declares function %q twice", ErrInvalidDescriptor, d.ID, f.Name)
+		}
+		seen[f.Name] = true
+		if f.Permanent && !f.Mandatory {
+			// A permanent function is implicitly mandatory: its frozen
+			// implementation must be present. Normalisation keeps
+			// downstream checks simple.
+			return fmt.Errorf("%w: %q marks %q permanent but not mandatory", ErrInvalidDescriptor, d.ID, f.Name)
+		}
+	}
+	return nil
+}
+
+// Function returns the declaration of the named function.
+func (d *Descriptor) Function(name string) (FunctionDecl, bool) {
+	for _, f := range d.Functions {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return FunctionDecl{}, false
+}
+
+// FunctionNames returns the declared function names in declaration order.
+func (d *Descriptor) FunctionNames() []string {
+	names := make([]string, len(d.Functions))
+	for i, f := range d.Functions {
+		names[i] = f.Name
+	}
+	return names
+}
+
+// Encode serialises the descriptor for transfer from an ICO.
+func (d Descriptor) Encode() []byte {
+	e := wire.NewEncoder(64 + 32*len(d.Functions))
+	e.PutString(d.ID)
+	e.PutUvarint(d.Revision)
+	e.PutString(d.CodeRef)
+	e.PutString(d.Impl.String())
+	e.PutVarint(d.CodeSize)
+	e.PutUvarint(uint64(len(d.Functions)))
+	for _, f := range d.Functions {
+		e.PutString(f.Name)
+		e.PutBool(f.Exported)
+		e.PutBool(f.Mandatory)
+		e.PutBool(f.Permanent)
+		e.PutStringSlice(f.Calls)
+	}
+	return e.Bytes()
+}
+
+// DecodeDescriptor parses a descriptor encoded with Encode.
+func DecodeDescriptor(buf []byte) (*Descriptor, error) {
+	dec := wire.NewDecoder(buf)
+	var d Descriptor
+	var err error
+	if d.ID, err = dec.String(); err != nil {
+		return nil, fmt.Errorf("%w: id: %v", ErrCorruptDescriptor, err)
+	}
+	if d.Revision, err = dec.Uvarint(); err != nil {
+		return nil, fmt.Errorf("%w: revision: %v", ErrCorruptDescriptor, err)
+	}
+	if d.CodeRef, err = dec.String(); err != nil {
+		return nil, fmt.Errorf("%w: code ref: %v", ErrCorruptDescriptor, err)
+	}
+	implStr, err := dec.String()
+	if err != nil {
+		return nil, fmt.Errorf("%w: impl type: %v", ErrCorruptDescriptor, err)
+	}
+	if d.Impl, err = registry.ParseImplType(implStr); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorruptDescriptor, err)
+	}
+	if d.CodeSize, err = dec.Varint(); err != nil {
+		return nil, fmt.Errorf("%w: code size: %v", ErrCorruptDescriptor, err)
+	}
+	n, err := dec.Uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("%w: function count: %v", ErrCorruptDescriptor, err)
+	}
+	if n > uint64(dec.Remaining()) {
+		return nil, fmt.Errorf("%w: function count %d exceeds buffer", ErrCorruptDescriptor, n)
+	}
+	d.Functions = make([]FunctionDecl, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var f FunctionDecl
+		if f.Name, err = dec.String(); err != nil {
+			return nil, fmt.Errorf("%w: function name: %v", ErrCorruptDescriptor, err)
+		}
+		if f.Exported, err = dec.Bool(); err != nil {
+			return nil, fmt.Errorf("%w: exported flag: %v", ErrCorruptDescriptor, err)
+		}
+		if f.Mandatory, err = dec.Bool(); err != nil {
+			return nil, fmt.Errorf("%w: mandatory flag: %v", ErrCorruptDescriptor, err)
+		}
+		if f.Permanent, err = dec.Bool(); err != nil {
+			return nil, fmt.Errorf("%w: permanent flag: %v", ErrCorruptDescriptor, err)
+		}
+		if f.Calls, err = dec.StringSlice(); err != nil {
+			return nil, fmt.Errorf("%w: calls: %v", ErrCorruptDescriptor, err)
+		}
+		d.Functions = append(d.Functions, f)
+	}
+	return &d, nil
+}
+
+// Component bundles a descriptor with its executable code bytes.
+type Component struct {
+	Desc Descriptor
+	Code []byte
+}
+
+// NewSynthetic builds a component whose code bytes are deterministic
+// pseudo-content of Desc.CodeSize bytes. The content is a cheap xorshift
+// stream seeded from the component identity, so equal components have equal
+// bytes and transfers move real, incompressible-ish data.
+func NewSynthetic(desc Descriptor) (*Component, error) {
+	if err := desc.Validate(); err != nil {
+		return nil, err
+	}
+	code := make([]byte, desc.CodeSize)
+	seed := uint64(len(desc.ID)+1) * (desc.Revision + 1)
+	for _, c := range desc.ID {
+		seed = seed*31 + uint64(c)
+	}
+	x := seed | 1
+	for i := range code {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		code[i] = byte(x)
+	}
+	return &Component{Desc: desc, Code: code}, nil
+}

@@ -1,0 +1,147 @@
+package component
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"godcdo/internal/registry"
+)
+
+func validDescriptor() Descriptor {
+	return Descriptor{
+		ID:       "mathlib",
+		Revision: 1,
+		CodeRef:  "mathlib:1",
+		Impl:     registry.NativeImplType,
+		CodeSize: 1024,
+		Functions: []FunctionDecl{
+			{Name: "sort", Exported: true, Calls: []string{"compare"}},
+			{Name: "compare", Exported: false},
+		},
+	}
+}
+
+func TestDescriptorValidateAccepts(t *testing.T) {
+	d := validDescriptor()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDescriptorValidateRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Descriptor)
+	}{
+		{"empty ID", func(d *Descriptor) { d.ID = "" }},
+		{"empty code ref", func(d *Descriptor) { d.CodeRef = "" }},
+		{"negative code size", func(d *Descriptor) { d.CodeSize = -1 }},
+		{"no functions", func(d *Descriptor) { d.Functions = nil }},
+		{"unnamed function", func(d *Descriptor) { d.Functions[0].Name = "" }},
+		{"duplicate function", func(d *Descriptor) { d.Functions[1].Name = d.Functions[0].Name }},
+		{"permanent without mandatory", func(d *Descriptor) { d.Functions[0].Permanent = true }},
+	}
+	for _, c := range cases {
+		d := validDescriptor()
+		c.mutate(&d)
+		if err := d.Validate(); !errors.Is(err, ErrInvalidDescriptor) {
+			t.Errorf("%s: err = %v, want ErrInvalidDescriptor", c.name, err)
+		}
+	}
+}
+
+func TestDescriptorEncodeDecodeRoundTrip(t *testing.T) {
+	in := validDescriptor()
+	out, err := DecodeDescriptor(in.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&in, out) {
+		t.Fatalf("round trip mismatch:\n in=%+v\nout=%+v", in, *out)
+	}
+}
+
+func TestDescriptorDecodeTruncated(t *testing.T) {
+	full := validDescriptor().Encode()
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := DecodeDescriptor(full[:cut]); !errors.Is(err, ErrCorruptDescriptor) {
+			t.Fatalf("cut=%d: err = %v, want ErrCorruptDescriptor", cut, err)
+		}
+	}
+}
+
+func TestDescriptorPropertyRoundTrip(t *testing.T) {
+	f := func(id, codeRef string, rev uint64, fname string, exported bool, calls []string) bool {
+		if id == "" || codeRef == "" || fname == "" {
+			return true // Validate covers rejection; here we test the codec
+		}
+		in := Descriptor{
+			ID: id, Revision: rev, CodeRef: codeRef,
+			Impl: registry.NativeImplType, CodeSize: 42,
+			Functions: []FunctionDecl{{Name: fname, Exported: exported, Calls: calls}},
+		}
+		out, err := DecodeDescriptor(in.Encode())
+		if err != nil {
+			return false
+		}
+		if len(in.Functions[0].Calls) == 0 && len(out.Functions[0].Calls) == 0 {
+			out.Functions[0].Calls = in.Functions[0].Calls
+		}
+		return reflect.DeepEqual(&in, out)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDescriptorFunctionLookup(t *testing.T) {
+	d := validDescriptor()
+	f, ok := d.Function("sort")
+	if !ok || !f.Exported {
+		t.Fatalf("Function(sort) = %+v, %v", f, ok)
+	}
+	if _, ok := d.Function("missing"); ok {
+		t.Fatal("found nonexistent function")
+	}
+	if got := d.FunctionNames(); !reflect.DeepEqual(got, []string{"sort", "compare"}) {
+		t.Fatalf("FunctionNames = %v", got)
+	}
+}
+
+func TestNewSyntheticDeterministic(t *testing.T) {
+	d := validDescriptor()
+	c1, err := NewSynthetic(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := NewSynthetic(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(c1.Code)) != d.CodeSize {
+		t.Fatalf("code size = %d, want %d", len(c1.Code), d.CodeSize)
+	}
+	if !bytes.Equal(c1.Code, c2.Code) {
+		t.Fatal("synthetic code not deterministic")
+	}
+	d2 := d
+	d2.ID = "other"
+	c3, err := NewSynthetic(d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(c1.Code, c3.Code) {
+		t.Fatal("different components produced identical code")
+	}
+}
+
+func TestNewSyntheticValidates(t *testing.T) {
+	d := validDescriptor()
+	d.ID = ""
+	if _, err := NewSynthetic(d); !errors.Is(err, ErrInvalidDescriptor) {
+		t.Fatalf("err = %v, want ErrInvalidDescriptor", err)
+	}
+}

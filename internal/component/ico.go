@@ -1,0 +1,235 @@
+package component
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"godcdo/internal/naming"
+	"godcdo/internal/rpc"
+	"godcdo/internal/wire"
+)
+
+// ICO method names (the implementation component object's exported
+// interface, §2.3).
+const (
+	MethodGetDescriptor = "ico.getDescriptor"
+	MethodGetCodeSize   = "ico.getCodeSize"
+	MethodReadCode      = "ico.readCode"
+)
+
+// ReadChunkSize is the maximum number of code bytes returned by one
+// MethodReadCode call, mirroring Legion's chunked object-to-object bulk
+// transfer (and driving the per-chunk costs in the simulated experiments).
+const ReadChunkSize = 64 << 10
+
+// ErrBadRange is returned for reads outside the component's code.
+var ErrBadRange = errors.New("component: read out of range")
+
+// ICO is an Implementation Component Object: an active distributed object
+// that maintains a component's data so components live in the system's
+// global namespace. It implements rpc.Object.
+type ICO struct {
+	mu   sync.RWMutex
+	comp *Component
+}
+
+var _ rpc.Object = (*ICO)(nil)
+
+// NewICO returns an ICO serving comp.
+func NewICO(comp *Component) *ICO {
+	return &ICO{comp: comp}
+}
+
+// Component returns the served component (for in-process access).
+func (o *ICO) Component() *Component {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.comp
+}
+
+// Update replaces the served component — publishing a new revision of the
+// component under the same name.
+func (o *ICO) Update(comp *Component) {
+	o.mu.Lock()
+	o.comp = comp
+	o.mu.Unlock()
+}
+
+// InvokeMethod implements rpc.Object.
+func (o *ICO) InvokeMethod(method string, args []byte) ([]byte, error) {
+	o.mu.RLock()
+	comp := o.comp
+	o.mu.RUnlock()
+
+	switch method {
+	case MethodGetDescriptor:
+		return comp.Desc.Encode(), nil
+	case MethodGetCodeSize:
+		e := wire.NewEncoder(8)
+		e.PutUvarint(uint64(len(comp.Code)))
+		return e.Bytes(), nil
+	case MethodReadCode:
+		d := wire.NewDecoder(args)
+		offset, err := d.Uvarint()
+		if err != nil {
+			return nil, fmt.Errorf("%w: offset: %v", rpc.ErrBadRequest, err)
+		}
+		length, err := d.Uvarint()
+		if err != nil {
+			return nil, fmt.Errorf("%w: length: %v", rpc.ErrBadRequest, err)
+		}
+		if length > ReadChunkSize {
+			length = ReadChunkSize
+		}
+		if offset > uint64(len(comp.Code)) {
+			return nil, fmt.Errorf("%w: offset %d beyond %d", ErrBadRange, offset, len(comp.Code))
+		}
+		end := offset + length
+		if end > uint64(len(comp.Code)) {
+			end = uint64(len(comp.Code))
+		}
+		return comp.Code[offset:end], nil
+	default:
+		return nil, fmt.Errorf("%q: %w", method, rpc.ErrNoSuchFunction)
+	}
+}
+
+// Fetcher obtains components by the LOID of their ICO. The DCDO
+// incorporation path is written against this interface so in-process tests,
+// cached stores, and genuinely remote ICOs are interchangeable.
+type Fetcher interface {
+	Fetch(ico naming.LOID) (*Component, error)
+}
+
+// RemoteFetcher downloads components from ICOs over RPC, chunk by chunk.
+type RemoteFetcher struct {
+	Client *rpc.Client
+}
+
+var _ Fetcher = (*RemoteFetcher)(nil)
+
+// Fetch implements Fetcher.
+func (f *RemoteFetcher) Fetch(ico naming.LOID) (*Component, error) {
+	descBytes, err := f.Client.Invoke(ico, MethodGetDescriptor, nil)
+	if err != nil {
+		return nil, fmt.Errorf("fetch descriptor from %s: %w", ico, err)
+	}
+	desc, err := DecodeDescriptor(descBytes)
+	if err != nil {
+		return nil, fmt.Errorf("fetch from %s: %w", ico, err)
+	}
+
+	sizeBytes, err := f.Client.Invoke(ico, MethodGetCodeSize, nil)
+	if err != nil {
+		return nil, fmt.Errorf("fetch code size from %s: %w", ico, err)
+	}
+	size, err := wire.NewDecoder(sizeBytes).Uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("fetch from %s: decode size: %w", ico, err)
+	}
+
+	code := make([]byte, 0, size)
+	for offset := uint64(0); offset < size; {
+		e := wire.NewEncoder(16)
+		e.PutUvarint(offset)
+		e.PutUvarint(ReadChunkSize)
+		chunk, err := f.Client.Invoke(ico, MethodReadCode, e.Bytes())
+		if err != nil {
+			return nil, fmt.Errorf("read code from %s at %d: %w", ico, offset, err)
+		}
+		if len(chunk) == 0 {
+			return nil, fmt.Errorf("read code from %s at %d: empty chunk before EOF", ico, offset)
+		}
+		code = append(code, chunk...)
+		offset += uint64(len(chunk))
+	}
+	return &Component{Desc: *desc, Code: code}, nil
+}
+
+// Store is a local component cache (the host file-system cache the paper
+// mentions: evolution costs ~200 µs per component "when the components are
+// cached and available"). Safe for concurrent use.
+type Store struct {
+	mu    sync.RWMutex
+	byICO map[naming.LOID]*Component
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{byICO: make(map[naming.LOID]*Component)}
+}
+
+// Put caches comp under the ICO's LOID.
+func (s *Store) Put(ico naming.LOID, comp *Component) {
+	s.mu.Lock()
+	s.byICO[ico] = comp
+	s.mu.Unlock()
+}
+
+// Get returns the cached component, if present.
+func (s *Store) Get(ico naming.LOID) (*Component, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, ok := s.byICO[ico]
+	return c, ok
+}
+
+// Drop removes a cached component.
+func (s *Store) Drop(ico naming.LOID) {
+	s.mu.Lock()
+	delete(s.byICO, ico)
+	s.mu.Unlock()
+}
+
+// Len reports the number of cached components.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.byICO)
+}
+
+// CachingFetcher consults a Store before falling back to a backing fetcher,
+// populating the store on miss.
+type CachingFetcher struct {
+	Store   *Store
+	Backing Fetcher
+
+	mu     sync.Mutex
+	hits   uint64
+	misses uint64
+}
+
+var _ Fetcher = (*CachingFetcher)(nil)
+
+// Fetch implements Fetcher.
+func (f *CachingFetcher) Fetch(ico naming.LOID) (*Component, error) {
+	if c, ok := f.Store.Get(ico); ok {
+		f.mu.Lock()
+		f.hits++
+		f.mu.Unlock()
+		return c, nil
+	}
+	f.mu.Lock()
+	f.misses++
+	f.mu.Unlock()
+	c, err := f.Backing.Fetch(ico)
+	if err != nil {
+		return nil, err
+	}
+	f.Store.Put(ico, c)
+	return c, nil
+}
+
+// Stats reports cache hits and misses.
+func (f *CachingFetcher) Stats() (hits, misses uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.hits, f.misses
+}
+
+// FetcherFunc adapts a function to the Fetcher interface.
+type FetcherFunc func(ico naming.LOID) (*Component, error)
+
+// Fetch implements Fetcher.
+func (f FetcherFunc) Fetch(ico naming.LOID) (*Component, error) { return f(ico) }

@@ -1,0 +1,488 @@
+// Package core implements the DCDO object type itself — the paper's primary
+// contribution (§2.2): a distributed object whose implementation is
+// fragmented into replaceable components holding dynamic functions routed
+// through a DFM.
+//
+// A DCDO exposes three categories of functions: configuration functions
+// (IncorporateComponent, RemoveComponent, EnableFunction, DisableFunction,
+// ApplyDescriptor), status reporting functions (Interface, Version,
+// ComponentIDs, Snapshot), and the user-defined dynamic functions it
+// currently incorporates, invoked through InvokeMethod. The first two
+// categories are also reachable remotely under "dcdo."-prefixed method
+// names, which is how DCDO Managers evolve objects they do not share a
+// process with.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"godcdo/internal/component"
+	"godcdo/internal/dfm"
+	"godcdo/internal/naming"
+	"godcdo/internal/objstate"
+	"godcdo/internal/registry"
+	"godcdo/internal/rpc"
+	"godcdo/internal/vclock"
+	"godcdo/internal/version"
+)
+
+// RemovalPolicy selects what a DCDO does when asked to remove a component
+// that still has threads executing inside it (§3.2, thread activity
+// monitoring): "it can return an error, it can delay handling the request
+// until all thread counts go to zero, or it can simply go ahead with the
+// operation after some time-out period".
+type RemovalPolicy int
+
+// Removal policies.
+const (
+	// RemoveError fails the removal while threads are active.
+	RemoveError RemovalPolicy = iota + 1
+	// RemoveDelay blocks until every thread in the component drains.
+	RemoveDelay
+	// RemoveTimeout blocks up to the configured timeout, then proceeds
+	// regardless (giving threads "a chance to complete").
+	RemoveTimeout
+)
+
+// Errors returned by DCDO configuration functions.
+var (
+	// ErrComponentBusy is returned under RemoveError when a component
+	// still has active threads.
+	ErrComponentBusy = errors.New("core: component has active threads")
+	// ErrUnknownComponent is returned for operations on a component the
+	// DCDO has not incorporated.
+	ErrUnknownComponent = errors.New("core: component not incorporated")
+	// ErrAlreadyIncorporated is returned when incorporating a component ID
+	// twice.
+	ErrAlreadyIncorporated = errors.New("core: component already incorporated")
+	// ErrIncompatibleImpl is returned when a component's implementation
+	// type does not match the host.
+	ErrIncompatibleImpl = errors.New("core: incompatible implementation type")
+	// ErrPermanentConflict is returned when an incorporated component
+	// carries a permanent implementation of a function that already has
+	// one (§3.2).
+	ErrPermanentConflict = errors.New("core: conflicting permanent implementations")
+)
+
+// ControlPrefix prefixes the remotely callable configuration and status
+// methods.
+const ControlPrefix = "dcdo."
+
+// Remotely callable control methods.
+const (
+	MethodInterface       = ControlPrefix + "interface"
+	MethodVersion         = ControlPrefix + "version"
+	MethodSnapshot        = ControlPrefix + "snapshot"
+	MethodApplyDescriptor = ControlPrefix + "applyDescriptor"
+	MethodEnable          = ControlPrefix + "enable"
+	MethodDisable         = ControlPrefix + "disable"
+	MethodIncorporate     = ControlPrefix + "incorporate"
+	MethodRemoveComponent = ControlPrefix + "removeComponent"
+)
+
+// Config assembles a DCDO's dependencies.
+type Config struct {
+	// LOID names the object.
+	LOID naming.LOID
+	// HostImpl is the host's native implementation type; incorporated
+	// components must match it.
+	HostImpl registry.ImplType
+	// Registry resolves component code references to function bindings.
+	Registry *registry.Registry
+	// Fetcher obtains components from their ICOs.
+	Fetcher component.Fetcher
+	// Clock drives removal-policy waits. Defaults to the real clock.
+	Clock vclock.Clock
+	// RemovalPolicy selects the thread-activity policy. Defaults to
+	// RemoveError.
+	RemovalPolicy RemovalPolicy
+	// RemovalTimeout bounds RemoveTimeout waits. Defaults to 5 s.
+	RemovalTimeout time.Duration
+	// AutoStructuralDeps, when set, installs a Type A dependency for every
+	// call a component's function declarations list — the automated static
+	// analysis §3.2 anticipates.
+	AutoStructuralDeps bool
+	// Observer, when set, receives configuration events (incorporations,
+	// enables/disables, evolutions). Called synchronously; must be fast.
+	Observer Observer
+}
+
+// incorporated tracks one component currently part of the object.
+type incorporated struct {
+	ref    dfm.ComponentRef
+	desc   component.Descriptor
+	module *registry.Module
+}
+
+// DCDO is a dynamically configurable distributed object.
+type DCDO struct {
+	cfg Config
+
+	table *dfm.DFM
+
+	// evolveMu serialises whole-descriptor evolutions; invocation of user
+	// functions never takes it.
+	evolveMu sync.Mutex
+
+	mu         sync.Mutex
+	components map[string]*incorporated
+	ver        version.ID
+	state      *objstate.State
+}
+
+var (
+	_ rpc.Object      = (*DCDO)(nil)
+	_ registry.Caller = (*DCDO)(nil)
+)
+
+// New returns an empty DCDO; its implementation grows by incorporating
+// components.
+func New(cfg Config) *DCDO {
+	if cfg.Clock == nil {
+		cfg.Clock = vclock.Real{}
+	}
+	if cfg.RemovalPolicy == 0 {
+		cfg.RemovalPolicy = RemoveError
+	}
+	if cfg.RemovalTimeout == 0 {
+		cfg.RemovalTimeout = 5 * time.Second
+	}
+	if cfg.HostImpl == (registry.ImplType{}) {
+		cfg.HostImpl = registry.NativeImplType
+	}
+	return &DCDO{
+		cfg:        cfg,
+		table:      dfm.New(),
+		components: make(map[string]*incorporated),
+		state:      objstate.New(),
+	}
+}
+
+// LOID returns the object's name.
+func (d *DCDO) LOID() naming.LOID { return d.cfg.LOID }
+
+// DFM exposes the object's live function mapper (status reporting and
+// benchmarks; configuration should go through the DCDO's own functions).
+func (d *DCDO) DFM() *dfm.DFM { return d.table }
+
+// --- User-function invocation -------------------------------------------
+
+// InvokeMethod implements rpc.Object: it services both the control plane
+// ("dcdo."-prefixed) and invocations of exported dynamic functions.
+func (d *DCDO) InvokeMethod(method string, args []byte) ([]byte, error) {
+	if strings.HasPrefix(method, ControlPrefix) {
+		return d.invokeControl(method, args)
+	}
+	impl, release, err := d.table.BeginExportedCall(method)
+	if err != nil {
+		return nil, mapDFMError(err)
+	}
+	defer release()
+	return impl(d, args)
+}
+
+// CallInternal implements registry.Caller: dynamic functions call other
+// dynamic functions in the same object through the DFM, internal or
+// exported alike.
+func (d *DCDO) CallInternal(function string, args []byte) ([]byte, error) {
+	impl, release, err := d.table.BeginCall(function)
+	if err != nil {
+		return nil, mapDFMError(err)
+	}
+	defer release()
+	return impl(d, args)
+}
+
+// mapDFMError translates DFM failures into the RPC error classes clients
+// are told to expect (§3.2: invocations "should be written to expect the
+// absence of the function").
+func mapDFMError(err error) error {
+	switch {
+	case errors.Is(err, dfm.ErrUnknownFunction), errors.Is(err, dfm.ErrNotExported):
+		return fmt.Errorf("%w: %v", rpc.ErrNoSuchFunction, err)
+	case errors.Is(err, dfm.ErrDisabledFunction):
+		return fmt.Errorf("%w: %v", rpc.ErrFunctionDisabled, err)
+	default:
+		return err
+	}
+}
+
+// --- Configuration functions (§2.2) --------------------------------------
+
+// Incorporate fetches the component held by the ICO named ico and
+// incorporates it: functions become present (initially disabled unless
+// enable is set) and may then be enabled and called.
+func (d *DCDO) Incorporate(ico naming.LOID, enable bool) error {
+	comp, err := d.cfg.Fetcher.Fetch(ico)
+	if err != nil {
+		return fmt.Errorf("incorporate: %w", err)
+	}
+	return d.IncorporateComponent(comp, ico, enable)
+}
+
+// IncorporateComponent incorporates an already fetched component.
+func (d *DCDO) IncorporateComponent(comp *component.Component, ico naming.LOID, enable bool) error {
+	if err := comp.Desc.Validate(); err != nil {
+		return fmt.Errorf("incorporate %q: %w", comp.Desc.ID, err)
+	}
+	if !comp.Desc.Impl.Matches(d.cfg.HostImpl) {
+		return fmt.Errorf("%w: component %q is %s, host is %s",
+			ErrIncompatibleImpl, comp.Desc.ID, comp.Desc.Impl, d.cfg.HostImpl)
+	}
+	module, err := d.cfg.Registry.Load(comp.Desc.CodeRef, d.cfg.HostImpl)
+	if err != nil {
+		return fmt.Errorf("incorporate %q: %w", comp.Desc.ID, err)
+	}
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, exists := d.components[comp.Desc.ID]; exists {
+		return fmt.Errorf("%w: %q", ErrAlreadyIncorporated, comp.Desc.ID)
+	}
+
+	// §3.2: incorporating a component whose descriptor marks a function
+	// permanent fails if another permanent implementation already exists.
+	for _, decl := range comp.Desc.Functions {
+		if !decl.Permanent {
+			continue
+		}
+		for _, e := range d.table.Entries() {
+			if e.Function == decl.Name && e.Permanent {
+				return fmt.Errorf("%w: function %q already permanent in %q",
+					ErrPermanentConflict, decl.Name, e.Component)
+			}
+		}
+	}
+
+	var added []dfm.EntryKey
+	rollback := func() {
+		for _, k := range added {
+			_ = d.table.Disable(k, true)
+			_ = d.table.Remove(k)
+		}
+	}
+	for _, decl := range comp.Desc.Functions {
+		if _, err := module.Func(decl.Name); err != nil {
+			rollback()
+			return fmt.Errorf("incorporate %q: %w", comp.Desc.ID, err)
+		}
+		impl, _ := module.Func(decl.Name)
+		entry := dfm.EntryDesc{
+			Function:  decl.Name,
+			Component: comp.Desc.ID,
+			Exported:  decl.Exported,
+			Mandatory: decl.Mandatory || decl.Permanent,
+			Permanent: decl.Permanent,
+		}
+		if enable {
+			// Enable only when no other implementation is already enabled.
+			entry.Enabled = true
+			for _, e := range d.table.Entries() {
+				if e.Function == decl.Name && e.Enabled {
+					entry.Enabled = false
+					break
+				}
+			}
+		}
+		if err := d.table.Add(entry, impl); err != nil {
+			rollback()
+			return fmt.Errorf("incorporate %q: %w", comp.Desc.ID, err)
+		}
+		added = append(added, entry.Key())
+	}
+	if d.cfg.AutoStructuralDeps {
+		for _, decl := range comp.Desc.Functions {
+			for _, callee := range decl.Calls {
+				dep := dfm.Dependency{
+					Kind: dfm.DepA, FromFunc: decl.Name,
+					FromComp: comp.Desc.ID, ToFunc: callee,
+				}
+				if err := d.table.AddDep(dep); err != nil {
+					rollback()
+					return fmt.Errorf("incorporate %q: auto dependency %s: %w", comp.Desc.ID, dep, err)
+				}
+			}
+		}
+	}
+	d.components[comp.Desc.ID] = &incorporated{
+		ref: dfm.ComponentRef{
+			ICO:      ico,
+			CodeRef:  comp.Desc.CodeRef,
+			Impl:     comp.Desc.Impl,
+			CodeSize: comp.Desc.CodeSize,
+			Revision: comp.Desc.Revision,
+		},
+		desc:   comp.Desc,
+		module: module,
+	}
+	d.emit(EventIncorporated, comp.Desc.ID, "", nil,
+		fmt.Sprintf("%d functions, %d bytes", len(comp.Desc.Functions), comp.Desc.CodeSize))
+	return nil
+}
+
+// RemoveComponent disables nothing by itself: the component's functions
+// must already be disabled. It applies the configured thread-activity
+// policy before removing the component's entries and dropping dependencies
+// that mention it.
+func (d *DCDO) RemoveComponent(id string) error {
+	d.mu.Lock()
+	_, exists := d.components[id]
+	d.mu.Unlock()
+	if !exists {
+		return fmt.Errorf("%w: %q", ErrUnknownComponent, id)
+	}
+	if err := d.waitComponentIdle(id); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, exists := d.components[id]; !exists {
+		return fmt.Errorf("%w: %q", ErrUnknownComponent, id)
+	}
+	if err := d.table.RemoveComponent(id); err != nil {
+		return fmt.Errorf("remove %q: %w", id, err)
+	}
+	d.table.DropDepsMentioning(id)
+	delete(d.components, id)
+	d.emit(EventComponentRemoved, id, "", nil, "")
+	return nil
+}
+
+// waitComponentIdle applies the removal policy to a component's active
+// thread count.
+func (d *DCDO) waitComponentIdle(id string) error {
+	const pollInterval = time.Millisecond
+	switch d.cfg.RemovalPolicy {
+	case RemoveError:
+		if n := d.table.ComponentActive(id); n > 0 {
+			return fmt.Errorf("%w: %q has %d active threads", ErrComponentBusy, id, n)
+		}
+		return nil
+	case RemoveDelay:
+		for d.table.ComponentActive(id) > 0 {
+			d.cfg.Clock.Sleep(pollInterval)
+		}
+		return nil
+	case RemoveTimeout:
+		deadline := d.cfg.Clock.Now().Add(d.cfg.RemovalTimeout)
+		for d.table.ComponentActive(id) > 0 && d.cfg.Clock.Now().Before(deadline) {
+			d.cfg.Clock.Sleep(pollInterval)
+		}
+		return nil // proceed regardless after the timeout
+	default:
+		return fmt.Errorf("core: unknown removal policy %d", d.cfg.RemovalPolicy)
+	}
+}
+
+// EnableFunction enables the keyed implementation.
+func (d *DCDO) EnableFunction(key dfm.EntryKey) error {
+	if err := d.table.Enable(key); err != nil {
+		return err
+	}
+	d.emit(EventEnabled, key.Component, key.Function, nil, "")
+	return nil
+}
+
+// DisableFunction disables the keyed implementation, honouring permanent
+// markings and dependencies.
+func (d *DCDO) DisableFunction(key dfm.EntryKey) error {
+	if err := d.table.Disable(key, false); err != nil {
+		return err
+	}
+	d.emit(EventDisabled, key.Component, key.Function, nil, "")
+	return nil
+}
+
+// DisableFunctionDrained postpones the disable until no thread is executing
+// inside a function that depends on the keyed implementation (§3.2: "the
+// DCDO can postpone any request to disable F2 until the active thread count
+// for F1 goes to zero"). maxWait bounds the wait; zero means the configured
+// removal timeout.
+func (d *DCDO) DisableFunctionDrained(key dfm.EntryKey, maxWait time.Duration) error {
+	if maxWait == 0 {
+		maxWait = d.cfg.RemovalTimeout
+	}
+	deadline := d.cfg.Clock.Now().Add(maxWait)
+	for d.table.DependentsActive(key) > 0 {
+		if !d.cfg.Clock.Now().Before(deadline) {
+			return fmt.Errorf("%w: dependents of %s still active after %v",
+				ErrComponentBusy, key, maxWait)
+		}
+		d.cfg.Clock.Sleep(time.Millisecond)
+	}
+	return d.table.Disable(key, false)
+}
+
+// AddDependency installs a dependency declaration (§3.2).
+func (d *DCDO) AddDependency(dep dfm.Dependency) error {
+	if err := d.table.AddDep(dep); err != nil {
+		return err
+	}
+	d.emit(EventDependencyAdded, "", "", nil, dep.String())
+	return nil
+}
+
+// SetFunctionFlags updates exported/mandatory/permanent marks on an entry.
+func (d *DCDO) SetFunctionFlags(key dfm.EntryKey, exported, mandatory, permanent bool) error {
+	return d.table.SetFlags(key, exported, mandatory, permanent)
+}
+
+// --- Status reporting functions (§2.2) ------------------------------------
+
+// Interface returns the names of enabled exported functions — what clients
+// build invocations against.
+func (d *DCDO) Interface() []string {
+	var names []string
+	for _, e := range d.table.Entries() {
+		if e.Enabled && e.Exported {
+			names = append(names, e.Function)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Version returns the object's current version identifier.
+func (d *DCDO) Version() version.ID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.ver.Clone()
+}
+
+// SetVersion stamps the object's version (used at creation).
+func (d *DCDO) SetVersion(v version.ID) {
+	d.mu.Lock()
+	d.ver = v.Clone()
+	d.mu.Unlock()
+}
+
+// ComponentIDs returns the sorted IDs of incorporated components.
+func (d *DCDO) ComponentIDs() []string {
+	d.mu.Lock()
+	ids := make([]string, 0, len(d.components))
+	for id := range d.components {
+		ids = append(ids, id)
+	}
+	d.mu.Unlock()
+	sort.Strings(ids)
+	return ids
+}
+
+// Snapshot returns the object's current configuration as a DFM descriptor —
+// the status counterpart of ApplyDescriptor.
+func (d *DCDO) Snapshot() *dfm.Descriptor {
+	desc := dfm.NewDescriptor()
+	desc.Entries = d.table.Entries()
+	desc.Deps = d.table.Deps()
+	d.mu.Lock()
+	for id, inc := range d.components {
+		desc.Components[id] = inc.ref
+	}
+	d.mu.Unlock()
+	return desc
+}

@@ -1,0 +1,538 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"godcdo/internal/component"
+	"godcdo/internal/dfm"
+	"godcdo/internal/naming"
+	"godcdo/internal/registry"
+	"godcdo/internal/rpc"
+)
+
+func key(f, c string) dfm.EntryKey { return dfm.EntryKey{Function: f, Component: c} }
+
+func TestInvokeExportedFunction(t *testing.T) {
+	f := newFixture(t)
+	d := f.newDCDO(t, Config{})
+	f.incorporate(t, d, "mathlib", true)
+
+	out, err := d.InvokeMethod("sort", encodeInts([]int64{3, 1, 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeInts(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []int64{1, 2, 3}) {
+		t.Fatalf("sorted = %v", got)
+	}
+}
+
+func TestInternalFunctionNotRemotelyCallable(t *testing.T) {
+	f := newFixture(t)
+	d := f.newDCDO(t, Config{})
+	f.incorporate(t, d, "mathlib", true)
+
+	// compare is internal: remote invocation must fail as "no such
+	// function" (the interface does not contain it).
+	if _, err := d.InvokeMethod("compare", encodePair(1, 2)); !errors.Is(err, rpc.ErrNoSuchFunction) {
+		t.Fatalf("err = %v, want ErrNoSuchFunction", err)
+	}
+	// But internal calls reach it.
+	if _, err := d.CallInternal("compare", encodePair(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvokeUnknownAndDisabled(t *testing.T) {
+	f := newFixture(t)
+	d := f.newDCDO(t, Config{})
+	f.incorporate(t, d, "mathlib", true)
+
+	if _, err := d.InvokeMethod("missing", nil); !errors.Is(err, rpc.ErrNoSuchFunction) {
+		t.Fatalf("unknown err = %v", err)
+	}
+	if err := d.DisableFunction(key("sort", "mathlib")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.InvokeMethod("sort", nil); !errors.Is(err, rpc.ErrFunctionDisabled) {
+		t.Fatalf("disabled err = %v", err)
+	}
+}
+
+func TestMissingInternalFunctionSurfacesToCaller(t *testing.T) {
+	f := newFixture(t)
+	d := f.newDCDO(t, Config{})
+	f.incorporate(t, d, "mathlib", true)
+
+	// Disable compare out from under sort: the missing internal function
+	// problem. sort's next call must fail gracefully, not crash.
+	if err := d.DisableFunction(key("compare", "mathlib")); err != nil {
+		t.Fatal(err)
+	}
+	_, err := d.InvokeMethod("sort", encodeInts([]int64{2, 1}))
+	if !errors.Is(err, rpc.ErrFunctionDisabled) {
+		t.Fatalf("err = %v, want ErrFunctionDisabled surfaced through sort", err)
+	}
+}
+
+func TestInterfaceListsEnabledExportedOnly(t *testing.T) {
+	f := newFixture(t)
+	d := f.newDCDO(t, Config{})
+	f.incorporate(t, d, "mathlib", true)
+	f.incorporate(t, d, "utillib", true)
+
+	if got := d.Interface(); !reflect.DeepEqual(got, []string{"hash", "sort"}) {
+		t.Fatalf("Interface = %v", got)
+	}
+	if err := d.DisableFunction(key("hash", "utillib")); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Interface(); !reflect.DeepEqual(got, []string{"sort"}) {
+		t.Fatalf("Interface after disable = %v", got)
+	}
+}
+
+func TestIncorporateRejectsDuplicate(t *testing.T) {
+	f := newFixture(t)
+	d := f.newDCDO(t, Config{})
+	f.incorporate(t, d, "mathlib", true)
+	err := d.Incorporate(f.icos["mathlib"], true)
+	if !errors.Is(err, ErrAlreadyIncorporated) {
+		t.Fatalf("err = %v, want ErrAlreadyIncorporated", err)
+	}
+}
+
+func TestIncorporateRejectsIncompatibleImplType(t *testing.T) {
+	f := newFixture(t)
+	d := f.newDCDO(t, Config{HostImpl: registry.ImplType{Arch: "sparc", Format: "elf", Language: "c"}})
+	err := d.Incorporate(f.icos["mathlib"], true)
+	if !errors.Is(err, ErrIncompatibleImpl) {
+		t.Fatalf("err = %v, want ErrIncompatibleImpl", err)
+	}
+}
+
+func TestIncorporateSecondImplementationStaysDisabled(t *testing.T) {
+	f := newFixture(t)
+	d := f.newDCDO(t, Config{})
+	f.incorporate(t, d, "mathlib", true)
+	f.incorporate(t, d, "revlib", true) // also asks to enable compare
+
+	// mathlib's compare is already enabled; revlib's must stay disabled.
+	e, ok := d.DFM().Entry(key("compare", "revlib"))
+	if !ok || e.Enabled {
+		t.Fatalf("revlib compare entry = %+v, %v", e, ok)
+	}
+	// Sort still ascending.
+	out, err := d.InvokeMethod("sort", encodeInts([]int64{2, 1, 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := decodeInts(out)
+	if !reflect.DeepEqual(got, []int64{1, 2, 3}) {
+		t.Fatalf("sorted = %v", got)
+	}
+}
+
+func TestImplementationSwapChangesBehavior(t *testing.T) {
+	f := newFixture(t)
+	d := f.newDCDO(t, Config{})
+	f.incorporate(t, d, "mathlib", true)
+	f.incorporate(t, d, "revlib", false)
+
+	if err := d.DisableFunction(key("compare", "mathlib")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.EnableFunction(key("compare", "revlib")); err != nil {
+		t.Fatal(err)
+	}
+	out, err := d.InvokeMethod("sort", encodeInts([]int64{2, 1, 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := decodeInts(out)
+	if !reflect.DeepEqual(got, []int64{3, 2, 1}) {
+		t.Fatalf("sorted after swap = %v, want descending", got)
+	}
+}
+
+func TestPermanentConflictOnIncorporation(t *testing.T) {
+	f := newFixture(t)
+	// Both components declare a permanent compare.
+	f.addComponent(t, component.Descriptor{
+		ID: "permA", Revision: 1, CodeRef: "mathlib:1",
+		Impl: registry.NativeImplType, CodeSize: 10,
+		Functions: []component.FunctionDecl{
+			{Name: "compare", Mandatory: true, Permanent: true},
+		},
+	}, naming.LOID{Domain: 1, Class: 9, Instance: 50})
+	f.addComponent(t, component.Descriptor{
+		ID: "permB", Revision: 1, CodeRef: "revlib:1",
+		Impl: registry.NativeImplType, CodeSize: 10,
+		Functions: []component.FunctionDecl{
+			{Name: "compare", Mandatory: true, Permanent: true},
+		},
+	}, naming.LOID{Domain: 1, Class: 9, Instance: 51})
+
+	d := f.newDCDO(t, Config{})
+	f.incorporate(t, d, "permA", true)
+	err := d.Incorporate(f.icos["permB"], false)
+	if !errors.Is(err, ErrPermanentConflict) {
+		t.Fatalf("err = %v, want ErrPermanentConflict", err)
+	}
+}
+
+func TestIncorporateRollbackOnMissingFunc(t *testing.T) {
+	f := newFixture(t)
+	// Descriptor declares a function the module does not implement.
+	f.addComponent(t, component.Descriptor{
+		ID: "broken", Revision: 1, CodeRef: "utillib:1",
+		Impl: registry.NativeImplType, CodeSize: 10,
+		Functions: []component.FunctionDecl{
+			{Name: "hash", Exported: true},
+			{Name: "ghost", Exported: true},
+		},
+	}, naming.LOID{Domain: 1, Class: 9, Instance: 60})
+
+	d := f.newDCDO(t, Config{})
+	err := d.Incorporate(f.icos["broken"], true)
+	if err == nil {
+		t.Fatal("expected incorporation failure")
+	}
+	if len(d.ComponentIDs()) != 0 {
+		t.Fatalf("components after failed incorporate = %v", d.ComponentIDs())
+	}
+	if entries := d.DFM().Entries(); len(entries) != 0 {
+		t.Fatalf("entries after rollback = %v", entries)
+	}
+}
+
+func TestRemoveComponentPolicyError(t *testing.T) {
+	f := newFixture(t)
+	d := f.newDCDO(t, Config{RemovalPolicy: RemoveError})
+	f.incorporate(t, d, "utillib", true)
+
+	// Occupy the component with an active call.
+	impl, release, err := d.DFM().BeginExportedCall("hash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = impl
+	// Must disable first; then removal is refused while the thread is in.
+	if err := d.DisableFunction(key("hash", "utillib")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RemoveComponent("utillib"); !errors.Is(err, ErrComponentBusy) {
+		t.Fatalf("err = %v, want ErrComponentBusy", err)
+	}
+	release()
+	if err := d.RemoveComponent("utillib"); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.ComponentIDs()) != 0 {
+		t.Fatalf("components = %v", d.ComponentIDs())
+	}
+}
+
+func TestRemoveComponentPolicyDelayWaitsForDrain(t *testing.T) {
+	f := newFixture(t)
+	d := f.newDCDO(t, Config{RemovalPolicy: RemoveDelay})
+	f.incorporate(t, d, "utillib", true)
+
+	_, release, err := d.DFM().BeginExportedCall("hash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.DisableFunction(key("hash", "utillib")); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- d.RemoveComponent("utillib") }()
+	select {
+	case err := <-done:
+		t.Fatalf("removal completed while thread active: %v", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+	release()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("removal never completed after drain")
+	}
+}
+
+func TestRemoveComponentPolicyTimeoutProceeds(t *testing.T) {
+	f := newFixture(t)
+	d := f.newDCDO(t, Config{RemovalPolicy: RemoveTimeout, RemovalTimeout: 20 * time.Millisecond})
+	f.incorporate(t, d, "utillib", true)
+
+	_, release, err := d.DFM().BeginExportedCall("hash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	if err := d.DisableFunction(key("hash", "utillib")); err != nil {
+		t.Fatal(err)
+	}
+	// Removal proceeds after the timeout despite the active thread.
+	if err := d.RemoveComponent("utillib"); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.ComponentIDs()) != 0 {
+		t.Fatalf("components = %v", d.ComponentIDs())
+	}
+}
+
+func TestRemoveUnknownComponent(t *testing.T) {
+	f := newFixture(t)
+	d := f.newDCDO(t, Config{})
+	if err := d.RemoveComponent("ghost"); !errors.Is(err, ErrUnknownComponent) {
+		t.Fatalf("err = %v, want ErrUnknownComponent", err)
+	}
+}
+
+func TestAutoStructuralDepsBlockCalleeDisable(t *testing.T) {
+	f := newFixture(t)
+	d := f.newDCDO(t, Config{AutoStructuralDeps: true})
+	f.incorporate(t, d, "mathlib", true)
+
+	// mathlib declares sort -> compare; the auto-installed Type A
+	// dependency forbids disabling the only compare while sort is enabled.
+	if err := d.DisableFunction(key("compare", "mathlib")); !errors.Is(err, dfm.ErrDependency) {
+		t.Fatalf("err = %v, want ErrDependency", err)
+	}
+	if err := d.DisableFunction(key("sort", "mathlib")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.DisableFunction(key("compare", "mathlib")); err != nil {
+		t.Fatalf("disable after dependent disabled: %v", err)
+	}
+}
+
+func TestDisableFunctionDrained(t *testing.T) {
+	f := newFixture(t)
+	d := f.newDCDO(t, Config{AutoStructuralDeps: true})
+	f.incorporate(t, d, "mathlib", true)
+	f.incorporate(t, d, "revlib", false)
+
+	// A thread sits inside sort (which depends on compare).
+	_, release, err := d.DFM().BeginExportedCall("sort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		// Waits for sort's thread to drain; dependency would block a plain
+		// disable, so swap targets: this drains, then fails on the
+		// dependency check — exactly the layered behaviour we want; use a
+		// generous wait.
+		done <- d.DisableFunctionDrained(key("compare", "mathlib"), time.Second)
+	}()
+	select {
+	case <-done:
+		t.Fatal("drained disable returned while dependent thread active")
+	case <-time.After(20 * time.Millisecond):
+	}
+	release()
+	err = <-done
+	// After draining, the structural dependency still forbids disabling
+	// the only compare implementation while sort remains enabled.
+	if !errors.Is(err, dfm.ErrDependency) {
+		t.Fatalf("err = %v, want ErrDependency after drain", err)
+	}
+
+	// Disable sort, then the drained disable of compare succeeds
+	// immediately (no dependents active, dependency premise gone).
+	if err := d.DisableFunction(key("sort", "mathlib")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.DisableFunctionDrained(key("compare", "mathlib"), time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDisableFunctionDrainedTimesOut(t *testing.T) {
+	f := newFixture(t)
+	d := f.newDCDO(t, Config{AutoStructuralDeps: true})
+	f.incorporate(t, d, "mathlib", true)
+
+	_, release, err := d.DFM().BeginExportedCall("sort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	err = d.DisableFunctionDrained(key("compare", "mathlib"), 20*time.Millisecond)
+	if !errors.Is(err, ErrComponentBusy) {
+		t.Fatalf("err = %v, want ErrComponentBusy", err)
+	}
+}
+
+func TestSelfDependencyProtectsRecursiveFunction(t *testing.T) {
+	// §3.2: "by indicating that a function depends on itself, a programmer
+	// can ensure that recursive functions are not changed or removed while
+	// they are executing."
+	f := newFixture(t)
+	d := f.newDCDO(t, Config{})
+	f.incorporate(t, d, "utillib", true)
+
+	key := key("hash", "utillib")
+	if err := d.AddDependency(dfm.Dependency{
+		Kind: dfm.DepB, FromFunc: "hash", FromComp: "utillib",
+		ToFunc: "hash", ToComp: "utillib",
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A thread is "executing recursively" inside hash.
+	_, release, err := d.DFM().BeginExportedCall("hash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The drained disable waits for the in-flight thread before touching
+	// the function.
+	done := make(chan error, 1)
+	go func() { done <- d.DisableFunctionDrained(key, time.Second) }()
+	select {
+	case err := <-done:
+		t.Fatalf("disable completed while recursive thread active: %v", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+	release()
+	// Once drained, the plain dependency check applies: disabling the only
+	// implementation of hash removes the premise along with the
+	// conclusion, so the disable is permitted.
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := d.DFM().BeginExportedCall("hash"); !errors.Is(err, dfm.ErrDisabledFunction) {
+		t.Fatalf("err = %v, want disabled after drain", err)
+	}
+}
+
+func TestSnapshotReflectsState(t *testing.T) {
+	f := newFixture(t)
+	d := f.newDCDO(t, Config{AutoStructuralDeps: true})
+	f.incorporate(t, d, "mathlib", true)
+	f.incorporate(t, d, "utillib", true)
+
+	snap := d.Snapshot()
+	if err := snap.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Components) != 2 {
+		t.Fatalf("components = %v", snap.Components)
+	}
+	if got := snap.Interface(); !reflect.DeepEqual(got, []string{"hash", "sort"}) {
+		t.Fatalf("snapshot interface = %v", got)
+	}
+	if len(snap.Deps) != 1 {
+		t.Fatalf("deps = %v", snap.Deps)
+	}
+	if ref := snap.Components["mathlib"]; ref.ICO != f.icos["mathlib"] || ref.CodeRef != "mathlib:1" {
+		t.Fatalf("mathlib ref = %+v", ref)
+	}
+}
+
+func TestSetFunctionFlags(t *testing.T) {
+	f := newFixture(t)
+	d := f.newDCDO(t, Config{})
+	f.incorporate(t, d, "utillib", true)
+
+	k := key("hash", "utillib")
+	if err := d.SetFunctionFlags(k, false, true, false); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := d.DFM().Entry(k)
+	if !ok || e.Exported || !e.Mandatory || e.Permanent {
+		t.Fatalf("entry = %+v", e)
+	}
+	// Unexported: remote calls refused, internal calls fine.
+	if _, err := d.InvokeMethod("hash", nil); !errors.Is(err, rpc.ErrNoSuchFunction) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := d.CallInternal("hash", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetFunctionFlags(key("ghost", "x"), true, false, false); err == nil {
+		t.Fatal("unknown entry accepted")
+	}
+}
+
+func TestConcurrentInvocationDuringReconfiguration(t *testing.T) {
+	f := newFixture(t)
+	d := f.newDCDO(t, Config{})
+	f.incorporate(t, d, "mathlib", true)
+	f.incorporate(t, d, "revlib", false)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				out, err := d.InvokeMethod("sort", encodeInts([]int64{5, 1, 4, 2, 3}))
+				if err != nil {
+					// Transient disabled states are legal mid-swap.
+					if errors.Is(err, rpc.ErrFunctionDisabled) {
+						continue
+					}
+					t.Errorf("unexpected error: %v", err)
+					return
+				}
+				got, err := decodeInts(out)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				// A sort spanning a comparator swap may produce a mixed
+				// order (the paper's behavioural-dependency motivation);
+				// the mechanism still guarantees an uncorrupted
+				// permutation of the input.
+				if len(got) != 5 {
+					t.Errorf("lost elements: %v", got)
+					return
+				}
+				var sum int64
+				for _, v := range got {
+					sum += v
+				}
+				if sum != 15 {
+					t.Errorf("corrupted result: %v", got)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 100; i++ {
+		if err := d.DisableFunction(key("compare", "mathlib")); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.EnableFunction(key("compare", "revlib")); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.DisableFunction(key("compare", "revlib")); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.EnableFunction(key("compare", "mathlib")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"godcdo/internal/dfm"
+	"godcdo/internal/version"
+)
+
+// eventRecorder collects emitted events thread-safely.
+type eventRecorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+func (r *eventRecorder) observe(e Event) {
+	r.mu.Lock()
+	r.events = append(r.events, e)
+	r.mu.Unlock()
+}
+
+func (r *eventRecorder) kinds() []EventKind {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]EventKind, len(r.events))
+	for i, e := range r.events {
+		out[i] = e.Kind
+	}
+	return out
+}
+
+func (r *eventRecorder) last() Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.events[len(r.events)-1]
+}
+
+func TestObserverSeesConfigurationEvents(t *testing.T) {
+	f := newFixture(t)
+	rec := &eventRecorder{}
+	d := f.newDCDO(t, Config{Observer: rec.observe})
+	f.incorporate(t, d, "mathlib", true)
+	f.incorporate(t, d, "revlib", false)
+
+	if err := d.DisableFunction(key("compare", "mathlib")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.EnableFunction(key("compare", "revlib")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddDependency(dfm.Dependency{Kind: dfm.DepD, FromFunc: "sort", ToFunc: "compare"}); err != nil {
+		t.Fatal(err)
+	}
+
+	want := []EventKind{
+		EventIncorporated, EventIncorporated,
+		EventDisabled, EventEnabled, EventDependencyAdded,
+	}
+	got := rec.kinds()
+	if len(got) != len(want) {
+		t.Fatalf("events = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if e := rec.last(); !strings.Contains(e.Detail, "[sort] -> [compare]") {
+		t.Fatalf("dependency event detail = %q", e.Detail)
+	}
+}
+
+func TestObserverSeesEvolutionEvent(t *testing.T) {
+	f := newFixture(t)
+	rec := &eventRecorder{}
+	d := f.newDCDO(t, Config{Observer: rec.observe})
+	f.incorporate(t, d, "mathlib", true)
+
+	target := snapshotWith(d, func(desc *dfm.Descriptor) {
+		desc.Entry(key("sort", "mathlib")).Exported = false
+	})
+	if _, err := d.ApplyDescriptor(target, version.ID{1, 4}); err != nil {
+		t.Fatal(err)
+	}
+	e := rec.last()
+	if e.Kind != EventEvolved {
+		t.Fatalf("last event = %v", e.Kind)
+	}
+	if !e.Version.Equal(version.ID{1, 4}) {
+		t.Fatalf("event version = %v", e.Version)
+	}
+	if !strings.Contains(e.Detail, "1 entries retuned") {
+		t.Fatalf("event detail = %q", e.Detail)
+	}
+	if !strings.Contains(e.String(), "evolved") || !strings.Contains(e.String(), "version=1.4") {
+		t.Fatalf("event string = %q", e.String())
+	}
+}
+
+func TestFailedOperationsEmitNoEvents(t *testing.T) {
+	f := newFixture(t)
+	rec := &eventRecorder{}
+	d := f.newDCDO(t, Config{Observer: rec.observe})
+	f.incorporate(t, d, "mathlib", true)
+	before := len(rec.kinds())
+
+	if err := d.EnableFunction(key("ghost", "mathlib")); err == nil {
+		t.Fatal("expected failure")
+	}
+	if err := d.AddDependency(dfm.Dependency{Kind: dfm.DepA, FromFunc: "x", ToFunc: "y"}); err == nil {
+		t.Fatal("expected failure")
+	}
+	if err := d.RemoveComponent("ghost"); err == nil {
+		t.Fatal("expected failure")
+	}
+	if got := len(rec.kinds()); got != before {
+		t.Fatalf("failed operations emitted %d events", got-before)
+	}
+}
+
+func TestNoObserverIsSafe(t *testing.T) {
+	f := newFixture(t)
+	d := f.newDCDO(t, Config{}) // no observer
+	f.incorporate(t, d, "mathlib", true)
+	if err := d.DisableFunction(key("sort", "mathlib")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	for k, want := range map[EventKind]string{
+		EventIncorporated: "incorporated", EventComponentRemoved: "component-removed",
+		EventEnabled: "enabled", EventDisabled: "disabled",
+		EventEvolved: "evolved", EventDependencyAdded: "dependency-added",
+		EventKind(42): "event(42)",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("EventKind(%d) = %q, want %q", k, got, want)
+		}
+	}
+}

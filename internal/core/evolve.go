@@ -1,0 +1,292 @@
+package core
+
+import (
+	"fmt"
+
+	"godcdo/internal/dfm"
+	"godcdo/internal/naming"
+	"godcdo/internal/rpc"
+	"godcdo/internal/version"
+	"godcdo/internal/wire"
+)
+
+// ApplyReport summarises what one evolution did — the quantities the
+// evolution-cost experiments (E5/E6) are driven by.
+type ApplyReport struct {
+	ComponentsAdded    int
+	ComponentsRemoved  int
+	ComponentsReplaced int
+	EntriesRetuned     int
+	BytesFetched       int64
+}
+
+// ApplyDescriptor evolves the object to match target, stamping it with
+// newVersion. The target descriptor must already be validated (managers
+// only hand out instantiable versions), so constraint checks are bypassed
+// here; thread-activity policies still apply to component removal.
+//
+// The object keeps servicing calls throughout: evolution never deactivates
+// the process. Calls racing a mid-flight evolution may observe a function
+// as transiently disabled, which §3.2 requires callers to tolerate.
+func (d *DCDO) ApplyDescriptor(target *dfm.Descriptor, newVersion version.ID) (ApplyReport, error) {
+	d.evolveMu.Lock()
+	defer d.evolveMu.Unlock()
+
+	var report ApplyReport
+	current := d.Snapshot()
+	plan := dfm.Diff(current, target)
+
+	targetByComp := make(map[string][]dfm.EntryDesc)
+	for _, e := range target.Entries {
+		targetByComp[e.Component] = append(targetByComp[e.Component], e)
+	}
+
+	// Phase 1: retune entries being disabled, releasing function names
+	// that later phases re-bind to other implementations.
+	for _, e := range plan.Retune {
+		if e.Enabled {
+			continue
+		}
+		if err := d.table.SetFlags(e.Key(), e.Exported, e.Mandatory, e.Permanent); err != nil {
+			return report, fmt.Errorf("apply: retune %s: %w", e.Key(), err)
+		}
+		if err := d.table.Disable(e.Key(), true); err != nil {
+			return report, fmt.Errorf("apply: disable %s: %w", e.Key(), err)
+		}
+		report.EntriesRetuned++
+	}
+
+	// Phase 2: remove departing and replaced components.
+	remove := append(append([]string{}, plan.RemoveComponents...), plan.ReplaceComponents...)
+	for _, id := range remove {
+		if err := d.waitComponentIdle(id); err != nil {
+			return report, fmt.Errorf("apply: %w", err)
+		}
+		d.mu.Lock()
+		for _, e := range d.table.Entries() {
+			if e.Component == id && e.Enabled {
+				if err := d.table.Disable(e.Key(), true); err != nil {
+					d.mu.Unlock()
+					return report, fmt.Errorf("apply: disable %s: %w", e.Key(), err)
+				}
+			}
+		}
+		if err := d.table.RemoveComponent(id); err != nil {
+			d.mu.Unlock()
+			return report, fmt.Errorf("apply: remove %q: %w", id, err)
+		}
+		delete(d.components, id)
+		d.mu.Unlock()
+		report.ComponentsRemoved++
+	}
+	report.ComponentsReplaced = len(plan.ReplaceComponents)
+	report.ComponentsRemoved -= report.ComponentsReplaced
+
+	// Phase 3: incorporate arriving and replaced components, entries
+	// initially disabled so cross-component swaps never double-enable.
+	add := append(append([]string{}, plan.AddComponents...), plan.ReplaceComponents...)
+	for _, id := range add {
+		ref, ok := target.Components[id]
+		if !ok {
+			return report, fmt.Errorf("apply: target missing component ref %q", id)
+		}
+		comp, err := d.cfg.Fetcher.Fetch(ref.ICO)
+		if err != nil {
+			return report, fmt.Errorf("apply: fetch %q: %w", id, err)
+		}
+		report.BytesFetched += int64(len(comp.Code))
+		if err := d.IncorporateComponent(comp, ref.ICO, false); err != nil {
+			return report, fmt.Errorf("apply: %w", err)
+		}
+		// Stamp target flags on the new entries.
+		for _, te := range targetByComp[id] {
+			if err := d.table.SetFlags(te.Key(), te.Exported, te.Mandatory, te.Permanent); err != nil {
+				return report, fmt.Errorf("apply: flag %s: %w", te.Key(), err)
+			}
+		}
+	}
+	report.ComponentsAdded = len(plan.AddComponents)
+
+	// Phase 4: enable everything the target enables — retunes and new
+	// entries alike.
+	for _, e := range plan.Retune {
+		if !e.Enabled {
+			continue
+		}
+		if err := d.table.SetFlags(e.Key(), e.Exported, e.Mandatory, e.Permanent); err != nil {
+			return report, fmt.Errorf("apply: retune %s: %w", e.Key(), err)
+		}
+		if err := d.table.Enable(e.Key()); err != nil {
+			return report, fmt.Errorf("apply: enable %s: %w", e.Key(), err)
+		}
+		report.EntriesRetuned++
+	}
+	for _, id := range add {
+		for _, te := range targetByComp[id] {
+			if !te.Enabled {
+				continue
+			}
+			if err := d.table.Enable(te.Key()); err != nil {
+				return report, fmt.Errorf("apply: enable %s: %w", te.Key(), err)
+			}
+		}
+	}
+
+	d.table.SetDeps(plan.Deps)
+	d.SetVersion(newVersion)
+	d.emit(EventEvolved, "", "", newVersion, fmt.Sprintf(
+		"+%d components, -%d, ~%d replaced, %d entries retuned, %d bytes fetched",
+		report.ComponentsAdded, report.ComponentsRemoved, report.ComponentsReplaced,
+		report.EntriesRetuned, report.BytesFetched))
+	return report, nil
+}
+
+// --- Remote control plane --------------------------------------------------
+
+// invokeControl dispatches "dcdo."-prefixed methods, the remotely callable
+// configuration and status interface.
+func (d *DCDO) invokeControl(method string, args []byte) ([]byte, error) {
+	switch method {
+	case MethodInterface:
+		e := wire.NewEncoder(64)
+		e.PutStringSlice(d.Interface())
+		return e.Bytes(), nil
+
+	case MethodVersion:
+		e := wire.NewEncoder(16)
+		e.PutUintSlice(d.Version().Encode())
+		return e.Bytes(), nil
+
+	case MethodSnapshot:
+		return d.Snapshot().Encode(), nil
+
+	case MethodApplyDescriptor:
+		dec := wire.NewDecoder(args)
+		descBytes, err := dec.Bytes()
+		if err != nil {
+			return nil, fmt.Errorf("%w: descriptor: %v", rpc.ErrBadRequest, err)
+		}
+		target, err := dfm.DecodeDescriptor(descBytes)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", rpc.ErrBadRequest, err)
+		}
+		segs, err := dec.UintSlice()
+		if err != nil {
+			return nil, fmt.Errorf("%w: version: %v", rpc.ErrBadRequest, err)
+		}
+		ver, err := version.Decode(segs)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", rpc.ErrBadRequest, err)
+		}
+		report, err := d.ApplyDescriptor(target, ver)
+		if err != nil {
+			return nil, err
+		}
+		e := wire.NewEncoder(32)
+		e.PutUvarint(uint64(report.ComponentsAdded))
+		e.PutUvarint(uint64(report.ComponentsRemoved))
+		e.PutUvarint(uint64(report.ComponentsReplaced))
+		e.PutUvarint(uint64(report.EntriesRetuned))
+		e.PutVarint(report.BytesFetched)
+		return e.Bytes(), nil
+
+	case MethodEnable, MethodDisable:
+		dec := wire.NewDecoder(args)
+		fn, err := dec.String()
+		if err != nil {
+			return nil, fmt.Errorf("%w: function: %v", rpc.ErrBadRequest, err)
+		}
+		comp, err := dec.String()
+		if err != nil {
+			return nil, fmt.Errorf("%w: component: %v", rpc.ErrBadRequest, err)
+		}
+		key := dfm.EntryKey{Function: fn, Component: comp}
+		if method == MethodEnable {
+			return nil, d.EnableFunction(key)
+		}
+		return nil, d.DisableFunction(key)
+
+	case MethodIncorporate:
+		dec := wire.NewDecoder(args)
+		loidStr, err := dec.String()
+		if err != nil {
+			return nil, fmt.Errorf("%w: ico: %v", rpc.ErrBadRequest, err)
+		}
+		ico, err := naming.ParseLOID(loidStr)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", rpc.ErrBadRequest, err)
+		}
+		enable, err := dec.Bool()
+		if err != nil {
+			return nil, fmt.Errorf("%w: enable flag: %v", rpc.ErrBadRequest, err)
+		}
+		return nil, d.Incorporate(ico, enable)
+
+	case MethodRemoveComponent:
+		dec := wire.NewDecoder(args)
+		id, err := dec.String()
+		if err != nil {
+			return nil, fmt.Errorf("%w: component id: %v", rpc.ErrBadRequest, err)
+		}
+		return nil, d.RemoveComponent(id)
+
+	default:
+		return nil, fmt.Errorf("%w: %q", rpc.ErrNoSuchFunction, method)
+	}
+}
+
+// DecodeApplyReport parses the payload returned by MethodApplyDescriptor.
+func DecodeApplyReport(buf []byte) (ApplyReport, error) {
+	dec := wire.NewDecoder(buf)
+	var r ApplyReport
+	vals := make([]uint64, 4)
+	for i := range vals {
+		v, err := dec.Uvarint()
+		if err != nil {
+			return r, fmt.Errorf("core: corrupt apply report: %w", err)
+		}
+		vals[i] = v
+	}
+	bytesFetched, err := dec.Varint()
+	if err != nil {
+		return r, fmt.Errorf("core: corrupt apply report: %w", err)
+	}
+	r.ComponentsAdded = int(vals[0])
+	r.ComponentsRemoved = int(vals[1])
+	r.ComponentsReplaced = int(vals[2])
+	r.EntriesRetuned = int(vals[3])
+	r.BytesFetched = bytesFetched
+	return r, nil
+}
+
+// EncodeApplyArgs builds the argument payload for MethodApplyDescriptor.
+func EncodeApplyArgs(target *dfm.Descriptor, ver version.ID) []byte {
+	e := wire.NewEncoder(256)
+	e.PutBytes(target.Encode())
+	e.PutUintSlice(ver.Encode())
+	return e.Bytes()
+}
+
+// EncodeEntryKeyArgs builds the argument payload for MethodEnable/Disable.
+func EncodeEntryKeyArgs(key dfm.EntryKey) []byte {
+	e := wire.NewEncoder(32)
+	e.PutString(key.Function)
+	e.PutString(key.Component)
+	return e.Bytes()
+}
+
+// EncodeIncorporateArgs builds the argument payload for MethodIncorporate.
+func EncodeIncorporateArgs(ico naming.LOID, enable bool) []byte {
+	e := wire.NewEncoder(32)
+	e.PutString(ico.String())
+	e.PutBool(enable)
+	return e.Bytes()
+}
+
+// EncodeRemoveComponentArgs builds the argument payload for
+// MethodRemoveComponent.
+func EncodeRemoveComponentArgs(id string) []byte {
+	e := wire.NewEncoder(16)
+	e.PutString(id)
+	return e.Bytes()
+}

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"godcdo/internal/component"
+	"godcdo/internal/dfm"
+	"godcdo/internal/naming"
+	"godcdo/internal/registry"
+	"godcdo/internal/version"
+)
+
+// Property: for ANY pair of valid instantiable descriptors (current,
+// target) drawn from a component pool, evolving a DCDO from current to
+// target yields a snapshot functionally equivalent to target, and the
+// object keeps dispatching correctly. This is the central correctness
+// property of the evolution mechanism: the plan computed by Diff, executed
+// by ApplyDescriptor, always lands exactly on the requested configuration.
+
+// descriptorPool builds a pool of components: nFuncs functions, each with
+// an implementation in 2 components (so enabled implementations can swap),
+// plus a per-component singleton function.
+type descriptorPool struct {
+	reg      *registry.Registry
+	comps    []component.Descriptor
+	icos     map[string]naming.LOID
+	fetch    component.Fetcher
+	funcsByC map[string][]string
+}
+
+func newDescriptorPool(t *testing.T, nComps, nShared int) *descriptorPool {
+	t.Helper()
+	p := &descriptorPool{
+		reg:      registry.New(),
+		icos:     make(map[string]naming.LOID),
+		funcsByC: make(map[string][]string),
+	}
+	store := make(map[naming.LOID]*component.Component)
+	for ci := 0; ci < nComps; ci++ {
+		compID := fmt.Sprintf("pc%d", ci)
+		codeRef := compID + ":1"
+		funcs := make(map[string]registry.Func)
+		var decls []component.FunctionDecl
+		add := func(name string) {
+			result := []byte(name + "@" + compID)
+			funcs[name] = func(registry.Caller, []byte) ([]byte, error) { return result, nil }
+			decls = append(decls, component.FunctionDecl{Name: name, Exported: true})
+			p.funcsByC[compID] = append(p.funcsByC[compID], name)
+		}
+		// Shared functions implemented by every component.
+		for fi := 0; fi < nShared; fi++ {
+			add(fmt.Sprintf("shared%d", fi))
+		}
+		// One function unique to this component.
+		add(fmt.Sprintf("only%d", ci))
+
+		if _, err := p.reg.Register(codeRef, registry.NativeImplType, funcs); err != nil {
+			t.Fatal(err)
+		}
+		desc := component.Descriptor{
+			ID: compID, Revision: 1, CodeRef: codeRef,
+			Impl: registry.NativeImplType, CodeSize: 128,
+			Functions: decls,
+		}
+		comp, err := component.NewSynthetic(desc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ico := naming.LOID{Domain: 1, Class: 9, Instance: uint64(100 + ci)}
+		p.comps = append(p.comps, desc)
+		p.icos[compID] = ico
+		store[ico] = comp
+	}
+	p.fetch = component.FetcherFunc(func(ico naming.LOID) (*component.Component, error) {
+		c, ok := store[ico]
+		if !ok {
+			return nil, fmt.Errorf("pool: no component at %s", ico)
+		}
+		return c, nil
+	})
+	return p
+}
+
+// randomDescriptor draws a valid instantiable descriptor: a nonempty subset
+// of components, all their entries present, exactly one enabled
+// implementation per function name chosen among incorporated components.
+func (p *descriptorPool) randomDescriptor(rng *rand.Rand) *dfm.Descriptor {
+	d := dfm.NewDescriptor()
+	// Nonempty random subset of components.
+	var chosen []component.Descriptor
+	for {
+		chosen = chosen[:0]
+		for _, c := range p.comps {
+			if rng.Intn(2) == 0 {
+				chosen = append(chosen, c)
+			}
+		}
+		if len(chosen) > 0 {
+			break
+		}
+	}
+	implsByFunc := make(map[string][]string) // function -> component IDs
+	for _, c := range chosen {
+		d.Components[c.ID] = dfm.ComponentRef{
+			ICO: p.icos[c.ID], CodeRef: c.CodeRef,
+			Impl: c.Impl, CodeSize: c.CodeSize, Revision: c.Revision,
+		}
+		for _, fn := range c.Functions {
+			implsByFunc[fn.Name] = append(implsByFunc[fn.Name], c.ID)
+		}
+	}
+	for fn, comps := range implsByFunc {
+		enabledIdx := rng.Intn(len(comps))
+		for i, compID := range comps {
+			d.Entries = append(d.Entries, dfm.EntryDesc{
+				Function:  fn,
+				Component: compID,
+				Exported:  rng.Intn(4) != 0, // mostly exported
+				Enabled:   i == enabledIdx,
+			})
+		}
+	}
+	return d
+}
+
+func TestPropertyApplyReachesAnyTarget(t *testing.T) {
+	const rounds = 60
+	pool := newDescriptorPool(t, 4, 3)
+	rng := rand.New(rand.NewSource(42)) // deterministic property run
+
+	obj := New(Config{
+		LOID:     naming.LOID{Domain: 1, Class: 1, Instance: 1},
+		Registry: pool.reg,
+		Fetcher:  pool.fetch,
+	})
+	// Start somewhere.
+	start := pool.randomDescriptor(rng)
+	if err := start.ValidateInstantiable(); err != nil {
+		t.Fatalf("generator produced invalid descriptor: %v", err)
+	}
+	if _, err := obj.ApplyDescriptor(start, version.ID{1}); err != nil {
+		t.Fatal(err)
+	}
+
+	for round := 0; round < rounds; round++ {
+		target := pool.randomDescriptor(rng)
+		if err := target.ValidateInstantiable(); err != nil {
+			t.Fatalf("round %d: generator produced invalid descriptor: %v", round, err)
+		}
+		ver := version.ID{1, uint32(round + 1)}
+		if _, err := obj.ApplyDescriptor(target, ver); err != nil {
+			t.Fatalf("round %d: apply: %v", round, err)
+		}
+		snap := obj.Snapshot()
+		if !snap.Equivalent(target) {
+			t.Fatalf("round %d: snapshot not equivalent to target\nsnap=%+v\ntarget=%+v",
+				round, snap.Entries, target.Entries)
+		}
+		if err := snap.Validate(); err != nil {
+			t.Fatalf("round %d: snapshot invalid: %v", round, err)
+		}
+		if !obj.Version().Equal(ver) {
+			t.Fatalf("round %d: version = %v, want %v", round, obj.Version(), ver)
+		}
+
+		// Every enabled exported function dispatches to the exact
+		// implementation the target enables.
+		for _, e := range target.Entries {
+			if !e.Enabled || !e.Exported {
+				continue
+			}
+			out, err := obj.InvokeMethod(e.Function, nil)
+			if err != nil {
+				t.Fatalf("round %d: invoke %s: %v", round, e.Function, err)
+			}
+			want := e.Function + "@" + e.Component
+			if string(out) != want {
+				t.Fatalf("round %d: %s dispatched to %q, want %q", round, e.Function, out, want)
+			}
+		}
+	}
+}
+
+// Property: concurrent whole-descriptor evolutions are serialised; the
+// final state is exactly one of the requested targets (never an
+// interleaving), and the object serves correctly throughout.
+func TestPropertyConcurrentApplySerialised(t *testing.T) {
+	pool := newDescriptorPool(t, 3, 2)
+	rng := rand.New(rand.NewSource(99))
+
+	for round := 0; round < 10; round++ {
+		obj := New(Config{
+			LOID:     naming.LOID{Domain: 1, Class: 1, Instance: uint64(round + 1)},
+			Registry: pool.reg,
+			Fetcher:  pool.fetch,
+		})
+		start := pool.randomDescriptor(rng)
+		if _, err := obj.ApplyDescriptor(start, version.ID{1}); err != nil {
+			t.Fatal(err)
+		}
+		a := pool.randomDescriptor(rng)
+		b := pool.randomDescriptor(rng)
+
+		errs := make(chan error, 2)
+		go func() {
+			_, err := obj.ApplyDescriptor(a, version.ID{1, 1})
+			errs <- err
+		}()
+		go func() {
+			_, err := obj.ApplyDescriptor(b, version.ID{1, 2})
+			errs <- err
+		}()
+		for i := 0; i < 2; i++ {
+			if err := <-errs; err != nil {
+				t.Fatalf("round %d: concurrent apply: %v", round, err)
+			}
+		}
+		snap := obj.Snapshot()
+		if !snap.Equivalent(a) && !snap.Equivalent(b) {
+			t.Fatalf("round %d: final state is neither target", round)
+		}
+		if err := snap.Validate(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+}
+
+// Property: the diff between a snapshot and itself is always empty, and
+// applying it is a no-op (idempotence of evolution).
+func TestPropertyApplyIdempotent(t *testing.T) {
+	pool := newDescriptorPool(t, 3, 2)
+	rng := rand.New(rand.NewSource(7))
+
+	for round := 0; round < 20; round++ {
+		desc := pool.randomDescriptor(rng)
+		obj := New(Config{
+			LOID:     naming.LOID{Domain: 1, Class: 1, Instance: uint64(round + 1)},
+			Registry: pool.reg,
+			Fetcher:  pool.fetch,
+		})
+		if _, err := obj.ApplyDescriptor(desc, version.ID{1}); err != nil {
+			t.Fatal(err)
+		}
+		snap := obj.Snapshot()
+		plan := dfm.Diff(snap, snap)
+		if !plan.Empty() {
+			t.Fatalf("round %d: self-diff not empty: %+v", round, plan)
+		}
+		report, err := obj.ApplyDescriptor(snap, version.ID{1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if report != (ApplyReport{}) {
+			t.Fatalf("round %d: self-apply did work: %+v", round, report)
+		}
+	}
+}

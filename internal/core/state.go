@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+
+	"godcdo/internal/dfm"
+	"godcdo/internal/objstate"
+	"godcdo/internal/version"
+	"godcdo/internal/wire"
+)
+
+// A DCDO carries persistent state alongside its replaceable implementation:
+// dynamic functions read and write it through their Caller, and it survives
+// evolution (the implementation changes underneath it) and migration (it is
+// captured, moved, and restored while the implementation is *rebuilt* at
+// the destination from the same version descriptor, using components that
+// match the destination's implementation type — the heterogeneity story of
+// §2.1).
+
+// State implements registry.Caller: dynamic functions access the object's
+// persistent state through it.
+func (d *DCDO) State() *objstate.State { return d.state }
+
+// CaptureState serialises everything needed to re-instantiate the object
+// elsewhere: its version, its configuration descriptor, and its persistent
+// state. Together with RestoreState this makes a DCDO a
+// legion.StatefulObject, so the generic migration path applies to DCDOs.
+func (d *DCDO) CaptureState() ([]byte, error) {
+	snap := d.Snapshot()
+	e := wire.NewEncoder(256)
+	e.PutUintSlice(d.Version().Encode())
+	e.PutBytes(snap.Encode())
+	e.PutBytes(d.state.Encode())
+	return e.Bytes(), nil
+}
+
+// RestoreState rebuilds a (typically fresh) DCDO from a capture: it applies
+// the captured descriptor — fetching components through this object's own
+// fetcher and binding implementations that match this object's host
+// implementation type — and then reinstates the persistent state.
+func (d *DCDO) RestoreState(buf []byte) error {
+	dec := wire.NewDecoder(buf)
+	segs, err := dec.UintSlice()
+	if err != nil {
+		return fmt.Errorf("core: restore: version: %w", err)
+	}
+	ver, err := version.Decode(segs)
+	if err != nil {
+		return fmt.Errorf("core: restore: %w", err)
+	}
+	descBytes, err := dec.Bytes()
+	if err != nil {
+		return fmt.Errorf("core: restore: descriptor: %w", err)
+	}
+	desc, err := dfm.DecodeDescriptor(descBytes)
+	if err != nil {
+		return fmt.Errorf("core: restore: %w", err)
+	}
+	stateBytes, err := dec.Bytes()
+	if err != nil {
+		return fmt.Errorf("core: restore: state: %w", err)
+	}
+	restored, err := objstate.Decode(stateBytes)
+	if err != nil {
+		return fmt.Errorf("core: restore: %w", err)
+	}
+
+	if _, err := d.ApplyDescriptor(desc, ver); err != nil {
+		return fmt.Errorf("core: restore: %w", err)
+	}
+	d.mu.Lock()
+	d.state = restored
+	d.mu.Unlock()
+	return nil
+}

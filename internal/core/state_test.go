@@ -1,0 +1,154 @@
+package core
+
+import (
+	"testing"
+
+	"godcdo/internal/component"
+	"godcdo/internal/dfm"
+	"godcdo/internal/naming"
+	"godcdo/internal/registry"
+	"godcdo/internal/version"
+	"godcdo/internal/wire"
+)
+
+// statefulFixture extends the base fixture with a counter component whose
+// functions persist data in the object's state.
+func statefulFixture(t *testing.T) *fixture {
+	t.Helper()
+	f := newFixture(t)
+	if _, err := f.reg.Register("counter:1", registry.NativeImplType, map[string]registry.Func{
+		"inc": func(c registry.Caller, _ []byte) ([]byte, error) {
+			n := readCounter(c)
+			e := wire.NewEncoder(8)
+			e.PutUvarint(n + 1)
+			c.State().Set("n", e.Bytes())
+			return nil, nil
+		},
+		"get": func(c registry.Caller, _ []byte) ([]byte, error) {
+			e := wire.NewEncoder(8)
+			e.PutUvarint(readCounter(c))
+			return e.Bytes(), nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	f.addComponent(t, component.Descriptor{
+		ID: "counter", Revision: 1, CodeRef: "counter:1",
+		Impl: registry.NativeImplType, CodeSize: 64,
+		Functions: []component.FunctionDecl{
+			{Name: "inc", Exported: true},
+			{Name: "get", Exported: true},
+		},
+	}, naming.LOID{Domain: 1, Class: 9, Instance: 70})
+	return f
+}
+
+func readCounter(c registry.Caller) uint64 {
+	raw, ok := c.State().Get("n")
+	if !ok {
+		return 0
+	}
+	n, _ := wire.NewDecoder(raw).Uvarint()
+	return n
+}
+
+func TestDynamicFunctionsShareState(t *testing.T) {
+	f := statefulFixture(t)
+	d := f.newDCDO(t, Config{})
+	f.incorporate(t, d, "counter", true)
+
+	for i := 0; i < 3; i++ {
+		if _, err := d.InvokeMethod("inc", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := d.InvokeMethod("get", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ := wire.NewDecoder(out).Uvarint()
+	if n != 3 {
+		t.Fatalf("counter = %d, want 3", n)
+	}
+}
+
+func TestStateSurvivesEvolution(t *testing.T) {
+	f := statefulFixture(t)
+	d := f.newDCDO(t, Config{})
+	f.incorporate(t, d, "counter", true)
+	f.incorporate(t, d, "mathlib", true)
+
+	if _, err := d.InvokeMethod("inc", nil); err != nil {
+		t.Fatal(err)
+	}
+	// Evolve: drop mathlib entirely.
+	target := snapshotWith(d, func(desc *dfm.Descriptor) {
+		delete(desc.Components, "mathlib")
+		kept := desc.Entries[:0]
+		for _, e := range desc.Entries {
+			if e.Component != "mathlib" {
+				kept = append(kept, e)
+			}
+		}
+		desc.Entries = kept
+	})
+	if _, err := d.ApplyDescriptor(target, version.ID{2}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := d.InvokeMethod("get", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ := wire.NewDecoder(out).Uvarint()
+	if n != 1 {
+		t.Fatalf("counter after evolution = %d, want 1", n)
+	}
+}
+
+func TestCaptureRestoreRebuildsObject(t *testing.T) {
+	f := statefulFixture(t)
+	src := f.newDCDO(t, Config{})
+	f.incorporate(t, src, "counter", true)
+	src.SetVersion(version.ID{1, 2})
+	for i := 0; i < 5; i++ {
+		if _, err := src.InvokeMethod("inc", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	captured, err := src.CaptureState()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh, empty DCDO at the "destination" rebuilds itself from the
+	// capture: same version, same configuration, same state.
+	dst := f.newDCDO(t, Config{LOID: naming.LOID{Domain: 1, Class: 1, Instance: 99}})
+	if err := dst.RestoreState(captured); err != nil {
+		t.Fatal(err)
+	}
+	if !dst.Version().Equal(version.ID{1, 2}) {
+		t.Fatalf("version = %v", dst.Version())
+	}
+	if !dst.Snapshot().Equivalent(src.Snapshot()) {
+		t.Fatal("restored configuration not equivalent")
+	}
+	out, err := dst.InvokeMethod("get", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ := wire.NewDecoder(out).Uvarint()
+	if n != 5 {
+		t.Fatalf("restored counter = %d, want 5", n)
+	}
+}
+
+func TestRestoreStateRejectsCorrupt(t *testing.T) {
+	f := statefulFixture(t)
+	d := f.newDCDO(t, Config{})
+	for cut := 0; cut < 3; cut++ {
+		if err := d.RestoreState(make([]byte, cut)); err == nil {
+			t.Fatalf("cut=%d: corrupt capture accepted", cut)
+		}
+	}
+}

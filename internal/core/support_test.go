@@ -1,0 +1,256 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"godcdo/internal/component"
+	"godcdo/internal/naming"
+	"godcdo/internal/registry"
+	"godcdo/internal/rpc"
+	"godcdo/internal/transport"
+	"godcdo/internal/vclock"
+	"godcdo/internal/wire"
+)
+
+// Test fixture: a "mathlib" component exporting sort (which calls the
+// internal dynamic function compare through the DFM), an alternative
+// component "revlib" with a descending compare, and a "utillib" with an
+// exported hash.
+
+func encodeInts(vals []int64) []byte {
+	e := wire.NewEncoder(8 * len(vals))
+	e.PutUvarint(uint64(len(vals)))
+	for _, v := range vals {
+		e.PutVarint(v)
+	}
+	return e.Bytes()
+}
+
+func decodeInts(buf []byte) ([]int64, error) {
+	d := wire.NewDecoder(buf)
+	n, err := d.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int64, 0, n)
+	for i := uint64(0); i < n; i++ {
+		v, err := d.Varint()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func encodePair(a, b int64) []byte {
+	e := wire.NewEncoder(16)
+	e.PutVarint(a)
+	e.PutVarint(b)
+	return e.Bytes()
+}
+
+// sortFunc sorts its integer payload, delegating every comparison to the
+// dynamic function "compare" — the paper's sort/compare example.
+func sortFunc(c registry.Caller, args []byte) ([]byte, error) {
+	vals, err := decodeInts(args)
+	if err != nil {
+		return nil, err
+	}
+	var callErr error
+	sort.SliceStable(vals, func(i, j int) bool {
+		if callErr != nil {
+			return false
+		}
+		res, err := c.CallInternal("compare", encodePair(vals[i], vals[j]))
+		if err != nil {
+			callErr = err
+			return false
+		}
+		cmp, err := wire.NewDecoder(res).Varint()
+		if err != nil {
+			callErr = err
+			return false
+		}
+		return cmp < 0
+	})
+	if callErr != nil {
+		return nil, fmt.Errorf("sort: %w", callErr)
+	}
+	return encodeInts(vals), nil
+}
+
+func compareFunc(descending bool) registry.Func {
+	return func(_ registry.Caller, args []byte) ([]byte, error) {
+		d := wire.NewDecoder(args)
+		a, err := d.Varint()
+		if err != nil {
+			return nil, err
+		}
+		b, err := d.Varint()
+		if err != nil {
+			return nil, err
+		}
+		cmp := int64(0)
+		switch {
+		case a < b:
+			cmp = -1
+		case a > b:
+			cmp = 1
+		}
+		if descending {
+			cmp = -cmp
+		}
+		e := wire.NewEncoder(4)
+		e.PutVarint(cmp)
+		return e.Bytes(), nil
+	}
+}
+
+func hashFunc(_ registry.Caller, args []byte) ([]byte, error) {
+	var h uint64 = 14695981039346656037
+	for _, b := range args {
+		h = (h ^ uint64(b)) * 1099511628211
+	}
+	e := wire.NewEncoder(8)
+	e.PutUvarint(h)
+	return e.Bytes(), nil
+}
+
+// fixture bundles a registry, a set of components with their ICO LOIDs, and
+// a map-backed fetcher.
+type fixture struct {
+	reg   *registry.Registry
+	comps map[string]*component.Component // component ID -> component
+	icos  map[string]naming.LOID          // component ID -> ICO LOID
+	store map[naming.LOID]*component.Component
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	f := &fixture{
+		reg:   registry.New(),
+		comps: make(map[string]*component.Component),
+		icos:  make(map[string]naming.LOID),
+		store: make(map[naming.LOID]*component.Component),
+	}
+
+	register := func(codeRef string, funcs map[string]registry.Func) {
+		t.Helper()
+		if _, err := f.reg.Register(codeRef, registry.NativeImplType, funcs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	register("mathlib:1", map[string]registry.Func{
+		"sort":    sortFunc,
+		"compare": compareFunc(false),
+	})
+	register("revlib:1", map[string]registry.Func{
+		"compare": compareFunc(true),
+	})
+	register("utillib:1", map[string]registry.Func{
+		"hash": hashFunc,
+	})
+	register("utillib:2", map[string]registry.Func{
+		"hash": hashFunc,
+	})
+
+	f.addComponent(t, component.Descriptor{
+		ID: "mathlib", Revision: 1, CodeRef: "mathlib:1",
+		Impl: registry.NativeImplType, CodeSize: 2048,
+		Functions: []component.FunctionDecl{
+			{Name: "sort", Exported: true, Calls: []string{"compare"}},
+			{Name: "compare"},
+		},
+	}, naming.LOID{Domain: 1, Class: 9, Instance: 1})
+	f.addComponent(t, component.Descriptor{
+		ID: "revlib", Revision: 1, CodeRef: "revlib:1",
+		Impl: registry.NativeImplType, CodeSize: 512,
+		Functions: []component.FunctionDecl{
+			{Name: "compare"},
+		},
+	}, naming.LOID{Domain: 1, Class: 9, Instance: 2})
+	f.addComponent(t, component.Descriptor{
+		ID: "utillib", Revision: 1, CodeRef: "utillib:1",
+		Impl: registry.NativeImplType, CodeSize: 1024,
+		Functions: []component.FunctionDecl{
+			{Name: "hash", Exported: true},
+		},
+	}, naming.LOID{Domain: 1, Class: 9, Instance: 3})
+
+	return f
+}
+
+func (f *fixture) addComponent(t *testing.T, desc component.Descriptor, ico naming.LOID) {
+	t.Helper()
+	comp, err := component.NewSynthetic(desc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.comps[desc.ID] = comp
+	f.icos[desc.ID] = ico
+	f.store[ico] = comp
+}
+
+func (f *fixture) fetcher() component.Fetcher {
+	return component.FetcherFunc(func(ico naming.LOID) (*component.Component, error) {
+		c, ok := f.store[ico]
+		if !ok {
+			return nil, fmt.Errorf("fixture: no component at %s", ico)
+		}
+		return c, nil
+	})
+}
+
+func (f *fixture) newDCDO(t *testing.T, cfg Config) *DCDO {
+	t.Helper()
+	cfg.Registry = f.reg
+	cfg.Fetcher = f.fetcher()
+	if cfg.LOID.Zero() {
+		cfg.LOID = naming.LOID{Domain: 1, Class: 1, Instance: 1}
+	}
+	return New(cfg)
+}
+
+// rpcEnv wires a naming agent, an in-process transport, a dispatcher, and a
+// client for end-to-end control-plane tests.
+type rpcEnv struct {
+	agent  *naming.Agent
+	disp   *rpc.Dispatcher
+	srv    *transport.InprocServer
+	client *rpc.Client
+}
+
+func newRPCEnv(t *testing.T) *rpcEnv {
+	t.Helper()
+	clk := vclock.Real{}
+	agent := naming.NewAgent(clk)
+	cache := naming.NewCache(agent, clk, 0)
+	net := transport.NewInprocNetwork()
+	disp := rpc.NewDispatcher()
+	srv, err := net.Listen("core-test-node", disp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rpcEnv{
+		agent:  agent,
+		disp:   disp,
+		srv:    srv,
+		client: rpc.NewClient(cache, net.Dialer()),
+	}
+}
+
+func (e *rpcEnv) host(loid naming.LOID, obj rpc.Object) {
+	e.disp.Host(loid, obj)
+	e.agent.Register(loid, naming.Address{Endpoint: e.srv.Endpoint()})
+}
+
+// incorporate is a test helper that incorporates a fixture component by ID.
+func (f *fixture) incorporate(t *testing.T, d *DCDO, id string, enable bool) {
+	t.Helper()
+	if err := d.Incorporate(f.icos[id], enable); err != nil {
+		t.Fatalf("incorporate %q: %v", id, err)
+	}
+}

@@ -1,0 +1,141 @@
+// Package dfm implements the Dynamic Function Mapper, the data structure at
+// the heart of the DCDO model (§2): a table through which all calls to
+// dynamic functions go, tracking for every function implementation whether
+// it is exported or internal, enabled or disabled, mandatory or permanent,
+// and how many threads are currently executing inside it.
+//
+// The package provides both the live DFM used on the invocation path and the
+// serialisable DFM descriptor that DCDO Managers keep in their DFM stores
+// (§2.4), plus the dependency declarations of §3.2 and the validation rules
+// that make versions safe to instantiate.
+package dfm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// DepKind distinguishes the four dependency types of §3.2.
+type DepKind uint8
+
+// Dependency kinds. See the paper's Type A–D definitions.
+const (
+	// DepA: [F1,C1] → [F2]. Structural: if F1's implementation in C1 is
+	// enabled, some implementation of F2 must be enabled.
+	DepA DepKind = iota + 1
+	// DepB: [F1,C1] → [F2,C2]. Behavioral: if F1's implementation in C1 is
+	// enabled, F2's implementation in C2 must be enabled.
+	DepB
+	// DepC: [F1] → [F2,C2]. Behavioral: if any implementation of F1 is
+	// enabled, F2's implementation in C2 must be enabled.
+	DepC
+	// DepD: [F1] → [F2]. Structural: if any implementation of F1 is
+	// enabled, some implementation of F2 must be enabled.
+	DepD
+)
+
+// String implements fmt.Stringer.
+func (k DepKind) String() string {
+	switch k {
+	case DepA:
+		return "A"
+	case DepB:
+		return "B"
+	case DepC:
+		return "C"
+	case DepD:
+		return "D"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// ErrBadDependency is returned for dependency declarations whose fields do
+// not match their kind.
+var ErrBadDependency = errors.New("dfm: malformed dependency")
+
+// Dependency declares that one dynamic function requires another (§3.2).
+// FromComp is set only for kinds A and B; ToComp only for kinds B and C.
+type Dependency struct {
+	Kind     DepKind
+	FromFunc string
+	FromComp string
+	ToFunc   string
+	ToComp   string
+}
+
+// String renders the paper's arrow notation, e.g. "[sort,c1] -> [compare]".
+func (d Dependency) String() string {
+	from := "[" + d.FromFunc
+	if d.FromComp != "" {
+		from += "," + d.FromComp
+	}
+	from += "]"
+	to := "[" + d.ToFunc
+	if d.ToComp != "" {
+		to += "," + d.ToComp
+	}
+	to += "]"
+	return from + " -> " + to
+}
+
+// Validate checks that the populated fields match the declared kind.
+func (d Dependency) Validate() error {
+	if d.FromFunc == "" || d.ToFunc == "" {
+		return fmt.Errorf("%w: missing function name in %s", ErrBadDependency, d)
+	}
+	switch d.Kind {
+	case DepA:
+		if d.FromComp == "" || d.ToComp != "" {
+			return fmt.Errorf("%w: type A needs FromComp only: %s", ErrBadDependency, d)
+		}
+	case DepB:
+		if d.FromComp == "" || d.ToComp == "" {
+			return fmt.Errorf("%w: type B needs both components: %s", ErrBadDependency, d)
+		}
+	case DepC:
+		if d.FromComp != "" || d.ToComp == "" {
+			return fmt.Errorf("%w: type C needs ToComp only: %s", ErrBadDependency, d)
+		}
+	case DepD:
+		if d.FromComp != "" || d.ToComp != "" {
+			return fmt.Errorf("%w: type D names no components: %s", ErrBadDependency, d)
+		}
+	default:
+		return fmt.Errorf("%w: unknown kind in %s", ErrBadDependency, d)
+	}
+	return nil
+}
+
+// AppliesTo reports whether the dependency's premise is triggered by the
+// given enabled implementation (function f in component c).
+func (d Dependency) AppliesTo(f, c string) bool {
+	if d.FromFunc != f {
+		return false
+	}
+	switch d.Kind {
+	case DepA, DepB:
+		return d.FromComp == c
+	default:
+		return true
+	}
+}
+
+// RequiresSpecific reports whether the dependency requires a particular
+// component's implementation of the target (kinds B and C) rather than any
+// implementation (kinds A and D).
+func (d Dependency) RequiresSpecific() bool {
+	return d.Kind == DepB || d.Kind == DepC
+}
+
+// SatisfiedBy reports whether an enabled implementation of function f in
+// component c discharges the dependency's conclusion.
+func (d Dependency) SatisfiedBy(f, c string) bool {
+	if d.ToFunc != f {
+		return false
+	}
+	if d.RequiresSpecific() {
+		return d.ToComp == c
+	}
+	return true
+}

@@ -1,0 +1,85 @@
+package dfm
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestDependencyValidate(t *testing.T) {
+	valid := []Dependency{
+		{Kind: DepA, FromFunc: "f1", FromComp: "c1", ToFunc: "f2"},
+		{Kind: DepB, FromFunc: "f1", FromComp: "c1", ToFunc: "f2", ToComp: "c2"},
+		{Kind: DepC, FromFunc: "f1", ToFunc: "f2", ToComp: "c2"},
+		{Kind: DepD, FromFunc: "f1", ToFunc: "f2"},
+	}
+	for _, d := range valid {
+		if err := d.Validate(); err != nil {
+			t.Errorf("%s: unexpected error %v", d, err)
+		}
+	}
+	invalid := []Dependency{
+		{Kind: DepA, FromFunc: "f1", ToFunc: "f2"},                               // A without FromComp
+		{Kind: DepA, FromFunc: "f1", FromComp: "c1", ToFunc: "f2", ToComp: "c2"}, // A with ToComp
+		{Kind: DepB, FromFunc: "f1", FromComp: "c1", ToFunc: "f2"},               // B without ToComp
+		{Kind: DepC, FromFunc: "f1", FromComp: "c1", ToFunc: "f2", ToComp: "c2"}, // C with FromComp
+		{Kind: DepD, FromFunc: "f1", FromComp: "c1", ToFunc: "f2"},               // D with component
+		{Kind: DepD, FromFunc: "", ToFunc: "f2"},                                 // missing from
+		{Kind: DepD, FromFunc: "f1", ToFunc: ""},                                 // missing to
+		{Kind: DepKind(99), FromFunc: "f1", ToFunc: "f2"},                        // unknown kind
+	}
+	for _, d := range invalid {
+		if err := d.Validate(); !errors.Is(err, ErrBadDependency) {
+			t.Errorf("%s: err = %v, want ErrBadDependency", d, err)
+		}
+	}
+}
+
+func TestDependencyAppliesTo(t *testing.T) {
+	a := Dependency{Kind: DepA, FromFunc: "f1", FromComp: "c1", ToFunc: "f2"}
+	if !a.AppliesTo("f1", "c1") || a.AppliesTo("f1", "c9") || a.AppliesTo("f9", "c1") {
+		t.Error("type A premise matching wrong")
+	}
+	d := Dependency{Kind: DepD, FromFunc: "f1", ToFunc: "f2"}
+	if !d.AppliesTo("f1", "anything") || d.AppliesTo("f2", "c1") {
+		t.Error("type D premise matching wrong")
+	}
+}
+
+func TestDependencySatisfiedBy(t *testing.T) {
+	b := Dependency{Kind: DepB, FromFunc: "f1", FromComp: "c1", ToFunc: "f2", ToComp: "c2"}
+	if !b.SatisfiedBy("f2", "c2") || b.SatisfiedBy("f2", "c9") || b.SatisfiedBy("f9", "c2") {
+		t.Error("type B conclusion matching wrong")
+	}
+	a := Dependency{Kind: DepA, FromFunc: "f1", FromComp: "c1", ToFunc: "f2"}
+	if !a.SatisfiedBy("f2", "anyComp") || a.SatisfiedBy("f1", "c1") {
+		t.Error("type A conclusion matching wrong")
+	}
+}
+
+func TestDependencyRequiresSpecific(t *testing.T) {
+	if (Dependency{Kind: DepA}).RequiresSpecific() || (Dependency{Kind: DepD}).RequiresSpecific() {
+		t.Error("structural deps should not require specific impl")
+	}
+	if !(Dependency{Kind: DepB}).RequiresSpecific() || !(Dependency{Kind: DepC}).RequiresSpecific() {
+		t.Error("behavioral deps should require specific impl")
+	}
+}
+
+func TestDependencyString(t *testing.T) {
+	d := Dependency{Kind: DepB, FromFunc: "sort", FromComp: "c1", ToFunc: "compare", ToComp: "c2"}
+	if got := d.String(); got != "[sort,c1] -> [compare,c2]" {
+		t.Errorf("String = %q", got)
+	}
+	a := Dependency{Kind: DepD, FromFunc: "sort", ToFunc: "compare"}
+	if got := a.String(); got != "[sort] -> [compare]" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestDepKindString(t *testing.T) {
+	for k, want := range map[DepKind]string{DepA: "A", DepB: "B", DepC: "C", DepD: "D", DepKind(7): "kind(7)"} {
+		if got := k.String(); got != want {
+			t.Errorf("DepKind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}

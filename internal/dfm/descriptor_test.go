@@ -1,0 +1,282 @@
+package dfm
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"godcdo/internal/naming"
+	"godcdo/internal/registry"
+)
+
+// twoCompDescriptor builds a descriptor with components c1 (sort, compare)
+// and c2 (compare) where c1's implementations are enabled.
+func twoCompDescriptor() *Descriptor {
+	d := NewDescriptor()
+	d.Components["c1"] = ComponentRef{
+		ICO: naming.LOID{Domain: 1, Class: 9, Instance: 1}, CodeRef: "c1:1",
+		Impl: registry.NativeImplType, CodeSize: 100, Revision: 1,
+	}
+	d.Components["c2"] = ComponentRef{
+		ICO: naming.LOID{Domain: 1, Class: 9, Instance: 2}, CodeRef: "c2:1",
+		Impl: registry.NativeImplType, CodeSize: 200, Revision: 1,
+	}
+	d.Entries = []EntryDesc{
+		{Function: "sort", Component: "c1", Exported: true, Enabled: true},
+		{Function: "compare", Component: "c1", Enabled: true},
+		{Function: "compare", Component: "c2"},
+	}
+	return d
+}
+
+func TestDescriptorValidateAccepts(t *testing.T) {
+	if err := twoCompDescriptor().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDescriptorValidateRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Descriptor)
+	}{
+		{"empty function", func(d *Descriptor) { d.Entries[0].Function = "" }},
+		{"duplicate entry", func(d *Descriptor) { d.Entries[2] = d.Entries[1] }},
+		{"unknown component", func(d *Descriptor) { d.Entries[0].Component = "ghost" }},
+		{"two enabled impls", func(d *Descriptor) { d.Entries[2].Enabled = true }},
+		{"permanent not mandatory", func(d *Descriptor) { d.Entries[0].Permanent = true }},
+		{"bad dependency", func(d *Descriptor) {
+			d.Deps = append(d.Deps, Dependency{Kind: DepA, FromFunc: "sort", ToFunc: "compare"})
+		}},
+		{"two permanent impls", func(d *Descriptor) {
+			d.Entries[1].Mandatory, d.Entries[1].Permanent = true, true
+			d.Entries[2].Mandatory, d.Entries[2].Permanent = true, true
+		}},
+	}
+	for _, c := range cases {
+		d := twoCompDescriptor()
+		c.mutate(d)
+		if err := d.Validate(); !errors.Is(err, ErrInvalidDescriptor) {
+			t.Errorf("%s: err = %v, want ErrInvalidDescriptor", c.name, err)
+		}
+	}
+}
+
+func TestDescriptorInterfaceAndLookups(t *testing.T) {
+	d := twoCompDescriptor()
+	if got := d.Interface(); !reflect.DeepEqual(got, []string{"sort"}) {
+		t.Fatalf("Interface = %v", got)
+	}
+	if got := d.FunctionNames(); !reflect.DeepEqual(got, []string{"compare", "sort"}) {
+		t.Fatalf("FunctionNames = %v", got)
+	}
+	impl := d.EnabledImpl("compare")
+	if impl == nil || impl.Component != "c1" {
+		t.Fatalf("EnabledImpl(compare) = %+v", impl)
+	}
+	if d.EnabledImpl("missing") != nil {
+		t.Fatal("EnabledImpl for unknown function should be nil")
+	}
+	if e := d.Entry(EntryKey{Function: "compare", Component: "c2"}); e == nil || e.Enabled {
+		t.Fatalf("Entry(compare@c2) = %+v", e)
+	}
+	if d.Entry(EntryKey{Function: "x", Component: "y"}) != nil {
+		t.Fatal("Entry for unknown key should be nil")
+	}
+}
+
+func TestDescriptorCloneIsDeep(t *testing.T) {
+	d := twoCompDescriptor()
+	d.Deps = []Dependency{{Kind: DepD, FromFunc: "sort", ToFunc: "compare"}}
+	c := d.Clone()
+	c.Entries[0].Enabled = false
+	c.Deps[0].FromFunc = "mutated"
+	c.Components["c3"] = ComponentRef{}
+	if !d.Entries[0].Enabled || d.Deps[0].FromFunc != "sort" || len(d.Components) != 2 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestValidateInstantiable(t *testing.T) {
+	// Valid case: mandatory function with enabled impl, satisfied dep.
+	d := twoCompDescriptor()
+	d.Entries[1].Mandatory = true
+	d.Deps = []Dependency{{Kind: DepA, FromFunc: "sort", FromComp: "c1", ToFunc: "compare"}}
+	if err := d.ValidateInstantiable(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mandatory function with no enabled implementation.
+	d2 := twoCompDescriptor()
+	d2.Entries[1].Enabled = false
+	d2.Entries[1].Mandatory = true
+	if err := d2.ValidateInstantiable(); !errors.Is(err, ErrNotInstantiable) {
+		t.Fatalf("mandatory-without-enabled err = %v", err)
+	}
+
+	// Permanent implementation that is disabled.
+	d3 := twoCompDescriptor()
+	d3.Entries[2].Mandatory, d3.Entries[2].Permanent = true, true // compare@c2, disabled
+	if err := d3.ValidateInstantiable(); !errors.Is(err, ErrNotInstantiable) {
+		t.Fatalf("disabled-permanent err = %v", err)
+	}
+
+	// Violated dependency: sort depends on an implementation that is
+	// disabled (type B on c2's compare, while c1's is enabled).
+	d4 := twoCompDescriptor()
+	d4.Deps = []Dependency{{Kind: DepB, FromFunc: "sort", FromComp: "c1", ToFunc: "compare", ToComp: "c2"}}
+	if err := d4.ValidateInstantiable(); !errors.Is(err, ErrNotInstantiable) {
+		t.Fatalf("violated-dependency err = %v", err)
+	}
+
+	// A dependency whose premise is not triggered is not violated.
+	d5 := twoCompDescriptor()
+	d5.Entries[0].Enabled = false // sort disabled; its dependency is moot
+	d5.Deps = []Dependency{{Kind: DepB, FromFunc: "sort", FromComp: "c1", ToFunc: "compare", ToComp: "c2"}}
+	if err := d5.ValidateInstantiable(); err != nil {
+		t.Fatalf("untriggered dependency should not block: %v", err)
+	}
+}
+
+func TestDependencyViolationsTypeCD(t *testing.T) {
+	d := twoCompDescriptor()
+	// Type C: any enabled impl of sort requires compare@c2 — violated,
+	// since c1's compare is the enabled one.
+	d.Deps = []Dependency{{Kind: DepC, FromFunc: "sort", ToFunc: "compare", ToComp: "c2"}}
+	if v := d.DependencyViolations(); len(v) != 1 {
+		t.Fatalf("violations = %v, want 1", v)
+	}
+	// Type D: any impl of sort requires some compare — satisfied.
+	d.Deps = []Dependency{{Kind: DepD, FromFunc: "sort", ToFunc: "compare"}}
+	if v := d.DependencyViolations(); len(v) != 0 {
+		t.Fatalf("violations = %v, want none", v)
+	}
+}
+
+func TestValidateDerivation(t *testing.T) {
+	parent := twoCompDescriptor()
+	parent.Entries[0].Mandatory = true // sort mandatory
+
+	// Legal: child keeps sort mandatory.
+	child := parent.Clone()
+	if err := child.ValidateDerivation(parent); err != nil {
+		t.Fatal(err)
+	}
+
+	// Illegal: child removes the mandatory function entirely.
+	gone := parent.Clone()
+	gone.Entries = gone.Entries[1:]
+	if err := gone.ValidateDerivation(parent); !errors.Is(err, ErrIllegalDerivation) {
+		t.Fatalf("removed-mandatory err = %v", err)
+	}
+
+	// Illegal: child demotes the mandatory flag.
+	demoted := parent.Clone()
+	demoted.Entries[0].Mandatory = false
+	if err := demoted.ValidateDerivation(parent); !errors.Is(err, ErrIllegalDerivation) {
+		t.Fatalf("demoted-mandatory err = %v", err)
+	}
+}
+
+func TestValidateDerivationPermanent(t *testing.T) {
+	parent := twoCompDescriptor()
+	parent.Entries[1].Mandatory, parent.Entries[1].Permanent = true, true // compare@c1 permanent
+
+	// Illegal: permanent implementation removed.
+	removed := parent.Clone()
+	removed.Entries = []EntryDesc{parent.Entries[0], parent.Entries[2]}
+	if err := removed.ValidateDerivation(parent); !errors.Is(err, ErrIllegalDerivation) {
+		t.Fatalf("removed-permanent err = %v", err)
+	}
+
+	// Illegal: permanent implementation disabled, replaced by c2's.
+	swapped := parent.Clone()
+	swapped.Entries[1].Enabled = false
+	swapped.Entries[2].Enabled = true
+	if err := swapped.ValidateDerivation(parent); !errors.Is(err, ErrIllegalDerivation) {
+		t.Fatalf("swapped-permanent err = %v", err)
+	}
+
+	// Illegal: flag demoted even if still enabled.
+	demoted := parent.Clone()
+	demoted.Entries[1].Permanent = false
+	if err := demoted.ValidateDerivation(parent); !errors.Is(err, ErrIllegalDerivation) {
+		t.Fatalf("demoted-permanent err = %v", err)
+	}
+
+	// Legal: everything intact, new entries added elsewhere.
+	grown := parent.Clone()
+	grown.Components["c3"] = ComponentRef{ICO: naming.LOID{Instance: 3}, CodeRef: "c3:1", Impl: registry.NativeImplType}
+	grown.Entries = append(grown.Entries, EntryDesc{Function: "extra", Component: "c3", Exported: true, Enabled: true})
+	if err := grown.ValidateDerivation(parent); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDescriptorEquivalent(t *testing.T) {
+	a := twoCompDescriptor()
+	b := twoCompDescriptor()
+	if !a.Equivalent(b) {
+		t.Fatal("identical descriptors not equivalent")
+	}
+	// Disabled-entry differences do not affect equivalence...
+	b.Entries[2].Mandatory = true
+	if !a.Equivalent(b) {
+		t.Fatal("disabled-entry flag change should not break equivalence")
+	}
+	// ...but export changes on enabled entries do.
+	c := twoCompDescriptor()
+	c.Entries[0].Exported = false
+	if a.Equivalent(c) {
+		t.Fatal("export flag change should break equivalence")
+	}
+	// Enabling a different implementation breaks equivalence.
+	d := twoCompDescriptor()
+	d.Entries[1].Enabled = false
+	d.Entries[2].Enabled = true
+	if a.Equivalent(d) {
+		t.Fatal("implementation swap should break equivalence")
+	}
+	// Different component sets break equivalence.
+	e := twoCompDescriptor()
+	delete(e.Components, "c2")
+	e.Entries = e.Entries[:2]
+	if a.Equivalent(e) {
+		t.Fatal("component set change should break equivalence")
+	}
+}
+
+func TestDescriptorEncodeDecodeRoundTrip(t *testing.T) {
+	in := twoCompDescriptor()
+	in.Deps = []Dependency{
+		{Kind: DepA, FromFunc: "sort", FromComp: "c1", ToFunc: "compare"},
+		{Kind: DepB, FromFunc: "sort", FromComp: "c1", ToFunc: "compare", ToComp: "c2"},
+	}
+	out, err := DecodeDescriptor(in.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in=%+v\nout=%+v", in, out)
+	}
+}
+
+func TestDescriptorDecodeTruncated(t *testing.T) {
+	full := twoCompDescriptor().Encode()
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := DecodeDescriptor(full[:cut]); !errors.Is(err, ErrCorruptDescriptor) {
+			t.Fatalf("cut=%d: err = %v, want ErrCorruptDescriptor", cut, err)
+		}
+	}
+}
+
+func TestDescriptorEmptyRoundTrip(t *testing.T) {
+	in := NewDescriptor()
+	out, err := DecodeDescriptor(in.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Entries) != 0 || len(out.Deps) != 0 || len(out.Components) != 0 {
+		t.Fatalf("decoded non-empty: %+v", out)
+	}
+}

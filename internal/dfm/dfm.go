@@ -1,0 +1,479 @@
+package dfm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"godcdo/internal/registry"
+)
+
+// Errors returned by live DFM operations.
+var (
+	// ErrUnknownFunction means no entry exists for the function — the
+	// missing internal function problem when hit from inside the object.
+	ErrUnknownFunction = errors.New("dfm: unknown function")
+	// ErrDisabledFunction means entries exist but none is enabled.
+	ErrDisabledFunction = errors.New("dfm: function disabled")
+	// ErrUnknownEntry means no entry exists for a (function, component).
+	ErrUnknownEntry = errors.New("dfm: unknown entry")
+	// ErrDuplicateEntry is returned when adding an entry that exists.
+	ErrDuplicateEntry = errors.New("dfm: duplicate entry")
+	// ErrAlreadyEnabled is returned when enabling a function that already
+	// has a different enabled implementation.
+	ErrAlreadyEnabled = errors.New("dfm: another implementation is enabled")
+	// ErrPermanent is returned when disabling or removing a permanent
+	// implementation.
+	ErrPermanent = errors.New("dfm: implementation is permanent")
+	// ErrDependency is returned when an operation would violate a declared
+	// dependency.
+	ErrDependency = errors.New("dfm: operation violates dependency")
+	// ErrEntryEnabled is returned when removing an entry that is still
+	// enabled.
+	ErrEntryEnabled = errors.New("dfm: entry still enabled")
+	// ErrNotExported is returned when an external caller invokes an
+	// internal function.
+	ErrNotExported = errors.New("dfm: function not exported")
+)
+
+// liveEntry is one DFM table row plus its live binding and thread counter.
+type liveEntry struct {
+	desc   EntryDesc
+	impl   registry.Func
+	active atomic.Int64
+	calls  atomic.Uint64
+}
+
+// fastEntry is one immutable row of the fast-path index: the implementation,
+// its exported flag frozen at rebuild time, and the live entry whose
+// counters the call updates.
+type fastEntry struct {
+	impl     registry.Func
+	exported bool
+	live     *liveEntry
+}
+
+// lookupTable is the immutable fast-path index rebuilt on every mutation.
+// byFunc maps each known function to its enabled implementation, or nil
+// when every implementation is disabled — preserving the paper's
+// distinction between a missing function and a disabled one.
+type lookupTable struct {
+	byFunc map[string]*fastEntry
+}
+
+// DFM is the live Dynamic Function Mapper maintained within every DCDO. All
+// calls to dynamic functions go through it; configuration operations mutate
+// it. Reads are lock-free against an immutable snapshot; mutations are
+// serialised by a mutex and publish a fresh snapshot.
+type DFM struct {
+	mu      sync.Mutex
+	entries map[EntryKey]*liveEntry
+	deps    []Dependency
+	lookup  atomic.Pointer[lookupTable]
+}
+
+// New returns an empty DFM.
+func New() *DFM {
+	d := &DFM{entries: make(map[EntryKey]*liveEntry)}
+	d.lookup.Store(&lookupTable{byFunc: make(map[string]*fastEntry)})
+	return d
+}
+
+// rebuildLocked publishes a fresh lookup snapshot. Callers hold d.mu.
+func (d *DFM) rebuildLocked() {
+	byFunc := make(map[string]*fastEntry, len(d.entries))
+	for _, e := range d.entries {
+		if e.desc.Enabled {
+			byFunc[e.desc.Function] = &fastEntry{impl: e.impl, exported: e.desc.Exported, live: e}
+		} else if _, known := byFunc[e.desc.Function]; !known {
+			byFunc[e.desc.Function] = nil
+		}
+	}
+	d.lookup.Store(&lookupTable{byFunc: byFunc})
+}
+
+// Add inserts a new entry bound to impl. The entry starts in the state
+// carried by desc; enabling a function that already has an enabled
+// implementation fails.
+func (d *DFM) Add(desc EntryDesc, impl registry.Func) error {
+	if desc.Function == "" || desc.Component == "" {
+		return fmt.Errorf("%w: empty function or component", ErrUnknownEntry)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	key := desc.Key()
+	if _, exists := d.entries[key]; exists {
+		return fmt.Errorf("%w: %s", ErrDuplicateEntry, key)
+	}
+	if desc.Enabled {
+		if cur := d.enabledImplLocked(desc.Function); cur != nil {
+			return fmt.Errorf("%w: %q already enabled in %q", ErrAlreadyEnabled, desc.Function, cur.desc.Component)
+		}
+	}
+	d.entries[key] = &liveEntry{desc: desc, impl: impl}
+	d.rebuildLocked()
+	return nil
+}
+
+func (d *DFM) enabledImplLocked(function string) *liveEntry {
+	for _, e := range d.entries {
+		if e.desc.Function == function && e.desc.Enabled {
+			return e
+		}
+	}
+	return nil
+}
+
+// Enable makes the keyed implementation the one that services calls to its
+// function.
+func (d *DFM) Enable(key EntryKey) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	e, ok := d.entries[key]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownEntry, key)
+	}
+	if e.desc.Enabled {
+		return nil
+	}
+	if cur := d.enabledImplLocked(key.Function); cur != nil {
+		return fmt.Errorf("%w: %q already enabled in %q", ErrAlreadyEnabled, key.Function, cur.desc.Component)
+	}
+	e.desc.Enabled = true
+	d.rebuildLocked()
+	return nil
+}
+
+// Disable stops the keyed implementation from servicing calls. Unless force
+// is set, disabling a permanent implementation or one that a satisfied
+// dependency relies on is refused. Threads already executing inside the
+// function proceed (§3.2: "there is no reason why a thread cannot proceed
+// inside a deactivated function").
+func (d *DFM) Disable(key EntryKey, force bool) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	e, ok := d.entries[key]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownEntry, key)
+	}
+	if !e.desc.Enabled {
+		return nil
+	}
+	if !force {
+		if e.desc.Permanent {
+			return fmt.Errorf("%w: %s", ErrPermanent, key)
+		}
+		if dep, violated := d.wouldViolateLocked(key); violated {
+			return fmt.Errorf("%w: %s requires %s", ErrDependency, dep, key)
+		}
+	}
+	e.desc.Enabled = false
+	d.rebuildLocked()
+	return nil
+}
+
+// wouldViolateLocked reports whether disabling key breaks a dependency whose
+// premise remains triggered.
+func (d *DFM) wouldViolateLocked(key EntryKey) (Dependency, bool) {
+	for _, dep := range d.deps {
+		// Would the conclusion still hold without this entry?
+		if !dep.SatisfiedBy(key.Function, key.Component) {
+			continue
+		}
+		stillSatisfied := false
+		for k, e := range d.entries {
+			if k != key && e.desc.Enabled && dep.SatisfiedBy(k.Function, k.Component) {
+				stillSatisfied = true
+				break
+			}
+		}
+		if stillSatisfied {
+			continue
+		}
+		// Conclusion would break; is the premise triggered by an enabled
+		// entry other than the one being disabled?
+		for k, e := range d.entries {
+			if k != key && e.desc.Enabled && dep.AppliesTo(k.Function, k.Component) {
+				return dep, true
+			}
+		}
+	}
+	return Dependency{}, false
+}
+
+// Remove deletes a disabled entry from the table.
+func (d *DFM) Remove(key EntryKey) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	e, ok := d.entries[key]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownEntry, key)
+	}
+	if e.desc.Enabled {
+		return fmt.Errorf("%w: %s", ErrEntryEnabled, key)
+	}
+	delete(d.entries, key)
+	d.rebuildLocked()
+	return nil
+}
+
+// RemoveComponent deletes every entry belonging to the component. Entries
+// must all be disabled first.
+func (d *DFM) RemoveComponent(component string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for key, e := range d.entries {
+		if key.Component == component && e.desc.Enabled {
+			return fmt.Errorf("%w: %s", ErrEntryEnabled, key)
+		}
+	}
+	for key := range d.entries {
+		if key.Component == component {
+			delete(d.entries, key)
+		}
+	}
+	d.rebuildLocked()
+	return nil
+}
+
+// SetFlags updates an entry's exported/mandatory/permanent flags (enabled
+// state is changed only through Enable/Disable).
+func (d *DFM) SetFlags(key EntryKey, exported, mandatory, permanent bool) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	e, ok := d.entries[key]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownEntry, key)
+	}
+	e.desc.Exported = exported
+	e.desc.Mandatory = mandatory
+	e.desc.Permanent = permanent
+	d.rebuildLocked()
+	return nil
+}
+
+// SetDeps replaces the dependency set wholesale (used when applying a
+// validated descriptor).
+func (d *DFM) SetDeps(deps []Dependency) {
+	copied := make([]Dependency, len(deps))
+	copy(copied, deps)
+	d.mu.Lock()
+	d.deps = copied
+	d.mu.Unlock()
+}
+
+// AddDep validates and installs one dependency. Installation fails if the
+// dependency is immediately violated by the current enabled set.
+func (d *DFM) AddDep(dep Dependency) error {
+	if err := dep.Validate(); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	triggered, satisfied := false, false
+	for k, e := range d.entries {
+		if !e.desc.Enabled {
+			continue
+		}
+		if dep.AppliesTo(k.Function, k.Component) {
+			triggered = true
+		}
+		if dep.SatisfiedBy(k.Function, k.Component) {
+			satisfied = true
+		}
+	}
+	if triggered && !satisfied {
+		return fmt.Errorf("%w: %s is violated by the current configuration", ErrDependency, dep)
+	}
+	d.deps = append(d.deps, dep)
+	return nil
+}
+
+// Deps returns a copy of the installed dependencies.
+func (d *DFM) Deps() []Dependency {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]Dependency, len(d.deps))
+	copy(out, d.deps)
+	return out
+}
+
+// BeginCall resolves function to its enabled implementation, increments the
+// implementation's active-thread counter, and returns the implementation
+// together with a release function the caller must invoke when the call
+// completes. This is the whole invocation fast path: one atomic pointer
+// load, one map lookup, two atomic adds.
+func (d *DFM) BeginCall(function string) (registry.Func, func(), error) {
+	fe, err := d.resolve(function)
+	if err != nil {
+		return nil, nil, err
+	}
+	live := fe.live
+	live.active.Add(1)
+	live.calls.Add(1)
+	return fe.impl, func() { live.active.Add(-1) }, nil
+}
+
+// BeginExportedCall is BeginCall restricted to exported functions — the
+// entry point for invocations arriving from other objects. Internal
+// functions fail with ErrNotExported.
+func (d *DFM) BeginExportedCall(function string) (registry.Func, func(), error) {
+	fe, err := d.resolve(function)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !fe.exported {
+		return nil, nil, fmt.Errorf("%w: %q", ErrNotExported, function)
+	}
+	live := fe.live
+	live.active.Add(1)
+	live.calls.Add(1)
+	return fe.impl, func() { live.active.Add(-1) }, nil
+}
+
+func (d *DFM) resolve(function string) (*fastEntry, error) {
+	table := d.lookup.Load()
+	fe, known := table.byFunc[function]
+	if !known {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownFunction, function)
+	}
+	if fe == nil {
+		return nil, fmt.Errorf("%w: %q", ErrDisabledFunction, function)
+	}
+	return fe, nil
+}
+
+// DropDepsMentioning removes every dependency that names the component in
+// either role. Dependencies "evolve along with the implementation" (§3.2):
+// when a component leaves the object, constraints tied to it are retracted.
+func (d *DFM) DropDepsMentioning(component string) {
+	d.mu.Lock()
+	kept := d.deps[:0]
+	for _, dep := range d.deps {
+		if dep.FromComp == component || dep.ToComp == component {
+			continue
+		}
+		kept = append(kept, dep)
+	}
+	d.deps = kept
+	d.mu.Unlock()
+}
+
+// Peek resolves function to its enabled implementation without touching the
+// active-thread or call counters. It exists for status probes and for the
+// ablation benchmark isolating the counters' cost; the invocation path must
+// use BeginCall so thread activity monitoring stays accurate.
+func (d *DFM) Peek(function string) (registry.Func, error) {
+	fe, err := d.resolve(function)
+	if err != nil {
+		return nil, err
+	}
+	return fe.impl, nil
+}
+
+// LookupMutex is the ablation variant of the BeginCall resolution step: it
+// takes the mutation mutex on every call instead of reading the immutable
+// snapshot. Only benchmarks use it.
+func (d *DFM) LookupMutex(function string) (registry.Func, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	known := false
+	for _, e := range d.entries {
+		if e.desc.Function != function {
+			continue
+		}
+		known = true
+		if e.desc.Enabled {
+			return e.impl, nil
+		}
+	}
+	if !known {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownFunction, function)
+	}
+	return nil, fmt.Errorf("%w: %q", ErrDisabledFunction, function)
+}
+
+// Entry returns a copy of the keyed entry's descriptor state.
+func (d *DFM) Entry(key EntryKey) (EntryDesc, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	e, ok := d.entries[key]
+	if !ok {
+		return EntryDesc{}, false
+	}
+	return e.desc, true
+}
+
+// Entries returns the table's entries sorted by key.
+func (d *DFM) Entries() []EntryDesc {
+	d.mu.Lock()
+	out := make([]EntryDesc, 0, len(d.entries))
+	for _, e := range d.entries {
+		out = append(out, e.desc)
+	}
+	d.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Function != out[j].Function {
+			return out[i].Function < out[j].Function
+		}
+		return out[i].Component < out[j].Component
+	})
+	return out
+}
+
+// ActiveThreads reports the keyed implementation's active-thread count.
+func (d *DFM) ActiveThreads(key EntryKey) int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if e, ok := d.entries[key]; ok {
+		return e.active.Load()
+	}
+	return 0
+}
+
+// ComponentActive reports the number of threads executing inside any
+// function of the component — the check a DCDO runs before removing a
+// component (§3.2, thread activity monitoring).
+func (d *DFM) ComponentActive(component string) int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var total int64
+	for key, e := range d.entries {
+		if key.Component == component {
+			total += e.active.Load()
+		}
+	}
+	return total
+}
+
+// Calls reports how many invocations the keyed implementation has serviced.
+func (d *DFM) Calls(key EntryKey) uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if e, ok := d.entries[key]; ok {
+		return e.calls.Load()
+	}
+	return 0
+}
+
+// DependentsActive reports the number of threads executing inside enabled
+// functions that depend (directly) on the keyed implementation — used to
+// postpone disables until dependent callers drain (§3.2).
+func (d *DFM) DependentsActive(key EntryKey) int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var total int64
+	for _, dep := range d.deps {
+		if !dep.SatisfiedBy(key.Function, key.Component) {
+			continue
+		}
+		for k, e := range d.entries {
+			if e.desc.Enabled && dep.AppliesTo(k.Function, k.Component) {
+				total += e.active.Load()
+			}
+		}
+	}
+	return total
+}

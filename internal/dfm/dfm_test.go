@@ -1,0 +1,533 @@
+package dfm
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"godcdo/internal/registry"
+)
+
+func constFunc(result string) registry.Func {
+	return func(registry.Caller, []byte) ([]byte, error) {
+		return []byte(result), nil
+	}
+}
+
+func key(f, c string) EntryKey { return EntryKey{Function: f, Component: c} }
+
+// buildDFM creates a DFM with sort@c1 (exported, enabled), compare@c1
+// (enabled) and compare@c2 (disabled).
+func buildDFM(t *testing.T) *DFM {
+	t.Helper()
+	d := New()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(d.Add(EntryDesc{Function: "sort", Component: "c1", Exported: true, Enabled: true}, constFunc("sorted")))
+	must(d.Add(EntryDesc{Function: "compare", Component: "c1", Enabled: true}, constFunc("asc")))
+	must(d.Add(EntryDesc{Function: "compare", Component: "c2"}, constFunc("desc")))
+	return d
+}
+
+func TestBeginCallDispatchesEnabledImpl(t *testing.T) {
+	d := buildDFM(t)
+	impl, release, err := d.BeginCall("compare")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	out, err := impl(nil, nil)
+	if err != nil || string(out) != "asc" {
+		t.Fatalf("impl = %q, %v", out, err)
+	}
+}
+
+func TestBeginCallUnknownVsDisabled(t *testing.T) {
+	d := buildDFM(t)
+	if _, _, err := d.BeginCall("missing"); !errors.Is(err, ErrUnknownFunction) {
+		t.Fatalf("unknown err = %v", err)
+	}
+	// Disable both compare implementations: function known but disabled.
+	if err := d.Disable(key("compare", "c1"), false); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := d.BeginCall("compare"); !errors.Is(err, ErrDisabledFunction) {
+		t.Fatalf("disabled err = %v", err)
+	}
+}
+
+func TestActiveThreadAccounting(t *testing.T) {
+	d := buildDFM(t)
+	k := key("sort", "c1")
+	_, release1, err := d.BeginCall("sort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, release2, err := d.BeginCall("sort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.ActiveThreads(k); got != 2 {
+		t.Fatalf("active = %d, want 2", got)
+	}
+	if got := d.ComponentActive("c1"); got != 2 {
+		t.Fatalf("component active = %d, want 2", got)
+	}
+	release1()
+	release2()
+	if got := d.ActiveThreads(k); got != 0 {
+		t.Fatalf("active after release = %d, want 0", got)
+	}
+	if got := d.Calls(k); got != 2 {
+		t.Fatalf("calls = %d, want 2", got)
+	}
+	if d.ActiveThreads(key("ghost", "c9")) != 0 || d.Calls(key("ghost", "c9")) != 0 {
+		t.Fatal("unknown entries should report zero counters")
+	}
+}
+
+func TestActiveThreadsNeverNegativeConcurrent(t *testing.T) {
+	d := buildDFM(t)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				_, release, err := d.BeginCall("sort")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if d.ActiveThreads(key("sort", "c1")) < 1 {
+					t.Error("active count below 1 while a call is in flight")
+					release()
+					return
+				}
+				release()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := d.ActiveThreads(key("sort", "c1")); got != 0 {
+		t.Fatalf("final active = %d, want 0", got)
+	}
+}
+
+func TestAddDuplicateRejected(t *testing.T) {
+	d := buildDFM(t)
+	err := d.Add(EntryDesc{Function: "sort", Component: "c1"}, constFunc("x"))
+	if !errors.Is(err, ErrDuplicateEntry) {
+		t.Fatalf("err = %v, want ErrDuplicateEntry", err)
+	}
+}
+
+func TestAddEnabledConflictRejected(t *testing.T) {
+	d := buildDFM(t)
+	err := d.Add(EntryDesc{Function: "compare", Component: "c3", Enabled: true}, constFunc("x"))
+	if !errors.Is(err, ErrAlreadyEnabled) {
+		t.Fatalf("err = %v, want ErrAlreadyEnabled", err)
+	}
+}
+
+func TestAddEmptyKeyRejected(t *testing.T) {
+	d := New()
+	if err := d.Add(EntryDesc{Function: "", Component: "c"}, nil); err == nil {
+		t.Fatal("empty function accepted")
+	}
+	if err := d.Add(EntryDesc{Function: "f", Component: ""}, nil); err == nil {
+		t.Fatal("empty component accepted")
+	}
+}
+
+func TestImplementationSwap(t *testing.T) {
+	d := buildDFM(t)
+	// The paper's compare() example: swap the ascending implementation for
+	// the descending one.
+	if err := d.Disable(key("compare", "c1"), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Enable(key("compare", "c2")); err != nil {
+		t.Fatal(err)
+	}
+	impl, release, err := d.BeginCall("compare")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	out, _ := impl(nil, nil)
+	if string(out) != "desc" {
+		t.Fatalf("after swap impl = %q, want desc", out)
+	}
+}
+
+func TestEnableConflictAndIdempotence(t *testing.T) {
+	d := buildDFM(t)
+	if err := d.Enable(key("compare", "c2")); !errors.Is(err, ErrAlreadyEnabled) {
+		t.Fatalf("err = %v, want ErrAlreadyEnabled", err)
+	}
+	if err := d.Enable(key("compare", "c1")); err != nil {
+		t.Fatalf("re-enable of enabled entry should be a no-op: %v", err)
+	}
+	if err := d.Enable(key("ghost", "c1")); !errors.Is(err, ErrUnknownEntry) {
+		t.Fatalf("err = %v, want ErrUnknownEntry", err)
+	}
+	if err := d.Disable(key("ghost", "c1"), false); !errors.Is(err, ErrUnknownEntry) {
+		t.Fatalf("err = %v, want ErrUnknownEntry", err)
+	}
+	if err := d.Disable(key("compare", "c2"), false); err != nil {
+		t.Fatalf("disable of disabled entry should be a no-op: %v", err)
+	}
+}
+
+func TestDisablePermanentRefused(t *testing.T) {
+	d := buildDFM(t)
+	if err := d.SetFlags(key("sort", "c1"), true, true, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Disable(key("sort", "c1"), false); !errors.Is(err, ErrPermanent) {
+		t.Fatalf("err = %v, want ErrPermanent", err)
+	}
+	// Force bypasses (used only when applying a validated descriptor).
+	if err := d.Disable(key("sort", "c1"), true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDisableDependedOnRefused(t *testing.T) {
+	d := buildDFM(t)
+	if err := d.AddDep(Dependency{Kind: DepA, FromFunc: "sort", FromComp: "c1", ToFunc: "compare"}); err != nil {
+		t.Fatal(err)
+	}
+	// compare@c1 is the only enabled compare; sort@c1 is enabled and
+	// depends on it.
+	if err := d.Disable(key("compare", "c1"), false); !errors.Is(err, ErrDependency) {
+		t.Fatalf("err = %v, want ErrDependency", err)
+	}
+	// Disabling the dependent first releases the constraint.
+	if err := d.Disable(key("sort", "c1"), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Disable(key("compare", "c1"), false); err != nil {
+		t.Fatalf("disable after dependent gone: %v", err)
+	}
+}
+
+func TestDisableWithAlternativeImplAllowedForTypeA(t *testing.T) {
+	d := buildDFM(t)
+	if err := d.AddDep(Dependency{Kind: DepA, FromFunc: "sort", FromComp: "c1", ToFunc: "compare"}); err != nil {
+		t.Fatal(err)
+	}
+	// Swap enabled compare impl from c1 to c2 in the order enable-then-
+	// disable is impossible (single-enabled invariant), so disable must
+	// consider... c1 is the only enabled impl, so it is refused.
+	if err := d.Disable(key("compare", "c1"), false); !errors.Is(err, ErrDependency) {
+		t.Fatalf("err = %v, want ErrDependency", err)
+	}
+	// Force-swap to c2: type A is satisfied by any implementation, so once
+	// c2 is enabled the dependency holds again.
+	if err := d.Disable(key("compare", "c1"), true); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Enable(key("compare", "c2")); err != nil {
+		t.Fatal(err)
+	}
+	if v := descriptorFromDFM(d).DependencyViolations(); len(v) != 0 {
+		t.Fatalf("violations after swap = %v", v)
+	}
+}
+
+// descriptorFromDFM builds a minimal Descriptor view for validation tests.
+func descriptorFromDFM(d *DFM) *Descriptor {
+	desc := NewDescriptor()
+	desc.Entries = d.Entries()
+	desc.Deps = d.Deps()
+	for _, e := range desc.Entries {
+		desc.Components[e.Component] = ComponentRef{}
+	}
+	return desc
+}
+
+func TestAddDepImmediateViolationRefused(t *testing.T) {
+	d := buildDFM(t)
+	// sort is enabled, but nothing implements "hash": installing the
+	// dependency would be violated immediately.
+	err := d.AddDep(Dependency{Kind: DepD, FromFunc: "sort", ToFunc: "hash"})
+	if !errors.Is(err, ErrDependency) {
+		t.Fatalf("err = %v, want ErrDependency", err)
+	}
+	// Malformed dependencies are rejected before installation.
+	if err := d.AddDep(Dependency{Kind: DepA, FromFunc: "sort", ToFunc: "x"}); !errors.Is(err, ErrBadDependency) {
+		t.Fatalf("err = %v, want ErrBadDependency", err)
+	}
+	// A dependency whose premise is untriggered installs fine.
+	if err := d.AddDep(Dependency{Kind: DepD, FromFunc: "nonexistent", ToFunc: "alsoMissing"}); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Deps()) != 1 {
+		t.Fatalf("deps = %v", d.Deps())
+	}
+}
+
+func TestRemoveRequiresDisabled(t *testing.T) {
+	d := buildDFM(t)
+	if err := d.Remove(key("sort", "c1")); !errors.Is(err, ErrEntryEnabled) {
+		t.Fatalf("err = %v, want ErrEntryEnabled", err)
+	}
+	if err := d.Disable(key("sort", "c1"), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Remove(key("sort", "c1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := d.BeginCall("sort"); !errors.Is(err, ErrUnknownFunction) {
+		t.Fatalf("after removal err = %v, want ErrUnknownFunction", err)
+	}
+	if err := d.Remove(key("sort", "c1")); !errors.Is(err, ErrUnknownEntry) {
+		t.Fatalf("double remove err = %v", err)
+	}
+}
+
+func TestRemoveComponent(t *testing.T) {
+	d := buildDFM(t)
+	if err := d.RemoveComponent("c1"); !errors.Is(err, ErrEntryEnabled) {
+		t.Fatalf("err = %v, want ErrEntryEnabled (c1 has enabled entries)", err)
+	}
+	if err := d.RemoveComponent("c2"); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Entries()) != 2 {
+		t.Fatalf("entries = %v", d.Entries())
+	}
+	// Removing a component with no entries is a no-op.
+	if err := d.RemoveComponent("ghost"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDisabledFunctionCallProceedsForInflightThreads(t *testing.T) {
+	d := buildDFM(t)
+	impl, release, err := d.BeginCall("compare")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Disable while "the thread is blocked on an outcall".
+	if err := d.Disable(key("compare", "c1"), false); err != nil {
+		t.Fatal(err)
+	}
+	// The in-flight thread still runs the old implementation fine.
+	out, err := impl(nil, nil)
+	if err != nil || string(out) != "asc" {
+		t.Fatalf("in-flight call = %q, %v", out, err)
+	}
+	release()
+	// New calls are refused.
+	if _, _, err := d.BeginCall("compare"); !errors.Is(err, ErrDisabledFunction) {
+		t.Fatalf("new call err = %v", err)
+	}
+}
+
+func TestDependentsActive(t *testing.T) {
+	d := buildDFM(t)
+	if err := d.AddDep(Dependency{Kind: DepA, FromFunc: "sort", FromComp: "c1", ToFunc: "compare"}); err != nil {
+		t.Fatal(err)
+	}
+	_, release, err := d.BeginCall("sort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.DependentsActive(key("compare", "c1")); got != 1 {
+		t.Fatalf("DependentsActive = %d, want 1", got)
+	}
+	release()
+	if got := d.DependentsActive(key("compare", "c1")); got != 0 {
+		t.Fatalf("DependentsActive after release = %d, want 0", got)
+	}
+}
+
+func TestEntriesSnapshotSorted(t *testing.T) {
+	d := buildDFM(t)
+	entries := d.Entries()
+	if len(entries) != 3 {
+		t.Fatalf("entries = %v", entries)
+	}
+	if entries[0].Function != "compare" || entries[0].Component != "c1" ||
+		entries[1].Component != "c2" || entries[2].Function != "sort" {
+		t.Fatalf("entries not sorted: %v", entries)
+	}
+	e, ok := d.Entry(key("sort", "c1"))
+	if !ok || !e.Exported {
+		t.Fatalf("Entry = %+v, %v", e, ok)
+	}
+	if _, ok := d.Entry(key("x", "y")); ok {
+		t.Fatal("found nonexistent entry")
+	}
+}
+
+func TestPeekResolvesWithoutCounting(t *testing.T) {
+	d := buildDFM(t)
+	impl, err := d.Peek("sort")
+	if err != nil || impl == nil {
+		t.Fatalf("Peek = %v, %v", impl, err)
+	}
+	// Peek must not perturb the counters thread-activity policies rely on.
+	if got := d.ActiveThreads(key("sort", "c1")); got != 0 {
+		t.Fatalf("active after Peek = %d", got)
+	}
+	if got := d.Calls(key("sort", "c1")); got != 0 {
+		t.Fatalf("calls after Peek = %d", got)
+	}
+	if _, err := d.Peek("ghost"); !errors.Is(err, ErrUnknownFunction) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLookupMutexMatchesFastPath(t *testing.T) {
+	d := buildDFM(t)
+	implFast, release, err := d.BeginCall("compare")
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
+	implSlow, err := d.LookupMutex("compare")
+	if err != nil {
+		t.Fatal(err)
+	}
+	outFast, _ := implFast(nil, nil)
+	outSlow, _ := implSlow(nil, nil)
+	if string(outFast) != string(outSlow) {
+		t.Fatalf("fast %q != slow %q", outFast, outSlow)
+	}
+	if _, err := d.LookupMutex("missing"); !errors.Is(err, ErrUnknownFunction) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := d.Disable(key("compare", "c1"), false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.LookupMutex("compare"); !errors.Is(err, ErrDisabledFunction) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestConcurrentCallsDuringReconfiguration(t *testing.T) {
+	d := buildDFM(t)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	// Callers hammer the DFM while a configurator swaps compare back and
+	// forth. Calls may fail with ErrDisabledFunction mid-swap (the paper
+	// says callers must handle that) but must never crash or return the
+	// wrong error.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				impl, release, err := d.BeginCall("compare")
+				if err != nil {
+					if !errors.Is(err, ErrDisabledFunction) {
+						t.Errorf("unexpected err: %v", err)
+						return
+					}
+					continue
+				}
+				if _, err := impl(nil, nil); err != nil {
+					t.Error(err)
+				}
+				release()
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		if err := d.Disable(key("compare", "c1"), false); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Enable(key("compare", "c2")); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Disable(key("compare", "c2"), false); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Enable(key("compare", "c1")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestSetFlagsUnknownEntry(t *testing.T) {
+	d := New()
+	if err := d.SetFlags(key("f", "c"), true, false, false); !errors.Is(err, ErrUnknownEntry) {
+		t.Fatalf("err = %v, want ErrUnknownEntry", err)
+	}
+}
+
+func TestBeginExportedCall(t *testing.T) {
+	d := buildDFM(t)
+	// sort is exported: external call succeeds.
+	_, release, err := d.BeginExportedCall("sort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
+	// compare is internal: external call refused, internal call fine.
+	if _, _, err := d.BeginExportedCall("compare"); !errors.Is(err, ErrNotExported) {
+		t.Fatalf("err = %v, want ErrNotExported", err)
+	}
+	if _, release, err := d.BeginCall("compare"); err != nil {
+		t.Fatal(err)
+	} else {
+		release()
+	}
+	if _, _, err := d.BeginExportedCall("ghost"); !errors.Is(err, ErrUnknownFunction) {
+		t.Fatalf("err = %v, want ErrUnknownFunction", err)
+	}
+}
+
+func TestExportFlagChangeVisibleToFastPath(t *testing.T) {
+	d := buildDFM(t)
+	if err := d.SetFlags(key("sort", "c1"), false, false, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := d.BeginExportedCall("sort"); !errors.Is(err, ErrNotExported) {
+		t.Fatalf("err = %v, want ErrNotExported after unexport", err)
+	}
+}
+
+func TestDropDepsMentioning(t *testing.T) {
+	d := buildDFM(t)
+	d.SetDeps([]Dependency{
+		{Kind: DepA, FromFunc: "sort", FromComp: "c1", ToFunc: "compare"},
+		{Kind: DepB, FromFunc: "sort", FromComp: "c1", ToFunc: "compare", ToComp: "c2"},
+		{Kind: DepD, FromFunc: "sort", ToFunc: "compare"},
+	})
+	d.DropDepsMentioning("c2")
+	deps := d.Deps()
+	if len(deps) != 2 {
+		t.Fatalf("deps = %v, want 2 (only the ToComp=c2 dep dropped)", deps)
+	}
+	d.DropDepsMentioning("c1")
+	deps = d.Deps()
+	if len(deps) != 1 || deps[0].Kind != DepD {
+		t.Fatalf("deps = %v, want only type D", deps)
+	}
+}
+
+func TestSetDepsCopies(t *testing.T) {
+	d := New()
+	deps := []Dependency{{Kind: DepD, FromFunc: "a", ToFunc: "b"}}
+	d.SetDeps(deps)
+	deps[0].FromFunc = "mutated"
+	if d.Deps()[0].FromFunc != "a" {
+		t.Fatal("SetDeps aliases caller slice")
+	}
+}

@@ -1,0 +1,118 @@
+package dfm
+
+import "sort"
+
+// Plan describes the operations needed to evolve a DCDO from one descriptor
+// to another. Managers compute plans when driving evolution; the costs the
+// paper reports for DCDO evolution (sub-second without new components,
+// download-dominated otherwise) are determined by the plan's shape.
+type Plan struct {
+	// AddComponents are component IDs present only in the target; the DCDO
+	// must fetch and incorporate them.
+	AddComponents []string
+	// RemoveComponents are component IDs present only in the current
+	// descriptor; the DCDO removes them (after thread-activity checks).
+	RemoveComponents []string
+	// ReplaceComponents are component IDs present in both whose revision,
+	// code reference, or entry set changed; the DCDO removes the old
+	// incarnation and incorporates the new one.
+	ReplaceComponents []string
+	// Retune carries the target entry state (enabled/exported/mandatory/
+	// permanent) for every entry of a kept component.
+	Retune []EntryDesc
+	// Deps is the target dependency set, applied wholesale.
+	Deps []Dependency
+}
+
+// Empty reports whether the plan performs no component changes and no
+// entry retuning (dependency replacement alone is considered empty).
+func (p Plan) Empty() bool {
+	return len(p.AddComponents) == 0 && len(p.RemoveComponents) == 0 &&
+		len(p.ReplaceComponents) == 0 && len(p.Retune) == 0
+}
+
+// NeedsComponents reports whether the plan incorporates any component, the
+// condition under which the paper's evolution cost jumps from sub-second to
+// download-dominated.
+func (p Plan) NeedsComponents() bool {
+	return len(p.AddComponents) > 0 || len(p.ReplaceComponents) > 0
+}
+
+// Diff computes the plan that evolves current into target. Both descriptors
+// are assumed individually valid.
+func Diff(current, target *Descriptor) Plan {
+	var plan Plan
+
+	entriesByComp := func(d *Descriptor) map[string][]EntryDesc {
+		m := make(map[string][]EntryDesc)
+		for _, e := range d.Entries {
+			m[e.Component] = append(m[e.Component], e)
+		}
+		return m
+	}
+	curEntries := entriesByComp(current)
+	tgtEntries := entriesByComp(target)
+
+	for id := range target.Components {
+		if _, ok := current.Components[id]; !ok {
+			plan.AddComponents = append(plan.AddComponents, id)
+		}
+	}
+	for id := range current.Components {
+		if _, ok := target.Components[id]; !ok {
+			plan.RemoveComponents = append(plan.RemoveComponents, id)
+		}
+	}
+
+	for id, curRef := range current.Components {
+		tgtRef, ok := target.Components[id]
+		if !ok {
+			continue
+		}
+		if curRef.Revision != tgtRef.Revision || curRef.CodeRef != tgtRef.CodeRef ||
+			!sameEntryKeys(curEntries[id], tgtEntries[id]) {
+			plan.ReplaceComponents = append(plan.ReplaceComponents, id)
+			continue
+		}
+		// Kept component: retune every entry whose state differs.
+		curByKey := make(map[EntryKey]EntryDesc, len(curEntries[id]))
+		for _, e := range curEntries[id] {
+			curByKey[e.Key()] = e
+		}
+		for _, te := range tgtEntries[id] {
+			if curByKey[te.Key()] != te {
+				plan.Retune = append(plan.Retune, te)
+			}
+		}
+	}
+
+	sort.Strings(plan.AddComponents)
+	sort.Strings(plan.RemoveComponents)
+	sort.Strings(plan.ReplaceComponents)
+	sort.Slice(plan.Retune, func(i, j int) bool {
+		ki, kj := plan.Retune[i].Key(), plan.Retune[j].Key()
+		if ki.Function != kj.Function {
+			return ki.Function < kj.Function
+		}
+		return ki.Component < kj.Component
+	})
+	plan.Deps = make([]Dependency, len(target.Deps))
+	copy(plan.Deps, target.Deps)
+	return plan
+}
+
+func sameEntryKeys(a, b []EntryDesc) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	keys := make(map[EntryKey]bool, len(a))
+	for _, e := range a {
+		keys[e.Key()] = true
+	}
+	for _, e := range b {
+		if !keys[e.Key()] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,36 @@
+package dfm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// DecodeDescriptor feeds on bytes from the network (managers ship
+// descriptors to DCDOs); arbitrary input must produce an error, never a
+// panic or runaway allocation.
+func TestDecodeDescriptorNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _ = DecodeDescriptor(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Mutating single bytes of a valid encoding must also decode cleanly or
+// fail cleanly — a stronger corpus than pure random bytes because more of
+// the decoder executes.
+func TestDecodeDescriptorBitflips(t *testing.T) {
+	valid := twoCompDescriptor()
+	valid.Deps = []Dependency{{Kind: DepA, FromFunc: "sort", FromComp: "c1", ToFunc: "compare"}}
+	image := valid.Encode()
+	for i := range image {
+		for _, flip := range []byte{0x01, 0x80, 0xff} {
+			mutated := make([]byte, len(image))
+			copy(mutated, image)
+			mutated[i] ^= flip
+			_, _ = DecodeDescriptor(mutated) // must not panic
+		}
+	}
+}

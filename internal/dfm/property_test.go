@@ -1,0 +1,211 @@
+package dfm
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"godcdo/internal/registry"
+)
+
+// Model-based property test: a random sequence of DFM operations is applied
+// both to the real DFM and to a trivially-correct in-memory oracle. After
+// every step the two must agree, and the single-enabled-per-function
+// invariant must hold. Operations that the oracle predicts must fail must
+// fail on the DFM too (and vice versa), so legality is part of the model.
+
+type oracleEntry struct {
+	exported, enabled, mandatory, permanent bool
+}
+
+type oracle struct {
+	entries map[EntryKey]*oracleEntry
+}
+
+func newOracle() *oracle {
+	return &oracle{entries: make(map[EntryKey]*oracleEntry)}
+}
+
+func (o *oracle) enabledImpl(function string) (EntryKey, bool) {
+	for k, e := range o.entries {
+		if k.Function == function && e.enabled {
+			return k, true
+		}
+	}
+	return EntryKey{}, false
+}
+
+// add mirrors DFM.Add; returns whether it should succeed.
+func (o *oracle) add(desc EntryDesc) bool {
+	key := desc.Key()
+	if _, exists := o.entries[key]; exists {
+		return false
+	}
+	if desc.Enabled {
+		if _, taken := o.enabledImpl(desc.Function); taken {
+			return false
+		}
+	}
+	o.entries[key] = &oracleEntry{
+		exported: desc.Exported, enabled: desc.Enabled,
+		mandatory: desc.Mandatory, permanent: desc.Permanent,
+	}
+	return true
+}
+
+func (o *oracle) enable(key EntryKey) bool {
+	e, ok := o.entries[key]
+	if !ok {
+		return false
+	}
+	if e.enabled {
+		return true
+	}
+	if _, taken := o.enabledImpl(key.Function); taken {
+		return false
+	}
+	e.enabled = true
+	return true
+}
+
+func (o *oracle) disable(key EntryKey) bool {
+	e, ok := o.entries[key]
+	if !ok {
+		return false
+	}
+	if e.permanent && e.enabled {
+		return false
+	}
+	e.enabled = false
+	return true
+}
+
+func (o *oracle) remove(key EntryKey) bool {
+	e, ok := o.entries[key]
+	if !ok || e.enabled {
+		return false
+	}
+	delete(o.entries, key)
+	return true
+}
+
+func TestPropertyDFMAgainstOracle(t *testing.T) {
+	const (
+		functions  = 5
+		components = 4
+		steps      = 4000
+	)
+	rng := rand.New(rand.NewSource(1))
+	d := New()
+	o := newOracle()
+	nop := registry.Func(func(registry.Caller, []byte) ([]byte, error) { return nil, nil })
+
+	randomKey := func() EntryKey {
+		return EntryKey{
+			Function:  fmt.Sprintf("f%d", rng.Intn(functions)),
+			Component: fmt.Sprintf("c%d", rng.Intn(components)),
+		}
+	}
+
+	for step := 0; step < steps; step++ {
+		key := randomKey()
+		switch rng.Intn(5) {
+		case 0: // add
+			desc := EntryDesc{
+				Function: key.Function, Component: key.Component,
+				Exported: rng.Intn(2) == 0,
+				Enabled:  rng.Intn(2) == 0,
+			}
+			if rng.Intn(8) == 0 {
+				desc.Mandatory = true
+				if rng.Intn(2) == 0 {
+					// Permanent requires mandatory; also at most one
+					// permanent per function — emulate the descriptor rule
+					// loosely by only marking permanently when no other
+					// permanent exists in the oracle.
+					hasPermanent := false
+					for k, e := range o.entries {
+						if k.Function == key.Function && e.permanent {
+							hasPermanent = true
+						}
+					}
+					if !hasPermanent {
+						desc.Permanent = true
+					}
+				}
+			}
+			wantOK := o.add(desc)
+			err := d.Add(desc, nop)
+			if (err == nil) != wantOK {
+				t.Fatalf("step %d: Add(%+v) err=%v, oracle wantOK=%v", step, desc, err, wantOK)
+			}
+		case 1: // enable
+			wantOK := o.enable(key)
+			err := d.Enable(key)
+			if (err == nil) != wantOK {
+				t.Fatalf("step %d: Enable(%s) err=%v, oracle wantOK=%v", step, key, err, wantOK)
+			}
+		case 2: // disable
+			wantOK := o.disable(key)
+			err := d.Disable(key, false)
+			if (err == nil) != wantOK {
+				t.Fatalf("step %d: Disable(%s) err=%v, oracle wantOK=%v", step, key, err, wantOK)
+			}
+		case 3: // remove
+			wantOK := o.remove(key)
+			err := d.Remove(key)
+			if (err == nil) != wantOK {
+				t.Fatalf("step %d: Remove(%s) err=%v, oracle wantOK=%v", step, key, err, wantOK)
+			}
+		case 4: // resolve and compare with oracle
+			wantKey, wantEnabled := o.enabledImpl(key.Function)
+			impl, release, err := d.BeginCall(key.Function)
+			switch {
+			case wantEnabled:
+				if err != nil {
+					t.Fatalf("step %d: BeginCall(%s) = %v, oracle has %s enabled",
+						step, key.Function, err, wantKey)
+				}
+				if impl == nil {
+					t.Fatalf("step %d: nil impl", step)
+				}
+				release()
+			default:
+				if err == nil {
+					release()
+					t.Fatalf("step %d: BeginCall(%s) succeeded, oracle has no enabled impl",
+						step, key.Function)
+				}
+				if !errors.Is(err, ErrUnknownFunction) && !errors.Is(err, ErrDisabledFunction) {
+					t.Fatalf("step %d: unexpected error class %v", step, err)
+				}
+			}
+		}
+
+		// Global invariants after every step.
+		entries := d.Entries()
+		if len(entries) != len(o.entries) {
+			t.Fatalf("step %d: %d entries, oracle has %d", step, len(entries), len(o.entries))
+		}
+		enabledPer := make(map[string]int)
+		for _, e := range entries {
+			oe, ok := o.entries[e.Key()]
+			if !ok {
+				t.Fatalf("step %d: DFM has %s, oracle does not", step, e.Key())
+			}
+			if e.Enabled != oe.enabled || e.Exported != oe.exported ||
+				e.Mandatory != oe.mandatory || e.Permanent != oe.permanent {
+				t.Fatalf("step %d: %s state %+v diverges from oracle %+v", step, e.Key(), e, *oe)
+			}
+			if e.Enabled {
+				enabledPer[e.Function]++
+			}
+		}
+		for fn, n := range enabledPer {
+			if n > 1 {
+				t.Fatalf("step %d: function %q has %d enabled implementations", step, fn, n)
+			}
+		}
+	}
+}

@@ -1,0 +1,261 @@
+package evolution
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"godcdo/internal/component"
+	"godcdo/internal/core"
+	"godcdo/internal/dfm"
+	"godcdo/internal/naming"
+	"godcdo/internal/registry"
+	"godcdo/internal/vclock"
+	"godcdo/internal/version"
+)
+
+// lazyFixture builds a DCDO with a single "greet" component and a fake
+// manager view serving two instantiable descriptors: v1 enables greet@en,
+// v1.1 enables greet@fr.
+type lazyFixture struct {
+	dcdo *core.DCDO
+	mgr  *fakeView
+}
+
+type fakeView struct {
+	current version.ID
+	descs   map[string]*dfm.Descriptor
+	err     error
+}
+
+func (f *fakeView) CurrentVersion() (version.ID, error) {
+	if f.err != nil {
+		return nil, f.err
+	}
+	return f.current.Clone(), nil
+}
+
+func (f *fakeView) InstantiableDescriptor(v version.ID) (*dfm.Descriptor, error) {
+	if f.err != nil {
+		return nil, f.err
+	}
+	d, ok := f.descs[v.String()]
+	if !ok {
+		return nil, errors.New("fake: unknown version")
+	}
+	return d.Clone(), nil
+}
+
+func greetFunc(msg string) registry.Func {
+	return func(registry.Caller, []byte) ([]byte, error) { return []byte(msg), nil }
+}
+
+func newLazyFixture(t *testing.T) *lazyFixture {
+	t.Helper()
+	reg := registry.New()
+	if _, err := reg.Register("en:1", registry.NativeImplType, map[string]registry.Func{"greet": greetFunc("hello")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Register("fr:1", registry.NativeImplType, map[string]registry.Func{"greet": greetFunc("bonjour")}); err != nil {
+		t.Fatal(err)
+	}
+
+	icoEN := naming.LOID{Domain: 1, Class: 8, Instance: 1}
+	icoFR := naming.LOID{Domain: 1, Class: 8, Instance: 2}
+	comps := map[naming.LOID]*component.Component{}
+	for _, c := range []struct {
+		ico  naming.LOID
+		id   string
+		code string
+	}{{icoEN, "en", "en:1"}, {icoFR, "fr", "fr:1"}} {
+		comp, err := component.NewSynthetic(component.Descriptor{
+			ID: c.id, Revision: 1, CodeRef: c.code,
+			Impl: registry.NativeImplType, CodeSize: 16,
+			Functions: []component.FunctionDecl{{Name: "greet", Exported: true}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		comps[c.ico] = comp
+	}
+	fetcher := component.FetcherFunc(func(ico naming.LOID) (*component.Component, error) {
+		c, ok := comps[ico]
+		if !ok {
+			return nil, errors.New("no such ico")
+		}
+		return c, nil
+	})
+
+	d := core.New(core.Config{
+		LOID:     naming.LOID{Domain: 1, Class: 1, Instance: 1},
+		Registry: reg,
+		Fetcher:  fetcher,
+	})
+
+	mkDesc := func(enabled string) *dfm.Descriptor {
+		desc := dfm.NewDescriptor()
+		desc.Components["en"] = dfm.ComponentRef{ICO: icoEN, CodeRef: "en:1", Impl: registry.NativeImplType, CodeSize: 16, Revision: 1}
+		desc.Components["fr"] = dfm.ComponentRef{ICO: icoFR, CodeRef: "fr:1", Impl: registry.NativeImplType, CodeSize: 16, Revision: 1}
+		desc.Entries = []dfm.EntryDesc{
+			{Function: "greet", Component: "en", Exported: true, Enabled: enabled == "en"},
+			{Function: "greet", Component: "fr", Exported: true, Enabled: enabled == "fr"},
+		}
+		return desc
+	}
+	v1 := version.ID{1}
+	v11 := version.ID{1, 1}
+	mgr := &fakeView{
+		current: v1,
+		descs: map[string]*dfm.Descriptor{
+			v1.String():  mkDesc("en"),
+			v11.String(): mkDesc("fr"),
+		},
+	}
+	if _, err := d.ApplyDescriptor(mkDesc("en"), v1); err != nil {
+		t.Fatal(err)
+	}
+	return &lazyFixture{dcdo: d, mgr: mgr}
+}
+
+func TestLazyStrictConsistencyUpdatesOnNextCall(t *testing.T) {
+	f := newLazyFixture(t)
+	lu := NewLazyUpdater(f.dcdo, f.mgr, StrictConsistency(), nil)
+
+	out, err := lu.InvokeMethod("greet", nil)
+	if err != nil || string(out) != "hello" {
+		t.Fatalf("greet = %q, %v", out, err)
+	}
+	// Manager designates a new current version; the very next call updates
+	// the object first.
+	f.mgr.current = version.ID{1, 1}
+	out, err = lu.InvokeMethod("greet", nil)
+	if err != nil || string(out) != "bonjour" {
+		t.Fatalf("greet after update = %q, %v", out, err)
+	}
+	if !f.dcdo.Version().Equal(version.ID{1, 1}) {
+		t.Fatalf("version = %v", f.dcdo.Version())
+	}
+	checks, updates := lu.Stats()
+	if checks < 2 || updates != 1 {
+		t.Fatalf("stats = %d checks %d updates", checks, updates)
+	}
+}
+
+func TestLazyEveryKChecksOnlyEveryKth(t *testing.T) {
+	f := newLazyFixture(t)
+	lu := NewLazyUpdater(f.dcdo, f.mgr, LazySpec{EveryCalls: 3}, nil)
+	f.mgr.current = version.ID{1, 1}
+
+	// Calls 1 and 2: no check; still the old implementation.
+	for i := 0; i < 2; i++ {
+		out, err := lu.InvokeMethod("greet", nil)
+		if err != nil || string(out) != "hello" {
+			t.Fatalf("call %d = %q, %v", i+1, out, err)
+		}
+	}
+	// Call 3 triggers the check and updates.
+	out, err := lu.InvokeMethod("greet", nil)
+	if err != nil || string(out) != "bonjour" {
+		t.Fatalf("call 3 = %q, %v", out, err)
+	}
+}
+
+func TestLazyEveryTUsesClock(t *testing.T) {
+	f := newLazyFixture(t)
+	clk := vclock.NewVirtual(time.Unix(0, 0))
+	lu := NewLazyUpdater(f.dcdo, f.mgr, LazySpec{EveryTime: 10 * time.Second}, clk)
+	f.mgr.current = version.ID{1, 1}
+
+	out, _ := lu.InvokeMethod("greet", nil)
+	if string(out) != "hello" {
+		t.Fatalf("before interval = %q", out)
+	}
+	clk.Advance(11 * time.Second)
+	out, _ = lu.InvokeMethod("greet", nil)
+	if string(out) != "bonjour" {
+		t.Fatalf("after interval = %q", out)
+	}
+}
+
+func TestLazyOnMigrate(t *testing.T) {
+	f := newLazyFixture(t)
+	lu := NewLazyUpdater(f.dcdo, f.mgr, LazySpec{OnMigrate: true}, nil)
+	f.mgr.current = version.ID{1, 1}
+
+	// Plain calls never check (no call/time trigger configured).
+	out, _ := lu.InvokeMethod("greet", nil)
+	if string(out) != "hello" {
+		t.Fatalf("pre-migrate = %q", out)
+	}
+	if err := lu.OnMigrate(); err != nil {
+		t.Fatal(err)
+	}
+	out, _ = lu.InvokeMethod("greet", nil)
+	if string(out) != "bonjour" {
+		t.Fatalf("post-migrate = %q", out)
+	}
+
+	// OnMigrate is a no-op when the spec does not enable it.
+	lu2 := NewLazyUpdater(f.dcdo, f.mgr, LazySpec{}, nil)
+	if err := lu2.OnMigrate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLazyRestrictSkipsNonDescendants(t *testing.T) {
+	f := newLazyFixture(t)
+	lu := NewLazyUpdater(f.dcdo, f.mgr, StrictConsistency(), nil)
+	lu.Restrict = true
+
+	// Current version 2 is not derived from the object's version 1: the
+	// object stays put (§3.5).
+	v2 := version.ID{2}
+	f.mgr.descs[v2.String()] = f.mgr.descs[version.ID{1, 1}.String()]
+	f.mgr.current = v2
+
+	out, err := lu.InvokeMethod("greet", nil)
+	if err != nil || string(out) != "hello" {
+		t.Fatalf("greet = %q, %v", out, err)
+	}
+	if !f.dcdo.Version().Equal(version.ID{1}) {
+		t.Fatalf("version = %v, want unchanged 1", f.dcdo.Version())
+	}
+
+	// A descendant is applied.
+	f.mgr.current = version.ID{1, 1}
+	out, _ = lu.InvokeMethod("greet", nil)
+	if string(out) != "bonjour" {
+		t.Fatalf("greet = %q", out)
+	}
+}
+
+func TestLazyManagerUnreachableServesStale(t *testing.T) {
+	f := newLazyFixture(t)
+	lu := NewLazyUpdater(f.dcdo, f.mgr, StrictConsistency(), nil)
+	f.mgr.err = errors.New("manager down")
+
+	out, err := lu.InvokeMethod("greet", nil)
+	if err != nil || string(out) != "hello" {
+		t.Fatalf("greet with manager down = %q, %v", out, err)
+	}
+}
+
+func TestLazyCheckNowNoCurrentVersion(t *testing.T) {
+	f := newLazyFixture(t)
+	f.mgr.current = nil
+	lu := NewLazyUpdater(f.dcdo, f.mgr, StrictConsistency(), nil)
+	if err := lu.CheckNow(); err != nil {
+		t.Fatal(err)
+	}
+	if f.dcdo.Version().Equal(version.ID{}) {
+		t.Fatal("version should be unchanged")
+	}
+}
+
+func TestLazyDCDOAccessor(t *testing.T) {
+	f := newLazyFixture(t)
+	lu := NewLazyUpdater(f.dcdo, f.mgr, StrictConsistency(), nil)
+	if lu.DCDO() != f.dcdo {
+		t.Fatal("DCDO() returned wrong object")
+	}
+}

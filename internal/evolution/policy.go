@@ -1,0 +1,160 @@
+// Package evolution implements the evolution management strategies of
+// §3.3–3.5: the styles that govern which version transitions are legal
+// (single-version, multi-version no-update / increasing-version-number /
+// general / hybrid) and the update policies that govern when instances are
+// brought to a new version (proactive, explicit, lazy — per call, every k
+// calls, every t time units, on migration).
+package evolution
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"godcdo/internal/version"
+)
+
+// Errors returned by transition checks.
+var (
+	// ErrTransitionDenied is returned when a style forbids a version
+	// transition.
+	ErrTransitionDenied = errors.New("evolution: transition denied by style")
+	// ErrNotInstantiable is returned when the target version is not
+	// instantiable.
+	ErrNotInstantiable = errors.New("evolution: target version not instantiable")
+)
+
+// Style selects how a DCDO Manager lets objects move between versions.
+type Style int
+
+// Styles from §3.4 and §3.5.
+const (
+	// SingleVersion: exactly one official current version; instances only
+	// evolve to it.
+	SingleVersion Style = iota + 1
+	// MultiNoUpdate: instances are created at a version and never evolve.
+	MultiNoUpdate
+	// MultiIncreasing: an instance may only evolve to versions derived
+	// from its current version (a descending path in the version tree).
+	MultiIncreasing
+	// MultiGeneral: an instance may evolve to any instantiable version.
+	MultiGeneral
+	// MultiHybrid: like general, but transitions that would remove a
+	// mandatory function or unfreeze a permanent implementation are
+	// disallowed (checked via descriptor derivation rules).
+	MultiHybrid
+)
+
+// String implements fmt.Stringer.
+func (s Style) String() string {
+	switch s {
+	case SingleVersion:
+		return "single-version"
+	case MultiNoUpdate:
+		return "multi-version/no-update"
+	case MultiIncreasing:
+		return "multi-version/increasing"
+	case MultiGeneral:
+		return "multi-version/general"
+	case MultiHybrid:
+		return "multi-version/hybrid"
+	default:
+		return fmt.Sprintf("style(%d)", int(s))
+	}
+}
+
+// TransitionInput carries everything a style needs to judge a transition.
+type TransitionInput struct {
+	// From is the instance's current version; To the requested one.
+	From, To version.ID
+	// Current is the manager's designated current version (single-version
+	// style only).
+	Current version.ID
+	// ToInstantiable reports whether To is marked instantiable.
+	ToInstantiable bool
+	// DerivationErr is the result of checking To's descriptor against
+	// From's under the mandatory/permanent rules (hybrid style only); nil
+	// when the rules hold.
+	DerivationErr error
+}
+
+// CheckTransition applies the style's rules to one proposed transition.
+func (s Style) CheckTransition(in TransitionInput) error {
+	if !in.ToInstantiable {
+		return fmt.Errorf("%w: %s", ErrNotInstantiable, in.To)
+	}
+	switch s {
+	case SingleVersion:
+		// "DCDOs will only evolve to the current version maintained by the
+		// DCDO Manager, not to any other version, even if it is marked as
+		// instantiable."
+		if !in.To.Equal(in.Current) {
+			return fmt.Errorf("%w: %s only allows the current version %s, not %s",
+				ErrTransitionDenied, s, in.Current, in.To)
+		}
+		return nil
+	case MultiNoUpdate:
+		if in.From.IsZero() {
+			return nil // creation is allowed; evolution is not
+		}
+		return fmt.Errorf("%w: %s never evolves deployed instances", ErrTransitionDenied, s)
+	case MultiIncreasing:
+		if in.From.IsZero() || in.To.IsDescendantOf(in.From) {
+			return nil
+		}
+		return fmt.Errorf("%w: %s requires %s to derive from %s",
+			ErrTransitionDenied, s, in.To, in.From)
+	case MultiGeneral:
+		return nil
+	case MultiHybrid:
+		if in.DerivationErr != nil {
+			return fmt.Errorf("%w: %s: %v", ErrTransitionDenied, s, in.DerivationErr)
+		}
+		return nil
+	default:
+		return fmt.Errorf("evolution: unknown style %d", int(s))
+	}
+}
+
+// UpdatePolicy selects when instances are brought to a newly designated
+// current version (§3.4).
+type UpdatePolicy int
+
+// Update policies.
+const (
+	// Proactive: designating a new current version triggers an immediate
+	// attempt to update all existing instances.
+	Proactive UpdatePolicy = iota + 1
+	// Explicit: the manager relies on other objects calling in to evolve
+	// instances.
+	Explicit
+	// Lazy: each DCDO decides when to check for updates (see LazySpec).
+	Lazy
+)
+
+// String implements fmt.Stringer.
+func (p UpdatePolicy) String() string {
+	switch p {
+	case Proactive:
+		return "proactive"
+	case Explicit:
+		return "explicit"
+	case Lazy:
+		return "lazy"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// LazySpec parameterises the lazy update policy's variations: check on
+// every call (EveryCalls == 1), every k calls, every t time units, and/or on
+// migration. Zero fields disable that trigger.
+type LazySpec struct {
+	EveryCalls uint64
+	EveryTime  time.Duration
+	OnMigrate  bool
+}
+
+// StrictConsistency is the "simplest variation": consult the manager on
+// every invocation.
+func StrictConsistency() LazySpec { return LazySpec{EveryCalls: 1} }

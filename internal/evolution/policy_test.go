@@ -1,0 +1,133 @@
+package evolution
+
+import (
+	"errors"
+	"testing"
+
+	"godcdo/internal/version"
+)
+
+func TestCheckTransitionRequiresInstantiable(t *testing.T) {
+	for _, s := range []Style{SingleVersion, MultiNoUpdate, MultiIncreasing, MultiGeneral, MultiHybrid} {
+		err := s.CheckTransition(TransitionInput{
+			From: version.ID{1}, To: version.ID{1, 1}, ToInstantiable: false,
+		})
+		if !errors.Is(err, ErrNotInstantiable) {
+			t.Errorf("%s: err = %v, want ErrNotInstantiable", s, err)
+		}
+	}
+}
+
+func TestSingleVersionOnlyAllowsCurrent(t *testing.T) {
+	in := TransitionInput{
+		From: version.ID{1}, To: version.ID{1, 2},
+		Current: version.ID{1, 2}, ToInstantiable: true,
+	}
+	if err := SingleVersion.CheckTransition(in); err != nil {
+		t.Fatal(err)
+	}
+	in.To = version.ID{1, 1} // instantiable but not current
+	if err := SingleVersion.CheckTransition(in); !errors.Is(err, ErrTransitionDenied) {
+		t.Fatalf("err = %v, want ErrTransitionDenied", err)
+	}
+}
+
+func TestMultiNoUpdateAllowsCreationOnly(t *testing.T) {
+	// Creation: From is zero.
+	if err := MultiNoUpdate.CheckTransition(TransitionInput{
+		To: version.ID{1}, ToInstantiable: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Evolution of a deployed instance: denied.
+	err := MultiNoUpdate.CheckTransition(TransitionInput{
+		From: version.ID{1}, To: version.ID{1, 1}, ToInstantiable: true,
+	})
+	if !errors.Is(err, ErrTransitionDenied) {
+		t.Fatalf("err = %v, want ErrTransitionDenied", err)
+	}
+}
+
+func TestMultiIncreasingRequiresDescent(t *testing.T) {
+	// The paper's example: 3.2 → 3.2.1 and 3.2 → 3.2.0.4 allowed; 3.2 →
+	// 3.3 denied.
+	from := version.ID{3, 2}
+	for _, c := range []struct {
+		to version.ID
+		ok bool
+	}{
+		{version.ID{3, 2, 1}, true},
+		{version.ID{3, 2, 0, 4}, true},
+		{version.ID{3, 3}, false},
+		{version.ID{3, 2}, false}, // same version is not a descendant
+	} {
+		err := MultiIncreasing.CheckTransition(TransitionInput{
+			From: from, To: c.to, ToInstantiable: true,
+		})
+		if c.ok && err != nil {
+			t.Errorf("3.2 -> %s: %v", c.to, err)
+		}
+		if !c.ok && !errors.Is(err, ErrTransitionDenied) {
+			t.Errorf("3.2 -> %s: err = %v, want ErrTransitionDenied", c.to, err)
+		}
+	}
+	// Creation from zero is always legal.
+	if err := MultiIncreasing.CheckTransition(TransitionInput{
+		To: version.ID{3, 3}, ToInstantiable: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiGeneralAllowsAnything(t *testing.T) {
+	if err := MultiGeneral.CheckTransition(TransitionInput{
+		From: version.ID{3, 2}, To: version.ID{1}, ToInstantiable: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiHybridUsesDerivationRules(t *testing.T) {
+	ok := TransitionInput{
+		From: version.ID{2}, To: version.ID{1}, ToInstantiable: true,
+	}
+	if err := MultiHybrid.CheckTransition(ok); err != nil {
+		t.Fatal(err)
+	}
+	bad := ok
+	bad.DerivationErr = errors.New("mandatory function removed")
+	if err := MultiHybrid.CheckTransition(bad); !errors.Is(err, ErrTransitionDenied) {
+		t.Fatalf("err = %v, want ErrTransitionDenied", err)
+	}
+}
+
+func TestStyleAndPolicyStrings(t *testing.T) {
+	for s, want := range map[Style]string{
+		SingleVersion: "single-version", MultiNoUpdate: "multi-version/no-update",
+		MultiIncreasing: "multi-version/increasing", MultiGeneral: "multi-version/general",
+		MultiHybrid: "multi-version/hybrid", Style(42): "style(42)",
+	} {
+		if got := s.String(); got != want {
+			t.Errorf("Style(%d) = %q, want %q", s, got, want)
+		}
+	}
+	for p, want := range map[UpdatePolicy]string{
+		Proactive: "proactive", Explicit: "explicit", Lazy: "lazy", UpdatePolicy(9): "policy(9)",
+	} {
+		if got := p.String(); got != want {
+			t.Errorf("UpdatePolicy(%d) = %q, want %q", p, got, want)
+		}
+	}
+}
+
+func TestUnknownStyleErrors(t *testing.T) {
+	if err := Style(42).CheckTransition(TransitionInput{ToInstantiable: true}); err == nil {
+		t.Fatal("unknown style accepted")
+	}
+}
+
+func TestStrictConsistency(t *testing.T) {
+	if StrictConsistency().EveryCalls != 1 {
+		t.Fatal("strict consistency should check on every call")
+	}
+}

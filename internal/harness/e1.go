@@ -1,0 +1,179 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"godcdo/internal/core"
+	"godcdo/internal/metrics"
+	"godcdo/internal/naming"
+	"godcdo/internal/registry"
+	"godcdo/internal/version"
+	"godcdo/internal/workload"
+)
+
+// RunE1 reproduces the call-overhead experiment: "a dynamic function takes
+// between 10 and 15 microseconds per call, for self-calls, intra-component
+// calls, and inter-component calls alike" (§4, Overhead). On modern
+// hardware the absolute overhead is far smaller; the shape criteria are
+// that the DFM adds a measurable constant overhead over a direct call, that
+// the overhead is uniform across call classes, and that it is independent
+// of how many functions and components the object holds.
+func RunE1() (*Report, error) {
+	const iters = 20000
+
+	reg := registry.New()
+	alloc := naming.NewAllocator(1, 9)
+	built, err := workload.Build(reg, alloc, workload.Spec{
+		Prefix: "e1", Functions: 100, Components: 10, WithCallers: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	obj := core.New(core.Config{
+		LOID:     naming.LOID{Domain: 1, Class: 1, Instance: 1},
+		Registry: reg,
+		Fetcher:  built.Fetcher(),
+	})
+	if _, err := obj.ApplyDescriptor(built.Descriptor, version.ID{1}); err != nil {
+		return nil, err
+	}
+
+	leaf := workload.LeafName("e1", 0, 0)
+	intra := workload.IntraCallerName("e1", 0)
+	inter := workload.InterCallerName("e1", 0)
+
+	// Direct baseline: the same function value invoked without the DFM.
+	module, err := reg.Load("e1_c0:1", registry.NativeImplType)
+	if err != nil {
+		return nil, err
+	}
+	directFunc, err := module.Func(leaf)
+	if err != nil {
+		return nil, err
+	}
+
+	measurements := []struct {
+		name string
+		fn   func() error
+	}{
+		{"direct (no DFM)", func() error { _, err := directFunc(obj, nil); return err }},
+		{"self-call (exported via DFM)", func() error { _, err := obj.InvokeMethod(leaf, nil); return err }},
+		{"internal call (via DFM)", func() error { _, err := obj.CallInternal(leaf, nil); return err }},
+		{"intra-component call", func() error { _, err := obj.InvokeMethod(intra, nil); return err }},
+		{"inter-component call", func() error { _, err := obj.InvokeMethod(inter, nil); return err }},
+	}
+
+	table := metrics.NewTable(
+		"E1 — dynamic function call overhead (100 functions / 10 components, real time)",
+		"call class", "per call", "overhead vs direct")
+	perClass := make(map[string]time.Duration, len(measurements))
+	for _, m := range measurements {
+		mean, err := timeOp(iters, m.fn)
+		if err != nil {
+			return nil, fmt.Errorf("measure %q: %w", m.name, err)
+		}
+		perClass[m.name] = mean
+	}
+	direct := perClass[measurements[0].name]
+	for _, m := range measurements {
+		overhead := perClass[m.name] - direct
+		if m.name == measurements[0].name {
+			table.AddRow(m.name, metrics.FormatDuration(perClass[m.name]), "-")
+			continue
+		}
+		table.AddRow(m.name, metrics.FormatDuration(perClass[m.name]), metrics.FormatDuration(overhead))
+	}
+
+	// Independence of table size: exported-call latency for 10 vs 1000
+	// functions.
+	sizes := []int{10, 1000}
+	bySize := make(map[int]time.Duration, len(sizes))
+	for _, n := range sizes {
+		prefix := fmt.Sprintf("e1s%d", n)
+		b, err := workload.Build(reg, alloc, workload.Spec{
+			Prefix: prefix, Functions: n, Components: 10,
+		})
+		if err != nil {
+			return nil, err
+		}
+		o := core.New(core.Config{
+			LOID:     naming.LOID{Domain: 1, Class: 1, Instance: uint64(100 + n)},
+			Registry: reg,
+			Fetcher:  b.Fetcher(),
+		})
+		if _, err := o.ApplyDescriptor(b.Descriptor, version.ID{1}); err != nil {
+			return nil, err
+		}
+		target := workload.LeafName(prefix, 0, 0)
+		mean, err := timeOp(iters, func() error {
+			_, err := o.InvokeMethod(target, nil)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		bySize[n] = mean
+		table.AddRow(fmt.Sprintf("exported call, %d functions", n),
+			metrics.FormatDuration(mean), "-")
+	}
+
+	selfCall := perClass[measurements[1].name]
+	internal := perClass[measurements[2].name]
+	intraD := perClass[measurements[3].name]
+	interD := perClass[measurements[4].name]
+
+	// The paper's uniformity claim is at microsecond granularity (10–15 µs
+	// across classes); accept either a bounded ratio or a sub-2 µs
+	// absolute spread so nanosecond-scale noise on fast hardware cannot
+	// fail the criterion.
+	uniform := func(a, b time.Duration) bool {
+		return ratio(maxDur(a, b), minDur(a, b)) <= 3 || maxDur(a, b)-minDur(a, b) < 2*time.Microsecond
+	}
+
+	report := &Report{
+		ID:    "E1",
+		Title: "dynamic function call overhead (paper: 10–15 µs/call, uniform across call classes)",
+		Table: table,
+		Notes: []string{
+			"all rows are real measured time on this host; the paper's 10–15 µs is 400 MHz Pentium II hardware",
+			"intra/inter rows include one exported dispatch plus one internal dispatch",
+		},
+		Checks: []Check{
+			check("DFM adds positive overhead over a direct call",
+				selfCall > direct,
+				"direct=%v dfm=%v", direct, selfCall),
+			check("overhead uniform across self and internal calls (≤3x or <2µs spread)",
+				uniform(selfCall, internal),
+				"self=%v internal=%v", selfCall, internal),
+			check("intra-component ≈ inter-component (≤3x or <2µs spread)",
+				uniform(intraD, interD),
+				"intra=%v inter=%v", intraD, interD),
+			check("call latency independent of function count (10 vs 1000, ≤3x or <2µs)",
+				uniform(bySize[10], bySize[1000]),
+				"10fns=%v 1000fns=%v", bySize[10], bySize[1000]),
+		},
+	}
+	return report, nil
+}
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minDur(a, b time.Duration) time.Duration {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func ratio(hi, lo time.Duration) float64 {
+	if lo <= 0 {
+		return 0
+	}
+	return float64(hi) / float64(lo)
+}

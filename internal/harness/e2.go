@@ -1,0 +1,124 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"godcdo/internal/core"
+	"godcdo/internal/legion"
+	"godcdo/internal/metrics"
+	"godcdo/internal/naming"
+	"godcdo/internal/registry"
+	"godcdo/internal/vclock"
+	"godcdo/internal/version"
+	"godcdo/internal/workload"
+)
+
+// RunE2 reproduces the remote-invocation experiment: "remote invocations of
+// DCDO dynamic functions take no longer than calls made on normal Legion
+// objects … and the roundtrip times are independent of the number of
+// functions and components in a DCDO implementation" (§4, Overhead).
+//
+// Both object kinds are hosted behind the real RPC stack over loopback TCP;
+// every row is a measured round trip.
+func RunE2() (*Report, error) {
+	const iters = 300
+
+	agent := naming.NewAgent(vclock.Real{})
+	server, err := legion.NewNode(legion.NodeConfig{Name: "e2-server", Agent: agent})
+	if err != nil {
+		return nil, err
+	}
+	defer server.Close()
+	client, err := legion.NewNode(legion.NodeConfig{Name: "e2-client", Agent: agent})
+	if err != nil {
+		return nil, err
+	}
+	defer client.Close()
+
+	table := metrics.NewTable(
+		"E2 — remote invocation round trips over loopback TCP (real time)",
+		"object", "functions", "components", "roundtrip")
+
+	// Baseline: a normal Legion object with a static method table.
+	normalClass := legion.NewClass("e2-normal", naming.NewAllocator(1, 11),
+		map[string]legion.Method{
+			"noop": func(*legion.State, []byte) ([]byte, error) { return nil, nil },
+		}, 550<<10)
+	normalObj, err := normalClass.CreateInstance(server)
+	if err != nil {
+		return nil, err
+	}
+	normalMean, err := timeOp(iters, func() error {
+		_, err := client.Client().Invoke(normalObj.LOID(), "noop", nil)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	table.AddRow("normal (monolithic)", 1, 1, metrics.FormatDuration(normalMean))
+
+	// DCDOs across the paper's sweep.
+	reg := registry.New()
+	alloc := naming.NewAllocator(1, 9)
+	sweep := []struct{ functions, components int }{
+		{10, 1}, {100, 10}, {500, 50},
+	}
+	dcdoMeans := make([]time.Duration, 0, len(sweep))
+	for i, s := range sweep {
+		prefix := fmt.Sprintf("e2w%d", i)
+		built, err := workload.Build(reg, alloc, workload.Spec{
+			Prefix: prefix, Functions: s.functions, Components: s.components,
+		})
+		if err != nil {
+			return nil, err
+		}
+		obj := core.New(core.Config{
+			LOID:     naming.LOID{Domain: 1, Class: 1, Instance: uint64(i + 1)},
+			Registry: reg,
+			Fetcher:  built.Fetcher(),
+		})
+		if _, err := obj.ApplyDescriptor(built.Descriptor, version.ID{1}); err != nil {
+			return nil, err
+		}
+		if _, err := server.HostObject(obj.LOID(), obj); err != nil {
+			return nil, err
+		}
+		target := workload.LeafName(prefix, 0, 0)
+		mean, err := timeOp(iters, func() error {
+			_, err := client.Client().Invoke(obj.LOID(), target, nil)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		dcdoMeans = append(dcdoMeans, mean)
+		table.AddRow("DCDO", s.functions, s.components, metrics.FormatDuration(mean))
+	}
+
+	maxDCDO, minDCDO := dcdoMeans[0], dcdoMeans[0]
+	for _, m := range dcdoMeans[1:] {
+		maxDCDO = maxDur(maxDCDO, m)
+		minDCDO = minDur(minDCDO, m)
+	}
+
+	return &Report{
+		ID:    "E2",
+		Title: "remote invocation: DCDO vs normal objects (paper: no slower; independent of #functions/#components)",
+		Table: table,
+		Notes: []string{
+			"loopback TCP between two nodes sharing a binding agent; each row averages real round trips",
+		},
+		Checks: []Check{
+			// The paper's criterion is that the DFM's microseconds vanish
+			// inside a remote round trip; allow a small absolute slack so
+			// scheduler noise on loopback cannot fail the shape.
+			check("DCDO remote calls no slower than normal objects (≤1.5x or <100µs)",
+				float64(maxDCDO) <= 1.5*float64(normalMean) || maxDCDO-normalMean < 100*time.Microsecond,
+				"normal=%v worst DCDO=%v", normalMean, maxDCDO),
+			check("roundtrip independent of #functions/#components (≤1.5x or <100µs spread)",
+				ratio(maxDCDO, minDCDO) <= 1.5 || maxDCDO-minDCDO < 100*time.Microsecond,
+				"min=%v max=%v", minDCDO, maxDCDO),
+		},
+	}, nil
+}

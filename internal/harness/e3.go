@@ -1,0 +1,107 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"godcdo/internal/core"
+	"godcdo/internal/metrics"
+	"godcdo/internal/naming"
+	"godcdo/internal/registry"
+	"godcdo/internal/simnet"
+	"godcdo/internal/version"
+	"godcdo/internal/workload"
+)
+
+// RunE3 reproduces the object-creation experiment: "incorporating an object
+// with 500 functions separated into 50 components takes about 10 seconds,
+// whereas creating an object with the same 500 functions that reside in a
+// static monolithic executable takes only 2.2 seconds. For more reasonably
+// configured objects (fewer components), results are comparable" (§4).
+//
+// The modeled column applies the Centurion cost model (process spawn +
+// per-component ICO fetch and bind); the mechanism column measures the real
+// time this implementation takes to assemble the same object in-process,
+// demonstrating the code path works even though modern in-process
+// incorporation is orders of magnitude faster than 1999 remote fetches.
+func RunE3() (*Report, error) {
+	model := simnet.Centurion()
+	const functions = 500
+
+	table := metrics.NewTable(
+		"E3 — object creation, 500 functions (modeled Centurion time + real mechanism time)",
+		"configuration", "modeled", "mechanism (real)")
+
+	mono := model.CreationTime(1, true)
+	table.AddRow("monolithic (normal object)", metrics.FormatDuration(mono), "-")
+
+	reg := registry.New()
+	alloc := naming.NewAllocator(1, 9)
+	componentsSweep := []int{1, 5, 10, 25, 50}
+	modeled := make([]time.Duration, 0, len(componentsSweep))
+	var real50 time.Duration
+	for _, comps := range componentsSweep {
+		m := model.CreationTime(comps, false)
+		modeled = append(modeled, m)
+
+		prefix := fmt.Sprintf("e3c%d", comps)
+		built, err := workload.Build(reg, alloc, workload.Spec{
+			Prefix: prefix, Functions: functions, Components: comps,
+		})
+		if err != nil {
+			return nil, err
+		}
+		obj := core.New(core.Config{
+			LOID:     naming.LOID{Domain: 1, Class: 1, Instance: uint64(comps)},
+			Registry: reg,
+			Fetcher:  built.Fetcher(),
+		})
+		start := time.Now()
+		if _, err := obj.ApplyDescriptor(built.Descriptor, version.ID{1}); err != nil {
+			return nil, err
+		}
+		realDur := time.Since(start)
+		if comps == 50 {
+			real50 = realDur
+		}
+		if got := len(obj.ComponentIDs()); got != comps {
+			return nil, fmt.Errorf("e3: built %d components, want %d", got, comps)
+		}
+		table.AddRow(fmt.Sprintf("DCDO, %d components", comps),
+			metrics.FormatDuration(m), metrics.FormatDuration(realDur))
+	}
+
+	monotone := true
+	for i := 1; i < len(modeled); i++ {
+		if modeled[i] <= modeled[i-1] {
+			monotone = false
+		}
+	}
+	fifty := modeled[len(modeled)-1]
+	few := modeled[1] // 5 components
+
+	return &Report{
+		ID:    "E3",
+		Title: "object creation cost vs component count (paper: 50 comps ≈ 10 s vs monolithic 2.2 s)",
+		Table: table,
+		Notes: []string{
+			"modeled column: Centurion cost model (process spawn + per-component ICO fetch/bind)",
+			"mechanism column: real in-process descriptor application on this host",
+		},
+		Checks: []Check{
+			check("monolithic creation ≈ 2.2 s",
+				mono >= 1800*time.Millisecond && mono <= 2600*time.Millisecond,
+				"modeled=%v", mono),
+			check("500 fns / 50 components ≈ 10 s",
+				fifty >= 8*time.Second && fifty <= 12*time.Second,
+				"modeled=%v", fifty),
+			check("few components comparable to monolithic (≤1.5x)",
+				float64(few) <= 1.5*float64(mono),
+				"5 comps=%v monolithic=%v", few, mono),
+			check("creation cost monotone in component count",
+				monotone, "sweep=%v", modeled),
+			check("real mechanism assembles 50 components without error",
+				real50 > 0, "real=%v", real50),
+		},
+	}, nil
+}

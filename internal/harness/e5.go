@@ -1,0 +1,154 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"godcdo/internal/baseline"
+	"godcdo/internal/component"
+	"godcdo/internal/core"
+	"godcdo/internal/dfm"
+	"godcdo/internal/metrics"
+	"godcdo/internal/naming"
+	"godcdo/internal/registry"
+	"godcdo/internal/simnet"
+	"godcdo/internal/version"
+	"godcdo/internal/workload"
+)
+
+// RunE5 reproduces the DCDO evolution-cost experiment (§4, Cost): "the cost
+// of evolving a DCDO from one implementation to another is less than half a
+// second, except for the case when new components need to be incorporated.
+// … When the components are cached and available to the DCDO that is
+// evolving, the cost is approximately 200 microseconds per component …
+// When the components need to be downloaded … the cost of evolution is
+// dominated by the time needed to download the component data."
+func RunE5() (*Report, error) {
+	model := simnet.Centurion()
+
+	reg := registry.New()
+	alloc := naming.NewAllocator(1, 9)
+	base, err := workload.Build(reg, alloc, workload.Spec{
+		Prefix: "e5", Functions: 50, Components: 5,
+	})
+	if err != nil {
+		return nil, err
+	}
+	extra, err := workload.Build(reg, alloc, workload.Spec{
+		Prefix: "e5x", Functions: 10, Components: 10,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// One fetcher serving both workloads (host-cached components).
+	baseFetcher := base.Fetcher()
+	extraFetcher := extra.Fetcher()
+	fetcher := component.FetcherFunc(func(ico naming.LOID) (*component.Component, error) {
+		if c, err := baseFetcher.Fetch(ico); err == nil {
+			return c, nil
+		}
+		return extraFetcher.Fetch(ico)
+	})
+
+	obj := core.New(core.Config{
+		LOID:     naming.LOID{Domain: 1, Class: 1, Instance: 1},
+		Registry: reg,
+		Fetcher:  fetcher,
+	})
+	if _, err := obj.ApplyDescriptor(base.Descriptor, version.ID{1}); err != nil {
+		return nil, err
+	}
+
+	table := metrics.NewTable(
+		"E5 — cost of evolving a DCDO",
+		"evolution", "measured (real)", "modeled (Centurion)")
+
+	// Case 1: enable/disable retuning only — no components move.
+	leaf := workload.LeafName("e5", 0, 0)
+	leafKey := dfm.EntryKey{Function: leaf, Component: "e5_c0"}
+	toggleMean, err := timeOp(2000, func() error {
+		if err := obj.DisableFunction(leafKey); err != nil {
+			return err
+		}
+		return obj.EnableFunction(leafKey)
+	})
+	if err != nil {
+		return nil, err
+	}
+	table.AddRow("disable+enable one function",
+		metrics.FormatDuration(toggleMean),
+		metrics.FormatDuration(baseline.DCDOEvolutionCost{RetuneOps: 2}.Model(model)))
+
+	// Case 2: whole-descriptor retune (flip exports on every entry).
+	target := obj.Snapshot()
+	for i := range target.Entries {
+		target.Entries[i].Exported = !target.Entries[i].Exported
+	}
+	start := time.Now()
+	report1, err := obj.ApplyDescriptor(target, version.ID{1, 1})
+	if err != nil {
+		return nil, err
+	}
+	retuneReal := time.Since(start)
+	retuneModeled := baseline.DCDOEvolutionCost{RetuneOps: report1.EntriesRetuned}.Model(model)
+	table.AddRow(fmt.Sprintf("retune %d entries (no new components)", report1.EntriesRetuned),
+		metrics.FormatDuration(retuneReal), metrics.FormatDuration(retuneModeled))
+
+	// Case 3: incorporate 10 components that are cached at the host.
+	target2 := obj.Snapshot()
+	for id, ref := range extra.Descriptor.Components {
+		target2.Components[id] = ref
+	}
+	target2.Entries = append(target2.Entries, extra.Descriptor.Entries...)
+	start = time.Now()
+	report2, err := obj.ApplyDescriptor(target2, version.ID{1, 2})
+	if err != nil {
+		return nil, err
+	}
+	cachedReal := time.Since(start)
+	cachedModeled := baseline.DCDOEvolutionCost{CachedComponents: report2.ComponentsAdded}.Model(model)
+	table.AddRow(fmt.Sprintf("incorporate %d cached components", report2.ComponentsAdded),
+		metrics.FormatDuration(cachedReal), metrics.FormatDuration(cachedModeled))
+
+	// Case 4: components that must be downloaded — modeled.
+	for _, size := range []int64{550 << 10, 5_347_738} {
+		modeled := baseline.DCDOEvolutionCost{UncachedBytes: []int64{size}}.Model(model)
+		table.AddRow(fmt.Sprintf("incorporate 1 uncached component (%s)", metrics.FormatBytes(size)),
+			"-", metrics.FormatDuration(modeled))
+	}
+
+	perComponent := cachedModeled / time.Duration(maxInt(report2.ComponentsAdded, 1))
+	uncached550 := baseline.DCDOEvolutionCost{UncachedBytes: []int64{550 << 10}}.Model(model)
+
+	return &Report{
+		ID:    "E5",
+		Title: "evolving a DCDO (paper: <0.5 s without new components; ~200 µs per cached component; download-dominated otherwise)",
+		Table: table,
+		Notes: []string{
+			"measured column: real operations against a live DCDO on this host",
+			"modeled column: Centurion cost model for the same plan",
+		},
+		Checks: []Check{
+			check("evolution without new components < 0.5 s (real)",
+				retuneReal < 500*time.Millisecond,
+				"retune=%v", retuneReal),
+			check("cached component incorporation ≈ 200 µs each (modeled)",
+				perComponent >= 150*time.Microsecond && perComponent <= 300*time.Microsecond,
+				"per component=%v", perComponent),
+			check("uncached incorporation download-dominated (≥ 3 s for 550 KB)",
+				uncached550 >= 3*time.Second,
+				"550KB=%v", uncached550),
+			check("real cached incorporation far below download time",
+				cachedReal < time.Second,
+				"real=%v", cachedReal),
+		},
+	}, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,145 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"godcdo/internal/baseline"
+	"godcdo/internal/legion"
+	"godcdo/internal/metrics"
+	"godcdo/internal/naming"
+	"godcdo/internal/simnet"
+	"godcdo/internal/transport"
+	"godcdo/internal/vclock"
+)
+
+// RunE6 reproduces the paper's headline comparison: "Even in these extreme
+// cases, the performance advantage of evolving objects on the fly and
+// avoiding the stale binding problem and the need for a full executable
+// download, not to mention state capture and recovery, are dramatic" (§4).
+//
+// Baseline rows run the real replace-the-executable pipeline against the
+// legion runtime with modeled time charged to a virtual clock; DCDO rows
+// use the evolution cost model for the equivalent change.
+func RunE6() (*Report, error) {
+	model := simnet.Centurion()
+	schedule := naming.DefaultDiscoverySchedule()
+
+	table := metrics.NewTable(
+		"E6 — evolving a DCDO vs evolving a normal Legion object (modeled Centurion time)",
+		"mechanism", "scenario", "total", "vs best baseline")
+
+	type baselineCase struct {
+		name      string
+		stateSize int64
+		implSize  int64
+	}
+	baselineCases := []baselineCase{
+		{"64 KB state, 550 KB impl", 64 << 10, 550 << 10},
+		{"64 KB state, 5.1 MB impl", 64 << 10, 5_347_738},
+		{"1 MB state, 550 KB impl", 1 << 20, 550 << 10},
+		{"1 MB state, 5.1 MB impl", 1 << 20, 5_347_738},
+	}
+
+	var baselineTotals []time.Duration
+	for _, c := range baselineCases {
+		total, err := runBaselineEvolution(model, schedule, c.stateSize, c.implSize)
+		if err != nil {
+			return nil, fmt.Errorf("baseline %q: %w", c.name, err)
+		}
+		baselineTotals = append(baselineTotals, total)
+	}
+	bestBaseline := baselineTotals[0]
+	for _, t := range baselineTotals[1:] {
+		bestBaseline = minDur(bestBaseline, t)
+	}
+	for i, c := range baselineCases {
+		table.AddRow("normal object", c.name,
+			metrics.FormatDuration(baselineTotals[i]),
+			fmt.Sprintf("%.1fx", float64(baselineTotals[i])/float64(bestBaseline)))
+	}
+
+	dcdoCases := []struct {
+		name string
+		cost baseline.DCDOEvolutionCost
+	}{
+		{"retune 20 functions, no new components", baseline.DCDOEvolutionCost{RetuneOps: 20}},
+		{"incorporate 5 cached components", baseline.DCDOEvolutionCost{CachedComponents: 5}},
+		{"incorporate 1 uncached component (550 KB)", baseline.DCDOEvolutionCost{UncachedBytes: []int64{550 << 10}}},
+		{"incorporate 1 uncached component (5.1 MB)", baseline.DCDOEvolutionCost{UncachedBytes: []int64{5_347_738}}},
+	}
+	var dcdoTotals []time.Duration
+	for _, c := range dcdoCases {
+		total := c.cost.Model(model)
+		dcdoTotals = append(dcdoTotals, total)
+		speedup := float64(bestBaseline) / float64(total)
+		table.AddRow("DCDO", c.name, metrics.FormatDuration(total),
+			fmt.Sprintf("1/%.0fx", speedup))
+	}
+
+	worstDCDO := dcdoTotals[0]
+	for _, t := range dcdoTotals[1:] {
+		worstDCDO = maxDur(worstDCDO, t)
+	}
+	retune := dcdoTotals[0]
+
+	return &Report{
+		ID:    "E6",
+		Title: "end-to-end evolution comparison (paper: DCDO advantage dramatic)",
+		Table: table,
+		Notes: []string{
+			"baseline rows execute the real capture/evict/download/spawn/restore/rebind pipeline with modeled time on a virtual clock",
+			"DCDO rows apply the evolution cost model to the equivalent change",
+		},
+		Checks: []Check{
+			check("every DCDO evolution cheaper than every baseline evolution",
+				worstDCDO < bestBaseline,
+				"worst DCDO=%v best baseline=%v", worstDCDO, bestBaseline),
+			check("retune-only DCDO evolution ≥100x cheaper than best baseline",
+				float64(bestBaseline) >= 100*float64(retune),
+				"retune=%v baseline=%v", retune, bestBaseline),
+			check("retune-only evolution under half a second",
+				retune < 500*time.Millisecond,
+				"retune=%v", retune),
+			check("even download-dominated DCDO evolution beats the baseline",
+				dcdoTotals[3] < bestBaseline,
+				"dcdo 5.1MB=%v best baseline=%v", dcdoTotals[3], bestBaseline),
+		},
+	}, nil
+}
+
+// runBaselineEvolution executes the full pipeline on the legion runtime with
+// modeled time on a virtual clock and returns the modeled total.
+func runBaselineEvolution(model simnet.CostModel, schedule naming.DiscoverySchedule, stateSize, implSize int64) (time.Duration, error) {
+	agent := naming.NewAgent(vclock.Real{})
+	net := transport.NewInprocNetwork()
+	node, err := legion.NewNode(legion.NodeConfig{
+		Name: fmt.Sprintf("e6-%d-%d", stateSize, implSize), Agent: agent, Inproc: net,
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer node.Close()
+
+	methods := map[string]legion.Method{
+		"noop": func(*legion.State, []byte) ([]byte, error) { return nil, nil },
+	}
+	v1 := legion.NewClass("e6-v1", naming.NewAllocator(1, 13), methods, implSize)
+	v2 := legion.NewClass("e6-v2", naming.NewAllocator(1, 13), methods, implSize)
+	obj, err := v1.CreateInstance(node)
+	if err != nil {
+		return 0, err
+	}
+	obj.State().Set("blob", make([]byte, stateSize))
+
+	clk := vclock.NewVirtual(time.Unix(0, 0))
+	ev := &baseline.Evolver{Model: model, Discovery: schedule, Clock: clk}
+	costs, _, err := ev.Evolve(baseline.Input{
+		LOID: obj.LOID(), Src: node, Obj: obj, NewClass: v2,
+		ClientsHoldBindings: true,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return costs.Total(), nil
+}

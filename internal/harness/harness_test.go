@@ -1,0 +1,119 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"godcdo/internal/metrics"
+)
+
+// Each experiment must run cleanly and pass its own shape criteria — these
+// are the paper's reproduction pass/fail gates.
+
+func requirePassed(t *testing.T, rep *Report) {
+	t.Helper()
+	if rep.Table == nil {
+		t.Fatalf("%s: no table", rep.ID)
+	}
+	for _, c := range rep.Checks {
+		if !c.Pass {
+			t.Errorf("%s: check %q failed: %s", rep.ID, c.Name, c.Detail)
+		}
+	}
+	out := rep.String()
+	if !strings.Contains(out, rep.ID) {
+		t.Fatalf("%s: report rendering missing ID:\n%s", rep.ID, out)
+	}
+}
+
+func TestRunE1(t *testing.T) {
+	rep, err := RunE1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requirePassed(t, rep)
+}
+
+func TestRunE2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loopback TCP sweep")
+	}
+	rep, err := RunE2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requirePassed(t, rep)
+}
+
+func TestRunE3(t *testing.T) {
+	rep, err := RunE3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requirePassed(t, rep)
+}
+
+func TestRunE4(t *testing.T) {
+	rep, err := RunE4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requirePassed(t, rep)
+}
+
+func TestRunE5(t *testing.T) {
+	rep, err := RunE5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requirePassed(t, rep)
+}
+
+func TestRunE6(t *testing.T) {
+	rep, err := RunE6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requirePassed(t, rep)
+}
+
+func TestRunAllOrderAndPass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment suite")
+	}
+	reports, err := RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 6 {
+		t.Fatalf("reports = %d, want 6", len(reports))
+	}
+	wantIDs := []string{"E1", "E2", "E3", "E4", "E5", "E6"}
+	for i, rep := range reports {
+		if rep.ID != wantIDs[i] {
+			t.Errorf("report %d = %s, want %s", i, rep.ID, wantIDs[i])
+		}
+		if !rep.Passed() {
+			t.Errorf("%s did not pass:\n%s", rep.ID, rep.String())
+		}
+	}
+}
+
+func TestReportStringShowsFailures(t *testing.T) {
+	rep := &Report{
+		ID:    "EX",
+		Title: "test",
+		Table: metrics.NewTable("t", "col"),
+		Checks: []Check{
+			{Name: "good", Pass: true, Detail: "ok"},
+			{Name: "bad", Pass: false, Detail: "broken"},
+		},
+	}
+	if rep.Passed() {
+		t.Fatal("report with failing check passed")
+	}
+	out := rep.String()
+	if !strings.Contains(out, "[FAIL] bad") || !strings.Contains(out, "[PASS] good") {
+		t.Fatalf("rendering:\n%s", out)
+	}
+}

@@ -1,0 +1,66 @@
+package harness
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestTimeOpPropagatesErrors(t *testing.T) {
+	sentinel := errors.New("boom")
+	calls := 0
+	_, err := timeOp(10, func() error {
+		calls++
+		if calls == 3 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3 (stop at first error)", calls)
+	}
+}
+
+func TestTimeOpMeansOverIterations(t *testing.T) {
+	mean, err := timeOp(50, func() error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean < 0 || mean > time.Millisecond {
+		t.Fatalf("mean = %v, implausible for a no-op", mean)
+	}
+}
+
+func TestCheckFormatting(t *testing.T) {
+	c := check("threshold respected", true, "got=%d want<=%d", 3, 5)
+	if !c.Pass || c.Name != "threshold respected" || c.Detail != "got=3 want<=5" {
+		t.Fatalf("check = %+v", c)
+	}
+}
+
+func TestDurationHelpers(t *testing.T) {
+	if maxDur(time.Second, time.Minute) != time.Minute {
+		t.Fatal("maxDur wrong")
+	}
+	if minDur(time.Second, time.Minute) != time.Second {
+		t.Fatal("minDur wrong")
+	}
+	if got := ratio(2*time.Second, time.Second); got != 2 {
+		t.Fatalf("ratio = %v", got)
+	}
+	if got := ratio(time.Second, 0); got != 0 {
+		t.Fatalf("ratio with zero denominator = %v", got)
+	}
+}
+
+func TestBytesEqual(t *testing.T) {
+	if !bytesEqual([]byte{1, 2}, []byte{1, 2}) {
+		t.Fatal("equal slices reported unequal")
+	}
+	if bytesEqual([]byte{1}, []byte{1, 2}) || bytesEqual([]byte{1}, []byte{2}) {
+		t.Fatal("unequal slices reported equal")
+	}
+}

@@ -1,0 +1,159 @@
+package integration_test
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"godcdo/internal/core"
+	"godcdo/internal/dfm"
+	"godcdo/internal/legion"
+	"godcdo/internal/naming"
+	"godcdo/internal/rpc"
+	"godcdo/internal/transport"
+	"godcdo/internal/vclock"
+	"godcdo/internal/version"
+)
+
+// TestStressEvolutionUnderTraffic runs sustained concurrent load against a
+// DCDO while a configurator continuously swaps implementations and applies
+// whole-descriptor evolutions, then migrates the object mid-storm. The
+// invariants: no hard failures other than the transient disabled/rebind
+// classes §3.2 requires callers to tolerate, every success returns one of
+// the two legal answers, and the object ends the storm healthy.
+func TestStressEvolutionUnderTraffic(t *testing.T) {
+	g := newGreeterType(t)
+	agent := naming.NewAgent(vclock.Real{})
+	net := transport.NewInprocNetwork()
+	mkNode := func(name string) *legion.Node {
+		n, err := legion.NewNode(legion.NodeConfig{Name: name, Agent: agent, Inproc: net})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = n.Close() })
+		return n
+	}
+	n1 := mkNode("s1")
+	n2 := mkNode("s2")
+	icoHost := mkNode("icos")
+	g.hostICOs(t, icoHost)
+
+	objLOID := naming.LOID{Domain: 1, Class: 1, Instance: 50}
+	obj := core.New(core.Config{LOID: objLOID, Registry: g.reg, Fetcher: remoteFetcher(n1)})
+	if _, err := obj.ApplyDescriptor(g.descriptor("greet-en"), version.ID{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n1.HostObject(objLOID, obj); err != nil {
+		t.Fatal(err)
+	}
+
+	const clients = 6
+	duration := 700 * time.Millisecond
+	if testing.Short() {
+		duration = 150 * time.Millisecond
+	}
+
+	var (
+		stop      = make(chan struct{})
+		wg        sync.WaitGroup
+		calls     atomic.Uint64
+		transient atomic.Uint64
+		hardFail  atomic.Uint64
+	)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			client := mkNodeClient(t, agent, net, i)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				out, err := client.Invoke(objLOID, "greet", nil)
+				calls.Add(1)
+				if err != nil {
+					if errors.Is(err, rpc.ErrFunctionDisabled) || errors.Is(err, rpc.ErrNoSuchObject) {
+						transient.Add(1)
+						continue
+					}
+					hardFail.Add(1)
+					t.Errorf("hard failure: %v", err)
+					return
+				}
+				if s := string(out); s != "hello" && s != "bonjour" {
+					hardFail.Add(1)
+					t.Errorf("corrupt response %q", s)
+					return
+				}
+			}
+		}(c)
+	}
+
+	// Configurator: alternate between single-function swaps and
+	// whole-descriptor evolutions.
+	deadline := time.Now().Add(duration)
+	cur := obj
+	enabled := "greet-en"
+	round := uint32(1)
+	for time.Now().Before(deadline) {
+		next := "greet-fr"
+		if enabled == "greet-fr" {
+			next = "greet-en"
+		}
+		if round%2 == 0 {
+			if err := cur.DisableFunction(dfm.EntryKey{Function: "greet", Component: enabled}); err != nil {
+				t.Fatalf("disable: %v", err)
+			}
+			if err := cur.EnableFunction(dfm.EntryKey{Function: "greet", Component: next}); err != nil {
+				t.Fatalf("enable: %v", err)
+			}
+		} else {
+			round++
+			if _, err := cur.ApplyDescriptor(g.descriptor(next), version.ID{1, round}); err != nil {
+				t.Fatalf("apply: %v", err)
+			}
+		}
+		enabled = next
+		round++
+	}
+
+	// Migrate mid-storm.
+	target := core.New(core.Config{LOID: objLOID, Registry: g.reg, Fetcher: remoteFetcher(n2)})
+	if err := legion.Migrate(objLOID, n1, n2, cur, target); err != nil {
+		t.Fatalf("migrate: %v", err)
+	}
+	time.Sleep(50 * time.Millisecond) // let traffic heal and keep flowing
+	close(stop)
+	wg.Wait()
+
+	if hardFail.Load() > 0 {
+		t.Fatalf("%d hard failures out of %d calls", hardFail.Load(), calls.Load())
+	}
+	if calls.Load() == 0 {
+		t.Fatal("no traffic generated")
+	}
+	// Post-storm health check.
+	out, err := n1.Client().Invoke(objLOID, "greet", nil)
+	if err != nil {
+		t.Fatalf("post-storm invoke: %v", err)
+	}
+	if s := string(out); s != "hello" && s != "bonjour" {
+		t.Fatalf("post-storm response %q", s)
+	}
+	t.Logf("storm: %d calls, %d transient (disabled/rebinding), 0 hard failures",
+		calls.Load(), transient.Load())
+}
+
+// mkNodeClient builds an isolated client (own cache) on the shared network.
+func mkNodeClient(t *testing.T, agent *naming.Agent, net *transport.InprocNetwork, i int) *rpc.Client {
+	t.Helper()
+	cache := naming.NewCache(agent, vclock.Real{}, 0)
+	client := rpc.NewClient(cache, net.Dialer())
+	client.CallTimeout = 2 * time.Second
+	client.MaxRebinds = 4
+	return client
+}

@@ -1,0 +1,387 @@
+package legion
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"godcdo/internal/naming"
+	"godcdo/internal/rpc"
+	"godcdo/internal/transport"
+	"godcdo/internal/vault"
+	"godcdo/internal/vclock"
+	"godcdo/internal/wire"
+)
+
+// counterMethods returns a method table with "inc" and "get" over a counter
+// persisted in the state under "n".
+func counterMethods() map[string]Method {
+	read := func(s *State) uint64 {
+		raw, ok := s.Get("n")
+		if !ok {
+			return 0
+		}
+		v, _ := wire.NewDecoder(raw).Uvarint()
+		return v
+	}
+	write := func(s *State, v uint64) {
+		e := wire.NewEncoder(8)
+		e.PutUvarint(v)
+		s.Set("n", e.Bytes())
+	}
+	return map[string]Method{
+		"inc": func(s *State, _ []byte) ([]byte, error) {
+			write(s, read(s)+1)
+			return nil, nil
+		},
+		"get": func(s *State, _ []byte) ([]byte, error) {
+			e := wire.NewEncoder(8)
+			e.PutUvarint(read(s))
+			return e.Bytes(), nil
+		},
+	}
+}
+
+func getCounter(t *testing.T, client *rpc.Client, loid naming.LOID) uint64 {
+	t.Helper()
+	out, err := client.Invoke(loid, "get", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := wire.NewDecoder(out).Uvarint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func newTestNodes(t *testing.T, names ...string) (*naming.Agent, []*Node) {
+	t.Helper()
+	agent := naming.NewAgent(vclock.Real{})
+	net := transport.NewInprocNetwork()
+	nodes := make([]*Node, len(names))
+	for i, name := range names {
+		n, err := NewNode(NodeConfig{Name: name, Agent: agent, Inproc: net})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = n.Close() })
+		nodes[i] = n
+	}
+	return agent, nodes
+}
+
+func TestNodeHostAndInvoke(t *testing.T) {
+	_, nodes := newTestNodes(t, "n1", "n2")
+	n1, n2 := nodes[0], nodes[1]
+
+	alloc := naming.NewAllocator(1, 3)
+	class := NewClass("counter", alloc, counterMethods(), 550<<10)
+	obj, err := class.CreateInstance(n1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !n1.Hosts(obj.LOID()) {
+		t.Fatal("n1 does not host the new object")
+	}
+
+	// Invoke from another node.
+	for i := 0; i < 3; i++ {
+		if _, err := n2.Client().Invoke(obj.LOID(), "inc", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := getCounter(t, n2.Client(), obj.LOID()); got != 3 {
+		t.Fatalf("counter = %d, want 3", got)
+	}
+	if _, err := n2.Client().Invoke(obj.LOID(), "nope", nil); !errors.Is(err, rpc.ErrNoSuchFunction) {
+		t.Fatalf("err = %v, want ErrNoSuchFunction", err)
+	}
+}
+
+func TestNormalObjectInterfaceSorted(t *testing.T) {
+	obj := NewNormalObject(naming.LOID{Instance: 1}, counterMethods(), 100)
+	if got := obj.Interface(); !reflect.DeepEqual(got, []string{"get", "inc"}) {
+		t.Fatalf("Interface = %v", got)
+	}
+	if obj.ExecutableSize != 100 {
+		t.Fatalf("ExecutableSize = %d", obj.ExecutableSize)
+	}
+}
+
+func TestStateEncodeDecodeRoundTrip(t *testing.T) {
+	s := NewState()
+	s.Set("a", []byte{1, 2})
+	s.Set("b", nil)
+	s.Set("z", []byte("zzz"))
+	s.Delete("b")
+
+	out, err := DecodeState(s.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 {
+		t.Fatalf("len = %d", out.Len())
+	}
+	a, ok := out.Get("a")
+	if !ok || !reflect.DeepEqual(a, []byte{1, 2}) {
+		t.Fatalf("a = %v, %v", a, ok)
+	}
+	if _, ok := out.Get("b"); ok {
+		t.Fatal("deleted key survived round trip")
+	}
+}
+
+func TestStateGetReturnsCopy(t *testing.T) {
+	s := NewState()
+	s.Set("k", []byte{1})
+	v, _ := s.Get("k")
+	v[0] = 9
+	v2, _ := s.Get("k")
+	if v2[0] != 1 {
+		t.Fatal("Get returned aliased storage")
+	}
+}
+
+func TestDecodeStateCorrupt(t *testing.T) {
+	if _, err := DecodeState([]byte{0xff}); !errors.Is(err, ErrCorruptState) {
+		t.Fatalf("err = %v, want ErrCorruptState", err)
+	}
+	e := wire.NewEncoder(8)
+	e.PutUvarint(5) // claims five entries, provides none
+	if _, err := DecodeState(e.Bytes()); !errors.Is(err, ErrCorruptState) {
+		t.Fatalf("err = %v, want ErrCorruptState", err)
+	}
+}
+
+func TestMigratePreservesStateAndHealsBindings(t *testing.T) {
+	_, nodes := newTestNodes(t, "src", "dst")
+	src, dst := nodes[0], nodes[1]
+
+	alloc := naming.NewAllocator(1, 3)
+	class := NewClass("counter", alloc, counterMethods(), 550<<10)
+	obj, err := class.CreateInstance(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loid := obj.LOID()
+
+	// A client on dst warms its binding cache against the src address.
+	agent, ok := src.Agent().(*naming.Agent)
+	if !ok {
+		t.Fatal("test node should use the in-memory agent")
+	}
+	client := dst.Client()
+	if _, err := client.Invoke(loid, "inc", nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Migrate to dst.
+	target := class.NewIncarnation(loid)
+	if err := Migrate(loid, src, dst, obj, target); err != nil {
+		t.Fatal(err)
+	}
+	if src.Hosts(loid) || !dst.Hosts(loid) {
+		t.Fatal("object not moved")
+	}
+	// State moved with the object; cached binding heals transparently.
+	if got := getCounter(t, client, loid); got != 1 {
+		t.Fatalf("counter after migration = %d, want 1", got)
+	}
+	// Incarnation bumped at the agent.
+	if inc := agent.Current(loid); inc != 2 {
+		t.Fatalf("incarnation = %d, want 2", inc)
+	}
+}
+
+func TestMigrateRestoreFailureRollsBack(t *testing.T) {
+	_, nodes := newTestNodes(t, "src", "dst")
+	src, dst := nodes[0], nodes[1]
+
+	alloc := naming.NewAllocator(1, 3)
+	class := NewClass("counter", alloc, counterMethods(), 1)
+	obj, err := class.CreateInstance(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = Migrate(obj.LOID(), src, dst, obj, failingRestore{})
+	if err == nil {
+		t.Fatal("expected restore failure")
+	}
+	// Rolled back: still hosted at the source.
+	if !src.Hosts(obj.LOID()) {
+		t.Fatal("object lost after failed migration")
+	}
+}
+
+type failingRestore struct{}
+
+func (failingRestore) InvokeMethod(string, []byte) ([]byte, error) { return nil, nil }
+func (failingRestore) CaptureState() ([]byte, error)               { return nil, nil }
+func (failingRestore) RestoreState([]byte) error                   { return errors.New("boom") }
+
+func TestEvictUnknownObject(t *testing.T) {
+	_, nodes := newTestNodes(t, "only")
+	if err := nodes[0].EvictObject(naming.LOID{Instance: 9}, true); !errors.Is(err, ErrNotHosted) {
+		t.Fatalf("err = %v, want ErrNotHosted", err)
+	}
+}
+
+func TestNodeCloseRejectsHosting(t *testing.T) {
+	_, nodes := newTestNodes(t, "closing")
+	n := nodes[0]
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.HostObject(naming.LOID{Instance: 1}, NewNormalObject(naming.LOID{Instance: 1}, nil, 0)); !errors.Is(err, ErrNodeClosed) {
+		t.Fatalf("err = %v, want ErrNodeClosed", err)
+	}
+	if err := n.Close(); err != nil {
+		t.Fatal("double close should be nil")
+	}
+}
+
+func TestNodeOverTCP(t *testing.T) {
+	agent := naming.NewAgent(vclock.Real{})
+	n1, err := NewNode(NodeConfig{Name: "tcp1", Agent: agent})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n1.Close()
+	n2, err := NewNode(NodeConfig{Name: "tcp2", Agent: agent})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n2.Close()
+
+	alloc := naming.NewAllocator(1, 3)
+	class := NewClass("counter", alloc, counterMethods(), 1)
+	obj, err := class.CreateInstance(n1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n2.Client().Invoke(obj.LOID(), "inc", nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := getCounter(t, n2.Client(), obj.LOID()); got != 1 {
+		t.Fatalf("counter over TCP = %d", got)
+	}
+}
+
+func TestClassInstancesTracked(t *testing.T) {
+	_, nodes := newTestNodes(t, "n")
+	alloc := naming.NewAllocator(1, 3)
+	class := NewClass("counter", alloc, counterMethods(), 1)
+	if class.Name() != "counter" || class.ExecutableSize() != 1 {
+		t.Fatal("class metadata wrong")
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := class.CreateInstance(nodes[0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(class.Instances()); got != 3 {
+		t.Fatalf("instances = %d", got)
+	}
+}
+
+func TestDeactivateActivateThroughVault(t *testing.T) {
+	_, nodes := newTestNodes(t, "n1", "n2")
+	n1, n2 := nodes[0], nodes[1]
+	v := vault.NewMemory()
+
+	class := NewClass("counter", naming.NewAllocator(1, 3), counterMethods(), 1)
+	obj, err := class.CreateInstance(n1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n2.Client().Invoke(obj.LOID(), "inc", nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Deactivate: the object goes dormant in the vault; its binding is
+	// gone entirely.
+	if err := n1.Deactivate(obj.LOID(), obj, v); err != nil {
+		t.Fatal(err)
+	}
+	if n1.Hosts(obj.LOID()) {
+		t.Fatal("object still hosted after deactivation")
+	}
+	if loids, _ := v.List(); len(loids) != 1 {
+		t.Fatalf("vault = %v", loids)
+	}
+	n2.Cache().Invalidate(obj.LOID())
+	if _, err := n2.Client().Invoke(obj.LOID(), "inc", nil); !errors.Is(err, naming.ErrNotBound) {
+		t.Fatalf("call to dormant object err = %v, want ErrNotBound", err)
+	}
+
+	// Activate on a different node: state survives, vault entry removed.
+	incarnation := class.NewIncarnation(obj.LOID())
+	if err := n2.Activate(obj.LOID(), incarnation, v); err != nil {
+		t.Fatal(err)
+	}
+	if got := getCounter(t, n1.Client(), obj.LOID()); got != 1 {
+		t.Fatalf("counter after reactivation = %d, want 1", got)
+	}
+	if loids, _ := v.List(); len(loids) != 0 {
+		t.Fatalf("vault not cleaned: %v", loids)
+	}
+}
+
+func TestActivateMissingEntry(t *testing.T) {
+	_, nodes := newTestNodes(t, "n")
+	v := vault.NewMemory()
+	class := NewClass("c", naming.NewAllocator(1, 3), counterMethods(), 1)
+	loid := naming.LOID{Instance: 404}
+	err := nodes[0].Activate(loid, class.NewIncarnation(loid), v)
+	if !errors.Is(err, vault.ErrNotStored) {
+		t.Fatalf("err = %v, want ErrNotStored", err)
+	}
+}
+
+func TestDeactivateRollsBackVaultOnEvictFailure(t *testing.T) {
+	_, nodes := newTestNodes(t, "n")
+	v := vault.NewMemory()
+	// Object was never hosted: evict fails, and the vault entry written
+	// during deactivation must be rolled back.
+	obj := NewNormalObject(naming.LOID{Instance: 9}, counterMethods(), 1)
+	err := nodes[0].Deactivate(obj.LOID(), obj, v)
+	if !errors.Is(err, ErrNotHosted) {
+		t.Fatalf("err = %v, want ErrNotHosted", err)
+	}
+	if loids, _ := v.List(); len(loids) != 0 {
+		t.Fatalf("vault entry leaked: %v", loids)
+	}
+}
+
+func TestNodeAccessors(t *testing.T) {
+	_, nodes := newTestNodes(t, "acc")
+	n := nodes[0]
+	if n.Name() != "acc" {
+		t.Fatalf("Name = %q", n.Name())
+	}
+	if n.Endpoint() != "inproc:acc" {
+		t.Fatalf("Endpoint = %q", n.Endpoint())
+	}
+	if n.Dispatcher() == nil || n.Cache() == nil || n.Clock() == nil {
+		t.Fatal("nil accessor")
+	}
+	if n.HostImpl().Arch != "go" {
+		t.Fatalf("HostImpl = %v", n.HostImpl())
+	}
+}
+
+func TestNormalObjectStateAccessor(t *testing.T) {
+	obj := NewNormalObject(naming.LOID{Instance: 1}, counterMethods(), 1)
+	obj.State().Set("k", []byte("v"))
+	got, ok := obj.State().Get("k")
+	if !ok || string(got) != "v" {
+		t.Fatalf("state = %q, %v", got, ok)
+	}
+}
+
+func TestNewNodeRequiresAgent(t *testing.T) {
+	if _, err := NewNode(NodeConfig{Name: "x"}); err == nil {
+		t.Fatal("node without agent accepted")
+	}
+}

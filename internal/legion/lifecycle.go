@@ -1,0 +1,50 @@
+package legion
+
+import (
+	"fmt"
+
+	"godcdo/internal/naming"
+	"godcdo/internal/vault"
+)
+
+// Deactivate captures the object's state into the vault and evicts it from
+// the node, deregistering its binding: the object goes dormant with no
+// running incarnation (Legion's normal resource-reclamation path).
+func (n *Node) Deactivate(loid naming.LOID, obj StatefulObject, v vault.Vault) error {
+	state, err := obj.CaptureState()
+	if err != nil {
+		return fmt.Errorf("deactivate %s: capture: %w", loid, err)
+	}
+	if err := v.Store(loid, state); err != nil {
+		return fmt.Errorf("deactivate %s: %w", loid, err)
+	}
+	if err := n.EvictObject(loid, true); err != nil {
+		// Roll the vault entry back so a later activation cannot resurrect
+		// a live object's stale state.
+		_ = v.Delete(loid)
+		return fmt.Errorf("deactivate %s: %w", loid, err)
+	}
+	return nil
+}
+
+// Activate restores a dormant object's state from the vault into a fresh
+// incarnation, hosts it on the node, and removes the vault entry. The
+// incarnation must already embody the object's implementation (a class
+// incarnation for normal objects, an empty configured DCDO for DCDOs —
+// whose captured descriptor rebuilds the implementation during restore).
+func (n *Node) Activate(loid naming.LOID, incarnation StatefulObject, v vault.Vault) error {
+	state, err := v.Load(loid)
+	if err != nil {
+		return fmt.Errorf("activate %s: %w", loid, err)
+	}
+	if err := incarnation.RestoreState(state); err != nil {
+		return fmt.Errorf("activate %s: restore: %w", loid, err)
+	}
+	if _, err := n.HostObject(loid, incarnation); err != nil {
+		return fmt.Errorf("activate %s: %w", loid, err)
+	}
+	if err := v.Delete(loid); err != nil {
+		return fmt.Errorf("activate %s: cleanup: %w", loid, err)
+	}
+	return nil
+}

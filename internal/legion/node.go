@@ -1,0 +1,236 @@
+// Package legion implements the base distributed-object runtime the DCDO
+// model is hosted in: nodes (Legion hosts) that serve objects over real
+// transports, class objects that create instances, normal (monolithic)
+// objects used as the evolution baseline, and object migration with state
+// capture and restore.
+package legion
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"godcdo/internal/naming"
+	"godcdo/internal/registry"
+	"godcdo/internal/rpc"
+	"godcdo/internal/transport"
+	"godcdo/internal/vclock"
+)
+
+// Errors returned by nodes and migration.
+var (
+	// ErrNotHosted is returned when an operation targets an object the
+	// node does not host.
+	ErrNotHosted = errors.New("legion: object not hosted on this node")
+	// ErrNodeClosed is returned after Close.
+	ErrNodeClosed = errors.New("legion: node closed")
+)
+
+// NodeConfig assembles a node's dependencies.
+type NodeConfig struct {
+	// Name is the node's display name (and inproc endpoint name).
+	Name string
+	// Agent is the domain's binding agent.
+	Agent naming.Authority
+	// Inproc, when set, serves on the in-process network instead of TCP.
+	Inproc *transport.InprocNetwork
+	// TCPAddr is the TCP listen address when Inproc is nil. Empty means
+	// "127.0.0.1:0".
+	TCPAddr string
+	// HostImpl is the node's native implementation type.
+	HostImpl registry.ImplType
+	// Clock defaults to the real clock.
+	Clock vclock.Clock
+	// CallTimeout configures the node's client. Zero means the rpc
+	// default.
+	CallTimeout time.Duration
+}
+
+// Node is one Legion host: it serves hosted objects on a transport endpoint
+// and provides a client for outbound invocations.
+type Node struct {
+	name     string
+	agent    naming.Authority
+	disp     *rpc.Dispatcher
+	server   transport.Server
+	dialer   transport.Dialer
+	client   *rpc.Client
+	cache    *naming.Cache
+	hostImpl registry.ImplType
+	clock    vclock.Clock
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewNode starts a node per cfg.
+func NewNode(cfg NodeConfig) (*Node, error) {
+	if cfg.Agent == nil {
+		return nil, errors.New("legion: node requires a binding agent")
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = vclock.Real{}
+	}
+	hostImpl := cfg.HostImpl
+	if hostImpl == (registry.ImplType{}) {
+		hostImpl = registry.NativeImplType
+	}
+
+	disp := rpc.NewDispatcher()
+	var (
+		server transport.Server
+		dialer transport.Dialer
+		err    error
+	)
+	if cfg.Inproc != nil {
+		server, err = cfg.Inproc.Listen(cfg.Name, disp)
+		if err != nil {
+			return nil, fmt.Errorf("legion: node %q: %w", cfg.Name, err)
+		}
+		dialer = transport.NewMultiDialer(map[transport.Scheme]transport.Dialer{
+			transport.SchemeInproc: cfg.Inproc.Dialer(),
+			transport.SchemeTCP:    transport.NewTCPDialer(),
+		})
+	} else {
+		addr := cfg.TCPAddr
+		if addr == "" {
+			addr = "127.0.0.1:0"
+		}
+		server, err = transport.ListenTCP(addr, disp)
+		if err != nil {
+			return nil, fmt.Errorf("legion: node %q: %w", cfg.Name, err)
+		}
+		dialer = transport.NewTCPDialer()
+	}
+
+	cache := naming.NewCache(cfg.Agent, clock, 0)
+	client := rpc.NewClient(cache, dialer)
+	if cfg.CallTimeout > 0 {
+		client.CallTimeout = cfg.CallTimeout
+	}
+	return &Node{
+		name:     cfg.Name,
+		agent:    cfg.Agent,
+		disp:     disp,
+		server:   server,
+		dialer:   dialer,
+		client:   client,
+		cache:    cache,
+		hostImpl: hostImpl,
+		clock:    clock,
+	}, nil
+}
+
+// Name returns the node's name.
+func (n *Node) Name() string { return n.name }
+
+// Endpoint returns the node's dialable endpoint.
+func (n *Node) Endpoint() string { return n.server.Endpoint() }
+
+// Client returns the node's outbound invocation client.
+func (n *Node) Client() *rpc.Client { return n.client }
+
+// Cache returns the node's binding cache.
+func (n *Node) Cache() *naming.Cache { return n.cache }
+
+// Agent returns the domain's binding authority.
+func (n *Node) Agent() naming.Authority { return n.agent }
+
+// Dispatcher returns the node's object dispatcher.
+func (n *Node) Dispatcher() *rpc.Dispatcher { return n.disp }
+
+// HostImpl returns the node's native implementation type.
+func (n *Node) HostImpl() registry.ImplType { return n.hostImpl }
+
+// Clock returns the node's clock.
+func (n *Node) Clock() vclock.Clock { return n.clock }
+
+// HostObject activates obj at loid on this node and registers the binding,
+// bumping the incarnation.
+func (n *Node) HostObject(loid naming.LOID, obj rpc.Object) (naming.Address, error) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return naming.Address{}, ErrNodeClosed
+	}
+	n.mu.Unlock()
+	n.disp.Host(loid, obj)
+	addr := n.agent.Register(loid, naming.Address{Endpoint: n.server.Endpoint()})
+	return addr, nil
+}
+
+// EvictObject deactivates loid on this node. When deregister is set the
+// binding agent forgets the object entirely (destruction); otherwise the
+// binding is left stale (crash / pre-migration), which is what clients then
+// discover the hard way.
+func (n *Node) EvictObject(loid naming.LOID, deregister bool) error {
+	if !n.disp.Hosted(loid) {
+		return fmt.Errorf("%w: %s on %s", ErrNotHosted, loid, n.name)
+	}
+	n.disp.Evict(loid)
+	if deregister {
+		n.agent.Deregister(loid)
+	}
+	return nil
+}
+
+// Hosts reports whether the node currently hosts loid.
+func (n *Node) Hosts(loid naming.LOID) bool { return n.disp.Hosted(loid) }
+
+// Close stops serving and releases the client's connections.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	n.mu.Unlock()
+	err := n.server.Close()
+	if derr := n.dialer.Close(); err == nil {
+		err = derr
+	}
+	return err
+}
+
+// StatefulObject is implemented by objects whose state can be captured and
+// restored — the object-mandatory interface Legion requires for migration
+// and for the baseline evolution pipeline.
+type StatefulObject interface {
+	rpc.Object
+	// CaptureState serialises the object's state.
+	CaptureState() ([]byte, error)
+	// RestoreState reinstates previously captured state.
+	RestoreState([]byte) error
+}
+
+// Migrate moves a stateful object from one node to another: capture state,
+// deactivate at the source, restore into target (a fresh incarnation of the
+// object's implementation on the destination), activate, and re-register
+// the binding. Clients' cached bindings become stale and heal on their next
+// call.
+func Migrate(loid naming.LOID, src, dst *Node, obj StatefulObject, target StatefulObject) error {
+	state, err := obj.CaptureState()
+	if err != nil {
+		return fmt.Errorf("migrate %s: capture: %w", loid, err)
+	}
+	if err := src.EvictObject(loid, false); err != nil {
+		return fmt.Errorf("migrate %s: %w", loid, err)
+	}
+	if err := target.RestoreState(state); err != nil {
+		// Roll back: reactivate at the source.
+		if _, herr := src.HostObject(loid, obj); herr != nil {
+			return errors.Join(
+				fmt.Errorf("migrate %s: restore: %w", loid, err),
+				fmt.Errorf("migrate %s: rollback failed: %w", loid, herr),
+			)
+		}
+		return fmt.Errorf("migrate %s: restore: %w", loid, err)
+	}
+	if _, err := dst.HostObject(loid, target); err != nil {
+		return fmt.Errorf("migrate %s: activate on %s: %w", loid, dst.Name(), err)
+	}
+	return nil
+}

@@ -1,0 +1,168 @@
+package legion
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"godcdo/internal/naming"
+	"godcdo/internal/objstate"
+	"godcdo/internal/rpc"
+)
+
+// Method is one entry of a normal object's static method table.
+type Method func(state *State, args []byte) ([]byte, error)
+
+// State is the serialisable key/value state objects carry (see package
+// objstate). Both normal objects and DCDOs use the same container, which is
+// what lets the baseline comparison capture and restore identical data.
+type State = objstate.State
+
+// NewState returns an empty state.
+func NewState() *State { return objstate.New() }
+
+// ErrCorruptState is returned when captured state cannot be decoded.
+var ErrCorruptState = objstate.ErrCorrupt
+
+// DecodeState parses state produced by State.Encode.
+func DecodeState(buf []byte) (*State, error) { return objstate.Decode(buf) }
+
+// NormalObject is a traditional Legion object: its behaviour is a static
+// monolithic method table fixed at build time. It is the baseline the paper
+// compares DCDOs against — changing its implementation requires the full
+// replace-the-executable pipeline in package baseline.
+type NormalObject struct {
+	loid    naming.LOID
+	methods map[string]Method
+	state   *State
+	// ExecutableSize models the monolithic binary's size; the baseline
+	// evolution pipeline downloads this many bytes.
+	ExecutableSize int64
+}
+
+var (
+	_ rpc.Object     = (*NormalObject)(nil)
+	_ StatefulObject = (*NormalObject)(nil)
+)
+
+// NewNormalObject builds a normal object over the given method table.
+func NewNormalObject(loid naming.LOID, methods map[string]Method, executableSize int64) *NormalObject {
+	copied := make(map[string]Method, len(methods))
+	for name, m := range methods {
+		copied[name] = m
+	}
+	return &NormalObject{
+		loid:           loid,
+		methods:        copied,
+		state:          NewState(),
+		ExecutableSize: executableSize,
+	}
+}
+
+// LOID returns the object's name.
+func (o *NormalObject) LOID() naming.LOID { return o.loid }
+
+// State exposes the object's mutable state.
+func (o *NormalObject) State() *State { return o.state }
+
+// Interface returns the sorted method names.
+func (o *NormalObject) Interface() []string {
+	names := make([]string, 0, len(o.methods))
+	for name := range o.methods {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// InvokeMethod implements rpc.Object. Unlike a DCDO there is no DFM: the
+// method table is immutable, so dispatch is a single map lookup.
+func (o *NormalObject) InvokeMethod(method string, args []byte) ([]byte, error) {
+	m, ok := o.methods[method]
+	if !ok {
+		return nil, fmt.Errorf("%q: %w", method, rpc.ErrNoSuchFunction)
+	}
+	return m(o.state, args)
+}
+
+// CaptureState implements StatefulObject.
+func (o *NormalObject) CaptureState() ([]byte, error) {
+	return o.state.Encode(), nil
+}
+
+// RestoreState implements StatefulObject.
+func (o *NormalObject) RestoreState(buf []byte) error {
+	s, err := DecodeState(buf)
+	if err != nil {
+		return err
+	}
+	o.state = s
+	return nil
+}
+
+// Class is a Legion class object for normal objects: it holds the type's
+// executable metadata and creates instances on nodes.
+type Class struct {
+	name     string
+	alloc    *naming.Allocator
+	methods  map[string]Method
+	execSize int64
+
+	mu        sync.Mutex
+	instances map[naming.LOID]*NormalObject
+}
+
+// NewClass returns a class creating objects with the given method table and
+// modelled executable size.
+func NewClass(name string, alloc *naming.Allocator, methods map[string]Method, execSize int64) *Class {
+	copied := make(map[string]Method, len(methods))
+	for n, m := range methods {
+		copied[n] = m
+	}
+	return &Class{
+		name:      name,
+		alloc:     alloc,
+		methods:   copied,
+		execSize:  execSize,
+		instances: make(map[naming.LOID]*NormalObject),
+	}
+}
+
+// Name returns the class name.
+func (c *Class) Name() string { return c.name }
+
+// ExecutableSize returns the class's modelled executable size.
+func (c *Class) ExecutableSize() int64 { return c.execSize }
+
+// CreateInstance allocates a LOID, instantiates the object, and hosts it on
+// node.
+func (c *Class) CreateInstance(node *Node) (*NormalObject, error) {
+	loid := c.alloc.Next()
+	obj := NewNormalObject(loid, c.methods, c.execSize)
+	if _, err := node.HostObject(loid, obj); err != nil {
+		return nil, fmt.Errorf("class %s: %w", c.name, err)
+	}
+	c.mu.Lock()
+	c.instances[loid] = obj
+	c.mu.Unlock()
+	return obj, nil
+}
+
+// NewIncarnation builds a fresh (empty-state) instance of the class's
+// implementation for loid without hosting it — the "new process" the
+// baseline evolution pipeline starts.
+func (c *Class) NewIncarnation(loid naming.LOID) *NormalObject {
+	return NewNormalObject(loid, c.methods, c.execSize)
+}
+
+// Instances returns the LOIDs of created instances, sorted.
+func (c *Class) Instances() []naming.LOID {
+	c.mu.Lock()
+	out := make([]naming.LOID, 0, len(c.instances))
+	for loid := range c.instances {
+		out = append(out, loid)
+	}
+	c.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}

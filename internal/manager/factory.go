@@ -1,0 +1,66 @@
+package manager
+
+import (
+	"errors"
+	"fmt"
+
+	"godcdo/internal/component"
+	"godcdo/internal/core"
+	"godcdo/internal/legion"
+	"godcdo/internal/naming"
+	"godcdo/internal/version"
+)
+
+// Factory plays the role of a Legion class object for a DCDO type: it
+// allocates LOIDs, instantiates DCDOs on nodes wired to each node's own
+// component fetcher, hosts them, and registers them with the type's DCDO
+// Manager — the complete creation flow experiment E3 prices.
+type Factory struct {
+	// Manager is the type's DCDO Manager.
+	Manager *Manager
+	// Alloc hands out instance LOIDs.
+	Alloc *naming.Allocator
+	// Config templates each instance's DCDO configuration; LOID, Fetcher,
+	// and HostImpl are filled per instance.
+	Config core.Config
+	// FetcherFor builds the component fetcher an instance on node uses.
+	// Nil means "download from ICOs over RPC with a local cache".
+	FetcherFor func(node *legion.Node) component.Fetcher
+}
+
+// ErrFactoryIncomplete is returned when required fields are missing.
+var ErrFactoryIncomplete = errors.New("manager: factory missing manager, allocator, or registry")
+
+// CreateOn creates a new DCDO on node at version v (nil means the manager's
+// current version), hosts it, and adds it to the DCDO table.
+func (f *Factory) CreateOn(node *legion.Node, v version.ID) (*core.DCDO, error) {
+	if f.Manager == nil || f.Alloc == nil || f.Config.Registry == nil {
+		return nil, ErrFactoryIncomplete
+	}
+	fetcherFor := f.FetcherFor
+	if fetcherFor == nil {
+		fetcherFor = func(node *legion.Node) component.Fetcher {
+			return &component.CachingFetcher{
+				Store:   component.NewStore(),
+				Backing: &component.RemoteFetcher{Client: node.Client()},
+			}
+		}
+	}
+
+	cfg := f.Config
+	cfg.LOID = f.Alloc.Next()
+	cfg.Fetcher = fetcherFor(node)
+	cfg.HostImpl = node.HostImpl()
+	obj := core.New(cfg)
+
+	// Configure first (the expensive part E3 measures), then activate, so
+	// clients never reach a half-built object.
+	if err := f.Manager.CreateInstance(LocalInstance{Obj: obj}, v, node.HostImpl()); err != nil {
+		return nil, fmt.Errorf("factory: %w", err)
+	}
+	if _, err := node.HostObject(cfg.LOID, obj); err != nil {
+		f.Manager.Drop(cfg.LOID)
+		return nil, fmt.Errorf("factory: %w", err)
+	}
+	return obj, nil
+}

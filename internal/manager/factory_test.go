@@ -1,0 +1,122 @@
+package manager
+
+import (
+	"errors"
+	"testing"
+
+	"godcdo/internal/component"
+	"godcdo/internal/core"
+	"godcdo/internal/evolution"
+	"godcdo/internal/legion"
+	"godcdo/internal/naming"
+	"godcdo/internal/transport"
+	"godcdo/internal/vclock"
+)
+
+// factoryEnv hosts the fixture's ICOs on a node and builds a Factory whose
+// instances download components over RPC.
+func factoryEnv(t *testing.T) (*fixture, *Manager, *legion.Node, *Factory) {
+	t.Helper()
+	f := newFixture(t)
+	agent := naming.NewAgent(vclock.Real{})
+	net := transport.NewInprocNetwork()
+	node, err := legion.NewNode(legion.NodeConfig{Name: "factory-node", Agent: agent, Inproc: net})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = node.Close() })
+	for id, ico := range map[string]naming.LOID{"en": f.icoEN, "fr": f.icoFR} {
+		if _, err := node.HostObject(ico, component.NewICO(f.comps[icoFor(f, id)])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := f.newManager(t, evolution.SingleVersion, evolution.Proactive)
+	factory := &Factory{
+		Manager: m,
+		Alloc:   naming.NewAllocator(1, 1),
+		Config:  core.Config{Registry: f.reg},
+	}
+	return f, m, node, factory
+}
+
+func icoFor(f *fixture, id string) naming.LOID {
+	if id == "en" {
+		return f.icoEN
+	}
+	return f.icoFR
+}
+
+func TestFactoryCreatesHostedManagedInstances(t *testing.T) {
+	_, m, node, factory := factoryEnv(t)
+
+	var objs []*core.DCDO
+	for i := 0; i < 3; i++ {
+		obj, err := factory.CreateOn(node, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		objs = append(objs, obj)
+	}
+	// Unique LOIDs, hosted, managed, serving.
+	seen := map[naming.LOID]bool{}
+	for _, obj := range objs {
+		if seen[obj.LOID()] {
+			t.Fatal("duplicate LOID from factory")
+		}
+		seen[obj.LOID()] = true
+		if !node.Hosts(obj.LOID()) {
+			t.Fatalf("%s not hosted", obj.LOID())
+		}
+		out, err := node.Client().Invoke(obj.LOID(), "greet", nil)
+		if err != nil || string(out) != "hello" {
+			t.Fatalf("greet = %q, %v", out, err)
+		}
+	}
+	if got := len(m.Records()); got != 3 {
+		t.Fatalf("records = %d", got)
+	}
+
+	// A proactive current-version change evolves the whole factory fleet.
+	if err := m.SetCurrentVersion(v(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	for _, obj := range objs {
+		out, _ := node.Client().Invoke(obj.LOID(), "greet", nil)
+		if string(out) != "bonjour" {
+			t.Fatalf("%s greet = %q after fleet evolution", obj.LOID(), out)
+		}
+	}
+}
+
+func TestFactoryAtSpecificVersion(t *testing.T) {
+	_, _, node, factory := factoryEnv(t)
+	obj, err := factory.CreateOn(node, v(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := node.Client().Invoke(obj.LOID(), "greet", nil)
+	if string(out) != "bonjour" {
+		t.Fatalf("greet = %q", out)
+	}
+}
+
+func TestFactoryValidation(t *testing.T) {
+	if _, err := (&Factory{}).CreateOn(nil, nil); !errors.Is(err, ErrFactoryIncomplete) {
+		t.Fatalf("err = %v, want ErrFactoryIncomplete", err)
+	}
+}
+
+func TestFactoryConfigurableVersionRefused(t *testing.T) {
+	_, m, node, factory := factoryEnv(t)
+	cfgV, err := m.Store().Derive(v(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := factory.CreateOn(node, cfgV); !errors.Is(err, ErrVersionNotReady) {
+		t.Fatalf("err = %v, want ErrVersionNotReady", err)
+	}
+	// Failed creations leave no orphan records.
+	if got := len(m.Records()); got != 0 {
+		t.Fatalf("records after failed create = %d", got)
+	}
+}

@@ -1,0 +1,299 @@
+package manager
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"godcdo/internal/core"
+	"godcdo/internal/dfm"
+	"godcdo/internal/evolution"
+	"godcdo/internal/naming"
+	"godcdo/internal/registry"
+	"godcdo/internal/version"
+)
+
+// Errors returned by the manager.
+var (
+	// ErrUnknownInstance is returned for LOIDs absent from the DCDO table.
+	ErrUnknownInstance = errors.New("manager: unknown instance")
+	// ErrDuplicateInstance is returned when adopting a LOID twice.
+	ErrDuplicateInstance = errors.New("manager: instance already managed")
+	// ErrNoCurrentVersion is returned when an operation requires a
+	// designated current version and none is set.
+	ErrNoCurrentVersion = errors.New("manager: no current version designated")
+)
+
+// Instance is a managed DCDO as the manager sees it: local instances wrap
+// *core.DCDO directly; remote instances proxy over RPC.
+type Instance interface {
+	// LOID names the instance.
+	LOID() naming.LOID
+	// Version returns the instance's current version.
+	Version() (version.ID, error)
+	// Apply evolves the instance to the target descriptor and version.
+	Apply(target *dfm.Descriptor, v version.ID) (core.ApplyReport, error)
+	// Interface returns the instance's enabled exported function names.
+	Interface() ([]string, error)
+}
+
+// Record is one row of the DCDO table (§2.4): the version identifier and
+// implementation type corresponding to each object's current implementation.
+type Record struct {
+	LOID    naming.LOID
+	Version version.ID
+	Impl    registry.ImplType
+}
+
+// Manager is a DCDO Manager: it maintains the DFM store for one object type
+// and the table of the DCDOs under its control, and drives their evolution
+// under a configured style and update policy.
+type Manager struct {
+	store  *Store
+	style  evolution.Style
+	policy evolution.UpdatePolicy
+
+	mu        sync.Mutex
+	instances map[naming.LOID]Instance
+	records   map[naming.LOID]*Record
+	current   version.ID
+}
+
+var _ evolution.ManagerView = (*Manager)(nil)
+
+// New returns a manager over its own empty store.
+func New(style evolution.Style, policy evolution.UpdatePolicy) *Manager {
+	return &Manager{
+		store:     NewStore(),
+		style:     style,
+		policy:    policy,
+		instances: make(map[naming.LOID]Instance),
+		records:   make(map[naming.LOID]*Record),
+	}
+}
+
+// Store exposes the manager's DFM store for version management.
+func (m *Manager) Store() *Store { return m.store }
+
+// Style returns the manager's evolution style.
+func (m *Manager) Style() evolution.Style { return m.style }
+
+// Policy returns the manager's update policy.
+func (m *Manager) Policy() evolution.UpdatePolicy { return m.policy }
+
+// CurrentVersion implements evolution.ManagerView.
+func (m *Manager) CurrentVersion() (version.ID, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.current.Clone(), nil
+}
+
+// InstantiableDescriptor implements evolution.ManagerView.
+func (m *Manager) InstantiableDescriptor(v version.ID) (*dfm.Descriptor, error) {
+	return m.store.InstantiableDescriptor(v)
+}
+
+// SetCurrentVersion designates v as the official current version. Under the
+// proactive update policy, every managed instance is immediately evolved
+// (§3.4); errors are collected per instance and returned joined.
+func (m *Manager) SetCurrentVersion(v version.ID) error {
+	if !m.store.IsInstantiable(v) {
+		return fmt.Errorf("%w: %s", ErrVersionNotReady, v)
+	}
+	m.mu.Lock()
+	m.current = v.Clone()
+	policy := m.policy
+	m.mu.Unlock()
+
+	if policy != evolution.Proactive {
+		return nil
+	}
+	var errs []error
+	for _, loid := range m.InstanceLOIDs() {
+		if err := m.EvolveInstance(loid, v); err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", loid, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// CreateInstance initialises a fresh instance to the given instantiable
+// version (or the current version when v is nil) and adds it to the DCDO
+// table.
+func (m *Manager) CreateInstance(inst Instance, v version.ID, impl registry.ImplType) error {
+	if v.IsZero() {
+		m.mu.Lock()
+		v = m.current.Clone()
+		m.mu.Unlock()
+		if v.IsZero() {
+			return ErrNoCurrentVersion
+		}
+	}
+	desc, err := m.store.InstantiableDescriptor(v)
+	if err != nil {
+		return err
+	}
+	loid := inst.LOID()
+	m.mu.Lock()
+	if _, exists := m.records[loid]; exists {
+		m.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrDuplicateInstance, loid)
+	}
+	m.mu.Unlock()
+
+	if _, err := inst.Apply(desc, v); err != nil {
+		return fmt.Errorf("create %s at %s: %w", loid, v, err)
+	}
+
+	m.mu.Lock()
+	m.instances[loid] = inst
+	m.records[loid] = &Record{LOID: loid, Version: v.Clone(), Impl: impl}
+	m.mu.Unlock()
+	return nil
+}
+
+// Adopt registers an already configured instance without evolving it (used
+// when a DCDO migrates in from another manager replica).
+func (m *Manager) Adopt(inst Instance, impl registry.ImplType) error {
+	loid := inst.LOID()
+	v, err := inst.Version()
+	if err != nil {
+		return fmt.Errorf("adopt %s: %w", loid, err)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, exists := m.records[loid]; exists {
+		return fmt.Errorf("%w: %s", ErrDuplicateInstance, loid)
+	}
+	m.instances[loid] = inst
+	m.records[loid] = &Record{LOID: loid, Version: v.Clone(), Impl: impl}
+	return nil
+}
+
+// Drop removes an instance from the table (destroyed or migrated away).
+func (m *Manager) Drop(loid naming.LOID) {
+	m.mu.Lock()
+	delete(m.instances, loid)
+	delete(m.records, loid)
+	m.mu.Unlock()
+}
+
+// EvolveInstance evolves one managed DCDO to version v, enforcing the
+// manager's style. This is the updateInstance() entry point the explicit
+// update policy relies on.
+func (m *Manager) EvolveInstance(loid naming.LOID, v version.ID) error {
+	m.mu.Lock()
+	inst, ok := m.instances[loid]
+	var from version.ID
+	if rec := m.records[loid]; rec != nil {
+		from = rec.Version.Clone()
+	}
+	current := m.current.Clone()
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownInstance, loid)
+	}
+
+	input := evolution.TransitionInput{
+		From:           from,
+		To:             v,
+		Current:        current,
+		ToInstantiable: m.store.IsInstantiable(v),
+	}
+	if m.style == evolution.MultiHybrid && !from.IsZero() {
+		input.DerivationErr = m.checkHybridDerivation(from, v)
+	}
+	if err := m.style.CheckTransition(input); err != nil {
+		return err
+	}
+
+	desc, err := m.store.InstantiableDescriptor(v)
+	if err != nil {
+		return err
+	}
+	if _, err := inst.Apply(desc, v); err != nil {
+		return fmt.Errorf("evolve %s to %s: %w", loid, v, err)
+	}
+	m.mu.Lock()
+	if rec, ok := m.records[loid]; ok {
+		rec.Version = v.Clone()
+	}
+	m.mu.Unlock()
+	return nil
+}
+
+// checkHybridDerivation applies the mandatory/permanent rules between two
+// arbitrary versions — the hybrid style's "checks to see if evolving a DCDO
+// to a version violates any rules" (§3.5).
+func (m *Manager) checkHybridDerivation(from, to version.ID) error {
+	fromDesc, err := m.store.Descriptor(from)
+	if err != nil {
+		return err
+	}
+	toDesc, err := m.store.Descriptor(to)
+	if err != nil {
+		return err
+	}
+	return toDesc.ValidateDerivation(fromDesc)
+}
+
+// InstanceLOIDs returns the managed LOIDs in sorted order.
+func (m *Manager) InstanceLOIDs() []naming.LOID {
+	m.mu.Lock()
+	out := make([]naming.LOID, 0, len(m.records))
+	for loid := range m.records {
+		out = append(out, loid)
+	}
+	m.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].String() < out[j].String()
+	})
+	return out
+}
+
+// Records returns a copy of the DCDO table.
+func (m *Manager) Records() []Record {
+	m.mu.Lock()
+	out := make([]Record, 0, len(m.records))
+	for _, r := range m.records {
+		out = append(out, Record{LOID: r.LOID, Version: r.Version.Clone(), Impl: r.Impl})
+	}
+	m.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].LOID.String() < out[j].LOID.String() })
+	return out
+}
+
+// RecordOf returns the table row for one instance.
+func (m *Manager) RecordOf(loid naming.LOID) (Record, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r, ok := m.records[loid]
+	if !ok {
+		return Record{}, fmt.Errorf("%w: %s", ErrUnknownInstance, loid)
+	}
+	return Record{LOID: r.LOID, Version: r.Version.Clone(), Impl: r.Impl}, nil
+}
+
+// --- Instance adapters -------------------------------------------------------
+
+// LocalInstance adapts an in-process *core.DCDO to the Instance interface.
+type LocalInstance struct {
+	Obj *core.DCDO
+}
+
+var _ Instance = LocalInstance{}
+
+// LOID implements Instance.
+func (l LocalInstance) LOID() naming.LOID { return l.Obj.LOID() }
+
+// Version implements Instance.
+func (l LocalInstance) Version() (version.ID, error) { return l.Obj.Version(), nil }
+
+// Apply implements Instance.
+func (l LocalInstance) Apply(target *dfm.Descriptor, v version.ID) (core.ApplyReport, error) {
+	return l.Obj.ApplyDescriptor(target, v)
+}
+
+// Interface implements Instance.
+func (l LocalInstance) Interface() ([]string, error) { return l.Obj.Interface(), nil }

@@ -1,0 +1,309 @@
+package manager
+
+import (
+	"errors"
+	"testing"
+
+	"godcdo/internal/dfm"
+	"godcdo/internal/evolution"
+	"godcdo/internal/naming"
+	"godcdo/internal/registry"
+	"godcdo/internal/version"
+)
+
+func TestCreateInstanceAtCurrentVersion(t *testing.T) {
+	f := newFixture(t)
+	m := f.newManager(t, evolution.SingleVersion, evolution.Explicit)
+	obj := f.newDCDO()
+
+	if err := m.CreateInstance(LocalInstance{Obj: obj}, nil, registry.NativeImplType); err != nil {
+		t.Fatal(err)
+	}
+	out, err := obj.InvokeMethod("greet", nil)
+	if err != nil || string(out) != "hello" {
+		t.Fatalf("greet = %q, %v", out, err)
+	}
+	if !obj.Version().Equal(v(1)) {
+		t.Fatalf("version = %v", obj.Version())
+	}
+	rec, err := m.RecordOf(obj.LOID())
+	if err != nil || !rec.Version.Equal(v(1)) || rec.Impl != registry.NativeImplType {
+		t.Fatalf("record = %+v, %v", rec, err)
+	}
+}
+
+func TestCreateInstanceAtSpecificVersion(t *testing.T) {
+	f := newFixture(t)
+	m := f.newManager(t, evolution.MultiGeneral, evolution.Explicit)
+	obj := f.newDCDO()
+	if err := m.CreateInstance(LocalInstance{Obj: obj}, v(1, 1), registry.NativeImplType); err != nil {
+		t.Fatal(err)
+	}
+	out, _ := obj.InvokeMethod("greet", nil)
+	if string(out) != "bonjour" {
+		t.Fatalf("greet = %q", out)
+	}
+}
+
+func TestCreateInstanceErrors(t *testing.T) {
+	f := newFixture(t)
+	m := f.newManager(t, evolution.SingleVersion, evolution.Explicit)
+	obj := f.newDCDO()
+	if err := m.CreateInstance(LocalInstance{Obj: obj}, nil, registry.NativeImplType); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CreateInstance(LocalInstance{Obj: obj}, nil, registry.NativeImplType); !errors.Is(err, ErrDuplicateInstance) {
+		t.Fatalf("err = %v, want ErrDuplicateInstance", err)
+	}
+
+	// No current version designated.
+	empty := New(evolution.SingleVersion, evolution.Explicit)
+	if err := empty.CreateInstance(LocalInstance{Obj: f.newDCDO()}, nil, registry.NativeImplType); !errors.Is(err, ErrNoCurrentVersion) {
+		t.Fatalf("err = %v, want ErrNoCurrentVersion", err)
+	}
+
+	// Configurable versions cannot create instances.
+	m2 := f.newManager(t, evolution.MultiGeneral, evolution.Explicit)
+	cfgV, _ := m2.Store().Derive(v(1))
+	if err := m2.CreateInstance(LocalInstance{Obj: f.newDCDO()}, cfgV, registry.NativeImplType); !errors.Is(err, ErrVersionNotReady) {
+		t.Fatalf("err = %v, want ErrVersionNotReady", err)
+	}
+}
+
+func TestSetCurrentVersionRequiresInstantiable(t *testing.T) {
+	f := newFixture(t)
+	m := f.newManager(t, evolution.SingleVersion, evolution.Explicit)
+	cfgV, _ := m.Store().Derive(v(1))
+	if err := m.SetCurrentVersion(cfgV); !errors.Is(err, ErrVersionNotReady) {
+		t.Fatalf("err = %v, want ErrVersionNotReady", err)
+	}
+	if err := m.SetCurrentVersion(v(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	cur, _ := m.CurrentVersion()
+	if !cur.Equal(v(1, 1)) {
+		t.Fatalf("current = %v", cur)
+	}
+}
+
+func TestProactiveUpdateEvolvesAllInstances(t *testing.T) {
+	f := newFixture(t)
+	m := f.newManager(t, evolution.SingleVersion, evolution.Proactive)
+	objs := []*LocalInstance{}
+	for i := 0; i < 3; i++ {
+		obj := f.newDCDO()
+		inst := LocalInstance{Obj: obj}
+		if err := m.CreateInstance(inst, nil, registry.NativeImplType); err != nil {
+			t.Fatal(err)
+		}
+		objs = append(objs, &inst)
+	}
+	// Designating a new current version immediately evolves everyone.
+	if err := m.SetCurrentVersion(v(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	for i, inst := range objs {
+		out, err := inst.Obj.InvokeMethod("greet", nil)
+		if err != nil || string(out) != "bonjour" {
+			t.Fatalf("instance %d greet = %q, %v", i, out, err)
+		}
+		if !inst.Obj.Version().Equal(v(1, 1)) {
+			t.Fatalf("instance %d version = %v", i, inst.Obj.Version())
+		}
+	}
+	for _, rec := range m.Records() {
+		if !rec.Version.Equal(v(1, 1)) {
+			t.Fatalf("record version = %v", rec.Version)
+		}
+	}
+}
+
+func TestExplicitPolicyLeavesInstancesAlone(t *testing.T) {
+	f := newFixture(t)
+	m := f.newManager(t, evolution.SingleVersion, evolution.Explicit)
+	obj := f.newDCDO()
+	if err := m.CreateInstance(LocalInstance{Obj: obj}, nil, registry.NativeImplType); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetCurrentVersion(v(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	out, _ := obj.InvokeMethod("greet", nil)
+	if string(out) != "hello" {
+		t.Fatalf("greet = %q, instance should be out of date under explicit policy", out)
+	}
+	// An external object explicitly updates the instance.
+	if err := m.EvolveInstance(obj.LOID(), v(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	out, _ = obj.InvokeMethod("greet", nil)
+	if string(out) != "bonjour" {
+		t.Fatalf("greet after explicit update = %q", out)
+	}
+}
+
+func TestSingleVersionStyleDeniesNonCurrent(t *testing.T) {
+	f := newFixture(t)
+	m := f.newManager(t, evolution.SingleVersion, evolution.Explicit)
+	obj := f.newDCDO()
+	if err := m.CreateInstance(LocalInstance{Obj: obj}, nil, registry.NativeImplType); err != nil {
+		t.Fatal(err)
+	}
+	// v1.1 is instantiable but not current: denied under single-version.
+	if err := m.EvolveInstance(obj.LOID(), v(1, 1)); !errors.Is(err, evolution.ErrTransitionDenied) {
+		t.Fatalf("err = %v, want ErrTransitionDenied", err)
+	}
+}
+
+func TestNoUpdateStyleDeniesEvolution(t *testing.T) {
+	f := newFixture(t)
+	m := f.newManager(t, evolution.MultiNoUpdate, evolution.Explicit)
+	obj := f.newDCDO()
+	if err := m.CreateInstance(LocalInstance{Obj: obj}, v(1), registry.NativeImplType); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.EvolveInstance(obj.LOID(), v(1, 1)); !errors.Is(err, evolution.ErrTransitionDenied) {
+		t.Fatalf("err = %v, want ErrTransitionDenied", err)
+	}
+}
+
+func TestIncreasingStyleRequiresDescendant(t *testing.T) {
+	f := newFixture(t)
+	m := f.newManager(t, evolution.MultiIncreasing, evolution.Explicit)
+	obj := f.newDCDO()
+	if err := m.CreateInstance(LocalInstance{Obj: obj}, v(1), registry.NativeImplType); err != nil {
+		t.Fatal(err)
+	}
+	// 1 -> 1.1 is a descent: allowed.
+	if err := m.EvolveInstance(obj.LOID(), v(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// 1.1 -> 1 is an ascent: denied.
+	if err := m.EvolveInstance(obj.LOID(), v(1)); !errors.Is(err, evolution.ErrTransitionDenied) {
+		t.Fatalf("err = %v, want ErrTransitionDenied", err)
+	}
+}
+
+func TestGeneralStyleAllowsCrossBranch(t *testing.T) {
+	f := newFixture(t)
+	m := f.newManager(t, evolution.MultiGeneral, evolution.Explicit)
+	obj := f.newDCDO()
+	if err := m.CreateInstance(LocalInstance{Obj: obj}, v(1, 1), registry.NativeImplType); err != nil {
+		t.Fatal(err)
+	}
+	// 1.1 -> 1 (backwards) is fine under general evolution.
+	if err := m.EvolveInstance(obj.LOID(), v(1)); err != nil {
+		t.Fatal(err)
+	}
+	out, _ := obj.InvokeMethod("greet", nil)
+	if string(out) != "hello" {
+		t.Fatalf("greet = %q", out)
+	}
+}
+
+func TestHybridStyleChecksMandatoryRules(t *testing.T) {
+	f := newFixture(t)
+	m := f.newManager(t, evolution.MultiHybrid, evolution.Explicit)
+
+	// Derive v1.2 where greet@en is mandatory, and v1.3 which drops en
+	// entirely (only fr).
+	v12, _ := m.Store().Derive(v(1))
+	err := m.Store().Configure(v12, func(d *dfm.Descriptor) error {
+		d.Entry(dfm.EntryKey{Function: "greet", Component: "en"}).Mandatory = true
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Store().MarkInstantiable(v12); err != nil {
+		t.Fatal(err)
+	}
+
+	obj := f.newDCDO()
+	if err := m.CreateInstance(LocalInstance{Obj: obj}, v12, registry.NativeImplType); err != nil {
+		t.Fatal(err)
+	}
+
+	// v1.1 keeps the function but enables fr; from v1.2 (greet mandatory)
+	// to v1.1 the function still exists but the mandatory flag is demoted:
+	// hybrid denies it.
+	if err := m.EvolveInstance(obj.LOID(), v(1, 1)); !errors.Is(err, evolution.ErrTransitionDenied) {
+		t.Fatalf("err = %v, want ErrTransitionDenied", err)
+	}
+}
+
+func TestEvolveUnknownInstance(t *testing.T) {
+	f := newFixture(t)
+	m := f.newManager(t, evolution.SingleVersion, evolution.Explicit)
+	if err := m.EvolveInstance(naming.LOID{Instance: 404}, v(1)); !errors.Is(err, ErrUnknownInstance) {
+		t.Fatalf("err = %v, want ErrUnknownInstance", err)
+	}
+}
+
+func TestAdoptAndDrop(t *testing.T) {
+	f := newFixture(t)
+	m := f.newManager(t, evolution.MultiGeneral, evolution.Explicit)
+	obj := f.newDCDO()
+	desc, _ := m.Store().InstantiableDescriptor(v(1))
+	if _, err := obj.ApplyDescriptor(desc, v(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := m.Adopt(LocalInstance{Obj: obj}, registry.NativeImplType); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Adopt(LocalInstance{Obj: obj}, registry.NativeImplType); !errors.Is(err, ErrDuplicateInstance) {
+		t.Fatalf("err = %v, want ErrDuplicateInstance", err)
+	}
+	rec, err := m.RecordOf(obj.LOID())
+	if err != nil || !rec.Version.Equal(v(1)) {
+		t.Fatalf("record = %+v, %v", rec, err)
+	}
+	if got := len(m.InstanceLOIDs()); got != 1 {
+		t.Fatalf("instances = %d", got)
+	}
+	m.Drop(obj.LOID())
+	if _, err := m.RecordOf(obj.LOID()); !errors.Is(err, ErrUnknownInstance) {
+		t.Fatalf("err = %v, want ErrUnknownInstance", err)
+	}
+}
+
+func TestManagerAccessors(t *testing.T) {
+	f := newFixture(t)
+	m := f.newManager(t, evolution.MultiGeneral, evolution.Lazy)
+	if m.Style() != evolution.MultiGeneral {
+		t.Fatalf("Style = %v", m.Style())
+	}
+	if m.Policy() != evolution.Lazy {
+		t.Fatalf("Policy = %v", m.Policy())
+	}
+	obj := f.newDCDO()
+	if err := m.CreateInstance(LocalInstance{Obj: obj}, v(1), registry.NativeImplType); err != nil {
+		t.Fatal(err)
+	}
+	iface, err := (LocalInstance{Obj: obj}).Interface()
+	if err != nil || len(iface) != 1 || iface[0] != "greet" {
+		t.Fatalf("Interface = %v, %v", iface, err)
+	}
+}
+
+func TestManagerImplementsManagerViewForLazyUpdates(t *testing.T) {
+	f := newFixture(t)
+	m := f.newManager(t, evolution.SingleVersion, evolution.Lazy)
+	obj := f.newDCDO()
+	if err := m.CreateInstance(LocalInstance{Obj: obj}, nil, registry.NativeImplType); err != nil {
+		t.Fatal(err)
+	}
+	lu := evolution.NewLazyUpdater(obj, m, evolution.StrictConsistency(), nil)
+	if err := m.SetCurrentVersion(v(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	out, err := lu.InvokeMethod("greet", nil)
+	if err != nil || string(out) != "bonjour" {
+		t.Fatalf("lazy greet = %q, %v", out, err)
+	}
+	ver, err := version.Decode(obj.Version().Encode())
+	if err != nil || !ver.Equal(v(1, 1)) {
+		t.Fatalf("version = %v, %v", ver, err)
+	}
+}

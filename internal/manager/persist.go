@@ -1,0 +1,179 @@
+package manager
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"godcdo/internal/dfm"
+	"godcdo/internal/evolution"
+	"godcdo/internal/version"
+	"godcdo/internal/wire"
+)
+
+// A DCDO Manager's DFM store is the authoritative record of an object
+// type's versions; production managers must survive restarts. Save and
+// LoadStore serialise the whole version tree — identifiers, states,
+// derivation structure, and descriptors — so a manager can be rebuilt from
+// a vault or file.
+
+// storeFormatVersion guards the persistence format; bump on change.
+const storeFormatVersion = 1
+
+// ErrBadStoreImage is returned when a persisted store cannot be decoded.
+var ErrBadStoreImage = errors.New("manager: corrupt store image")
+
+// Save writes the store's full version tree to w.
+func (s *Store) Save(w io.Writer) error {
+	s.mu.Lock()
+	type row struct {
+		id        version.ID
+		state     VersionState
+		parent    version.ID
+		nextChild uint32
+		desc      []byte
+	}
+	rows := make([]row, 0, len(s.nodes))
+	for _, node := range s.nodes {
+		rows = append(rows, row{
+			id:        node.id.Clone(),
+			state:     node.state,
+			parent:    node.parent.Clone(),
+			nextChild: node.nextChild,
+			desc:      node.desc.Encode(),
+		})
+	}
+	root := s.root.Clone()
+	s.mu.Unlock()
+
+	sort.Slice(rows, func(i, j int) bool { return rows[i].id.Compare(rows[j].id) < 0 })
+
+	e := wire.NewEncoder(256)
+	e.PutUvarint(storeFormatVersion)
+	e.PutUintSlice(root.Encode())
+	e.PutUvarint(uint64(len(rows)))
+	for _, r := range rows {
+		e.PutUintSlice(r.id.Encode())
+		e.PutUvarint(uint64(r.state))
+		e.PutUintSlice(r.parent.Encode())
+		e.PutUvarint(uint64(r.nextChild))
+		e.PutBytes(r.desc)
+	}
+	if err := wire.WriteFrame(w, e.Bytes()); err != nil {
+		return fmt.Errorf("manager: save store: %w", err)
+	}
+	return nil
+}
+
+// LoadStore reads a store image written by Save.
+func LoadStore(r io.Reader) (*Store, error) {
+	frame, err := wire.ReadFrame(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadStoreImage, err)
+	}
+	dec := wire.NewDecoder(frame)
+	format, err := dec.Uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("%w: format: %v", ErrBadStoreImage, err)
+	}
+	if format != storeFormatVersion {
+		return nil, fmt.Errorf("%w: unsupported format %d", ErrBadStoreImage, format)
+	}
+	decodeVersion := func(what string) (version.ID, error) {
+		segs, err := dec.UintSlice()
+		if err != nil {
+			return nil, fmt.Errorf("%w: %s: %v", ErrBadStoreImage, what, err)
+		}
+		v, err := version.Decode(segs)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %s: %v", ErrBadStoreImage, what, err)
+		}
+		return v, nil
+	}
+
+	root, err := decodeVersion("root")
+	if err != nil {
+		return nil, err
+	}
+	n, err := dec.Uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("%w: node count: %v", ErrBadStoreImage, err)
+	}
+	if n > uint64(dec.Remaining()) {
+		return nil, fmt.Errorf("%w: node count %d exceeds image", ErrBadStoreImage, n)
+	}
+
+	s := NewStore()
+	s.root = root
+	for i := uint64(0); i < n; i++ {
+		id, err := decodeVersion("node id")
+		if err != nil {
+			return nil, err
+		}
+		stateRaw, err := dec.Uvarint()
+		if err != nil {
+			return nil, fmt.Errorf("%w: state: %v", ErrBadStoreImage, err)
+		}
+		state := VersionState(stateRaw)
+		if state != StateConfigurable && state != StateInstantiable {
+			return nil, fmt.Errorf("%w: unknown state %d", ErrBadStoreImage, stateRaw)
+		}
+		parent, err := decodeVersion("parent")
+		if err != nil {
+			return nil, err
+		}
+		nextChild, err := dec.Uvarint()
+		if err != nil {
+			return nil, fmt.Errorf("%w: next child: %v", ErrBadStoreImage, err)
+		}
+		descBytes, err := dec.Bytes()
+		if err != nil {
+			return nil, fmt.Errorf("%w: descriptor: %v", ErrBadStoreImage, err)
+		}
+		desc, err := dfm.DecodeDescriptor(descBytes)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadStoreImage, err)
+		}
+		s.nodes[id.String()] = &versionNode{
+			id:        id,
+			state:     state,
+			desc:      desc,
+			parent:    parent,
+			nextChild: uint32(nextChild),
+		}
+	}
+
+	// Rebuild child lists from parent pointers (stable order: sorted ids).
+	ids := make([]version.ID, 0, len(s.nodes))
+	for _, node := range s.nodes {
+		ids = append(ids, node.id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i].Compare(ids[j]) < 0 })
+	for _, id := range ids {
+		node := s.nodes[id.String()]
+		if node.parent.IsZero() {
+			continue
+		}
+		parent, ok := s.nodes[node.parent.String()]
+		if !ok {
+			return nil, fmt.Errorf("%w: node %s references missing parent %s",
+				ErrBadStoreImage, node.id, node.parent)
+		}
+		parent.children = append(parent.children, node.id)
+	}
+	if !s.root.IsZero() {
+		if _, ok := s.nodes[s.root.String()]; !ok {
+			return nil, fmt.Errorf("%w: missing root %s", ErrBadStoreImage, s.root)
+		}
+	}
+	return s, nil
+}
+
+// NewWithStore returns a manager over a previously loaded store (e.g. after
+// a restart). Instances re-register via Adopt.
+func NewWithStore(store *Store, style evolution.Style, policy evolution.UpdatePolicy) *Manager {
+	m := New(style, policy)
+	m.store = store
+	return m
+}

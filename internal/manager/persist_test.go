@@ -1,0 +1,184 @@
+package manager
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"godcdo/internal/dfm"
+	"godcdo/internal/evolution"
+	"godcdo/internal/registry"
+)
+
+// buildTree assembles a store with root 1 (instantiable), children 1.1
+// (instantiable) and 1.2 (configurable), and grandchild 1.1.1
+// (configurable).
+func buildTree(t *testing.T) *Store {
+	t.Helper()
+	s := NewStore()
+	root, err := s.CreateRoot(seedDescriptor())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MarkInstantiable(root); err != nil {
+		t.Fatal(err)
+	}
+	c1, err := s.Derive(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MarkInstantiable(c1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Derive(root); err != nil { // 1.2 stays configurable
+		t.Fatal(err)
+	}
+	if _, err := s.Derive(c1); err != nil { // 1.1.1 stays configurable
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestStoreSaveLoadRoundTrip(t *testing.T) {
+	src := buildTree(t)
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadStore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got.Len() != src.Len() {
+		t.Fatalf("Len = %d, want %d", got.Len(), src.Len())
+	}
+	if !got.Root().Equal(src.Root()) {
+		t.Fatalf("root = %v", got.Root())
+	}
+	for _, v := range src.Versions() {
+		srcState, _ := src.State(v)
+		gotState, err := got.State(v)
+		if err != nil || gotState != srcState {
+			t.Fatalf("state of %s = %v, %v (want %v)", v, gotState, err, srcState)
+		}
+		srcDesc, _ := src.Descriptor(v)
+		gotDesc, err := got.Descriptor(v)
+		if err != nil || !gotDesc.Equivalent(srcDesc) {
+			t.Fatalf("descriptor of %s not equivalent", v)
+		}
+		srcParent, _ := src.Parent(v)
+		gotParent, _ := got.Parent(v)
+		if !gotParent.Equal(srcParent) {
+			t.Fatalf("parent of %s = %v, want %v", v, gotParent, srcParent)
+		}
+		srcKids, _ := src.Children(v)
+		gotKids, _ := got.Children(v)
+		if len(srcKids) != len(gotKids) {
+			t.Fatalf("children of %s = %v, want %v", v, gotKids, srcKids)
+		}
+	}
+}
+
+func TestLoadedStoreContinuesDeriving(t *testing.T) {
+	src := buildTree(t)
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadStore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The child counter must have survived: the next derivation from the
+	// root is 1.3, not a collision with 1.1 or 1.2.
+	child, err := got.Derive(got.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if child.String() != "1.3" {
+		t.Fatalf("next child = %v, want 1.3", child)
+	}
+	// Instantiable versions stay frozen across the reload.
+	if err := got.Configure(got.Root(), func(*dfm.Descriptor) error { return nil }); !errors.Is(err, ErrVersionFrozen) {
+		t.Fatalf("err = %v, want ErrVersionFrozen", err)
+	}
+}
+
+func TestManagerRestartFlow(t *testing.T) {
+	f := newFixture(t)
+	m1 := f.newManager(t, evolution.SingleVersion, evolution.Explicit)
+	obj := f.newDCDO()
+	if err := m1.CreateInstance(LocalInstance{Obj: obj}, v(1), registry.NativeImplType); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": persist the store, rebuild a manager on it, re-adopt the
+	// still-running instance.
+	var buf bytes.Buffer
+	if err := m1.Store().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	store, err := LoadStore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := NewWithStore(store, evolution.SingleVersion, evolution.Explicit)
+	if err := m2.SetCurrentVersion(v(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Adopt(LocalInstance{Obj: obj}, registry.NativeImplType); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.EvolveInstance(obj.LOID(), v(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	out, err := obj.InvokeMethod("greet", nil)
+	if err != nil || string(out) != "bonjour" {
+		t.Fatalf("greet after restart evolution = %q, %v", out, err)
+	}
+}
+
+func TestLoadStoreRejectsCorrupt(t *testing.T) {
+	src := buildTree(t)
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	image := buf.Bytes()
+	for _, cut := range []int{0, 1, 5, len(image) / 2, len(image) - 1} {
+		if _, err := LoadStore(bytes.NewReader(image[:cut])); err == nil {
+			t.Errorf("cut=%d: corrupt image accepted", cut)
+		}
+	}
+}
+
+func TestLoadStoreRejectsWrongFormat(t *testing.T) {
+	// A frame whose payload declares an unknown format version.
+	var buf bytes.Buffer
+	s := NewStore()
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Patch the format byte inside the frame (first payload byte after the
+	// 5-byte frame header; format 1 encodes as a single varint byte).
+	image := buf.Bytes()
+	image[5] = 99
+	if _, err := LoadStore(bytes.NewReader(image)); !errors.Is(err, ErrBadStoreImage) {
+		t.Fatalf("err = %v, want ErrBadStoreImage", err)
+	}
+}
+
+func TestSaveLoadEmptyStore(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewStore().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadStore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 || !got.Root().IsZero() {
+		t.Fatalf("empty store round trip: len=%d root=%v", got.Len(), got.Root())
+	}
+}

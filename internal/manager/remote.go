@@ -1,0 +1,513 @@
+package manager
+
+import (
+	"fmt"
+
+	"godcdo/internal/core"
+	"godcdo/internal/dfm"
+	"godcdo/internal/evolution"
+	"godcdo/internal/naming"
+	"godcdo/internal/registry"
+	"godcdo/internal/rpc"
+	"godcdo/internal/version"
+	"godcdo/internal/wire"
+)
+
+// Remotely callable manager methods. A DCDO Manager is itself an active
+// distributed object; these constants are its exported interface.
+const (
+	MethodCurrentVersion   = "mgr.currentVersion"
+	MethodSetCurrent       = "mgr.setCurrent"
+	MethodDescriptor       = "mgr.descriptor"
+	MethodInstantiableDesc = "mgr.instantiableDescriptor"
+	MethodDerive           = "mgr.derive"
+	MethodMarkInstantiable = "mgr.markInstantiable"
+	MethodEvolveInstance   = "mgr.evolveInstance"
+	MethodRecords          = "mgr.records"
+	MethodCreateRoot       = "mgr.createRoot"
+	MethodVAddComponent    = "mgr.vAddComponent"
+	MethodVRemoveComponent = "mgr.vRemoveComponent"
+	MethodVSetEnabled      = "mgr.vSetEnabled"
+	MethodVSetFlags        = "mgr.vSetFlags"
+	MethodVAddDep          = "mgr.vAddDep"
+)
+
+// Object wraps a Manager as an rpc.Object so remote programmers and DCDOs
+// can drive version management and evolution over the wire.
+type Object struct {
+	Mgr *Manager
+}
+
+var _ rpc.Object = (*Object)(nil)
+
+// InvokeMethod implements rpc.Object.
+func (o *Object) InvokeMethod(method string, args []byte) ([]byte, error) {
+	m := o.Mgr
+	dec := wire.NewDecoder(args)
+	badReq := func(what string, err error) ([]byte, error) {
+		return nil, fmt.Errorf("%w: %s: %v", rpc.ErrBadRequest, what, err)
+	}
+	decodeVersion := func() (version.ID, error) {
+		segs, err := dec.UintSlice()
+		if err != nil {
+			return nil, err
+		}
+		return version.Decode(segs)
+	}
+	encodeVersion := func(v version.ID) []byte {
+		e := wire.NewEncoder(16)
+		e.PutUintSlice(v.Encode())
+		return e.Bytes()
+	}
+
+	switch method {
+	case MethodCurrentVersion:
+		v, err := m.CurrentVersion()
+		if err != nil {
+			return nil, err
+		}
+		return encodeVersion(v), nil
+
+	case MethodSetCurrent:
+		v, err := decodeVersion()
+		if err != nil {
+			return badReq("version", err)
+		}
+		return nil, m.SetCurrentVersion(v)
+
+	case MethodDescriptor, MethodInstantiableDesc:
+		v, err := decodeVersion()
+		if err != nil {
+			return badReq("version", err)
+		}
+		var desc *dfm.Descriptor
+		if method == MethodDescriptor {
+			desc, err = m.Store().Descriptor(v)
+		} else {
+			desc, err = m.Store().InstantiableDescriptor(v)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return desc.Encode(), nil
+
+	case MethodDerive:
+		from, err := decodeVersion()
+		if err != nil {
+			return badReq("version", err)
+		}
+		child, err := m.Store().Derive(from)
+		if err != nil {
+			return nil, err
+		}
+		return encodeVersion(child), nil
+
+	case MethodMarkInstantiable:
+		v, err := decodeVersion()
+		if err != nil {
+			return badReq("version", err)
+		}
+		return nil, m.Store().MarkInstantiable(v)
+
+	case MethodEvolveInstance:
+		loidStr, err := dec.String()
+		if err != nil {
+			return badReq("loid", err)
+		}
+		loid, err := naming.ParseLOID(loidStr)
+		if err != nil {
+			return badReq("loid", err)
+		}
+		v, err := decodeVersion()
+		if err != nil {
+			return badReq("version", err)
+		}
+		return nil, m.EvolveInstance(loid, v)
+
+	case MethodRecords:
+		records := m.Records()
+		e := wire.NewEncoder(32 * len(records))
+		e.PutUvarint(uint64(len(records)))
+		for _, r := range records {
+			e.PutString(r.LOID.String())
+			e.PutUintSlice(r.Version.Encode())
+			e.PutString(r.Impl.String())
+		}
+		return e.Bytes(), nil
+
+	case MethodCreateRoot:
+		descBytes, err := dec.Bytes()
+		if err != nil {
+			return badReq("descriptor", err)
+		}
+		var desc *dfm.Descriptor
+		if len(descBytes) > 0 {
+			if desc, err = dfm.DecodeDescriptor(descBytes); err != nil {
+				return badReq("descriptor", err)
+			}
+		}
+		root, err := m.Store().CreateRoot(desc)
+		if err != nil {
+			return nil, err
+		}
+		return encodeVersion(root), nil
+
+	case MethodVAddComponent:
+		v, err := decodeVersion()
+		if err != nil {
+			return badReq("version", err)
+		}
+		id, ref, entries, err := decodeAddComponent(dec)
+		if err != nil {
+			return badReq("component", err)
+		}
+		return nil, m.Store().Configure(v, func(d *dfm.Descriptor) error {
+			d.Components[id] = ref
+			d.Entries = append(d.Entries, entries...)
+			return nil
+		})
+
+	case MethodVRemoveComponent:
+		v, err := decodeVersion()
+		if err != nil {
+			return badReq("version", err)
+		}
+		id, err := dec.String()
+		if err != nil {
+			return badReq("component id", err)
+		}
+		return nil, m.Store().Configure(v, func(d *dfm.Descriptor) error {
+			delete(d.Components, id)
+			kept := d.Entries[:0]
+			for _, e := range d.Entries {
+				if e.Component != id {
+					kept = append(kept, e)
+				}
+			}
+			d.Entries = kept
+			return nil
+		})
+
+	case MethodVSetEnabled:
+		v, err := decodeVersion()
+		if err != nil {
+			return badReq("version", err)
+		}
+		fn, err := dec.String()
+		if err != nil {
+			return badReq("function", err)
+		}
+		comp, err := dec.String()
+		if err != nil {
+			return badReq("component", err)
+		}
+		enabled, err := dec.Bool()
+		if err != nil {
+			return badReq("enabled flag", err)
+		}
+		return nil, m.Store().Configure(v, func(d *dfm.Descriptor) error {
+			e := d.Entry(dfm.EntryKey{Function: fn, Component: comp})
+			if e == nil {
+				return fmt.Errorf("%w: no entry %s@%s in %s", ErrUnknownVersion, fn, comp, v)
+			}
+			e.Enabled = enabled
+			return nil
+		})
+
+	case MethodVSetFlags:
+		v, err := decodeVersion()
+		if err != nil {
+			return badReq("version", err)
+		}
+		fn, err := dec.String()
+		if err != nil {
+			return badReq("function", err)
+		}
+		comp, err := dec.String()
+		if err != nil {
+			return badReq("component", err)
+		}
+		var flags [3]bool
+		for i := range flags {
+			if flags[i], err = dec.Bool(); err != nil {
+				return badReq("flags", err)
+			}
+		}
+		return nil, m.Store().Configure(v, func(d *dfm.Descriptor) error {
+			e := d.Entry(dfm.EntryKey{Function: fn, Component: comp})
+			if e == nil {
+				return fmt.Errorf("%w: no entry %s@%s in %s", ErrUnknownVersion, fn, comp, v)
+			}
+			e.Exported, e.Mandatory, e.Permanent = flags[0], flags[1], flags[2]
+			return nil
+		})
+
+	case MethodVAddDep:
+		v, err := decodeVersion()
+		if err != nil {
+			return badReq("version", err)
+		}
+		kind, err := dec.Uvarint()
+		if err != nil {
+			return badReq("dependency", err)
+		}
+		var dep dfm.Dependency
+		dep.Kind = dfm.DepKind(kind)
+		if dep.FromFunc, err = dec.String(); err != nil {
+			return badReq("dependency", err)
+		}
+		if dep.FromComp, err = dec.String(); err != nil {
+			return badReq("dependency", err)
+		}
+		if dep.ToFunc, err = dec.String(); err != nil {
+			return badReq("dependency", err)
+		}
+		if dep.ToComp, err = dec.String(); err != nil {
+			return badReq("dependency", err)
+		}
+		if err := dep.Validate(); err != nil {
+			return badReq("dependency", err)
+		}
+		return nil, m.Store().Configure(v, func(d *dfm.Descriptor) error {
+			d.Deps = append(d.Deps, dep)
+			return nil
+		})
+
+	default:
+		return nil, fmt.Errorf("%w: %q", rpc.ErrNoSuchFunction, method)
+	}
+}
+
+func decodeAddComponent(dec *wire.Decoder) (string, dfm.ComponentRef, []dfm.EntryDesc, error) {
+	id, err := dec.String()
+	if err != nil {
+		return "", dfm.ComponentRef{}, nil, err
+	}
+	var ref dfm.ComponentRef
+	loidStr, err := dec.String()
+	if err != nil {
+		return "", ref, nil, err
+	}
+	if ref.ICO, err = naming.ParseLOID(loidStr); err != nil {
+		return "", ref, nil, err
+	}
+	if ref.CodeRef, err = dec.String(); err != nil {
+		return "", ref, nil, err
+	}
+	implStr, err := dec.String()
+	if err != nil {
+		return "", ref, nil, err
+	}
+	if ref.Impl, err = registry.ParseImplType(implStr); err != nil {
+		return "", ref, nil, err
+	}
+	if ref.CodeSize, err = dec.Varint(); err != nil {
+		return "", ref, nil, err
+	}
+	if ref.Revision, err = dec.Uvarint(); err != nil {
+		return "", ref, nil, err
+	}
+	n, err := dec.Uvarint()
+	if err != nil {
+		return "", ref, nil, err
+	}
+	if n > uint64(dec.Remaining()) {
+		return "", ref, nil, fmt.Errorf("entry count %d exceeds buffer", n)
+	}
+	entries := make([]dfm.EntryDesc, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var e dfm.EntryDesc
+		if e.Function, err = dec.String(); err != nil {
+			return "", ref, nil, err
+		}
+		e.Component = id
+		if e.Exported, err = dec.Bool(); err != nil {
+			return "", ref, nil, err
+		}
+		if e.Enabled, err = dec.Bool(); err != nil {
+			return "", ref, nil, err
+		}
+		if e.Mandatory, err = dec.Bool(); err != nil {
+			return "", ref, nil, err
+		}
+		if e.Permanent, err = dec.Bool(); err != nil {
+			return "", ref, nil, err
+		}
+		entries = append(entries, e)
+	}
+	return id, ref, entries, nil
+}
+
+// EncodeAddComponentArgs builds MethodVAddComponent's payload.
+func EncodeAddComponentArgs(v version.ID, id string, ref dfm.ComponentRef, entries []dfm.EntryDesc) []byte {
+	e := wire.NewEncoder(128)
+	e.PutUintSlice(v.Encode())
+	e.PutString(id)
+	e.PutString(ref.ICO.String())
+	e.PutString(ref.CodeRef)
+	e.PutString(ref.Impl.String())
+	e.PutVarint(ref.CodeSize)
+	e.PutUvarint(ref.Revision)
+	e.PutUvarint(uint64(len(entries)))
+	for _, en := range entries {
+		e.PutString(en.Function)
+		e.PutBool(en.Exported)
+		e.PutBool(en.Enabled)
+		e.PutBool(en.Mandatory)
+		e.PutBool(en.Permanent)
+	}
+	return e.Bytes()
+}
+
+// EncodeVersionArgs builds a payload holding just a version.
+func EncodeVersionArgs(v version.ID) []byte {
+	e := wire.NewEncoder(16)
+	e.PutUintSlice(v.Encode())
+	return e.Bytes()
+}
+
+// EncodeSetEnabledArgs builds MethodVSetEnabled's payload.
+func EncodeSetEnabledArgs(v version.ID, key dfm.EntryKey, enabled bool) []byte {
+	e := wire.NewEncoder(64)
+	e.PutUintSlice(v.Encode())
+	e.PutString(key.Function)
+	e.PutString(key.Component)
+	e.PutBool(enabled)
+	return e.Bytes()
+}
+
+// EncodeSetFlagsArgs builds MethodVSetFlags's payload.
+func EncodeSetFlagsArgs(v version.ID, key dfm.EntryKey, exported, mandatory, permanent bool) []byte {
+	e := wire.NewEncoder(64)
+	e.PutUintSlice(v.Encode())
+	e.PutString(key.Function)
+	e.PutString(key.Component)
+	e.PutBool(exported)
+	e.PutBool(mandatory)
+	e.PutBool(permanent)
+	return e.Bytes()
+}
+
+// EncodeAddDepArgs builds MethodVAddDep's payload.
+func EncodeAddDepArgs(v version.ID, dep dfm.Dependency) []byte {
+	e := wire.NewEncoder(64)
+	e.PutUintSlice(v.Encode())
+	e.PutUvarint(uint64(dep.Kind))
+	e.PutString(dep.FromFunc)
+	e.PutString(dep.FromComp)
+	e.PutString(dep.ToFunc)
+	e.PutString(dep.ToComp)
+	return e.Bytes()
+}
+
+// EncodeEvolveInstanceArgs builds MethodEvolveInstance's payload.
+func EncodeEvolveInstanceArgs(loid naming.LOID, v version.ID) []byte {
+	e := wire.NewEncoder(48)
+	e.PutString(loid.String())
+	e.PutUintSlice(v.Encode())
+	return e.Bytes()
+}
+
+// --- Remote proxies -----------------------------------------------------------
+
+// RemoteInstance adapts a DCDO reachable over RPC to the Instance interface.
+type RemoteInstance struct {
+	Client *rpc.Client
+	Target naming.LOID
+}
+
+var _ Instance = RemoteInstance{}
+
+// LOID implements Instance.
+func (r RemoteInstance) LOID() naming.LOID { return r.Target }
+
+// Version implements Instance.
+func (r RemoteInstance) Version() (version.ID, error) {
+	out, err := r.Client.Invoke(r.Target, core.MethodVersion, nil)
+	if err != nil {
+		return nil, err
+	}
+	segs, err := wire.NewDecoder(out).UintSlice()
+	if err != nil {
+		return nil, fmt.Errorf("remote version: %w", err)
+	}
+	return version.Decode(segs)
+}
+
+// Apply implements Instance.
+func (r RemoteInstance) Apply(target *dfm.Descriptor, v version.ID) (core.ApplyReport, error) {
+	out, err := r.Client.Invoke(r.Target, core.MethodApplyDescriptor, core.EncodeApplyArgs(target, v))
+	if err != nil {
+		return core.ApplyReport{}, err
+	}
+	return core.DecodeApplyReport(out)
+}
+
+// Interface implements Instance.
+func (r RemoteInstance) Interface() ([]string, error) {
+	out, err := r.Client.Invoke(r.Target, core.MethodInterface, nil)
+	if err != nil {
+		return nil, err
+	}
+	return wire.NewDecoder(out).StringSlice()
+}
+
+// EnsureCurrent implements the client side of the explicit update policy
+// (§3.4): a client "discovers that a DCDO is out of date, and initiates the
+// update to the current version before invoking a function on the object".
+// It compares the object's version with the remote manager's current
+// version and, when they differ, asks the manager to evolve the instance.
+// It reports whether an update was initiated.
+func EnsureCurrent(client *rpc.Client, mgr, obj naming.LOID) (bool, error) {
+	view := RemoteView{Client: client, Target: mgr}
+	current, err := view.CurrentVersion()
+	if err != nil {
+		return false, fmt.Errorf("ensure current: %w", err)
+	}
+	if current.IsZero() {
+		return false, nil
+	}
+	inst := RemoteInstance{Client: client, Target: obj}
+	mine, err := inst.Version()
+	if err != nil {
+		return false, fmt.Errorf("ensure current: %w", err)
+	}
+	if current.Equal(mine) {
+		return false, nil
+	}
+	if _, err := client.Invoke(mgr, MethodEvolveInstance, EncodeEvolveInstanceArgs(obj, current)); err != nil {
+		return false, fmt.Errorf("ensure current: %w", err)
+	}
+	return true, nil
+}
+
+// RemoteView adapts a manager reachable over RPC to evolution.ManagerView,
+// letting remote DCDOs run lazy update checks against their manager.
+type RemoteView struct {
+	Client *rpc.Client
+	Target naming.LOID
+}
+
+var _ evolution.ManagerView = RemoteView{}
+
+// CurrentVersion implements evolution.ManagerView.
+func (r RemoteView) CurrentVersion() (version.ID, error) {
+	out, err := r.Client.Invoke(r.Target, MethodCurrentVersion, nil)
+	if err != nil {
+		return nil, err
+	}
+	segs, err := wire.NewDecoder(out).UintSlice()
+	if err != nil {
+		return nil, fmt.Errorf("remote current version: %w", err)
+	}
+	return version.Decode(segs)
+}
+
+// InstantiableDescriptor implements evolution.ManagerView.
+func (r RemoteView) InstantiableDescriptor(v version.ID) (*dfm.Descriptor, error) {
+	out, err := r.Client.Invoke(r.Target, MethodInstantiableDesc, EncodeVersionArgs(v))
+	if err != nil {
+		return nil, err
+	}
+	return dfm.DecodeDescriptor(out)
+}

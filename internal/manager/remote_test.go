@@ -1,0 +1,347 @@
+package manager
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"godcdo/internal/core"
+	"godcdo/internal/dfm"
+	"godcdo/internal/evolution"
+	"godcdo/internal/naming"
+	"godcdo/internal/registry"
+	"godcdo/internal/rpc"
+	"godcdo/internal/transport"
+	"godcdo/internal/vclock"
+	"godcdo/internal/wire"
+)
+
+// remoteEnv hosts a manager object and DCDOs behind an in-process RPC
+// stack, exercising the full remote management path.
+type remoteEnv struct {
+	f      *fixture
+	mgr    *Manager
+	agent  *naming.Agent
+	disp   *rpc.Dispatcher
+	srv    *transport.InprocServer
+	client *rpc.Client
+	mgrLOI naming.LOID
+}
+
+func newRemoteEnv(t *testing.T, style evolution.Style) *remoteEnv {
+	t.Helper()
+	f := newFixture(t)
+	m := f.newManager(t, style, evolution.Explicit)
+
+	clk := vclock.Real{}
+	agent := naming.NewAgent(clk)
+	cache := naming.NewCache(agent, clk, 0)
+	net := transport.NewInprocNetwork()
+	disp := rpc.NewDispatcher()
+	srv, err := net.Listen("mgr-node", disp)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mgrLOID := naming.LOID{Domain: 1, Class: 2, Instance: 1}
+	disp.Host(mgrLOID, &Object{Mgr: m})
+	agent.Register(mgrLOID, naming.Address{Endpoint: srv.Endpoint()})
+
+	return &remoteEnv{
+		f: f, mgr: m, agent: agent, disp: disp, srv: srv,
+		client: rpc.NewClient(cache, net.Dialer()),
+		mgrLOI: mgrLOID,
+	}
+}
+
+func (e *remoteEnv) hostDCDO(t *testing.T) *core.DCDO {
+	t.Helper()
+	obj := e.f.newDCDO()
+	e.disp.Host(obj.LOID(), obj)
+	e.agent.Register(obj.LOID(), naming.Address{Endpoint: e.srv.Endpoint()})
+	return obj
+}
+
+func TestRemoteCurrentVersionAndDescriptor(t *testing.T) {
+	env := newRemoteEnv(t, evolution.SingleVersion)
+
+	view := RemoteView{Client: env.client, Target: env.mgrLOI}
+	cur, err := view.CurrentVersion()
+	if err != nil || !cur.Equal(v(1)) {
+		t.Fatalf("current = %v, %v", cur, err)
+	}
+	desc, err := view.InstantiableDescriptor(v(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, _ := env.mgr.Store().InstantiableDescriptor(v(1))
+	if !desc.Equivalent(local) {
+		t.Fatal("remote descriptor not equivalent to local")
+	}
+	// Configurable version refused through the instantiable method.
+	cfgV, _ := env.mgr.Store().Derive(v(1))
+	if _, err := view.InstantiableDescriptor(cfgV); err == nil {
+		t.Fatal("configurable descriptor served as instantiable")
+	}
+	// But visible through the plain descriptor method.
+	out, err := env.client.Invoke(env.mgrLOI, MethodDescriptor, EncodeVersionArgs(cfgV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dfm.DecodeDescriptor(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoteVersionLifecycle(t *testing.T) {
+	env := newRemoteEnv(t, evolution.SingleVersion)
+
+	// Derive a new version remotely.
+	out, err := env.client.Invoke(env.mgrLOI, MethodDerive, EncodeVersionArgs(v(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := wire.NewDecoder(out).UintSlice()
+	child, _ := versionFromSegs(segs)
+
+	// Configure it: swap the enabled implementation to fr.
+	if _, err := env.client.Invoke(env.mgrLOI, MethodVSetEnabled,
+		EncodeSetEnabledArgs(child, dfm.EntryKey{Function: "greet", Component: "en"}, false)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := env.client.Invoke(env.mgrLOI, MethodVSetEnabled,
+		EncodeSetEnabledArgs(child, dfm.EntryKey{Function: "greet", Component: "fr"}, true)); err != nil {
+		t.Fatal(err)
+	}
+	// Mark instantiable and set current.
+	if _, err := env.client.Invoke(env.mgrLOI, MethodMarkInstantiable, EncodeVersionArgs(child)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := env.client.Invoke(env.mgrLOI, MethodSetCurrent, EncodeVersionArgs(child)); err != nil {
+		t.Fatal(err)
+	}
+	cur, _ := env.mgr.CurrentVersion()
+	if !cur.Equal(child) {
+		t.Fatalf("current = %v, want %v", cur, child)
+	}
+}
+
+func versionFromSegs(segs []uint64) (out []uint32, err error) {
+	out = make([]uint32, len(segs))
+	for i, s := range segs {
+		out[i] = uint32(s)
+	}
+	return out, nil
+}
+
+func TestRemoteInstanceEvolution(t *testing.T) {
+	env := newRemoteEnv(t, evolution.SingleVersion)
+	obj := env.hostDCDO(t)
+
+	// The manager manages the object through a remote proxy.
+	ri := RemoteInstance{Client: env.client, Target: obj.LOID()}
+	if err := env.mgr.CreateInstance(ri, nil, registry.NativeImplType); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ri.Version()
+	if err != nil || !got.Equal(v(1)) {
+		t.Fatalf("remote version = %v, %v", got, err)
+	}
+	iface, err := ri.Interface()
+	if err != nil || !reflect.DeepEqual(iface, []string{"greet"}) {
+		t.Fatalf("remote interface = %v, %v", iface, err)
+	}
+
+	// Evolve via the manager's remote interface.
+	if _, err := env.client.Invoke(env.mgrLOI, MethodSetCurrent, EncodeVersionArgs(v(1, 1))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := env.client.Invoke(env.mgrLOI, MethodEvolveInstance,
+		EncodeEvolveInstanceArgs(obj.LOID(), v(1, 1))); err != nil {
+		t.Fatal(err)
+	}
+	out, err := env.client.Invoke(obj.LOID(), "greet", nil)
+	if err != nil || string(out) != "bonjour" {
+		t.Fatalf("greet after remote evolution = %q, %v", out, err)
+	}
+}
+
+func TestEnsureCurrentUpdatesStaleInstance(t *testing.T) {
+	env := newRemoteEnv(t, evolution.SingleVersion)
+	obj := env.hostDCDO(t)
+	ri := RemoteInstance{Client: env.client, Target: obj.LOID()}
+	if err := env.mgr.CreateInstance(ri, nil, registry.NativeImplType); err != nil {
+		t.Fatal(err)
+	}
+
+	// Object is already current: no update initiated.
+	updated, err := EnsureCurrent(env.client, env.mgrLOI, obj.LOID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if updated {
+		t.Fatal("EnsureCurrent updated an up-to-date instance")
+	}
+
+	// Designate 1.1 current under the explicit policy: the instance stays
+	// stale until a client calls EnsureCurrent.
+	if err := env.mgr.SetCurrentVersion(v(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if !obj.Version().Equal(v(1)) {
+		t.Fatalf("instance evolved without explicit request: %v", obj.Version())
+	}
+	updated, err = EnsureCurrent(env.client, env.mgrLOI, obj.LOID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !updated {
+		t.Fatal("EnsureCurrent did not update a stale instance")
+	}
+	if !obj.Version().Equal(v(1, 1)) {
+		t.Fatalf("version = %v, want 1.1", obj.Version())
+	}
+	out, err := env.client.Invoke(obj.LOID(), "greet", nil)
+	if err != nil || string(out) != "bonjour" {
+		t.Fatalf("greet after explicit update = %q, %v", out, err)
+	}
+}
+
+func TestEnsureCurrentNoCurrentVersion(t *testing.T) {
+	env := newRemoteEnv(t, evolution.SingleVersion)
+	obj := env.hostDCDO(t)
+	ri := RemoteInstance{Client: env.client, Target: obj.LOID()}
+	if err := env.mgr.CreateInstance(ri, v(1), registry.NativeImplType); err != nil {
+		t.Fatal(err)
+	}
+	env.mgr.mu.Lock()
+	env.mgr.current = nil
+	env.mgr.mu.Unlock()
+	updated, err := EnsureCurrent(env.client, env.mgrLOI, obj.LOID())
+	if err != nil || updated {
+		t.Fatalf("EnsureCurrent = %v, %v; want no-op", updated, err)
+	}
+}
+
+func TestRemoteRecords(t *testing.T) {
+	env := newRemoteEnv(t, evolution.SingleVersion)
+	obj := env.hostDCDO(t)
+	ri := RemoteInstance{Client: env.client, Target: obj.LOID()}
+	if err := env.mgr.CreateInstance(ri, nil, registry.NativeImplType); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := env.client.Invoke(env.mgrLOI, MethodRecords, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := wire.NewDecoder(out)
+	n, _ := dec.Uvarint()
+	if n != 1 {
+		t.Fatalf("records = %d", n)
+	}
+	loidStr, _ := dec.String()
+	if loidStr != obj.LOID().String() {
+		t.Fatalf("record loid = %q", loidStr)
+	}
+	segs, _ := dec.UintSlice()
+	if len(segs) != 1 || segs[0] != 1 {
+		t.Fatalf("record version = %v", segs)
+	}
+	implStr, _ := dec.String()
+	if implStr != registry.NativeImplType.String() {
+		t.Fatalf("record impl = %q", implStr)
+	}
+}
+
+func TestRemoteAddComponentAndDep(t *testing.T) {
+	env := newRemoteEnv(t, evolution.MultiGeneral)
+	cfgV, _ := env.mgr.Store().Derive(v(1))
+
+	// Remove fr remotely, then re-add it with different entries.
+	if _, err := env.client.Invoke(env.mgrLOI, MethodVRemoveComponent, encodeRemoveComponentArgs(cfgV, "fr")); err != nil {
+		t.Fatal(err)
+	}
+	desc, _ := env.mgr.Store().Descriptor(cfgV)
+	if _, ok := desc.Components["fr"]; ok {
+		t.Fatal("fr not removed")
+	}
+
+	ref := dfm.ComponentRef{ICO: env.f.icoFR, CodeRef: "fr:1", Impl: registry.NativeImplType, CodeSize: 32, Revision: 1}
+	entries := []dfm.EntryDesc{{Function: "greet", Component: "fr", Exported: true}}
+	if _, err := env.client.Invoke(env.mgrLOI, MethodVAddComponent,
+		EncodeAddComponentArgs(cfgV, "fr", ref, entries)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := env.client.Invoke(env.mgrLOI, MethodVAddDep,
+		EncodeAddDepArgs(cfgV, dfm.Dependency{Kind: dfm.DepD, FromFunc: "greet", ToFunc: "greet"})); err != nil {
+		t.Fatal(err)
+	}
+	desc, _ = env.mgr.Store().Descriptor(cfgV)
+	if _, ok := desc.Components["fr"]; !ok || len(desc.Deps) != 1 {
+		t.Fatalf("descriptor after remote config = %+v", desc)
+	}
+
+	// SetFlags remotely.
+	if _, err := env.client.Invoke(env.mgrLOI, MethodVSetFlags,
+		EncodeSetFlagsArgs(cfgV, dfm.EntryKey{Function: "greet", Component: "en"}, true, true, false)); err != nil {
+		t.Fatal(err)
+	}
+	desc, _ = env.mgr.Store().Descriptor(cfgV)
+	if e := desc.Entry(dfm.EntryKey{Function: "greet", Component: "en"}); e == nil || !e.Mandatory {
+		t.Fatalf("entry after remote flags = %+v", e)
+	}
+}
+
+func encodeRemoveComponentArgs(ver []uint32, id string) []byte {
+	e := wire.NewEncoder(32)
+	segs := make([]uint64, len(ver))
+	for i, s := range ver {
+		segs[i] = uint64(s)
+	}
+	e.PutUintSlice(segs)
+	e.PutString(id)
+	return e.Bytes()
+}
+
+func TestRemoteCreateRoot(t *testing.T) {
+	f := newFixture(t)
+	m := New(evolution.SingleVersion, evolution.Explicit)
+	obj := &Object{Mgr: m}
+
+	// Empty payload creates an empty root.
+	e := wire.NewEncoder(8)
+	e.PutBytes(nil)
+	out, err := obj.InvokeMethod(MethodCreateRoot, e.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := wire.NewDecoder(out).UintSlice()
+	if len(segs) != 1 || segs[0] != 1 {
+		t.Fatalf("root = %v", segs)
+	}
+
+	// Second root refused.
+	e2 := wire.NewEncoder(8)
+	e2.PutBytes(f.descriptorEnabling("en").Encode())
+	if _, err := obj.InvokeMethod(MethodCreateRoot, e2.Bytes()); !errors.Is(err, ErrRootExists) {
+		t.Fatalf("err = %v, want ErrRootExists", err)
+	}
+}
+
+func TestRemoteBadArgsAndUnknownMethod(t *testing.T) {
+	m := New(evolution.SingleVersion, evolution.Explicit)
+	obj := &Object{Mgr: m}
+	for _, method := range []string{
+		MethodSetCurrent, MethodDescriptor, MethodDerive, MethodMarkInstantiable,
+		MethodEvolveInstance, MethodVAddComponent, MethodVRemoveComponent,
+		MethodVSetEnabled, MethodVSetFlags, MethodVAddDep,
+	} {
+		if _, err := obj.InvokeMethod(method, nil); !errors.Is(err, rpc.ErrBadRequest) {
+			t.Errorf("%s: err = %v, want ErrBadRequest", method, err)
+		}
+	}
+	if _, err := obj.InvokeMethod("mgr.bogus", nil); !errors.Is(err, rpc.ErrNoSuchFunction) {
+		t.Fatalf("err = %v, want ErrNoSuchFunction", err)
+	}
+}

@@ -1,0 +1,272 @@
+// Package manager implements the DCDO Manager object type (§2.4): the DFM
+// store holding the version tree of DFM descriptors (each configurable or
+// instantiable), the DCDO table tracking managed instances, version
+// derivation and configuration, and the evolution driving governed by the
+// policies in package evolution.
+package manager
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"godcdo/internal/dfm"
+	"godcdo/internal/version"
+)
+
+// VersionState distinguishes configurable from instantiable versions.
+type VersionState int
+
+// Version states (§2.4).
+const (
+	// StateConfigurable versions can be edited but cannot create or evolve
+	// DCDOs.
+	StateConfigurable VersionState = iota + 1
+	// StateInstantiable versions can create and evolve DCDOs but can no
+	// longer be edited.
+	StateInstantiable
+)
+
+// String implements fmt.Stringer.
+func (s VersionState) String() string {
+	switch s {
+	case StateConfigurable:
+		return "configurable"
+	case StateInstantiable:
+		return "instantiable"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Errors returned by the store.
+var (
+	// ErrUnknownVersion is returned for versions absent from the store.
+	ErrUnknownVersion = errors.New("manager: unknown version")
+	// ErrVersionFrozen is returned when configuring an instantiable
+	// version.
+	ErrVersionFrozen = errors.New("manager: version is instantiable and cannot be configured")
+	// ErrVersionNotReady is returned when using a configurable version to
+	// create or evolve DCDOs.
+	ErrVersionNotReady = errors.New("manager: version is not instantiable")
+	// ErrRootExists is returned when creating a second root version.
+	ErrRootExists = errors.New("manager: root version already exists")
+)
+
+// versionNode is one node of the version tree.
+type versionNode struct {
+	id        version.ID
+	state     VersionState
+	desc      *dfm.Descriptor
+	parent    version.ID // nil for the root
+	children  []version.ID
+	nextChild uint32
+}
+
+// Store is the DFM store: the version tree of DFM descriptors for one
+// object type. Safe for concurrent use.
+type Store struct {
+	mu    sync.Mutex
+	nodes map[string]*versionNode
+	root  version.ID
+}
+
+// NewStore returns an empty DFM store.
+func NewStore() *Store {
+	return &Store{nodes: make(map[string]*versionNode)}
+}
+
+// CreateRoot installs the tree's root version (conventionally version 1) in
+// the configurable state with the given descriptor (nil means empty).
+func (s *Store) CreateRoot(desc *dfm.Descriptor) (version.ID, error) {
+	if desc == nil {
+		desc = dfm.NewDescriptor()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.root.IsZero() {
+		return nil, ErrRootExists
+	}
+	root := version.Root.Clone()
+	s.nodes[root.String()] = &versionNode{
+		id:    root,
+		state: StateConfigurable,
+		desc:  desc.Clone(),
+	}
+	s.root = root
+	return root, nil
+}
+
+// Root returns the root version, or nil when none exists.
+func (s *Store) Root() version.ID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.root.Clone()
+}
+
+// Derive creates a new configurable version by logically copying an existing
+// one (§2.4). Child identifiers are allocated as from.<n> with n increasing.
+func (s *Store) Derive(from version.ID) (version.ID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	parent, ok := s.nodes[from.String()]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownVersion, from)
+	}
+	parent.nextChild++
+	child := from.Child(parent.nextChild)
+	s.nodes[child.String()] = &versionNode{
+		id:     child,
+		state:  StateConfigurable,
+		desc:   parent.desc.Clone(),
+		parent: from.Clone(),
+	}
+	parent.children = append(parent.children, child)
+	return child, nil
+}
+
+// Configure edits a configurable version's descriptor through fn. The
+// descriptor must remain structurally valid; otherwise the edit is rolled
+// back.
+func (s *Store) Configure(v version.ID, fn func(*dfm.Descriptor) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	node, ok := s.nodes[v.String()]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownVersion, v)
+	}
+	if node.state != StateConfigurable {
+		return fmt.Errorf("%w: %s", ErrVersionFrozen, v)
+	}
+	working := node.desc.Clone()
+	if err := fn(working); err != nil {
+		return err
+	}
+	if err := working.Validate(); err != nil {
+		return fmt.Errorf("configure %s: %w", v, err)
+	}
+	node.desc = working
+	return nil
+}
+
+// MarkInstantiable freezes a configurable version after checking the
+// instantiability rules (§3.2) and the derivation constraints inherited from
+// its parent. Once instantiable, a version's descriptor never changes,
+// which is what lets a <manager, version id> pair uniquely identify an
+// interface and implementation.
+func (s *Store) MarkInstantiable(v version.ID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	node, ok := s.nodes[v.String()]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownVersion, v)
+	}
+	if node.state == StateInstantiable {
+		return nil
+	}
+	if err := node.desc.ValidateInstantiable(); err != nil {
+		return fmt.Errorf("mark %s instantiable: %w", v, err)
+	}
+	if !node.parent.IsZero() {
+		parent := s.nodes[node.parent.String()]
+		if parent != nil {
+			if err := node.desc.ValidateDerivation(parent.desc); err != nil {
+				return fmt.Errorf("mark %s instantiable: %w", v, err)
+			}
+		}
+	}
+	node.state = StateInstantiable
+	return nil
+}
+
+// State returns a version's state.
+func (s *Store) State(v version.ID) (VersionState, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	node, ok := s.nodes[v.String()]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrUnknownVersion, v)
+	}
+	return node.state, nil
+}
+
+// Descriptor returns a copy of a version's descriptor.
+func (s *Store) Descriptor(v version.ID) (*dfm.Descriptor, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	node, ok := s.nodes[v.String()]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownVersion, v)
+	}
+	return node.desc.Clone(), nil
+}
+
+// InstantiableDescriptor returns a copy of an instantiable version's
+// descriptor; configurable versions are refused (§2.4: they "cannot be used
+// to create a new DCDO, or to evolve an existing DCDO").
+func (s *Store) InstantiableDescriptor(v version.ID) (*dfm.Descriptor, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	node, ok := s.nodes[v.String()]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownVersion, v)
+	}
+	if node.state != StateInstantiable {
+		return nil, fmt.Errorf("%w: %s", ErrVersionNotReady, v)
+	}
+	return node.desc.Clone(), nil
+}
+
+// IsInstantiable reports whether v exists and is instantiable.
+func (s *Store) IsInstantiable(v version.ID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	node, ok := s.nodes[v.String()]
+	return ok && node.state == StateInstantiable
+}
+
+// Parent returns a version's parent (nil for the root).
+func (s *Store) Parent(v version.ID) (version.ID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	node, ok := s.nodes[v.String()]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownVersion, v)
+	}
+	return node.parent.Clone(), nil
+}
+
+// Children returns a version's direct children in derivation order.
+func (s *Store) Children(v version.ID) ([]version.ID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	node, ok := s.nodes[v.String()]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownVersion, v)
+	}
+	out := make([]version.ID, len(node.children))
+	for i, c := range node.children {
+		out[i] = c.Clone()
+	}
+	return out, nil
+}
+
+// Versions returns every version in the store, sorted.
+func (s *Store) Versions() []version.ID {
+	s.mu.Lock()
+	out := make([]version.ID, 0, len(s.nodes))
+	for _, node := range s.nodes {
+		out = append(out, node.id.Clone())
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// Len reports the number of versions in the store.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.nodes)
+}

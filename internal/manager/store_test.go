@@ -1,0 +1,252 @@
+package manager
+
+import (
+	"errors"
+	"testing"
+
+	"godcdo/internal/dfm"
+	"godcdo/internal/naming"
+	"godcdo/internal/registry"
+	"godcdo/internal/version"
+)
+
+// seedDescriptor returns a valid single-component descriptor.
+func seedDescriptor() *dfm.Descriptor {
+	d := dfm.NewDescriptor()
+	d.Components["c1"] = dfm.ComponentRef{
+		ICO: naming.LOID{Domain: 1, Class: 9, Instance: 1}, CodeRef: "c1:1",
+		Impl: registry.NativeImplType, CodeSize: 64, Revision: 1,
+	}
+	d.Entries = []dfm.EntryDesc{
+		{Function: "f", Component: "c1", Exported: true, Enabled: true},
+	}
+	return d
+}
+
+func TestCreateRootOnce(t *testing.T) {
+	s := NewStore()
+	if !s.Root().IsZero() {
+		t.Fatal("empty store has a root")
+	}
+	root, err := s.CreateRoot(seedDescriptor())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !root.Equal(version.Root) {
+		t.Fatalf("root = %v", root)
+	}
+	if !s.Root().Equal(root) {
+		t.Fatalf("Root() = %v", s.Root())
+	}
+	if _, err := s.CreateRoot(nil); !errors.Is(err, ErrRootExists) {
+		t.Fatalf("err = %v, want ErrRootExists", err)
+	}
+	if st, _ := s.State(root); st != StateConfigurable {
+		t.Fatalf("root state = %v", st)
+	}
+}
+
+func TestDeriveAllocatesChildIDs(t *testing.T) {
+	s := NewStore()
+	root, _ := s.CreateRoot(seedDescriptor())
+	c1, err := s.Derive(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := s.Derive(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.String() != "1.1" || c2.String() != "1.2" {
+		t.Fatalf("children = %v, %v", c1, c2)
+	}
+	grand, err := s.Derive(c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grand.String() != "1.1.1" {
+		t.Fatalf("grandchild = %v", grand)
+	}
+	kids, err := s.Children(root)
+	if err != nil || len(kids) != 2 {
+		t.Fatalf("children = %v, %v", kids, err)
+	}
+	p, err := s.Parent(grand)
+	if err != nil || !p.Equal(c1) {
+		t.Fatalf("parent = %v, %v", p, err)
+	}
+	if p, _ := s.Parent(root); p != nil {
+		t.Fatalf("root parent = %v", p)
+	}
+	if _, err := s.Derive(version.ID{9}); !errors.Is(err, ErrUnknownVersion) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDeriveIsLogicalCopy(t *testing.T) {
+	s := NewStore()
+	root, _ := s.CreateRoot(seedDescriptor())
+	child, _ := s.Derive(root)
+
+	// Mutating the child leaves the parent untouched.
+	err := s.Configure(child, func(d *dfm.Descriptor) error {
+		d.Entries[0].Exported = false
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parentDesc, _ := s.Descriptor(root)
+	if !parentDesc.Entries[0].Exported {
+		t.Fatal("configuring child mutated parent descriptor")
+	}
+}
+
+func TestConfigureValidatesAndRollsBack(t *testing.T) {
+	s := NewStore()
+	root, _ := s.CreateRoot(seedDescriptor())
+
+	// A structurally invalid edit is rejected and rolled back.
+	err := s.Configure(root, func(d *dfm.Descriptor) error {
+		d.Entries = append(d.Entries, dfm.EntryDesc{Function: "g", Component: "ghost"})
+		return nil
+	})
+	if !errors.Is(err, dfm.ErrInvalidDescriptor) {
+		t.Fatalf("err = %v, want ErrInvalidDescriptor", err)
+	}
+	desc, _ := s.Descriptor(root)
+	if len(desc.Entries) != 1 {
+		t.Fatal("failed edit left descriptor mutated")
+	}
+
+	// A callback error is propagated and rolls back too.
+	sentinel := errors.New("user error")
+	if err := s.Configure(root, func(*dfm.Descriptor) error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := s.Configure(version.ID{4}, func(*dfm.Descriptor) error { return nil }); !errors.Is(err, ErrUnknownVersion) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMarkInstantiableFreezes(t *testing.T) {
+	s := NewStore()
+	root, _ := s.CreateRoot(seedDescriptor())
+	if s.IsInstantiable(root) {
+		t.Fatal("configurable version reported instantiable")
+	}
+	if _, err := s.InstantiableDescriptor(root); !errors.Is(err, ErrVersionNotReady) {
+		t.Fatalf("err = %v, want ErrVersionNotReady", err)
+	}
+	if err := s.MarkInstantiable(root); err != nil {
+		t.Fatal(err)
+	}
+	if !s.IsInstantiable(root) {
+		t.Fatal("marked version not instantiable")
+	}
+	// Instantiable versions cannot be configured further.
+	err := s.Configure(root, func(*dfm.Descriptor) error { return nil })
+	if !errors.Is(err, ErrVersionFrozen) {
+		t.Fatalf("err = %v, want ErrVersionFrozen", err)
+	}
+	// Idempotent.
+	if err := s.MarkInstantiable(root); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.InstantiableDescriptor(root); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MarkInstantiable(version.ID{7}); !errors.Is(err, ErrUnknownVersion) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMarkInstantiableEnforcesMandatoryRule(t *testing.T) {
+	s := NewStore()
+	desc := seedDescriptor()
+	desc.Entries[0].Mandatory = true
+	desc.Entries[0].Enabled = false
+	root, _ := s.CreateRoot(desc)
+	// "If the DFM descriptor contains a mandatory dynamic function with no
+	// enabled implementation, the version will not be allowed to be marked
+	// instantiable."
+	if err := s.MarkInstantiable(root); !errors.Is(err, dfm.ErrNotInstantiable) {
+		t.Fatalf("err = %v, want ErrNotInstantiable", err)
+	}
+}
+
+func TestMarkInstantiableEnforcesDerivationRules(t *testing.T) {
+	s := NewStore()
+	desc := seedDescriptor()
+	desc.Entries[0].Mandatory = true
+	root, _ := s.CreateRoot(desc)
+	if err := s.MarkInstantiable(root); err != nil {
+		t.Fatal(err)
+	}
+	child, _ := s.Derive(root)
+	// Remove the mandatory function in the child.
+	err := s.Configure(child, func(d *dfm.Descriptor) error {
+		d.Entries = nil
+		delete(d.Components, "c1")
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MarkInstantiable(child); !errors.Is(err, dfm.ErrIllegalDerivation) {
+		t.Fatalf("err = %v, want ErrIllegalDerivation", err)
+	}
+}
+
+func TestVersionsSortedAndLen(t *testing.T) {
+	s := NewStore()
+	root, _ := s.CreateRoot(seedDescriptor())
+	c1, _ := s.Derive(root)
+	if _, err := s.Derive(root); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Derive(c1); err != nil {
+		t.Fatal(err)
+	}
+	vs := s.Versions()
+	if len(vs) != 4 || s.Len() != 4 {
+		t.Fatalf("versions = %v", vs)
+	}
+	for i := 1; i < len(vs); i++ {
+		if vs[i-1].Compare(vs[i]) >= 0 {
+			t.Fatalf("versions not sorted: %v", vs)
+		}
+	}
+}
+
+func TestDescriptorReturnsCopy(t *testing.T) {
+	s := NewStore()
+	root, _ := s.CreateRoot(seedDescriptor())
+	d1, _ := s.Descriptor(root)
+	d1.Entries[0].Function = "mutated"
+	d2, _ := s.Descriptor(root)
+	if d2.Entries[0].Function != "f" {
+		t.Fatal("Descriptor returned shared storage")
+	}
+	if _, err := s.Descriptor(version.ID{5}); !errors.Is(err, ErrUnknownVersion) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := s.State(version.ID{5}); !errors.Is(err, ErrUnknownVersion) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := s.Children(version.ID{5}); !errors.Is(err, ErrUnknownVersion) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := s.Parent(version.ID{5}); !errors.Is(err, ErrUnknownVersion) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestVersionStateString(t *testing.T) {
+	if StateConfigurable.String() != "configurable" || StateInstantiable.String() != "instantiable" {
+		t.Fatal("state strings wrong")
+	}
+	if VersionState(9).String() != "state(9)" {
+		t.Fatal("unknown state string wrong")
+	}
+}

@@ -1,0 +1,190 @@
+// Package metrics provides lightweight measurement primitives used by the
+// experiment harness: duration samples, summary statistics, and fixed-width
+// table rendering for the paper-reproduction reports.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Sample accumulates duration observations and computes summary statistics.
+// It is safe for concurrent use.
+type Sample struct {
+	mu   sync.Mutex
+	name string
+	durs []time.Duration
+}
+
+// NewSample returns an empty sample with the given display name.
+func NewSample(name string) *Sample {
+	return &Sample{name: name}
+}
+
+// Name returns the sample's display name.
+func (s *Sample) Name() string { return s.name }
+
+// Observe records one duration.
+func (s *Sample) Observe(d time.Duration) {
+	s.mu.Lock()
+	s.durs = append(s.durs, d)
+	s.mu.Unlock()
+}
+
+// Count returns the number of observations recorded so far.
+func (s *Sample) Count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.durs)
+}
+
+// Summary holds order statistics over a set of duration observations.
+type Summary struct {
+	Name   string
+	Count  int
+	Min    time.Duration
+	Max    time.Duration
+	Mean   time.Duration
+	Median time.Duration
+	P95    time.Duration
+	Stddev time.Duration
+}
+
+// Summarize computes order statistics. A zero Summary is returned for an
+// empty sample.
+func (s *Sample) Summarize() Summary {
+	s.mu.Lock()
+	durs := make([]time.Duration, len(s.durs))
+	copy(durs, s.durs)
+	s.mu.Unlock()
+
+	sum := Summary{Name: s.name, Count: len(durs)}
+	if len(durs) == 0 {
+		return sum
+	}
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	sum.Min = durs[0]
+	sum.Max = durs[len(durs)-1]
+	sum.Median = quantile(durs, 0.5)
+	sum.P95 = quantile(durs, 0.95)
+
+	var total float64
+	for _, d := range durs {
+		total += float64(d)
+	}
+	mean := total / float64(len(durs))
+	sum.Mean = time.Duration(mean)
+
+	var varSum float64
+	for _, d := range durs {
+		diff := float64(d) - mean
+		varSum += diff * diff
+	}
+	sum.Stddev = time.Duration(math.Sqrt(varSum / float64(len(durs))))
+	return sum
+}
+
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo] + time.Duration(frac*float64(sorted[hi]-sorted[lo]))
+}
+
+// Table renders aligned text tables for the experiment reports.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprintf("%v", c)
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.title != "" {
+		b.WriteString(t.title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	sep := make([]string, len(t.headers))
+	for i, w := range widths {
+		sep[i] = strings.Repeat("-", w)
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// FormatDuration renders d with three significant figures and an
+// appropriate unit, matching the precision the paper reports results at.
+func FormatDuration(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	case d >= time.Microsecond:
+		return fmt.Sprintf("%.2fµs", float64(d)/float64(time.Microsecond))
+	default:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	}
+}
+
+// FormatBytes renders a byte count in KB/MB as the paper does (550 K, 5.1 MB).
+func FormatBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.0fKB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

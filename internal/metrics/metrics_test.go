@@ -1,0 +1,125 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSampleSummaryBasics(t *testing.T) {
+	s := NewSample("calls")
+	for _, d := range []time.Duration{10, 20, 30, 40, 50} {
+		s.Observe(d * time.Microsecond)
+	}
+	sum := s.Summarize()
+	if sum.Count != 5 {
+		t.Fatalf("Count = %d, want 5", sum.Count)
+	}
+	if sum.Min != 10*time.Microsecond || sum.Max != 50*time.Microsecond {
+		t.Fatalf("Min/Max = %v/%v", sum.Min, sum.Max)
+	}
+	if sum.Mean != 30*time.Microsecond {
+		t.Fatalf("Mean = %v, want 30µs", sum.Mean)
+	}
+	if sum.Median != 30*time.Microsecond {
+		t.Fatalf("Median = %v, want 30µs", sum.Median)
+	}
+	if sum.Name != "calls" {
+		t.Fatalf("Name = %q", sum.Name)
+	}
+}
+
+func TestSampleName(t *testing.T) {
+	if got := NewSample("latency").Name(); got != "latency" {
+		t.Fatalf("Name = %q", got)
+	}
+}
+
+func TestSampleEmptySummary(t *testing.T) {
+	sum := NewSample("empty").Summarize()
+	if sum.Count != 0 || sum.Mean != 0 || sum.P95 != 0 {
+		t.Fatalf("empty summary not zero: %+v", sum)
+	}
+}
+
+func TestSampleConcurrentObserve(t *testing.T) {
+	s := NewSample("conc")
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			for j := 0; j < 100; j++ {
+				s.Observe(time.Microsecond)
+			}
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	if got := s.Count(); got != 800 {
+		t.Fatalf("Count = %d, want 800", got)
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	durs := []time.Duration{0, 100}
+	if got := quantile(durs, 0.5); got != 50 {
+		t.Fatalf("quantile(0.5) = %v, want 50", got)
+	}
+	if got := quantile(durs, 1.0); got != 100 {
+		t.Fatalf("quantile(1.0) = %v, want 100", got)
+	}
+	if got := quantile(nil, 0.5); got != 0 {
+		t.Fatalf("quantile(nil) = %v, want 0", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("E1: overhead", "kind", "mean")
+	tb.AddRow("direct", "5ns")
+	tb.AddRow("dfm-indirect", "12µs")
+	out := tb.String()
+	if !strings.Contains(out, "E1: overhead") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "dfm-indirect") || !strings.Contains(out, "12µs") {
+		t.Fatalf("missing row content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("got %d lines, want 5:\n%s", len(lines), out)
+	}
+}
+
+func TestFormatDuration(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{2200 * time.Millisecond, "2.20s"},
+		{15 * time.Millisecond, "15.00ms"},
+		{12 * time.Microsecond, "12.00µs"},
+		{500 * time.Nanosecond, "500ns"},
+	}
+	for _, c := range cases {
+		if got := FormatDuration(c.d); got != c.want {
+			t.Errorf("FormatDuration(%v) = %q, want %q", c.d, got, c.want)
+		}
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := []struct {
+		n    int64
+		want string
+	}{
+		{512, "512B"},
+		{550 * 1024, "550KB"},
+		{5348000, "5.1MB"},
+	}
+	for _, c := range cases {
+		if got := FormatBytes(c.n); got != c.want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", c.n, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package naming
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"godcdo/internal/vclock"
+)
+
+// Errors returned by the binding agent and cache.
+var (
+	// ErrNotBound is returned when a LOID has no registered address.
+	ErrNotBound = errors.New("naming: object not bound")
+	// ErrStaleBinding indicates a cached address whose incarnation no longer
+	// matches the live object.
+	ErrStaleBinding = errors.New("naming: stale binding")
+)
+
+// Binding associates a LOID with the address it resolved to and when.
+type Binding struct {
+	LOID       LOID
+	Address    Address
+	ResolvedAt time.Time
+}
+
+// Resolver resolves LOIDs to bindings. The in-memory Agent implements it
+// directly; remote binding agents are reached through a proxy implementing
+// the same interface.
+type Resolver interface {
+	Lookup(loid LOID) (Binding, error)
+}
+
+// Authority is the full binding-agent interface: resolution plus
+// registration. Nodes register hosted objects through an Authority.
+type Authority interface {
+	Resolver
+	// Register binds loid to addr; when addr.Incarnation is zero the agent
+	// assigns the next incarnation. The effective address is returned.
+	Register(loid LOID, addr Address) Address
+	// Deregister removes loid's binding.
+	Deregister(loid LOID)
+}
+
+// Agent is the authoritative LOID → Address registry (Legion's binding
+// agent). Objects register on activation, update on migration, and
+// deregister on destruction. Safe for concurrent use.
+type Agent struct {
+	clock vclock.Clock
+
+	mu       sync.RWMutex
+	bindings map[LOID]Address
+	lookups  uint64
+	updates  uint64
+}
+
+var _ Authority = (*Agent)(nil)
+
+// NewAgent returns an empty binding agent using clock for timestamps.
+func NewAgent(clock vclock.Clock) *Agent {
+	return &Agent{clock: clock, bindings: make(map[LOID]Address)}
+}
+
+// Register binds loid to addr, replacing any previous binding. The new
+// binding's incarnation must not regress; Register increments it
+// automatically when addr.Incarnation is zero.
+func (a *Agent) Register(loid LOID, addr Address) Address {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if addr.Incarnation == 0 {
+		addr.Incarnation = a.bindings[loid].Incarnation + 1
+	}
+	a.bindings[loid] = addr
+	a.updates++
+	return addr
+}
+
+// Lookup resolves loid to its current address.
+func (a *Agent) Lookup(loid LOID) (Binding, error) {
+	a.mu.Lock()
+	a.lookups++
+	addr, ok := a.bindings[loid]
+	a.mu.Unlock()
+	if !ok {
+		return Binding{}, fmt.Errorf("%w: %s", ErrNotBound, loid)
+	}
+	return Binding{LOID: loid, Address: addr, ResolvedAt: a.clock.Now()}, nil
+}
+
+// Deregister removes loid's binding; removing an unbound LOID is a no-op.
+func (a *Agent) Deregister(loid LOID) {
+	a.mu.Lock()
+	delete(a.bindings, loid)
+	a.updates++
+	a.mu.Unlock()
+}
+
+// Current reports loid's live incarnation, or 0 if unbound. Transports use
+// this to reject calls carrying stale incarnations.
+func (a *Agent) Current(loid LOID) uint64 {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.bindings[loid].Incarnation
+}
+
+// Stats reports the number of lookups and registration updates served.
+func (a *Agent) Stats() (lookups, updates uint64) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.lookups, a.updates
+}
+
+// CacheStats counts cache effectiveness for the experiments.
+type CacheStats struct {
+	Hits          uint64
+	Misses        uint64
+	Invalidations uint64
+}
+
+// Cache is a client-side binding cache. Callers resolve LOIDs through the
+// cache; on a stale-binding failure they call Invalidate and re-resolve,
+// which consults the agent. TTL of zero means entries never expire by time
+// (the Legion default — staleness is discovered by failed calls, which is
+// exactly what experiment E4 measures).
+type Cache struct {
+	agent Resolver
+	clock vclock.Clock
+	ttl   time.Duration
+
+	mu      sync.Mutex
+	entries map[LOID]Binding
+	stats   CacheStats
+}
+
+// NewCache returns an empty cache backed by agent.
+func NewCache(agent Resolver, clock vclock.Clock, ttl time.Duration) *Cache {
+	return &Cache{agent: agent, clock: clock, ttl: ttl, entries: make(map[LOID]Binding)}
+}
+
+// Resolve returns a binding for loid, from cache when fresh, otherwise from
+// the agent.
+func (c *Cache) Resolve(loid LOID) (Binding, error) {
+	c.mu.Lock()
+	if b, ok := c.entries[loid]; ok {
+		if c.ttl == 0 || c.clock.Now().Sub(b.ResolvedAt) < c.ttl {
+			c.stats.Hits++
+			c.mu.Unlock()
+			return b, nil
+		}
+		delete(c.entries, loid)
+	}
+	c.stats.Misses++
+	c.mu.Unlock()
+
+	b, err := c.agent.Lookup(loid)
+	if err != nil {
+		return Binding{}, err
+	}
+	c.mu.Lock()
+	c.entries[loid] = b
+	c.mu.Unlock()
+	return b, nil
+}
+
+// Invalidate drops any cached binding for loid. Callers invoke it after a
+// call fails with a stale-binding error.
+func (c *Cache) Invalidate(loid LOID) {
+	c.mu.Lock()
+	if _, ok := c.entries[loid]; ok {
+		delete(c.entries, loid)
+		c.stats.Invalidations++
+	}
+	c.mu.Unlock()
+}
+
+// Stats returns a copy of the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Len reports the number of cached bindings.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// DiscoverySchedule models how long a Legion client takes to *realize* that
+// a cached binding is stale: each attempt against the dead address blocks
+// for Timeout, the client retries Attempts times with Backoff between
+// attempts, and only then consults the binding agent. The paper reports
+// 25–35 s for this discovery on Centurion.
+type DiscoverySchedule struct {
+	Timeout  time.Duration // per-attempt call timeout against the stale address
+	Attempts int           // attempts before giving up on the cached address
+	Backoff  time.Duration // pause between attempts
+}
+
+// DefaultDiscoverySchedule reproduces the paper's observed 25–35 s window:
+// three 10-second timeouts separated by one-second backoffs totals 32 s.
+func DefaultDiscoverySchedule() DiscoverySchedule {
+	return DiscoverySchedule{Timeout: 10 * time.Second, Attempts: 3, Backoff: time.Second}
+}
+
+// TotalDiscoveryTime returns the modelled time from first failed call to the
+// moment the client abandons the cached address.
+func (s DiscoverySchedule) TotalDiscoveryTime() time.Duration {
+	if s.Attempts <= 0 {
+		return 0
+	}
+	return time.Duration(s.Attempts)*s.Timeout + time.Duration(s.Attempts-1)*s.Backoff
+}

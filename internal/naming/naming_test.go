@@ -1,0 +1,255 @@
+package naming
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"godcdo/internal/vclock"
+)
+
+func TestLOIDStringParseRoundTrip(t *testing.T) {
+	in := LOID{Domain: 1, Class: 42, Instance: 7}
+	got, err := ParseLOID(in.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != in {
+		t.Fatalf("round trip = %v, want %v", got, in)
+	}
+}
+
+func TestLOIDParseRejectsMalformed(t *testing.T) {
+	for _, s := range []string{
+		"", "loid:", "loid:1.2", "loid:1.2.3.4", "1.2.3",
+		"loid:a.2.3", "loid:1.b.3", "loid:1.2.c", "loid:-1.2.3",
+		"loid:99999999999999.2.3", // domain overflows uint32
+	} {
+		if _, err := ParseLOID(s); !errors.Is(err, ErrBadLOID) {
+			t.Errorf("ParseLOID(%q) err = %v, want ErrBadLOID", s, err)
+		}
+	}
+}
+
+func TestLOIDPropertyRoundTrip(t *testing.T) {
+	f := func(d, c uint32, i uint64) bool {
+		in := LOID{Domain: d, Class: c, Instance: i}
+		out, err := ParseLOID(in.String())
+		return err == nil && out == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLOIDZero(t *testing.T) {
+	if !(LOID{}).Zero() {
+		t.Fatal("zero LOID not Zero()")
+	}
+	if (LOID{Instance: 1}).Zero() {
+		t.Fatal("non-zero LOID reported Zero()")
+	}
+}
+
+func TestAllocatorUniqueConcurrent(t *testing.T) {
+	a := NewAllocator(1, 2)
+	const workers, per = 8, 200
+	var mu sync.Mutex
+	seen := make(map[LOID]bool, workers*per)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]LOID, 0, per)
+			for i := 0; i < per; i++ {
+				local = append(local, a.Next())
+			}
+			mu.Lock()
+			for _, l := range local {
+				if seen[l] {
+					t.Errorf("duplicate LOID %v", l)
+				}
+				seen[l] = true
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if len(seen) != workers*per {
+		t.Fatalf("allocated %d unique LOIDs, want %d", len(seen), workers*per)
+	}
+}
+
+func TestAgentRegisterLookup(t *testing.T) {
+	clk := vclock.NewVirtual(time.Unix(0, 0))
+	ag := NewAgent(clk)
+	loid := LOID{Domain: 1, Class: 1, Instance: 1}
+
+	if _, err := ag.Lookup(loid); !errors.Is(err, ErrNotBound) {
+		t.Fatalf("Lookup before Register err = %v", err)
+	}
+
+	addr := ag.Register(loid, Address{Endpoint: "tcp:127.0.0.1:1"})
+	if addr.Incarnation != 1 {
+		t.Fatalf("first incarnation = %d, want 1", addr.Incarnation)
+	}
+	b, err := ag.Lookup(loid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Address != addr {
+		t.Fatalf("Lookup = %v, want %v", b.Address, addr)
+	}
+
+	// Re-registration (migration) bumps the incarnation.
+	addr2 := ag.Register(loid, Address{Endpoint: "tcp:127.0.0.1:2"})
+	if addr2.Incarnation != 2 {
+		t.Fatalf("second incarnation = %d, want 2", addr2.Incarnation)
+	}
+	if cur := ag.Current(loid); cur != 2 {
+		t.Fatalf("Current = %d, want 2", cur)
+	}
+
+	ag.Deregister(loid)
+	if _, err := ag.Lookup(loid); !errors.Is(err, ErrNotBound) {
+		t.Fatalf("Lookup after Deregister err = %v", err)
+	}
+	if cur := ag.Current(loid); cur != 0 {
+		t.Fatalf("Current after Deregister = %d, want 0", cur)
+	}
+}
+
+func TestAgentExplicitIncarnationPreserved(t *testing.T) {
+	ag := NewAgent(vclock.Real{})
+	loid := LOID{Instance: 5}
+	got := ag.Register(loid, Address{Endpoint: "e", Incarnation: 9})
+	if got.Incarnation != 9 {
+		t.Fatalf("incarnation = %d, want 9", got.Incarnation)
+	}
+}
+
+func TestCacheHitMissInvalidate(t *testing.T) {
+	clk := vclock.NewVirtual(time.Unix(0, 0))
+	ag := NewAgent(clk)
+	loid := LOID{Instance: 1}
+	ag.Register(loid, Address{Endpoint: "tcp:a"})
+
+	c := NewCache(ag, clk, 0)
+	b1, err := c.Resolve(loid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := c.Resolve(loid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1.Address != b2.Address {
+		t.Fatalf("cached address changed: %v vs %v", b1.Address, b2.Address)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 hit 1 miss", st)
+	}
+
+	// Migration: cache still returns the stale address until invalidated —
+	// staleness is discovered by a failed call, not by the cache.
+	ag.Register(loid, Address{Endpoint: "tcp:b"})
+	b3, _ := c.Resolve(loid)
+	if b3.Address != b1.Address {
+		t.Fatalf("cache returned fresh address without invalidation")
+	}
+
+	c.Invalidate(loid)
+	b4, err := c.Resolve(loid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b4.Address.Endpoint != "tcp:b" || b4.Address.Incarnation != 2 {
+		t.Fatalf("post-invalidation address = %v", b4.Address)
+	}
+	if got := c.Stats().Invalidations; got != 1 {
+		t.Fatalf("invalidations = %d, want 1", got)
+	}
+}
+
+func TestCacheTTLExpiry(t *testing.T) {
+	clk := vclock.NewVirtual(time.Unix(0, 0))
+	ag := NewAgent(clk)
+	loid := LOID{Instance: 2}
+	ag.Register(loid, Address{Endpoint: "tcp:a"})
+
+	c := NewCache(ag, clk, 10*time.Second)
+	if _, err := c.Resolve(loid); err != nil {
+		t.Fatal(err)
+	}
+	ag.Register(loid, Address{Endpoint: "tcp:b"})
+
+	clk.Advance(5 * time.Second)
+	b, _ := c.Resolve(loid)
+	if b.Address.Endpoint != "tcp:a" {
+		t.Fatalf("expired early: %v", b.Address)
+	}
+
+	clk.Advance(6 * time.Second)
+	b, _ = c.Resolve(loid)
+	if b.Address.Endpoint != "tcp:b" {
+		t.Fatalf("did not refresh after TTL: %v", b.Address)
+	}
+}
+
+func TestCacheResolveUnbound(t *testing.T) {
+	ag := NewAgent(vclock.Real{})
+	c := NewCache(ag, vclock.Real{}, 0)
+	if _, err := c.Resolve(LOID{Instance: 404}); !errors.Is(err, ErrNotBound) {
+		t.Fatalf("err = %v, want ErrNotBound", err)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("failed resolve was cached")
+	}
+}
+
+func TestDiscoveryScheduleTotals(t *testing.T) {
+	s := DefaultDiscoverySchedule()
+	got := s.TotalDiscoveryTime()
+	// The paper reports 25–35 s on Centurion; the default schedule must land
+	// inside that window.
+	if got < 25*time.Second || got > 35*time.Second {
+		t.Fatalf("TotalDiscoveryTime = %v, want within [25s,35s]", got)
+	}
+	if (DiscoverySchedule{Attempts: 0}).TotalDiscoveryTime() != 0 {
+		t.Fatal("zero attempts should cost zero time")
+	}
+	one := DiscoverySchedule{Timeout: 3 * time.Second, Attempts: 1, Backoff: time.Hour}
+	if one.TotalDiscoveryTime() != 3*time.Second {
+		t.Fatalf("single attempt should not include backoff, got %v", one.TotalDiscoveryTime())
+	}
+}
+
+func TestAddressZeroAndString(t *testing.T) {
+	var a Address
+	if !a.Zero() {
+		t.Fatal("zero Address not Zero()")
+	}
+	a = Address{Endpoint: "tcp:h:1", Incarnation: 3}
+	if a.Zero() {
+		t.Fatal("non-zero Address reported Zero()")
+	}
+	if got := a.String(); got != "tcp:h:1#3" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestAgentStats(t *testing.T) {
+	ag := NewAgent(vclock.Real{})
+	loid := LOID{Instance: 3}
+	ag.Register(loid, Address{Endpoint: "e"})
+	_, _ = ag.Lookup(loid)
+	_, _ = ag.Lookup(loid)
+	lookups, updates := ag.Stats()
+	if lookups != 2 || updates != 1 {
+		t.Fatalf("stats = %d lookups %d updates", lookups, updates)
+	}
+}

@@ -1,0 +1,120 @@
+// Package objstate provides the serialisable key/value state container
+// shared by all stateful godcdo objects: normal Legion objects carry one,
+// and DCDOs carry one so their data survives evolution and migration while
+// their implementation changes underneath it.
+package objstate
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"godcdo/internal/wire"
+)
+
+// State is a mutable key→bytes map guarded internally. Methods read and
+// write it; capture/restore serialise it deterministically.
+type State struct {
+	mu   sync.Mutex
+	data map[string][]byte
+}
+
+// New returns an empty state.
+func New() *State {
+	return &State{data: make(map[string][]byte)}
+}
+
+// Get returns a copy of the value stored under key.
+func (s *State) Get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.data[key]
+	if !ok {
+		return nil, false
+	}
+	out := make([]byte, len(v))
+	copy(out, v)
+	return out, true
+}
+
+// Set stores a copy of value under key.
+func (s *State) Set(key string, value []byte) {
+	v := make([]byte, len(value))
+	copy(v, value)
+	s.mu.Lock()
+	s.data[key] = v
+	s.mu.Unlock()
+}
+
+// Delete removes key.
+func (s *State) Delete(key string) {
+	s.mu.Lock()
+	delete(s.data, key)
+	s.mu.Unlock()
+}
+
+// Keys returns the sorted keys.
+func (s *State) Keys() []string {
+	s.mu.Lock()
+	keys := make([]string, 0, len(s.data))
+	for k := range s.data {
+		keys = append(keys, k)
+	}
+	s.mu.Unlock()
+	sort.Strings(keys)
+	return keys
+}
+
+// Len reports the number of keys.
+func (s *State) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.data)
+}
+
+// Encode serialises the state deterministically (sorted keys).
+func (s *State) Encode() []byte {
+	s.mu.Lock()
+	keys := make([]string, 0, len(s.data))
+	for k := range s.data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	e := wire.NewEncoder(64)
+	e.PutUvarint(uint64(len(keys)))
+	for _, k := range keys {
+		e.PutString(k)
+		e.PutBytes(s.data[k])
+	}
+	s.mu.Unlock()
+	return e.Bytes()
+}
+
+// ErrCorrupt is returned when captured state cannot be decoded.
+var ErrCorrupt = errors.New("objstate: corrupt state")
+
+// Decode parses state produced by Encode.
+func Decode(buf []byte) (*State, error) {
+	dec := wire.NewDecoder(buf)
+	n, err := dec.Uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("%w: count: %v", ErrCorrupt, err)
+	}
+	if n > uint64(dec.Remaining()) {
+		return nil, fmt.Errorf("%w: count %d exceeds buffer", ErrCorrupt, n)
+	}
+	s := New()
+	for i := uint64(0); i < n; i++ {
+		k, err := dec.String()
+		if err != nil {
+			return nil, fmt.Errorf("%w: key: %v", ErrCorrupt, err)
+		}
+		v, err := dec.Bytes()
+		if err != nil {
+			return nil, fmt.Errorf("%w: value: %v", ErrCorrupt, err)
+		}
+		s.Set(k, v)
+	}
+	return s, nil
+}

@@ -1,0 +1,195 @@
+// Package registry stands in for the operating system's dynamic-linking
+// facility, which Go programs cannot use to load new code at run time.
+//
+// In the paper, a DCDO incorporates a component by reading its executable
+// code from an Implementation Component Object and mapping it into the
+// address space with "the appropriate operating-system-specific mechanism".
+// Here, every function implementation is compiled into the process ahead of
+// time and published in a Registry under a code reference; "mapping code
+// into the address space" becomes looking the module up by code reference
+// and implementation type and binding its function values into the DFM.
+// The component's (synthetic) code bytes still travel over the network so
+// transfer costs are faithful; only the final link step is substituted, and
+// the paper identifies the DFM indirection — not the loader — as the key
+// enabler of dynamic configurability.
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"godcdo/internal/objstate"
+)
+
+// Errors returned by the registry.
+var (
+	// ErrDuplicateModule is returned when registering a code reference and
+	// implementation type pair twice.
+	ErrDuplicateModule = errors.New("registry: duplicate module")
+	// ErrModuleNotFound is returned when no module matches a code
+	// reference.
+	ErrModuleNotFound = errors.New("registry: module not found")
+	// ErrNoImplementation is returned when a module exists but not for the
+	// requested implementation type.
+	ErrNoImplementation = errors.New("registry: no implementation for type")
+	// ErrFuncNotInModule is returned when a module does not define a
+	// requested function.
+	ErrFuncNotInModule = errors.New("registry: function not in module")
+)
+
+// ImplType identifies the characteristics of a component implementation
+// (§2.1): target architecture, object-code format, and source language.
+// "any" in a field matches every value, supporting portable components.
+type ImplType struct {
+	Arch     string
+	Format   string
+	Language string
+}
+
+// AnyImplType matches every host.
+var AnyImplType = ImplType{Arch: "any", Format: "any", Language: "any"}
+
+// NativeImplType is the implementation type of components "compiled" for
+// this reproduction's host runtime.
+var NativeImplType = ImplType{Arch: "go", Format: "registry", Language: "go"}
+
+// String renders "arch/format/language".
+func (t ImplType) String() string {
+	return t.Arch + "/" + t.Format + "/" + t.Language
+}
+
+// ParseImplType parses the form produced by String.
+func ParseImplType(s string) (ImplType, error) {
+	parts := strings.Split(s, "/")
+	if len(parts) != 3 || parts[0] == "" || parts[1] == "" || parts[2] == "" {
+		return ImplType{}, fmt.Errorf("registry: malformed implementation type %q", s)
+	}
+	return ImplType{Arch: parts[0], Format: parts[1], Language: parts[2]}, nil
+}
+
+// Matches reports whether a component of type t can run on a host of type
+// host, treating "any" as a wildcard on either side, field by field.
+func (t ImplType) Matches(host ImplType) bool {
+	match := func(a, b string) bool { return a == "any" || b == "any" || a == b }
+	return match(t.Arch, host.Arch) && match(t.Format, host.Format) && match(t.Language, host.Language)
+}
+
+// Caller is the view of the containing object a dynamic function receives:
+// the route back into the DFM for calls to other dynamic functions in the
+// same object. Calling through the Caller rather than directly is what
+// makes intra-object calls replaceable (and what the missing/disappearing
+// internal function problems are about).
+type Caller interface {
+	// CallInternal invokes another dynamic function in the same object
+	// through the DFM. It fails if the callee has no enabled
+	// implementation — the missing internal function problem surfacing as
+	// an error the caller must handle.
+	CallInternal(function string, args []byte) ([]byte, error)
+	// State returns the containing object's persistent state, which
+	// survives evolution and migration while the implementation changes
+	// underneath it.
+	State() *objstate.State
+}
+
+// Func is the implementation of one dynamic function. Arguments and results
+// are opaque payloads; the wire package provides the codec.
+type Func func(c Caller, args []byte) ([]byte, error)
+
+// Module is an immutable bundle of function implementations published under
+// one code reference — the analogue of one compiled shared object.
+type Module struct {
+	codeRef  string
+	implType ImplType
+	funcs    map[string]Func
+}
+
+// CodeRef returns the module's code reference.
+func (m *Module) CodeRef() string { return m.codeRef }
+
+// ImplType returns the module's implementation type.
+func (m *Module) ImplType() ImplType { return m.implType }
+
+// Func returns the named function implementation.
+func (m *Module) Func(name string) (Func, error) {
+	f, ok := m.funcs[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q in %q", ErrFuncNotInModule, name, m.codeRef)
+	}
+	return f, nil
+}
+
+// FunctionNames returns the sorted names of the module's functions.
+func (m *Module) FunctionNames() []string {
+	names := make([]string, 0, len(m.funcs))
+	for n := range m.funcs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Registry maps code references to modules. A process typically holds one
+// Registry shared by all hosted objects (as it would hold one dynamic
+// linker). Safe for concurrent use.
+type Registry struct {
+	mu      sync.RWMutex
+	modules map[string][]*Module // codeRef -> implementations by type
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{modules: make(map[string][]*Module)}
+}
+
+// Register publishes funcs under codeRef for the given implementation type.
+// The function map is copied; later mutation of the argument does not affect
+// the module.
+func (r *Registry) Register(codeRef string, implType ImplType, funcs map[string]Func) (*Module, error) {
+	copied := make(map[string]Func, len(funcs))
+	for name, f := range funcs {
+		copied[name] = f
+	}
+	m := &Module{codeRef: codeRef, implType: implType, funcs: copied}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, existing := range r.modules[codeRef] {
+		if existing.implType == implType {
+			return nil, fmt.Errorf("%w: %q (%s)", ErrDuplicateModule, codeRef, implType)
+		}
+	}
+	r.modules[codeRef] = append(r.modules[codeRef], m)
+	return m, nil
+}
+
+// Load returns the module registered under codeRef whose implementation
+// type matches host. When several match, the first registered wins.
+func (r *Registry) Load(codeRef string, host ImplType) (*Module, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	mods, ok := r.modules[codeRef]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrModuleNotFound, codeRef)
+	}
+	for _, m := range mods {
+		if m.implType.Matches(host) {
+			return m, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %q on %s", ErrNoImplementation, codeRef, host)
+}
+
+// CodeRefs returns the sorted list of registered code references.
+func (r *Registry) CodeRefs() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	refs := make([]string, 0, len(r.modules))
+	for ref := range r.modules {
+		refs = append(refs, ref)
+	}
+	sort.Strings(refs)
+	return refs
+}

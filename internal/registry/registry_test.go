@@ -1,0 +1,143 @@
+package registry
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func nopFunc(Caller, []byte) ([]byte, error) { return nil, nil }
+
+func TestImplTypeStringParseRoundTrip(t *testing.T) {
+	in := ImplType{Arch: "x86", Format: "elf", Language: "c++"}
+	out, err := ParseImplType(in.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip = %v, want %v", out, in)
+	}
+}
+
+func TestParseImplTypeRejectsMalformed(t *testing.T) {
+	for _, s := range []string{"", "a/b", "a/b/c/d", "//", "a//c"} {
+		if _, err := ParseImplType(s); err == nil {
+			t.Errorf("ParseImplType(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestImplTypeMatching(t *testing.T) {
+	host := NativeImplType
+	cases := []struct {
+		comp ImplType
+		want bool
+	}{
+		{NativeImplType, true},
+		{AnyImplType, true},
+		{ImplType{Arch: "any", Format: "registry", Language: "go"}, true},
+		{ImplType{Arch: "x86", Format: "elf", Language: "c"}, false},
+		{ImplType{Arch: "go", Format: "elf", Language: "go"}, false},
+	}
+	for _, c := range cases {
+		if got := c.comp.Matches(host); got != c.want {
+			t.Errorf("%v.Matches(%v) = %v, want %v", c.comp, host, got, c.want)
+		}
+	}
+	// Wildcard on the host side also matches.
+	if !NativeImplType.Matches(AnyImplType) {
+		t.Error("native should match any-host")
+	}
+}
+
+func TestRegisterAndLoad(t *testing.T) {
+	r := New()
+	if _, err := r.Register("comp-a:1", NativeImplType, map[string]Func{"f": nopFunc, "g": nopFunc}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := r.Load("comp-a:1", NativeImplType)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CodeRef() != "comp-a:1" || m.ImplType() != NativeImplType {
+		t.Fatalf("module = %q %v", m.CodeRef(), m.ImplType())
+	}
+	if got := m.FunctionNames(); !reflect.DeepEqual(got, []string{"f", "g"}) {
+		t.Fatalf("FunctionNames = %v", got)
+	}
+	if _, err := m.Func("f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Func("missing"); !errors.Is(err, ErrFuncNotInModule) {
+		t.Fatalf("err = %v, want ErrFuncNotInModule", err)
+	}
+}
+
+func TestRegisterDuplicateRejected(t *testing.T) {
+	r := New()
+	if _, err := r.Register("dup", NativeImplType, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Register("dup", NativeImplType, nil); !errors.Is(err, ErrDuplicateModule) {
+		t.Fatalf("err = %v, want ErrDuplicateModule", err)
+	}
+	// Same ref with a different implementation type is fine (heterogeneous
+	// implementations of the same component).
+	other := ImplType{Arch: "x86", Format: "elf", Language: "c"}
+	if _, err := r.Register("dup", other, nil); err != nil {
+		t.Fatalf("heterogeneous register failed: %v", err)
+	}
+}
+
+func TestLoadSelectsMatchingImplType(t *testing.T) {
+	r := New()
+	x86 := ImplType{Arch: "x86", Format: "elf", Language: "c"}
+	if _, err := r.Register("c", x86, map[string]Func{"f": nopFunc}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Register("c", NativeImplType, map[string]Func{"f": nopFunc}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := r.Load("c", NativeImplType)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ImplType() != NativeImplType {
+		t.Fatalf("loaded %v, want native", m.ImplType())
+	}
+	if _, err := r.Load("c", ImplType{Arch: "sparc", Format: "elf", Language: "c"}); !errors.Is(err, ErrNoImplementation) {
+		t.Fatalf("err = %v, want ErrNoImplementation", err)
+	}
+}
+
+func TestLoadUnknownRef(t *testing.T) {
+	r := New()
+	if _, err := r.Load("ghost", NativeImplType); !errors.Is(err, ErrModuleNotFound) {
+		t.Fatalf("err = %v, want ErrModuleNotFound", err)
+	}
+}
+
+func TestRegisterCopiesFuncMap(t *testing.T) {
+	r := New()
+	funcs := map[string]Func{"f": nopFunc}
+	m, err := r.Register("copy", NativeImplType, funcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delete(funcs, "f") // mutate the caller's map after registration
+	if _, err := m.Func("f"); err != nil {
+		t.Fatal("module affected by caller-side map mutation")
+	}
+}
+
+func TestCodeRefsSorted(t *testing.T) {
+	r := New()
+	for _, ref := range []string{"zz", "aa", "mm"} {
+		if _, err := r.Register(ref, NativeImplType, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := r.CodeRefs(); !reflect.DeepEqual(got, []string{"aa", "mm", "zz"}) {
+		t.Fatalf("CodeRefs = %v", got)
+	}
+}

@@ -1,0 +1,179 @@
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"godcdo/internal/naming"
+	"godcdo/internal/transport"
+	"godcdo/internal/wire"
+)
+
+// In Legion, binding agents are themselves objects. AgentService exposes an
+// in-memory naming.Agent as an rpc.Object so other processes can resolve
+// and register bindings over the wire; RemoteAgent is the client-side proxy
+// implementing naming.Authority against such a service.
+
+// Remotely callable binding-agent methods.
+const (
+	MethodAgentLookup     = "agent.lookup"
+	MethodAgentRegister   = "agent.register"
+	MethodAgentDeregister = "agent.deregister"
+)
+
+// AgentLOID is the well-known LOID a domain's binding-agent service is
+// hosted at (domain 0 is reserved for infrastructure objects).
+var AgentLOID = naming.LOID{Domain: 0, Class: 1, Instance: 1}
+
+// AgentService wraps an in-memory binding agent as a hosted object.
+type AgentService struct {
+	Agent *naming.Agent
+}
+
+var _ Object = (*AgentService)(nil)
+
+// InvokeMethod implements Object.
+func (s *AgentService) InvokeMethod(method string, args []byte) ([]byte, error) {
+	dec := wire.NewDecoder(args)
+	decodeLOID := func() (naming.LOID, error) {
+		str, err := dec.String()
+		if err != nil {
+			return naming.LOID{}, err
+		}
+		return naming.ParseLOID(str)
+	}
+	switch method {
+	case MethodAgentLookup:
+		loid, err := decodeLOID()
+		if err != nil {
+			return nil, fmt.Errorf("%w: loid: %v", ErrBadRequest, err)
+		}
+		binding, err := s.Agent.Lookup(loid)
+		if err != nil {
+			return nil, err
+		}
+		e := wire.NewEncoder(48)
+		e.PutString(binding.Address.Endpoint)
+		e.PutUvarint(binding.Address.Incarnation)
+		return e.Bytes(), nil
+
+	case MethodAgentRegister:
+		loid, err := decodeLOID()
+		if err != nil {
+			return nil, fmt.Errorf("%w: loid: %v", ErrBadRequest, err)
+		}
+		endpoint, err := dec.String()
+		if err != nil {
+			return nil, fmt.Errorf("%w: endpoint: %v", ErrBadRequest, err)
+		}
+		incarnation, err := dec.Uvarint()
+		if err != nil {
+			return nil, fmt.Errorf("%w: incarnation: %v", ErrBadRequest, err)
+		}
+		addr := s.Agent.Register(loid, naming.Address{Endpoint: endpoint, Incarnation: incarnation})
+		e := wire.NewEncoder(16)
+		e.PutUvarint(addr.Incarnation)
+		return e.Bytes(), nil
+
+	case MethodAgentDeregister:
+		loid, err := decodeLOID()
+		if err != nil {
+			return nil, fmt.Errorf("%w: loid: %v", ErrBadRequest, err)
+		}
+		s.Agent.Deregister(loid)
+		return nil, nil
+
+	default:
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchFunction, method)
+	}
+}
+
+// RemoteAgent resolves and registers bindings against an AgentService at a
+// fixed, well-known endpoint. It implements naming.Authority, so nodes in
+// other processes plug it in wherever an in-memory agent would go.
+type RemoteAgent struct {
+	// Dialer reaches the agent's endpoint.
+	Dialer transport.Dialer
+	// Endpoint is the agent service's dialable endpoint.
+	Endpoint string
+	// Timeout bounds each agent call. Zero means 5 s.
+	Timeout time.Duration
+}
+
+var _ naming.Authority = (*RemoteAgent)(nil)
+
+func (r *RemoteAgent) call(method string, payload []byte) (*wire.Envelope, error) {
+	timeout := r.Timeout
+	if timeout == 0 {
+		timeout = 5 * time.Second
+	}
+	req := &wire.Envelope{
+		Kind:    wire.KindRequest,
+		Target:  AgentLOID.String(),
+		Method:  method,
+		Payload: payload,
+	}
+	resp, err := r.Dialer.Call(r.Endpoint, req, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("binding agent at %s: %w", r.Endpoint, err)
+	}
+	if resp.Kind == wire.KindError {
+		return nil, &RemoteError{Code: resp.Code, Message: resp.ErrorMsg}
+	}
+	return resp, nil
+}
+
+// Lookup implements naming.Resolver.
+func (r *RemoteAgent) Lookup(loid naming.LOID) (naming.Binding, error) {
+	e := wire.NewEncoder(32)
+	e.PutString(loid.String())
+	resp, err := r.call(MethodAgentLookup, e.Bytes())
+	if err != nil {
+		var re *RemoteError
+		if errors.As(err, &re) && re.Code == wire.CodeInternal {
+			// The service transmits naming.ErrNotBound as an internal
+			// error; surface the matching sentinel for callers.
+			return naming.Binding{}, fmt.Errorf("%w: %s", naming.ErrNotBound, loid)
+		}
+		return naming.Binding{}, err
+	}
+	dec := wire.NewDecoder(resp.Payload)
+	endpoint, err := dec.String()
+	if err != nil {
+		return naming.Binding{}, fmt.Errorf("binding agent: corrupt response: %w", err)
+	}
+	incarnation, err := dec.Uvarint()
+	if err != nil {
+		return naming.Binding{}, fmt.Errorf("binding agent: corrupt response: %w", err)
+	}
+	return naming.Binding{
+		LOID:    loid,
+		Address: naming.Address{Endpoint: endpoint, Incarnation: incarnation},
+	}, nil
+}
+
+// Register implements naming.Authority.
+func (r *RemoteAgent) Register(loid naming.LOID, addr naming.Address) naming.Address {
+	e := wire.NewEncoder(64)
+	e.PutString(loid.String())
+	e.PutString(addr.Endpoint)
+	e.PutUvarint(addr.Incarnation)
+	resp, err := r.call(MethodAgentRegister, e.Bytes())
+	if err != nil {
+		// Registration against an unreachable agent leaves the intended
+		// address in place; the next lookup will fail loudly instead.
+		return addr
+	}
+	if incarnation, err := wire.NewDecoder(resp.Payload).Uvarint(); err == nil {
+		addr.Incarnation = incarnation
+	}
+	return addr
+}
+
+// Deregister implements naming.Authority.
+func (r *RemoteAgent) Deregister(loid naming.LOID) {
+	e := wire.NewEncoder(32)
+	e.PutString(loid.String())
+	_, _ = r.call(MethodAgentDeregister, e.Bytes())
+}

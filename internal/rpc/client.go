@@ -1,0 +1,120 @@
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"godcdo/internal/naming"
+	"godcdo/internal/transport"
+	"godcdo/internal/wire"
+)
+
+// ClientStats counts client-side invocation outcomes, including how many
+// calls hit a stale binding and were transparently rebound — the mechanism
+// the stale-binding experiment (E4) measures the latency of.
+type ClientStats struct {
+	Calls   uint64
+	Rebinds uint64
+	Errors  uint64
+}
+
+// Client invokes methods on objects named by LOID. It resolves addresses
+// through a binding cache; when a call fails because the cached address no
+// longer hosts the object (migration, re-instantiation, crash) it
+// invalidates the binding, re-resolves through the binding agent, and
+// retries.
+type Client struct {
+	cache  *naming.Cache
+	dialer transport.Dialer
+
+	// CallTimeout bounds each individual attempt. Zero means 10 s (the
+	// Legion default the paper's discovery window derives from).
+	CallTimeout time.Duration
+	// MaxRebinds bounds how many times one Invoke will re-resolve after a
+	// stale-binding failure. Zero means 2.
+	MaxRebinds int
+
+	calls   atomic.Uint64
+	rebinds atomic.Uint64
+	errs    atomic.Uint64
+}
+
+// NewClient returns a client over the given cache and dialer.
+func NewClient(cache *naming.Cache, dialer transport.Dialer) *Client {
+	return &Client{cache: cache, dialer: dialer}
+}
+
+// Stats returns a snapshot of the client counters.
+func (c *Client) Stats() ClientStats {
+	return ClientStats{Calls: c.calls.Load(), Rebinds: c.rebinds.Load(), Errors: c.errs.Load()}
+}
+
+// Invoke calls the named exported function on the object loid with the given
+// argument payload and returns the result payload.
+//
+// Failure semantics follow the paper (§3.2): a function may legitimately
+// disappear between interface discovery and invocation, so callers must be
+// prepared for ErrNoSuchFunction / ErrFunctionDisabled. Those errors are
+// returned as-is (rebinding would not help — the object was reached). Only
+// reachability failures trigger rebind-and-retry.
+func (c *Client) Invoke(loid naming.LOID, method string, args []byte) ([]byte, error) {
+	c.calls.Add(1)
+	timeout := c.CallTimeout
+	if timeout == 0 {
+		timeout = 10 * time.Second
+	}
+	maxRebinds := c.MaxRebinds
+	if maxRebinds == 0 {
+		maxRebinds = 2
+	}
+
+	var lastErr error
+	for attempt := 0; attempt <= maxRebinds; attempt++ {
+		binding, err := c.cache.Resolve(loid)
+		if err != nil {
+			c.errs.Add(1)
+			return nil, fmt.Errorf("resolve %s: %w", loid, err)
+		}
+		req := &wire.Envelope{
+			Kind:    wire.KindRequest,
+			Target:  loid.String(),
+			Method:  method,
+			Payload: args,
+		}
+		resp, err := c.dialer.Call(binding.Address.Endpoint, req, timeout)
+		if err != nil {
+			// Transport-level failure: the endpoint is gone or wedged. The
+			// cached binding is suspect — invalidate and re-resolve.
+			lastErr = err
+			c.cache.Invalidate(loid)
+			c.rebinds.Add(1)
+			continue
+		}
+		switch resp.Kind {
+		case wire.KindResponse:
+			return resp.Payload, nil
+		case wire.KindError:
+			remote := &RemoteError{Code: resp.Code, Message: resp.ErrorMsg}
+			if resp.Code == wire.CodeNoSuchObject || resp.Code == wire.CodeStaleBinding {
+				// The endpoint is alive but no longer hosts the object:
+				// classic stale binding after migration.
+				lastErr = remote
+				c.cache.Invalidate(loid)
+				c.rebinds.Add(1)
+				continue
+			}
+			c.errs.Add(1)
+			return nil, remote
+		default:
+			c.errs.Add(1)
+			return nil, fmt.Errorf("%w: unexpected envelope kind %s", ErrBadRequest, resp.Kind)
+		}
+	}
+	c.errs.Add(1)
+	if lastErr == nil {
+		lastErr = errors.New("rpc: exhausted rebind attempts")
+	}
+	return nil, fmt.Errorf("invoke %s.%s after %d rebinds: %w", loid, method, maxRebinds, lastErr)
+}

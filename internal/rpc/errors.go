@@ -1,0 +1,95 @@
+// Package rpc implements method invocation between godcdo objects on top of
+// the transport and naming substrates: a server-side dispatcher that routes
+// envelopes to hosted objects, and a client that resolves LOIDs through a
+// binding cache and transparently rebinds when it discovers stale bindings.
+//
+// This is the godcdo equivalent of Legion's method-invocation layer; the
+// remote-invocation experiment (E2) and the stale-binding experiment (E4)
+// run against this code.
+package rpc
+
+import (
+	"errors"
+	"fmt"
+
+	"godcdo/internal/wire"
+)
+
+// Sentinel errors matching the failure classes the paper requires clients to
+// handle. Remote failures decode to errors matchable with errors.Is.
+var (
+	// ErrNoSuchObject means the target endpoint does not host the LOID
+	// (typically because the object migrated or was destroyed).
+	ErrNoSuchObject = errors.New("rpc: no such object")
+	// ErrNoSuchFunction is the disappearing exported function problem made
+	// concrete: the function named in the request is not in the object's
+	// current interface.
+	ErrNoSuchFunction = errors.New("rpc: no such function")
+	// ErrFunctionDisabled means the function exists but is currently
+	// disabled in the object's DFM.
+	ErrFunctionDisabled = errors.New("rpc: function disabled")
+	// ErrStaleBinding means the call carried an out-of-date incarnation.
+	ErrStaleBinding = errors.New("rpc: stale binding")
+	// ErrUnavailable means the object is temporarily unable to serve
+	// (e.g. mid-evolution under a blocking policy).
+	ErrUnavailable = errors.New("rpc: object unavailable")
+	// ErrBadRequest means the request could not be decoded or validated.
+	ErrBadRequest = errors.New("rpc: bad request")
+)
+
+// RemoteError carries a failure returned by the remote object. It wraps the
+// sentinel corresponding to its code so errors.Is works across the wire.
+type RemoteError struct {
+	Code    uint64
+	Message string
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("remote error (code %d): %s", e.Code, e.Message)
+}
+
+// Unwrap maps the wire code back to the package sentinel.
+func (e *RemoteError) Unwrap() error {
+	switch e.Code {
+	case wire.CodeNoSuchObject:
+		return ErrNoSuchObject
+	case wire.CodeNoSuchFunction:
+		return ErrNoSuchFunction
+	case wire.CodeDisabled:
+		return ErrFunctionDisabled
+	case wire.CodeStaleBinding:
+		return ErrStaleBinding
+	case wire.CodeUnavailable:
+		return ErrUnavailable
+	case wire.CodeBadRequest:
+		return ErrBadRequest
+	default:
+		return nil
+	}
+}
+
+// CodeOf maps an error to the wire code used to transmit it. Unrecognised
+// errors map to CodeInternal.
+func CodeOf(err error) uint64 {
+	var re *RemoteError
+	if errors.As(err, &re) {
+		return re.Code
+	}
+	switch {
+	case errors.Is(err, ErrNoSuchObject):
+		return wire.CodeNoSuchObject
+	case errors.Is(err, ErrNoSuchFunction):
+		return wire.CodeNoSuchFunction
+	case errors.Is(err, ErrFunctionDisabled):
+		return wire.CodeDisabled
+	case errors.Is(err, ErrStaleBinding):
+		return wire.CodeStaleBinding
+	case errors.Is(err, ErrUnavailable):
+		return wire.CodeUnavailable
+	case errors.Is(err, ErrBadRequest):
+		return wire.CodeBadRequest
+	default:
+		return wire.CodeInternal
+	}
+}

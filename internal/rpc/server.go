@@ -1,0 +1,100 @@
+package rpc
+
+import (
+	"fmt"
+	"sync"
+
+	"godcdo/internal/naming"
+	"godcdo/internal/transport"
+	"godcdo/internal/wire"
+)
+
+// Object is anything the dispatcher can host: it services named method
+// invocations with opaque argument/result payloads. Both normal Legion-style
+// objects and DCDOs implement Object.
+type Object interface {
+	// InvokeMethod executes the named exported function. Implementations
+	// return ErrNoSuchFunction / ErrFunctionDisabled (or wrapped variants)
+	// for the paper's failure classes.
+	InvokeMethod(method string, args []byte) ([]byte, error)
+}
+
+// ObjectFunc adapts a function to the Object interface.
+type ObjectFunc func(method string, args []byte) ([]byte, error)
+
+// InvokeMethod implements Object.
+func (f ObjectFunc) InvokeMethod(method string, args []byte) ([]byte, error) {
+	return f(method, args)
+}
+
+// Dispatcher routes inbound envelopes to the objects hosted at one endpoint.
+// It implements transport.Handler and is safe for concurrent use.
+type Dispatcher struct {
+	mu      sync.RWMutex
+	objects map[naming.LOID]Object
+}
+
+var _ transport.Handler = (*Dispatcher)(nil)
+
+// NewDispatcher returns an empty dispatcher.
+func NewDispatcher() *Dispatcher {
+	return &Dispatcher{objects: make(map[naming.LOID]Object)}
+}
+
+// Host makes obj reachable at loid on this dispatcher, replacing any
+// previous object at the same LOID.
+func (d *Dispatcher) Host(loid naming.LOID, obj Object) {
+	d.mu.Lock()
+	d.objects[loid] = obj
+	d.mu.Unlock()
+}
+
+// Evict removes loid from this dispatcher (the object migrated away or was
+// destroyed); subsequent calls for it fail with CodeNoSuchObject, which is
+// how clients discover stale bindings.
+func (d *Dispatcher) Evict(loid naming.LOID) {
+	d.mu.Lock()
+	delete(d.objects, loid)
+	d.mu.Unlock()
+}
+
+// Hosted reports whether loid is currently served by this dispatcher.
+func (d *Dispatcher) Hosted(loid naming.LOID) bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	_, ok := d.objects[loid]
+	return ok
+}
+
+// Len reports the number of hosted objects.
+func (d *Dispatcher) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.objects)
+}
+
+// Handle implements transport.Handler.
+func (d *Dispatcher) Handle(req *wire.Envelope) *wire.Envelope {
+	if req.Kind != wire.KindRequest {
+		return errEnvelope(req.ID, wire.CodeBadRequest, fmt.Sprintf("unexpected envelope kind %s", req.Kind))
+	}
+	loid, err := naming.ParseLOID(req.Target)
+	if err != nil {
+		return errEnvelope(req.ID, wire.CodeBadRequest, err.Error())
+	}
+	d.mu.RLock()
+	obj, ok := d.objects[loid]
+	d.mu.RUnlock()
+	if !ok {
+		return errEnvelope(req.ID, wire.CodeNoSuchObject, fmt.Sprintf("%s not hosted here", loid))
+	}
+	result, err := obj.InvokeMethod(req.Method, req.Payload)
+	if err != nil {
+		return errEnvelope(req.ID, CodeOf(err), err.Error())
+	}
+	return &wire.Envelope{Kind: wire.KindResponse, ID: req.ID, Target: req.Target, Method: req.Method, Payload: result}
+}
+
+func errEnvelope(id, code uint64, msg string) *wire.Envelope {
+	return &wire.Envelope{Kind: wire.KindError, ID: id, Code: code, ErrorMsg: msg}
+}

@@ -1,0 +1,231 @@
+package simnet
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"godcdo/internal/vclock"
+)
+
+// Errors returned by the bus.
+var (
+	// ErrUnknownNode is returned when sending to a node that was never
+	// registered.
+	ErrUnknownNode = errors.New("simnet: unknown node")
+	// ErrNodeDown is returned when sending to a node that has been taken
+	// down (models a crashed or migrated-away process).
+	ErrNodeDown = errors.New("simnet: node down")
+	// ErrBusClosed is returned by Recv after the bus shuts down.
+	ErrBusClosed = errors.New("simnet: bus closed")
+)
+
+// Message is a payload delivered between simulated nodes.
+type Message struct {
+	From      string
+	To        string
+	Payload   []byte
+	DeliverAt time.Time
+	seq       uint64
+}
+
+// Bus connects simulated nodes. Delivery times are computed from the cost
+// model against the virtual clock; messages become receivable once the clock
+// passes their delivery time. The bus itself never blocks senders.
+type Bus struct {
+	clock *vclock.Virtual
+	model CostModel
+
+	mu     sync.Mutex
+	nodes  map[string]*Node
+	seq    uint64
+	closed bool
+}
+
+// NewBus returns an empty bus over the given virtual clock and cost model.
+func NewBus(clock *vclock.Virtual, model CostModel) *Bus {
+	return &Bus{clock: clock, model: model, nodes: make(map[string]*Node)}
+}
+
+// Model returns the bus's cost model.
+func (b *Bus) Model() CostModel { return b.model }
+
+// Clock returns the virtual clock the bus runs on.
+func (b *Bus) Clock() *vclock.Virtual { return b.clock }
+
+// Node registers (or returns the existing) node with the given name.
+func (b *Bus) Node(name string) *Node {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if n, ok := b.nodes[name]; ok {
+		return n
+	}
+	n := &Node{bus: b, name: name, up: true}
+	n.cond = sync.NewCond(&n.mu)
+	b.nodes[name] = n
+	return n
+}
+
+// Close shuts the bus down, waking all blocked receivers with ErrBusClosed.
+func (b *Bus) Close() {
+	b.mu.Lock()
+	b.closed = true
+	nodes := make([]*Node, 0, len(b.nodes))
+	for _, n := range b.nodes {
+		nodes = append(nodes, n)
+	}
+	b.mu.Unlock()
+	for _, n := range nodes {
+		n.mu.Lock()
+		n.closed = true
+		n.cond.Broadcast()
+		n.mu.Unlock()
+	}
+}
+
+// Send delivers payload from node "from" to node "to" after the modeled
+// one-way message time. It returns the modeled delivery time.
+func (b *Bus) Send(from, to string, payload []byte) (time.Time, error) {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return time.Time{}, ErrBusClosed
+	}
+	dst, ok := b.nodes[to]
+	if !ok {
+		b.mu.Unlock()
+		return time.Time{}, fmt.Errorf("%w: %q", ErrUnknownNode, to)
+	}
+	b.seq++
+	seq := b.seq
+	b.mu.Unlock()
+
+	dst.mu.Lock()
+	if !dst.up {
+		dst.mu.Unlock()
+		return time.Time{}, fmt.Errorf("%w: %q", ErrNodeDown, to)
+	}
+	deliverAt := b.clock.Now().Add(b.model.MessageTime(int64(len(payload))))
+	heap.Push(&dst.inbox, &Message{
+		From: from, To: to, Payload: payload, DeliverAt: deliverAt, seq: seq,
+	})
+	dst.cond.Broadcast()
+	dst.mu.Unlock()
+	return deliverAt, nil
+}
+
+// Node is one simulated machine attached to the bus.
+type Node struct {
+	bus  *Bus
+	name string
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	inbox  msgHeap
+	up     bool
+	closed bool
+}
+
+// Name returns the node's bus name.
+func (n *Node) Name() string { return n.name }
+
+// Up reports whether the node accepts messages.
+func (n *Node) Up() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.up
+}
+
+// SetUp marks the node up or down. A down node rejects sends, modelling a
+// dead process whose clients' cached bindings are now stale.
+func (n *Node) SetUp(up bool) {
+	n.mu.Lock()
+	n.up = up
+	n.cond.Broadcast()
+	n.mu.Unlock()
+}
+
+// Send sends payload to the named destination node.
+func (n *Node) Send(to string, payload []byte) (time.Time, error) {
+	return n.bus.Send(n.name, to, payload)
+}
+
+// TryRecv returns the next deliverable message, or ok=false if none is
+// deliverable at the current virtual time.
+func (n *Node) TryRecv() (Message, bool) {
+	now := n.bus.clock.Now()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(n.inbox) == 0 || n.inbox[0].DeliverAt.After(now) {
+		return Message{}, false
+	}
+	m, ok := heap.Pop(&n.inbox).(*Message)
+	if !ok {
+		return Message{}, false
+	}
+	return *m, true
+}
+
+// Recv blocks until a message is deliverable (advancing through the virtual
+// clock as needed) or the bus closes.
+func (n *Node) Recv() (Message, error) {
+	for {
+		n.mu.Lock()
+		for len(n.inbox) == 0 && !n.closed {
+			n.cond.Wait()
+		}
+		if n.closed {
+			n.mu.Unlock()
+			return Message{}, ErrBusClosed
+		}
+		head := n.inbox[0]
+		now := n.bus.clock.Now()
+		if !head.DeliverAt.After(now) {
+			m, _ := heap.Pop(&n.inbox).(*Message)
+			n.mu.Unlock()
+			return *m, nil
+		}
+		wait := head.DeliverAt.Sub(now)
+		n.mu.Unlock()
+		// Wait for virtual time to reach the delivery instant. Another
+		// goroutine must advance the clock (the harness does).
+		n.bus.clock.Sleep(wait)
+	}
+}
+
+// Pending reports the number of queued (not yet received) messages.
+func (n *Node) Pending() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.inbox)
+}
+
+type msgHeap []*Message
+
+func (h msgHeap) Len() int { return len(h) }
+func (h msgHeap) Less(i, j int) bool {
+	if h[i].DeliverAt.Equal(h[j].DeliverAt) {
+		return h[i].seq < h[j].seq
+	}
+	return h[i].DeliverAt.Before(h[j].DeliverAt)
+}
+func (h msgHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *msgHeap) Push(x any) {
+	m, ok := x.(*Message)
+	if !ok {
+		return
+	}
+	*h = append(*h, m)
+}
+
+func (h *msgHeap) Pop() any {
+	old := *h
+	n := len(old)
+	m := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return m
+}

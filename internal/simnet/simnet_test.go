@@ -1,0 +1,220 @@
+package simnet
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"godcdo/internal/vclock"
+)
+
+func TestCenturionDownloadTimesMatchPaper(t *testing.T) {
+	m := Centurion()
+	// Paper: 550 KB implementation downloads in about 4 seconds.
+	small := m.TransferTime(550 << 10)
+	if small < 3*time.Second || small > 5*time.Second {
+		t.Fatalf("550KB transfer = %v, want ≈4s", small)
+	}
+	// Paper: 5.1 MB implementation takes 15 to 25 seconds.
+	large := m.TransferTime(5_347_738) // 5.1 MB
+	if large < 15*time.Second || large > 25*time.Second {
+		t.Fatalf("5.1MB transfer = %v, want within [15s,25s]", large)
+	}
+	// Shape: bigger transfers take longer.
+	if large <= small {
+		t.Fatalf("5.1MB (%v) not slower than 550KB (%v)", large, small)
+	}
+}
+
+func TestCenturionCreationTimesMatchPaper(t *testing.T) {
+	m := Centurion()
+	mono := m.CreationTime(1, true)
+	// Paper: monolithic creation with 500 functions ≈ 2.2 s.
+	if mono < 1800*time.Millisecond || mono > 2600*time.Millisecond {
+		t.Fatalf("monolithic creation = %v, want ≈2.2s", mono)
+	}
+	// Paper: 500 functions in 50 components ≈ 10 s.
+	fifty := m.CreationTime(50, false)
+	if fifty < 8*time.Second || fifty > 12*time.Second {
+		t.Fatalf("50-component creation = %v, want ≈10s", fifty)
+	}
+	// Paper: "for more reasonably configured objects (fewer components),
+	// results are comparable to the static executables".
+	few := m.CreationTime(3, false)
+	if few > 2*mono {
+		t.Fatalf("3-component creation = %v, not comparable to monolithic %v", few, mono)
+	}
+	// Monotone in component count.
+	prev := time.Duration(0)
+	for _, c := range []int{1, 5, 10, 25, 50} {
+		cur := m.CreationTime(c, false)
+		if cur <= prev {
+			t.Fatalf("creation time not monotone at %d components: %v <= %v", c, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestCostModelEdgeCases(t *testing.T) {
+	m := Centurion()
+	if m.TransferTime(0) != 0 {
+		t.Fatal("zero-byte transfer should cost zero")
+	}
+	if m.TransferTime(-5) != 0 {
+		t.Fatal("negative transfer should cost zero")
+	}
+	if got := m.CreationTime(0, false); got != m.CreationTime(1, true) {
+		t.Fatalf("zero components should fall back to monolithic cost, got %v", got)
+	}
+	var zero CostModel
+	if zero.MessageTime(100) != 0 {
+		t.Fatal("zero model message time should be zero")
+	}
+}
+
+func TestRPCTimeComponents(t *testing.T) {
+	m := Centurion()
+	rpc := m.RPCTime(100, 100)
+	if rpc < m.RTT {
+		t.Fatalf("RPC time %v less than RTT %v", rpc, m.RTT)
+	}
+	// Payload size matters but only via serialization.
+	bigger := m.RPCTime(1<<20, 100)
+	if bigger <= rpc {
+		t.Fatal("larger request should cost more")
+	}
+}
+
+func TestBusDeliveryOrder(t *testing.T) {
+	clk := vclock.NewVirtual(time.Unix(0, 0))
+	bus := NewBus(clk, Centurion())
+	a := bus.Node("a")
+	b := bus.Node("b")
+
+	if _, err := a.Send("b", []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Send("b", []byte("second")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Nothing deliverable until the clock advances.
+	if _, ok := b.TryRecv(); ok {
+		t.Fatal("message delivered before virtual time advanced")
+	}
+	clk.Advance(time.Second)
+
+	m1, ok := b.TryRecv()
+	if !ok {
+		t.Fatal("first message not deliverable")
+	}
+	m2, ok := b.TryRecv()
+	if !ok {
+		t.Fatal("second message not deliverable")
+	}
+	if string(m1.Payload) != "first" || string(m2.Payload) != "second" {
+		t.Fatalf("out of order: %q then %q", m1.Payload, m2.Payload)
+	}
+	if m1.From != "a" || m1.To != "b" {
+		t.Fatalf("bad addressing: %+v", m1)
+	}
+}
+
+func TestBusRecvBlocksUntilVirtualDelivery(t *testing.T) {
+	clk := vclock.NewVirtual(time.Unix(0, 0))
+	bus := NewBus(clk, Centurion())
+	a := bus.Node("a")
+	b := bus.Node("b")
+
+	got := make(chan Message, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		m, err := b.Recv()
+		if err != nil {
+			errCh <- err
+			return
+		}
+		got <- m
+	}()
+
+	if _, err := a.Send("b", []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	// Drive virtual time until the receiver's sleep resolves.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		clk.RunUntilIdle()
+		select {
+		case m := <-got:
+			if string(m.Payload) != "hi" {
+				t.Fatalf("payload = %q", m.Payload)
+			}
+			return
+		case err := <-errCh:
+			t.Fatal(err)
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("Recv never returned")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestBusUnknownAndDownNodes(t *testing.T) {
+	clk := vclock.NewVirtual(time.Unix(0, 0))
+	bus := NewBus(clk, Centurion())
+	a := bus.Node("a")
+	if _, err := a.Send("ghost", nil); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("err = %v, want ErrUnknownNode", err)
+	}
+	b := bus.Node("b")
+	b.SetUp(false)
+	if _, err := a.Send("b", nil); !errors.Is(err, ErrNodeDown) {
+		t.Fatalf("err = %v, want ErrNodeDown", err)
+	}
+	if b.Up() {
+		t.Fatal("node reports up after SetUp(false)")
+	}
+	b.SetUp(true)
+	if _, err := a.Send("b", nil); err != nil {
+		t.Fatalf("send after SetUp(true): %v", err)
+	}
+	if b.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", b.Pending())
+	}
+}
+
+func TestBusCloseWakesReceivers(t *testing.T) {
+	clk := vclock.NewVirtual(time.Unix(0, 0))
+	bus := NewBus(clk, Centurion())
+	n := bus.Node("n")
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := n.Recv()
+		errCh <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the receiver block
+	bus.Close()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrBusClosed) {
+			t.Fatalf("err = %v, want ErrBusClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv not woken by Close")
+	}
+	if _, err := bus.Node("n").Send("n", nil); !errors.Is(err, ErrBusClosed) {
+		t.Fatalf("send after close err = %v", err)
+	}
+}
+
+func TestBusNodeIdentityStable(t *testing.T) {
+	bus := NewBus(vclock.NewVirtual(time.Unix(0, 0)), Centurion())
+	if bus.Node("x") != bus.Node("x") {
+		t.Fatal("Node() returned different instances for same name")
+	}
+	if bus.Node("x").Name() != "x" {
+		t.Fatal("bad node name")
+	}
+}

@@ -1,0 +1,114 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"godcdo/internal/wire"
+)
+
+// InprocNetwork connects servers and dialers within one process. It models
+// the same request/response contract as TCP without sockets, so unit tests
+// and single-process examples run a full node topology cheaply.
+type InprocNetwork struct {
+	mu       sync.RWMutex
+	handlers map[string]Handler // name -> handler
+	nextID   uint64
+}
+
+// NewInprocNetwork returns an empty in-process network.
+func NewInprocNetwork() *InprocNetwork {
+	return &InprocNetwork{handlers: make(map[string]Handler)}
+}
+
+// Listen registers handler under name and returns its server handle. The
+// endpoint is "inproc:<name>".
+func (n *InprocNetwork) Listen(name string, handler Handler) (*InprocServer, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, exists := n.handlers[name]; exists {
+		return nil, fmt.Errorf("%w: inproc name %q already in use", ErrBadEndpoint, name)
+	}
+	n.handlers[name] = handler
+	return &InprocServer{net: n, name: name}, nil
+}
+
+// Dialer returns a Dialer that resolves inproc endpoints on this network.
+func (n *InprocNetwork) Dialer() *InprocDialer {
+	return &InprocDialer{net: n}
+}
+
+// InprocServer is the server handle for a registered inproc handler.
+type InprocServer struct {
+	net  *InprocNetwork
+	name string
+}
+
+var _ Server = (*InprocServer)(nil)
+
+// Endpoint implements Server.
+func (s *InprocServer) Endpoint() string { return "inproc:" + s.name }
+
+// Close implements Server.
+func (s *InprocServer) Close() error {
+	s.net.mu.Lock()
+	delete(s.net.handlers, s.name)
+	s.net.mu.Unlock()
+	return nil
+}
+
+// InprocDialer calls handlers registered on its network.
+type InprocDialer struct {
+	net    *InprocNetwork
+	mu     sync.Mutex
+	closed bool
+}
+
+var _ Dialer = (*InprocDialer)(nil)
+
+// Call implements Dialer. The handler runs synchronously on the caller's
+// goroutine; timeout applies only in the sense that a missing endpoint fails
+// immediately (a synchronous handler cannot be abandoned).
+func (d *InprocDialer) Call(endpoint string, req *wire.Envelope, timeout time.Duration) (*wire.Envelope, error) {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil, ErrClosed
+	}
+	d.mu.Unlock()
+
+	scheme, name, err := ParseEndpoint(endpoint)
+	if err != nil {
+		return nil, err
+	}
+	if scheme != SchemeInproc {
+		return nil, fmt.Errorf("%w: inproc dialer got %q", ErrBadEndpoint, endpoint)
+	}
+	d.net.mu.RLock()
+	handler, ok := d.net.handlers[name]
+	d.net.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: inproc endpoint %q", ErrUnreachable, endpoint)
+	}
+
+	d.net.mu.Lock()
+	d.net.nextID++
+	req.ID = d.net.nextID
+	d.net.mu.Unlock()
+
+	resp := handler.Handle(req)
+	if resp == nil {
+		return nil, fmt.Errorf("%w: nil response from %q", ErrUnreachable, endpoint)
+	}
+	resp.ID = req.ID
+	return resp, nil
+}
+
+// Close implements Dialer.
+func (d *InprocDialer) Close() error {
+	d.mu.Lock()
+	d.closed = true
+	d.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,323 @@
+package transport
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"godcdo/internal/wire"
+)
+
+// TCPServer serves envelopes over TCP. Each connection is read by one
+// goroutine; requests are dispatched concurrently so a slow handler does not
+// head-of-line block pipelined callers.
+type TCPServer struct {
+	handler  Handler
+	listener net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+var _ Server = (*TCPServer)(nil)
+
+// ListenTCP starts a server on addr ("127.0.0.1:0" picks a free port).
+func ListenTCP(addr string, handler Handler) (*TCPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("listen %q: %w", addr, err)
+	}
+	s := &TCPServer{handler: handler, listener: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Endpoint implements Server.
+func (s *TCPServer) Endpoint() string {
+	return "tcp:" + s.listener.Addr().String()
+}
+
+// Close implements Server.
+func (s *TCPServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	err := s.listener.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *TCPServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *TCPServer) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+
+	var writeMu sync.Mutex
+	bw := bufio.NewWriter(conn)
+	br := bufio.NewReader(conn)
+	var handlers sync.WaitGroup
+	defer handlers.Wait()
+
+	for {
+		frame, err := wire.ReadFrame(br)
+		if err != nil {
+			return // EOF or broken connection
+		}
+		req, err := wire.DecodeEnvelope(frame)
+		if err != nil {
+			return // stream desynchronised; drop the connection
+		}
+		handlers.Add(1)
+		go func() {
+			defer handlers.Done()
+			resp := s.handler.Handle(req)
+			if resp == nil {
+				resp = &wire.Envelope{
+					Kind: wire.KindError, ID: req.ID,
+					Code: wire.CodeInternal, ErrorMsg: "nil response from handler",
+				}
+			}
+			resp.ID = req.ID
+			writeMu.Lock()
+			defer writeMu.Unlock()
+			if err := wire.WriteFrame(bw, resp.Encode()); err != nil {
+				return
+			}
+			_ = bw.Flush()
+		}()
+	}
+}
+
+// TCPDialer issues calls over pooled TCP connections, one connection per
+// endpoint, with responses correlated by envelope ID.
+type TCPDialer struct {
+	// DialTimeout bounds connection establishment. Zero means 5 s.
+	DialTimeout time.Duration
+
+	mu     sync.Mutex
+	conns  map[string]*tcpClientConn
+	nextID uint64
+	closed bool
+}
+
+var _ Dialer = (*TCPDialer)(nil)
+
+// NewTCPDialer returns an empty connection pool.
+func NewTCPDialer() *TCPDialer {
+	return &TCPDialer{conns: make(map[string]*tcpClientConn)}
+}
+
+type tcpClientConn struct {
+	conn net.Conn
+	bw   *bufio.Writer
+
+	mu      sync.Mutex // guards bw and pending
+	pending map[uint64]chan *wire.Envelope
+	dead    error
+}
+
+// Call implements Dialer.
+func (d *TCPDialer) Call(endpoint string, req *wire.Envelope, timeout time.Duration) (*wire.Envelope, error) {
+	scheme, addr, err := ParseEndpoint(endpoint)
+	if err != nil {
+		return nil, err
+	}
+	if scheme != SchemeTCP {
+		return nil, fmt.Errorf("%w: TCP dialer got %q", ErrBadEndpoint, endpoint)
+	}
+	cc, err := d.getConn(endpoint, addr)
+	if err != nil {
+		return nil, err
+	}
+
+	d.mu.Lock()
+	d.nextID++
+	id := d.nextID
+	d.mu.Unlock()
+	req.ID = id
+
+	respCh := make(chan *wire.Envelope, 1)
+	cc.mu.Lock()
+	if cc.dead != nil {
+		err := cc.dead
+		cc.mu.Unlock()
+		d.dropConn(endpoint, cc)
+		return nil, err
+	}
+	cc.pending[id] = respCh
+	writeErr := wire.WriteFrame(cc.bw, req.Encode())
+	if writeErr == nil {
+		writeErr = cc.bw.Flush()
+	}
+	if writeErr != nil {
+		delete(cc.pending, id)
+		cc.mu.Unlock()
+		d.dropConn(endpoint, cc)
+		return nil, fmt.Errorf("%w: %v", ErrUnreachable, writeErr)
+	}
+	cc.mu.Unlock()
+
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case resp := <-respCh:
+		if resp == nil {
+			return nil, fmt.Errorf("%w: connection lost mid-call", ErrUnreachable)
+		}
+		return resp, nil
+	case <-timer.C:
+		cc.mu.Lock()
+		delete(cc.pending, id)
+		cc.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s after %v", ErrTimeout, endpoint, timeout)
+	}
+}
+
+// Close implements Dialer.
+func (d *TCPDialer) Close() error {
+	d.mu.Lock()
+	d.closed = true
+	conns := make([]*tcpClientConn, 0, len(d.conns))
+	for _, c := range d.conns {
+		conns = append(conns, c)
+	}
+	d.conns = make(map[string]*tcpClientConn)
+	d.mu.Unlock()
+	for _, c := range conns {
+		_ = c.conn.Close()
+	}
+	return nil
+}
+
+func (d *TCPDialer) getConn(endpoint, addr string) (*tcpClientConn, error) {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if cc, ok := d.conns[endpoint]; ok {
+		d.mu.Unlock()
+		return cc, nil
+	}
+	d.mu.Unlock()
+
+	dialTimeout := d.DialTimeout
+	if dialTimeout == 0 {
+		dialTimeout = 5 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("%w: dial %s: %v", ErrUnreachable, addr, err)
+	}
+	cc := &tcpClientConn{
+		conn:    conn,
+		bw:      bufio.NewWriter(conn),
+		pending: make(map[uint64]chan *wire.Envelope),
+	}
+
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		_ = conn.Close()
+		return nil, ErrClosed
+	}
+	if existing, ok := d.conns[endpoint]; ok {
+		// Lost the race; use the winner's connection.
+		d.mu.Unlock()
+		_ = conn.Close()
+		return existing, nil
+	}
+	d.conns[endpoint] = cc
+	d.mu.Unlock()
+
+	go d.readLoop(endpoint, cc)
+	return cc, nil
+}
+
+func (d *TCPDialer) readLoop(endpoint string, cc *tcpClientConn) {
+	br := bufio.NewReader(cc.conn)
+	var loopErr error
+	for {
+		frame, err := wire.ReadFrame(br)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				loopErr = fmt.Errorf("%w: connection closed by peer", ErrUnreachable)
+			} else {
+				loopErr = fmt.Errorf("%w: %v", ErrUnreachable, err)
+			}
+			break
+		}
+		resp, err := wire.DecodeEnvelope(frame)
+		if err != nil {
+			loopErr = fmt.Errorf("%w: %v", ErrUnreachable, err)
+			break
+		}
+		cc.mu.Lock()
+		ch, ok := cc.pending[resp.ID]
+		delete(cc.pending, resp.ID)
+		cc.mu.Unlock()
+		if ok {
+			ch <- resp
+		}
+	}
+	cc.mu.Lock()
+	cc.dead = loopErr
+	for id, ch := range cc.pending {
+		delete(cc.pending, id)
+		close(ch)
+	}
+	cc.mu.Unlock()
+	d.dropConn(endpoint, cc)
+}
+
+func (d *TCPDialer) dropConn(endpoint string, cc *tcpClientConn) {
+	d.mu.Lock()
+	if cur, ok := d.conns[endpoint]; ok && cur == cc {
+		delete(d.conns, endpoint)
+	}
+	d.mu.Unlock()
+	_ = cc.conn.Close()
+}

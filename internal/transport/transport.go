@@ -1,0 +1,121 @@
+// Package transport provides the real byte transports godcdo nodes talk
+// over: TCP (for genuinely distributed deployments and the remote-invocation
+// experiments) and an in-process transport (for tests and single-process
+// examples). Both carry wire.Envelope frames.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"godcdo/internal/wire"
+)
+
+// Errors returned by transports.
+var (
+	// ErrBadEndpoint is returned for endpoints that do not parse.
+	ErrBadEndpoint = errors.New("transport: malformed endpoint")
+	// ErrTimeout is returned when a call's deadline expires.
+	ErrTimeout = errors.New("transport: call timed out")
+	// ErrClosed is returned when using a closed transport.
+	ErrClosed = errors.New("transport: closed")
+	// ErrUnreachable is returned when the endpoint cannot be contacted.
+	ErrUnreachable = errors.New("transport: endpoint unreachable")
+)
+
+// Handler processes one inbound request envelope and returns the response
+// envelope (KindResponse or KindError). Handlers must be safe for concurrent
+// use; the TCP server dispatches pipelined requests concurrently.
+type Handler interface {
+	Handle(req *wire.Envelope) *wire.Envelope
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(req *wire.Envelope) *wire.Envelope
+
+// Handle implements Handler.
+func (f HandlerFunc) Handle(req *wire.Envelope) *wire.Envelope { return f(req) }
+
+// Server accepts inbound envelopes on an endpoint.
+type Server interface {
+	// Endpoint returns the server's dialable endpoint ("tcp:host:port" or
+	// "inproc:name").
+	Endpoint() string
+	// Close stops accepting and tears down live connections.
+	Close() error
+}
+
+// Dialer issues request/response calls against endpoints.
+type Dialer interface {
+	// Call sends req to endpoint and waits up to timeout for the matching
+	// response.
+	Call(endpoint string, req *wire.Envelope, timeout time.Duration) (*wire.Envelope, error)
+	// Close releases pooled connections.
+	Close() error
+}
+
+// Scheme identifies the transport family of an endpoint.
+type Scheme string
+
+// Supported endpoint schemes.
+const (
+	SchemeTCP    Scheme = "tcp"
+	SchemeInproc Scheme = "inproc"
+)
+
+// ParseEndpoint splits "scheme:rest" and validates the scheme.
+func ParseEndpoint(endpoint string) (Scheme, string, error) {
+	scheme, rest, ok := strings.Cut(endpoint, ":")
+	if !ok || rest == "" {
+		return "", "", fmt.Errorf("%w: %q", ErrBadEndpoint, endpoint)
+	}
+	switch Scheme(scheme) {
+	case SchemeTCP, SchemeInproc:
+		return Scheme(scheme), rest, nil
+	default:
+		return "", "", fmt.Errorf("%w: unknown scheme in %q", ErrBadEndpoint, endpoint)
+	}
+}
+
+// MultiDialer routes calls to the dialer registered for each endpoint's
+// scheme. It is how a node talks both TCP and in-process.
+type MultiDialer struct {
+	dialers map[Scheme]Dialer
+}
+
+var _ Dialer = (*MultiDialer)(nil)
+
+// NewMultiDialer returns a dialer that dispatches on endpoint scheme.
+func NewMultiDialer(dialers map[Scheme]Dialer) *MultiDialer {
+	m := make(map[Scheme]Dialer, len(dialers))
+	for k, v := range dialers {
+		m[k] = v
+	}
+	return &MultiDialer{dialers: m}
+}
+
+// Call implements Dialer.
+func (m *MultiDialer) Call(endpoint string, req *wire.Envelope, timeout time.Duration) (*wire.Envelope, error) {
+	scheme, _, err := ParseEndpoint(endpoint)
+	if err != nil {
+		return nil, err
+	}
+	d, ok := m.dialers[scheme]
+	if !ok {
+		return nil, fmt.Errorf("%w: no dialer for scheme %q", ErrBadEndpoint, scheme)
+	}
+	return d.Call(endpoint, req, timeout)
+}
+
+// Close implements Dialer, closing every registered dialer.
+func (m *MultiDialer) Close() error {
+	var firstErr error
+	for _, d := range m.dialers {
+		if err := d.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,374 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"godcdo/internal/wire"
+)
+
+func echoHandler() Handler {
+	return HandlerFunc(func(req *wire.Envelope) *wire.Envelope {
+		return &wire.Envelope{
+			Kind:    wire.KindResponse,
+			Target:  req.Target,
+			Method:  req.Method,
+			Payload: req.Payload,
+		}
+	})
+}
+
+func TestParseEndpoint(t *testing.T) {
+	cases := []struct {
+		in      string
+		scheme  Scheme
+		rest    string
+		wantErr bool
+	}{
+		{"tcp:127.0.0.1:80", SchemeTCP, "127.0.0.1:80", false},
+		{"inproc:node-1", SchemeInproc, "node-1", false},
+		{"udp:127.0.0.1:80", "", "", true},
+		{"tcp:", "", "", true},
+		{"garbage", "", "", true},
+		{"", "", "", true},
+	}
+	for _, c := range cases {
+		scheme, rest, err := ParseEndpoint(c.in)
+		if c.wantErr {
+			if !errors.Is(err, ErrBadEndpoint) {
+				t.Errorf("ParseEndpoint(%q) err = %v, want ErrBadEndpoint", c.in, err)
+			}
+			continue
+		}
+		if err != nil || scheme != c.scheme || rest != c.rest {
+			t.Errorf("ParseEndpoint(%q) = (%q,%q,%v)", c.in, scheme, rest, err)
+		}
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	srv, err := ListenTCP("127.0.0.1:0", echoHandler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	d := NewTCPDialer()
+	defer d.Close()
+
+	req := &wire.Envelope{Kind: wire.KindRequest, Target: "loid:1.1.1", Method: "ping", Payload: []byte("abc")}
+	resp, err := d.Call(srv.Endpoint(), req, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Kind != wire.KindResponse || string(resp.Payload) != "abc" || resp.Method != "ping" {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if resp.ID != req.ID {
+		t.Fatalf("response ID %d != request ID %d", resp.ID, req.ID)
+	}
+}
+
+func TestTCPConcurrentCallsShareConnection(t *testing.T) {
+	srv, err := ListenTCP("127.0.0.1:0", echoHandler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	d := NewTCPDialer()
+	defer d.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			payload := []byte(fmt.Sprintf("msg-%d", i))
+			resp, err := d.Call(srv.Endpoint(), &wire.Envelope{Kind: wire.KindRequest, Payload: payload}, 5*time.Second)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if string(resp.Payload) != string(payload) {
+				errs <- fmt.Errorf("payload mismatch: got %q want %q", resp.Payload, payload)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	d.mu.Lock()
+	nconns := len(d.conns)
+	d.mu.Unlock()
+	if nconns != 1 {
+		t.Fatalf("dialer holds %d connections, want 1 (pooled)", nconns)
+	}
+}
+
+func TestTCPSlowHandlerDoesNotBlockPipelinedCalls(t *testing.T) {
+	block := make(chan struct{})
+	handler := HandlerFunc(func(req *wire.Envelope) *wire.Envelope {
+		if req.Method == "slow" {
+			<-block
+		}
+		return &wire.Envelope{Kind: wire.KindResponse, Payload: req.Payload}
+	})
+	srv, err := ListenTCP("127.0.0.1:0", handler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	d := NewTCPDialer()
+	defer d.Close()
+
+	slowDone := make(chan error, 1)
+	go func() {
+		_, err := d.Call(srv.Endpoint(), &wire.Envelope{Kind: wire.KindRequest, Method: "slow"}, 10*time.Second)
+		slowDone <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let slow call reach the handler
+
+	if _, err := d.Call(srv.Endpoint(), &wire.Envelope{Kind: wire.KindRequest, Method: "fast"}, 2*time.Second); err != nil {
+		t.Fatalf("fast call blocked behind slow call: %v", err)
+	}
+	close(block)
+	if err := <-slowDone; err != nil {
+		t.Fatalf("slow call failed: %v", err)
+	}
+}
+
+func TestTCPCallTimeout(t *testing.T) {
+	handler := HandlerFunc(func(req *wire.Envelope) *wire.Envelope {
+		time.Sleep(time.Second)
+		return &wire.Envelope{Kind: wire.KindResponse}
+	})
+	srv, err := ListenTCP("127.0.0.1:0", handler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	d := NewTCPDialer()
+	defer d.Close()
+
+	_, err = d.Call(srv.Endpoint(), &wire.Envelope{Kind: wire.KindRequest}, 30*time.Millisecond)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+}
+
+func TestTCPServerCloseFailsInflightCalls(t *testing.T) {
+	started := make(chan struct{}, 1)
+	handler := HandlerFunc(func(req *wire.Envelope) *wire.Envelope {
+		started <- struct{}{}
+		time.Sleep(100 * time.Millisecond)
+		return &wire.Envelope{Kind: wire.KindResponse}
+	})
+	srv, err := ListenTCP("127.0.0.1:0", handler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewTCPDialer()
+	defer d.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := d.Call(srv.Endpoint(), &wire.Envelope{Kind: wire.KindRequest}, 5*time.Second)
+		done <- err
+	}()
+	<-started
+	_ = srv.Close()
+	if err := <-done; err == nil {
+		t.Fatal("in-flight call succeeded despite server close")
+	}
+}
+
+func TestTCPDialUnreachable(t *testing.T) {
+	d := NewTCPDialer()
+	d.DialTimeout = 200 * time.Millisecond
+	defer d.Close()
+	_, err := d.Call("tcp:127.0.0.1:1", &wire.Envelope{Kind: wire.KindRequest}, time.Second)
+	if !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err = %v, want ErrUnreachable", err)
+	}
+}
+
+func TestTCPDialerRejectsWrongScheme(t *testing.T) {
+	d := NewTCPDialer()
+	defer d.Close()
+	if _, err := d.Call("inproc:x", &wire.Envelope{}, time.Second); !errors.Is(err, ErrBadEndpoint) {
+		t.Fatalf("err = %v, want ErrBadEndpoint", err)
+	}
+}
+
+func TestTCPDialerClosed(t *testing.T) {
+	d := NewTCPDialer()
+	_ = d.Close()
+	if _, err := d.Call("tcp:127.0.0.1:1", &wire.Envelope{}, time.Second); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestTCPNilHandlerResponse(t *testing.T) {
+	srv, err := ListenTCP("127.0.0.1:0", HandlerFunc(func(*wire.Envelope) *wire.Envelope { return nil }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	d := NewTCPDialer()
+	defer d.Close()
+	resp, err := d.Call(srv.Endpoint(), &wire.Envelope{Kind: wire.KindRequest}, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Kind != wire.KindError || resp.Code != wire.CodeInternal {
+		t.Fatalf("resp = %+v, want internal error", resp)
+	}
+}
+
+func TestTCPServerDropsDesynchronisedStream(t *testing.T) {
+	srv, err := ListenTCP("127.0.0.1:0", echoHandler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	_, addr, err := ParseEndpoint(srv.Endpoint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// Garbage that is not a valid frame: the server must drop the
+	// connection rather than misparse the stream.
+	if _, err := conn.Write([]byte("this is not a frame at all........")); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 16)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("server answered a garbage stream")
+	}
+
+	// The listener survives and keeps serving clean clients.
+	d := NewTCPDialer()
+	defer d.Close()
+	if _, err := d.Call(srv.Endpoint(), &wire.Envelope{Kind: wire.KindRequest}, 2*time.Second); err != nil {
+		t.Fatalf("server wedged after garbage stream: %v", err)
+	}
+}
+
+func TestTCPServerDropsCorruptEnvelope(t *testing.T) {
+	srv, err := ListenTCP("127.0.0.1:0", echoHandler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	_, addr, err := ParseEndpoint(srv.Endpoint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// A well-formed frame whose payload is not a decodable envelope.
+	if err := wire.WriteFrame(conn, []byte{0xff}); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 16)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("server answered a corrupt envelope")
+	}
+}
+
+func TestInprocRoundTrip(t *testing.T) {
+	n := NewInprocNetwork()
+	srv, err := n.Listen("node-1", echoHandler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := n.Dialer()
+	resp, err := d.Call(srv.Endpoint(), &wire.Envelope{Kind: wire.KindRequest, Payload: []byte("x")}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp.Payload) != "x" {
+		t.Fatalf("payload = %q", resp.Payload)
+	}
+}
+
+func TestInprocDuplicateNameRejected(t *testing.T) {
+	n := NewInprocNetwork()
+	if _, err := n.Listen("dup", echoHandler()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Listen("dup", echoHandler()); !errors.Is(err, ErrBadEndpoint) {
+		t.Fatalf("err = %v, want ErrBadEndpoint", err)
+	}
+}
+
+func TestInprocCloseUnregisters(t *testing.T) {
+	n := NewInprocNetwork()
+	srv, _ := n.Listen("gone", echoHandler())
+	_ = srv.Close()
+	d := n.Dialer()
+	if _, err := d.Call("inproc:gone", &wire.Envelope{}, time.Second); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err = %v, want ErrUnreachable", err)
+	}
+	// Name is reusable after Close.
+	if _, err := n.Listen("gone", echoHandler()); err != nil {
+		t.Fatalf("relisten after close: %v", err)
+	}
+}
+
+func TestInprocDialerClosed(t *testing.T) {
+	n := NewInprocNetwork()
+	d := n.Dialer()
+	_ = d.Close()
+	if _, err := d.Call("inproc:x", &wire.Envelope{}, time.Second); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestMultiDialerRouting(t *testing.T) {
+	n := NewInprocNetwork()
+	if _, err := n.Listen("a", echoHandler()); err != nil {
+		t.Fatal(err)
+	}
+	tcpSrv, err := ListenTCP("127.0.0.1:0", echoHandler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tcpSrv.Close()
+
+	md := NewMultiDialer(map[Scheme]Dialer{
+		SchemeInproc: n.Dialer(),
+		SchemeTCP:    NewTCPDialer(),
+	})
+	defer md.Close()
+
+	if _, err := md.Call("inproc:a", &wire.Envelope{Kind: wire.KindRequest}, time.Second); err != nil {
+		t.Fatalf("inproc via multi: %v", err)
+	}
+	if _, err := md.Call(tcpSrv.Endpoint(), &wire.Envelope{Kind: wire.KindRequest}, time.Second); err != nil {
+		t.Fatalf("tcp via multi: %v", err)
+	}
+	if _, err := md.Call("bogus", &wire.Envelope{}, time.Second); !errors.Is(err, ErrBadEndpoint) {
+		t.Fatalf("err = %v, want ErrBadEndpoint", err)
+	}
+}

@@ -1,0 +1,193 @@
+// Package vault implements Legion's vault objects: persistent storage for
+// deactivated objects' state. A node deactivates an object by capturing its
+// state into a vault and evicting it; a later activation (possibly on a
+// different node, after a crash, or during the baseline evolution pipeline)
+// restores the state into a fresh incarnation.
+//
+// Two implementations are provided: an in-memory vault for tests and
+// simulations, and a file-backed vault whose entries survive process
+// restarts.
+package vault
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"godcdo/internal/naming"
+)
+
+// Errors returned by vaults.
+var (
+	// ErrNotStored is returned when activating an object the vault does
+	// not hold.
+	ErrNotStored = errors.New("vault: no stored state for object")
+	// ErrCorruptVault is returned when a stored entry cannot be read.
+	ErrCorruptVault = errors.New("vault: corrupt entry")
+)
+
+// Vault stores captured object state by LOID.
+type Vault interface {
+	// Store saves the object's captured state, replacing any previous
+	// entry.
+	Store(loid naming.LOID, state []byte) error
+	// Load returns the stored state.
+	Load(loid naming.LOID) ([]byte, error)
+	// Delete removes the entry; deleting a missing entry is a no-op.
+	Delete(loid naming.LOID) error
+	// List returns the stored LOIDs, sorted by string form.
+	List() ([]naming.LOID, error)
+}
+
+// Memory is an in-memory vault. The zero value is not usable; construct
+// with NewMemory.
+type Memory struct {
+	mu      sync.RWMutex
+	entries map[naming.LOID][]byte
+}
+
+var _ Vault = (*Memory)(nil)
+
+// NewMemory returns an empty in-memory vault.
+func NewMemory() *Memory {
+	return &Memory{entries: make(map[naming.LOID][]byte)}
+}
+
+// Store implements Vault.
+func (m *Memory) Store(loid naming.LOID, state []byte) error {
+	copied := make([]byte, len(state))
+	copy(copied, state)
+	m.mu.Lock()
+	m.entries[loid] = copied
+	m.mu.Unlock()
+	return nil
+}
+
+// Load implements Vault.
+func (m *Memory) Load(loid naming.LOID) ([]byte, error) {
+	m.mu.RLock()
+	state, ok := m.entries[loid]
+	m.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotStored, loid)
+	}
+	copied := make([]byte, len(state))
+	copy(copied, state)
+	return copied, nil
+}
+
+// Delete implements Vault.
+func (m *Memory) Delete(loid naming.LOID) error {
+	m.mu.Lock()
+	delete(m.entries, loid)
+	m.mu.Unlock()
+	return nil
+}
+
+// List implements Vault.
+func (m *Memory) List() ([]naming.LOID, error) {
+	m.mu.RLock()
+	out := make([]naming.LOID, 0, len(m.entries))
+	for loid := range m.entries {
+		out = append(out, loid)
+	}
+	m.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out, nil
+}
+
+// File is a file-backed vault: one file per object under a directory,
+// surviving process restarts.
+type File struct {
+	dir string
+	mu  sync.Mutex
+}
+
+var _ Vault = (*File)(nil)
+
+// NewFile returns a vault rooted at dir, creating it if needed.
+func NewFile(dir string) (*File, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("vault: create %q: %w", dir, err)
+	}
+	return &File{dir: dir}, nil
+}
+
+// entryPath encodes the LOID into a filename ("1.2.3.state").
+func (f *File) entryPath(loid naming.LOID) string {
+	name := strings.TrimPrefix(loid.String(), "loid:")
+	return filepath.Join(f.dir, name+".state")
+}
+
+// Store implements Vault. The write is atomic (temp file + rename) so a
+// crash never leaves a truncated entry.
+func (f *File) Store(loid naming.LOID, state []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	tmp, err := os.CreateTemp(f.dir, ".vault-*")
+	if err != nil {
+		return fmt.Errorf("vault: store %s: %w", loid, err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(state); err != nil {
+		_ = tmp.Close()
+		_ = os.Remove(tmpName)
+		return fmt.Errorf("vault: store %s: %w", loid, err)
+	}
+	if err := tmp.Close(); err != nil {
+		_ = os.Remove(tmpName)
+		return fmt.Errorf("vault: store %s: %w", loid, err)
+	}
+	if err := os.Rename(tmpName, f.entryPath(loid)); err != nil {
+		_ = os.Remove(tmpName)
+		return fmt.Errorf("vault: store %s: %w", loid, err)
+	}
+	return nil
+}
+
+// Load implements Vault.
+func (f *File) Load(loid naming.LOID) ([]byte, error) {
+	state, err := os.ReadFile(f.entryPath(loid))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, fmt.Errorf("%w: %s", ErrNotStored, loid)
+		}
+		return nil, fmt.Errorf("%w: %s: %v", ErrCorruptVault, loid, err)
+	}
+	return state, nil
+}
+
+// Delete implements Vault.
+func (f *File) Delete(loid naming.LOID) error {
+	err := os.Remove(f.entryPath(loid))
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("vault: delete %s: %w", loid, err)
+	}
+	return nil
+}
+
+// List implements Vault.
+func (f *File) List() ([]naming.LOID, error) {
+	entries, err := os.ReadDir(f.dir)
+	if err != nil {
+		return nil, fmt.Errorf("vault: list: %w", err)
+	}
+	var out []naming.LOID
+	for _, e := range entries {
+		name, ok := strings.CutSuffix(e.Name(), ".state")
+		if !ok {
+			continue
+		}
+		loid, err := naming.ParseLOID("loid:" + name)
+		if err != nil {
+			continue // foreign file; not a vault entry
+		}
+		out = append(out, loid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out, nil
+}

@@ -1,0 +1,185 @@
+package vault
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"godcdo/internal/naming"
+)
+
+// vaultUnderTest runs the same contract suite against both implementations.
+func vaults(t *testing.T) map[string]Vault {
+	t.Helper()
+	file, err := NewFile(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Vault{
+		"memory": NewMemory(),
+		"file":   file,
+	}
+}
+
+func TestStoreLoadDelete(t *testing.T) {
+	for name, v := range vaults(t) {
+		t.Run(name, func(t *testing.T) {
+			loid := naming.LOID{Domain: 1, Class: 2, Instance: 3}
+			state := []byte("captured state")
+			if err := v.Store(loid, state); err != nil {
+				t.Fatal(err)
+			}
+			got, err := v.Load(loid)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, state) {
+				t.Fatalf("Load = %q", got)
+			}
+			// Overwrite replaces.
+			if err := v.Store(loid, []byte("v2")); err != nil {
+				t.Fatal(err)
+			}
+			got, _ = v.Load(loid)
+			if string(got) != "v2" {
+				t.Fatalf("after overwrite = %q", got)
+			}
+			if err := v.Delete(loid); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := v.Load(loid); !errors.Is(err, ErrNotStored) {
+				t.Fatalf("err = %v, want ErrNotStored", err)
+			}
+			// Double delete is a no-op.
+			if err := v.Delete(loid); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestLoadMissing(t *testing.T) {
+	for name, v := range vaults(t) {
+		t.Run(name, func(t *testing.T) {
+			if _, err := v.Load(naming.LOID{Instance: 404}); !errors.Is(err, ErrNotStored) {
+				t.Fatalf("err = %v, want ErrNotStored", err)
+			}
+		})
+	}
+}
+
+func TestListSorted(t *testing.T) {
+	for name, v := range vaults(t) {
+		t.Run(name, func(t *testing.T) {
+			for _, i := range []uint64{3, 1, 2} {
+				if err := v.Store(naming.LOID{Domain: 1, Class: 1, Instance: i}, []byte{byte(i)}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			loids, err := v.List()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(loids) != 3 {
+				t.Fatalf("List = %v", loids)
+			}
+			for i := 1; i < len(loids); i++ {
+				if loids[i-1].String() >= loids[i].String() {
+					t.Fatalf("unsorted: %v", loids)
+				}
+			}
+		})
+	}
+}
+
+func TestMemoryStoreCopies(t *testing.T) {
+	v := NewMemory()
+	loid := naming.LOID{Instance: 1}
+	in := []byte{1}
+	if err := v.Store(loid, in); err != nil {
+		t.Fatal(err)
+	}
+	in[0] = 9
+	got, _ := v.Load(loid)
+	if got[0] != 1 {
+		t.Fatal("Store aliased caller slice")
+	}
+	got[0] = 7
+	got2, _ := v.Load(loid)
+	if got2[0] != 1 {
+		t.Fatal("Load returned aliased storage")
+	}
+}
+
+func TestFileVaultSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	v1, err := NewFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loid := naming.LOID{Domain: 2, Class: 2, Instance: 2}
+	if err := v1.Store(loid, []byte("persistent")); err != nil {
+		t.Fatal(err)
+	}
+	// "Restart": a fresh vault over the same directory sees the entry.
+	v2, err := NewFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := v2.Load(loid)
+	if err != nil || string(got) != "persistent" {
+		t.Fatalf("Load after reopen = %q, %v", got, err)
+	}
+	loids, err := v2.List()
+	if err != nil || len(loids) != 1 || loids[0] != loid {
+		t.Fatalf("List after reopen = %v, %v", loids, err)
+	}
+}
+
+func TestNewFileRejectsFilePath(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "occupied")
+	if err := os.WriteFile(path, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewFile(path); err == nil {
+		t.Fatal("NewFile over a regular file accepted")
+	}
+}
+
+func TestFileVaultStoreFailsWhenDirRemoved(t *testing.T) {
+	dir := t.TempDir()
+	v, err := NewFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Store(naming.LOID{Instance: 1}, []byte("x")); err == nil {
+		t.Fatal("store into removed directory succeeded")
+	}
+	if _, err := v.List(); err == nil {
+		t.Fatal("list of removed directory succeeded")
+	}
+}
+
+func TestFileVaultIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	v, err := NewFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "README.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "not-a-loid.state"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loids, err := v.List()
+	if err != nil || len(loids) != 0 {
+		t.Fatalf("List = %v, %v", loids, err)
+	}
+}

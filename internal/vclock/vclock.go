@@ -1,0 +1,182 @@
+// Package vclock provides the clock abstraction used throughout godcdo.
+//
+// Two implementations exist: a real clock backed by the time package, and a
+// deterministic virtual clock used by the simulation experiments (the
+// multi-second download and stale-binding measurements from the paper run in
+// virtual time so the benchmark harness completes in milliseconds and is
+// fully reproducible).
+package vclock
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Clock is the minimal time source used by the runtime, the simulated
+// network, and the evolution policies. Code under test receives a Clock so
+// experiments can run against virtual time.
+type Clock interface {
+	// Now returns the current instant according to this clock.
+	Now() time.Time
+	// Sleep blocks the caller for d. On a virtual clock the block resolves
+	// when simulated time advances past the deadline.
+	Sleep(d time.Duration)
+	// After returns a channel that delivers the then-current time once d has
+	// elapsed on this clock.
+	After(d time.Duration) <-chan time.Time
+}
+
+// Real is a Clock backed by the wall clock.
+type Real struct{}
+
+var _ Clock = Real{}
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+// After implements Clock.
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Virtual is a deterministic simulated clock. Time only advances when a
+// caller invokes Advance or Run; sleepers are woken in deadline order.
+//
+// The zero value is not usable; construct with NewVirtual.
+type Virtual struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters waiterHeap
+	seq     uint64
+}
+
+var _ Clock = (*Virtual)(nil)
+
+// NewVirtual returns a virtual clock whose epoch is start.
+func NewVirtual(start time.Time) *Virtual {
+	return &Virtual{now: start}
+}
+
+type waiter struct {
+	deadline time.Time
+	seq      uint64 // tie-break so equal deadlines wake FIFO
+	ch       chan time.Time
+}
+
+type waiterHeap []*waiter
+
+func (h waiterHeap) Len() int { return len(h) }
+func (h waiterHeap) Less(i, j int) bool {
+	if h[i].deadline.Equal(h[j].deadline) {
+		return h[i].seq < h[j].seq
+	}
+	return h[i].deadline.Before(h[j].deadline)
+}
+func (h waiterHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *waiterHeap) Push(x any) {
+	w, ok := x.(*waiter)
+	if !ok {
+		return
+	}
+	*h = append(*h, w)
+}
+
+func (h *waiterHeap) Pop() any {
+	old := *h
+	n := len(old)
+	w := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return w
+}
+
+// Now implements Clock.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// Sleep implements Clock. It blocks until the virtual clock is advanced past
+// the deadline by another goroutine calling Advance or Run.
+func (v *Virtual) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	<-v.After(d)
+}
+
+// After implements Clock.
+func (v *Virtual) After(d time.Duration) <-chan time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	if d <= 0 {
+		ch <- v.now
+		return ch
+	}
+	v.seq++
+	heap.Push(&v.waiters, &waiter{deadline: v.now.Add(d), seq: v.seq, ch: ch})
+	return ch
+}
+
+// Advance moves the virtual clock forward by d, waking every sleeper whose
+// deadline has passed, in deadline order.
+func (v *Virtual) Advance(d time.Duration) {
+	v.mu.Lock()
+	target := v.now.Add(d)
+	v.advanceToLocked(target)
+	v.mu.Unlock()
+}
+
+// AdvanceTo moves the clock to t if t is in the future; it is a no-op
+// otherwise.
+func (v *Virtual) AdvanceTo(t time.Time) {
+	v.mu.Lock()
+	if t.After(v.now) {
+		v.advanceToLocked(t)
+	}
+	v.mu.Unlock()
+}
+
+func (v *Virtual) advanceToLocked(target time.Time) {
+	for len(v.waiters) > 0 && !v.waiters[0].deadline.After(target) {
+		w, ok := heap.Pop(&v.waiters).(*waiter)
+		if !ok {
+			continue
+		}
+		v.now = w.deadline
+		w.ch <- w.deadline
+	}
+	v.now = target
+}
+
+// RunUntilIdle advances the clock to each pending deadline in order until no
+// sleepers remain, and returns the total duration advanced. It is the virtual
+// analogue of "let every timer fire".
+func (v *Virtual) RunUntilIdle() time.Duration {
+	v.mu.Lock()
+	start := v.now
+	for len(v.waiters) > 0 {
+		w, ok := heap.Pop(&v.waiters).(*waiter)
+		if !ok {
+			continue
+		}
+		v.now = w.deadline
+		w.ch <- w.deadline
+	}
+	elapsed := v.now.Sub(start)
+	v.mu.Unlock()
+	return elapsed
+}
+
+// PendingWaiters reports how many sleepers are currently blocked on the
+// clock. Intended for tests.
+func (v *Virtual) PendingWaiters() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.waiters)
+}

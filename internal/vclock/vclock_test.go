@@ -1,0 +1,157 @@
+package vclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+var epoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func TestVirtualNowStartsAtEpoch(t *testing.T) {
+	v := NewVirtual(epoch)
+	if got := v.Now(); !got.Equal(epoch) {
+		t.Fatalf("Now() = %v, want %v", got, epoch)
+	}
+}
+
+func TestVirtualAdvanceMovesNow(t *testing.T) {
+	v := NewVirtual(epoch)
+	v.Advance(5 * time.Second)
+	if got, want := v.Now(), epoch.Add(5*time.Second); !got.Equal(want) {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+}
+
+func TestVirtualAdvanceToPastIsNoOp(t *testing.T) {
+	v := NewVirtual(epoch)
+	v.Advance(10 * time.Second)
+	v.AdvanceTo(epoch.Add(3 * time.Second))
+	if got, want := v.Now(), epoch.Add(10*time.Second); !got.Equal(want) {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+}
+
+func TestVirtualSleepWakesOnAdvance(t *testing.T) {
+	v := NewVirtual(epoch)
+	done := make(chan time.Duration, 1)
+	go func() {
+		start := v.Now()
+		v.Sleep(2 * time.Second)
+		done <- v.Now().Sub(start)
+	}()
+	// Wait for the sleeper to register.
+	for v.PendingWaiters() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	v.Advance(3 * time.Second)
+	if got := <-done; got < 2*time.Second {
+		t.Fatalf("sleeper woke after %v, want >= 2s", got)
+	}
+}
+
+func TestVirtualSleepZeroReturnsImmediately(t *testing.T) {
+	v := NewVirtual(epoch)
+	doneCh := make(chan struct{})
+	go func() {
+		v.Sleep(0)
+		v.Sleep(-time.Second)
+		close(doneCh)
+	}()
+	select {
+	case <-doneCh:
+	case <-time.After(time.Second):
+		t.Fatal("Sleep(0) blocked")
+	}
+}
+
+func TestVirtualAfterOrdering(t *testing.T) {
+	v := NewVirtual(epoch)
+	c1 := v.After(1 * time.Second)
+	c2 := v.After(2 * time.Second)
+	c3 := v.After(3 * time.Second)
+	v.Advance(10 * time.Second)
+	t1, t2, t3 := <-c1, <-c2, <-c3
+	if !t1.Before(t2) || !t2.Before(t3) {
+		t.Fatalf("wake times out of order: %v %v %v", t1, t2, t3)
+	}
+	if want := epoch.Add(2 * time.Second); !t2.Equal(want) {
+		t.Fatalf("second waiter woke at %v, want %v", t2, want)
+	}
+}
+
+func TestVirtualEqualDeadlinesWakeFIFO(t *testing.T) {
+	v := NewVirtual(epoch)
+	const n = 8
+	chans := make([]<-chan time.Time, n)
+	for i := range chans {
+		chans[i] = v.After(time.Second)
+	}
+	v.Advance(time.Second)
+	for i, ch := range chans {
+		select {
+		case <-ch:
+		case <-time.After(time.Second):
+			t.Fatalf("waiter %d never woke", i)
+		}
+	}
+}
+
+func TestVirtualRunUntilIdle(t *testing.T) {
+	v := NewVirtual(epoch)
+	var wg sync.WaitGroup
+	for _, d := range []time.Duration{time.Second, 3 * time.Second, 7 * time.Second} {
+		wg.Add(1)
+		d := d
+		go func() {
+			defer wg.Done()
+			v.Sleep(d)
+		}()
+	}
+	for v.PendingWaiters() != 3 {
+		time.Sleep(time.Millisecond)
+	}
+	elapsed := v.RunUntilIdle()
+	wg.Wait()
+	if elapsed != 7*time.Second {
+		t.Fatalf("RunUntilIdle advanced %v, want 7s", elapsed)
+	}
+	if got, want := v.Now(), epoch.Add(7*time.Second); !got.Equal(want) {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+}
+
+func TestVirtualAdvancePartialWake(t *testing.T) {
+	v := NewVirtual(epoch)
+	early := v.After(1 * time.Second)
+	late := v.After(10 * time.Second)
+	v.Advance(2 * time.Second)
+	select {
+	case <-early:
+	default:
+		t.Fatal("early waiter not woken")
+	}
+	select {
+	case <-late:
+		t.Fatal("late waiter woken too soon")
+	default:
+	}
+	if v.PendingWaiters() != 1 {
+		t.Fatalf("PendingWaiters = %d, want 1", v.PendingWaiters())
+	}
+}
+
+func TestRealClockBasics(t *testing.T) {
+	var c Clock = Real{}
+	before := c.Now()
+	c.Sleep(time.Millisecond)
+	after := c.Now()
+	if !after.After(before) {
+		t.Fatalf("real clock did not advance: %v -> %v", before, after)
+	}
+	select {
+	case <-c.After(time.Millisecond):
+	case <-time.After(time.Second):
+		t.Fatal("Real.After never fired")
+	}
+}

@@ -1,0 +1,165 @@
+// Package version implements the version identifiers of §2.1: arrays of
+// positive integers naming versions of an object type's implementation.
+// Versions form a tree — "a version 3.2 DCDO can evolve to version 3.2.1 or
+// to version 3.2.0.4, but not to version 3.3" — where derivation appends
+// segments, so ancestry is a prefix relation.
+package version
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ID identifies one version of an object type's implementation. IDs are
+// unique only within an object type (per the paper), not globally. The nil
+// ID is "no version".
+type ID []uint32
+
+// ErrBadVersion is returned by Parse for malformed input.
+var ErrBadVersion = errors.New("version: malformed version identifier")
+
+// Root is the conventional first version of a type.
+var Root = ID{1}
+
+// Parse parses dotted-decimal form, e.g. "3.2.0.4".
+func Parse(s string) (ID, error) {
+	if s == "" {
+		return nil, fmt.Errorf("%w: empty", ErrBadVersion)
+	}
+	parts := strings.Split(s, ".")
+	id := make(ID, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.ParseUint(p, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("%w: segment %q", ErrBadVersion, p)
+		}
+		id = append(id, uint32(n))
+	}
+	return id, nil
+}
+
+// String renders dotted-decimal form; the nil ID renders as "<none>".
+func (id ID) String() string {
+	if len(id) == 0 {
+		return "<none>"
+	}
+	var b strings.Builder
+	for i, seg := range id {
+		if i > 0 {
+			b.WriteByte('.')
+		}
+		b.WriteString(strconv.FormatUint(uint64(seg), 10))
+	}
+	return b.String()
+}
+
+// IsZero reports whether id names no version.
+func (id ID) IsZero() bool { return len(id) == 0 }
+
+// Equal reports segment-wise equality.
+func (id ID) Equal(other ID) bool {
+	if len(id) != len(other) {
+		return false
+	}
+	for i := range id {
+		if id[i] != other[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy.
+func (id ID) Clone() ID {
+	if id == nil {
+		return nil
+	}
+	out := make(ID, len(id))
+	copy(out, id)
+	return out
+}
+
+// IsAncestorOf reports whether other is (strictly) derived from id — i.e.
+// id is a proper prefix of other in the version tree.
+func (id ID) IsAncestorOf(other ID) bool {
+	if len(id) >= len(other) {
+		return false
+	}
+	for i := range id {
+		if id[i] != other[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsDescendantOf reports whether id is (strictly) derived from other.
+func (id ID) IsDescendantOf(other ID) bool { return other.IsAncestorOf(id) }
+
+// Child returns the version derived from id with the given final segment
+// (e.g. ID{3,2}.Child(1) == 3.2.1).
+func (id ID) Child(segment uint32) ID {
+	out := make(ID, len(id)+1)
+	copy(out, id)
+	out[len(id)] = segment
+	return out
+}
+
+// Parent returns the version id derives from, or nil for a root.
+func (id ID) Parent() ID {
+	if len(id) <= 1 {
+		return nil
+	}
+	return id[:len(id)-1].Clone()
+}
+
+// Compare orders versions lexicographically by segment (tree pre-order for
+// siblings' subtrees). It returns -1, 0, or +1.
+func (id ID) Compare(other ID) int {
+	n := len(id)
+	if len(other) < n {
+		n = len(other)
+	}
+	for i := 0; i < n; i++ {
+		switch {
+		case id[i] < other[i]:
+			return -1
+		case id[i] > other[i]:
+			return 1
+		}
+	}
+	switch {
+	case len(id) < len(other):
+		return -1
+	case len(id) > len(other):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Encode returns the segments widened to uint64 for wire transfer.
+func (id ID) Encode() []uint64 {
+	out := make([]uint64, len(id))
+	for i, seg := range id {
+		out[i] = uint64(seg)
+	}
+	return out
+}
+
+// Decode reconstructs an ID from Encode's output.
+func Decode(segments []uint64) (ID, error) {
+	if len(segments) == 0 {
+		return nil, nil
+	}
+	id := make(ID, len(segments))
+	for i, seg := range segments {
+		if seg > uint64(^uint32(0)) {
+			return nil, fmt.Errorf("%w: segment %d overflows", ErrBadVersion, seg)
+		}
+		id[i] = uint32(seg)
+	}
+	return id, nil
+}

@@ -1,0 +1,160 @@
+package version
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseStringRoundTrip(t *testing.T) {
+	for _, s := range []string{"1", "3.2", "3.2.0.4", "0", "1.0.0"} {
+		id, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		if id.String() != s {
+			t.Fatalf("round trip %q -> %q", s, id.String())
+		}
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for _, s := range []string{"", "1..2", "a.b", "1.2.", ".1", "-1.2", "99999999999"} {
+		if _, err := Parse(s); !errors.Is(err, ErrBadVersion) {
+			t.Errorf("Parse(%q) err = %v, want ErrBadVersion", s, err)
+		}
+	}
+}
+
+func TestNilIDString(t *testing.T) {
+	if got := (ID)(nil).String(); got != "<none>" {
+		t.Fatalf("nil ID String = %q", got)
+	}
+	if !(ID)(nil).IsZero() || Root.IsZero() {
+		t.Fatal("IsZero misbehaves")
+	}
+}
+
+func TestAncestry(t *testing.T) {
+	v32 := ID{3, 2}
+	v321 := ID{3, 2, 1}
+	v3204 := ID{3, 2, 0, 4}
+	v33 := ID{3, 3}
+
+	if !v32.IsAncestorOf(v321) || !v32.IsAncestorOf(v3204) {
+		t.Fatal("3.2 should be ancestor of 3.2.1 and 3.2.0.4")
+	}
+	if v32.IsAncestorOf(v33) {
+		t.Fatal("3.2 is not ancestor of 3.3")
+	}
+	if v32.IsAncestorOf(v32) {
+		t.Fatal("ancestry is strict")
+	}
+	if !v321.IsDescendantOf(v32) || v33.IsDescendantOf(v32) {
+		t.Fatal("IsDescendantOf misbehaves")
+	}
+	// The paper's example: 3.2 can evolve to 3.2.1 or 3.2.0.4, not 3.3.
+	for _, ok := range []struct {
+		to   ID
+		want bool
+	}{{v321, true}, {v3204, true}, {v33, false}} {
+		if got := ok.to.IsDescendantOf(v32); got != ok.want {
+			t.Errorf("%v descendant of 3.2 = %v, want %v", ok.to, got, ok.want)
+		}
+	}
+}
+
+func TestChildParent(t *testing.T) {
+	v := ID{3, 2}
+	c := v.Child(1)
+	if c.String() != "3.2.1" {
+		t.Fatalf("Child = %v", c)
+	}
+	if !c.Parent().Equal(v) {
+		t.Fatalf("Parent = %v", c.Parent())
+	}
+	if Root.Parent() != nil {
+		t.Fatal("root Parent should be nil")
+	}
+	// Child must not alias the parent's storage.
+	c2 := v.Child(9)
+	if c[len(c)-1] == c2[len(c2)-1] {
+		t.Fatal("children share storage")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"1", "1", 0},
+		{"1", "2", -1},
+		{"2", "1", 1},
+		{"1.2", "1.2.1", -1},
+		{"1.2.1", "1.2", 1},
+		{"1.10", "1.9", 1},
+	}
+	for _, c := range cases {
+		a, _ := Parse(c.a)
+		b, _ := Parse(c.b)
+		if got := a.Compare(b); got != c.want {
+			t.Errorf("Compare(%s,%s) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := ID{1, 2, 3}
+	b := a.Clone()
+	b[0] = 9
+	if a[0] != 1 {
+		t.Fatal("Clone aliases storage")
+	}
+	if (ID)(nil).Clone() != nil {
+		t.Fatal("nil Clone should be nil")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(segs []uint32) bool {
+		id := make(ID, len(segs))
+		copy(id, segs)
+		out, err := Decode(id.Encode())
+		if err != nil {
+			return false
+		}
+		if len(id) == 0 {
+			return out == nil
+		}
+		return out.Equal(id)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeOverflow(t *testing.T) {
+	if _, err := Decode([]uint64{1 << 40}); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("err = %v, want ErrBadVersion", err)
+	}
+}
+
+func TestEqualProperties(t *testing.T) {
+	f := func(a, b []uint32) bool {
+		ida := ID(a)
+		idb := ID(b)
+		// Symmetric, and ancestry implies inequality.
+		if ida.Equal(idb) != idb.Equal(ida) {
+			return false
+		}
+		if ida.IsAncestorOf(idb) && ida.Equal(idb) {
+			return false
+		}
+		// An ID equals its clone.
+		return ida.Equal(ida.Clone())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

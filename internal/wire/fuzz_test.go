@@ -1,0 +1,49 @@
+package wire
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Decoders across the codebase feed on bytes from the network; none of them
+// may panic on arbitrary input. These properties hammer the wire layer —
+// the packages above it (dfm, component, legion, manager) get the same
+// treatment in their own fuzz tests.
+
+func TestDecodeEnvelopeNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _ = DecodeEnvelope(data) // error or success, never panic
+		return true
+	}
+	if err := quick.Check(f, quickConfig()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecoderPrimitivesNeverPanic(t *testing.T) {
+	f := func(data []byte) bool {
+		d := NewDecoder(data)
+		for d.Remaining() > 0 {
+			before := d.Remaining()
+			_, _ = d.Uvarint()
+			_, _ = d.Varint()
+			_, _ = d.Bool()
+			_, _ = d.Float64()
+			_, _ = d.Bytes()
+			_, _ = d.String()
+			_, _ = d.StringSlice()
+			_, _ = d.UintSlice()
+			if d.Remaining() == before {
+				break // no progress possible; decoders refused everything
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickConfig()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func quickConfig() *quick.Config {
+	return &quick.Config{MaxCount: 500}
+}

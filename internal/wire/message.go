@@ -1,0 +1,118 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Kind discriminates the envelope types carried between nodes.
+type Kind uint8
+
+// Envelope kinds. Values are part of the wire contract; append only.
+const (
+	KindRequest Kind = iota + 1
+	KindResponse
+	KindError
+	KindEvent
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindRequest:
+		return "request"
+	case KindResponse:
+		return "response"
+	case KindError:
+		return "error"
+	case KindEvent:
+		return "event"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Well-known error codes carried by KindError envelopes. These model the
+// failure classes the paper requires clients to handle: in particular
+// CodeNoSuchFunction is the on-the-wire manifestation of the disappearing
+// exported function problem (§3.1).
+const (
+	CodeInternal       uint64 = 1
+	CodeNoSuchObject   uint64 = 2
+	CodeNoSuchFunction uint64 = 3
+	CodeDisabled       uint64 = 4
+	CodeStaleBinding   uint64 = 5
+	CodeBadRequest     uint64 = 6
+	CodeUnavailable    uint64 = 7
+)
+
+// ErrTruncatedEnvelope is returned when an envelope cannot be fully decoded.
+var ErrTruncatedEnvelope = errors.New("wire: truncated envelope")
+
+// Envelope is the unit of communication between nodes. Target is the
+// destination object's LOID in string form; Method names the function being
+// invoked (for requests) and Code/ErrorMsg describe failures (for errors).
+type Envelope struct {
+	Kind     Kind
+	ID       uint64 // request/response correlation
+	Target   string // destination object LOID
+	Method   string // invoked function name (requests only)
+	Code     uint64 // error code (errors only)
+	ErrorMsg string // human-readable error (errors only)
+	Payload  []byte // method arguments or results
+}
+
+// Encode serialises the envelope.
+func (ev *Envelope) Encode() []byte {
+	e := NewEncoder(16 + len(ev.Target) + len(ev.Method) + len(ev.ErrorMsg) + len(ev.Payload))
+	e.PutUvarint(uint64(ev.Kind))
+	e.PutUvarint(ev.ID)
+	e.PutString(ev.Target)
+	e.PutString(ev.Method)
+	e.PutUvarint(ev.Code)
+	e.PutString(ev.ErrorMsg)
+	e.PutBytes(ev.Payload)
+	return e.Bytes()
+}
+
+// DecodeEnvelope parses an envelope from buf. The Payload field aliases buf.
+func DecodeEnvelope(buf []byte) (*Envelope, error) {
+	d := NewDecoder(buf)
+	kind, err := d.Uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("%w: kind: %v", ErrTruncatedEnvelope, err)
+	}
+	id, err := d.Uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("%w: id: %v", ErrTruncatedEnvelope, err)
+	}
+	target, err := d.String()
+	if err != nil {
+		return nil, fmt.Errorf("%w: target: %v", ErrTruncatedEnvelope, err)
+	}
+	method, err := d.String()
+	if err != nil {
+		return nil, fmt.Errorf("%w: method: %v", ErrTruncatedEnvelope, err)
+	}
+	code, err := d.Uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("%w: code: %v", ErrTruncatedEnvelope, err)
+	}
+	errMsg, err := d.String()
+	if err != nil {
+		return nil, fmt.Errorf("%w: error message: %v", ErrTruncatedEnvelope, err)
+	}
+	payload, err := d.Bytes()
+	if err != nil {
+		return nil, fmt.Errorf("%w: payload: %v", ErrTruncatedEnvelope, err)
+	}
+	return &Envelope{
+		Kind:     Kind(kind),
+		ID:       id,
+		Target:   target,
+		Method:   method,
+		Code:     code,
+		ErrorMsg: errMsg,
+		Payload:  payload,
+	}, nil
+}

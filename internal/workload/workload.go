@@ -1,0 +1,185 @@
+// Package workload generates the synthetic object types the paper's
+// evaluation sweeps over: implementations with F dynamic functions spread
+// across C components (§4 measures creation with 500 functions in 50
+// components, and call overhead for self-, intra-, and inter-component
+// calls).
+package workload
+
+import (
+	"errors"
+	"fmt"
+
+	"godcdo/internal/component"
+	"godcdo/internal/dfm"
+	"godcdo/internal/naming"
+	"godcdo/internal/registry"
+)
+
+// Spec describes one synthetic object type.
+type Spec struct {
+	// Prefix namespaces the generated component IDs and code refs so
+	// multiple workloads can share one registry.
+	Prefix string
+	// Functions is the total number of leaf dynamic functions.
+	Functions int
+	// Components is the number of components the functions are spread
+	// over.
+	Components int
+	// BytesPerFunction sizes each component's synthetic code
+	// (functions-in-component × BytesPerFunction). Zero means 1 KiB.
+	BytesPerFunction int64
+	// WithCallers adds, per component i, two extra functions exercising
+	// the call classes of experiment E1: "<prefix>_intra<i>" calls a leaf
+	// in the same component, "<prefix>_inter<i>" calls a leaf in the next
+	// component (mod C).
+	WithCallers bool
+}
+
+// Built is a generated object type ready to instantiate.
+type Built struct {
+	// Components holds the generated components, indexed by position.
+	Components []*component.Component
+	// ICOs maps component ID to the ICO LOID assigned to it.
+	ICOs map[string]naming.LOID
+	// Descriptor enables every generated function (each has exactly one
+	// implementation).
+	Descriptor *dfm.Descriptor
+	// LeafNames lists the leaf function names in generation order.
+	LeafNames []string
+}
+
+// LeafName returns the j-th leaf function of component i.
+func LeafName(prefix string, i, j int) string {
+	return fmt.Sprintf("%s_f%d_%d", prefix, i, j)
+}
+
+// IntraCallerName returns component i's intra-component caller.
+func IntraCallerName(prefix string, i int) string {
+	return fmt.Sprintf("%s_intra%d", prefix, i)
+}
+
+// InterCallerName returns component i's inter-component caller.
+func InterCallerName(prefix string, i int) string {
+	return fmt.Sprintf("%s_inter%d", prefix, i)
+}
+
+// ErrBadSpec is returned for unusable specs.
+var ErrBadSpec = errors.New("workload: bad spec")
+
+// Build registers the spec's modules in reg, assigns ICO LOIDs from alloc,
+// and returns the built type. Components and descriptor reference real
+// synthetic code bytes so transfers cost accordingly.
+func Build(reg *registry.Registry, alloc *naming.Allocator, spec Spec) (*Built, error) {
+	if spec.Functions <= 0 || spec.Components <= 0 {
+		return nil, fmt.Errorf("%w: need positive functions and components", ErrBadSpec)
+	}
+	if spec.Components > spec.Functions {
+		return nil, fmt.Errorf("%w: more components (%d) than functions (%d)",
+			ErrBadSpec, spec.Components, spec.Functions)
+	}
+	if spec.Prefix == "" {
+		spec.Prefix = "w"
+	}
+	perFunc := spec.BytesPerFunction
+	if perFunc == 0 {
+		perFunc = 1 << 10
+	}
+
+	built := &Built{
+		ICOs:       make(map[string]naming.LOID, spec.Components),
+		Descriptor: dfm.NewDescriptor(),
+	}
+
+	// Distribute functions round-robin so counts differ by at most one.
+	perComp := make([]int, spec.Components)
+	for f := 0; f < spec.Functions; f++ {
+		perComp[f%spec.Components]++
+	}
+
+	leaf := func(registry.Caller, []byte) ([]byte, error) {
+		return nil, nil
+	}
+	makeCaller := func(target string) registry.Func {
+		return func(c registry.Caller, args []byte) ([]byte, error) {
+			return c.CallInternal(target, args)
+		}
+	}
+
+	for i := 0; i < spec.Components; i++ {
+		compID := fmt.Sprintf("%s_c%d", spec.Prefix, i)
+		codeRef := compID + ":1"
+		funcs := make(map[string]registry.Func, perComp[i]+2)
+		decls := make([]component.FunctionDecl, 0, perComp[i]+2)
+		for j := 0; j < perComp[i]; j++ {
+			name := LeafName(spec.Prefix, i, j)
+			funcs[name] = leaf
+			decls = append(decls, component.FunctionDecl{Name: name, Exported: true})
+			built.LeafNames = append(built.LeafNames, name)
+		}
+		if spec.WithCallers {
+			intraTarget := LeafName(spec.Prefix, i, 0)
+			interTarget := LeafName(spec.Prefix, (i+1)%spec.Components, 0)
+			intraName := IntraCallerName(spec.Prefix, i)
+			interName := InterCallerName(spec.Prefix, i)
+			funcs[intraName] = makeCaller(intraTarget)
+			funcs[interName] = makeCaller(interTarget)
+			decls = append(decls,
+				component.FunctionDecl{Name: intraName, Exported: true, Calls: []string{intraTarget}},
+				component.FunctionDecl{Name: interName, Exported: true, Calls: []string{interTarget}},
+			)
+		}
+		if _, err := reg.Register(codeRef, registry.NativeImplType, funcs); err != nil {
+			return nil, fmt.Errorf("workload: %w", err)
+		}
+		desc := component.Descriptor{
+			ID: compID, Revision: 1, CodeRef: codeRef,
+			Impl: registry.NativeImplType, CodeSize: int64(len(decls)) * perFunc,
+			Functions: decls,
+		}
+		comp, err := component.NewSynthetic(desc)
+		if err != nil {
+			return nil, fmt.Errorf("workload: %w", err)
+		}
+		built.Components = append(built.Components, comp)
+
+		ico := alloc.Next()
+		built.ICOs[compID] = ico
+		built.Descriptor.Components[compID] = dfm.ComponentRef{
+			ICO: ico, CodeRef: codeRef, Impl: registry.NativeImplType,
+			CodeSize: desc.CodeSize, Revision: 1,
+		}
+		for _, d := range decls {
+			built.Descriptor.Entries = append(built.Descriptor.Entries, dfm.EntryDesc{
+				Function: d.Name, Component: compID, Exported: true, Enabled: true,
+			})
+		}
+	}
+	if err := built.Descriptor.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: generated descriptor invalid: %w", err)
+	}
+	return built, nil
+}
+
+// Fetcher returns a fetcher serving the built components by ICO LOID.
+func (b *Built) Fetcher() component.Fetcher {
+	byICO := make(map[naming.LOID]*component.Component, len(b.Components))
+	for _, c := range b.Components {
+		byICO[b.ICOs[c.Desc.ID]] = c
+	}
+	return component.FetcherFunc(func(ico naming.LOID) (*component.Component, error) {
+		c, ok := byICO[ico]
+		if !ok {
+			return nil, fmt.Errorf("workload: no component at %s", ico)
+		}
+		return c, nil
+	})
+}
+
+// TotalCodeBytes sums the generated components' code sizes.
+func (b *Built) TotalCodeBytes() int64 {
+	var total int64
+	for _, c := range b.Components {
+		total += c.Desc.CodeSize
+	}
+	return total
+}

@@ -1,0 +1,138 @@
+package workload
+
+import (
+	"errors"
+	"testing"
+
+	"godcdo/internal/core"
+	"godcdo/internal/naming"
+	"godcdo/internal/registry"
+	"godcdo/internal/version"
+)
+
+func TestBuildDistributesFunctions(t *testing.T) {
+	reg := registry.New()
+	alloc := naming.NewAllocator(1, 9)
+	b, err := Build(reg, alloc, Spec{Prefix: "t1", Functions: 10, Components: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Components) != 3 {
+		t.Fatalf("components = %d", len(b.Components))
+	}
+	if len(b.LeafNames) != 10 {
+		t.Fatalf("leaves = %d", len(b.LeafNames))
+	}
+	// Round-robin: 4+3+3.
+	sizes := []int{len(b.Components[0].Desc.Functions), len(b.Components[1].Desc.Functions), len(b.Components[2].Desc.Functions)}
+	if sizes[0] != 4 || sizes[1] != 3 || sizes[2] != 3 {
+		t.Fatalf("function distribution = %v", sizes)
+	}
+	if len(b.Descriptor.Entries) != 10 {
+		t.Fatalf("descriptor entries = %d", len(b.Descriptor.Entries))
+	}
+	if err := b.Descriptor.ValidateInstantiable(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildWithCallersAddsCallerFunctions(t *testing.T) {
+	reg := registry.New()
+	alloc := naming.NewAllocator(1, 9)
+	b, err := Build(reg, alloc, Spec{Prefix: "t2", Functions: 4, Components: 2, WithCallers: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 leaves + 2 callers per component.
+	if len(b.Descriptor.Entries) != 4+2*2 {
+		t.Fatalf("entries = %d", len(b.Descriptor.Entries))
+	}
+}
+
+func TestBuildRejectsBadSpecs(t *testing.T) {
+	reg := registry.New()
+	alloc := naming.NewAllocator(1, 9)
+	for _, spec := range []Spec{
+		{Functions: 0, Components: 1},
+		{Functions: 1, Components: 0},
+		{Functions: 2, Components: 3},
+	} {
+		if _, err := Build(reg, alloc, spec); !errors.Is(err, ErrBadSpec) {
+			t.Errorf("spec %+v: err = %v, want ErrBadSpec", spec, err)
+		}
+	}
+}
+
+func TestBuiltInstantiatesWorkingDCDO(t *testing.T) {
+	reg := registry.New()
+	alloc := naming.NewAllocator(1, 9)
+	b, err := Build(reg, alloc, Spec{Prefix: "t3", Functions: 6, Components: 2, WithCallers: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := core.New(core.Config{
+		LOID:     naming.LOID{Domain: 1, Class: 1, Instance: 1},
+		Registry: reg,
+		Fetcher:  b.Fetcher(),
+	})
+	if _, err := d.ApplyDescriptor(b.Descriptor, version.ID{1}); err != nil {
+		t.Fatal(err)
+	}
+	// Leaf calls work.
+	if _, err := d.InvokeMethod(LeafName("t3", 0, 0), nil); err != nil {
+		t.Fatal(err)
+	}
+	// Intra- and inter-component callers route through the DFM.
+	if _, err := d.InvokeMethod(IntraCallerName("t3", 0), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.InvokeMethod(InterCallerName("t3", 1), nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(d.ComponentIDs()); got != 2 {
+		t.Fatalf("components = %d", got)
+	}
+}
+
+func TestBuiltTotalCodeBytes(t *testing.T) {
+	reg := registry.New()
+	alloc := naming.NewAllocator(1, 9)
+	b, err := Build(reg, alloc, Spec{Prefix: "t4", Functions: 4, Components: 2, BytesPerFunction: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.TotalCodeBytes(); got != 400 {
+		t.Fatalf("TotalCodeBytes = %d, want 400", got)
+	}
+}
+
+func TestBuildDefaultPrefixAndUniqueICOs(t *testing.T) {
+	reg := registry.New()
+	alloc := naming.NewAllocator(1, 9)
+	b, err := Build(reg, alloc, Spec{Functions: 3, Components: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[naming.LOID]bool)
+	for _, loid := range b.ICOs {
+		if seen[loid] {
+			t.Fatal("duplicate ICO LOID")
+		}
+		seen[loid] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("icos = %d", len(seen))
+	}
+}
+
+func TestBuildFetcherUnknownICO(t *testing.T) {
+	reg := registry.New()
+	alloc := naming.NewAllocator(1, 9)
+	b, err := Build(reg, alloc, Spec{Functions: 1, Components: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Fetcher().Fetch(naming.LOID{Instance: 999}); err == nil {
+		t.Fatal("unknown ICO fetched")
+	}
+}
