@@ -1,0 +1,34 @@
+# Developer entry points. `make ci` is the gate a PR must pass; it mirrors
+# the tier-1 verify from ROADMAP.md plus vet and the race detector.
+
+GO ?= go
+
+.PHONY: ci vet build test race bench-smoke bench experiments
+
+ci: vet build race bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Full suite under the race detector. -short skips the multi-second
+# loopback-TCP sweeps (they run in plain `make test` and in E2/E7 below).
+race:
+	$(GO) test -race -short ./...
+
+# One iteration of every benchmark: proves the bench harness still compiles
+# and runs without paying for a full calibrated measurement.
+bench-smoke:
+	$(GO) test -run xxx -bench . -benchtime=1x .
+
+bench:
+	$(GO) test -bench . -benchmem .
+
+# Regenerate the EXPERIMENTS.md tables and shape criteria.
+experiments:
+	$(GO) run ./cmd/dcdo-bench

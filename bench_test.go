@@ -1,5 +1,5 @@
 // Package godcdo_test holds the benchmark harness: one testing.B benchmark
-// per table/figure in the paper's performance study (E1–E6), plus ablation
+// per table/figure in the paper's performance study (E1–E7), plus ablation
 // benches for the design choices DESIGN.md calls out. Run with
 //
 //	go test -bench=. -benchmem
@@ -21,6 +21,7 @@ import (
 	"godcdo/internal/manager"
 	"godcdo/internal/naming"
 	"godcdo/internal/registry"
+	"godcdo/internal/rpc"
 	"godcdo/internal/simnet"
 	"godcdo/internal/transport"
 	"godcdo/internal/vclock"
@@ -405,6 +406,47 @@ func BenchmarkE6_EvolutionComparison(b *testing.B) {
 			}
 		}
 	})
+}
+
+// --- E7: invoke under injected faults -------------------------------------------------
+
+func BenchmarkE7_FaultedInvoke(b *testing.B) {
+	for _, rate := range []float64{0, 0.1} {
+		b.Run(fmt.Sprintf("drop-%.0fpct", rate*100), func(b *testing.B) {
+			clk := vclock.Real{}
+			agent := naming.NewAgent(clk)
+			cache := naming.NewCache(agent, clk, 0)
+			net := transport.NewInprocNetwork()
+			disp := rpc.NewDispatcher()
+			srv, err := net.Listen("b7", disp)
+			if err != nil {
+				b.Fatal(err)
+			}
+			loid := naming.LOID{Domain: 1, Class: 7, Instance: 1}
+			disp.Host(loid, rpc.ObjectFunc(func(method string, args []byte) ([]byte, error) {
+				return nil, nil
+			}))
+			agent.Register(loid, naming.Address{Endpoint: srv.Endpoint()})
+			faults := transport.NewFaults(42)
+			faults.SetEndpoint(srv.Endpoint(), transport.FaultConfig{DropResponse: rate})
+			client := rpc.NewClient(cache, transport.NewFaultDialer(net.Dialer(), faults))
+			client.Retry = rpc.RetryPolicy{
+				CallTimeout: 5 * time.Millisecond,
+				MaxAttempts: 8,
+				MaxRebinds:  2,
+				BaseBackoff: time.Millisecond,
+				MaxBackoff:  4 * time.Millisecond,
+				Multiplier:  2,
+				Jitter:      0.2,
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := client.InvokeIdempotent(loid, "get", nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // --- Ablations (design decisions from DESIGN.md) ----------------------------------------

@@ -58,7 +58,7 @@ func run(args []string) error {
 	remote := &rpc.RemoteAgent{Dialer: dialer, Endpoint: *agentEndpoint, Timeout: *timeout}
 	cache := naming.NewCache(remote, vclock.Real{}, 0)
 	client := rpc.NewClient(cache, dialer)
-	client.CallTimeout = *timeout
+	client.Retry.CallTimeout = *timeout
 
 	cmd, rest := rest[0], rest[1:]
 	parseLOID := func(i int, what string) (naming.LOID, error) {

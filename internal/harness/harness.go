@@ -1,5 +1,5 @@
 // Package harness reproduces the paper's performance study (§4). Each
-// experiment E1–E6 regenerates one reported result: it exercises the real
+// experiment E1–E7 regenerates one reported result: it exercises the real
 // mechanism (DFM dispatch, TCP round trips, descriptor evolution) and,
 // where the paper's numbers depend on 1999 hardware (multi-second
 // downloads, stale-binding discovery, process spawn), computes modeled
@@ -30,7 +30,7 @@ type Check struct {
 
 // Report is one experiment's output.
 type Report struct {
-	// ID is the experiment identifier (E1–E6).
+	// ID is the experiment identifier (E1–E7).
 	ID string
 	// Title restates what the paper reports.
 	Title string
@@ -87,6 +87,7 @@ func RunAll() ([]*Report, error) {
 		{"E4", RunE4},
 		{"E5", RunE5},
 		{"E6", RunE6},
+		{"E7", RunE7},
 	}
 	reports := make([]*Report, 0, len(runners))
 	for _, r := range runners {

@@ -77,6 +77,14 @@ func TestRunE6(t *testing.T) {
 	requirePassed(t, rep)
 }
 
+func TestRunE7(t *testing.T) {
+	rep, err := RunE7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requirePassed(t, rep)
+}
+
 func TestRunAllOrderAndPass(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full experiment suite")
@@ -85,10 +93,10 @@ func TestRunAllOrderAndPass(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(reports) != 6 {
-		t.Fatalf("reports = %d, want 6", len(reports))
+	if len(reports) != 7 {
+		t.Fatalf("reports = %d, want 7", len(reports))
 	}
-	wantIDs := []string{"E1", "E2", "E3", "E4", "E5", "E6"}
+	wantIDs := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7"}
 	for i, rep := range reports {
 		if rep.ID != wantIDs[i] {
 			t.Errorf("report %d = %s, want %s", i, rep.ID, wantIDs[i])

@@ -153,7 +153,9 @@ func mkNodeClient(t *testing.T, agent *naming.Agent, net *transport.InprocNetwor
 	t.Helper()
 	cache := naming.NewCache(agent, vclock.Real{}, 0)
 	client := rpc.NewClient(cache, net.Dialer())
-	client.CallTimeout = 2 * time.Second
-	client.MaxRebinds = 4
+	client.Retry.CallTimeout = 2 * time.Second
+	client.Retry.MaxRebinds = 4
+	client.Retry.BaseBackoff = time.Millisecond
+	client.Retry.MaxBackoff = 10 * time.Millisecond
 	return client
 }

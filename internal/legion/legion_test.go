@@ -3,7 +3,10 @@ package legion
 import (
 	"errors"
 	"reflect"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"godcdo/internal/naming"
 	"godcdo/internal/rpc"
@@ -192,6 +195,100 @@ func TestMigratePreservesStateAndHealsBindings(t *testing.T) {
 	if inc := agent.Current(loid); inc != 2 {
 		t.Fatalf("incarnation = %d, want 2", inc)
 	}
+}
+
+// Concurrent clients keep invoking through one node's client while the
+// object migrates back and forth between two hosts. Invoke must ride out
+// every stale binding (including calls landing inside the migration window,
+// when the binding agent still names the evicted source) without losing a
+// single call. Run under -race.
+func TestMigrationStormNoLostCalls(t *testing.T) {
+	agent := naming.NewAgent(vclock.Real{})
+	net := transport.NewInprocNetwork()
+	mkNode := func(name string, retry *rpc.RetryPolicy) *Node {
+		n, err := NewNode(NodeConfig{Name: name, Agent: agent, Inproc: net, Retry: retry})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = n.Close() })
+		return n
+	}
+	a := mkNode("host-a", nil)
+	b := mkNode("host-b", nil)
+	// The client node needs patience for the migration window (when the
+	// agent still names the evicted source) but test-fast backoffs.
+	cl := mkNode("client", &rpc.RetryPolicy{
+		CallTimeout: 2 * time.Second,
+		MaxAttempts: 3,
+		MaxRebinds:  12,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  8 * time.Millisecond,
+		Multiplier:  2,
+	})
+
+	alloc := naming.NewAllocator(1, 3)
+	class := NewClass("counter", alloc, counterMethods(), 550<<10)
+	obj, err := class.CreateInstance(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loid := obj.LOID()
+
+	const (
+		workers        = 6
+		callsPerWorker = 30
+		migrations     = 15
+	)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		src, dst := a, b
+		cur := StatefulObject(obj)
+		for i := 0; i < migrations; i++ {
+			target := class.NewIncarnation(loid)
+			if err := Migrate(loid, src, dst, cur, target); err != nil {
+				t.Errorf("migration %d: %v", i, err)
+				return
+			}
+			cur = target
+			src, dst = dst, src
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	var failures atomic.Uint64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < callsPerWorker; i++ {
+				if _, err := cl.Client().Invoke(loid, "get", nil); err != nil {
+					failures.Add(1)
+					t.Errorf("lost call: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if failures.Load() != 0 {
+		t.Fatalf("%d lost calls during migration storm", failures.Load())
+	}
+	st := cl.Client().Stats()
+	if st.Calls != workers*callsPerWorker || st.Errors != 0 {
+		t.Fatalf("stats = %+v, want %d clean calls", st, workers*callsPerWorker)
+	}
+	// Shared-cache invalidation coalescing keeps rebinds near the migration
+	// count even with many concurrent callers; the migration window adds at
+	// most a handful of same-endpoint re-resolves per migration per caller.
+	if int(st.Rebinds) > migrations*(workers+1) {
+		t.Fatalf("rebinds = %d, want <= %d", st.Rebinds, migrations*(workers+1))
+	}
+	t.Logf("migration storm: %d calls, %d rebinds, %d backoffs over %d migrations",
+		st.Calls, st.Rebinds, st.Backoffs, migrations)
 }
 
 func TestMigrateRestoreFailureRollsBack(t *testing.T) {

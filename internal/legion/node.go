@@ -42,9 +42,13 @@ type NodeConfig struct {
 	HostImpl registry.ImplType
 	// Clock defaults to the real clock.
 	Clock vclock.Clock
-	// CallTimeout configures the node's client. Zero means the rpc
-	// default.
+	// CallTimeout overrides the per-attempt timeout of the node's client.
+	// Zero keeps the policy's value.
 	CallTimeout time.Duration
+	// Retry, when non-nil, replaces the client's entire retry policy
+	// (rpc.DefaultRetryPolicy otherwise). CallTimeout, if also set, still
+	// overrides the policy's per-attempt timeout.
+	Retry *rpc.RetryPolicy
 }
 
 // Node is one Legion host: it serves hosted objects on a transport endpoint
@@ -107,8 +111,11 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 
 	cache := naming.NewCache(cfg.Agent, clock, 0)
 	client := rpc.NewClient(cache, dialer)
+	if cfg.Retry != nil {
+		client.Retry = *cfg.Retry
+	}
 	if cfg.CallTimeout > 0 {
-		client.CallTimeout = cfg.CallTimeout
+		client.Retry.CallTimeout = cfg.CallTimeout
 	}
 	return &Node{
 		name:     cfg.Name,

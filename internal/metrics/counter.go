@@ -1,0 +1,73 @@
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing, concurrency-safe event counter.
+type Counter struct {
+	name string
+	n    atomic.Uint64
+}
+
+// NewCounter returns a zeroed counter with the given display name.
+func NewCounter(name string) *Counter {
+	return &Counter{name: name}
+}
+
+// Name returns the counter's display name.
+func (c *Counter) Name() string { return c.name }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Add adds delta.
+func (c *Counter) Add(delta uint64) { c.n.Add(delta) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n.Load() }
+
+// CounterSet is a named group of counters, created on first use, so a
+// subsystem can expose all of its event counts to a report in one call.
+type CounterSet struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+}
+
+// NewCounterSet returns an empty set.
+func NewCounterSet() *CounterSet {
+	return &CounterSet{counters: make(map[string]*Counter)}
+}
+
+// Counter returns the counter registered under name, creating it at zero on
+// first use. The returned pointer is stable: callers may cache it.
+func (s *CounterSet) Counter(name string) *Counter {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.counters[name]
+	if !ok {
+		c = NewCounter(name)
+		s.counters[name] = c
+	}
+	return c
+}
+
+// Snapshot returns every counter's current value, sorted by name.
+func (s *CounterSet) Snapshot() []CounterValue {
+	s.mu.Lock()
+	out := make([]CounterValue, 0, len(s.counters))
+	for name, c := range s.counters {
+		out = append(out, CounterValue{Name: name, Value: c.Value()})
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// CounterValue is one counter's snapshot.
+type CounterValue struct {
+	Name  string
+	Value uint64
+}

@@ -1,0 +1,57 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	c := NewCounter("hits")
+	if c.Name() != "hits" || c.Value() != 0 {
+		t.Fatalf("fresh counter: name=%q value=%d", c.Name(), c.Value())
+	}
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("value = %d, want 5", c.Value())
+	}
+}
+
+func TestCounterConcurrentAdd(t *testing.T) {
+	c := NewCounter("n")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("value = %d, want 8000", c.Value())
+	}
+}
+
+func TestCounterSetStablePointersAndSnapshot(t *testing.T) {
+	s := NewCounterSet()
+	a := s.Counter("b-second")
+	if s.Counter("b-second") != a {
+		t.Fatal("Counter returned a different pointer for the same name")
+	}
+	a.Add(2)
+	s.Counter("a-first").Inc()
+
+	snap := s.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d entries, want 2", len(snap))
+	}
+	if snap[0].Name != "a-first" || snap[0].Value != 1 {
+		t.Fatalf("snap[0] = %+v", snap[0])
+	}
+	if snap[1].Name != "b-second" || snap[1].Value != 2 {
+		t.Fatalf("snap[1] = %+v", snap[1])
+	}
+}

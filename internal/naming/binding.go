@@ -174,6 +174,24 @@ func (c *Cache) Invalidate(loid LOID) {
 	c.mu.Unlock()
 }
 
+// InvalidateEndpoint drops the cached binding for loid only if it still
+// points at endpoint, and reports whether an entry was dropped. Concurrent
+// callers that all failed against the same stale endpoint thus perform one
+// logical invalidation: whoever loses the race sees false and knows another
+// caller already forced a re-resolve (rpc.Client uses this to keep rebind
+// counts bounded under concurrency).
+func (c *Cache) InvalidateEndpoint(loid LOID, endpoint string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b, ok := c.entries[loid]
+	if !ok || b.Address.Endpoint != endpoint {
+		return false
+	}
+	delete(c.entries, loid)
+	c.stats.Invalidations++
+	return true
+}
+
 // Stats returns a copy of the cache counters.
 func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()

@@ -175,6 +175,42 @@ func TestCacheHitMissInvalidate(t *testing.T) {
 	}
 }
 
+func TestCacheInvalidateEndpoint(t *testing.T) {
+	clk := vclock.NewVirtual(time.Unix(0, 0))
+	ag := NewAgent(clk)
+	loid := LOID{Instance: 7}
+	ag.Register(loid, Address{Endpoint: "tcp:a"})
+
+	c := NewCache(ag, clk, 0)
+	if _, err := c.Resolve(loid); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wrong endpoint: the entry survives and nothing is counted.
+	if c.InvalidateEndpoint(loid, "tcp:other") {
+		t.Fatal("invalidated an entry that points elsewhere")
+	}
+	if c.Len() != 1 || c.Stats().Invalidations != 0 {
+		t.Fatalf("cache disturbed: len=%d stats=%+v", c.Len(), c.Stats())
+	}
+
+	// Matching endpoint: exactly one caller wins the invalidation race.
+	if !c.InvalidateEndpoint(loid, "tcp:a") {
+		t.Fatal("matching invalidation reported false")
+	}
+	if c.InvalidateEndpoint(loid, "tcp:a") {
+		t.Fatal("second invalidation of the same entry reported true")
+	}
+	if c.Len() != 0 || c.Stats().Invalidations != 1 {
+		t.Fatalf("after invalidation: len=%d stats=%+v", c.Len(), c.Stats())
+	}
+
+	// Unknown LOID is a no-op.
+	if c.InvalidateEndpoint(LOID{Instance: 404}, "tcp:a") {
+		t.Fatal("invalidated an uncached LOID")
+	}
+}
+
 func TestCacheTTLExpiry(t *testing.T) {
 	clk := vclock.NewVirtual(time.Unix(0, 0))
 	ag := NewAgent(clk)

@@ -153,7 +153,7 @@ func TestRemoteAgentEndToEnd(t *testing.T) {
 	defer dialer.Close()
 	cache := naming.NewCache(remote, vclock.Real{}, 0)
 	client := NewClient(cache, dialer)
-	client.CallTimeout = 2 * time.Second
+	client.Retry.CallTimeout = 2 * time.Second
 	out, err := client.Invoke(loid, "ping", nil)
 	if err != nil || string(out) != "pong" {
 		t.Fatalf("invoke = %q, %v", out, err)

@@ -3,56 +3,229 @@ package rpc
 import (
 	"errors"
 	"fmt"
-	"sync/atomic"
+	"math/rand"
+	"sync"
 	"time"
 
+	"godcdo/internal/metrics"
 	"godcdo/internal/naming"
 	"godcdo/internal/transport"
 	"godcdo/internal/wire"
 )
 
+// RetryPolicy governs how Invoke reacts to failures: the per-attempt
+// timeout, how many transport-level retries and stale-binding rebinds one
+// call may consume, the backoff schedule between retries against the same
+// endpoint, and an optional overall deadline budget.
+//
+// The zero value is intentionally NOT usable: CallTimeout must be positive
+// or every attempt fails with transport.ErrInvalidTimeout. NewClient installs
+// DefaultRetryPolicy, so zero values only arise when a caller builds a
+// policy by hand — in which case a zero field means what it says (e.g.
+// MaxRebinds: 0 really performs no rebinds) instead of silently meaning some
+// hidden default, which is the bug the old CallTimeout/MaxRebinds fields had.
+type RetryPolicy struct {
+	// CallTimeout bounds each individual attempt. Must be positive.
+	CallTimeout time.Duration
+	// MaxAttempts is the total number of transport-level attempts one call
+	// may make (first try included). Values below 1 are treated as 1.
+	MaxAttempts int
+	// MaxRebinds bounds how many times one call re-resolves after the
+	// remote reports a stale binding (no-such-object after migration). Zero
+	// means the first stale-binding failure is final.
+	MaxRebinds int
+	// BaseBackoff is the nominal delay before the first retry against an
+	// endpoint that just failed. Zero disables backoff.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential schedule. Zero means uncapped.
+	MaxBackoff time.Duration
+	// Multiplier grows the nominal delay each consecutive backoff. Values
+	// below 1 are treated as 1 (constant backoff).
+	Multiplier float64
+	// Jitter adds a uniformly random fraction of the nominal delay on top
+	// of it (additive, so the realised delay is never below the nominal
+	// schedule). 0.2 means up to +20%.
+	Jitter float64
+	// Budget, when positive, bounds the total wall-clock time one call may
+	// spend across all attempts and backoffs; per-attempt timeouts shrink
+	// to fit the remainder. Zero means unlimited.
+	Budget time.Duration
+}
+
+// DefaultRetryPolicy returns the policy NewClient installs: the Legion
+// 10-second per-attempt timeout and 1-second backoff the paper's discovery
+// window derives from, three transport attempts, and two rebinds.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		CallTimeout: 10 * time.Second,
+		MaxAttempts: 3,
+		MaxRebinds:  2,
+		BaseBackoff: time.Second,
+		MaxBackoff:  10 * time.Second,
+		Multiplier:  2,
+		Jitter:      0.2,
+	}
+}
+
+// normalized clamps nonsensical values without silently replacing
+// meaningful zeros (see the type comment).
+func (p RetryPolicy) normalized() RetryPolicy {
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 1
+	}
+	if p.MaxRebinds < 0 {
+		p.MaxRebinds = 0
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = 1
+	}
+	if p.Jitter < 0 {
+		p.Jitter = 0
+	}
+	if p.BaseBackoff < 0 {
+		p.BaseBackoff = 0
+	}
+	return p
+}
+
+// backoff returns the realised delay before retry number n (0-based): the
+// capped exponential nominal plus additive jitter drawn from rnd in [0, 1).
+func (p RetryPolicy) backoff(n int, rnd float64) time.Duration {
+	if p.BaseBackoff <= 0 {
+		return 0
+	}
+	nominal := float64(p.BaseBackoff)
+	for i := 0; i < n; i++ {
+		nominal *= p.Multiplier
+		if p.MaxBackoff > 0 && nominal >= float64(p.MaxBackoff) {
+			break
+		}
+	}
+	if p.MaxBackoff > 0 && nominal > float64(p.MaxBackoff) {
+		nominal = float64(p.MaxBackoff)
+	}
+	return time.Duration(nominal + rnd*p.Jitter*nominal)
+}
+
 // ClientStats counts client-side invocation outcomes, including how many
 // calls hit a stale binding and were transparently rebound — the mechanism
-// the stale-binding experiment (E4) measures the latency of.
+// the stale-binding experiment (E4) measures the latency of — and how the
+// retry policy classified failures (E7).
 type ClientStats struct {
-	Calls   uint64
+	// Calls counts Invoke/InvokeIdempotent entries.
+	Calls uint64
+	// Rebinds counts cache invalidations this client performed after a
+	// failure (one per logical rebind; concurrent callers failing against
+	// the same stale endpoint share a single rebind).
 	Rebinds uint64
-	Errors  uint64
+	// Errors counts calls that ultimately returned an error.
+	Errors uint64
+	// Retries counts additional transport attempts beyond each call's first.
+	Retries uint64
+	// SafeFailures counts attempt failures proven not to have executed.
+	SafeFailures uint64
+	// AmbiguousFailures counts attempt failures that may have executed.
+	AmbiguousFailures uint64
+	// AmbiguousAborts counts non-idempotent calls abandoned (rather than
+	// retried) after an ambiguous failure.
+	AmbiguousAborts uint64
+	// Backoffs counts the delays slept between retries.
+	Backoffs uint64
 }
+
+// Counter names used in the client's metrics.CounterSet.
+const (
+	statCalls             = "calls"
+	statRebinds           = "rebinds"
+	statErrors            = "errors"
+	statRetries           = "retries"
+	statSafeFailures      = "failures_safe"
+	statAmbiguousFailures = "failures_ambiguous"
+	statAmbiguousAborts   = "ambiguous_aborts"
+	statBackoffs          = "backoffs"
+)
 
 // Client invokes methods on objects named by LOID. It resolves addresses
 // through a binding cache; when a call fails because the cached address no
 // longer hosts the object (migration, re-instantiation, crash) it
 // invalidates the binding, re-resolves through the binding agent, and
-// retries.
+// retries under its RetryPolicy.
+//
+// Failure handling distinguishes three classes (transport.RetryClass):
+// safe failures (the request provably never dispatched) are retried for any
+// method; ambiguous failures (the request may have executed but the response
+// was lost) are retried only by InvokeIdempotent — plain Invoke returns
+// ErrAmbiguousResult so a non-idempotent function is never run twice; and
+// non-retryable failures fail immediately.
 type Client struct {
 	cache  *naming.Cache
 	dialer transport.Dialer
 
-	// CallTimeout bounds each individual attempt. Zero means 10 s (the
-	// Legion default the paper's discovery window derives from).
-	CallTimeout time.Duration
-	// MaxRebinds bounds how many times one Invoke will re-resolve after a
-	// stale-binding failure. Zero means 2.
-	MaxRebinds int
+	// Retry is the policy applied to every call. NewClient sets it to
+	// DefaultRetryPolicy(); mutate it before issuing calls.
+	Retry RetryPolicy
+	// Latency, when non-nil, records the end-to-end duration of each
+	// successful call (including retries and backoffs).
+	Latency *metrics.Sample
 
-	calls   atomic.Uint64
-	rebinds atomic.Uint64
-	errs    atomic.Uint64
+	counters *metrics.CounterSet
+	cCalls   *metrics.Counter
+	cRebinds *metrics.Counter
+	cErrors  *metrics.Counter
+	cRetries *metrics.Counter
+	cSafe    *metrics.Counter
+	cAmbig   *metrics.Counter
+	cAborts  *metrics.Counter
+	cBackoff *metrics.Counter
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
 }
 
-// NewClient returns a client over the given cache and dialer.
+// NewClient returns a client over the given cache and dialer with
+// DefaultRetryPolicy installed, so the zero values of RetryPolicy fields
+// never silently stand in for defaults.
 func NewClient(cache *naming.Cache, dialer transport.Dialer) *Client {
-	return &Client{cache: cache, dialer: dialer}
+	cs := metrics.NewCounterSet()
+	return &Client{
+		cache:    cache,
+		dialer:   dialer,
+		Retry:    DefaultRetryPolicy(),
+		counters: cs,
+		cCalls:   cs.Counter(statCalls),
+		cRebinds: cs.Counter(statRebinds),
+		cErrors:  cs.Counter(statErrors),
+		cRetries: cs.Counter(statRetries),
+		cSafe:    cs.Counter(statSafeFailures),
+		cAmbig:   cs.Counter(statAmbiguousFailures),
+		cAborts:  cs.Counter(statAmbiguousAborts),
+		cBackoff: cs.Counter(statBackoffs),
+		rng:      rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
 }
 
 // Stats returns a snapshot of the client counters.
 func (c *Client) Stats() ClientStats {
-	return ClientStats{Calls: c.calls.Load(), Rebinds: c.rebinds.Load(), Errors: c.errs.Load()}
+	return ClientStats{
+		Calls:             c.cCalls.Value(),
+		Rebinds:           c.cRebinds.Value(),
+		Errors:            c.cErrors.Value(),
+		Retries:           c.cRetries.Value(),
+		SafeFailures:      c.cSafe.Value(),
+		AmbiguousFailures: c.cAmbig.Value(),
+		AmbiguousAborts:   c.cAborts.Value(),
+		Backoffs:          c.cBackoff.Value(),
+	}
 }
 
+// Metrics exposes the client's counters for report rendering.
+func (c *Client) Metrics() *metrics.CounterSet { return c.counters }
+
 // Invoke calls the named exported function on the object loid with the given
-// argument payload and returns the result payload.
+// argument payload and returns the result payload. The function is treated
+// as non-idempotent: an ambiguous failure (lost response, timeout after the
+// request was sent) is returned as ErrAmbiguousResult instead of retried, so
+// the function can never be executed twice by one Invoke.
 //
 // Failure semantics follow the paper (§3.2): a function may legitimately
 // disappear between interface discovery and invocation, so callers must be
@@ -60,61 +233,145 @@ func (c *Client) Stats() ClientStats {
 // returned as-is (rebinding would not help — the object was reached). Only
 // reachability failures trigger rebind-and-retry.
 func (c *Client) Invoke(loid naming.LOID, method string, args []byte) ([]byte, error) {
-	c.calls.Add(1)
-	timeout := c.CallTimeout
-	if timeout == 0 {
-		timeout = 10 * time.Second
-	}
-	maxRebinds := c.MaxRebinds
-	if maxRebinds == 0 {
-		maxRebinds = 2
-	}
+	return c.invoke(loid, method, args, false)
+}
+
+// InvokeIdempotent is Invoke for functions the caller asserts are idempotent:
+// ambiguous failures are retried under the policy (with backoff) because a
+// duplicate execution is harmless.
+func (c *Client) InvokeIdempotent(loid naming.LOID, method string, args []byte) ([]byte, error) {
+	return c.invoke(loid, method, args, true)
+}
+
+func (c *Client) invoke(loid naming.LOID, method string, args []byte, idempotent bool) ([]byte, error) {
+	p := c.Retry.normalized()
+	c.cCalls.Inc()
+	start := time.Now()
 
 	var lastErr error
-	for attempt := 0; attempt <= maxRebinds; attempt++ {
+	attemptFailures := 0 // transport-level failures consumed (bounded by MaxAttempts)
+	rebinds := 0         // stale-binding re-resolves consumed (bounded by MaxRebinds)
+	backoffs := 0        // position in the backoff schedule
+	lastFailedEndpoint := ""
+
+loop:
+	for {
 		binding, err := c.cache.Resolve(loid)
 		if err != nil {
-			c.errs.Add(1)
+			c.cErrors.Inc()
 			return nil, fmt.Errorf("resolve %s: %w", loid, err)
 		}
+		endpoint := binding.Address.Endpoint
+
+		// Back off only when retrying the endpoint that just failed: a
+		// rebind that produced a fresh endpoint is new information and is
+		// tried immediately (this keeps the E4 discovery window equal to
+		// the failed attempts, as the paper models it), whereas hammering
+		// the same endpoint without delay would spin through the retry
+		// budget inside a migration window.
+		if lastFailedEndpoint != "" && endpoint == lastFailedEndpoint {
+			c.rngMu.Lock()
+			rnd := c.rng.Float64()
+			c.rngMu.Unlock()
+			if delay := p.backoff(backoffs, rnd); delay > 0 {
+				c.cBackoff.Inc()
+				time.Sleep(delay)
+			}
+			backoffs++
+		}
+
+		timeout := p.CallTimeout
+		if p.Budget > 0 {
+			remaining := p.Budget - time.Since(start)
+			if remaining <= 0 {
+				lastErr = joinErr(ErrBudgetExhausted, lastErr)
+				break loop
+			}
+			if remaining < timeout {
+				timeout = remaining
+			}
+		}
+
 		req := &wire.Envelope{
 			Kind:    wire.KindRequest,
 			Target:  loid.String(),
 			Method:  method,
 			Payload: args,
 		}
-		resp, err := c.dialer.Call(binding.Address.Endpoint, req, timeout)
+		resp, err := c.dialer.Call(endpoint, req, timeout)
 		if err != nil {
-			// Transport-level failure: the endpoint is gone or wedged. The
-			// cached binding is suspect — invalidate and re-resolve.
 			lastErr = err
-			c.cache.Invalidate(loid)
-			c.rebinds.Add(1)
+			switch transport.Classify(err) {
+			case transport.RetryNever:
+				c.cErrors.Inc()
+				return nil, fmt.Errorf("invoke %s.%s: %w", loid, method, err)
+			case transport.RetryAmbiguous:
+				c.cAmbig.Inc()
+				if !idempotent {
+					c.cAborts.Inc()
+					c.cErrors.Inc()
+					return nil, fmt.Errorf("invoke %s.%s: %w: %w", loid, method, ErrAmbiguousResult, err)
+				}
+			case transport.RetrySafe:
+				c.cSafe.Inc()
+			}
+			attemptFailures++
+			if attemptFailures >= p.MaxAttempts {
+				break loop
+			}
+			// The endpoint is gone or wedged: the cached binding is suspect.
+			if c.cache.InvalidateEndpoint(loid, endpoint) {
+				c.cRebinds.Inc()
+			}
+			lastFailedEndpoint = endpoint
+			c.cRetries.Inc()
 			continue
 		}
+
 		switch resp.Kind {
 		case wire.KindResponse:
+			if c.Latency != nil {
+				c.Latency.Observe(time.Since(start))
+			}
 			return resp.Payload, nil
 		case wire.KindError:
 			remote := &RemoteError{Code: resp.Code, Message: resp.ErrorMsg}
 			if resp.Code == wire.CodeNoSuchObject || resp.Code == wire.CodeStaleBinding {
 				// The endpoint is alive but no longer hosts the object:
-				// classic stale binding after migration.
+				// classic stale binding after migration. The function did
+				// not execute, so rebinding and retrying is always safe.
 				lastErr = remote
-				c.cache.Invalidate(loid)
-				c.rebinds.Add(1)
+				if c.cache.InvalidateEndpoint(loid, endpoint) {
+					c.cRebinds.Inc()
+				}
+				rebinds++
+				if rebinds > p.MaxRebinds {
+					break loop
+				}
+				lastFailedEndpoint = endpoint
 				continue
 			}
-			c.errs.Add(1)
+			c.cErrors.Inc()
 			return nil, remote
 		default:
-			c.errs.Add(1)
+			c.cErrors.Inc()
 			return nil, fmt.Errorf("%w: unexpected envelope kind %s", ErrBadRequest, resp.Kind)
 		}
 	}
-	c.errs.Add(1)
+
+	c.cErrors.Inc()
 	if lastErr == nil {
-		lastErr = errors.New("rpc: exhausted rebind attempts")
+		lastErr = errors.New("rpc: exhausted retry attempts")
 	}
-	return nil, fmt.Errorf("invoke %s.%s after %d rebinds: %w", loid, method, maxRebinds, lastErr)
+	return nil, fmt.Errorf("invoke %s.%s after %d attempts and %d rebinds: %w",
+		loid, method, attemptFailures+rebinds+1, rebinds, lastErr)
+}
+
+// joinErr wraps primary while preserving secondary in the message (the
+// budget may expire while holding an earlier, more informative failure).
+func joinErr(primary, secondary error) error {
+	if secondary == nil {
+		return primary
+	}
+	return fmt.Errorf("%w (last failure: %v)", primary, secondary)
 }

@@ -35,6 +35,16 @@ var (
 	ErrUnavailable = errors.New("rpc: object unavailable")
 	// ErrBadRequest means the request could not be decoded or validated.
 	ErrBadRequest = errors.New("rpc: bad request")
+	// ErrAmbiguousResult means a call failed in a way that leaves it unknown
+	// whether the remote function executed (the response was lost, or the
+	// call timed out after the request was fully sent). Invoke returns it
+	// instead of retrying so a non-idempotent function is never executed
+	// twice; callers that can tolerate re-execution should use
+	// InvokeIdempotent, which retries through this class of failure.
+	ErrAmbiguousResult = errors.New("rpc: result ambiguous (request may have executed)")
+	// ErrBudgetExhausted means the retry policy's overall deadline budget
+	// expired before any attempt succeeded.
+	ErrBudgetExhausted = errors.New("rpc: retry budget exhausted")
 )
 
 // RemoteError carries a failure returned by the remote object. It wraps the

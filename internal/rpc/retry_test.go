@@ -1,0 +1,372 @@
+package rpc
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"godcdo/internal/naming"
+	"godcdo/internal/transport"
+	"godcdo/internal/vclock"
+)
+
+// faultEnv is testEnv plus a fault-injecting dialer between client and node.
+type faultEnv struct {
+	*testEnv
+	faults *transport.Faults
+}
+
+func newFaultEnv(t *testing.T, nodeName string, seed int64) *faultEnv {
+	t.Helper()
+	env := newTestEnv(t, nodeName)
+	faults := transport.NewFaults(seed)
+	client := NewClient(env.cache, transport.NewFaultDialer(env.net.Dialer(), faults))
+	client.Retry = RetryPolicy{
+		CallTimeout: 25 * time.Millisecond,
+		MaxAttempts: 4,
+		MaxRebinds:  2,
+		BaseBackoff: 25 * time.Millisecond,
+		MaxBackoff:  200 * time.Millisecond,
+		Multiplier:  2,
+		Jitter:      0.3,
+	}
+	env.client = client
+	return &faultEnv{testEnv: env, faults: faults}
+}
+
+// recordingObject counts executions and records when each one ran.
+type recordingObject struct {
+	mu    sync.Mutex
+	times []time.Time
+}
+
+func (r *recordingObject) InvokeMethod(method string, args []byte) ([]byte, error) {
+	r.mu.Lock()
+	r.times = append(r.times, time.Now())
+	r.mu.Unlock()
+	return append([]byte(method+":"), args...), nil
+}
+
+func (r *recordingObject) executions() []time.Time {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]time.Time(nil), r.times...)
+}
+
+// A non-idempotent method must never be executed twice by one call: when the
+// response is dropped after execution, Invoke reports the ambiguity instead
+// of retrying.
+func TestInvokeNonIdempotentNeverExecutedTwiceUnderResponseDrop(t *testing.T) {
+	env := newFaultEnv(t, "n1", 42)
+	loid := naming.LOID{Instance: 1}
+	obj := &recordingObject{}
+	env.host(loid, obj)
+	env.faults.SetEndpoint(env.server.Endpoint(), transport.FaultConfig{DropResponse: 1, Budget: 1})
+
+	_, err := env.client.Invoke(loid, "debit", []byte("100"))
+	if !errors.Is(err, ErrAmbiguousResult) {
+		t.Fatalf("err = %v, want ErrAmbiguousResult", err)
+	}
+	if n := len(obj.executions()); n != 1 {
+		t.Fatalf("method executed %d times, want exactly 1", n)
+	}
+	st := env.client.Stats()
+	if st.AmbiguousFailures != 1 || st.AmbiguousAborts != 1 || st.Retries != 0 {
+		t.Fatalf("stats = %+v, want 1 ambiguous failure aborted without retries", st)
+	}
+
+	// The fault budget is spent: the same call now goes through cleanly.
+	out, err := env.client.Invoke(loid, "debit", []byte("100"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "debit:100" {
+		t.Fatalf("out = %q", out)
+	}
+	if n := len(obj.executions()); n != 2 {
+		t.Fatalf("method executed %d times across two calls, want 2", n)
+	}
+}
+
+// An idempotent method is retried through ambiguous failures, and the
+// realised attempt gaps honour the exponential backoff schedule (jitter is
+// additive, so each gap is at least the nominal delay).
+func TestInvokeIdempotentRetriesWithBackoffSchedule(t *testing.T) {
+	env := newFaultEnv(t, "n1", 42)
+	loid := naming.LOID{Instance: 2}
+	obj := &recordingObject{}
+	env.host(loid, obj)
+	// Deterministic schedule: exactly the first two responses are lost.
+	env.faults.SetEndpoint(env.server.Endpoint(), transport.FaultConfig{DropResponse: 1, Budget: 2})
+
+	out, err := env.client.InvokeIdempotent(loid, "read", []byte("k"))
+	if err != nil {
+		t.Fatalf("idempotent invoke under response drops: %v", err)
+	}
+	if string(out) != "read:k" {
+		t.Fatalf("out = %q", out)
+	}
+
+	execs := obj.executions()
+	if len(execs) != 3 {
+		t.Fatalf("method executed %d times, want 3 (two dropped responses + success)", len(execs))
+	}
+	p := env.client.Retry
+	for i := 1; i < len(execs); i++ {
+		gap := execs[i].Sub(execs[i-1])
+		nominal := p.backoff(i-1, 0)
+		if gap < nominal {
+			t.Fatalf("attempt %d started %v after attempt %d, want >= backoff %v",
+				i, gap, i-1, nominal)
+		}
+	}
+	st := env.client.Stats()
+	if st.AmbiguousFailures != 2 || st.Retries != 2 || st.AmbiguousAborts != 0 {
+		t.Fatalf("stats = %+v, want 2 ambiguous failures retried", st)
+	}
+	if st.Backoffs != 2 {
+		t.Fatalf("backoffs = %d, want 2", st.Backoffs)
+	}
+	if st.Errors != 0 {
+		t.Fatalf("errors = %d, want 0", st.Errors)
+	}
+}
+
+// Safe failures (reset before the request was written) are retried even for
+// non-idempotent methods: the request provably never executed.
+func TestInvokeRetriesSafeFailuresForNonIdempotentMethods(t *testing.T) {
+	env := newFaultEnv(t, "n1", 7)
+	loid := naming.LOID{Instance: 3}
+	obj := &recordingObject{}
+	env.host(loid, obj)
+	env.faults.SetEndpoint(env.server.Endpoint(), transport.FaultConfig{ResetBeforeWrite: 1, Budget: 2})
+
+	out, err := env.client.Invoke(loid, "debit", []byte("1"))
+	if err != nil {
+		t.Fatalf("invoke through safe failures: %v", err)
+	}
+	if string(out) != "debit:1" {
+		t.Fatalf("out = %q", out)
+	}
+	if n := len(obj.executions()); n != 1 {
+		t.Fatalf("method executed %d times, want exactly 1", n)
+	}
+	st := env.client.Stats()
+	if st.SafeFailures != 2 || st.Retries != 2 || st.Errors != 0 {
+		t.Fatalf("stats = %+v, want 2 safe failures retried and no error", st)
+	}
+}
+
+// Exhausting MaxAttempts on safe failures surfaces the last failure.
+func TestInvokeExhaustsAttemptBudget(t *testing.T) {
+	env := newFaultEnv(t, "n1", 7)
+	loid := naming.LOID{Instance: 4}
+	env.host(loid, &recordingObject{})
+	env.faults.SetEndpoint(env.server.Endpoint(), transport.FaultConfig{ResetBeforeWrite: 1})
+
+	_, err := env.client.Invoke(loid, "m", nil)
+	if !errors.Is(err, transport.ErrReset) {
+		t.Fatalf("err = %v, want wrapped ErrReset", err)
+	}
+	st := env.client.Stats()
+	if int(st.SafeFailures) != env.client.Retry.MaxAttempts {
+		t.Fatalf("safe failures = %d, want MaxAttempts = %d", st.SafeFailures, env.client.Retry.MaxAttempts)
+	}
+	if st.Errors != 1 {
+		t.Fatalf("errors = %d, want 1", st.Errors)
+	}
+}
+
+// The overall budget bounds retries in wall-clock time, independent of the
+// attempt count.
+func TestInvokeBudgetExhausted(t *testing.T) {
+	clk := vclock.Real{}
+	agent := naming.NewAgent(clk)
+	cache := naming.NewCache(agent, clk, 0)
+	net := transport.NewInprocNetwork()
+	loid := naming.LOID{Instance: 5}
+	// Bound to an endpoint nobody serves: every attempt fails safe.
+	agent.Register(loid, naming.Address{Endpoint: "inproc:void"})
+
+	client := NewClient(cache, net.Dialer())
+	client.Retry = RetryPolicy{
+		CallTimeout: 50 * time.Millisecond,
+		MaxAttempts: 1000,
+		BaseBackoff: 5 * time.Millisecond,
+		Multiplier:  1,
+		Budget:      30 * time.Millisecond,
+	}
+	start := time.Now()
+	_, err := client.Invoke(loid, "m", nil)
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("budgeted call ran %v", elapsed)
+	}
+	if st := client.Stats(); st.Errors != 1 {
+		t.Fatalf("errors = %d, want 1", st.Errors)
+	}
+}
+
+// A non-positive per-attempt timeout is a configuration error, reported
+// immediately instead of silently replaced by a hidden default (the old
+// zero-value behaviour this policy replaces).
+func TestInvokeRejectsZeroCallTimeout(t *testing.T) {
+	env := newTestEnv(t, "n1")
+	loid := naming.LOID{Instance: 6}
+	env.host(loid, echoObject())
+
+	env.client.Retry.CallTimeout = 0
+	_, err := env.client.Invoke(loid, "m", nil)
+	if !errors.Is(err, transport.ErrInvalidTimeout) {
+		t.Fatalf("err = %v, want ErrInvalidTimeout", err)
+	}
+	if st := env.client.Stats(); st.Retries != 0 || st.Errors != 1 {
+		t.Fatalf("stats = %+v, want immediate failure without retries", st)
+	}
+}
+
+func TestRetryPolicyBackoffSchedule(t *testing.T) {
+	p := RetryPolicy{BaseBackoff: 10 * time.Millisecond, MaxBackoff: 40 * time.Millisecond, Multiplier: 2, Jitter: 0.5}
+	for i, want := range []time.Duration{10, 20, 40, 40, 40} {
+		want *= time.Millisecond
+		if got := p.backoff(i, 0); got != want {
+			t.Fatalf("backoff(%d) = %v, want %v", i, got, want)
+		}
+		// Full jitter adds at most Jitter*nominal on top.
+		if got := p.backoff(i, 0.999999); got < want || got > want+time.Duration(0.5*float64(want))+time.Millisecond {
+			t.Fatalf("backoff(%d) with jitter = %v outside [%v, %v+50%%]", i, got, want, want)
+		}
+	}
+	zero := RetryPolicy{}
+	if got := zero.backoff(3, 0.5); got != 0 {
+		t.Fatalf("zero-policy backoff = %v, want 0", got)
+	}
+}
+
+func TestClientMetricsExposed(t *testing.T) {
+	env := newTestEnv(t, "n1")
+	loid := naming.LOID{Instance: 7}
+	env.host(loid, echoObject())
+	if _, err := env.client.Invoke(loid, "m", nil); err != nil {
+		t.Fatal(err)
+	}
+	snap := env.client.Metrics().Snapshot()
+	found := false
+	for _, cv := range snap {
+		if cv.Name == "calls" && cv.Value == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("metrics snapshot missing calls=1: %+v", snap)
+	}
+}
+
+// N goroutines hammer one Client while the object migrates repeatedly
+// between two endpoints. Every call must succeed (stale bindings heal
+// transparently), and the shared cache must coalesce concurrent
+// invalidations so the rebind count stays bounded by the migration count.
+// Run under -race to exercise the client's internal synchronisation.
+func TestInvokeConcurrentMigrationNoLostCalls(t *testing.T) {
+	clk := vclock.Real{}
+	agent := naming.NewAgent(clk)
+	cache := naming.NewCache(agent, clk, 0)
+	net := transport.NewInprocNetwork()
+
+	dispA := NewDispatcher()
+	srvA, err := net.Listen("ma", dispA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dispB := NewDispatcher()
+	srvB, err := net.Listen("mb", dispB)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	loid := naming.LOID{Instance: 8}
+	dispA.Host(loid, echoObject())
+	agent.Register(loid, naming.Address{Endpoint: srvA.Endpoint()})
+
+	client := NewClient(cache, net.Dialer())
+	client.Retry = RetryPolicy{
+		CallTimeout: 2 * time.Second,
+		MaxAttempts: 3,
+		MaxRebinds:  6,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  8 * time.Millisecond,
+		Multiplier:  2,
+	}
+
+	const (
+		workers        = 8
+		callsPerWorker = 40
+		migrations     = 24
+	)
+
+	var failures atomic.Uint64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Migrator: flap the object between A and B. Host-then-evict keeps the
+	// object continuously reachable somewhere; stale caches still fail at
+	// the old endpoint and must rebind.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		src, dst := dispA, dispB
+		srcSrv, dstSrv := srvA, srvB
+		for i := 0; i < migrations; i++ {
+			dst.Host(loid, echoObject())
+			agent.Register(loid, naming.Address{Endpoint: dstSrv.Endpoint()})
+			src.Evict(loid)
+			src, dst = dst, src
+			srcSrv, dstSrv = dstSrv, srcSrv
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < callsPerWorker; i++ {
+				out, err := client.Invoke(loid, "m", []byte{byte(w)})
+				if err != nil {
+					t.Errorf("worker %d call %d: %v", w, i, err)
+					failures.Add(1)
+					return
+				}
+				if len(out) != 3 { // "m:" + 1 byte
+					t.Errorf("worker %d call %d: out = %q", w, i, out)
+					failures.Add(1)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if failures.Load() != 0 {
+		t.Fatalf("%d lost calls", failures.Load())
+	}
+	st := client.Stats()
+	if st.Calls != workers*callsPerWorker {
+		t.Fatalf("calls = %d, want %d", st.Calls, workers*callsPerWorker)
+	}
+	if st.Errors != 0 {
+		t.Fatalf("errors = %d, want 0", st.Errors)
+	}
+	// Concurrent callers that fail against the same stale endpoint share one
+	// logical invalidation, so counted rebinds are bounded by migrations.
+	if st.Rebinds > migrations {
+		t.Fatalf("rebinds = %d, want <= %d migrations", st.Rebinds, migrations)
+	}
+	t.Logf("migration storm: %d calls, %d rebinds across %d migrations, %d backoffs",
+		st.Calls, st.Rebinds, migrations, st.Backoffs)
+}

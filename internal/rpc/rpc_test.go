@@ -34,13 +34,17 @@ func newTestEnv(t *testing.T, nodeName string) *testEnv {
 	if err != nil {
 		t.Fatal(err)
 	}
+	client := NewClient(cache, net.Dialer())
+	// Keep same-endpoint retry backoffs test-fast.
+	client.Retry.BaseBackoff = time.Millisecond
+	client.Retry.MaxBackoff = 4 * time.Millisecond
 	return &testEnv{
 		agent:  agent,
 		cache:  cache,
 		net:    net,
 		disp:   disp,
 		server: srv,
-		client: NewClient(cache, net.Dialer()),
+		client: client,
 	}
 }
 
@@ -157,7 +161,7 @@ func TestInvokeRebindExhaustion(t *testing.T) {
 	// Bind to an endpoint that never hosts the object.
 	env.agent.Register(loid, naming.Address{Endpoint: env.server.Endpoint()})
 
-	env.client.MaxRebinds = 3
+	env.client.Retry.MaxRebinds = 3
 	_, err := env.client.Invoke(loid, "m", nil)
 	if !errors.Is(err, ErrNoSuchObject) {
 		t.Fatalf("err = %v, want wrapped ErrNoSuchObject", err)
@@ -277,7 +281,7 @@ func TestInvokeOverTCP(t *testing.T) {
 	dialer := transport.NewTCPDialer()
 	defer dialer.Close()
 	client := NewClient(cache, dialer)
-	client.CallTimeout = 2 * time.Second
+	client.Retry.CallTimeout = 2 * time.Second
 
 	out, err := client.Invoke(loid, "tcp", []byte("y"))
 	if err != nil {

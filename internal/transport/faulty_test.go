@@ -1,0 +1,261 @@
+package transport
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"godcdo/internal/wire"
+)
+
+func TestFaultDialerCleanPassthrough(t *testing.T) {
+	n := NewInprocNetwork()
+	if _, err := n.Listen("clean", echoHandler()); err != nil {
+		t.Fatal(err)
+	}
+	d := NewFaultDialer(n.Dialer(), NewFaults(1))
+	resp, err := d.Call("inproc:clean", &wire.Envelope{Kind: wire.KindRequest, Payload: []byte("x")}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp.Payload) != "x" {
+		t.Fatalf("payload = %q", resp.Payload)
+	}
+}
+
+func TestFaultDialerPartition(t *testing.T) {
+	n := NewInprocNetwork()
+	srv, err := n.Listen("part", echoHandler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := NewFaults(1)
+	d := NewFaultDialer(n.Dialer(), faults)
+	fsrv := NewFaultServer(srv, faults)
+
+	fsrv.Partition()
+	_, err = d.Call(srv.Endpoint(), &wire.Envelope{Kind: wire.KindRequest}, time.Second)
+	if !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err = %v, want ErrUnreachable", err)
+	}
+	if Classify(err) != RetrySafe {
+		t.Fatalf("partition classified %v, want safe", Classify(err))
+	}
+
+	fsrv.Heal()
+	if _, err := d.Call(srv.Endpoint(), &wire.Envelope{Kind: wire.KindRequest}, time.Second); err != nil {
+		t.Fatalf("healed call: %v", err)
+	}
+	if st := faults.Stats(); st.PartitionRefusals != 1 {
+		t.Fatalf("partition refusals = %d, want 1", st.PartitionRefusals)
+	}
+}
+
+func TestFaultDialerDropResponseIsAmbiguousAndBudgeted(t *testing.T) {
+	n := NewInprocNetwork()
+	calls := 0
+	if _, err := n.Listen("dropresp", HandlerFunc(func(req *wire.Envelope) *wire.Envelope {
+		calls++
+		return &wire.Envelope{Kind: wire.KindResponse}
+	})); err != nil {
+		t.Fatal(err)
+	}
+	faults := NewFaults(7)
+	faults.SetEndpoint("inproc:dropresp", FaultConfig{DropResponse: 1, Budget: 2})
+	d := NewFaultDialer(n.Dialer(), faults)
+
+	for i := 0; i < 2; i++ {
+		_, err := d.Call("inproc:dropresp", &wire.Envelope{Kind: wire.KindRequest}, 10*time.Millisecond)
+		if !errors.Is(err, ErrTimeout) {
+			t.Fatalf("drop %d: err = %v, want ErrTimeout", i, err)
+		}
+		if Classify(err) != RetryAmbiguous {
+			t.Fatalf("drop %d classified %v, want ambiguous", i, Classify(err))
+		}
+	}
+	// The handler executed despite both losses, and the budget is spent.
+	if calls != 2 {
+		t.Fatalf("handler executed %d times, want 2 (drop-response still executes)", calls)
+	}
+	if _, err := d.Call("inproc:dropresp", &wire.Envelope{Kind: wire.KindRequest}, 10*time.Millisecond); err != nil {
+		t.Fatalf("post-budget call: %v", err)
+	}
+	if st := faults.Stats(); st.DroppedResponses != 2 {
+		t.Fatalf("dropped responses = %d, want 2", st.DroppedResponses)
+	}
+}
+
+func TestFaultDialerDropRequestNeverExecutes(t *testing.T) {
+	n := NewInprocNetwork()
+	calls := 0
+	if _, err := n.Listen("dropreq", HandlerFunc(func(req *wire.Envelope) *wire.Envelope {
+		calls++
+		return &wire.Envelope{Kind: wire.KindResponse}
+	})); err != nil {
+		t.Fatal(err)
+	}
+	faults := NewFaults(7)
+	faults.SetEndpoint("inproc:dropreq", FaultConfig{DropRequest: 1, Budget: 1})
+	d := NewFaultDialer(n.Dialer(), faults)
+
+	_, err := d.Call("inproc:dropreq", &wire.Envelope{Kind: wire.KindRequest}, 10*time.Millisecond)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if calls != 0 {
+		t.Fatalf("handler executed %d times, want 0 (request was dropped)", calls)
+	}
+}
+
+func TestFaultDialerResetBeforeWriteIsSafe(t *testing.T) {
+	n := NewInprocNetwork()
+	if _, err := n.Listen("reset", echoHandler()); err != nil {
+		t.Fatal(err)
+	}
+	faults := NewFaults(3)
+	faults.SetEndpoint("inproc:reset", FaultConfig{ResetBeforeWrite: 1, Budget: 1})
+	d := NewFaultDialer(n.Dialer(), faults)
+
+	_, err := d.Call("inproc:reset", &wire.Envelope{Kind: wire.KindRequest}, time.Second)
+	if !errors.Is(err, ErrReset) {
+		t.Fatalf("err = %v, want ErrReset", err)
+	}
+	if Classify(err) != RetrySafe {
+		t.Fatalf("reset-before-write classified %v, want safe", Classify(err))
+	}
+	// Budget spent: the next call goes through.
+	if _, err := d.Call("inproc:reset", &wire.Envelope{Kind: wire.KindRequest}, time.Second); err != nil {
+		t.Fatalf("post-budget call: %v", err)
+	}
+}
+
+func TestFaultDialerLatencyTimesOutWhenExceedingDeadline(t *testing.T) {
+	n := NewInprocNetwork()
+	if _, err := n.Listen("slow", echoHandler()); err != nil {
+		t.Fatal(err)
+	}
+	faults := NewFaults(5)
+	faults.SetEndpoint("inproc:slow", FaultConfig{ExtraLatency: 50 * time.Millisecond})
+	d := NewFaultDialer(n.Dialer(), faults)
+
+	start := time.Now()
+	_, err := d.Call("inproc:slow", &wire.Envelope{Kind: wire.KindRequest}, 10*time.Millisecond)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Fatalf("returned after %v, want >= the 10ms timeout", elapsed)
+	}
+	// With a generous deadline the same latency is only a delay.
+	if _, err := d.Call("inproc:slow", &wire.Envelope{Kind: wire.KindRequest}, time.Second); err != nil {
+		t.Fatalf("call with headroom: %v", err)
+	}
+}
+
+func TestFaultsSeedDeterminism(t *testing.T) {
+	run := func(seed int64) []bool {
+		faults := NewFaults(seed)
+		faults.SetDefault(FaultConfig{DropResponse: 0.5})
+		outcomes := make([]bool, 0, 64)
+		for i := 0; i < 64; i++ {
+			p := faults.plan("inproc:x")
+			outcomes = append(outcomes, p.dropResponse)
+		}
+		return outcomes
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at call %d", i)
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical 64-call fault sequences")
+	}
+}
+
+func TestFaultHandlerServerSideDrops(t *testing.T) {
+	faults := NewFaults(9)
+	inner := echoHandler()
+	executed := 0
+	counting := HandlerFunc(func(req *wire.Envelope) *wire.Envelope {
+		executed++
+		return inner.Handle(req)
+	})
+	h := NewFaultHandler(counting, faults, "tcp:host:1")
+
+	// Server-side request drop: never executed, response is Dropped.
+	faults.SetEndpoint("tcp:host:1", FaultConfig{DropRequest: 1, Budget: 1})
+	if resp := h.Handle(&wire.Envelope{Kind: wire.KindRequest}); resp != Dropped {
+		t.Fatalf("resp = %+v, want Dropped", resp)
+	}
+	if executed != 0 {
+		t.Fatalf("handler executed %d times, want 0", executed)
+	}
+
+	// Server-side response drop: executed once, response still lost.
+	faults.SetEndpoint("tcp:host:1", FaultConfig{DropResponse: 1, Budget: 1})
+	if resp := h.Handle(&wire.Envelope{Kind: wire.KindRequest}); resp != Dropped {
+		t.Fatalf("resp = %+v, want Dropped", resp)
+	}
+	if executed != 1 {
+		t.Fatalf("handler executed %d times, want 1", executed)
+	}
+
+	// Budget spent: clean pass-through.
+	if resp := h.Handle(&wire.Envelope{Kind: wire.KindRequest, Payload: []byte("ok")}); resp == Dropped || resp == nil {
+		t.Fatal("post-budget request did not pass through")
+	}
+	if executed != 2 {
+		t.Fatalf("handler executed %d times, want 2", executed)
+	}
+}
+
+func TestFaultServerTCPDroppedResponseTimesOutCaller(t *testing.T) {
+	faults := NewFaults(11)
+	var executed atomic.Int32
+	handler := HandlerFunc(func(req *wire.Envelope) *wire.Envelope {
+		executed.Add(1)
+		return &wire.Envelope{Kind: wire.KindResponse, Payload: req.Payload}
+	})
+	// The handler must be wrapped before listening, when the endpoint is
+	// not yet known, so its rules are installed as the default.
+	faults.SetDefault(FaultConfig{DropResponse: 1, Budget: 1})
+	fh := NewFaultHandler(handler, faults, "")
+	srv, err := ListenTCP("127.0.0.1:0", fh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsrv := NewFaultServer(srv, faults)
+	defer fsrv.Close()
+
+	d := NewTCPDialer()
+	defer d.Close()
+	_, err = d.Call(fsrv.Endpoint(), &wire.Envelope{Kind: wire.KindRequest}, 50*time.Millisecond)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout (response dropped server-side)", err)
+	}
+	if Classify(err) != RetryAmbiguous {
+		t.Fatalf("classified %v, want ambiguous", Classify(err))
+	}
+	if n := executed.Load(); n != 1 {
+		t.Fatalf("handler executed %d times, want 1", n)
+	}
+	// The connection survives a dropped response; the next call succeeds.
+	resp, err := d.Call(fsrv.Endpoint(), &wire.Envelope{Kind: wire.KindRequest, Payload: []byte("again")}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp.Payload) != "again" {
+		t.Fatalf("payload = %q", resp.Payload)
+	}
+}

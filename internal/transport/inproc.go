@@ -85,11 +85,15 @@ func (d *InprocDialer) Call(endpoint string, req *wire.Envelope, timeout time.Du
 	if scheme != SchemeInproc {
 		return nil, fmt.Errorf("%w: inproc dialer got %q", ErrBadEndpoint, endpoint)
 	}
+	if timeout <= 0 {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidTimeout, timeout)
+	}
 	d.net.mu.RLock()
 	handler, ok := d.net.handlers[name]
 	d.net.mu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("%w: inproc endpoint %q", ErrUnreachable, endpoint)
+		// The request was never dispatched: safe to retry after rebinding.
+		return nil, safeErr(fmt.Errorf("%w: inproc endpoint %q", ErrUnreachable, endpoint))
 	}
 
 	d.net.mu.Lock()
@@ -98,8 +102,14 @@ func (d *InprocDialer) Call(endpoint string, req *wire.Envelope, timeout time.Du
 	d.net.mu.Unlock()
 
 	resp := handler.Handle(req)
+	if resp == Dropped {
+		// The handler executed (or deliberately discarded) the request and
+		// its response was lost: surface the same ambiguous timeout a TCP
+		// caller would observe.
+		return nil, ambiguousErr(fmt.Errorf("%w: %s (response dropped)", ErrTimeout, endpoint))
+	}
 	if resp == nil {
-		return nil, fmt.Errorf("%w: nil response from %q", ErrUnreachable, endpoint)
+		return nil, ambiguousErr(fmt.Errorf("%w: nil response from %q", ErrUnreachable, endpoint))
 	}
 	resp.ID = req.ID
 	return resp, nil

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"godcdo/internal/wire"
@@ -114,6 +115,9 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		go func() {
 			defer handlers.Done()
 			resp := s.handler.Handle(req)
+			if resp == Dropped {
+				return // injected response loss: leave the caller to time out
+			}
 			if resp == nil {
 				resp = &wire.Envelope{
 					Kind: wire.KindError, ID: req.ID,
@@ -131,16 +135,45 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 	}
 }
 
+// maxOrphanWatch bounds how many timed-out call IDs one connection tracks
+// for late-response accounting; entries are dropped when the response
+// arrives or the connection dies.
+const maxOrphanWatch = 1024
+
+// defaultTimeoutEvictAfter is the consecutive-timeout threshold after which
+// a pooled connection is presumed wedged and evicted.
+const defaultTimeoutEvictAfter = 3
+
+// DialerStats counts TCPDialer outcomes. OrphanedResponses are responses
+// that arrived after their call had already timed out — evidence that the
+// server executed a request whose caller had given up, which is exactly the
+// ambiguity the invoke retry policy must respect.
+type DialerStats struct {
+	Dials             uint64
+	Timeouts          uint64
+	Evictions         uint64
+	OrphanedResponses uint64
+}
+
 // TCPDialer issues calls over pooled TCP connections, one connection per
 // endpoint, with responses correlated by envelope ID.
 type TCPDialer struct {
 	// DialTimeout bounds connection establishment. Zero means 5 s.
 	DialTimeout time.Duration
+	// TimeoutEvictAfter evicts a pooled connection after this many
+	// consecutive call timeouts, so one wedged connection does not make
+	// every later call to the endpoint eat the full timeout. Zero means 3.
+	TimeoutEvictAfter int
 
 	mu     sync.Mutex
 	conns  map[string]*tcpClientConn
 	nextID uint64
 	closed bool
+
+	dials     atomic.Uint64
+	timeouts  atomic.Uint64
+	evictions atomic.Uint64
+	orphaned  atomic.Uint64
 }
 
 var _ Dialer = (*TCPDialer)(nil)
@@ -150,13 +183,32 @@ func NewTCPDialer() *TCPDialer {
 	return &TCPDialer{conns: make(map[string]*tcpClientConn)}
 }
 
+// Stats returns a snapshot of the dialer counters.
+func (d *TCPDialer) Stats() DialerStats {
+	return DialerStats{
+		Dials:             d.dials.Load(),
+		Timeouts:          d.timeouts.Load(),
+		Evictions:         d.evictions.Load(),
+		OrphanedResponses: d.orphaned.Load(),
+	}
+}
+
+func (d *TCPDialer) evictAfter() int {
+	if d.TimeoutEvictAfter > 0 {
+		return d.TimeoutEvictAfter
+	}
+	return defaultTimeoutEvictAfter
+}
+
 type tcpClientConn struct {
 	conn net.Conn
 	bw   *bufio.Writer
 
-	mu      sync.Mutex // guards bw and pending
-	pending map[uint64]chan *wire.Envelope
-	dead    error
+	mu             sync.Mutex // guards bw, pending, orphans, counters
+	pending        map[uint64]chan *wire.Envelope
+	orphans        map[uint64]struct{} // timed-out IDs awaiting late responses
+	consecTimeouts int
+	dead           error
 }
 
 // Call implements Dialer.
@@ -168,9 +220,13 @@ func (d *TCPDialer) Call(endpoint string, req *wire.Envelope, timeout time.Durat
 	if scheme != SchemeTCP {
 		return nil, fmt.Errorf("%w: TCP dialer got %q", ErrBadEndpoint, endpoint)
 	}
+	if timeout <= 0 {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidTimeout, timeout)
+	}
 	cc, err := d.getConn(endpoint, addr)
 	if err != nil {
-		return nil, err
+		// Dial failure: nothing was sent, safe to retry elsewhere.
+		return nil, safeErr(err)
 	}
 
 	d.mu.Lock()
@@ -185,7 +241,8 @@ func (d *TCPDialer) Call(endpoint string, req *wire.Envelope, timeout time.Durat
 		err := cc.dead
 		cc.mu.Unlock()
 		d.dropConn(endpoint, cc)
-		return nil, err
+		// The connection was already dead before this request was written.
+		return nil, safeErr(err)
 	}
 	cc.pending[id] = respCh
 	writeErr := wire.WriteFrame(cc.bw, req.Encode())
@@ -196,7 +253,9 @@ func (d *TCPDialer) Call(endpoint string, req *wire.Envelope, timeout time.Durat
 		delete(cc.pending, id)
 		cc.mu.Unlock()
 		d.dropConn(endpoint, cc)
-		return nil, fmt.Errorf("%w: %v", ErrUnreachable, writeErr)
+		// A write error means the length-prefixed frame never fully reached
+		// the kernel, so the server cannot have dispatched it: safe.
+		return nil, safeErr(fmt.Errorf("%w during write: %v", ErrReset, writeErr))
 	}
 	cc.mu.Unlock()
 
@@ -205,14 +264,44 @@ func (d *TCPDialer) Call(endpoint string, req *wire.Envelope, timeout time.Durat
 	select {
 	case resp := <-respCh:
 		if resp == nil {
-			return nil, fmt.Errorf("%w: connection lost mid-call", ErrUnreachable)
+			// The frame was written but the connection died before the
+			// response: the server may or may not have executed the call.
+			return nil, ambiguousErr(fmt.Errorf("%w: connection lost mid-call", ErrUnreachable))
 		}
+		cc.mu.Lock()
+		cc.consecTimeouts = 0
+		cc.mu.Unlock()
 		return resp, nil
 	case <-timer.C:
 		cc.mu.Lock()
-		delete(cc.pending, id)
+		_, wasPending := cc.pending[id]
+		if wasPending {
+			delete(cc.pending, id)
+			if len(cc.orphans) < maxOrphanWatch {
+				cc.orphans[id] = struct{}{}
+			}
+		}
+		cc.consecTimeouts++
+		evict := cc.consecTimeouts >= d.evictAfter()
 		cc.mu.Unlock()
-		return nil, fmt.Errorf("%w: %s after %v", ErrTimeout, endpoint, timeout)
+		if !wasPending {
+			// The reader resolved this call as the timer fired; prefer the
+			// actual outcome over a spurious timeout.
+			select {
+			case resp := <-respCh:
+				if resp != nil {
+					return resp, nil
+				}
+				return nil, ambiguousErr(fmt.Errorf("%w: connection lost mid-call", ErrUnreachable))
+			default:
+			}
+		}
+		d.timeouts.Add(1)
+		if evict {
+			d.evictions.Add(1)
+			d.dropConn(endpoint, cc)
+		}
+		return nil, ambiguousErr(fmt.Errorf("%w: %s after %v", ErrTimeout, endpoint, timeout))
 	}
 }
 
@@ -252,10 +341,12 @@ func (d *TCPDialer) getConn(endpoint, addr string) (*tcpClientConn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: dial %s: %v", ErrUnreachable, addr, err)
 	}
+	d.dials.Add(1)
 	cc := &tcpClientConn{
 		conn:    conn,
 		bw:      bufio.NewWriter(conn),
 		pending: make(map[uint64]chan *wire.Envelope),
+		orphans: make(map[uint64]struct{}),
 	}
 
 	d.mu.Lock()
@@ -298,9 +389,19 @@ func (d *TCPDialer) readLoop(endpoint string, cc *tcpClientConn) {
 		cc.mu.Lock()
 		ch, ok := cc.pending[resp.ID]
 		delete(cc.pending, resp.ID)
+		var orphan bool
+		if !ok {
+			if _, orphan = cc.orphans[resp.ID]; orphan {
+				delete(cc.orphans, resp.ID)
+			}
+		}
 		cc.mu.Unlock()
 		if ok {
 			ch <- resp
+		} else if orphan {
+			// The caller timed out and moved on; the server executed the
+			// request anyway. Account for it instead of dropping silently.
+			d.orphaned.Add(1)
 		}
 	}
 	cc.mu.Lock()
@@ -309,6 +410,7 @@ func (d *TCPDialer) readLoop(endpoint string, cc *tcpClientConn) {
 		delete(cc.pending, id)
 		close(ch)
 	}
+	cc.orphans = make(map[uint64]struct{})
 	cc.mu.Unlock()
 	d.dropConn(endpoint, cc)
 }

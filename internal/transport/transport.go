@@ -23,7 +23,91 @@ var (
 	ErrClosed = errors.New("transport: closed")
 	// ErrUnreachable is returned when the endpoint cannot be contacted.
 	ErrUnreachable = errors.New("transport: endpoint unreachable")
+	// ErrReset is returned when the peer resets the connection.
+	ErrReset = errors.New("transport: connection reset")
+	// ErrInvalidTimeout is returned for non-positive call timeouts, which
+	// would otherwise fire the deadline timer before the request is sent.
+	ErrInvalidTimeout = errors.New("transport: non-positive call timeout")
 )
+
+// RetryClass partitions call failures by what the caller may safely do
+// next. The invoke path (rpc.Client) retries according to this class; the
+// distinction between RetrySafe and RetryAmbiguous is what prevents a
+// retried call from executing a non-idempotent dynamic function twice.
+type RetryClass int
+
+const (
+	// RetrySafe means the request provably never reached the remote
+	// dispatcher (dial refused, connection already dead before the frame
+	// was written, incomplete frame). Retrying cannot double-execute.
+	RetrySafe RetryClass = iota
+	// RetryAmbiguous means the request may have been executed but the
+	// response was lost (call timeout, connection reset after the frame
+	// was written). Retrying is only safe for idempotent methods.
+	RetryAmbiguous
+	// RetryNever means retrying the same call cannot help (malformed
+	// endpoint, closed dialer, invalid timeout).
+	RetryNever
+)
+
+// String implements fmt.Stringer.
+func (c RetryClass) String() string {
+	switch c {
+	case RetrySafe:
+		return "safe"
+	case RetryAmbiguous:
+		return "ambiguous"
+	case RetryNever:
+		return "never"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// CallError attaches a RetryClass to a transport failure. Dialers wrap
+// every failure whose class differs from the default mapping in Classify.
+type CallError struct {
+	Class RetryClass
+	Err   error
+}
+
+// Error implements error.
+func (e *CallError) Error() string { return e.Err.Error() }
+
+// Unwrap implements errors.Unwrap, so sentinel matching (errors.Is) works
+// through the classification wrapper.
+func (e *CallError) Unwrap() error { return e.Err }
+
+func safeErr(err error) error      { return &CallError{Class: RetrySafe, Err: err} }
+func ambiguousErr(err error) error { return &CallError{Class: RetryAmbiguous, Err: err} }
+
+// Classify maps a call failure to its retry class. Errors carrying an
+// explicit CallError use its class; bare sentinels fall back to a
+// conservative default mapping (unknown errors are ambiguous, because
+// retrying them might double-execute but a retry could also succeed).
+func Classify(err error) RetryClass {
+	var ce *CallError
+	if errors.As(err, &ce) {
+		return ce.Class
+	}
+	switch {
+	case errors.Is(err, ErrBadEndpoint), errors.Is(err, ErrClosed), errors.Is(err, ErrInvalidTimeout):
+		return RetryNever
+	case errors.Is(err, ErrUnreachable):
+		// A bare unreachable means the dial itself failed: nothing was sent.
+		return RetrySafe
+	case errors.Is(err, ErrTimeout):
+		return RetryAmbiguous
+	default:
+		return RetryAmbiguous
+	}
+}
+
+// Dropped is a sentinel response a Handler may return to simulate a lost
+// response (fault injection): the TCP server writes nothing back, and the
+// in-process dialer surfaces an ambiguous timeout, exactly as a genuinely
+// dropped response frame would behave.
+var Dropped = &wire.Envelope{Kind: wire.KindError, ErrorMsg: "transport: response dropped (sentinel)"}
 
 // Handler processes one inbound request envelope and returns the response
 // envelope (KindResponse or KindError). Handlers must be safe for concurrent

@@ -345,6 +345,140 @@ func TestInprocDialerClosed(t *testing.T) {
 	}
 }
 
+func TestTCPDialerRejectsNonPositiveTimeout(t *testing.T) {
+	d := NewTCPDialer()
+	defer d.Close()
+	for _, timeout := range []time.Duration{0, -time.Second} {
+		_, err := d.Call("tcp:127.0.0.1:1", &wire.Envelope{Kind: wire.KindRequest}, timeout)
+		if !errors.Is(err, ErrInvalidTimeout) {
+			t.Fatalf("timeout %v: err = %v, want ErrInvalidTimeout", timeout, err)
+		}
+		if Classify(err) != RetryNever {
+			t.Fatalf("timeout %v classified %v, want never", timeout, Classify(err))
+		}
+	}
+}
+
+func TestInprocDialerRejectsNonPositiveTimeout(t *testing.T) {
+	n := NewInprocNetwork()
+	if _, err := n.Listen("tz", echoHandler()); err != nil {
+		t.Fatal(err)
+	}
+	d := n.Dialer()
+	_, err := d.Call("inproc:tz", &wire.Envelope{Kind: wire.KindRequest}, 0)
+	if !errors.Is(err, ErrInvalidTimeout) {
+		t.Fatalf("err = %v, want ErrInvalidTimeout", err)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		err  error
+		want RetryClass
+	}{
+		{ErrBadEndpoint, RetryNever},
+		{ErrClosed, RetryNever},
+		{ErrInvalidTimeout, RetryNever},
+		{ErrUnreachable, RetrySafe},
+		{ErrTimeout, RetryAmbiguous},
+		{errors.New("mystery"), RetryAmbiguous},
+		{safeErr(fmt.Errorf("%w: wrapped", ErrTimeout)), RetrySafe},               // explicit class wins
+		{ambiguousErr(fmt.Errorf("%w: wrapped", ErrUnreachable)), RetryAmbiguous}, // explicit class wins
+		{fmt.Errorf("outer: %w", safeErr(ErrReset)), RetrySafe},                   // class survives wrapping
+	}
+	for _, c := range cases {
+		if got := Classify(c.err); got != c.want {
+			t.Errorf("Classify(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+func TestTCPDialerEvictsWedgedConnection(t *testing.T) {
+	// A handler that never answers "wedge" simulates a connection whose
+	// peer has stopped responding without closing the socket.
+	handler := HandlerFunc(func(req *wire.Envelope) *wire.Envelope {
+		if req.Method == "wedge" {
+			return Dropped
+		}
+		return &wire.Envelope{Kind: wire.KindResponse, Payload: req.Payload}
+	})
+	srv, err := ListenTCP("127.0.0.1:0", handler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	d := NewTCPDialer()
+	d.TimeoutEvictAfter = 2
+	defer d.Close()
+
+	for i := 0; i < 2; i++ {
+		if _, err := d.Call(srv.Endpoint(), &wire.Envelope{Kind: wire.KindRequest, Method: "wedge"}, 20*time.Millisecond); !errors.Is(err, ErrTimeout) {
+			t.Fatalf("wedge call %d: err = %v, want ErrTimeout", i, err)
+		}
+	}
+	st := d.Stats()
+	if st.Timeouts != 2 {
+		t.Fatalf("timeouts = %d, want 2", st.Timeouts)
+	}
+	if st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1 (threshold reached)", st.Evictions)
+	}
+	d.mu.Lock()
+	nconns := len(d.conns)
+	d.mu.Unlock()
+	if nconns != 0 {
+		t.Fatalf("dialer still pools %d connections after eviction", nconns)
+	}
+
+	// The next call redials a fresh connection and succeeds.
+	if _, err := d.Call(srv.Endpoint(), &wire.Envelope{Kind: wire.KindRequest, Method: "ok"}, time.Second); err != nil {
+		t.Fatalf("call after eviction: %v", err)
+	}
+	if st := d.Stats(); st.Dials != 2 {
+		t.Fatalf("dials = %d, want 2 (redial after eviction)", st.Dials)
+	}
+}
+
+func TestTCPDialerCountsOrphanedResponses(t *testing.T) {
+	release := make(chan struct{})
+	handler := HandlerFunc(func(req *wire.Envelope) *wire.Envelope {
+		if req.Method == "late" {
+			<-release
+		}
+		return &wire.Envelope{Kind: wire.KindResponse, Payload: req.Payload}
+	})
+	srv, err := ListenTCP("127.0.0.1:0", handler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	d := NewTCPDialer()
+	defer d.Close()
+
+	_, err = d.Call(srv.Endpoint(), &wire.Envelope{Kind: wire.KindRequest, Method: "late"}, 20*time.Millisecond)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	// Let the server finish; its response now has no waiting caller.
+	close(release)
+	deadline := time.Now().Add(2 * time.Second)
+	for d.Stats().OrphanedResponses == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("orphaned responses never counted; stats = %+v", d.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// A successful call resets the consecutive-timeout streak: no eviction.
+	if _, err := d.Call(srv.Endpoint(), &wire.Envelope{Kind: wire.KindRequest, Method: "ok"}, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if st := d.Stats(); st.Evictions != 0 {
+		t.Fatalf("evictions = %d, want 0", st.Evictions)
+	}
+}
+
 func TestMultiDialerRouting(t *testing.T) {
 	n := NewInprocNetwork()
 	if _, err := n.Listen("a", echoHandler()); err != nil {
