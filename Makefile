@@ -3,12 +3,29 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench-smoke bench experiments
+# Seed allocation baseline for one in-process invoke with observability
+# disabled. vet-obs fails if the disabled path ever allocates more than this.
+OBS_ALLOC_BASELINE ?= 5
 
-ci: vet build race bench-smoke
+.PHONY: ci vet vet-obs build test race bench-smoke bench experiments
+
+ci: vet vet-obs build race bench-smoke
 
 vet:
 	$(GO) vet ./...
+
+# Zero-cost-when-disabled gate: go vet plus an allocation check proving the
+# invoke path with observability off still allocates no more than the seed
+# baseline ($(OBS_ALLOC_BASELINE) allocs/op).
+vet-obs:
+	$(GO) vet ./internal/obs/ ./internal/metrics/ ./internal/rpc/ ./internal/core/
+	@out=$$($(GO) test -run xxx -bench BenchmarkInvokeTracingOff -benchmem -benchtime=10000x . | tee /dev/stderr); \
+	allocs=$$(echo "$$out" | awk '/BenchmarkInvokeTracingOff/ {for (i=1; i<=NF; i++) if ($$(i+1) == "allocs/op") print $$i}'); \
+	if [ -z "$$allocs" ]; then echo "vet-obs: could not parse allocs/op"; exit 1; fi; \
+	if [ "$$allocs" -gt "$(OBS_ALLOC_BASELINE)" ]; then \
+		echo "vet-obs: tracing-off invoke allocates $$allocs allocs/op, budget $(OBS_ALLOC_BASELINE)"; exit 1; \
+	fi; \
+	echo "vet-obs: tracing-off invoke at $$allocs allocs/op (budget $(OBS_ALLOC_BASELINE))"
 
 build:
 	$(GO) build ./...

@@ -20,13 +20,17 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
+	"strings"
 	"time"
 
 	"godcdo/internal/core"
 	"godcdo/internal/dfm"
 	"godcdo/internal/manager"
+	"godcdo/internal/metrics"
 	"godcdo/internal/naming"
+	"godcdo/internal/obs"
 	"godcdo/internal/rpc"
 	"godcdo/internal/transport"
 	"godcdo/internal/vclock"
@@ -50,7 +54,7 @@ func run(args []string) error {
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return errors.New("missing command (invoke|interface|version|snapshot|enable|disable|evolve|ensure-current|records|setcurrent)")
+		return errors.New("missing command (invoke|interface|version|snapshot|enable|disable|evolve|ensure-current|records|setcurrent|trace)")
 	}
 
 	dialer := transport.NewTCPDialer()
@@ -272,8 +276,165 @@ func run(args []string) error {
 		fmt.Printf("current version set to %s\n", ver)
 		return nil
 
+	case "trace":
+		oc := &rpc.ObsClient{Dialer: dialer, Endpoint: *agentEndpoint, Timeout: *timeout}
+		return runTrace(oc, rest)
+
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+// runTrace implements the `trace` subcommand family against the obs service
+// of the node at -agent's endpoint:
+//
+//	trace                  recent spans grouped by trace
+//	trace spans [traceID]  spans of one trace (or recent ones)
+//	trace events           recent evolution/configuration events
+//	trace metrics          histogram and counter snapshot
+func runTrace(oc *rpc.ObsClient, rest []string) error {
+	sub := "spans"
+	if len(rest) > 0 {
+		sub, rest = rest[0], rest[1:]
+	}
+	switch sub {
+	case "spans":
+		var traceID uint64
+		if len(rest) > 0 {
+			var err error
+			if traceID, err = strconv.ParseUint(rest[0], 10, 64); err != nil {
+				return fmt.Errorf("trace id: %w", err)
+			}
+		}
+		spans, err := oc.Spans(traceID, 0)
+		if err != nil {
+			return err
+		}
+		if len(spans) == 0 {
+			fmt.Println("no spans recorded")
+			return nil
+		}
+		printSpans(spans)
+		return nil
+
+	case "events":
+		events, err := oc.Events(0)
+		if err != nil {
+			return err
+		}
+		if len(events) == 0 {
+			fmt.Println("no events recorded")
+			return nil
+		}
+		for _, ev := range events {
+			line := fmt.Sprintf("%6d %s %s", ev.Seq, ev.Time.Format(time.RFC3339), ev.Kind)
+			if ev.Object != "" {
+				line += " " + ev.Object
+			}
+			if ev.Function != "" {
+				line += " " + ev.Function
+			}
+			if ev.Component != "" {
+				line += "@" + ev.Component
+			}
+			if ev.Version != "" {
+				line += " version=" + ev.Version
+			}
+			if ev.Detail != "" {
+				line += " (" + ev.Detail + ")"
+			}
+			fmt.Println(line)
+		}
+		return nil
+
+	case "metrics":
+		snap, err := oc.Snapshot()
+		if err != nil {
+			return err
+		}
+		printMetrics(snap.Metrics)
+		return nil
+
+	default:
+		return fmt.Errorf("unknown trace subcommand %q (spans|events|metrics)", sub)
+	}
+}
+
+// printSpans renders spans grouped by trace, children indented under their
+// parents, in start order within each trace.
+func printSpans(spans []obs.SpanRecord) {
+	byTrace := make(map[uint64][]obs.SpanRecord)
+	var order []uint64
+	for _, sp := range spans {
+		if _, seen := byTrace[sp.TraceID]; !seen {
+			order = append(order, sp.TraceID)
+		}
+		byTrace[sp.TraceID] = append(byTrace[sp.TraceID], sp)
+	}
+	for _, id := range order {
+		group := byTrace[id]
+		sort.Slice(group, func(i, j int) bool { return group[i].Start.Before(group[j].Start) })
+		depth := make(map[uint64]int, len(group))
+		for _, sp := range group {
+			depth[sp.SpanID] = depth[sp.ParentID] + 1
+		}
+		fmt.Printf("trace %d (%d spans)\n", id, len(group))
+		for _, sp := range group {
+			indent := strings.Repeat("  ", depth[sp.SpanID])
+			line := fmt.Sprintf("%s%-16s %10v", indent, sp.Stage, sp.Duration)
+			if sp.Err != "" {
+				line += " err=" + sp.Err
+			}
+			keys := make([]string, 0, len(sp.Annots))
+			for k := range sp.Annots {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				line += fmt.Sprintf(" %s=%s", k, sp.Annots[k])
+			}
+			fmt.Println(line)
+		}
+	}
+}
+
+// printMetrics renders a registry snapshot as aligned text.
+func printMetrics(m metrics.RegistrySnapshot) {
+	names := make([]string, 0, len(m.Histograms))
+	for name := range m.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if len(names) > 0 {
+		fmt.Printf("%-40s %10s %12s %12s %12s\n", "histogram", "count", "p50", "p95", "p99")
+		for _, name := range names {
+			h := m.Histograms[name]
+			fmt.Printf("%-40s %10d %12v %12v %12v\n", name, h.Count,
+				time.Duration(h.P50Ns), time.Duration(h.P95Ns), time.Duration(h.P99Ns))
+		}
+	}
+	gnames := make([]string, 0, len(m.Gauges))
+	for name := range m.Gauges {
+		gnames = append(gnames, name)
+	}
+	sort.Strings(gnames)
+	for _, name := range gnames {
+		fmt.Printf("gauge %-34s %10d\n", name, m.Gauges[name])
+	}
+	cnames := make([]string, 0, len(m.Counters))
+	for name := range m.Counters {
+		cnames = append(cnames, name)
+	}
+	sort.Strings(cnames)
+	for _, set := range cnames {
+		inner := make([]string, 0, len(m.Counters[set]))
+		for name := range m.Counters[set] {
+			inner = append(inner, name)
+		}
+		sort.Strings(inner)
+		for _, name := range inner {
+			fmt.Printf("counter %-32s %10d\n", set+"."+name, m.Counters[set][name])
+		}
 	}
 }
 

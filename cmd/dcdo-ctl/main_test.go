@@ -9,6 +9,7 @@ import (
 	"godcdo/internal/demo"
 	"godcdo/internal/legion"
 	"godcdo/internal/naming"
+	"godcdo/internal/obs"
 	"godcdo/internal/rpc"
 	"godcdo/internal/vclock"
 )
@@ -211,5 +212,83 @@ func TestEncodeArgs(t *testing.T) {
 	raw, err := encodeArgs([]string{"hello"})
 	if err != nil || string(raw) != "hello" {
 		t.Fatalf("raw args = %q, %v", raw, err)
+	}
+}
+
+// startObsDemoNode is startDemoNode with observability wired, mirroring how
+// dcdo-node builds its node.
+func startObsDemoNode(t *testing.T) string {
+	t.Helper()
+	agent := naming.NewAgent(vclock.Real{})
+	node, err := legion.NewNode(legion.NodeConfig{Name: "ctl-obs-test", Agent: agent, Obs: obs.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = node.Close() })
+	node.Dispatcher().Host(rpc.ObsLOID, &rpc.ObsService{Obs: node.Obs()})
+	if _, err := node.HostObject(rpc.AgentLOID, &rpc.AgentService{Agent: agent}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := demo.Install(node); err != nil {
+		t.Fatal(err)
+	}
+	return node.Endpoint()
+}
+
+func TestCtlTrace(t *testing.T) {
+	endpoint := startObsDemoNode(t)
+	pricing := demo.PricingLOID.String()
+	mgr := demo.ManagerLOID.String()
+
+	// An untraced node answers with empty results, not errors.
+	plain := startDemoNode(t)
+	out, err := ctl(t, plain, "trace")
+	if err == nil {
+		t.Fatalf("trace against a node without an obs service succeeded: %q", out)
+	}
+
+	// Drive a traced invoke and an evolution, then read them back.
+	if _, err := ctl(t, endpoint, "invoke", pricing, "price", "--uint", "20"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctl(t, endpoint, "setcurrent", mgr, "1.1"); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err = ctl(t, endpoint, "trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"trace ", "server.dispatch", "dcdo.func"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace output missing %q:\n%s", want, out)
+		}
+	}
+
+	out, err = ctl(t, endpoint, "trace", "events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"set-current-version", "evolved", "instance-created"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace events missing %q:\n%s", want, out)
+		}
+	}
+
+	out, err = ctl(t, endpoint, "trace", "metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"server.dispatch", "dcdo.func", "histogram"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace metrics missing %q:\n%s", want, out)
+		}
+	}
+
+	if _, err := ctl(t, endpoint, "trace", "bogus"); err == nil {
+		t.Fatal("unknown trace subcommand accepted")
+	}
+	if _, err := ctl(t, endpoint, "trace", "spans", "not-a-number"); err == nil {
+		t.Fatal("bad trace id accepted")
 	}
 }

@@ -12,6 +12,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -19,6 +21,7 @@ import (
 	"godcdo/internal/demo"
 	"godcdo/internal/legion"
 	"godcdo/internal/naming"
+	"godcdo/internal/obs"
 	"godcdo/internal/rpc"
 	"godcdo/internal/transport"
 	"godcdo/internal/vclock"
@@ -37,6 +40,7 @@ func run(args []string) error {
 	agentEndpoint := fs.String("agent", "", "endpoint of a remote binding agent (empty: serve one here)")
 	demoFlag := fs.Bool("demo", false, "host the demo pricing DCDO, its ICOs, and a manager")
 	name := fs.String("name", "node", "node display name")
+	obsHTTP := fs.String("obs-http", "", "HTTP listen address for /debug/obs (empty: no HTTP endpoint)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -49,6 +53,15 @@ func run(args []string) error {
 	fmt.Printf("node %q serving at %s\n", *name, node.Endpoint())
 	if localAgent != nil {
 		fmt.Printf("binding agent served at %s as %s\n", node.Endpoint(), rpc.AgentLOID)
+	}
+	fmt.Printf("obs service at %s as %s (dcdo-ctl -agent %s trace)\n",
+		node.Endpoint(), rpc.ObsLOID, node.Endpoint())
+	if *obsHTTP != "" {
+		httpAddr, err := startObsHTTP(*obsHTTP, node.Obs())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("obs HTTP at http://%s/debug/obs\n", httpAddr)
 	}
 
 	if *demoFlag {
@@ -90,10 +103,15 @@ func startNode(name, addr, agentEndpoint string) (*legion.Node, *naming.Agent, e
 		Name:    name,
 		Agent:   authority,
 		TCPAddr: addr,
+		Obs:     obs.New(),
 	})
 	if err != nil {
 		return nil, nil, err
 	}
+	// The obs service is hosted on the dispatcher only — not registered with
+	// the binding agent — so each node answers for its own telemetry at its
+	// own endpoint.
+	node.Dispatcher().Host(rpc.ObsLOID, &rpc.ObsService{Obs: node.Obs()})
 	if localAgent != nil {
 		if _, err := node.HostObject(rpc.AgentLOID, &rpc.AgentService{Agent: localAgent}); err != nil {
 			_ = node.Close()
@@ -101,4 +119,16 @@ func startNode(name, addr, agentEndpoint string) (*legion.Node, *naming.Agent, e
 		}
 	}
 	return node, localAgent, nil
+}
+
+// startObsHTTP serves o's /debug/obs handler on addr, returning the bound
+// address.
+func startObsHTTP(addr string, o *obs.Obs) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs http: %w", err)
+	}
+	srv := &http.Server{Handler: o.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), nil
 }

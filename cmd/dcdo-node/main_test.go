@@ -1,11 +1,14 @@
 package main
 
 import (
+	"encoding/json"
+	"net/http"
 	"testing"
 	"time"
 
 	"godcdo/internal/demo"
 	"godcdo/internal/naming"
+	"godcdo/internal/obs"
 	"godcdo/internal/rpc"
 	"godcdo/internal/transport"
 	"godcdo/internal/wire"
@@ -123,5 +126,62 @@ func mustVersion(t *testing.T, s string) []uint32 {
 func TestRunBadFlag(t *testing.T) {
 	if err := run([]string{"-no-such-flag"}); err == nil {
 		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestNodeObsServiceAndHTTP(t *testing.T) {
+	node, _, err := startNode("obsnode", "127.0.0.1:0", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	if node.Obs() == nil {
+		t.Fatal("node started without an obs handle")
+	}
+	if _, err := demo.Install(node); err != nil {
+		t.Fatal(err)
+	}
+	args := wire.NewEncoder(8)
+	args.PutUvarint(20)
+	if _, err := node.Client().Invoke(demo.PricingLOID, "price", args.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+
+	// The obs RPC service answers on the node's own endpoint.
+	dialer := transport.NewTCPDialer()
+	defer dialer.Close()
+	oc := &rpc.ObsClient{Dialer: dialer, Endpoint: node.Endpoint(), Timeout: 2 * time.Second}
+	snap, err := oc.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Spans) == 0 {
+		t.Fatal("snapshot has no spans after a traced invoke")
+	}
+	if _, ok := snap.Metrics.Histograms["client.invoke"]; !ok {
+		t.Fatalf("snapshot missing client.invoke histogram: %v", snap.Metrics.Histograms)
+	}
+
+	// And the /debug/obs HTTP endpoint serves the same snapshot as JSON.
+	httpAddr, err := startObsHTTP("127.0.0.1:0", node.Obs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + httpAddr + "/debug/obs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/obs = %d", resp.StatusCode)
+	}
+	var body struct {
+		Spans []obs.SpanRecord `json:"spans"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Spans) == 0 {
+		t.Fatal("HTTP snapshot has no spans")
 	}
 }

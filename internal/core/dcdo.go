@@ -19,12 +19,14 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"godcdo/internal/component"
 	"godcdo/internal/dfm"
 	"godcdo/internal/naming"
 	"godcdo/internal/objstate"
+	"godcdo/internal/obs"
 	"godcdo/internal/registry"
 	"godcdo/internal/rpc"
 	"godcdo/internal/vclock"
@@ -110,6 +112,9 @@ type Config struct {
 	// Observer, when set, receives configuration events (incorporations,
 	// enables/disables, evolutions). Called synchronously; must be fast.
 	Observer Observer
+	// Obs, when set, wires the object into the node's observability layer
+	// at construction (equivalent to calling SetObs afterwards).
+	Obs *obs.Obs
 }
 
 // incorporated tracks one component currently part of the object.
@@ -133,6 +138,10 @@ type DCDO struct {
 	components map[string]*incorporated
 	ver        version.ID
 	state      *objstate.State
+
+	// obsState holds the observability wiring installed by SetObs, nil when
+	// disabled. Read with one atomic load on the invoke path.
+	obsState atomic.Pointer[dcdoObs]
 }
 
 var (
@@ -155,12 +164,16 @@ func New(cfg Config) *DCDO {
 	if cfg.HostImpl == (registry.ImplType{}) {
 		cfg.HostImpl = registry.NativeImplType
 	}
-	return &DCDO{
+	d := &DCDO{
 		cfg:        cfg,
 		table:      dfm.New(),
 		components: make(map[string]*incorporated),
 		state:      objstate.New(),
 	}
+	if cfg.Obs != nil {
+		d.SetObs(cfg.Obs)
+	}
+	return d
 }
 
 // LOID returns the object's name.
@@ -177,6 +190,9 @@ func (d *DCDO) DFM() *dfm.DFM { return d.table }
 func (d *DCDO) InvokeMethod(method string, args []byte) ([]byte, error) {
 	if strings.HasPrefix(method, ControlPrefix) {
 		return d.invokeControl(method, args)
+	}
+	if st := d.obsState.Load(); st != nil {
+		return d.invokeMetered(st, method, args)
 	}
 	impl, release, err := d.table.BeginExportedCall(method)
 	if err != nil {

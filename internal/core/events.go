@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"godcdo/internal/naming"
+	"godcdo/internal/obs"
 	"godcdo/internal/version"
 )
 
@@ -83,13 +84,15 @@ func (e Event) String() string {
 // channel or goroutine.
 type Observer func(Event)
 
-// emit delivers an event to the configured observer, if any.
+// emit delivers an event to the configured observer, if any, and mirrors it
+// into the node's obs event log when SetObs wired one.
 func (d *DCDO) emit(kind EventKind, component, function string, ver version.ID, detail string) {
-	obs := d.cfg.Observer
-	if obs == nil {
+	observer := d.cfg.Observer
+	st := d.obsState.Load()
+	if observer == nil && (st == nil || st.events == nil) {
 		return
 	}
-	obs(Event{
+	ev := Event{
 		Kind:      kind,
 		Object:    d.cfg.LOID,
 		Component: component,
@@ -97,5 +100,23 @@ func (d *DCDO) emit(kind EventKind, component, function string, ver version.ID, 
 		Version:   ver,
 		Detail:    detail,
 		Time:      d.cfg.Clock.Now(),
-	})
+	}
+	if observer != nil {
+		observer(ev)
+	}
+	if st != nil && st.events != nil {
+		verStr := ""
+		if !ver.IsZero() {
+			verStr = ver.String()
+		}
+		st.events.Append(obs.Event{
+			Time:      ev.Time,
+			Kind:      kind.String(),
+			Object:    d.cfg.LOID.String(),
+			Component: component,
+			Function:  function,
+			Version:   verStr,
+			Detail:    detail,
+		})
+	}
 }

@@ -87,6 +87,13 @@ func Install(node *legion.Node) (*Deployment, error) {
 	})
 
 	mgr := manager.New(evolution.SingleVersion, evolution.Proactive)
+	// Wire observability before any configuration so instance creation and
+	// version designation are captured too (HostObject would only wire from
+	// hosting time onward).
+	if o := node.Obs(); o != nil {
+		obj.SetObs(o)
+		mgr.SetObs(o)
+	}
 	rootDesc := dfm.NewDescriptor()
 	rootDesc.Components["pricing-v1"] = dfm.ComponentRef{
 		ICO: ICOV1LOID, CodeRef: "pricing-v1:1", Impl: registry.NativeImplType,

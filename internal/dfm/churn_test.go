@@ -1,0 +1,188 @@
+package dfm
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"godcdo/internal/metrics"
+	"godcdo/internal/registry"
+)
+
+// TestBeginCallUnderEnableDisableChurn hammers BeginCall/BeginExportedCall
+// from caller goroutines while mutator goroutines flip the two
+// implementations of each function between enabled and disabled. Run under
+// -race this exercises the snapshot-swap path; afterwards the per-function
+// call counters must equal the number of successful calls, and every
+// active-thread counter must have drained to zero.
+func TestBeginCallUnderEnableDisableChurn(t *testing.T) {
+	d := New()
+	noop := registry.Func(func(c registry.Caller, args []byte) ([]byte, error) { return nil, nil })
+
+	const funcs = 4
+	names := []string{"f0", "f1", "f2", "f3"}
+	for _, fn := range names {
+		if err := d.Add(EntryDesc{Function: fn, Component: "a", Exported: true, Enabled: true}, noop); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Add(EntryDesc{Function: fn, Component: "b", Exported: true, Enabled: false}, noop); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Meter latency too, so the timed-release closure is part of the race
+	// surface being tested.
+	reg := metrics.NewRegistry()
+	d.EnableLatency(func(fn string) *metrics.Histogram { return reg.Histogram("dfm." + fn) })
+
+	var succeeded [funcs]atomic.Uint64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Callers: alternate BeginCall and BeginExportedCall.
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				fi := (g + i) % funcs
+				var err error
+				var release func()
+				if i%2 == 0 {
+					_, release, err = d.BeginCall(names[fi])
+				} else {
+					_, release, err = d.BeginExportedCall(names[fi])
+				}
+				if err != nil {
+					// Mid-flip both implementations may be disabled; that is
+					// the only acceptable failure.
+					if !errors.Is(err, ErrDisabledFunction) {
+						t.Errorf("unexpected BeginCall error: %v", err)
+						return
+					}
+					continue
+				}
+				release()
+				succeeded[fi].Add(1)
+			}
+		}(g)
+	}
+
+	// Mutators: flip each function between its two implementations.
+	for g := 0; g < funcs; g++ {
+		wg.Add(1)
+		go func(fi int) {
+			defer wg.Done()
+			keyA := EntryKey{Function: names[fi], Component: "a"}
+			keyB := EntryKey{Function: names[fi], Component: "b"}
+			cur, next := keyA, keyB
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := d.Disable(cur, false); err != nil {
+					t.Errorf("disable %s: %v", cur, err)
+					return
+				}
+				if err := d.Enable(next); err != nil {
+					t.Errorf("enable %s: %v", next, err)
+					return
+				}
+				cur, next = next, cur
+			}
+		}(g)
+	}
+
+	time.Sleep(200 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	counts := d.CallCounts()
+	for fi, fn := range names {
+		want := succeeded[fi].Load()
+		if counts[fn] != want {
+			t.Errorf("%s: call count %d, want %d", fn, counts[fn], want)
+		}
+		for _, comp := range []string{"a", "b"} {
+			key := EntryKey{Function: fn, Component: comp}
+			if n := d.ActiveThreads(key); n != 0 {
+				t.Errorf("%s: %d active threads after drain", key, n)
+			}
+		}
+		// Every successful metered call observed exactly one latency sample.
+		if h := reg.LookupHistogram("dfm." + fn); h == nil || h.Count() != want {
+			got := uint64(0)
+			if h != nil {
+				got = h.Count()
+			}
+			t.Errorf("%s: histogram count %d, want %d", fn, got, want)
+		}
+	}
+}
+
+// TestEnableLatencyToggle verifies metering attaches and detaches with the
+// snapshot rebuild.
+func TestEnableLatencyToggle(t *testing.T) {
+	d := New()
+	noop := registry.Func(func(c registry.Caller, args []byte) ([]byte, error) { return nil, nil })
+	if err := d.Add(EntryDesc{Function: "f", Component: "c", Exported: true, Enabled: true}, noop); err != nil {
+		t.Fatal(err)
+	}
+	h := metrics.NewHistogram("dfm.f")
+	d.EnableLatency(func(string) *metrics.Histogram { return h })
+
+	_, release, err := d.BeginCall("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
+	if h.Count() != 1 {
+		t.Fatalf("histogram count = %d, want 1", h.Count())
+	}
+
+	d.EnableLatency(nil)
+	_, release, err = d.BeginCall("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
+	if h.Count() != 1 {
+		t.Fatalf("histogram observed after metering disabled: count = %d", h.Count())
+	}
+}
+
+func TestCallCounts(t *testing.T) {
+	d := New()
+	noop := registry.Func(func(c registry.Caller, args []byte) ([]byte, error) { return nil, nil })
+	if err := d.Add(EntryDesc{Function: "f", Component: "a", Exported: true, Enabled: true}, noop); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Add(EntryDesc{Function: "g", Component: "a", Enabled: true}, noop); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		_, release, err := d.BeginCall("f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		release()
+	}
+	_, release, err := d.BeginCall("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
+	counts := d.CallCounts()
+	if counts["f"] != 3 || counts["g"] != 1 {
+		t.Fatalf("CallCounts = %v", counts)
+	}
+}

@@ -6,7 +6,9 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"godcdo/internal/metrics"
 	"godcdo/internal/registry"
 )
 
@@ -47,12 +49,14 @@ type liveEntry struct {
 }
 
 // fastEntry is one immutable row of the fast-path index: the implementation,
-// its exported flag frozen at rebuild time, and the live entry whose
-// counters the call updates.
+// its exported flag frozen at rebuild time, the live entry whose counters
+// the call updates, and (when latency metering is enabled) the function's
+// latency histogram, also frozen at rebuild time.
 type fastEntry struct {
 	impl     registry.Func
 	exported bool
 	live     *liveEntry
+	hist     *metrics.Histogram
 }
 
 // lookupTable is the immutable fast-path index rebuilt on every mutation.
@@ -72,6 +76,11 @@ type DFM struct {
 	entries map[EntryKey]*liveEntry
 	deps    []Dependency
 	lookup  atomic.Pointer[lookupTable]
+	// histFor, when set via EnableLatency, supplies a per-function latency
+	// histogram attached to each fast-path row at rebuild time. Nil (the
+	// default) keeps BeginCall's release closure identical to the unmetered
+	// path.
+	histFor func(function string) *metrics.Histogram
 }
 
 // New returns an empty DFM.
@@ -86,12 +95,28 @@ func (d *DFM) rebuildLocked() {
 	byFunc := make(map[string]*fastEntry, len(d.entries))
 	for _, e := range d.entries {
 		if e.desc.Enabled {
-			byFunc[e.desc.Function] = &fastEntry{impl: e.impl, exported: e.desc.Exported, live: e}
+			fe := &fastEntry{impl: e.impl, exported: e.desc.Exported, live: e}
+			if d.histFor != nil {
+				fe.hist = d.histFor(e.desc.Function)
+			}
+			byFunc[e.desc.Function] = fe
 		} else if _, known := byFunc[e.desc.Function]; !known {
 			byFunc[e.desc.Function] = nil
 		}
 	}
 	d.lookup.Store(&lookupTable{byFunc: byFunc})
+}
+
+// EnableLatency turns on per-function latency metering: histFor is invoked
+// at rebuild time for each enabled function and the returned histogram
+// observes the duration of every call begun through BeginCall or
+// BeginExportedCall. Passing nil turns metering back off. The change takes
+// effect immediately (the lookup snapshot is rebuilt).
+func (d *DFM) EnableLatency(histFor func(function string) *metrics.Histogram) {
+	d.mu.Lock()
+	d.histFor = histFor
+	d.rebuildLocked()
+	d.mu.Unlock()
 }
 
 // Add inserts a new entry bound to impl. The entry starts in the state
@@ -313,6 +338,9 @@ func (d *DFM) BeginCall(function string) (registry.Func, func(), error) {
 	live := fe.live
 	live.active.Add(1)
 	live.calls.Add(1)
+	if fe.hist != nil {
+		return fe.impl, timedRelease(live, fe.hist), nil
+	}
 	return fe.impl, func() { live.active.Add(-1) }, nil
 }
 
@@ -330,7 +358,21 @@ func (d *DFM) BeginExportedCall(function string) (registry.Func, func(), error) 
 	live := fe.live
 	live.active.Add(1)
 	live.calls.Add(1)
+	if fe.hist != nil {
+		return fe.impl, timedRelease(live, fe.hist), nil
+	}
 	return fe.impl, func() { live.active.Add(-1) }, nil
+}
+
+// timedRelease builds a release closure that also records the call's
+// duration into hist. Split out so the unmetered fast path keeps its
+// original, smaller closure.
+func timedRelease(live *liveEntry, hist *metrics.Histogram) func() {
+	start := time.Now()
+	return func() {
+		live.active.Add(-1)
+		hist.Observe(time.Since(start))
+	}
 }
 
 func (d *DFM) resolve(function string) (*fastEntry, error) {
@@ -456,6 +498,19 @@ func (d *DFM) Calls(key EntryKey) uint64 {
 		return e.calls.Load()
 	}
 	return 0
+}
+
+// CallCounts reports every function's total serviced invocations, summed
+// across that function's implementations — the per-function view the obs
+// registry exports.
+func (d *DFM) CallCounts() map[string]uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[string]uint64, len(d.entries))
+	for key, e := range d.entries {
+		out[key.Function] += e.calls.Load()
+	}
+	return out
 }
 
 // DependentsActive reports the number of threads executing inside enabled

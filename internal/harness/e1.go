@@ -7,6 +7,7 @@ import (
 	"godcdo/internal/core"
 	"godcdo/internal/metrics"
 	"godcdo/internal/naming"
+	"godcdo/internal/obs"
 	"godcdo/internal/registry"
 	"godcdo/internal/version"
 	"godcdo/internal/workload"
@@ -131,13 +132,28 @@ func RunE1() (*Report, error) {
 		return ratio(maxDur(a, b), minDur(a, b)) <= 3 || maxDur(a, b)-minDur(a, b) < 2*time.Microsecond
 	}
 
+	// Metered pass for the stage breakdown, run after the timed measurements
+	// so metering cannot perturb the experiment itself.
+	o := obs.NewMetricsOnly()
+	obj.SetObs(o)
+	for i := 0; i < 2000; i++ {
+		if _, err := obj.InvokeMethod(leaf, nil); err != nil {
+			return nil, err
+		}
+		if _, err := obj.InvokeMethod(inter, nil); err != nil {
+			return nil, err
+		}
+	}
+
 	report := &Report{
-		ID:    "E1",
-		Title: "dynamic function call overhead (paper: 10–15 µs/call, uniform across call classes)",
-		Table: table,
+		ID:     "E1",
+		Title:  "dynamic function call overhead (paper: 10–15 µs/call, uniform across call classes)",
+		Table:  table,
+		Extras: []*metrics.Table{stageBreakdown(o.Metrics)},
 		Notes: []string{
 			"all rows are real measured time on this host; the paper's 10–15 µs is 400 MHz Pentium II hardware",
 			"intra/inter rows include one exported dispatch plus one internal dispatch",
+			"stage breakdown: 2000 metered self + inter calls after the timed runs (dcdo.resolve vs dcdo.func)",
 		},
 		Checks: []Check{
 			check("DFM adds positive overhead over a direct call",

@@ -8,6 +8,7 @@ import (
 	"godcdo/internal/legion"
 	"godcdo/internal/metrics"
 	"godcdo/internal/naming"
+	"godcdo/internal/obs"
 	"godcdo/internal/registry"
 	"godcdo/internal/vclock"
 	"godcdo/internal/version"
@@ -25,12 +26,15 @@ func RunE2() (*Report, error) {
 	const iters = 300
 
 	agent := naming.NewAgent(vclock.Real{})
-	server, err := legion.NewNode(legion.NodeConfig{Name: "e2-server", Agent: agent})
+	// Metrics-only observability (no tracer): the shared registry yields the
+	// per-stage breakdown without adding allocations to the invoke path.
+	o := obs.NewMetricsOnly()
+	server, err := legion.NewNode(legion.NodeConfig{Name: "e2-server", Agent: agent, Obs: o})
 	if err != nil {
 		return nil, err
 	}
 	defer server.Close()
-	client, err := legion.NewNode(legion.NodeConfig{Name: "e2-client", Agent: agent})
+	client, err := legion.NewNode(legion.NodeConfig{Name: "e2-client", Agent: agent, Obs: o})
 	if err != nil {
 		return nil, err
 	}
@@ -103,11 +107,13 @@ func RunE2() (*Report, error) {
 	}
 
 	return &Report{
-		ID:    "E2",
-		Title: "remote invocation: DCDO vs normal objects (paper: no slower; independent of #functions/#components)",
-		Table: table,
+		ID:     "E2",
+		Title:  "remote invocation: DCDO vs normal objects (paper: no slower; independent of #functions/#components)",
+		Table:  table,
+		Extras: []*metrics.Table{stageBreakdown(o.Metrics)},
 		Notes: []string{
 			"loopback TCP between two nodes sharing a binding agent; each row averages real round trips",
+			"stage breakdown aggregates every round trip above: client.invoke is end-to-end, server.dispatch and dcdo.* are the server-side share",
 		},
 		Checks: []Check{
 			// The paper's criterion is that the DFM's microseconds vanish

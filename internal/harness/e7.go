@@ -8,6 +8,7 @@ import (
 
 	"godcdo/internal/metrics"
 	"godcdo/internal/naming"
+	"godcdo/internal/obs"
 	"godcdo/internal/rpc"
 	"godcdo/internal/transport"
 	"godcdo/internal/vclock"
@@ -34,6 +35,10 @@ const e7Calls = 60
 // latency. Then an at-most-once probe: a non-idempotent method under a
 // guaranteed response drop must execute exactly once and report ambiguity.
 func RunE7() (*Report, error) {
+	// Metrics-only observability shared by every sweep: the breakdown shows
+	// how injected loss stretches client.invoke while server.dispatch stays
+	// flat.
+	o := obs.NewMetricsOnly()
 	table := metrics.NewTable(
 		"E7 — invoke under injected response loss",
 		"drop rate", "calls", "ok", "retries", "mean", "p95")
@@ -47,7 +52,7 @@ func RunE7() (*Report, error) {
 	rates := []float64{0, 0.1, 0.3}
 	sweeps := make([]sweep, 0, len(rates))
 	for _, rate := range rates {
-		env, err := newE7Env(e7Seed)
+		env, err := newE7Env(e7Seed, o)
 		if err != nil {
 			return nil, err
 		}
@@ -73,7 +78,7 @@ func RunE7() (*Report, error) {
 	// At-most-once probe: with the response to a non-idempotent call
 	// guaranteed lost, the client must not re-send — the method body runs
 	// exactly once and the caller is told the outcome is ambiguous.
-	env, err := newE7Env(e7Seed)
+	env, err := newE7Env(e7Seed, o)
 	if err != nil {
 		return nil, err
 	}
@@ -112,13 +117,15 @@ func RunE7() (*Report, error) {
 	)
 
 	return &Report{
-		ID:    "E7",
-		Title: "invoke latency and success under injected faults; at-most-once for non-idempotent methods",
-		Table: table,
+		ID:     "E7",
+		Title:  "invoke latency and success under injected faults; at-most-once for non-idempotent methods",
+		Table:  table,
+		Extras: []*metrics.Table{stageBreakdown(o.Metrics)},
 		Notes: []string{
 			fmt.Sprintf("real measurements over inproc transport wrapped in a seeded FaultDialer (seed %d)", e7Seed),
 			"idempotent sweep: InvokeIdempotent retries ambiguous losses with exponential backoff",
 			"probe row: Invoke on a non-idempotent method under guaranteed response loss (1 ambiguous abort, then 1 clean call)",
+			"stage breakdown aggregates all sweeps: loss stretches client.invoke (end-to-end, retries included) while server.dispatch stays flat",
 		},
 		Checks: checks,
 	}, nil
@@ -133,7 +140,7 @@ type e7Env struct {
 	executed *atomic.Int64
 }
 
-func newE7Env(seed int64) (*e7Env, error) {
+func newE7Env(seed int64, o *obs.Obs) (*e7Env, error) {
 	clk := vclock.Real{}
 	agent := naming.NewAgent(clk)
 	cache := naming.NewCache(agent, clk, 0)
@@ -142,6 +149,9 @@ func newE7Env(seed int64) (*e7Env, error) {
 	srv, err := net.Listen("e7-host", disp)
 	if err != nil {
 		return nil, err
+	}
+	if o != nil {
+		disp.SetObs(o)
 	}
 
 	var executed atomic.Int64
@@ -154,6 +164,9 @@ func newE7Env(seed int64) (*e7Env, error) {
 
 	faults := transport.NewFaults(seed)
 	client := rpc.NewClient(cache, transport.NewFaultDialer(net.Dialer(), faults))
+	if o != nil {
+		client.ObserveStages(o.Metrics)
+	}
 	// Short timeouts keep the experiment fast: a dropped response costs one
 	// CallTimeout; backoffs stay in the low milliseconds.
 	client.Retry = rpc.RetryPolicy{

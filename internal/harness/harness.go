@@ -12,6 +12,7 @@ package harness
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -36,6 +37,9 @@ type Report struct {
 	Title string
 	// Table carries the regenerated rows.
 	Table *metrics.Table
+	// Extras carry supplementary tables — per-stage latency breakdowns from
+	// the observability layer.
+	Extras []*metrics.Table
 	// Notes explain methodology (real vs modeled columns, workloads).
 	Notes []string
 	// Checks are the shape criteria.
@@ -57,6 +61,10 @@ func (r *Report) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
 	b.WriteString(r.Table.String())
+	for _, extra := range r.Extras {
+		b.WriteByte('\n')
+		b.WriteString(extra.String())
+	}
 	for _, n := range r.Notes {
 		fmt.Fprintf(&b, "note: %s\n", n)
 	}
@@ -98,6 +106,31 @@ func RunAll() ([]*Report, error) {
 		reports = append(reports, rep)
 	}
 	return reports, nil
+}
+
+// stageBreakdown renders the canonical pipeline-stage histograms from a
+// metrics registry as a count/p50/p99 table. Per-function "dfm.*"
+// histograms are elided — the stage view is about where pipeline time goes,
+// not individual functions.
+func stageBreakdown(reg *metrics.Registry) *metrics.Table {
+	snap := reg.Snapshot()
+	names := make([]string, 0, len(snap.Histograms))
+	for name := range snap.Histograms {
+		if strings.HasPrefix(name, "dfm.") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	table := metrics.NewTable("per-stage latency breakdown (log-scale histograms)",
+		"stage", "count", "p50", "p99")
+	for _, name := range names {
+		h := snap.Histograms[name]
+		table.AddRow(name, h.Count,
+			metrics.FormatDuration(time.Duration(h.P50Ns)),
+			metrics.FormatDuration(time.Duration(h.P99Ns)))
+	}
+	return table
 }
 
 // timeOp measures the mean wall time of fn over iters iterations.

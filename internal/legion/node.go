@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"godcdo/internal/naming"
+	"godcdo/internal/obs"
 	"godcdo/internal/registry"
 	"godcdo/internal/rpc"
 	"godcdo/internal/transport"
@@ -49,6 +50,10 @@ type NodeConfig struct {
 	// (rpc.DefaultRetryPolicy otherwise). CallTimeout, if also set, still
 	// overrides the policy's per-attempt timeout.
 	Retry *rpc.RetryPolicy
+	// Obs, when non-nil, wires the node's client, dispatcher, and every
+	// hosted object that implements obs.Configurable into the shared
+	// observability layer. Nil keeps the seed zero-overhead paths.
+	Obs *obs.Obs
 }
 
 // Node is one Legion host: it serves hosted objects on a transport endpoint
@@ -63,6 +68,7 @@ type Node struct {
 	cache    *naming.Cache
 	hostImpl registry.ImplType
 	clock    vclock.Clock
+	obs      *obs.Obs
 
 	mu     sync.Mutex
 	closed bool
@@ -117,6 +123,14 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	if cfg.CallTimeout > 0 {
 		client.Retry.CallTimeout = cfg.CallTimeout
 	}
+	if cfg.Obs != nil {
+		client.Tracer = cfg.Obs.Tracer
+		client.ObserveStages(cfg.Obs.Metrics)
+		if cfg.Obs.Metrics != nil {
+			cfg.Obs.Metrics.RegisterCounters("client."+cfg.Name, client.Metrics())
+		}
+		disp.SetObs(cfg.Obs)
+	}
 	return &Node{
 		name:     cfg.Name,
 		agent:    cfg.Agent,
@@ -127,8 +141,12 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		cache:    cache,
 		hostImpl: hostImpl,
 		clock:    clock,
+		obs:      cfg.Obs,
 	}, nil
 }
+
+// Obs returns the node's observability handle, nil when disabled.
+func (n *Node) Obs() *obs.Obs { return n.obs }
 
 // Name returns the node's name.
 func (n *Node) Name() string { return n.name }
@@ -163,6 +181,11 @@ func (n *Node) HostObject(loid naming.LOID, obj rpc.Object) (naming.Address, err
 		return naming.Address{}, ErrNodeClosed
 	}
 	n.mu.Unlock()
+	if n.obs != nil {
+		if c, ok := obj.(obs.Configurable); ok {
+			c.SetObs(n.obs)
+		}
+	}
 	n.disp.Host(loid, obj)
 	addr := n.agent.Register(loid, naming.Address{Endpoint: n.server.Endpoint()})
 	return addr, nil

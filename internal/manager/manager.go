@@ -5,11 +5,13 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"godcdo/internal/core"
 	"godcdo/internal/dfm"
 	"godcdo/internal/evolution"
 	"godcdo/internal/naming"
+	"godcdo/internal/obs"
 	"godcdo/internal/registry"
 	"godcdo/internal/version"
 )
@@ -58,6 +60,10 @@ type Manager struct {
 	instances map[naming.LOID]Instance
 	records   map[naming.LOID]*Record
 	current   version.ID
+
+	// obsState holds the observability handle installed by SetObs, nil when
+	// disabled.
+	obsState atomic.Pointer[obs.Obs]
 }
 
 var _ evolution.ManagerView = (*Manager)(nil)
@@ -105,6 +111,7 @@ func (m *Manager) SetCurrentVersion(v version.ID) error {
 	m.current = v.Clone()
 	policy := m.policy
 	m.mu.Unlock()
+	m.event("set-current-version", naming.LOID{}, v, "policy="+policy.String())
 
 	if policy != evolution.Proactive {
 		return nil
@@ -150,6 +157,7 @@ func (m *Manager) CreateInstance(inst Instance, v version.ID, impl registry.Impl
 	m.instances[loid] = inst
 	m.records[loid] = &Record{LOID: loid, Version: v.Clone(), Impl: impl}
 	m.mu.Unlock()
+	m.event("instance-created", loid, v, "impl="+impl.String())
 	return nil
 }
 
@@ -162,12 +170,14 @@ func (m *Manager) Adopt(inst Instance, impl registry.ImplType) error {
 		return fmt.Errorf("adopt %s: %w", loid, err)
 	}
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if _, exists := m.records[loid]; exists {
+		m.mu.Unlock()
 		return fmt.Errorf("%w: %s", ErrDuplicateInstance, loid)
 	}
 	m.instances[loid] = inst
 	m.records[loid] = &Record{LOID: loid, Version: v.Clone(), Impl: impl}
+	m.mu.Unlock()
+	m.event("adopted", loid, v, "impl="+impl.String())
 	return nil
 }
 
@@ -177,6 +187,7 @@ func (m *Manager) Drop(loid naming.LOID) {
 	delete(m.instances, loid)
 	delete(m.records, loid)
 	m.mu.Unlock()
+	m.event("dropped", loid, version.ID{}, "")
 }
 
 // EvolveInstance evolves one managed DCDO to version v, enforcing the
@@ -195,6 +206,26 @@ func (m *Manager) EvolveInstance(loid naming.LOID, v version.ID) error {
 		return fmt.Errorf("%w: %s", ErrUnknownInstance, loid)
 	}
 
+	var sp *obs.Span
+	if tr := m.tracer(); tr != nil {
+		sp = tr.StartSpan(obs.StageMgrEvolve, obs.SpanContext{})
+		sp.Annotate("object", loid.String())
+		sp.Annotate("from", from.String())
+		sp.Annotate("to", v.String())
+	}
+	err := m.evolveInstance(sp, inst, loid, from, current, v)
+	if sp != nil {
+		sp.Fail(err)
+		sp.Finish()
+	}
+	if err == nil {
+		m.event("evolved", loid, v, "from="+from.String())
+	}
+	return err
+}
+
+// evolveInstance is the span-carrying body of EvolveInstance.
+func (m *Manager) evolveInstance(sp *obs.Span, inst Instance, loid naming.LOID, from, current version.ID, v version.ID) error {
 	input := evolution.TransitionInput{
 		From:           from,
 		To:             v,
@@ -212,7 +243,7 @@ func (m *Manager) EvolveInstance(loid naming.LOID, v version.ID) error {
 	if err != nil {
 		return err
 	}
-	if _, err := inst.Apply(desc, v); err != nil {
+	if _, err := applyInstance(sp, inst, desc, v); err != nil {
 		return fmt.Errorf("evolve %s to %s: %w", loid, v, err)
 	}
 	m.mu.Lock()

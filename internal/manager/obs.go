@@ -1,0 +1,84 @@
+package manager
+
+import (
+	"godcdo/internal/core"
+	"godcdo/internal/dfm"
+	"godcdo/internal/naming"
+	"godcdo/internal/obs"
+	"godcdo/internal/version"
+)
+
+// ctxInstance is optionally implemented by instances that can thread trace
+// context into their apply path (LocalInstance does, via
+// core.ApplyDescriptorCtx). Remote instances fall back to plain Apply — the
+// trace context for those rides the RPC envelope instead.
+type ctxInstance interface {
+	ApplyCtx(parent obs.SpanContext, target *dfm.Descriptor, v version.ID) (core.ApplyReport, error)
+}
+
+// ApplyCtx implements ctxInstance.
+func (l LocalInstance) ApplyCtx(parent obs.SpanContext, target *dfm.Descriptor, v version.ID) (core.ApplyReport, error) {
+	return l.Obj.ApplyDescriptorCtx(parent, target, v)
+}
+
+var (
+	_ obs.Configurable = (*Manager)(nil)
+	_ obs.Configurable = (*Object)(nil)
+)
+
+// SetObs implements obs.Configurable for the RPC wrapper by delegating to
+// the wrapped manager, so hosting a manager Object on an instrumented node
+// wires the manager automatically.
+func (o *Object) SetObs(ob *obs.Obs) { o.Mgr.SetObs(ob) }
+
+// SetObs wires the manager into o: evolution operations gain mgr.evolve /
+// mgr.apply spans and append structured events (version designations,
+// instance creations, adoptions, drops, evolutions) to o's event log. A nil
+// o disables both.
+func (m *Manager) SetObs(o *obs.Obs) {
+	m.obsState.Store(o)
+}
+
+// tracer returns the manager's tracer, nil when observability is off.
+func (m *Manager) tracer() *obs.Tracer {
+	return m.obsState.Load().GetTracer()
+}
+
+// event appends a structured event to the wired event log (no-op when
+// observability is off).
+func (m *Manager) event(kind string, loid naming.LOID, v version.ID, detail string) {
+	log := m.obsState.Load().GetEvents()
+	if log == nil {
+		return
+	}
+	ev := obs.Event{Kind: kind, Detail: detail}
+	if loid != (naming.LOID{}) {
+		ev.Object = loid.String()
+	}
+	if !v.IsZero() {
+		ev.Version = v.String()
+	}
+	log.Append(ev)
+}
+
+// applyInstance runs inst.Apply under a mgr.apply span parented on sp,
+// threading the span context into local instances so the object's
+// dcdo.apply span joins the same trace. With tracing off (sp nil) it is a
+// plain Apply call.
+func applyInstance(sp *obs.Span, inst Instance, desc *dfm.Descriptor, v version.ID) (core.ApplyReport, error) {
+	if sp == nil {
+		return inst.Apply(desc, v)
+	}
+	child := sp.Child(obs.StageMgrApply)
+	child.Annotate("object", inst.LOID().String())
+	var report core.ApplyReport
+	var err error
+	if ci, ok := inst.(ctxInstance); ok {
+		report, err = ci.ApplyCtx(child.Context(), desc, v)
+	} else {
+		report, err = inst.Apply(desc, v)
+	}
+	child.Fail(err)
+	child.Finish()
+	return report, err
+}

@@ -1,0 +1,33 @@
+package metrics
+
+import "sync/atomic"
+
+// Gauge is a concurrency-safe instantaneous value (queue depth, in-flight
+// requests, hosted-object count). Unlike Counter it can go down.
+type Gauge struct {
+	name string
+	v    atomic.Int64
+}
+
+// NewGauge returns a zeroed gauge with the given display name.
+func NewGauge(name string) *Gauge {
+	return &Gauge{name: name}
+}
+
+// Name returns the gauge's display name.
+func (g *Gauge) Name() string { return g.name }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds delta (which may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }

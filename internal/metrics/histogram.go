@@ -1,0 +1,140 @@
+package metrics
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of log-scale buckets a Histogram maintains:
+// bucket i (i ≥ 1) holds observations whose nanosecond value needs exactly i
+// bits, i.e. the half-open range [2^(i-1), 2^i); bucket 0 holds zeros and
+// negatives. 64 bit-lengths plus the zero bucket cover every duration.
+const histBuckets = 65
+
+// Histogram is a fixed-bucket log-scale duration histogram. Observe is one
+// atomic add per bucket plus count/sum bookkeeping — no locks, no
+// allocations — so it can sit on invoke hot paths. Quantiles are estimated
+// by linear interpolation within the containing power-of-two bucket, which
+// is accurate to well under a factor of two; that is sufficient for the
+// stage-attribution reports the obs layer produces.
+type Histogram struct {
+	name    string
+	count   atomic.Uint64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Uint64
+}
+
+// NewHistogram returns an empty histogram with the given display name.
+func NewHistogram(name string) *Histogram {
+	return &Histogram{name: name}
+}
+
+// Name returns the histogram's display name.
+func (h *Histogram) Name() string { return h.name }
+
+// Observe records one duration. Negative durations count into the zero
+// bucket (they arise only from clock steps).
+func (h *Histogram) Observe(d time.Duration) {
+	idx := 0
+	if d > 0 {
+		idx = bits.Len64(uint64(d))
+	}
+	h.buckets[idx].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the total of all observed durations.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
+// Mean returns the mean observed duration, or zero for an empty histogram.
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / int64(n))
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) of the observed
+// distribution. An empty histogram reports zero. The estimate interpolates
+// linearly inside the containing bucket.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Snapshot bucket counts first; concurrent Observes may skew count vs
+	// buckets slightly, so derive the total from the snapshot itself.
+	var counts [histBuckets]uint64
+	var total uint64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total-1)
+	var cum float64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if rank < cum+float64(c) {
+			lo, hi := bucketBounds(i)
+			frac := (rank - cum) / float64(c)
+			return lo + time.Duration(frac*float64(hi-lo))
+		}
+		cum += float64(c)
+	}
+	// Rank fell past the last populated bucket (rounding); return its upper
+	// bound.
+	for i := histBuckets - 1; i >= 0; i-- {
+		if counts[i] > 0 {
+			_, hi := bucketBounds(i)
+			return hi
+		}
+	}
+	return 0
+}
+
+// bucketBounds returns the [lo, hi) duration range of bucket i.
+func bucketBounds(i int) (lo, hi time.Duration) {
+	if i == 0 {
+		return 0, 0
+	}
+	lo = time.Duration(uint64(1) << (i - 1))
+	if i >= 64 {
+		return lo, time.Duration(^uint64(0) >> 1)
+	}
+	hi = time.Duration(uint64(1) << i)
+	return lo, hi
+}
+
+// HistogramSnapshot is a point-in-time summary of a histogram, shaped for
+// the obs layer's JSON export.
+type HistogramSnapshot struct {
+	Count uint64 `json:"count"`
+	SumNs int64  `json:"sum_ns"`
+	P50Ns int64  `json:"p50_ns"`
+	P95Ns int64  `json:"p95_ns"`
+	P99Ns int64  `json:"p99_ns"`
+}
+
+// Snapshot summarises the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	return HistogramSnapshot{
+		Count: h.count.Load(),
+		SumNs: h.sum.Load(),
+		P50Ns: int64(h.Quantile(0.50)),
+		P95Ns: int64(h.Quantile(0.95)),
+		P99Ns: int64(h.Quantile(0.99)),
+	}
+}

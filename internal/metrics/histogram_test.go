@@ -1,0 +1,213 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram("empty")
+	if h.Count() != 0 || h.Sum() != 0 || h.Mean() != 0 {
+		t.Fatalf("empty histogram not zero: count=%d sum=%v mean=%v", h.Count(), h.Sum(), h.Mean())
+	}
+	if q := h.Quantile(0.5); q != 0 {
+		t.Fatalf("Quantile on empty = %v, want 0", q)
+	}
+	snap := h.Snapshot()
+	if snap.Count != 0 || snap.P99Ns != 0 {
+		t.Fatalf("empty snapshot not zero: %+v", snap)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram("lat")
+	for i := 0; i < 1000; i++ {
+		h.Observe(100 * time.Microsecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("Count = %d, want 1000", h.Count())
+	}
+	if h.Sum() != 1000*100*time.Microsecond {
+		t.Fatalf("Sum = %v", h.Sum())
+	}
+	if h.Mean() != 100*time.Microsecond {
+		t.Fatalf("Mean = %v, want 100µs", h.Mean())
+	}
+	// All mass is in the bucket containing 100µs, i.e. [2^16, 2^17) ns.
+	// Any quantile must land inside that bucket.
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		got := h.Quantile(q)
+		if got < 65536 || got > 131072 {
+			t.Fatalf("Quantile(%v) = %v, outside the containing bucket", q, got)
+		}
+	}
+}
+
+func TestHistogramQuantileOrdering(t *testing.T) {
+	h := NewHistogram("spread")
+	// 90 fast observations, 10 slow ones: p50 must be fast-bucket, p99 slow.
+	for i := 0; i < 90; i++ {
+		h.Observe(1 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(10 * time.Millisecond)
+	}
+	p50 := h.Quantile(0.50)
+	p99 := h.Quantile(0.99)
+	if p50 > 10*time.Microsecond {
+		t.Fatalf("p50 = %v, want ~1µs", p50)
+	}
+	if p99 < time.Millisecond {
+		t.Fatalf("p99 = %v, want ~10ms", p99)
+	}
+	if p50 >= p99 {
+		t.Fatalf("quantiles not ordered: p50=%v p99=%v", p50, p99)
+	}
+}
+
+func TestHistogramZeroAndNegative(t *testing.T) {
+	h := NewHistogram("zero")
+	h.Observe(0)
+	h.Observe(-time.Second)
+	if h.Count() != 2 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if q := h.Quantile(0.5); q != 0 {
+		t.Fatalf("Quantile = %v, want 0 (zero bucket)", q)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram("conc")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(g+1) * time.Microsecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("Count = %d, want 8000", h.Count())
+	}
+}
+
+func TestBucketBounds(t *testing.T) {
+	lo, hi := bucketBounds(0)
+	if lo != 0 || hi != 0 {
+		t.Fatalf("bucket 0 bounds = [%v, %v)", lo, hi)
+	}
+	lo, hi = bucketBounds(1)
+	if lo != 1 || hi != 2 {
+		t.Fatalf("bucket 1 bounds = [%v, %v), want [1, 2)", lo, hi)
+	}
+	lo, hi = bucketBounds(10)
+	if lo != 512 || hi != 1024 {
+		t.Fatalf("bucket 10 bounds = [%v, %v), want [512, 1024)", lo, hi)
+	}
+	lo, _ = bucketBounds(64)
+	if uint64(lo) != 1<<63 {
+		t.Fatalf("bucket 64 lo = %d", lo)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	g := NewGauge("inflight")
+	if g.Name() != "inflight" {
+		t.Fatalf("Name = %q", g.Name())
+	}
+	g.Inc()
+	g.Inc()
+	g.Dec()
+	if g.Value() != 1 {
+		t.Fatalf("Value = %d, want 1", g.Value())
+	}
+	g.Add(-5)
+	if g.Value() != -4 {
+		t.Fatalf("Value = %d, want -4", g.Value())
+	}
+	g.Set(42)
+	if g.Value() != 42 {
+		t.Fatalf("Value = %d, want 42", g.Value())
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	h1 := r.Histogram("stage.bind")
+	h2 := r.Histogram("stage.bind")
+	if h1 != h2 {
+		t.Fatal("Histogram pointers not stable across calls")
+	}
+	if r.LookupHistogram("stage.bind") != h1 {
+		t.Fatal("LookupHistogram did not find the registered histogram")
+	}
+	if r.LookupHistogram("nope") != nil {
+		t.Fatal("LookupHistogram invented a histogram")
+	}
+	g1 := r.Gauge("queue")
+	g2 := r.Gauge("queue")
+	if g1 != g2 {
+		t.Fatal("Gauge pointers not stable across calls")
+	}
+}
+
+func TestRegistrySnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("stage.dispatch").Observe(time.Millisecond)
+	r.Gauge("queue").Set(3)
+	r.RegisterGaugeFunc("hosted", func() int64 { return 7 })
+	cs := NewCounterSet()
+	cs.Counter("calls").Add(9)
+	r.RegisterCounters("client", cs)
+
+	snap := r.Snapshot()
+	if snap.Histograms["stage.dispatch"].Count != 1 {
+		t.Fatalf("histogram snapshot: %+v", snap.Histograms)
+	}
+	if snap.Gauges["queue"] != 3 {
+		t.Fatalf("gauge snapshot: %+v", snap.Gauges)
+	}
+	if snap.Gauges["hosted"] != 7 {
+		t.Fatalf("gauge-func snapshot: %+v", snap.Gauges)
+	}
+	if snap.Counters["client"]["calls"] != 9 {
+		t.Fatalf("counter snapshot: %+v", snap.Counters)
+	}
+}
+
+func TestSampleQuantileCachedSort(t *testing.T) {
+	s := NewSample("q")
+	for _, d := range []time.Duration{50, 10, 40, 20, 30} {
+		s.Observe(d)
+	}
+	if got := s.Quantile(0.5); got != 30 {
+		t.Fatalf("Quantile(0.5) = %v, want 30", got)
+	}
+	// A second query must see the same sorted view.
+	if got := s.Quantile(0); got != 10 {
+		t.Fatalf("Quantile(0) = %v, want 10", got)
+	}
+	// New observations re-dirty the sort.
+	s.Observe(5)
+	if got := s.Quantile(0); got != 5 {
+		t.Fatalf("Quantile(0) after new obs = %v, want 5", got)
+	}
+	if got := NewSample("empty").Quantile(0.9); got != 0 {
+		t.Fatalf("empty Quantile = %v, want 0", got)
+	}
+}
+
+func TestQuantileClamped(t *testing.T) {
+	durs := []time.Duration{10, 20}
+	if got := quantile(durs, -1); got != 10 {
+		t.Fatalf("quantile(-1) = %v, want 10", got)
+	}
+	if got := quantile(durs, 2); got != 20 {
+		t.Fatalf("quantile(2) = %v, want 20", got)
+	}
+}

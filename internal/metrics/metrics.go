@@ -13,16 +13,20 @@ import (
 )
 
 // Sample accumulates duration observations and computes summary statistics.
-// It is safe for concurrent use.
+// It is safe for concurrent use. The observation slice is kept sorted lazily:
+// Observe marks it dirty and the first quantile query after a batch of
+// observations sorts in place once, so repeated Summarize/Quantile calls do
+// not re-sort or copy.
 type Sample struct {
-	mu   sync.Mutex
-	name string
-	durs []time.Duration
+	mu     sync.Mutex
+	name   string
+	durs   []time.Duration
+	sorted bool
 }
 
 // NewSample returns an empty sample with the given display name.
 func NewSample(name string) *Sample {
-	return &Sample{name: name}
+	return &Sample{name: name, sorted: true}
 }
 
 // Name returns the sample's display name.
@@ -32,7 +36,17 @@ func (s *Sample) Name() string { return s.name }
 func (s *Sample) Observe(d time.Duration) {
 	s.mu.Lock()
 	s.durs = append(s.durs, d)
+	s.sorted = false
 	s.mu.Unlock()
+}
+
+// ensureSortedLocked sorts the observations in place if new ones arrived
+// since the last sort. Callers must hold s.mu.
+func (s *Sample) ensureSortedLocked() {
+	if !s.sorted {
+		sort.Slice(s.durs, func(i, j int) bool { return s.durs[i] < s.durs[j] })
+		s.sorted = true
+	}
 }
 
 // Count returns the number of observations recorded so far.
@@ -54,19 +68,18 @@ type Summary struct {
 	Stddev time.Duration
 }
 
-// Summarize computes order statistics. A zero Summary is returned for an
-// empty sample.
+// Summarize computes order statistics. A zero-value Summary (apart from the
+// name) is returned for an empty sample.
 func (s *Sample) Summarize() Summary {
 	s.mu.Lock()
-	durs := make([]time.Duration, len(s.durs))
-	copy(durs, s.durs)
-	s.mu.Unlock()
+	defer s.mu.Unlock()
 
-	sum := Summary{Name: s.name, Count: len(durs)}
-	if len(durs) == 0 {
+	sum := Summary{Name: s.name, Count: len(s.durs)}
+	if len(s.durs) == 0 {
 		return sum
 	}
-	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	s.ensureSortedLocked()
+	durs := s.durs
 	sum.Min = durs[0]
 	sum.Max = durs[len(durs)-1]
 	sum.Median = quantile(durs, 0.5)
@@ -88,9 +101,27 @@ func (s *Sample) Summarize() Summary {
 	return sum
 }
 
+// Quantile returns the interpolated q-quantile (q in [0,1]) of the
+// observations, or zero for an empty sample.
+func (s *Sample) Quantile(q float64) time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.durs) == 0 {
+		return 0
+	}
+	s.ensureSortedLocked()
+	return quantile(s.durs, q)
+}
+
 func quantile(sorted []time.Duration, q float64) time.Duration {
 	if len(sorted) == 0 {
 		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
 	}
 	pos := q * float64(len(sorted)-1)
 	lo := int(math.Floor(pos))

@@ -1,0 +1,131 @@
+package metrics
+
+import "sync"
+
+// Registry is a per-node metrics namespace: histograms and gauges are
+// created on first use (stable pointers, so hot paths cache them), and
+// whole CounterSets and gauge functions maintained elsewhere (client stats,
+// dispatcher hosted-object counts) register under a name. Snapshot flattens
+// everything for the obs layer's JSON export and the harness's
+// stage-breakdown tables.
+type Registry struct {
+	mu         sync.Mutex
+	histograms map[string]*Histogram
+	gauges     map[string]*Gauge
+	gaugeFuncs map[string]func() int64
+	counters   map[string]*CounterSet
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		histograms: make(map[string]*Histogram),
+		gauges:     make(map[string]*Gauge),
+		gaugeFuncs: make(map[string]func() int64),
+		counters:   make(map[string]*CounterSet),
+	}
+}
+
+// Histogram returns the histogram registered under name, creating it on
+// first use. The returned pointer is stable: callers may cache it.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = NewHistogram(name)
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// LookupHistogram returns the named histogram or nil without creating one.
+func (r *Registry) LookupHistogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.histograms[name]
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = NewGauge(name)
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// RegisterGaugeFunc registers a callback sampled at snapshot time (for
+// values already maintained elsewhere, like a dispatcher's hosted-object
+// count). Re-registering a name replaces the previous callback.
+func (r *Registry) RegisterGaugeFunc(name string, fn func() int64) {
+	r.mu.Lock()
+	r.gaugeFuncs[name] = fn
+	r.mu.Unlock()
+}
+
+// RegisterCounters registers a CounterSet maintained elsewhere under name.
+// Re-registering a name replaces the previous set.
+func (r *Registry) RegisterCounters(name string, cs *CounterSet) {
+	r.mu.Lock()
+	r.counters[name] = cs
+	r.mu.Unlock()
+}
+
+// RegistrySnapshot is a point-in-time flattening of a registry, shaped for
+// JSON export.
+type RegistrySnapshot struct {
+	Counters   map[string]map[string]uint64 `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot flattens the registry. Gauge functions are invoked on the
+// calling goroutine and must be fast and safe for concurrent use.
+func (r *Registry) Snapshot() RegistrySnapshot {
+	r.mu.Lock()
+	hists := make(map[string]*Histogram, len(r.histograms))
+	for name, h := range r.histograms {
+		hists[name] = h
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for name, g := range r.gauges {
+		gauges[name] = g
+	}
+	gaugeFuncs := make(map[string]func() int64, len(r.gaugeFuncs))
+	for name, fn := range r.gaugeFuncs {
+		gaugeFuncs[name] = fn
+	}
+	counters := make(map[string]*CounterSet, len(r.counters))
+	for name, cs := range r.counters {
+		counters[name] = cs
+	}
+	r.mu.Unlock()
+
+	snap := RegistrySnapshot{
+		Counters:   make(map[string]map[string]uint64, len(counters)),
+		Gauges:     make(map[string]int64, len(gauges)+len(gaugeFuncs)),
+		Histograms: make(map[string]HistogramSnapshot, len(hists)),
+	}
+	for name, h := range hists {
+		snap.Histograms[name] = h.Snapshot()
+	}
+	for name, g := range gauges {
+		snap.Gauges[name] = g.Value()
+	}
+	for name, fn := range gaugeFuncs {
+		snap.Gauges[name] = fn()
+	}
+	for name, cs := range counters {
+		vals := cs.Snapshot()
+		m := make(map[string]uint64, len(vals))
+		for _, cv := range vals {
+			m[cv.Name] = cv.Value
+		}
+		snap.Counters[name] = m
+	}
+	return snap
+}

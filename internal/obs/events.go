@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Event is one structured evolution/reconfiguration record: who
+// incorporated/enabled/disabled/removed what, when, and which version
+// resulted. Events come from core.DCDO's observer stream and from the
+// manager's own operations.
+type Event struct {
+	Seq       uint64    `json:"seq"`
+	Time      time.Time `json:"time"`
+	Kind      string    `json:"kind"`
+	Object    string    `json:"object,omitempty"`
+	Component string    `json:"component,omitempty"`
+	Function  string    `json:"function,omitempty"`
+	Version   string    `json:"version,omitempty"`
+	Detail    string    `json:"detail,omitempty"`
+}
+
+// EventLog is a fixed-size ring of Events. A nil *EventLog is the disabled
+// state: Append and Recent are no-ops.
+type EventLog struct {
+	mu   sync.Mutex
+	seq  uint64
+	ring []Event
+	head int
+	size int
+}
+
+// DefaultEventLogSize is how many events a log retains.
+const DefaultEventLogSize = 1024
+
+// NewEventLog returns a log retaining the last ringSize events
+// (DefaultEventLogSize if ringSize <= 0).
+func NewEventLog(ringSize int) *EventLog {
+	if ringSize <= 0 {
+		ringSize = DefaultEventLogSize
+	}
+	return &EventLog{ring: make([]Event, ringSize)}
+}
+
+// Append records ev, stamping its sequence number and (if unset) its time.
+// Nil-safe.
+func (l *EventLog) Append(ev Event) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.seq++
+	ev.Seq = l.seq
+	if ev.Time.IsZero() {
+		ev.Time = time.Now()
+	}
+	l.ring[l.head] = ev
+	l.head = (l.head + 1) % len(l.ring)
+	if l.size < len(l.ring) {
+		l.size++
+	}
+	l.mu.Unlock()
+}
+
+// Recent returns up to limit of the most recent events, oldest first (all
+// retained events if limit <= 0). Nil-safe.
+func (l *EventLog) Recent(limit int) []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := l.size
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	out := make([]Event, 0, n)
+	start := l.head - n
+	if start < 0 {
+		start += len(l.ring)
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, l.ring[(start+i)%len(l.ring)])
+	}
+	return out
+}
+
+// Len returns the number of retained events. Nil-safe.
+func (l *EventLog) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// Handler returns an http.Handler serving the node's observability state:
+//
+//	/debug/obs         — full JSON snapshot (metrics + recent spans + events)
+//	/debug/obs/spans   — recent spans, ?trace=<id> filters to one trace,
+//	                     ?limit=<n> bounds the count
+//	/debug/obs/events  — recent evolution events, ?limit=<n> bounds the count
+//
+// The handler is nil-safe on a nil Obs (it serves empty snapshots), so
+// cmd/dcdo-node can register it unconditionally.
+func (o *Obs) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/obs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, o.Snapshot(SnapshotLimits{Spans: 256, Events: 256}))
+	})
+	mux.HandleFunc("/debug/obs/spans", func(w http.ResponseWriter, r *http.Request) {
+		limit := queryInt(r, "limit", 256)
+		var spans []SpanRecord
+		if tid := queryUint64(r, "trace"); tid != 0 {
+			spans = o.GetTracer().Trace(tid)
+		} else {
+			spans = o.GetTracer().Recent(limit)
+		}
+		if spans == nil {
+			spans = []SpanRecord{}
+		}
+		writeJSON(w, spans)
+	})
+	mux.HandleFunc("/debug/obs/events", func(w http.ResponseWriter, r *http.Request) {
+		events := o.GetEvents().Recent(queryInt(r, "limit", 256))
+		if events == nil {
+			events = []Event{}
+		}
+		writeJSON(w, events)
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func queryInt(r *http.Request, key string, def int) int {
+	s := r.URL.Query().Get(key)
+	if s == "" {
+		return def
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n <= 0 {
+		return def
+	}
+	return n
+}
+
+func queryUint64(r *http.Request, key string) uint64 {
+	s := r.URL.Query().Get(key)
+	if s == "" {
+		return 0
+	}
+	n, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
+}

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"encoding/json"
+	"time"
+
+	"godcdo/internal/metrics"
+)
+
+// Obs bundles the node-wide observability surfaces: a metrics registry, a
+// tracer, and an evolution-event log. A nil *Obs disables everything; the
+// accessors below are nil-safe so call sites hold one optional pointer.
+type Obs struct {
+	Metrics *metrics.Registry
+	Tracer  *Tracer
+	Events  *EventLog
+}
+
+// New returns an Obs with tracing, events, and metrics all enabled at
+// default ring sizes.
+func New() *Obs {
+	return &Obs{
+		Metrics: metrics.NewRegistry(),
+		Tracer:  NewTracer(0),
+		Events:  NewEventLog(0),
+	}
+}
+
+// NewMetricsOnly returns an Obs that collects metrics and events but does
+// not trace — the shape harness experiments use, since per-call span
+// recording would perturb timing sweeps.
+func NewMetricsOnly() *Obs {
+	return &Obs{
+		Metrics: metrics.NewRegistry(),
+		Events:  NewEventLog(0),
+	}
+}
+
+// GetTracer returns the tracer, or nil when o is nil. Nil-safe.
+func (o *Obs) GetTracer() *Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.Tracer
+}
+
+// GetMetrics returns the registry, or nil when o is nil. Nil-safe.
+func (o *Obs) GetMetrics() *metrics.Registry {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics
+}
+
+// GetEvents returns the event log, or nil when o is nil. Nil-safe.
+func (o *Obs) GetEvents() *EventLog {
+	if o == nil {
+		return nil
+	}
+	return o.Events
+}
+
+// Configurable is implemented by hosted objects (and other components) that
+// accept an Obs handle after construction; legion.Node.HostObject auto-wires
+// them.
+type Configurable interface {
+	SetObs(*Obs)
+}
+
+// Snapshot is the expvar-style JSON view of a node's observability state,
+// served at /debug/obs and over the obs RPC service.
+type Snapshot struct {
+	Time    time.Time                `json:"time"`
+	Metrics metrics.RegistrySnapshot `json:"metrics"`
+	Spans   []SpanRecord             `json:"spans,omitempty"`
+	Events  []Event                  `json:"events,omitempty"`
+}
+
+// SnapshotLimits bounds how much span/event history a snapshot carries.
+type SnapshotLimits struct {
+	Spans  int
+	Events int
+}
+
+// Snapshot captures the current state. Nil-safe: a nil Obs yields a zero
+// snapshot (stamped with the current time).
+func (o *Obs) Snapshot(lim SnapshotLimits) Snapshot {
+	snap := Snapshot{Time: time.Now()}
+	if o == nil {
+		return snap
+	}
+	if o.Metrics != nil {
+		snap.Metrics = o.Metrics.Snapshot()
+	}
+	snap.Spans = o.Tracer.Recent(lim.Spans)
+	snap.Events = o.Events.Recent(lim.Events)
+	return snap
+}
+
+// SnapshotJSON renders a snapshot as indented JSON.
+func (o *Obs) SnapshotJSON(lim SnapshotLimits) ([]byte, error) {
+	return json.MarshalIndent(o.Snapshot(lim), "", "  ")
+}

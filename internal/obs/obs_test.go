@@ -1,0 +1,239 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestNilTracerAndSpanAreNoOps(t *testing.T) {
+	var tr *Tracer
+	sp := tr.StartSpan(StageClientInvoke, SpanContext{})
+	if sp != nil {
+		t.Fatal("nil tracer produced a span")
+	}
+	// Every method must be callable on the nil span.
+	sp.Annotate("k", "v")
+	sp.Fail(errors.New("boom"))
+	child := sp.Child(StageClientBind)
+	if child != nil {
+		t.Fatal("nil span produced a child")
+	}
+	if ctx := sp.Context(); ctx.Valid() {
+		t.Fatal("nil span has a valid context")
+	}
+	sp.Finish()
+	if got := tr.Recent(10); got != nil {
+		t.Fatalf("nil tracer Recent = %v", got)
+	}
+	if got := tr.Trace(1); got != nil {
+		t.Fatalf("nil tracer Trace = %v", got)
+	}
+}
+
+func TestSpanParentLinks(t *testing.T) {
+	tr := NewTracer(16)
+	root := tr.StartSpan(StageClientInvoke, SpanContext{})
+	if !root.Context().Valid() {
+		t.Fatal("root context invalid")
+	}
+	child := root.Child(StageClientBind)
+	grand := child.Child(StageClientAttempt)
+	if child.Context().TraceID != root.Context().TraceID {
+		t.Fatal("child left the trace")
+	}
+	if grand.Context().TraceID != root.Context().TraceID {
+		t.Fatal("grandchild left the trace")
+	}
+	grand.Finish()
+	child.Finish()
+	root.Fail(errors.New("late failure"))
+	root.Finish()
+	root.Finish() // double-finish records once
+
+	recs := tr.Trace(root.Context().TraceID)
+	if len(recs) != 3 {
+		t.Fatalf("got %d spans in trace, want 3", len(recs))
+	}
+	byID := make(map[uint64]SpanRecord)
+	for _, r := range recs {
+		byID[r.SpanID] = r
+	}
+	g := byID[grand.Context().SpanID]
+	c := byID[child.Context().SpanID]
+	r := byID[root.Context().SpanID]
+	if g.ParentID != c.SpanID {
+		t.Fatalf("grandchild parent = %d, want %d", g.ParentID, c.SpanID)
+	}
+	if c.ParentID != r.SpanID {
+		t.Fatalf("child parent = %d, want %d", c.ParentID, r.SpanID)
+	}
+	if r.ParentID != 0 {
+		t.Fatalf("root parent = %d, want 0", r.ParentID)
+	}
+	if r.Err != "late failure" {
+		t.Fatalf("root err = %q", r.Err)
+	}
+}
+
+func TestSpanJoinsRemoteParent(t *testing.T) {
+	// Simulates the wire: a server-side tracer adopts a client-side context.
+	client := NewTracer(16)
+	server := NewTracer(16)
+	cs := client.StartSpan(StageClientAttempt, SpanContext{})
+	remote := SpanContext{TraceID: cs.Context().TraceID, SpanID: cs.Context().SpanID}
+	ss := server.StartSpan(StageServerDispatch, remote)
+	ss.Finish()
+	cs.Finish()
+	recs := server.Trace(cs.Context().TraceID)
+	if len(recs) != 1 {
+		t.Fatalf("server trace has %d spans, want 1", len(recs))
+	}
+	if recs[0].ParentID != cs.Context().SpanID {
+		t.Fatalf("server span parent = %d, want client span %d", recs[0].ParentID, cs.Context().SpanID)
+	}
+}
+
+func TestTracerRingEviction(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.StartSpan(StageDCDOFunc, SpanContext{}).Finish()
+	}
+	recs := tr.Recent(0)
+	if len(recs) != 4 {
+		t.Fatalf("ring retained %d, want 4", len(recs))
+	}
+	if got := tr.Recent(2); len(got) != 2 {
+		t.Fatalf("Recent(2) returned %d", len(got))
+	}
+	// Recent must be oldest-first.
+	if !recs[0].Start.Before(recs[3].Start) && !recs[0].Start.Equal(recs[3].Start) {
+		t.Fatal("Recent not oldest-first")
+	}
+}
+
+func TestSpanAnnotations(t *testing.T) {
+	tr := NewTracer(4)
+	sp := tr.StartSpan(StageClientInvoke, SpanContext{})
+	sp.Annotate("loid", "1.2.3")
+	sp.Annotate("method", "leaf0")
+	sp.Finish()
+	recs := tr.Recent(1)
+	if len(recs) != 1 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	if recs[0].Annots["loid"] != "1.2.3" || recs[0].Annots["method"] != "leaf0" {
+		t.Fatalf("annotations = %v", recs[0].Annots)
+	}
+}
+
+func TestEventLog(t *testing.T) {
+	var nilLog *EventLog
+	nilLog.Append(Event{Kind: "x"}) // must not panic
+	if nilLog.Recent(5) != nil || nilLog.Len() != 0 {
+		t.Fatal("nil log not empty")
+	}
+
+	l := NewEventLog(4)
+	for i := 0; i < 6; i++ {
+		l.Append(Event{Kind: "enabled", Function: "f"})
+	}
+	evs := l.Recent(0)
+	if len(evs) != 4 {
+		t.Fatalf("retained %d, want 4", len(evs))
+	}
+	// Sequence numbers keep counting across eviction, oldest first.
+	if evs[0].Seq != 3 || evs[3].Seq != 6 {
+		t.Fatalf("seqs = %d..%d, want 3..6", evs[0].Seq, evs[3].Seq)
+	}
+	if evs[0].Time.IsZero() {
+		t.Fatal("event time not stamped")
+	}
+	if got := l.Recent(2); len(got) != 2 || got[1].Seq != 6 {
+		t.Fatalf("Recent(2) = %+v", got)
+	}
+}
+
+func TestObsNilSafety(t *testing.T) {
+	var o *Obs
+	if o.GetTracer() != nil || o.GetMetrics() != nil || o.GetEvents() != nil {
+		t.Fatal("nil Obs accessors not nil")
+	}
+	snap := o.Snapshot(SnapshotLimits{Spans: 10, Events: 10})
+	if len(snap.Spans) != 0 || len(snap.Events) != 0 {
+		t.Fatalf("nil Obs snapshot not empty: %+v", snap)
+	}
+	if snap.Time.IsZero() {
+		t.Fatal("snapshot time not stamped")
+	}
+}
+
+func TestObsSnapshotJSON(t *testing.T) {
+	o := New()
+	o.Metrics.Histogram("stage.bind").Observe(time.Millisecond)
+	o.Tracer.StartSpan(StageClientInvoke, SpanContext{}).Finish()
+	o.Events.Append(Event{Kind: "incorporated", Component: "c1"})
+	data, err := o.SnapshotJSON(SnapshotLimits{Spans: 10, Events: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+	if snap.Metrics.Histograms["stage.bind"].Count != 1 {
+		t.Fatalf("metrics missing from snapshot: %s", data)
+	}
+	if len(snap.Spans) != 1 || len(snap.Events) != 1 {
+		t.Fatalf("spans/events missing from snapshot: %s", data)
+	}
+}
+
+func TestHTTPHandler(t *testing.T) {
+	o := New()
+	sp := o.Tracer.StartSpan(StageServerDispatch, SpanContext{})
+	sp.Finish()
+	o.Tracer.StartSpan(StageClientInvoke, SpanContext{}).Finish()
+	o.Events.Append(Event{Kind: "disabled", Function: "g"})
+
+	srv := httptest.NewServer(o.Handler())
+	defer srv.Close()
+
+	var snap Snapshot
+	getJSON(t, srv.URL+"/debug/obs", &snap)
+	if len(snap.Spans) != 2 || len(snap.Events) != 1 {
+		t.Fatalf("/debug/obs: %d spans, %d events", len(snap.Spans), len(snap.Events))
+	}
+
+	var spans []SpanRecord
+	getJSON(t, srv.URL+"/debug/obs/spans?limit=1", &spans)
+	if len(spans) != 1 {
+		t.Fatalf("/debug/obs/spans?limit=1 returned %d", len(spans))
+	}
+	spans = nil
+	getJSON(t, srv.URL+"/debug/obs/spans?trace="+uitoa(sp.Context().TraceID), &spans)
+	if len(spans) != 1 || spans[0].Stage != StageServerDispatch {
+		t.Fatalf("trace filter: %+v", spans)
+	}
+
+	var events []Event
+	getJSON(t, srv.URL+"/debug/obs/events", &events)
+	if len(events) != 1 || events[0].Kind != "disabled" {
+		t.Fatalf("/debug/obs/events: %+v", events)
+	}
+}
+
+func TestHTTPHandlerNilObs(t *testing.T) {
+	var o *Obs
+	srv := httptest.NewServer(o.Handler())
+	defer srv.Close()
+	var spans []SpanRecord
+	getJSON(t, srv.URL+"/debug/obs/spans", &spans)
+	if len(spans) != 0 {
+		t.Fatalf("nil obs spans: %+v", spans)
+	}
+	var snap Snapshot
+	getJSON(t, srv.URL+"/debug/obs", &snap)
+}

@@ -1,0 +1,245 @@
+// Package obs is the runtime's observability layer: a dependency-free
+// tracer, a structured evolution-event log, and a per-node metrics registry,
+// bundled into an Obs handle that the rpc, core, manager, and legion layers
+// accept optionally. Every entry point is nil-safe — a nil *Tracer returns
+// nil *Span, and every *Span method is a no-op on a nil receiver — so
+// instrumented code pays one pointer compare, and zero allocations, when
+// observability is disabled.
+package obs
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stage names used across the runtime. Spans are labelled with these so
+// harness reports and the ctl `trace` subcommand can attribute latency to a
+// fixed taxonomy (see DESIGN.md "Observability").
+const (
+	StageClientInvoke   = "client.invoke"   // whole client-side Invoke, incl. retries
+	StageClientBind     = "client.bind"     // naming cache resolve / agent lookup
+	StageClientAttempt  = "client.attempt"  // one transport round trip
+	StageClientBackoff  = "client.backoff"  // sleep between retries
+	StageClientRebind   = "client.rebind"   // binding invalidation + re-resolve
+	StageServerDispatch = "server.dispatch" // rpc.Dispatcher.Handle
+	StageDCDOControl    = "dcdo.control"    // dcdo.* control-plane method
+	StageDCDOResolve    = "dcdo.resolve"    // dfm.BeginExportedCall resolution
+	StageDCDOFunc       = "dcdo.func"       // user function execution
+	StageDCDOApply      = "dcdo.apply"      // core.ApplyDescriptor evolution
+	StageMgrEvolve      = "mgr.evolve"      // manager EvolveInstance
+	StageMgrApply       = "mgr.apply"       // manager applying descriptor to one instance
+)
+
+// SpanContext identifies a position in a trace; it is what crosses the wire
+// (as the envelope's trace metadata) and what parents a child span. The zero
+// value means "no trace".
+type SpanContext struct {
+	TraceID uint64
+	SpanID  uint64
+}
+
+// Valid reports whether the context belongs to a trace.
+func (c SpanContext) Valid() bool { return c.TraceID != 0 }
+
+// SpanRecord is the immutable, exported form of a finished (or in-flight)
+// span, as stored in the tracer's ring and serialised by /debug/obs.
+type SpanRecord struct {
+	TraceID  uint64            `json:"trace_id"`
+	SpanID   uint64            `json:"span_id"`
+	ParentID uint64            `json:"parent_id,omitempty"`
+	Stage    string            `json:"stage"`
+	Start    time.Time         `json:"start"`
+	Duration time.Duration     `json:"duration_ns"`
+	Err      string            `json:"err,omitempty"`
+	Annots   map[string]string `json:"annotations,omitempty"`
+}
+
+// Span is one timed stage within a trace. Spans are created by
+// Tracer.StartSpan or Span.Child and recorded into the tracer's ring by
+// Finish. All methods are safe on a nil receiver, so call sites can thread a
+// possibly-nil span without branching.
+type Span struct {
+	tracer *Tracer
+	ctx    SpanContext
+	parent uint64
+	stage  string
+	start  time.Time
+	mu     sync.Mutex
+	err    string
+	annots map[string]string
+	done   bool
+}
+
+// Tracer mints trace/span IDs and keeps a fixed-size ring of recently
+// finished spans. A nil *Tracer is the disabled state: StartSpan returns
+// nil and the caller's instrumentation collapses to a pointer compare.
+type Tracer struct {
+	next atomic.Uint64 // ID allocator; seeded randomly so nodes don't collide
+	mu   sync.Mutex
+	ring []SpanRecord
+	head int
+	size int
+}
+
+// DefaultRingSize is how many finished spans a tracer retains.
+const DefaultRingSize = 4096
+
+// NewTracer returns a tracer retaining the last ringSize finished spans
+// (DefaultRingSize if ringSize <= 0).
+func NewTracer(ringSize int) *Tracer {
+	if ringSize <= 0 {
+		ringSize = DefaultRingSize
+	}
+	t := &Tracer{ring: make([]SpanRecord, ringSize)}
+	// Random base offset keeps span/trace IDs from distinct node-local
+	// tracers from colliding when their spans are merged into one trace.
+	t.next.Store(rand.Uint64() | 1)
+	return t
+}
+
+// nextID returns a fresh nonzero ID.
+func (t *Tracer) nextID() uint64 {
+	for {
+		id := t.next.Add(1)
+		if id != 0 {
+			return id
+		}
+	}
+}
+
+// StartSpan begins a span for the given stage. If parent is valid the span
+// joins that trace with a parent link; otherwise it roots a new trace. A nil
+// tracer returns nil.
+func (t *Tracer) StartSpan(stage string, parent SpanContext) *Span {
+	if t == nil {
+		return nil
+	}
+	sp := &Span{tracer: t, stage: stage, start: time.Now()}
+	sp.ctx.SpanID = t.nextID()
+	if parent.Valid() {
+		sp.ctx.TraceID = parent.TraceID
+		sp.parent = parent.SpanID
+	} else {
+		sp.ctx.TraceID = t.nextID()
+	}
+	return sp
+}
+
+// Child begins a sub-span of sp for the given stage. Nil-safe.
+func (sp *Span) Child(stage string) *Span {
+	if sp == nil {
+		return nil
+	}
+	return sp.tracer.StartSpan(stage, sp.ctx)
+}
+
+// Context returns the span's trace position (zero for a nil span).
+func (sp *Span) Context() SpanContext {
+	if sp == nil {
+		return SpanContext{}
+	}
+	return sp.ctx
+}
+
+// Annotate attaches a key/value annotation. Nil-safe; callers should guard
+// expensive value construction with `if sp != nil` themselves.
+func (sp *Span) Annotate(key, value string) {
+	if sp == nil {
+		return
+	}
+	sp.mu.Lock()
+	if sp.annots == nil {
+		sp.annots = make(map[string]string, 4)
+	}
+	sp.annots[key] = value
+	sp.mu.Unlock()
+}
+
+// Fail records err on the span (no-op for nil span or nil error).
+func (sp *Span) Fail(err error) {
+	if sp == nil || err == nil {
+		return
+	}
+	sp.mu.Lock()
+	sp.err = err.Error()
+	sp.mu.Unlock()
+}
+
+// Finish stamps the duration and records the span into the tracer's ring.
+// Finishing twice records once. Nil-safe.
+func (sp *Span) Finish() {
+	if sp == nil {
+		return
+	}
+	sp.mu.Lock()
+	if sp.done {
+		sp.mu.Unlock()
+		return
+	}
+	sp.done = true
+	rec := SpanRecord{
+		TraceID:  sp.ctx.TraceID,
+		SpanID:   sp.ctx.SpanID,
+		ParentID: sp.parent,
+		Stage:    sp.stage,
+		Start:    sp.start,
+		Duration: time.Since(sp.start),
+		Err:      sp.err,
+		Annots:   sp.annots,
+	}
+	sp.mu.Unlock()
+	sp.tracer.record(rec)
+}
+
+// record appends rec to the ring, evicting the oldest entry when full.
+func (t *Tracer) record(rec SpanRecord) {
+	t.mu.Lock()
+	t.ring[t.head] = rec
+	t.head = (t.head + 1) % len(t.ring)
+	if t.size < len(t.ring) {
+		t.size++
+	}
+	t.mu.Unlock()
+}
+
+// Recent returns up to limit of the most recently finished spans, oldest
+// first (all retained spans if limit <= 0). Nil-safe: a nil tracer returns
+// nil.
+func (t *Tracer) Recent(limit int) []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.size
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	out := make([]SpanRecord, 0, n)
+	// Oldest retained entry sits at head-size (mod len); walk forward,
+	// skipping to the last n.
+	start := t.head - n
+	if start < 0 {
+		start += len(t.ring)
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, t.ring[(start+i)%len(t.ring)])
+	}
+	return out
+}
+
+// Trace returns every retained span belonging to traceID, oldest first.
+func (t *Tracer) Trace(traceID uint64) []SpanRecord {
+	if t == nil || traceID == 0 {
+		return nil
+	}
+	var out []SpanRecord
+	for _, rec := range t.Recent(0) {
+		if rec.TraceID == traceID {
+			out = append(out, rec)
+		}
+	}
+	return out
+}

@@ -9,6 +9,7 @@ import (
 
 	"godcdo/internal/metrics"
 	"godcdo/internal/naming"
+	"godcdo/internal/obs"
 	"godcdo/internal/transport"
 	"godcdo/internal/wire"
 )
@@ -167,6 +168,17 @@ type Client struct {
 	// Latency, when non-nil, records the end-to-end duration of each
 	// successful call (including retries and backoffs).
 	Latency *metrics.Sample
+	// Tracer, when non-nil, roots one trace per call: a client.invoke span
+	// with child spans for each bind, attempt, backoff, and rebind, and the
+	// attempt's context propagated in the request envelope so server-side
+	// spans join the same trace. Nil (the default) costs one pointer compare
+	// and nothing else.
+	Tracer *obs.Tracer
+
+	// Per-stage histograms, installed by ObserveStages. Nil when stage
+	// metering is off.
+	histBind   *metrics.Histogram
+	histInvoke *metrics.Histogram
 
 	counters *metrics.CounterSet
 	cCalls   *metrics.Counter
@@ -221,6 +233,18 @@ func (c *Client) Stats() ClientStats {
 // Metrics exposes the client's counters for report rendering.
 func (c *Client) Metrics() *metrics.CounterSet { return c.counters }
 
+// ObserveStages installs per-stage latency histograms from reg: client.bind
+// times each binding resolution and client.invoke times each successful
+// end-to-end call. A nil registry turns stage metering off.
+func (c *Client) ObserveStages(reg *metrics.Registry) {
+	if reg == nil {
+		c.histBind, c.histInvoke = nil, nil
+		return
+	}
+	c.histBind = reg.Histogram(obs.StageClientBind)
+	c.histInvoke = reg.Histogram(obs.StageClientInvoke)
+}
+
 // Invoke calls the named exported function on the object loid with the given
 // argument payload and returns the result payload. The function is treated
 // as non-idempotent: an ambiguous failure (lost response, timeout after the
@@ -244,6 +268,25 @@ func (c *Client) InvokeIdempotent(loid naming.LOID, method string, args []byte) 
 }
 
 func (c *Client) invoke(loid naming.LOID, method string, args []byte, idempotent bool) ([]byte, error) {
+	if c.Tracer == nil {
+		// Fast path: untraced calls must not pay a single allocation for the
+		// obs layer (BenchmarkInvokeTracingOff gates this).
+		return c.invokeInner(loid, method, args, idempotent, nil)
+	}
+	root := c.Tracer.StartSpan(obs.StageClientInvoke, obs.SpanContext{})
+	root.Annotate("loid", loid.String())
+	root.Annotate("method", method)
+	result, err := c.invokeInner(loid, method, args, idempotent, root)
+	root.Fail(err)
+	root.Finish()
+	return result, err
+}
+
+// invokeInner runs the retry/rebind loop. root is the call's client.invoke
+// span, or nil when tracing is off; every span- or histogram-touching
+// statement is guarded so the nil/nil configuration executes exactly the
+// seed instruction sequence.
+func (c *Client) invokeInner(loid naming.LOID, method string, args []byte, idempotent bool, root *obs.Span) ([]byte, error) {
 	p := c.Retry.normalized()
 	c.cCalls.Inc()
 	start := time.Now()
@@ -256,7 +299,22 @@ func (c *Client) invoke(loid naming.LOID, method string, args []byte, idempotent
 
 loop:
 	for {
+		var bindStart time.Time
+		if c.histBind != nil {
+			bindStart = time.Now()
+		}
+		var bindSpan *obs.Span
+		if root != nil {
+			bindSpan = root.Child(obs.StageClientBind)
+		}
 		binding, err := c.cache.Resolve(loid)
+		if bindSpan != nil {
+			bindSpan.Fail(err)
+			bindSpan.Finish()
+		}
+		if c.histBind != nil {
+			c.histBind.Observe(time.Since(bindStart))
+		}
 		if err != nil {
 			c.cErrors.Inc()
 			return nil, fmt.Errorf("resolve %s: %w", loid, err)
@@ -275,7 +333,12 @@ loop:
 			c.rngMu.Unlock()
 			if delay := p.backoff(backoffs, rnd); delay > 0 {
 				c.cBackoff.Inc()
+				var boSpan *obs.Span
+				if root != nil {
+					boSpan = root.Child(obs.StageClientBackoff)
+				}
 				time.Sleep(delay)
+				boSpan.Finish()
 			}
 			backoffs++
 		}
@@ -298,7 +361,21 @@ loop:
 			Method:  method,
 			Payload: args,
 		}
+		var attSpan *obs.Span
+		if root != nil {
+			// The attempt span is the parent of the server's dispatch span:
+			// its context rides in the envelope's metadata section.
+			attSpan = root.Child(obs.StageClientAttempt)
+			attSpan.Annotate("endpoint", endpoint)
+			ctx := attSpan.Context()
+			req.TraceID = ctx.TraceID
+			req.SpanID = ctx.SpanID
+		}
 		resp, err := c.dialer.Call(endpoint, req, timeout)
+		if attSpan != nil {
+			attSpan.Fail(err)
+			attSpan.Finish()
+		}
 		if err != nil {
 			lastErr = err
 			switch transport.Classify(err) {
@@ -322,6 +399,7 @@ loop:
 			// The endpoint is gone or wedged: the cached binding is suspect.
 			if c.cache.InvalidateEndpoint(loid, endpoint) {
 				c.cRebinds.Inc()
+				markRebind(root, endpoint, "transport failure")
 			}
 			lastFailedEndpoint = endpoint
 			c.cRetries.Inc()
@@ -333,6 +411,9 @@ loop:
 			if c.Latency != nil {
 				c.Latency.Observe(time.Since(start))
 			}
+			if c.histInvoke != nil {
+				c.histInvoke.Observe(time.Since(start))
+			}
 			return resp.Payload, nil
 		case wire.KindError:
 			remote := &RemoteError{Code: resp.Code, Message: resp.ErrorMsg}
@@ -343,6 +424,7 @@ loop:
 				lastErr = remote
 				if c.cache.InvalidateEndpoint(loid, endpoint) {
 					c.cRebinds.Inc()
+					markRebind(root, endpoint, "stale binding")
 				}
 				rebinds++
 				if rebinds > p.MaxRebinds {
@@ -365,6 +447,18 @@ loop:
 	}
 	return nil, fmt.Errorf("invoke %s.%s after %d attempts and %d rebinds: %w",
 		loid, method, attemptFailures+rebinds+1, rebinds, lastErr)
+}
+
+// markRebind records a zero-length client.rebind marker span under root
+// (no-op when tracing is off — root nil).
+func markRebind(root *obs.Span, endpoint, cause string) {
+	if root == nil {
+		return
+	}
+	sp := root.Child(obs.StageClientRebind)
+	sp.Annotate("endpoint", endpoint)
+	sp.Annotate("cause", cause)
+	sp.Finish()
 }
 
 // joinErr wraps primary while preserving secondary in the message (the

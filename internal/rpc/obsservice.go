@@ -1,0 +1,176 @@
+package rpc
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"godcdo/internal/naming"
+	"godcdo/internal/obs"
+	"godcdo/internal/transport"
+	"godcdo/internal/wire"
+)
+
+// The observability surface is itself an object, mirroring how binding
+// agents are objects: ObsService exposes a node's obs.Obs as an rpc.Object
+// hosted at a well-known infrastructure LOID, and ObsClient is the
+// direct-dial proxy dcdo-ctl's `trace` subcommand uses. Payloads are JSON —
+// the data already has JSON shapes for /debug/obs, and the trace/metrics
+// path is nowhere near the invoke hot path.
+
+// Remotely callable observability methods.
+const (
+	MethodObsSnapshot = "obs.snapshot"
+	MethodObsSpans    = "obs.spans"
+	MethodObsEvents   = "obs.events"
+)
+
+// ObsLOID is the well-known LOID a node's observability service is hosted
+// at (domain 0 is reserved for infrastructure objects; the binding agent
+// holds instance 1).
+var ObsLOID = naming.LOID{Domain: 0, Class: 1, Instance: 2}
+
+// obsQuery parameterises obs.spans requests.
+type obsQuery struct {
+	TraceID uint64 `json:"trace_id,omitempty"`
+	Limit   int    `json:"limit,omitempty"`
+}
+
+// ObsService wraps a node's observability state as a hosted object. It is
+// hosted directly on the node's dispatcher (not registered with the binding
+// agent): every node has one at the same LOID, so callers address a node by
+// endpoint, never by name.
+type ObsService struct {
+	Obs *obs.Obs
+}
+
+var _ Object = (*ObsService)(nil)
+
+// InvokeMethod implements Object.
+func (s *ObsService) InvokeMethod(method string, args []byte) ([]byte, error) {
+	switch method {
+	case MethodObsSnapshot:
+		return json.Marshal(s.Obs.Snapshot(obs.SnapshotLimits{Spans: 256, Events: 256}))
+
+	case MethodObsSpans:
+		var q obsQuery
+		if len(args) > 0 {
+			if err := json.Unmarshal(args, &q); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+			}
+		}
+		if q.Limit <= 0 {
+			q.Limit = 256
+		}
+		var spans []obs.SpanRecord
+		if q.TraceID != 0 {
+			spans = s.Obs.GetTracer().Trace(q.TraceID)
+		} else {
+			spans = s.Obs.GetTracer().Recent(q.Limit)
+		}
+		if spans == nil {
+			spans = []obs.SpanRecord{}
+		}
+		return json.Marshal(spans)
+
+	case MethodObsEvents:
+		var q obsQuery
+		if len(args) > 0 {
+			if err := json.Unmarshal(args, &q); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+			}
+		}
+		if q.Limit <= 0 {
+			q.Limit = 256
+		}
+		events := s.Obs.GetEvents().Recent(q.Limit)
+		if events == nil {
+			events = []obs.Event{}
+		}
+		return json.Marshal(events)
+
+	default:
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchFunction, method)
+	}
+}
+
+// ObsClient fetches observability state from the ObsService at a specific
+// node endpoint.
+type ObsClient struct {
+	// Dialer reaches the node.
+	Dialer transport.Dialer
+	// Endpoint is the node's dialable endpoint.
+	Endpoint string
+	// Timeout bounds each call. Zero means 5 s.
+	Timeout time.Duration
+}
+
+func (c *ObsClient) call(method string, payload []byte) ([]byte, error) {
+	timeout := c.Timeout
+	if timeout == 0 {
+		timeout = 5 * time.Second
+	}
+	req := &wire.Envelope{
+		Kind:    wire.KindRequest,
+		Target:  ObsLOID.String(),
+		Method:  method,
+		Payload: payload,
+	}
+	resp, err := c.Dialer.Call(c.Endpoint, req, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("obs service at %s: %w", c.Endpoint, err)
+	}
+	if resp.Kind == wire.KindError {
+		return nil, &RemoteError{Code: resp.Code, Message: resp.ErrorMsg}
+	}
+	return resp.Payload, nil
+}
+
+// Snapshot fetches the node's full observability snapshot.
+func (c *ObsClient) Snapshot() (obs.Snapshot, error) {
+	payload, err := c.call(MethodObsSnapshot, nil)
+	if err != nil {
+		return obs.Snapshot{}, err
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(payload, &snap); err != nil {
+		return obs.Snapshot{}, fmt.Errorf("obs service: corrupt snapshot: %w", err)
+	}
+	return snap, nil
+}
+
+// Spans fetches recent spans; traceID filters to one trace when nonzero,
+// limit bounds the count when positive.
+func (c *ObsClient) Spans(traceID uint64, limit int) ([]obs.SpanRecord, error) {
+	args, err := json.Marshal(obsQuery{TraceID: traceID, Limit: limit})
+	if err != nil {
+		return nil, err
+	}
+	payload, err := c.call(MethodObsSpans, args)
+	if err != nil {
+		return nil, err
+	}
+	var spans []obs.SpanRecord
+	if err := json.Unmarshal(payload, &spans); err != nil {
+		return nil, fmt.Errorf("obs service: corrupt spans: %w", err)
+	}
+	return spans, nil
+}
+
+// Events fetches recent evolution events; limit bounds the count when
+// positive.
+func (c *ObsClient) Events(limit int) ([]obs.Event, error) {
+	args, err := json.Marshal(obsQuery{Limit: limit})
+	if err != nil {
+		return nil, err
+	}
+	payload, err := c.call(MethodObsEvents, args)
+	if err != nil {
+		return nil, err
+	}
+	var events []obs.Event
+	if err := json.Unmarshal(payload, &events); err != nil {
+		return nil, fmt.Errorf("obs service: corrupt events: %w", err)
+	}
+	return events, nil
+}

@@ -3,8 +3,11 @@ package rpc
 import (
 	"fmt"
 	"sync"
+	"time"
 
+	"godcdo/internal/metrics"
 	"godcdo/internal/naming"
+	"godcdo/internal/obs"
 	"godcdo/internal/transport"
 	"godcdo/internal/wire"
 )
@@ -17,6 +20,18 @@ type Object interface {
 	// return ErrNoSuchFunction / ErrFunctionDisabled (or wrapped variants)
 	// for the paper's failure classes.
 	InvokeMethod(method string, args []byte) ([]byte, error)
+}
+
+// ContextObject is optionally implemented by hosted objects (core.DCDO does)
+// that can thread trace context through their internal stages. The
+// dispatcher type-asserts for it only when the inbound request carries trace
+// metadata and tracing is enabled, so plain Objects and untraced traffic pay
+// nothing.
+type ContextObject interface {
+	// InvokeMethodTraced is InvokeMethod with the caller's span context,
+	// letting the object parent its internal spans (resolve, func) on the
+	// server-side dispatch span.
+	InvokeMethodTraced(parent obs.SpanContext, method string, args []byte) ([]byte, error)
 }
 
 // ObjectFunc adapts a function to the Object interface.
@@ -32,6 +47,12 @@ func (f ObjectFunc) InvokeMethod(method string, args []byte) ([]byte, error) {
 type Dispatcher struct {
 	mu      sync.RWMutex
 	objects map[naming.LOID]Object
+
+	// Observability, installed by SetObs; all nil by default so Handle's
+	// fast path is unchanged when the node runs without obs.
+	tracer       *obs.Tracer
+	histDispatch *metrics.Histogram
+	inflight     *metrics.Gauge
 }
 
 var _ transport.Handler = (*Dispatcher)(nil)
@@ -39,6 +60,26 @@ var _ transport.Handler = (*Dispatcher)(nil)
 // NewDispatcher returns an empty dispatcher.
 func NewDispatcher() *Dispatcher {
 	return &Dispatcher{objects: make(map[naming.LOID]Object)}
+}
+
+// SetObs wires the dispatcher into o: inbound requests get server.dispatch
+// spans (joined to the caller's trace via envelope metadata), dispatch
+// latency lands in the server.dispatch histogram, and the registry gains an
+// in-flight-requests gauge plus a hosted-objects gauge func. A nil o
+// disables all of it.
+func (d *Dispatcher) SetObs(o *obs.Obs) {
+	if o == nil {
+		d.tracer, d.histDispatch, d.inflight = nil, nil, nil
+		return
+	}
+	d.tracer = o.Tracer
+	if reg := o.Metrics; reg != nil {
+		d.histDispatch = reg.Histogram(obs.StageServerDispatch)
+		d.inflight = reg.Gauge("dispatcher.inflight")
+		reg.RegisterGaugeFunc("dispatcher.hosted_objects", func() int64 { return int64(d.Len()) })
+	} else {
+		d.histDispatch, d.inflight = nil, nil
+	}
 }
 
 // Host makes obj reachable at loid on this dispatcher, replacing any
@@ -78,6 +119,14 @@ func (d *Dispatcher) Handle(req *wire.Envelope) *wire.Envelope {
 	if req.Kind != wire.KindRequest {
 		return errEnvelope(req.ID, wire.CodeBadRequest, fmt.Sprintf("unexpected envelope kind %s", req.Kind))
 	}
+	if d.inflight != nil {
+		d.inflight.Inc()
+		defer d.inflight.Dec()
+	}
+	var dispatchStart time.Time
+	if d.histDispatch != nil {
+		dispatchStart = time.Now()
+	}
 	loid, err := naming.ParseLOID(req.Target)
 	if err != nil {
 		return errEnvelope(req.ID, wire.CodeBadRequest, err.Error())
@@ -88,7 +137,30 @@ func (d *Dispatcher) Handle(req *wire.Envelope) *wire.Envelope {
 	if !ok {
 		return errEnvelope(req.ID, wire.CodeNoSuchObject, fmt.Sprintf("%s not hosted here", loid))
 	}
-	result, err := obj.InvokeMethod(req.Method, req.Payload)
+
+	var sp *obs.Span
+	if d.tracer != nil {
+		// Join the caller's trace when the envelope carries context; root a
+		// server-local trace otherwise.
+		sp = d.tracer.StartSpan(obs.StageServerDispatch, obs.SpanContext{TraceID: req.TraceID, SpanID: req.SpanID})
+		sp.Annotate("loid", req.Target)
+		sp.Annotate("method", req.Method)
+	}
+	var result []byte
+	if sp != nil {
+		if ctxObj, ok := obj.(ContextObject); ok {
+			result, err = ctxObj.InvokeMethodTraced(sp.Context(), req.Method, req.Payload)
+		} else {
+			result, err = obj.InvokeMethod(req.Method, req.Payload)
+		}
+		sp.Fail(err)
+		sp.Finish()
+	} else {
+		result, err = obj.InvokeMethod(req.Method, req.Payload)
+	}
+	if d.histDispatch != nil {
+		d.histDispatch.Observe(time.Since(dispatchStart))
+	}
 	if err != nil {
 		return errEnvelope(req.ID, CodeOf(err), err.Error())
 	}

@@ -44,6 +44,25 @@ func TestDecoderPrimitivesNeverPanic(t *testing.T) {
 	}
 }
 
+// TestDecodeEnvelopeMetadataNeverPanics appends arbitrary bytes after a
+// valid envelope body — the position of the optional metadata section — and
+// checks the decoder neither panics nor lets garbage metadata fail the
+// envelope or corrupt its body.
+func TestDecodeEnvelopeMetadataNeverPanics(t *testing.T) {
+	f := func(id uint64, target string, payload, trailer []byte) bool {
+		ev := &Envelope{Kind: KindRequest, ID: id, Target: target, Payload: payload}
+		buf := append(ev.Encode(), trailer...)
+		got, err := DecodeEnvelope(buf)
+		if err != nil {
+			return false // a valid body must decode whatever trails it
+		}
+		return got.ID == id && got.Target == target
+	}
+	if err := quick.Check(f, quickConfig()); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func quickConfig() *quick.Config {
 	return &quick.Config{MaxCount: 500}
 }

@@ -49,9 +49,23 @@ const (
 // ErrTruncatedEnvelope is returned when an envelope cannot be fully decoded.
 var ErrTruncatedEnvelope = errors.New("wire: truncated envelope")
 
+// Metadata tags used in the envelope's optional trailing metadata section.
+// Tags are part of the wire contract; append only. Decoders skip unknown
+// tags, so new tags may be introduced without breaking old peers.
+const (
+	metaTraceID uint64 = 1
+	metaSpanID  uint64 = 2
+)
+
 // Envelope is the unit of communication between nodes. Target is the
 // destination object's LOID in string form; Method names the function being
 // invoked (for requests) and Code/ErrorMsg describe failures (for errors).
+//
+// TraceID/SpanID carry distributed-tracing context. On the wire they live in
+// an optional metadata section appended after Payload; because the original
+// decoder ignored trailing bytes, pre-metadata peers still accept frames
+// carrying metadata, and post-metadata peers accept frames without it (the
+// fields decode as zero).
 type Envelope struct {
 	Kind     Kind
 	ID       uint64 // request/response correlation
@@ -60,9 +74,13 @@ type Envelope struct {
 	Code     uint64 // error code (errors only)
 	ErrorMsg string // human-readable error (errors only)
 	Payload  []byte // method arguments or results
+	TraceID  uint64 // tracing: trace this message belongs to (0 = untraced)
+	SpanID   uint64 // tracing: sender's span, parent of the receiver's span
 }
 
-// Encode serialises the envelope.
+// Encode serialises the envelope. The metadata section is emitted only when
+// at least one metadata field is set, so untraced traffic is byte-identical
+// to the pre-metadata encoding.
 func (ev *Envelope) Encode() []byte {
 	e := NewEncoder(16 + len(ev.Target) + len(ev.Method) + len(ev.ErrorMsg) + len(ev.Payload))
 	e.PutUvarint(uint64(ev.Kind))
@@ -72,7 +90,70 @@ func (ev *Envelope) Encode() []byte {
 	e.PutUvarint(ev.Code)
 	e.PutString(ev.ErrorMsg)
 	e.PutBytes(ev.Payload)
+	if ev.TraceID != 0 || ev.SpanID != 0 {
+		ev.encodeMetadata(e)
+	}
 	return e.Bytes()
+}
+
+// encodeMetadata appends the metadata section: a uvarint pair count followed
+// by (uvarint tag, length-prefixed value) pairs. Length-prefixing every
+// value lets decoders skip tags they do not understand.
+func (ev *Envelope) encodeMetadata(e *Encoder) {
+	var pairs uint64
+	if ev.TraceID != 0 {
+		pairs++
+	}
+	if ev.SpanID != 0 {
+		pairs++
+	}
+	e.PutUvarint(pairs)
+	var val Encoder
+	put := func(tag, v uint64) {
+		val.Reset()
+		val.PutUvarint(v)
+		e.PutUvarint(tag)
+		e.PutBytes(val.Bytes())
+	}
+	if ev.TraceID != 0 {
+		put(metaTraceID, ev.TraceID)
+	}
+	if ev.SpanID != 0 {
+		put(metaSpanID, ev.SpanID)
+	}
+}
+
+// decodeMetadata parses the optional trailing metadata section into ev.
+// Metadata is best-effort observability context: malformed or unknown
+// entries are ignored rather than failing the envelope, because tracing
+// must never break message delivery.
+func (ev *Envelope) decodeMetadata(d *Decoder) {
+	pairs, err := d.Uvarint()
+	if err != nil {
+		return
+	}
+	for i := uint64(0); i < pairs; i++ {
+		tag, err := d.Uvarint()
+		if err != nil {
+			return
+		}
+		val, err := d.Bytes()
+		if err != nil {
+			return
+		}
+		switch tag {
+		case metaTraceID:
+			if v, err := NewDecoder(val).Uvarint(); err == nil {
+				ev.TraceID = v
+			}
+		case metaSpanID:
+			if v, err := NewDecoder(val).Uvarint(); err == nil {
+				ev.SpanID = v
+			}
+			// Unknown tags are skipped: the length prefix already consumed
+			// their value.
+		}
+	}
 }
 
 // DecodeEnvelope parses an envelope from buf. The Payload field aliases buf.
@@ -106,7 +187,7 @@ func DecodeEnvelope(buf []byte) (*Envelope, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: payload: %v", ErrTruncatedEnvelope, err)
 	}
-	return &Envelope{
+	ev := &Envelope{
 		Kind:     Kind(kind),
 		ID:       id,
 		Target:   target,
@@ -114,5 +195,11 @@ func DecodeEnvelope(buf []byte) (*Envelope, error) {
 		Code:     code,
 		ErrorMsg: errMsg,
 		Payload:  payload,
-	}, nil
+	}
+	// Optional trailing metadata: absent in pre-metadata frames (nothing
+	// remains), best-effort otherwise.
+	if d.Remaining() > 0 {
+		ev.decodeMetadata(d)
+	}
+	return ev, nil
 }

@@ -1,0 +1,210 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+// legacyEncode reproduces the pre-metadata envelope encoding exactly: seven
+// fields, nothing after Payload. Used to stand in for an old peer.
+func legacyEncode(ev *Envelope) []byte {
+	e := NewEncoder(16 + len(ev.Target) + len(ev.Method) + len(ev.ErrorMsg) + len(ev.Payload))
+	e.PutUvarint(uint64(ev.Kind))
+	e.PutUvarint(ev.ID)
+	e.PutString(ev.Target)
+	e.PutString(ev.Method)
+	e.PutUvarint(ev.Code)
+	e.PutString(ev.ErrorMsg)
+	e.PutBytes(ev.Payload)
+	return e.Bytes()
+}
+
+// legacyDecode reproduces the pre-metadata decoder exactly: it reads the
+// seven fields and ignores anything that follows. Used to stand in for an
+// old peer receiving new frames.
+func legacyDecode(buf []byte) (*Envelope, error) {
+	d := NewDecoder(buf)
+	kind, err := d.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	id, err := d.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	target, err := d.String()
+	if err != nil {
+		return nil, err
+	}
+	method, err := d.String()
+	if err != nil {
+		return nil, err
+	}
+	code, err := d.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	errMsg, err := d.String()
+	if err != nil {
+		return nil, err
+	}
+	payload, err := d.Bytes()
+	if err != nil {
+		return nil, err
+	}
+	return &Envelope{Kind: Kind(kind), ID: id, Target: target, Method: method,
+		Code: code, ErrorMsg: errMsg, Payload: payload}, nil
+}
+
+func sampleEnvelope() *Envelope {
+	return &Envelope{
+		Kind:    KindRequest,
+		ID:      42,
+		Target:  "1.7.9",
+		Method:  "transfer",
+		Payload: []byte("args"),
+	}
+}
+
+func TestEnvelopeMetadataRoundTrip(t *testing.T) {
+	ev := sampleEnvelope()
+	ev.TraceID = 0xdeadbeefcafe
+	ev.SpanID = 7
+	got, err := DecodeEnvelope(ev.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TraceID != ev.TraceID || got.SpanID != ev.SpanID {
+		t.Fatalf("trace context lost: got %d/%d, want %d/%d",
+			got.TraceID, got.SpanID, ev.TraceID, ev.SpanID)
+	}
+	if got.Target != ev.Target || got.Method != ev.Method || !bytes.Equal(got.Payload, ev.Payload) {
+		t.Fatalf("body fields corrupted: %+v", got)
+	}
+}
+
+func TestEnvelopeMetadataPartial(t *testing.T) {
+	// Only one of the two IDs set: the section still round-trips.
+	ev := sampleEnvelope()
+	ev.TraceID = 99
+	got, err := DecodeEnvelope(ev.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TraceID != 99 || got.SpanID != 0 {
+		t.Fatalf("got %d/%d, want 99/0", got.TraceID, got.SpanID)
+	}
+}
+
+func TestUntracedEncodingUnchanged(t *testing.T) {
+	// With no trace context the new encoder must produce byte-identical
+	// output to the legacy encoder — the metadata section is truly optional.
+	ev := sampleEnvelope()
+	if !bytes.Equal(ev.Encode(), legacyEncode(ev)) {
+		t.Fatal("untraced encoding differs from pre-metadata encoding")
+	}
+}
+
+func TestLegacyDecoderAcceptsMetadataFrames(t *testing.T) {
+	// Old peer, new frame: the legacy decoder must parse the body correctly
+	// and simply not see the trace context.
+	ev := sampleEnvelope()
+	ev.TraceID = 123456
+	ev.SpanID = 654321
+	got, err := legacyDecode(ev.Encode())
+	if err != nil {
+		t.Fatalf("legacy decoder rejected a metadata frame: %v", err)
+	}
+	if got.Kind != ev.Kind || got.ID != ev.ID || got.Target != ev.Target ||
+		got.Method != ev.Method || !bytes.Equal(got.Payload, ev.Payload) {
+		t.Fatalf("legacy decoder corrupted body: %+v", got)
+	}
+}
+
+func TestNewDecoderAcceptsLegacyFrames(t *testing.T) {
+	// New peer, old frame: decodes cleanly with zero trace context.
+	ev := sampleEnvelope()
+	got, err := DecodeEnvelope(legacyEncode(ev))
+	if err != nil {
+		t.Fatalf("new decoder rejected a legacy frame: %v", err)
+	}
+	if got.TraceID != 0 || got.SpanID != 0 {
+		t.Fatalf("phantom trace context: %d/%d", got.TraceID, got.SpanID)
+	}
+	if got.Target != ev.Target || !bytes.Equal(got.Payload, ev.Payload) {
+		t.Fatalf("body corrupted: %+v", got)
+	}
+}
+
+func TestMalformedMetadataIgnored(t *testing.T) {
+	// Garbage after the payload must not fail the envelope: metadata is
+	// best-effort observability context.
+	base := legacyEncode(sampleEnvelope())
+	for _, trailer := range [][]byte{
+		{0xff},                   // truncated pair count
+		{0x02, 0x01},             // claims 2 pairs, truncates after one tag
+		{0x01, 0x01, 0x05, 0xaa}, // value length 5, only 1 byte present
+		{0x01, 0x63, 0x01, 0x00}, // unknown tag 99: skipped
+	} {
+		buf := append(append([]byte{}, base...), trailer...)
+		got, err := DecodeEnvelope(buf)
+		if err != nil {
+			t.Fatalf("trailer %x failed the envelope: %v", trailer, err)
+		}
+		if got.Target != "1.7.9" {
+			t.Fatalf("trailer %x corrupted body: %+v", trailer, got)
+		}
+	}
+}
+
+func TestUnknownMetadataTagsSkipped(t *testing.T) {
+	// A future peer sends tags we do not know plus ones we do: the known
+	// tags must still decode.
+	base := legacyEncode(sampleEnvelope())
+	e := NewEncoder(16)
+	e.PutUvarint(3) // three pairs
+	e.PutUvarint(99)
+	e.PutBytes([]byte("future-value"))
+	e.PutUvarint(metaTraceID)
+	var val Encoder
+	val.PutUvarint(777)
+	e.PutBytes(val.Bytes())
+	e.PutUvarint(100)
+	e.PutBytes(nil)
+	buf := append(append([]byte{}, base...), e.Bytes()...)
+	got, err := DecodeEnvelope(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TraceID != 777 {
+		t.Fatalf("TraceID = %d, want 777 (unknown tags must be skipped, not abort parsing)", got.TraceID)
+	}
+}
+
+func TestMetadataRoundTripQuick(t *testing.T) {
+	// Property: for any envelope and trace context, Encode→Decode preserves
+	// both body and metadata, and the legacy decoder preserves the body.
+	f := func(id, traceID, spanID uint64, target, method string, payload []byte) bool {
+		ev := &Envelope{Kind: KindRequest, ID: id, Target: target,
+			Method: method, Payload: payload, TraceID: traceID, SpanID: spanID}
+		buf := ev.Encode()
+		got, err := DecodeEnvelope(buf)
+		if err != nil {
+			return false
+		}
+		if got.TraceID != traceID || got.SpanID != spanID ||
+			got.ID != id || got.Target != target || got.Method != method ||
+			!bytes.Equal(got.Payload, payload) {
+			return false
+		}
+		legacy, err := legacyDecode(buf)
+		if err != nil {
+			return false
+		}
+		return legacy.ID == id && legacy.Target == target && bytes.Equal(legacy.Payload, payload)
+	}
+	if err := quick.Check(f, quickConfig()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,45 @@
+package godcdo_test
+
+import (
+	"testing"
+
+	"godcdo/internal/legion"
+	"godcdo/internal/naming"
+	"godcdo/internal/registry"
+	"godcdo/internal/transport"
+	"godcdo/internal/vclock"
+	"godcdo/internal/workload"
+)
+
+// BenchmarkInvokeTracingOff measures the allocation cost of one in-process
+// invoke through legion.Node with no observability installed. `make vet-obs`
+// asserts allocs/op stays at the seed baseline: the obs layer must be
+// zero-cost when disabled.
+func BenchmarkInvokeTracingOff(b *testing.B) {
+	agent := naming.NewAgent(vclock.Real{})
+	net := transport.NewInprocNetwork()
+	server, err := legion.NewNode(legion.NodeConfig{Name: "obs-off-server", Agent: agent, Inproc: net})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer server.Close()
+	client, err := legion.NewNode(legion.NodeConfig{Name: "obs-off-client", Agent: agent, Inproc: net})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer client.Close()
+
+	reg := registry.New()
+	obj, _ := buildDCDO(b, reg, workload.Spec{Prefix: "obsoff", Functions: 20, Components: 2}, 1)
+	if _, err := server.HostObject(obj.LOID(), obj); err != nil {
+		b.Fatal(err)
+	}
+	target := workload.LeafName("obsoff", 0, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.Client().Invoke(obj.LOID(), target, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

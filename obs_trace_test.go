@@ -1,0 +1,145 @@
+package godcdo_test
+
+import (
+	"testing"
+
+	"godcdo/internal/core"
+	"godcdo/internal/legion"
+	"godcdo/internal/naming"
+	"godcdo/internal/obs"
+	"godcdo/internal/registry"
+	"godcdo/internal/vclock"
+	"godcdo/internal/version"
+	"godcdo/internal/workload"
+)
+
+// TestTraceCoversInvokeRebindDispatchResolveExec is the observability
+// integration test: one client invoke that discovers a stale binding the
+// hard way must produce a single trace whose spans cover the client send,
+// the rebind, the server-side dispatch, the DFM resolution, and the
+// function execution — with parent links intact across the TCP hop.
+func TestTraceCoversInvokeRebindDispatchResolveExec(t *testing.T) {
+	o := obs.New()
+	agent := naming.NewAgent(vclock.Real{})
+	newNode := func(name string) *legion.Node {
+		t.Helper()
+		n, err := legion.NewNode(legion.NodeConfig{Name: name, Agent: agent, Obs: o})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = n.Close() })
+		return n
+	}
+	nodeA := newNode("trace-a")
+	nodeB := newNode("trace-b")
+	clientNode := newNode("trace-client")
+
+	reg := registry.New()
+	built, err := workload.Build(reg, naming.NewAllocator(1, 9),
+		workload.Spec{Prefix: "tr", Functions: 8, Components: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := core.New(core.Config{
+		LOID:     naming.LOID{Domain: 1, Class: 1, Instance: 1},
+		Registry: reg,
+		Fetcher:  built.Fetcher(),
+	})
+	if _, err := obj.ApplyDescriptor(built.Descriptor, version.ID{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nodeA.HostObject(obj.LOID(), obj); err != nil {
+		t.Fatal(err)
+	}
+	target := workload.LeafName("tr", 0, 0)
+
+	// Warm the client's binding cache against node A...
+	if _, err := clientNode.Client().Invoke(obj.LOID(), target, nil); err != nil {
+		t.Fatal(err)
+	}
+	// ...then move the object to node B, leaving the cached binding stale.
+	if err := nodeA.EvictObject(obj.LOID(), false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nodeB.HostObject(obj.LOID(), obj); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := clientNode.Client().Invoke(obj.LOID(), target, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Collect the trace that includes the rebind.
+	spans := o.Tracer.Recent(0)
+	var traceID uint64
+	for _, sp := range spans {
+		if sp.Stage == obs.StageClientRebind {
+			traceID = sp.TraceID
+		}
+	}
+	if traceID == 0 {
+		t.Fatalf("no %s span recorded; spans: %+v", obs.StageClientRebind, spans)
+	}
+	trace := o.Tracer.Trace(traceID)
+
+	byStage := make(map[string][]obs.SpanRecord)
+	byID := make(map[uint64]obs.SpanRecord, len(trace))
+	for _, sp := range trace {
+		byStage[sp.Stage] = append(byStage[sp.Stage], sp)
+		byID[sp.SpanID] = sp
+	}
+	for _, stage := range []string{
+		obs.StageClientInvoke,
+		obs.StageClientBind,
+		obs.StageClientAttempt,
+		obs.StageClientRebind,
+		obs.StageServerDispatch,
+		obs.StageDCDOResolve,
+		obs.StageDCDOFunc,
+	} {
+		if len(byStage[stage]) == 0 {
+			t.Errorf("trace %d has no %s span; got %+v", traceID, stage, trace)
+		}
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// The stale binding forces two attempts and two binding lookups.
+	if got := len(byStage[obs.StageClientAttempt]); got < 2 {
+		t.Errorf("attempts = %d, want >= 2 (stale then rebound)", got)
+	}
+
+	// Parent links: exactly one root (the client.invoke span); every other
+	// span's parent is present in the same trace.
+	for _, sp := range trace {
+		if sp.ParentID == 0 {
+			if sp.Stage != obs.StageClientInvoke {
+				t.Errorf("unexpected root span %s (%d)", sp.Stage, sp.SpanID)
+			}
+			continue
+		}
+		if _, ok := byID[sp.ParentID]; !ok {
+			t.Errorf("span %s (%d) has dangling parent %d", sp.Stage, sp.SpanID, sp.ParentID)
+		}
+	}
+
+	// The server-side chain crossed the wire: dispatch is parented on a
+	// client attempt, and resolution/execution on the dispatch.
+	dispatch := byStage[obs.StageServerDispatch][len(byStage[obs.StageServerDispatch])-1]
+	parent, ok := byID[dispatch.ParentID]
+	if !ok || parent.Stage != obs.StageClientAttempt {
+		t.Errorf("server.dispatch parent = %+v, want a %s span", parent, obs.StageClientAttempt)
+	}
+	for _, stage := range []string{obs.StageDCDOResolve, obs.StageDCDOFunc} {
+		sp := byStage[stage][len(byStage[stage])-1]
+		if sp.ParentID != dispatch.SpanID {
+			t.Errorf("%s parent = %d, want server.dispatch span %d", stage, sp.ParentID, dispatch.SpanID)
+		}
+	}
+
+	// The function that ran is named on the execution span.
+	fn := byStage[obs.StageDCDOFunc][len(byStage[obs.StageDCDOFunc])-1]
+	if fn.Annots["function"] != target {
+		t.Errorf("dcdo.func function annotation = %q, want %q", fn.Annots["function"], target)
+	}
+}
