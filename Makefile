@@ -7,9 +7,9 @@ GO ?= go
 # disabled. vet-obs fails if the disabled path ever allocates more than this.
 OBS_ALLOC_BASELINE ?= 5
 
-.PHONY: ci vet vet-obs build test race bench-smoke bench experiments
+.PHONY: ci vet vet-obs build test race bench-smoke bench experiments fuzz-smoke chaos
 
-ci: vet vet-obs build race bench-smoke
+ci: vet vet-obs build race bench-smoke chaos fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -49,3 +49,18 @@ bench:
 # Regenerate the EXPERIMENTS.md tables and shape criteria.
 experiments:
 	$(GO) run ./cmd/dcdo-bench
+
+# Bounded run of the native fuzz targets: the wire decoder and the store
+# image loader must never panic on adversarial bytes. FUZZTIME is per target.
+FUZZTIME ?= 30s
+
+fuzz-smoke:
+	$(GO) test -run xxx -fuzz FuzzDecodeEnvelope -fuzztime $(FUZZTIME) ./internal/wire/
+	$(GO) test -run xxx -fuzz FuzzLoadStore -fuzztime $(FUZZTIME) ./internal/manager/
+
+# Crash/partition drills under the race detector: the E8 chaos experiment
+# (manager killed mid-pass with a partitioned instance) plus the manager's
+# concurrency and recovery contracts.
+chaos:
+	$(GO) test -race -run 'TestRunE8' ./internal/harness/
+	$(GO) test -race -run 'TestRecover|TestEvolveDropAdopt|TestConcurrentEvolveDropAdopt|TestCreateInstanceConcurrentDuplicate|TestFleetEvolution|TestProber' ./internal/manager/

@@ -13,6 +13,8 @@
 //	dcdo-ctl -agent tcp:127.0.0.1:7400 evolve loid:0.2.1 loid:1.1.1 1.1
 //	dcdo-ctl -agent tcp:127.0.0.1:7400 records loid:0.2.1
 //	dcdo-ctl -agent tcp:127.0.0.1:7400 setcurrent loid:0.2.1 1.1
+//	dcdo-ctl -agent tcp:127.0.0.1:7400 health loid:0.2.1
+//	dcdo-ctl -agent tcp:127.0.0.1:7400 recover loid:0.2.1
 package main
 
 import (
@@ -54,7 +56,7 @@ func run(args []string) error {
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return errors.New("missing command (invoke|interface|version|snapshot|enable|disable|evolve|ensure-current|records|setcurrent|trace)")
+		return errors.New("missing command (invoke|interface|version|snapshot|enable|disable|evolve|ensure-current|records|setcurrent|health|recover|trace)")
 	}
 
 	dialer := transport.NewTCPDialer()
@@ -274,6 +276,79 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Printf("current version set to %s\n", ver)
+		return nil
+
+	case "health":
+		// The node-level ping first: it proves transport + dispatcher are
+		// alive, independent of any manager.
+		hc := &rpc.HealthClient{Dialer: dialer, Endpoint: *agentEndpoint, Timeout: *timeout}
+		info, err := hc.Ping()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("node %q up %v, hosting %d objects\n",
+			info.Node, info.Uptime().Round(time.Millisecond), info.HostedObjects)
+		if len(rest) == 0 {
+			return nil
+		}
+		mgrLOID, err := parseLOID(0, "manager loid")
+		if err != nil {
+			return err
+		}
+		out, err := client.Invoke(mgrLOID, manager.MethodHealth, nil)
+		if err != nil {
+			return err
+		}
+		healths, err := manager.DecodeInstanceHealths(out)
+		if err != nil {
+			return err
+		}
+		for _, h := range healths {
+			state := "healthy"
+			if h.Quarantined {
+				state = "quarantined"
+				if h.Reason != "" {
+					state += " (" + h.Reason + ")"
+				}
+			}
+			fmt.Printf("%-20s version %-8s %s\n", h.LOID, h.Version, state)
+		}
+		return nil
+
+	case "recover":
+		mgrLOID, err := parseLOID(0, "manager loid")
+		if err != nil {
+			return err
+		}
+		out, err := client.Invoke(mgrLOID, manager.MethodRecover, nil)
+		if err != nil {
+			return err
+		}
+		rep, err := manager.DecodeRecoveryReport(out)
+		if err != nil {
+			return err
+		}
+		if rep.Passes == 0 {
+			fmt.Println("journal clean: nothing to recover")
+		} else {
+			fmt.Printf("recovered %d interrupted pass(es)\n", rep.Passes)
+		}
+		if !rep.Current.IsZero() {
+			fmt.Printf("current version %s\n", rep.Current)
+		}
+		for _, group := range []struct {
+			name  string
+			loids []naming.LOID
+		}{
+			{"resumed", rep.Resumed},
+			{"verified", rep.Verified},
+			{"rolled back", rep.RolledBack},
+			{"quarantined", rep.Quarantined},
+		} {
+			for _, loid := range group.loids {
+				fmt.Printf("%-12s %s\n", group.name, loid)
+			}
+		}
 		return nil
 
 	case "trace":

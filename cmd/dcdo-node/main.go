@@ -6,24 +6,29 @@
 // Usage:
 //
 //	dcdo-node -addr 127.0.0.1:7400 -demo          # agent + manager + demo object
+//	dcdo-node -addr 127.0.0.1:7400 -demo -journal-dir /var/lib/dcdo  # crash-safe manager
 //	dcdo-node -addr 127.0.0.1:7401 -agent tcp:127.0.0.1:7400
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 
 	"godcdo/internal/demo"
 	"godcdo/internal/legion"
+	"godcdo/internal/manager"
 	"godcdo/internal/naming"
 	"godcdo/internal/obs"
 	"godcdo/internal/rpc"
 	"godcdo/internal/transport"
+	"godcdo/internal/vault"
 	"godcdo/internal/vclock"
 )
 
@@ -41,6 +46,7 @@ func run(args []string) error {
 	demoFlag := fs.Bool("demo", false, "host the demo pricing DCDO, its ICOs, and a manager")
 	name := fs.String("name", "node", "node display name")
 	obsHTTP := fs.String("obs-http", "", "HTTP listen address for /debug/obs (empty: no HTTP endpoint)")
+	journalDir := fs.String("journal-dir", "", "directory for the demo manager's durable evolution journal and store image (with -demo)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -68,6 +74,11 @@ func run(args []string) error {
 		dep, err := demo.Install(node)
 		if err != nil {
 			return err
+		}
+		if *journalDir != "" {
+			if err := attachJournal(dep.Manager, *journalDir); err != nil {
+				return err
+			}
 		}
 		fmt.Printf("demo pricing DCDO at %s (version %s, interface %v)\n",
 			demo.PricingLOID, dep.Pricing.Version(), dep.Pricing.Interface())
@@ -119,6 +130,47 @@ func startNode(name, addr, agentEndpoint string) (*legion.Node, *naming.Agent, e
 		}
 	}
 	return node, localAgent, nil
+}
+
+// attachJournal makes the demo manager crash-safe: it opens (or creates)
+// the durable evolution journal under dir, replays any passes a previous
+// run left unfinished, and persists the store image so an operator can
+// rebuild the manager from disk. The demo store is rebuilt deterministically
+// by demo.Install, so a journal from an earlier run of this node replays
+// against identical version identifiers.
+func attachJournal(mgr *manager.Manager, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("journal dir: %w", err)
+	}
+	journalPath := filepath.Join(dir, "evolution.journal")
+	j, err := manager.OpenJournal(journalPath)
+	if err != nil {
+		return err
+	}
+	mgr.SetJournal(j)
+	rep, err := mgr.Recover()
+	if err != nil {
+		return fmt.Errorf("recover from %s: %w", journalPath, err)
+	}
+	if rep.Passes > 0 {
+		fmt.Printf("recovered %d interrupted evolution pass(es): %d resumed, %d verified, %d rolled back, %d quarantined\n",
+			rep.Passes, len(rep.Resumed), len(rep.Verified), len(rep.RolledBack), len(rep.Quarantined))
+	}
+	if !rep.Current.IsZero() {
+		// Recover re-compacts the journal around this designation.
+		fmt.Printf("current version %s restored from the journal\n", rep.Current)
+	}
+
+	var img bytes.Buffer
+	if err := mgr.Store().Save(&img); err != nil {
+		return err
+	}
+	imagePath := filepath.Join(dir, "store.image")
+	if err := vault.WriteDurable(imagePath, img.Bytes()); err != nil {
+		return err
+	}
+	fmt.Printf("evolution journal at %s; store image at %s\n", journalPath, imagePath)
+	return nil
 }
 
 // startObsHTTP serves o's /debug/obs handler on addr, returning the bound

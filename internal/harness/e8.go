@@ -1,0 +1,342 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"godcdo/internal/component"
+	"godcdo/internal/core"
+	"godcdo/internal/dfm"
+	"godcdo/internal/evolution"
+	"godcdo/internal/manager"
+	"godcdo/internal/metrics"
+	"godcdo/internal/naming"
+	"godcdo/internal/obs"
+	"godcdo/internal/registry"
+	"godcdo/internal/rpc"
+	"godcdo/internal/transport"
+	"godcdo/internal/vault"
+	"godcdo/internal/vclock"
+	"godcdo/internal/version"
+)
+
+// e8Seed fixes the fault schedule so the chaos run is reproducible.
+const e8Seed = 43
+
+// e8Fleet is the number of managed DCDO instances.
+const e8Fleet = 4
+
+// e8Applies is the crash point: the manager "dies" after this many
+// successful applications, leaving the journal pass open.
+const e8Applies = 2
+
+// RunE8 is the chaos experiment for crash-safe fleet evolution: a manager
+// with a durable evolution journal starts a fleet pass to a new current
+// version while one instance's node is partitioned, and is killed mid-pass
+// (journal open, no done record). A second manager is then "restarted" from
+// the persisted store image and the journal: Recover replays the
+// interrupted pass, probing every planned instance's actual version —
+// verifying the ones the dead manager already evolved, resuming the ones it
+// never reached, and quarantining the partitioned one. After the partition
+// heals, the liveness prober re-converges the straggler. The run asserts
+// the whole fleet converges to the target with no half-applied descriptors
+// and that recovery is idempotent (a second Recover is a no-op).
+func RunE8() (*Report, error) {
+	dir, err := os.MkdirTemp("", "e8-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	journalPath := filepath.Join(dir, "evolution.journal")
+	imagePath := filepath.Join(dir, "store.image")
+
+	// --- Object type: greet via component en (v1) or fr (v1.1). ---------
+	reg := registry.New()
+	icoEN := naming.LOID{Domain: 1, Class: 8, Instance: 1}
+	icoFR := naming.LOID{Domain: 1, Class: 8, Instance: 2}
+	comps := make(map[naming.LOID]*component.Component)
+	for _, c := range []struct {
+		ico      naming.LOID
+		id, ref  string
+		greeting string
+	}{{icoEN, "en", "en:1", "hello"}, {icoFR, "fr", "fr:1", "bonjour"}} {
+		msg := c.greeting
+		if _, err := reg.Register(c.ref, registry.NativeImplType, map[string]registry.Func{
+			"greet": func(registry.Caller, []byte) ([]byte, error) { return []byte(msg), nil },
+		}); err != nil {
+			return nil, err
+		}
+		comp, err := component.NewSynthetic(component.Descriptor{
+			ID: c.id, Revision: 1, CodeRef: c.ref,
+			Impl: registry.NativeImplType, CodeSize: 32,
+			Functions: []component.FunctionDecl{{Name: "greet", Exported: true}},
+		})
+		if err != nil {
+			return nil, err
+		}
+		comps[c.ico] = comp
+	}
+	fetcher := component.FetcherFunc(func(ico naming.LOID) (*component.Component, error) {
+		c, ok := comps[ico]
+		if !ok {
+			return nil, fmt.Errorf("e8: unknown ico %s", ico)
+		}
+		return c, nil
+	})
+	descEN := dfm.NewDescriptor()
+	descEN.Components["en"] = dfm.ComponentRef{ICO: icoEN, CodeRef: "en:1", Impl: registry.NativeImplType, CodeSize: 32, Revision: 1}
+	descEN.Components["fr"] = dfm.ComponentRef{ICO: icoFR, CodeRef: "fr:1", Impl: registry.NativeImplType, CodeSize: 32, Revision: 1}
+	descEN.Entries = []dfm.EntryDesc{
+		{Function: "greet", Component: "en", Exported: true, Enabled: true},
+		{Function: "greet", Component: "fr", Exported: true, Enabled: false},
+	}
+
+	// --- Manager #1: store with v1 (en) and v1.1 (fr), both instantiable. --
+	o := obs.New()
+	mgr := manager.New(evolution.MultiIncreasing, evolution.Explicit)
+	mgr.SetObs(o)
+	root, err := mgr.Store().CreateRoot(descEN)
+	if err != nil {
+		return nil, err
+	}
+	if err := mgr.Store().MarkInstantiable(root); err != nil {
+		return nil, err
+	}
+	child, err := mgr.Store().Derive(root)
+	if err != nil {
+		return nil, err
+	}
+	err = mgr.Store().Configure(child, func(d *dfm.Descriptor) error {
+		d.Entry(dfm.EntryKey{Function: "greet", Component: "en"}).Enabled = false
+		d.Entry(dfm.EntryKey{Function: "greet", Component: "fr"}).Enabled = true
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := mgr.Store().MarkInstantiable(child); err != nil {
+		return nil, err
+	}
+	target := child.Clone()
+
+	// Persist the store image the way a production node would, before the
+	// evolution starts — the restarted manager rebuilds from this file.
+	var img bytes.Buffer
+	if err := mgr.Store().Save(&img); err != nil {
+		return nil, err
+	}
+	if err := vault.WriteDurable(imagePath, img.Bytes()); err != nil {
+		return nil, err
+	}
+	journal, err := manager.OpenJournal(journalPath)
+	if err != nil {
+		return nil, err
+	}
+	mgr.SetJournal(journal)
+
+	// --- Fleet: four DCDOs on separate endpoints behind a fault dialer. ---
+	clk := vclock.Real{}
+	agent := naming.NewAgent(clk)
+	cache := naming.NewCache(agent, clk, 0)
+	net := transport.NewInprocNetwork()
+	faults := transport.NewFaults(e8Seed)
+	client := rpc.NewClient(cache, transport.NewFaultDialer(net.Dialer(), faults))
+	client.ObserveStages(o.Metrics)
+	// Short timeouts: probing the partitioned node must fail in
+	// milliseconds, not the default seconds.
+	client.Retry = rpc.RetryPolicy{
+		CallTimeout: 20 * time.Millisecond,
+		MaxAttempts: 2,
+		MaxRebinds:  1,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  4 * time.Millisecond,
+		Multiplier:  2,
+		Jitter:      0.2,
+	}
+
+	loids := make([]naming.LOID, 0, e8Fleet)
+	endpoints := make(map[naming.LOID]string, e8Fleet)
+	for i := uint64(1); i <= e8Fleet; i++ {
+		obj := core.New(core.Config{
+			LOID:     naming.LOID{Domain: 1, Class: 1, Instance: i},
+			Registry: reg,
+			Fetcher:  fetcher,
+		})
+		loid := obj.LOID()
+		disp := rpc.NewDispatcher()
+		disp.SetObs(o)
+		srv, err := net.Listen(loid.String(), disp)
+		if err != nil {
+			return nil, err
+		}
+		disp.Host(loid, obj)
+		agent.Register(loid, naming.Address{Endpoint: srv.Endpoint()})
+		endpoints[loid] = srv.Endpoint()
+		if err := mgr.CreateInstance(manager.RemoteInstance{Client: client, Target: loid},
+			version.ID{1}, registry.NativeImplType); err != nil {
+			return nil, err
+		}
+		loids = append(loids, loid)
+	}
+	// Victim sits mid-plan (sorted order), so the crashed pass has touched
+	// instances both before and after it.
+	victim := loids[1]
+
+	// --- Act I: designate v1.1, partition the victim, die mid-pass. -------
+	if err := mgr.SetCurrentVersion(target); err != nil {
+		return nil, err
+	}
+	faults.Partition(endpoints[victim])
+	crashRep, err := mgr.EvolveFleetPartial(target, e8Applies)
+	if err != nil {
+		return nil, fmt.Errorf("e8: crashed pass: %w", err)
+	}
+	// The crash: the journal file handle closes with the pass still open —
+	// no done record — and manager #1 is abandoned.
+	if err := journal.Close(); err != nil {
+		return nil, err
+	}
+
+	// --- Act II: restart from the image + journal, recover. ---------------
+	imgBytes, err := os.ReadFile(imagePath)
+	if err != nil {
+		return nil, err
+	}
+	store, err := manager.LoadStore(bytes.NewReader(imgBytes))
+	if err != nil {
+		return nil, err
+	}
+	mgr2 := manager.NewWithStore(store, evolution.MultiIncreasing, evolution.Explicit)
+	mgr2.SetObs(o)
+	for _, loid := range loids {
+		inst := manager.RemoteInstance{Client: client, Target: loid}
+		if loid == victim {
+			// Still partitioned: cannot be probed, adopt unverified at its
+			// last known version.
+			err = mgr2.AdoptUnverified(inst, registry.NativeImplType, version.ID{1}, "partitioned at crash")
+		} else {
+			err = mgr2.Adopt(inst, registry.NativeImplType)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	journal2, err := manager.OpenJournal(journalPath)
+	if err != nil {
+		return nil, err
+	}
+	defer journal2.Close()
+	mgr2.SetJournal(journal2)
+
+	recoverStart := time.Now()
+	recRep, err := mgr2.Recover()
+	if err != nil {
+		return nil, fmt.Errorf("e8: recover: %w", err)
+	}
+	recoverCost := time.Since(recoverStart)
+	// Idempotence probe: a second recovery must find a clean journal.
+	recRep2, err := mgr2.Recover()
+	if err != nil {
+		return nil, fmt.Errorf("e8: second recover: %w", err)
+	}
+	journalAfter, err := manager.ReadJournal(journalPath)
+	if err != nil {
+		return nil, err
+	}
+
+	// --- Act III: the partition heals; the prober converges the victim. ---
+	faults.Heal(endpoints[victim])
+	prober := &manager.Prober{Mgr: mgr2, BaseBackoff: time.Millisecond, MaxBackoff: 8 * time.Millisecond}
+	healStart := time.Now()
+	reconverged := false
+	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); {
+		rep, err := prober.Sweep()
+		if err != nil {
+			return nil, fmt.Errorf("e8: sweep: %w", err)
+		}
+		if len(rep.Reconverged) > 0 {
+			reconverged = true
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	healCost := time.Since(healStart)
+
+	// --- Verdicts ----------------------------------------------------------
+	// Converged = every instance answers greet with the v1.1 (fr)
+	// implementation and its table record matches — no half-applied
+	// descriptors anywhere.
+	converged := 0
+	for _, loid := range loids {
+		out, err := client.InvokeIdempotent(loid, "greet", nil)
+		if err != nil || string(out) != "bonjour" {
+			continue
+		}
+		rec, err := mgr2.RecordOf(loid)
+		if err != nil || !rec.Version.Equal(target) {
+			continue
+		}
+		converged++
+	}
+	victimQuarantined, _ := mgr2.IsQuarantined(victim)
+	current, _ := mgr2.CurrentVersion()
+
+	table := metrics.NewTable(
+		"E8 — manager killed mid-pass, restarted, fleet re-converged",
+		"phase", "evolved/verified", "skipped/quarantined", "outcome")
+	table.AddRow("pass (crashed after 2 applies)",
+		fmt.Sprintf("%d", len(crashRep.Evolved)),
+		fmt.Sprintf("%d", len(crashRep.Skipped)),
+		fmt.Sprintf("halted=%v", crashRep.Halted))
+	table.AddRow("recovery (journal replay)",
+		fmt.Sprintf("%d+%d", len(recRep.Verified), len(recRep.Resumed)),
+		fmt.Sprintf("%d", len(recRep.Quarantined)),
+		fmt.Sprintf("%d pass(es) in %s", recRep.Passes, metrics.FormatDuration(recoverCost)))
+	table.AddRow("recovery (replayed again)",
+		"-", "-", fmt.Sprintf("%d pass(es): no-op", recRep2.Passes))
+	table.AddRow("post-heal (prober)",
+		fmt.Sprintf("%d/%d fleet at %s", converged, e8Fleet, target),
+		fmt.Sprintf("%v", victimQuarantined),
+		fmt.Sprintf("reconverged in %s", metrics.FormatDuration(healCost)))
+
+	checks := []Check{
+		check("crashed pass: 2 applied, partitioned instance quarantined, no done record",
+			crashRep.Halted && len(crashRep.Evolved) == e8Applies &&
+				len(crashRep.Skipped) == 1 && crashRep.Skipped[0] == victim,
+			"report=%+v", crashRep),
+		check("recovery finishes the interrupted pass (verify + resume + quarantine)",
+			recRep.Passes == 1 && len(recRep.Verified) == e8Applies &&
+				len(recRep.Resumed) == 1 && len(recRep.Quarantined) == 1 &&
+				recRep.Quarantined[0] == victim,
+			"report=%+v", recRep),
+		check("current-version designation survives the crash via the journal",
+			current.Equal(target),
+			"current=%s want=%s", current, target),
+		check("recovery is idempotent: second replay finds a clean journal",
+			recRep2.Passes == 0 && len(journalAfter) == 1 && journalAfter[0].Op == manager.OpCurrent,
+			"passes=%d journal=%d records", recRep2.Passes, len(journalAfter)),
+		check("healed partition: prober re-converges the straggler",
+			reconverged && !victimQuarantined,
+			"reconverged=%v quarantined=%v", reconverged, victimQuarantined),
+		check("whole fleet at target with no half-applied descriptors",
+			converged == e8Fleet,
+			"converged=%d/%d", converged, e8Fleet),
+	}
+
+	return &Report{
+		ID:     "E8",
+		Title:  "crash-safe fleet evolution: journal replay after a mid-pass manager crash with a partitioned instance",
+		Table:  table,
+		Extras: []*metrics.Table{stageBreakdown(o.Metrics)},
+		Notes: []string{
+			fmt.Sprintf("real components over inproc transport behind a seeded FaultDialer (seed %d)", e8Seed),
+			"store image persisted with vault.WriteDurable before the pass; journal fsynced per record",
+			"crash simulated with EvolveFleetPartial: journal left open, manager abandoned, new manager restarts from disk",
+			"recovery probes each planned instance's actual version — the journal narrows, the probe decides",
+		},
+		Checks: checks,
+	}, nil
+}

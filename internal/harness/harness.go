@@ -96,6 +96,7 @@ func RunAll() ([]*Report, error) {
 		{"E5", RunE5},
 		{"E6", RunE6},
 		{"E7", RunE7},
+		{"E8", RunE8},
 	}
 	reports := make([]*Report, 0, len(runners))
 	for _, r := range runners {

@@ -85,6 +85,14 @@ func TestRunE7(t *testing.T) {
 	requirePassed(t, rep)
 }
 
+func TestRunE8(t *testing.T) {
+	rep, err := RunE8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requirePassed(t, rep)
+}
+
 func TestRunAllOrderAndPass(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full experiment suite")
@@ -93,10 +101,10 @@ func TestRunAllOrderAndPass(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(reports) != 7 {
-		t.Fatalf("reports = %d, want 7", len(reports))
+	if len(reports) != 8 {
+		t.Fatalf("reports = %d, want 8", len(reports))
 	}
-	wantIDs := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7"}
+	wantIDs := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8"}
 	for i, rep := range reports {
 		if rep.ID != wantIDs[i] {
 			t.Errorf("report %d = %s, want %s", i, rep.ID, wantIDs[i])

@@ -131,6 +131,9 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		}
 		disp.SetObs(cfg.Obs)
 	}
+	// Every node answers liveness probes at the well-known health LOID
+	// (hosted on the dispatcher only — probers address nodes by endpoint).
+	disp.Host(rpc.HealthLOID, rpc.NewHealthService(cfg.Name, clock, disp.Len))
 	return &Node{
 		name:     cfg.Name,
 		agent:    cfg.Agent,

@@ -1,0 +1,193 @@
+package manager
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"godcdo/internal/naming"
+	"godcdo/internal/rpc"
+	"godcdo/internal/transport"
+	"godcdo/internal/version"
+)
+
+// Fleet evolution: a manager-driven pass that brings every managed instance
+// to a target version. Unlike the per-instance EvolveInstance entry point, a
+// fleet pass tolerates partial connectivity — instances that cannot be
+// reached are quarantined and skipped rather than failing the whole pass
+// (the prober re-converges them when they return, see Prober) — and the
+// whole pass is journalled so a crashed manager resumes it on restart.
+
+// FleetReport summarises one fleet evolution pass.
+type FleetReport struct {
+	// Target is the version the pass drove instances towards.
+	Target version.ID
+	// Pass is the journal pass identifier (0 with no journal).
+	Pass uint64
+	// Evolved lists instances successfully brought to Target.
+	Evolved []naming.LOID
+	// Skipped lists instances quarantined during (or before) the pass.
+	Skipped []naming.LOID
+	// Failed lists instances whose evolution failed for non-connectivity
+	// reasons (style violation, descriptor errors, application failures).
+	Failed []naming.LOID
+	// Halted reports that the pass was abandoned mid-way (only by
+	// EvolveFleetPartial, the crash-simulation hook).
+	Halted bool
+}
+
+// EvolveFleet evolves every managed, non-quarantined instance to v as one
+// journalled pass. Unreachable instances are quarantined and skipped; other
+// per-instance failures are collected and returned joined (each wrapped
+// with its LOID), without stopping the pass.
+func (m *Manager) EvolveFleet(v version.ID) (FleetReport, error) {
+	return m.evolveFleet(v, -1)
+}
+
+// EvolveFleetPartial is EvolveFleet with a crash point: the pass is
+// abandoned — journal left open, no done record — after maxApplies
+// successful applications. It exists so tests and the chaos harness can
+// simulate a manager dying mid-pass; production callers want EvolveFleet.
+func (m *Manager) EvolveFleetPartial(v version.ID, maxApplies int) (FleetReport, error) {
+	return m.evolveFleet(v, maxApplies)
+}
+
+func (m *Manager) evolveFleet(v version.ID, maxApplies int) (FleetReport, error) {
+	m.mu.Lock()
+	j := m.journal
+	planned := make([]naming.LOID, 0, len(m.records))
+	for loid := range m.records {
+		if _, q := m.quarantined[loid]; !q {
+			planned = append(planned, loid)
+		}
+	}
+	m.mu.Unlock()
+	sort.Slice(planned, func(i, j int) bool { return planned[i].String() < planned[j].String() })
+
+	report := FleetReport{Target: v.Clone()}
+	pass, err := j.BeginPass(v, planned)
+	if err != nil {
+		return report, err
+	}
+	report.Pass = pass
+
+	var errs []error
+	for _, loid := range planned {
+		if maxApplies >= 0 && len(report.Evolved) >= maxApplies {
+			report.Halted = true
+			return report, errors.Join(errs...)
+		}
+		// Already converged instances need no transition (styles like
+		// multi-increasing would even deny the self-transition).
+		m.mu.Lock()
+		atTarget := m.records[loid] != nil && m.records[loid].Version.Equal(v)
+		m.mu.Unlock()
+		if atTarget {
+			report.Evolved = append(report.Evolved, loid)
+			continue
+		}
+		switch evErr := m.evolveOne(pass, loid, v); {
+		case evErr == nil:
+			report.Evolved = append(report.Evolved, loid)
+		case isConnectivityError(evErr):
+			reason := fmt.Sprintf("unreachable during pass %d: %v", pass, evErr)
+			m.quarantine(loid, reason)
+			if jerr := j.Skipped(pass, loid, reason); jerr != nil {
+				errs = append(errs, fmt.Errorf("%s: %w", loid, jerr))
+			}
+			report.Skipped = append(report.Skipped, loid)
+		default:
+			report.Failed = append(report.Failed, loid)
+			errs = append(errs, fmt.Errorf("%s: %w", loid, evErr))
+		}
+	}
+	if err := j.Done(pass); err != nil {
+		errs = append(errs, err)
+	}
+	return report, errors.Join(errs...)
+}
+
+// isConnectivityError reports whether err indicates the instance could not
+// be reached (as opposed to refusing or failing the evolution): transport
+// faults, retry exhaustion, ambiguous outcomes, unresolvable or evicted
+// bindings. Connectivity failures quarantine an instance; anything else is
+// a real evolution failure.
+func isConnectivityError(err error) bool {
+	var ce *transport.CallError
+	if errors.As(err, &ce) {
+		return true
+	}
+	return errors.Is(err, transport.ErrUnreachable) ||
+		errors.Is(err, transport.ErrTimeout) ||
+		errors.Is(err, transport.ErrReset) ||
+		errors.Is(err, rpc.ErrBudgetExhausted) ||
+		errors.Is(err, rpc.ErrAmbiguousResult) ||
+		errors.Is(err, rpc.ErrNoSuchObject) ||
+		errors.Is(err, rpc.ErrUnavailable) ||
+		errors.Is(err, naming.ErrNotBound)
+}
+
+// QuarantineInstance marks a managed instance unreachable: fleet passes
+// skip it until it is unquarantined (normally by the prober observing it
+// respond again).
+func (m *Manager) QuarantineInstance(loid naming.LOID, reason string) error {
+	m.mu.Lock()
+	_, ok := m.records[loid]
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownInstance, loid)
+	}
+	m.quarantine(loid, reason)
+	return nil
+}
+
+// quarantine records the quarantine and emits the event; the instance need
+// not be re-checked (callers hold evidence it is managed).
+func (m *Manager) quarantine(loid naming.LOID, reason string) {
+	m.mu.Lock()
+	_, already := m.quarantined[loid]
+	m.quarantined[loid] = reason
+	m.mu.Unlock()
+	if !already {
+		m.event("quarantined", loid, nil, reason)
+	}
+}
+
+// UnquarantineInstance clears an instance's quarantine, making it eligible
+// for fleet passes again. Clearing a non-quarantined instance is a no-op.
+func (m *Manager) UnquarantineInstance(loid naming.LOID) {
+	m.mu.Lock()
+	_, was := m.quarantined[loid]
+	delete(m.quarantined, loid)
+	m.mu.Unlock()
+	if was {
+		m.event("unquarantined", loid, nil, "")
+	}
+}
+
+// IsQuarantined reports whether loid is quarantined, and why.
+func (m *Manager) IsQuarantined(loid naming.LOID) (bool, string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	reason, ok := m.quarantined[loid]
+	return ok, reason
+}
+
+// Quarantined returns the quarantined LOIDs in sorted order.
+func (m *Manager) Quarantined() []naming.LOID {
+	m.mu.Lock()
+	out := make([]naming.LOID, 0, len(m.quarantined))
+	for loid := range m.quarantined {
+		out = append(out, loid)
+	}
+	m.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// instanceOf returns the managed instance for loid (nil when unknown).
+func (m *Manager) instanceOf(loid naming.LOID) Instance {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.instances[loid]
+}

@@ -1,0 +1,72 @@
+package manager
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"godcdo/internal/dfm"
+	"godcdo/internal/registry"
+)
+
+// fuzzStoreImage builds a small but structurally complete store image —
+// root plus one configured, instantiable child — for the fuzz corpus.
+func fuzzStoreImage(f *testing.F) []byte {
+	f.Helper()
+	s := NewStore()
+	desc := dfm.NewDescriptor()
+	desc.Components["c"] = dfm.ComponentRef{CodeRef: "c:1", Impl: registry.NativeImplType, CodeSize: 8, Revision: 1}
+	desc.Entries = []dfm.EntryDesc{{Function: "get", Component: "c", Exported: true, Enabled: true}}
+	root, err := s.CreateRoot(desc)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := s.MarkInstantiable(root); err != nil {
+		f.Fatal(err)
+	}
+	if _, err := s.Derive(root); err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzLoadStore is the store-image robustness contract: a persisted store
+// read back from disk may be truncated, bit-flipped, or arbitrary garbage
+// (crashed writes, foreign files), and LoadStore must return
+// ErrBadStoreImage for every such input — never panic, never return a
+// half-built store alongside an error.
+func FuzzLoadStore(f *testing.F) {
+	img := fuzzStoreImage(f)
+	f.Add(img)
+	f.Add([]byte{})
+	f.Add(img[:len(img)/2])
+	for _, i := range []int{0, 1, 6, len(img) / 2, len(img) - 1} {
+		mutated := bytes.Clone(img)
+		mutated[i] ^= 0x5a
+		f.Add(mutated)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := LoadStore(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrBadStoreImage) {
+				t.Fatalf("LoadStore error not wrapped in ErrBadStoreImage: %v", err)
+			}
+			if s != nil {
+				t.Fatalf("LoadStore returned a store alongside error %v", err)
+			}
+			return
+		}
+		// Accepted images must survive a save/load round trip.
+		var buf bytes.Buffer
+		if err := s.Save(&buf); err != nil {
+			t.Fatalf("re-save of accepted image: %v", err)
+		}
+		if _, err := LoadStore(&buf); err != nil {
+			t.Fatalf("re-load of accepted image: %v", err)
+		}
+	})
+}

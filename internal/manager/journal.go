@@ -1,0 +1,418 @@
+package manager
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"godcdo/internal/naming"
+	"godcdo/internal/vault"
+	"godcdo/internal/version"
+	"godcdo/internal/wire"
+)
+
+// The evolution journal is a write-ahead log that makes multi-instance
+// evolution crash-safe. Before the manager touches any instance it durably
+// records what it is about to do (a pass: target version plus the planned
+// instances), then per-instance intent/applied records as it goes, and a
+// done record when the pass completes. A manager that crashes mid-pass can
+// replay the journal on restart (see Recover) and either resume the
+// interrupted evolution or roll stragglers back — instead of silently
+// stranding the fleet on a mix of versions.
+//
+// On-disk format: a sequence of records, each framed as
+//
+//	[magic 0xDA][uvarint payload length][4-byte big-endian CRC32][payload]
+//
+// Appends are fsynced before the corresponding instance operation proceeds,
+// which is what makes the intent durable. The reader is tolerant of a
+// truncated or corrupt tail (the normal shape of a crash mid-append): it
+// returns every record up to the first damaged frame and ignores the rest.
+
+// journalFormatVersion guards the record payload format; bump on change.
+const journalFormatVersion = 1
+
+// journalMagic begins every journal frame so a desynchronised or foreign
+// file is detected immediately.
+const journalMagic = 0xDA
+
+// maxJournalRecord bounds one record's payload (a begin record lists every
+// planned instance; 16 MiB is far beyond any realistic fleet).
+const maxJournalRecord = 16 << 20
+
+// ErrNoJournal is returned by operations that require a journal when the
+// manager has none installed.
+var ErrNoJournal = errors.New("manager: no evolution journal installed")
+
+// JournalOp enumerates journal record types.
+type JournalOp uint8
+
+// Journal record types.
+const (
+	// OpCurrent records a current-version designation, so recovery can
+	// restore the manager's designated version (the store image does not
+	// carry it).
+	OpCurrent JournalOp = iota + 1
+	// OpBegin opens a pass: the target version and the planned instances.
+	OpBegin
+	// OpIntent records that the manager is about to apply the pass target
+	// to one instance (with the instance's pre-evolution version, which is
+	// what rollback restores).
+	OpIntent
+	// OpApplied records that one instance verifiably reached the target.
+	OpApplied
+	// OpSkipped records that one instance was deliberately left out of the
+	// pass (quarantined / unreachable).
+	OpSkipped
+	// OpDone closes a pass; a begin without a matching done is an
+	// interrupted evolution.
+	OpDone
+)
+
+// String implements fmt.Stringer.
+func (op JournalOp) String() string {
+	switch op {
+	case OpCurrent:
+		return "current"
+	case OpBegin:
+		return "begin"
+	case OpIntent:
+		return "intent"
+	case OpApplied:
+		return "applied"
+	case OpSkipped:
+		return "skipped"
+	case OpDone:
+		return "done"
+	default:
+		return fmt.Sprintf("op(%d)", int(op))
+	}
+}
+
+// JournalRecord is one decoded journal entry. Fields not meaningful for a
+// record's op are zero.
+type JournalRecord struct {
+	Op      JournalOp
+	Pass    uint64
+	Target  version.ID    // OpCurrent, OpBegin
+	Planned []naming.LOID // OpBegin
+	LOID    naming.LOID   // OpIntent, OpApplied, OpSkipped
+	From    version.ID    // OpIntent
+	To      version.ID    // OpIntent, OpApplied
+	Reason  string        // OpSkipped
+}
+
+// encode serialises the record payload (without the frame).
+func (r JournalRecord) encode() []byte {
+	e := wire.NewEncoder(64)
+	e.PutUvarint(journalFormatVersion)
+	e.PutUvarint(uint64(r.Op))
+	e.PutUvarint(r.Pass)
+	e.PutUintSlice(r.Target.Encode())
+	e.PutUvarint(uint64(len(r.Planned)))
+	for _, loid := range r.Planned {
+		e.PutString(loid.String())
+	}
+	if r.LOID == (naming.LOID{}) {
+		e.PutString("")
+	} else {
+		e.PutString(r.LOID.String())
+	}
+	e.PutUintSlice(r.From.Encode())
+	e.PutUintSlice(r.To.Encode())
+	e.PutString(r.Reason)
+	return e.Bytes()
+}
+
+// decodeJournalRecord parses one record payload.
+func decodeJournalRecord(payload []byte) (JournalRecord, error) {
+	var r JournalRecord
+	dec := wire.NewDecoder(payload)
+	format, err := dec.Uvarint()
+	if err != nil {
+		return r, err
+	}
+	if format != journalFormatVersion {
+		return r, fmt.Errorf("unsupported journal format %d", format)
+	}
+	op, err := dec.Uvarint()
+	if err != nil {
+		return r, err
+	}
+	r.Op = JournalOp(op)
+	if r.Pass, err = dec.Uvarint(); err != nil {
+		return r, err
+	}
+	readVersion := func() (version.ID, error) {
+		segs, err := dec.UintSlice()
+		if err != nil {
+			return nil, err
+		}
+		return version.Decode(segs)
+	}
+	if r.Target, err = readVersion(); err != nil {
+		return r, err
+	}
+	n, err := dec.Uvarint()
+	if err != nil {
+		return r, err
+	}
+	if n > uint64(dec.Remaining()) {
+		return r, fmt.Errorf("planned count %d exceeds record", n)
+	}
+	for i := uint64(0); i < n; i++ {
+		s, err := dec.String()
+		if err != nil {
+			return r, err
+		}
+		loid, err := naming.ParseLOID(s)
+		if err != nil {
+			return r, err
+		}
+		r.Planned = append(r.Planned, loid)
+	}
+	loidStr, err := dec.String()
+	if err != nil {
+		return r, err
+	}
+	if loidStr != "" {
+		if r.LOID, err = naming.ParseLOID(loidStr); err != nil {
+			return r, err
+		}
+	}
+	if r.From, err = readVersion(); err != nil {
+		return r, err
+	}
+	if r.To, err = readVersion(); err != nil {
+		return r, err
+	}
+	if r.Reason, err = dec.String(); err != nil {
+		return r, err
+	}
+	return r, nil
+}
+
+// frameRecord wraps a payload in the journal frame.
+func frameRecord(payload []byte) []byte {
+	buf := make([]byte, 0, len(payload)+10)
+	buf = append(buf, journalMagic)
+	buf = binary.AppendUvarint(buf, uint64(len(payload)))
+	buf = binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+	return append(buf, payload...)
+}
+
+// Journal is the durable evolution WAL. Methods are nil-safe: a nil *Journal
+// is the disabled state and every operation is a successful no-op, so the
+// manager's evolution paths call through unconditionally.
+type Journal struct {
+	mu       sync.Mutex
+	path     string
+	f        *os.File
+	nextPass uint64
+}
+
+// OpenJournal opens (or creates) the journal at path, scanning any existing
+// records to continue the pass-identifier sequence. A torn final record from
+// an earlier crash is tolerated.
+func OpenJournal(path string) (*Journal, error) {
+	recs, err := ReadJournal(path)
+	if err != nil {
+		return nil, err
+	}
+	next := uint64(1)
+	for _, r := range recs {
+		if r.Pass >= next {
+			next = r.Pass + 1
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("manager: open journal %q: %w", path, err)
+	}
+	// Make the journal's existence itself durable.
+	if err := vault.SyncDir(filepath.Dir(path)); err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("manager: open journal %q: %w", path, err)
+	}
+	return &Journal{path: path, f: f, nextPass: next}, nil
+}
+
+// Path returns the journal's file path ("" for a nil journal).
+func (j *Journal) Path() string {
+	if j == nil {
+		return ""
+	}
+	return j.path
+}
+
+// Close releases the journal's file handle. Nil-safe.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// Append durably appends one record: the frame is written and fsynced before
+// Append returns, so callers may rely on the record surviving a crash that
+// happens any time afterwards. Nil-safe.
+func (j *Journal) Append(r JournalRecord) error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.appendLocked(r)
+}
+
+func (j *Journal) appendLocked(r JournalRecord) error {
+	if j.f == nil {
+		return fmt.Errorf("manager: journal %q is closed", j.path)
+	}
+	if _, err := j.f.Write(frameRecord(r.encode())); err != nil {
+		return fmt.Errorf("manager: journal append: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("manager: journal append: %w", err)
+	}
+	return nil
+}
+
+// BeginPass allocates a pass identifier and durably records the pass intent:
+// the target version and the instances the pass plans to evolve. Nil-safe
+// (returns pass 0).
+func (j *Journal) BeginPass(target version.ID, planned []naming.LOID) (uint64, error) {
+	if j == nil {
+		return 0, nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	pass := j.nextPass
+	j.nextPass++
+	err := j.appendLocked(JournalRecord{Op: OpBegin, Pass: pass, Target: target.Clone(), Planned: planned})
+	if err != nil {
+		return 0, err
+	}
+	return pass, nil
+}
+
+// Intent records that the manager is about to evolve loid from 'from' to
+// 'to' under the given pass. Nil-safe.
+func (j *Journal) Intent(pass uint64, loid naming.LOID, from, to version.ID) error {
+	return j.Append(JournalRecord{Op: OpIntent, Pass: pass, LOID: loid, From: from.Clone(), To: to.Clone()})
+}
+
+// Applied records that loid verifiably reached 'to'. Nil-safe.
+func (j *Journal) Applied(pass uint64, loid naming.LOID, to version.ID) error {
+	return j.Append(JournalRecord{Op: OpApplied, Pass: pass, LOID: loid, To: to.Clone()})
+}
+
+// Skipped records that loid was left out of the pass. Nil-safe.
+func (j *Journal) Skipped(pass uint64, loid naming.LOID, reason string) error {
+	return j.Append(JournalRecord{Op: OpSkipped, Pass: pass, LOID: loid, Reason: reason})
+}
+
+// Done closes the pass. Nil-safe.
+func (j *Journal) Done(pass uint64) error {
+	return j.Append(JournalRecord{Op: OpDone, Pass: pass})
+}
+
+// Current records a current-version designation. Nil-safe.
+func (j *Journal) Current(v version.ID) error {
+	return j.Append(JournalRecord{Op: OpCurrent, Target: v.Clone()})
+}
+
+// Records reads the journal back from disk (see ReadJournal). Nil-safe.
+func (j *Journal) Records() ([]JournalRecord, error) {
+	if j == nil {
+		return nil, nil
+	}
+	j.mu.Lock()
+	path := j.path
+	j.mu.Unlock()
+	return ReadJournal(path)
+}
+
+// Compact atomically replaces the journal's contents with the given records
+// (typically just the latest current-version designation, once every pass
+// has been recovered). The replacement is durable: the new image is written
+// through vault.WriteDurable and the append handle reopened on it. Nil-safe.
+func (j *Journal) Compact(keep []JournalRecord) error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var buf []byte
+	for _, r := range keep {
+		buf = append(buf, frameRecord(r.encode())...)
+	}
+	if j.f != nil {
+		if err := j.f.Close(); err != nil {
+			return fmt.Errorf("manager: compact journal: %w", err)
+		}
+		j.f = nil
+	}
+	if err := vault.WriteDurable(j.path, buf); err != nil {
+		return fmt.Errorf("manager: compact journal: %w", err)
+	}
+	f, err := os.OpenFile(j.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("manager: compact journal: %w", err)
+	}
+	j.f = f
+	return nil
+}
+
+// ReadJournal reads every intact record from the journal at path. A missing
+// file yields no records. A torn or corrupt frame ends the read: everything
+// before it is returned, everything at and after it is ignored — the WAL
+// convention for a crash mid-append. Only genuine I/O failures return an
+// error.
+func ReadJournal(path string) ([]JournalRecord, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("manager: read journal %q: %w", path, err)
+	}
+	var out []JournalRecord
+	off := 0
+	for off < len(data) {
+		if data[off] != journalMagic {
+			break
+		}
+		length, n := binary.Uvarint(data[off+1:])
+		if n <= 0 || length > maxJournalRecord {
+			break
+		}
+		hdr := off + 1 + n
+		if hdr+4+int(length) > len(data) {
+			break // torn tail
+		}
+		sum := binary.BigEndian.Uint32(data[hdr:])
+		payload := data[hdr+4 : hdr+4+int(length)]
+		if crc32.ChecksumIEEE(payload) != sum {
+			break // bit rot or torn write
+		}
+		rec, err := decodeJournalRecord(payload)
+		if err != nil {
+			break
+		}
+		out = append(out, rec)
+		off = hdr + 4 + int(length)
+	}
+	return out, nil
+}

@@ -1,0 +1,214 @@
+package manager
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"godcdo/internal/naming"
+)
+
+func journalPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "evolution.journal")
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := journalPath(t)
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	defer j.Close()
+
+	a := naming.LOID{Domain: 1, Class: 2, Instance: 3}
+	b := naming.LOID{Domain: 1, Class: 2, Instance: 4}
+	target := v(1, 1)
+
+	if err := j.Current(v(1)); err != nil {
+		t.Fatalf("Current: %v", err)
+	}
+	pass, err := j.BeginPass(target, []naming.LOID{a, b})
+	if err != nil {
+		t.Fatalf("BeginPass: %v", err)
+	}
+	if pass != 1 {
+		t.Fatalf("first pass = %d, want 1", pass)
+	}
+	if err := j.Intent(pass, a, v(1), target); err != nil {
+		t.Fatalf("Intent: %v", err)
+	}
+	if err := j.Applied(pass, a, target); err != nil {
+		t.Fatalf("Applied: %v", err)
+	}
+	if err := j.Skipped(pass, b, "quarantined"); err != nil {
+		t.Fatalf("Skipped: %v", err)
+	}
+	if err := j.Done(pass); err != nil {
+		t.Fatalf("Done: %v", err)
+	}
+
+	recs, err := j.Records()
+	if err != nil {
+		t.Fatalf("Records: %v", err)
+	}
+	wantOps := []JournalOp{OpCurrent, OpBegin, OpIntent, OpApplied, OpSkipped, OpDone}
+	if len(recs) != len(wantOps) {
+		t.Fatalf("got %d records, want %d", len(recs), len(wantOps))
+	}
+	for i, op := range wantOps {
+		if recs[i].Op != op {
+			t.Fatalf("record %d op = %s, want %s", i, recs[i].Op, op)
+		}
+	}
+	if !recs[0].Target.Equal(v(1)) {
+		t.Fatalf("current target = %s, want %s", recs[0].Target, v(1))
+	}
+	begin := recs[1]
+	if !begin.Target.Equal(target) || len(begin.Planned) != 2 || begin.Planned[0] != a || begin.Planned[1] != b {
+		t.Fatalf("begin record = %+v", begin)
+	}
+	intent := recs[2]
+	if intent.LOID != a || !intent.From.Equal(v(1)) || !intent.To.Equal(target) || intent.Pass != pass {
+		t.Fatalf("intent record = %+v", intent)
+	}
+	if recs[4].Reason != "quarantined" {
+		t.Fatalf("skip reason = %q", recs[4].Reason)
+	}
+}
+
+func TestJournalPassSequenceSurvivesReopen(t *testing.T) {
+	path := journalPath(t)
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	p1, _ := j.BeginPass(v(1), nil)
+	p2, _ := j.BeginPass(v(1, 1), nil)
+	if p1 != 1 || p2 != 2 {
+		t.Fatalf("passes = %d, %d", p1, p2)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer j2.Close()
+	p3, _ := j2.BeginPass(v(1, 1), nil)
+	if p3 != 3 {
+		t.Fatalf("pass after reopen = %d, want 3", p3)
+	}
+}
+
+func TestJournalToleratesTornTail(t *testing.T) {
+	path := journalPath(t)
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	pass, _ := j.BeginPass(v(1, 1), nil)
+	loid := naming.LOID{Domain: 1, Class: 2, Instance: 3}
+	if err := j.Intent(pass, loid, v(1), v(1, 1)); err != nil {
+		t.Fatalf("Intent: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Simulate a crash mid-append: chop bytes off the final record.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-3], 0o644); err != nil {
+		t.Fatalf("truncate: %v", err)
+	}
+	recs, err := ReadJournal(path)
+	if err != nil {
+		t.Fatalf("ReadJournal after truncation: %v", err)
+	}
+	if len(recs) != 1 || recs[0].Op != OpBegin {
+		t.Fatalf("after torn tail got %+v, want just the begin record", recs)
+	}
+
+	// A flipped bit in the tail record's payload must also stop the read at
+	// the checksum, without affecting earlier records.
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	data[len(data)-1] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatalf("corrupt: %v", err)
+	}
+	recs, err = ReadJournal(path)
+	if err != nil {
+		t.Fatalf("ReadJournal after corruption: %v", err)
+	}
+	if len(recs) != 1 || recs[0].Op != OpBegin {
+		t.Fatalf("after bit flip got %+v, want just the begin record", recs)
+	}
+}
+
+func TestJournalCompact(t *testing.T) {
+	path := journalPath(t)
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	defer j.Close()
+	pass, _ := j.BeginPass(v(1, 1), nil)
+	_ = j.Done(pass)
+	_ = j.Current(v(1, 1))
+
+	if err := j.Compact([]JournalRecord{{Op: OpCurrent, Target: v(1, 1)}}); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	recs, err := j.Records()
+	if err != nil {
+		t.Fatalf("Records: %v", err)
+	}
+	if len(recs) != 1 || recs[0].Op != OpCurrent || !recs[0].Target.Equal(v(1, 1)) {
+		t.Fatalf("after compact got %+v", recs)
+	}
+
+	// The journal stays appendable after compaction.
+	if _, err := j.BeginPass(v(1, 1), nil); err != nil {
+		t.Fatalf("BeginPass after compact: %v", err)
+	}
+	recs, _ = j.Records()
+	if len(recs) != 2 {
+		t.Fatalf("after post-compact append got %d records", len(recs))
+	}
+}
+
+func TestJournalMissingFile(t *testing.T) {
+	recs, err := ReadJournal(filepath.Join(t.TempDir(), "nope.journal"))
+	if err != nil || recs != nil {
+		t.Fatalf("missing file: recs=%v err=%v", recs, err)
+	}
+}
+
+func TestJournalNilIsNoOp(t *testing.T) {
+	var j *Journal
+	if pass, err := j.BeginPass(v(1), nil); pass != 0 || err != nil {
+		t.Fatalf("nil BeginPass: pass=%d err=%v", pass, err)
+	}
+	if err := errors.Join(
+		j.Intent(0, naming.LOID{}, nil, nil),
+		j.Applied(0, naming.LOID{}, nil),
+		j.Skipped(0, naming.LOID{}, ""),
+		j.Done(0),
+		j.Current(v(1)),
+		j.Compact(nil),
+		j.Close(),
+	); err != nil {
+		t.Fatalf("nil journal op: %v", err)
+	}
+	if recs, err := j.Records(); recs != nil || err != nil {
+		t.Fatalf("nil Records: %v %v", recs, err)
+	}
+}

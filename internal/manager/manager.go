@@ -56,10 +56,12 @@ type Manager struct {
 	style  evolution.Style
 	policy evolution.UpdatePolicy
 
-	mu        sync.Mutex
-	instances map[naming.LOID]Instance
-	records   map[naming.LOID]*Record
-	current   version.ID
+	mu          sync.Mutex
+	instances   map[naming.LOID]Instance
+	records     map[naming.LOID]*Record
+	current     version.ID
+	quarantined map[naming.LOID]string
+	journal     *Journal
 
 	// obsState holds the observability handle installed by SetObs, nil when
 	// disabled.
@@ -71,12 +73,30 @@ var _ evolution.ManagerView = (*Manager)(nil)
 // New returns a manager over its own empty store.
 func New(style evolution.Style, policy evolution.UpdatePolicy) *Manager {
 	return &Manager{
-		store:     NewStore(),
-		style:     style,
-		policy:    policy,
-		instances: make(map[naming.LOID]Instance),
-		records:   make(map[naming.LOID]*Record),
+		store:       NewStore(),
+		style:       style,
+		policy:      policy,
+		instances:   make(map[naming.LOID]Instance),
+		records:     make(map[naming.LOID]*Record),
+		quarantined: make(map[naming.LOID]string),
 	}
+}
+
+// SetJournal installs the evolution journal. Subsequent current-version
+// designations and evolution passes are durably recorded before instances
+// are touched, making them recoverable after a crash (see Recover). A nil
+// journal disables journalling.
+func (m *Manager) SetJournal(j *Journal) {
+	m.mu.Lock()
+	m.journal = j
+	m.mu.Unlock()
+}
+
+// Journal returns the installed evolution journal (nil when disabled).
+func (m *Manager) Journal() *Journal {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.journal
 }
 
 // Store exposes the manager's DFM store for version management.
@@ -107,6 +127,11 @@ func (m *Manager) SetCurrentVersion(v version.ID) error {
 	if !m.store.IsInstantiable(v) {
 		return fmt.Errorf("%w: %s", ErrVersionNotReady, v)
 	}
+	// Journal the designation before adopting it, so a restarted manager
+	// recovers the same current version (the store image does not carry it).
+	if err := m.Journal().Current(v); err != nil {
+		return err
+	}
 	m.mu.Lock()
 	m.current = v.Clone()
 	policy := m.policy
@@ -116,13 +141,8 @@ func (m *Manager) SetCurrentVersion(v version.ID) error {
 	if policy != evolution.Proactive {
 		return nil
 	}
-	var errs []error
-	for _, loid := range m.InstanceLOIDs() {
-		if err := m.EvolveInstance(loid, v); err != nil {
-			errs = append(errs, fmt.Errorf("%s: %w", loid, err))
-		}
-	}
-	return errors.Join(errs...)
+	_, err := m.EvolveFleet(v)
+	return err
 }
 
 // CreateInstance initialises a fresh instance to the given instantiable
@@ -154,6 +174,12 @@ func (m *Manager) CreateInstance(inst Instance, v version.ID, impl registry.Impl
 	}
 
 	m.mu.Lock()
+	// Re-check: a concurrent create/adopt may have claimed the LOID while
+	// the descriptor was being applied outside the lock.
+	if _, exists := m.records[loid]; exists {
+		m.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrDuplicateInstance, loid)
+	}
 	m.instances[loid] = inst
 	m.records[loid] = &Record{LOID: loid, Version: v.Clone(), Impl: impl}
 	m.mu.Unlock()
@@ -186,21 +212,43 @@ func (m *Manager) Drop(loid naming.LOID) {
 	m.mu.Lock()
 	delete(m.instances, loid)
 	delete(m.records, loid)
+	delete(m.quarantined, loid)
 	m.mu.Unlock()
 	m.event("dropped", loid, version.ID{}, "")
 }
 
 // EvolveInstance evolves one managed DCDO to version v, enforcing the
 // manager's style. This is the updateInstance() entry point the explicit
-// update policy relies on.
+// update policy relies on. With a journal installed the evolution runs as a
+// durable single-instance pass, recoverable if the manager crashes mid-way.
 func (m *Manager) EvolveInstance(loid naming.LOID, v version.ID) error {
+	j := m.Journal()
+	pass, err := j.BeginPass(v, []naming.LOID{loid})
+	if err != nil {
+		return err
+	}
+	evErr := m.evolveOne(pass, loid, v)
+	// The pass completed — successfully or with a known failure. Only a
+	// crash leaves it open for Recover to finish.
+	if err := j.Done(pass); err != nil && evErr == nil {
+		evErr = err
+	}
+	return evErr
+}
+
+// evolveOne evolves one instance under an already-open journal pass: intent
+// is durably recorded before the instance is touched, success after it is
+// verified applied.
+func (m *Manager) evolveOne(pass uint64, loid naming.LOID, v version.ID) error {
 	m.mu.Lock()
 	inst, ok := m.instances[loid]
+	rec := m.records[loid]
 	var from version.ID
-	if rec := m.records[loid]; rec != nil {
+	if rec != nil {
 		from = rec.Version.Clone()
 	}
 	current := m.current.Clone()
+	j := m.journal
 	m.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownInstance, loid)
@@ -213,7 +261,7 @@ func (m *Manager) EvolveInstance(loid naming.LOID, v version.ID) error {
 		sp.Annotate("from", from.String())
 		sp.Annotate("to", v.String())
 	}
-	err := m.evolveInstance(sp, inst, loid, from, current, v)
+	err := m.evolveInstance(sp, j, pass, inst, rec, loid, from, current, v)
 	if sp != nil {
 		sp.Fail(err)
 		sp.Finish()
@@ -224,8 +272,12 @@ func (m *Manager) EvolveInstance(loid naming.LOID, v version.ID) error {
 	return err
 }
 
-// evolveInstance is the span-carrying body of EvolveInstance.
-func (m *Manager) evolveInstance(sp *obs.Span, inst Instance, loid naming.LOID, from, current version.ID, v version.ID) error {
+// evolveInstance is the span-carrying body of evolveOne. rec is the table
+// row captured under the lock alongside inst; the post-apply version update
+// is applied only if that same row is still installed, so an evolution that
+// raced with Drop (and possibly a re-Adopt) cannot resurrect a stale
+// version onto a new record.
+func (m *Manager) evolveInstance(sp *obs.Span, j *Journal, pass uint64, inst Instance, rec *Record, loid naming.LOID, from, current version.ID, v version.ID) error {
 	input := evolution.TransitionInput{
 		From:           from,
 		To:             v,
@@ -243,15 +295,20 @@ func (m *Manager) evolveInstance(sp *obs.Span, inst Instance, loid naming.LOID, 
 	if err != nil {
 		return err
 	}
+	// Durable intent before the instance is touched: after a crash, Recover
+	// knows this instance may be anywhere between from and v.
+	if err := j.Intent(pass, loid, from, v); err != nil {
+		return err
+	}
 	if _, err := applyInstance(sp, inst, desc, v); err != nil {
 		return fmt.Errorf("evolve %s to %s: %w", loid, v, err)
 	}
 	m.mu.Lock()
-	if rec, ok := m.records[loid]; ok {
-		rec.Version = v.Clone()
+	if cur, ok := m.records[loid]; ok && cur == rec {
+		cur.Version = v.Clone()
 	}
 	m.mu.Unlock()
-	return nil
+	return j.Applied(pass, loid, v)
 }
 
 // checkHybridDerivation applies the mandatory/permanent rules between two

@@ -30,7 +30,31 @@ const (
 	MethodVSetEnabled      = "mgr.vSetEnabled"
 	MethodVSetFlags        = "mgr.vSetFlags"
 	MethodVAddDep          = "mgr.vAddDep"
+	MethodRecover          = "mgr.recover"
+	MethodHealth           = "mgr.health"
 )
+
+// InstanceHealth is one row of the mgr.health reply: the DCDO table entry
+// plus its quarantine state.
+type InstanceHealth struct {
+	LOID        naming.LOID
+	Version     version.ID
+	Quarantined bool
+	Reason      string
+}
+
+// InstanceHealths reports every managed instance's table version and
+// quarantine state, sorted by LOID.
+func (m *Manager) InstanceHealths() []InstanceHealth {
+	records := m.Records()
+	out := make([]InstanceHealth, 0, len(records))
+	for _, r := range records {
+		h := InstanceHealth{LOID: r.LOID, Version: r.Version}
+		h.Quarantined, h.Reason = m.IsQuarantined(r.LOID)
+		out = append(out, h)
+	}
+	return out
+}
 
 // Object wraps a Manager as an rpc.Object so remote programmers and DCDOs
 // can drive version management and evolution over the wire.
@@ -273,9 +297,137 @@ func (o *Object) InvokeMethod(method string, args []byte) ([]byte, error) {
 			return nil
 		})
 
+	case MethodRecover:
+		report, err := m.Recover()
+		if err != nil {
+			return nil, err
+		}
+		return EncodeRecoveryReport(report), nil
+
+	case MethodHealth:
+		healths := m.InstanceHealths()
+		e := wire.NewEncoder(32 * len(healths))
+		e.PutUvarint(uint64(len(healths)))
+		for _, h := range healths {
+			e.PutString(h.LOID.String())
+			e.PutUintSlice(h.Version.Encode())
+			e.PutBool(h.Quarantined)
+			e.PutString(h.Reason)
+		}
+		return e.Bytes(), nil
+
 	default:
 		return nil, fmt.Errorf("%w: %q", rpc.ErrNoSuchFunction, method)
 	}
+}
+
+// EncodeRecoveryReport serialises a RecoveryReport for the wire.
+func EncodeRecoveryReport(r RecoveryReport) []byte {
+	e := wire.NewEncoder(64)
+	e.PutUvarint(uint64(r.Passes))
+	e.PutUintSlice(r.Current.Encode())
+	putLOIDs := func(loids []naming.LOID) {
+		e.PutUvarint(uint64(len(loids)))
+		for _, loid := range loids {
+			e.PutString(loid.String())
+		}
+	}
+	putLOIDs(r.Resumed)
+	putLOIDs(r.Verified)
+	putLOIDs(r.RolledBack)
+	putLOIDs(r.Quarantined)
+	return e.Bytes()
+}
+
+// DecodeRecoveryReport parses EncodeRecoveryReport's payload.
+func DecodeRecoveryReport(payload []byte) (RecoveryReport, error) {
+	var r RecoveryReport
+	dec := wire.NewDecoder(payload)
+	passes, err := dec.Uvarint()
+	if err != nil {
+		return r, err
+	}
+	r.Passes = int(passes)
+	segs, err := dec.UintSlice()
+	if err != nil {
+		return r, err
+	}
+	if r.Current, err = version.Decode(segs); err != nil {
+		return r, err
+	}
+	readLOIDs := func() ([]naming.LOID, error) {
+		n, err := dec.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if n > uint64(dec.Remaining()) {
+			return nil, fmt.Errorf("loid count %d exceeds payload", n)
+		}
+		var out []naming.LOID
+		for i := uint64(0); i < n; i++ {
+			s, err := dec.String()
+			if err != nil {
+				return nil, err
+			}
+			loid, err := naming.ParseLOID(s)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, loid)
+		}
+		return out, nil
+	}
+	if r.Resumed, err = readLOIDs(); err != nil {
+		return r, err
+	}
+	if r.Verified, err = readLOIDs(); err != nil {
+		return r, err
+	}
+	if r.RolledBack, err = readLOIDs(); err != nil {
+		return r, err
+	}
+	if r.Quarantined, err = readLOIDs(); err != nil {
+		return r, err
+	}
+	return r, nil
+}
+
+// DecodeInstanceHealths parses the mgr.health reply.
+func DecodeInstanceHealths(payload []byte) ([]InstanceHealth, error) {
+	dec := wire.NewDecoder(payload)
+	n, err := dec.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(dec.Remaining()) {
+		return nil, fmt.Errorf("health count %d exceeds payload", n)
+	}
+	out := make([]InstanceHealth, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var h InstanceHealth
+		s, err := dec.String()
+		if err != nil {
+			return nil, err
+		}
+		if h.LOID, err = naming.ParseLOID(s); err != nil {
+			return nil, err
+		}
+		segs, err := dec.UintSlice()
+		if err != nil {
+			return nil, err
+		}
+		if h.Version, err = version.Decode(segs); err != nil {
+			return nil, err
+		}
+		if h.Quarantined, err = dec.Bool(); err != nil {
+			return nil, err
+		}
+		if h.Reason, err = dec.String(); err != nil {
+			return nil, err
+		}
+		out = append(out, h)
+	}
+	return out, nil
 }
 
 func decodeAddComponent(dec *wire.Decoder) (string, dfm.ComponentRef, []dfm.EntryDesc, error) {

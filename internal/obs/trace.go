@@ -30,6 +30,8 @@ const (
 	StageDCDOApply      = "dcdo.apply"      // core.ApplyDescriptor evolution
 	StageMgrEvolve      = "mgr.evolve"      // manager EvolveInstance
 	StageMgrApply       = "mgr.apply"       // manager applying descriptor to one instance
+	StageMgrRecover     = "mgr.recover"     // manager journal replay after restart
+	StageMgrProbe       = "mgr.probe"       // liveness prober sweep
 )
 
 // SpanContext identifies a position in a trace; it is what crosses the wire

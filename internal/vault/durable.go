@@ -1,0 +1,68 @@
+package vault
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+)
+
+// Durable-write helpers shared by the file vault and the manager's evolution
+// journal. "Atomic" temp-file-plus-rename writes are only crash-safe when the
+// temp file's contents are flushed to stable storage before the rename and
+// the directory entry itself is flushed after it; without both, a power loss
+// can leave the final name pointing at a truncated or empty file.
+
+// WriteDurable writes data to path atomically and durably: the bytes land in
+// a temp file in path's directory, the temp file is fsynced before being
+// renamed over path, and the directory is fsynced so the rename itself
+// survives power loss.
+func WriteDurable(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".durable-*")
+	if err != nil {
+		return fmt.Errorf("vault: durable write %q: %w", path, err)
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) error {
+		_ = tmp.Close()
+		_ = os.Remove(tmpName)
+		return fmt.Errorf("vault: durable write %q: %w", path, err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		_ = os.Remove(tmpName)
+		return fmt.Errorf("vault: durable write %q: %w", path, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		_ = os.Remove(tmpName)
+		return fmt.Errorf("vault: durable write %q: %w", path, err)
+	}
+	if err := SyncDir(dir); err != nil {
+		return fmt.Errorf("vault: durable write %q: %w", path, err)
+	}
+	return nil
+}
+
+// SyncDir fsyncs a directory so renames and creations inside it are durable.
+// On platforms where directories cannot be fsynced (notably Windows) it is a
+// no-op.
+func SyncDir(dir string) error {
+	if runtime.GOOS == "windows" {
+		return nil
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -123,27 +123,13 @@ func (f *File) entryPath(loid naming.LOID) string {
 	return filepath.Join(f.dir, name+".state")
 }
 
-// Store implements Vault. The write is atomic (temp file + rename) so a
-// crash never leaves a truncated entry.
+// Store implements Vault. The write is atomic and durable (temp file,
+// fsync, rename, directory fsync — see WriteDurable) so a crash or power
+// loss never leaves a truncated or lost entry.
 func (f *File) Store(loid naming.LOID, state []byte) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	tmp, err := os.CreateTemp(f.dir, ".vault-*")
-	if err != nil {
-		return fmt.Errorf("vault: store %s: %w", loid, err)
-	}
-	tmpName := tmp.Name()
-	if _, err := tmp.Write(state); err != nil {
-		_ = tmp.Close()
-		_ = os.Remove(tmpName)
-		return fmt.Errorf("vault: store %s: %w", loid, err)
-	}
-	if err := tmp.Close(); err != nil {
-		_ = os.Remove(tmpName)
-		return fmt.Errorf("vault: store %s: %w", loid, err)
-	}
-	if err := os.Rename(tmpName, f.entryPath(loid)); err != nil {
-		_ = os.Remove(tmpName)
+	if err := WriteDurable(f.entryPath(loid), state); err != nil {
 		return fmt.Errorf("vault: store %s: %w", loid, err)
 	}
 	return nil

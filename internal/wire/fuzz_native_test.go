@@ -1,0 +1,33 @@
+package wire
+
+import (
+	"testing"
+)
+
+// Native fuzz targets (go test -fuzz), complementing the testing/quick
+// properties in fuzz_test.go: the engine's coverage guidance digs far deeper
+// into the varint/length-prefix state space than random bytes do. The
+// Makefile's fuzz-smoke target runs these for a bounded time on every CI
+// pass.
+
+// FuzzDecodeEnvelope asserts DecodeEnvelope never panics and that every
+// envelope it accepts re-encodes and decodes to the same identity fields.
+func FuzzDecodeEnvelope(f *testing.F) {
+	f.Add([]byte{})
+	f.Add((&Envelope{Kind: KindRequest, ID: 7, Target: "loid:1.2.3", Method: "get", Payload: []byte("hi")}).Encode())
+	f.Add((&Envelope{Kind: KindError, ID: 9, Code: 404, ErrorMsg: "gone"}).Encode())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ev, err := DecodeEnvelope(data)
+		if err != nil {
+			return
+		}
+		// Accepted envelopes must round-trip their identity.
+		again, err := DecodeEnvelope(ev.Encode())
+		if err != nil {
+			t.Fatalf("re-decode of accepted envelope failed: %v", err)
+		}
+		if again.Kind != ev.Kind || again.ID != ev.ID || again.Target != ev.Target || again.Method != ev.Method {
+			t.Fatalf("round trip changed identity: %+v -> %+v", ev, again)
+		}
+	})
+}
