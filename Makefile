@@ -35,13 +35,17 @@ test:
 
 # Full suite under the race detector. -short skips the multi-second
 # loopback-TCP sweeps (they run in plain `make test` and in E2/E7 below).
+# -shuffle=on randomises test order so inter-test state dependencies fail
+# loudly instead of hiding behind source order.
 race:
-	$(GO) test -race -short ./...
+	$(GO) test -race -short -shuffle=on ./...
 
-# One iteration of every benchmark: proves the bench harness still compiles
-# and runs without paying for a full calibrated measurement.
+# One iteration of every benchmark plus the E9 overload experiment: proves
+# the bench harness still compiles and runs (and admission control still
+# sheds and screens deadlines) without paying for a full calibrated run.
 bench-smoke:
 	$(GO) test -run xxx -bench . -benchtime=1x .
+	$(GO) test -run 'TestRunE9' ./internal/harness/
 
 bench:
 	$(GO) test -bench . -benchmem .

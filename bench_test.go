@@ -9,6 +9,8 @@
 package godcdo_test
 
 import (
+	"context"
+
 	"fmt"
 	"testing"
 	"time"
@@ -43,7 +45,7 @@ func buildDCDO(b *testing.B, reg *registry.Registry, spec workload.Spec, instanc
 		Registry: reg,
 		Fetcher:  built.Fetcher(),
 	})
-	if _, err := obj.ApplyDescriptor(built.Descriptor, version.ID{1}); err != nil {
+	if _, err := obj.ApplyDescriptor(context.Background(), built.Descriptor, version.ID{1}); err != nil {
 		b.Fatal(err)
 	}
 	return obj, built
@@ -150,7 +152,7 @@ func BenchmarkE2_RemoteInvocation(b *testing.B) {
 	}
 	b.Run("normal", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := client.Client().Invoke(normalObj.LOID(), "noop", nil); err != nil {
+			if _, err := client.Client().Invoke(context.Background(), normalObj.LOID(), "noop", nil); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -172,7 +174,7 @@ func BenchmarkE2_RemoteInvocation(b *testing.B) {
 			target := workload.LeafName(prefix, 0, 0)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := client.Client().Invoke(obj.LOID(), target, nil); err != nil {
+				if _, err := client.Client().Invoke(context.Background(), obj.LOID(), target, nil); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -209,7 +211,7 @@ func BenchmarkE3_Creation(b *testing.B) {
 					Registry: reg,
 					Fetcher:  built.Fetcher(),
 				})
-				if _, err := obj.ApplyDescriptor(built.Descriptor, version.ID{1}); err != nil {
+				if _, err := obj.ApplyDescriptor(context.Background(), built.Descriptor, version.ID{1}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -257,7 +259,7 @@ func BenchmarkE4_BaselineCosts(b *testing.B) {
 			b.SetBytes(size)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := fetcher.Fetch(ico); err != nil {
+				if _, err := fetcher.Fetch(context.Background(), ico); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -302,10 +304,10 @@ func BenchmarkE5_DCDOEvolution(b *testing.B) {
 		orig := obj.Snapshot()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := obj.ApplyDescriptor(flip, version.ID{1, 1}); err != nil {
+			if _, err := obj.ApplyDescriptor(context.Background(), flip, version.ID{1, 1}); err != nil {
 				b.Fatal(err)
 			}
-			if _, err := obj.ApplyDescriptor(orig, version.ID{1}); err != nil {
+			if _, err := obj.ApplyDescriptor(context.Background(), orig, version.ID{1}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -398,10 +400,10 @@ func BenchmarkE6_EvolutionComparison(b *testing.B) {
 		b.ReportMetric(cost.Model(model).Seconds(), "modeled-sec/op")
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := obj.ApplyDescriptor(flip, version.ID{1, 1}); err != nil {
+			if _, err := obj.ApplyDescriptor(context.Background(), flip, version.ID{1, 1}); err != nil {
 				b.Fatal(err)
 			}
-			if _, err := obj.ApplyDescriptor(orig, version.ID{1}); err != nil {
+			if _, err := obj.ApplyDescriptor(context.Background(), orig, version.ID{1}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -441,7 +443,7 @@ func BenchmarkE7_FaultedInvoke(b *testing.B) {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := client.InvokeIdempotent(loid, "get", nil); err != nil {
+				if _, err := client.InvokeIdempotent(context.Background(), loid, "get", nil); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -1,5 +1,5 @@
 // Command dcdo-bench regenerates the paper's performance study (§4): every
-// experiment E1–E8, each printing the table it reproduces and the pass/fail
+// experiment E1–E9, each printing the table it reproduces and the pass/fail
 // shape criteria derived from the paper's reported numbers.
 //
 // Usage:
@@ -26,7 +26,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("dcdo-bench", flag.ContinueOnError)
-	experiment := fs.String("e", "all", "experiment to run (E1..E8 or all)")
+	experiment := fs.String("e", "all", "experiment to run (E1..E9 or all)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -40,6 +40,7 @@ func run(args []string) error {
 		"E6": harness.RunE6,
 		"E7": harness.RunE7,
 		"E8": harness.RunE8,
+		"E9": harness.RunE9,
 	}
 
 	var reports []*harness.Report
@@ -53,7 +54,7 @@ func run(args []string) error {
 	default:
 		runner, ok := runners[want]
 		if !ok {
-			return fmt.Errorf("unknown experiment %q (want E1..E8 or all)", *experiment)
+			return fmt.Errorf("unknown experiment %q (want E1..E9 or all)", *experiment)
 		}
 		rep, err := runner()
 		if err != nil {

@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -51,8 +52,15 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("dcdo-ctl", flag.ContinueOnError)
 	agentEndpoint := fs.String("agent", "tcp:127.0.0.1:7400", "endpoint of the binding-agent service")
 	timeout := fs.Duration("timeout", 5*time.Second, "per-call timeout")
+	deadline := fs.Duration("deadline", 30*time.Second, "overall command budget, propagated to the server as the call deadline (0 = none)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	ctx := context.Background()
+	if *deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *deadline)
+		defer cancel()
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
@@ -88,7 +96,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		out, err := client.Invoke(loid, method, payload)
+		out, err := client.Invoke(ctx, loid, method, payload)
 		if err != nil {
 			return err
 		}
@@ -100,7 +108,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		out, err := client.Invoke(loid, core.MethodInterface, nil)
+		out, err := client.Invoke(ctx, loid, core.MethodInterface, nil)
 		if err != nil {
 			return err
 		}
@@ -118,7 +126,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		out, err := client.Invoke(loid, core.MethodVersion, nil)
+		out, err := client.Invoke(ctx, loid, core.MethodVersion, nil)
 		if err != nil {
 			return err
 		}
@@ -138,7 +146,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		out, err := client.Invoke(loid, core.MethodSnapshot, nil)
+		out, err := client.Invoke(ctx, loid, core.MethodSnapshot, nil)
 		if err != nil {
 			return err
 		}
@@ -176,7 +184,7 @@ func run(args []string) error {
 		if cmd == "disable" {
 			method = core.MethodDisable
 		}
-		if _, err := client.Invoke(loid, method, core.EncodeEntryKeyArgs(key)); err != nil {
+		if _, err := client.Invoke(ctx, loid, method, core.EncodeEntryKeyArgs(key)); err != nil {
 			return err
 		}
 		fmt.Printf("%sd %s on %s\n", cmd, key, loid)
@@ -198,7 +206,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		if _, err := client.Invoke(mgrLOID, manager.MethodEvolveInstance,
+		if _, err := client.Invoke(ctx, mgrLOID, manager.MethodEvolveInstance,
 			manager.EncodeEvolveInstanceArgs(target, ver)); err != nil {
 			return err
 		}
@@ -210,7 +218,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		out, err := client.Invoke(mgrLOID, manager.MethodRecords, nil)
+		out, err := client.Invoke(ctx, mgrLOID, manager.MethodRecords, nil)
 		if err != nil {
 			return err
 		}
@@ -249,7 +257,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		updated, err := manager.EnsureCurrent(client, mgrLOID, target)
+		updated, err := manager.EnsureCurrent(ctx, client, mgrLOID, target)
 		if err != nil {
 			return err
 		}
@@ -272,7 +280,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		if _, err := client.Invoke(mgrLOID, manager.MethodSetCurrent, manager.EncodeVersionArgs(ver)); err != nil {
+		if _, err := client.Invoke(ctx, mgrLOID, manager.MethodSetCurrent, manager.EncodeVersionArgs(ver)); err != nil {
 			return err
 		}
 		fmt.Printf("current version set to %s\n", ver)
@@ -282,7 +290,7 @@ func run(args []string) error {
 		// The node-level ping first: it proves transport + dispatcher are
 		// alive, independent of any manager.
 		hc := &rpc.HealthClient{Dialer: dialer, Endpoint: *agentEndpoint, Timeout: *timeout}
-		info, err := hc.Ping()
+		info, err := hc.Ping(ctx)
 		if err != nil {
 			return err
 		}
@@ -295,7 +303,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		out, err := client.Invoke(mgrLOID, manager.MethodHealth, nil)
+		out, err := client.Invoke(ctx, mgrLOID, manager.MethodHealth, nil)
 		if err != nil {
 			return err
 		}
@@ -320,7 +328,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		out, err := client.Invoke(mgrLOID, manager.MethodRecover, nil)
+		out, err := client.Invoke(ctx, mgrLOID, manager.MethodRecover, nil)
 		if err != nil {
 			return err
 		}
@@ -353,7 +361,7 @@ func run(args []string) error {
 
 	case "trace":
 		oc := &rpc.ObsClient{Dialer: dialer, Endpoint: *agentEndpoint, Timeout: *timeout}
-		return runTrace(oc, rest)
+		return runTrace(ctx, oc, rest)
 
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
@@ -367,7 +375,7 @@ func run(args []string) error {
 //	trace spans [traceID]  spans of one trace (or recent ones)
 //	trace events           recent evolution/configuration events
 //	trace metrics          histogram and counter snapshot
-func runTrace(oc *rpc.ObsClient, rest []string) error {
+func runTrace(ctx context.Context, oc *rpc.ObsClient, rest []string) error {
 	sub := "spans"
 	if len(rest) > 0 {
 		sub, rest = rest[0], rest[1:]
@@ -381,7 +389,7 @@ func runTrace(oc *rpc.ObsClient, rest []string) error {
 				return fmt.Errorf("trace id: %w", err)
 			}
 		}
-		spans, err := oc.Spans(traceID, 0)
+		spans, err := oc.Spans(ctx, traceID, 0)
 		if err != nil {
 			return err
 		}
@@ -393,7 +401,7 @@ func runTrace(oc *rpc.ObsClient, rest []string) error {
 		return nil
 
 	case "events":
-		events, err := oc.Events(0)
+		events, err := oc.Events(ctx, 0)
 		if err != nil {
 			return err
 		}
@@ -423,7 +431,7 @@ func runTrace(oc *rpc.ObsClient, rest []string) error {
 		return nil
 
 	case "metrics":
-		snap, err := oc.Snapshot()
+		snap, err := oc.Snapshot(ctx)
 		if err != nil {
 			return err
 		}

@@ -12,6 +12,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"net"
@@ -47,11 +48,13 @@ func run(args []string) error {
 	name := fs.String("name", "node", "node display name")
 	obsHTTP := fs.String("obs-http", "", "HTTP listen address for /debug/obs (empty: no HTTP endpoint)")
 	journalDir := fs.String("journal-dir", "", "directory for the demo manager's durable evolution journal and store image (with -demo)")
+	maxInflight := fs.Int("max-inflight", 0, "max concurrent dispatches before requests queue (0 = unlimited)")
+	queueDepth := fs.Int("queue-depth", 0, "admission queue depth beyond max-inflight; excess requests are shed with OVERLOADED (with -max-inflight)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	node, localAgent, err := startNode(*name, *addr, *agentEndpoint)
+	node, localAgent, err := startNode(*name, *addr, *agentEndpoint, *maxInflight, *queueDepth)
 	if err != nil {
 		return err
 	}
@@ -96,7 +99,7 @@ func run(args []string) error {
 
 // startNode builds the node against a local or remote binding agent. When
 // local, the agent service is hosted on the node itself.
-func startNode(name, addr, agentEndpoint string) (*legion.Node, *naming.Agent, error) {
+func startNode(name, addr, agentEndpoint string, maxInflight, queueDepth int) (*legion.Node, *naming.Agent, error) {
 	var (
 		authority  naming.Authority
 		localAgent *naming.Agent
@@ -111,10 +114,12 @@ func startNode(name, addr, agentEndpoint string) (*legion.Node, *naming.Agent, e
 		}
 	}
 	node, err := legion.NewNode(legion.NodeConfig{
-		Name:    name,
-		Agent:   authority,
-		TCPAddr: addr,
-		Obs:     obs.New(),
+		Name:        name,
+		Agent:       authority,
+		TCPAddr:     addr,
+		Obs:         obs.New(),
+		MaxInflight: maxInflight,
+		QueueDepth:  queueDepth,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -148,7 +153,7 @@ func attachJournal(mgr *manager.Manager, dir string) error {
 		return err
 	}
 	mgr.SetJournal(j)
-	rep, err := mgr.Recover()
+	rep, err := mgr.Recover(context.Background())
 	if err != nil {
 		return fmt.Errorf("recover from %s: %w", journalPath, err)
 	}

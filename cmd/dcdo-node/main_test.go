@@ -1,6 +1,8 @@
 package main
 
 import (
+	"context"
+
 	"encoding/json"
 	"net/http"
 	"testing"
@@ -15,7 +17,7 @@ import (
 )
 
 func TestStartNodeServesLocalAgent(t *testing.T) {
-	node, localAgent, err := startNode("t1", "127.0.0.1:0", "")
+	node, localAgent, err := startNode("t1", "127.0.0.1:0", "", 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,12 +39,12 @@ func TestStartNodeServesLocalAgent(t *testing.T) {
 
 func TestStartNodeAgainstRemoteAgent(t *testing.T) {
 	// First node serves the agent; second node registers through it.
-	first, _, err := startNode("hub", "127.0.0.1:0", "")
+	first, _, err := startNode("hub", "127.0.0.1:0", "", 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer first.Close()
-	second, localAgent, err := startNode("leaf", "127.0.0.1:0", first.Endpoint())
+	second, localAgent, err := startNode("leaf", "127.0.0.1:0", first.Endpoint(), 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,20 +59,20 @@ func TestStartNodeAgainstRemoteAgent(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The first node resolves and calls the object hosted on the second.
-	out, err := first.Client().Invoke(loid, "ping", nil)
+	out, err := first.Client().Invoke(context.Background(), loid, "ping", nil)
 	if err != nil || string(out) != "ok" {
 		t.Fatalf("invoke = %q, %v", out, err)
 	}
 }
 
 func TestStartNodeBadAddr(t *testing.T) {
-	if _, _, err := startNode("bad", "256.0.0.1:99999", ""); err == nil {
+	if _, _, err := startNode("bad", "256.0.0.1:99999", "", 0, 0); err == nil {
 		t.Fatal("bad address accepted")
 	}
 }
 
 func TestDemoInstallEndToEnd(t *testing.T) {
-	node, _, err := startNode("demo", "127.0.0.1:0", "")
+	node, _, err := startNode("demo", "127.0.0.1:0", "", 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +83,7 @@ func TestDemoInstallEndToEnd(t *testing.T) {
 	}
 	args := wire.NewEncoder(8)
 	args.PutUvarint(20)
-	out, err := node.Client().Invoke(demo.PricingLOID, "price", args.Bytes())
+	out, err := node.Client().Invoke(context.Background(), demo.PricingLOID, "price", args.Bytes())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,10 +97,10 @@ func TestDemoInstallEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	_ = v11
-	if err := dep.Manager.SetCurrentVersion(mustVersion(t, "1.1")); err != nil {
+	if err := dep.Manager.SetCurrentVersion(context.Background(), mustVersion(t, "1.1")); err != nil {
 		t.Fatal(err)
 	}
-	out, err = node.Client().Invoke(demo.PricingLOID, "price", args.Bytes())
+	out, err = node.Client().Invoke(context.Background(), demo.PricingLOID, "price", args.Bytes())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +132,7 @@ func TestRunBadFlag(t *testing.T) {
 }
 
 func TestNodeObsServiceAndHTTP(t *testing.T) {
-	node, _, err := startNode("obsnode", "127.0.0.1:0", "")
+	node, _, err := startNode("obsnode", "127.0.0.1:0", "", 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +145,7 @@ func TestNodeObsServiceAndHTTP(t *testing.T) {
 	}
 	args := wire.NewEncoder(8)
 	args.PutUvarint(20)
-	if _, err := node.Client().Invoke(demo.PricingLOID, "price", args.Bytes()); err != nil {
+	if _, err := node.Client().Invoke(context.Background(), demo.PricingLOID, "price", args.Bytes()); err != nil {
 		t.Fatal(err)
 	}
 
@@ -151,7 +153,7 @@ func TestNodeObsServiceAndHTTP(t *testing.T) {
 	dialer := transport.NewTCPDialer()
 	defer dialer.Close()
 	oc := &rpc.ObsClient{Dialer: dialer, Endpoint: node.Endpoint(), Timeout: 2 * time.Second}
-	snap, err := oc.Snapshot()
+	snap, err := oc.Snapshot(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -40,6 +40,7 @@
 package dcdo
 
 import (
+	"context"
 	"io"
 
 	"godcdo/internal/baseline"
@@ -376,9 +377,10 @@ func NewFileVault(dir string) (Vault, error) { return vault.NewFile(dir) }
 
 // EnsureCurrent implements the client side of the explicit update policy:
 // it compares the object's version with the remote manager's current
-// version and initiates an update when they differ.
-func EnsureCurrent(client *Client, mgr, obj LOID) (bool, error) {
-	return manager.EnsureCurrent(client, mgr, obj)
+// version and initiates an update when they differ. ctx bounds the round
+// trips and is propagated to the remote side as the call deadline.
+func EnsureCurrent(ctx context.Context, client *Client, mgr, obj LOID) (bool, error) {
+	return manager.EnsureCurrent(ctx, client, mgr, obj)
 }
 
 // NewInprocNetwork returns an in-process transport network.

@@ -1,6 +1,8 @@
 package dcdo_test
 
 import (
+	"context"
+
 	"errors"
 	"testing"
 	"time"
@@ -45,14 +47,14 @@ func TestNodeAndMigrationThroughFacade(t *testing.T) {
 
 	loid := dcdo.NewAllocator(1, 1).Next()
 	obj := dcdo.New(dcdo.Config{LOID: loid, Registry: reg, Fetcher: fetcher})
-	if err := obj.Incorporate(icos["greeter-en"], true); err != nil {
+	if err := obj.Incorporate(context.Background(), icos["greeter-en"], true); err != nil {
 		t.Fatal(err)
 	}
 	obj.SetVersion(dcdo.RootVersion)
 	if _, err := src.HostObject(loid, obj); err != nil {
 		t.Fatal(err)
 	}
-	out, err := dst.Client().Invoke(loid, "greet", nil)
+	out, err := dst.Client().Invoke(context.Background(), loid, "greet", nil)
 	if err != nil || string(out) != "hello" {
 		t.Fatalf("greet = %q, %v", out, err)
 	}
@@ -62,7 +64,7 @@ func TestNodeAndMigrationThroughFacade(t *testing.T) {
 	if err := dcdo.Migrate(loid, src, dst, obj, target); err != nil {
 		t.Fatal(err)
 	}
-	out, err = src.Client().Invoke(loid, "greet", nil)
+	out, err = src.Client().Invoke(context.Background(), loid, "greet", nil)
 	if err != nil || string(out) != "hello" {
 		t.Fatalf("greet after migration = %q, %v", out, err)
 	}
@@ -87,11 +89,11 @@ func TestNormalObjectClassFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := node.Client().Invoke(obj.LOID(), "ping", nil)
+	out, err := node.Client().Invoke(context.Background(), obj.LOID(), "ping", nil)
 	if err != nil || string(out) != "pong" {
 		t.Fatalf("ping = %q, %v", out, err)
 	}
-	if _, err := node.Client().Invoke(obj.LOID(), "absent", nil); !errors.Is(err, dcdo.ErrNoSuchFunction) {
+	if _, err := node.Client().Invoke(context.Background(), obj.LOID(), "absent", nil); !errors.Is(err, dcdo.ErrNoSuchFunction) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -137,12 +139,12 @@ func TestLazyUpdaterFacade(t *testing.T) {
 	if err := mgr.Store().MarkInstantiable(root); err != nil {
 		t.Fatal(err)
 	}
-	if err := mgr.SetCurrentVersion(root); err != nil {
+	if err := mgr.SetCurrentVersion(context.Background(), root); err != nil {
 		t.Fatal(err)
 	}
 
 	obj := dcdo.New(dcdo.Config{LOID: dcdo.NewAllocator(1, 1).Next(), Registry: reg, Fetcher: fetcher})
-	if err := mgr.CreateInstance(dcdo.LocalInstance{Obj: obj}, nil, dcdo.NativeImplType); err != nil {
+	if err := mgr.CreateInstance(context.Background(), dcdo.LocalInstance{Obj: obj}, nil, dcdo.NativeImplType); err != nil {
 		t.Fatal(err)
 	}
 	lazy := dcdo.NewLazyUpdater(obj, mgr, dcdo.StrictConsistency())
@@ -165,7 +167,7 @@ func TestLazyUpdaterFacade(t *testing.T) {
 	if err := mgr.Store().MarkInstantiable(child); err != nil {
 		t.Fatal(err)
 	}
-	if err := mgr.SetCurrentVersion(child); err != nil {
+	if err := mgr.SetCurrentVersion(context.Background(), child); err != nil {
 		t.Fatal(err)
 	}
 	out, err := lazy.InvokeMethod("greet", nil)
@@ -199,10 +201,10 @@ func TestComponentStoreFacade(t *testing.T) {
 	store := dcdo.NewComponentStore()
 	caching := &dcdo.CachingFetcher{Store: store, Backing: fetcher}
 	ico := icos["greeter-en"]
-	if _, err := caching.Fetch(ico); err != nil {
+	if _, err := caching.Fetch(context.Background(), ico); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := caching.Fetch(ico); err != nil {
+	if _, err := caching.Fetch(context.Background(), ico); err != nil {
 		t.Fatal(err)
 	}
 	hits, misses := caching.Stats()

@@ -1,6 +1,8 @@
 package dcdo_test
 
 import (
+	"context"
+
 	"errors"
 	"fmt"
 
@@ -61,7 +63,7 @@ func Example_basic() {
 		Registry: reg,
 		Fetcher:  fetcher,
 	})
-	if err := obj.Incorporate(icos["greeter-en"], true); err != nil {
+	if err := obj.Incorporate(context.Background(), icos["greeter-en"], true); err != nil {
 		fmt.Println("incorporate:", err)
 		return
 	}
@@ -86,11 +88,11 @@ func Example_evolve() {
 		Registry: reg,
 		Fetcher:  fetcher,
 	})
-	if err := obj.Incorporate(icos["greeter-en"], true); err != nil {
+	if err := obj.Incorporate(context.Background(), icos["greeter-en"], true); err != nil {
 		fmt.Println(err)
 		return
 	}
-	if err := obj.Incorporate(icos["greeter-fr"], false); err != nil {
+	if err := obj.Incorporate(context.Background(), icos["greeter-fr"], false); err != nil {
 		fmt.Println(err)
 		return
 	}
@@ -201,7 +203,7 @@ func Example_manager() {
 		fmt.Println(err)
 		return
 	}
-	if err := mgr.SetCurrentVersion(root); err != nil {
+	if err := mgr.SetCurrentVersion(context.Background(), root); err != nil {
 		fmt.Println(err)
 		return
 	}
@@ -211,7 +213,7 @@ func Example_manager() {
 		Registry: reg,
 		Fetcher:  fetcher,
 	})
-	if err := mgr.CreateInstance(dcdo.LocalInstance{Obj: obj}, nil, dcdo.NativeImplType); err != nil {
+	if err := mgr.CreateInstance(context.Background(), dcdo.LocalInstance{Obj: obj}, nil, dcdo.NativeImplType); err != nil {
 		fmt.Println(err)
 		return
 	}
@@ -234,7 +236,7 @@ func Example_manager() {
 		fmt.Println(err)
 		return
 	}
-	if err := mgr.SetCurrentVersion(child); err != nil { // proactive: evolves the fleet
+	if err := mgr.SetCurrentVersion(context.Background(), child); err != nil { // proactive: evolves the fleet
 		fmt.Println(err)
 		return
 	}

@@ -1,6 +1,8 @@
 package dcdo_test
 
 import (
+	"context"
+
 	"bytes"
 	"testing"
 
@@ -40,7 +42,7 @@ func TestVersionStorePersistenceThroughFacade(t *testing.T) {
 	if !restarted.Store().IsInstantiable(root) {
 		t.Fatal("instantiable state lost across restart")
 	}
-	if err := restarted.SetCurrentVersion(root); err != nil {
+	if err := restarted.SetCurrentVersion(context.Background(), root); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -97,7 +99,7 @@ func TestEnsureCurrentThroughFacade(t *testing.T) {
 	if err := mgr.Store().MarkInstantiable(root); err != nil {
 		t.Fatal(err)
 	}
-	if err := mgr.SetCurrentVersion(root); err != nil {
+	if err := mgr.SetCurrentVersion(context.Background(), root); err != nil {
 		t.Fatal(err)
 	}
 
@@ -111,11 +113,11 @@ func TestEnsureCurrentThroughFacade(t *testing.T) {
 	if _, err := node.HostObject(mgrLOID, &dcdo.ManagerObject{Mgr: mgr}); err != nil {
 		t.Fatal(err)
 	}
-	if err := mgr.CreateInstance(dcdo.RemoteInstance{Client: node.Client(), Target: obj.LOID()}, nil, dcdo.NativeImplType); err != nil {
+	if err := mgr.CreateInstance(context.Background(), dcdo.RemoteInstance{Client: node.Client(), Target: obj.LOID()}, nil, dcdo.NativeImplType); err != nil {
 		t.Fatal(err)
 	}
 
-	updated, err := dcdo.EnsureCurrent(node.Client(), mgrLOID, obj.LOID())
+	updated, err := dcdo.EnsureCurrent(context.Background(), node.Client(), mgrLOID, obj.LOID())
 	if err != nil || updated {
 		t.Fatalf("EnsureCurrent = %v, %v; want no-op", updated, err)
 	}

@@ -6,6 +6,8 @@
 package main
 
 import (
+	"context"
+
 	"errors"
 	"fmt"
 	"log"
@@ -110,7 +112,7 @@ func run() error {
 	v1Desc.Entries = []dcdo.EntryDesc{
 		{Function: "price", Component: "pricing-v1", Exported: true, Enabled: true},
 	}
-	if _, err := obj.ApplyDescriptor(v1Desc, dcdo.RootVersion); err != nil {
+	if _, err := obj.ApplyDescriptor(context.Background(), v1Desc, dcdo.RootVersion); err != nil {
 		return err
 	}
 	if _, err := server.HostObject(obj.LOID(), obj); err != nil {
@@ -140,7 +142,7 @@ func run() error {
 					return
 				default:
 				}
-				out, err := clientNode.Client().Invoke(obj.LOID(), "price", args.Bytes())
+				out, err := clientNode.Client().Invoke(context.Background(), obj.LOID(), "price", args.Bytes())
 				requests.Add(1)
 				if err != nil {
 					if errors.Is(err, dcdo.ErrFunctionDisabled) {
@@ -178,7 +180,7 @@ func run() error {
 		Function: "price", Component: "pricing-v2", Exported: true, Enabled: true,
 	})
 	upgradeStart := time.Now()
-	report, err := obj.ApplyDescriptor(v11Desc, dcdo.VersionID{1, 1})
+	report, err := obj.ApplyDescriptor(context.Background(), v11Desc, dcdo.VersionID{1, 1})
 	if err != nil {
 		return err
 	}

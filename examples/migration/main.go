@@ -7,6 +7,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 
@@ -98,7 +100,7 @@ func run() error {
 	}
 
 	invoke := func(method string) (string, error) {
-		out, err := clientNode.Client().Invoke(loid, method, nil)
+		out, err := clientNode.Client().Invoke(context.Background(), loid, method, nil)
 		return string(out), err
 	}
 	show := func(stage string) error {

@@ -5,6 +5,8 @@
 package main
 
 import (
+	"context"
+
 	"errors"
 	"fmt"
 	"log"
@@ -112,18 +114,18 @@ func run() error {
 	fleet := make([]*dcdo.DCDO, 5)
 	for i := range fleet {
 		fleet[i] = dcdo.New(dcdo.Config{LOID: objAlloc.Next(), Registry: reg, Fetcher: fetcher})
-		if err := mgr.CreateInstance(dcdo.LocalInstance{Obj: fleet[i]}, v1, dcdo.NativeImplType); err != nil {
+		if err := mgr.CreateInstance(context.Background(), dcdo.LocalInstance{Obj: fleet[i]}, v1, dcdo.NativeImplType); err != nil {
 			return err
 		}
 	}
 
 	// Canary: evolve instances 0–1 to 1.1, then 0 to 1.1.1.
 	for _, i := range []int{0, 1} {
-		if err := mgr.EvolveInstance(fleet[i].LOID(), v11); err != nil {
+		if err := mgr.EvolveInstance(context.Background(), fleet[i].LOID(), v11); err != nil {
 			return err
 		}
 	}
-	if err := mgr.EvolveInstance(fleet[0].LOID(), v111); err != nil {
+	if err := mgr.EvolveInstance(context.Background(), fleet[0].LOID(), v111); err != nil {
 		return err
 	}
 
@@ -140,13 +142,13 @@ func run() error {
 
 	// The policy at work: instance 1 (at 1.1) cannot go back to 1, and
 	// instance 2 (at 1) cannot jump sideways to a non-descendant.
-	err = mgr.EvolveInstance(fleet[1].LOID(), v1)
+	err = mgr.EvolveInstance(context.Background(), fleet[1].LOID(), v1)
 	fmt.Printf("\nevolve %s from 1.1 back to 1: %v\n", fleet[1].LOID(), err)
 	if err == nil {
 		return errors.New("increasing-version policy failed to deny ascent")
 	}
 	// But 1 -> 1.1.1 (skipping 1.1) is fine: still a descendant.
-	if err := mgr.EvolveInstance(fleet[2].LOID(), v111); err != nil {
+	if err := mgr.EvolveInstance(context.Background(), fleet[2].LOID(), v111); err != nil {
 		return err
 	}
 	out, _ := fleet[2].InvokeMethod("motd", nil)

@@ -5,6 +5,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 
@@ -80,7 +82,7 @@ func run() error {
 	if err := mgr.Store().MarkInstantiable(root); err != nil {
 		return err
 	}
-	if err := mgr.SetCurrentVersion(root); err != nil {
+	if err := mgr.SetCurrentVersion(context.Background(), root); err != nil {
 		return err
 	}
 
@@ -90,7 +92,7 @@ func run() error {
 		Registry: reg,
 		Fetcher:  fetcher,
 	})
-	if err := mgr.CreateInstance(dcdo.LocalInstance{Obj: obj}, nil, dcdo.NativeImplType); err != nil {
+	if err := mgr.CreateInstance(context.Background(), dcdo.LocalInstance{Obj: obj}, nil, dcdo.NativeImplType); err != nil {
 		return err
 	}
 	out, err := obj.InvokeMethod("greet", nil)
@@ -117,7 +119,7 @@ func run() error {
 	if err := mgr.Store().MarkInstantiable(child); err != nil {
 		return err
 	}
-	if err := mgr.SetCurrentVersion(child); err != nil {
+	if err := mgr.SetCurrentVersion(context.Background(), child); err != nil {
 		return err
 	}
 

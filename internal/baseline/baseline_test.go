@@ -1,6 +1,8 @@
 package baseline
 
 import (
+	"context"
+
 	"errors"
 	"testing"
 	"time"
@@ -69,7 +71,7 @@ func TestEvolveReplacesImplementationAndKeepsState(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.dst.Client().Invoke(obj.LOID(), "inc", nil); err != nil {
+	if _, err := e.dst.Client().Invoke(context.Background(), obj.LOID(), "inc", nil); err != nil {
 		t.Fatal(err)
 	}
 
@@ -85,10 +87,10 @@ func TestEvolveReplacesImplementationAndKeepsState(t *testing.T) {
 		t.Fatal("no new incarnation returned")
 	}
 	// State survived: counter still 1; new behaviour: inc now bumps by 10.
-	if _, err := e.dst.Client().Invoke(obj.LOID(), "inc", nil); err != nil {
+	if _, err := e.dst.Client().Invoke(context.Background(), obj.LOID(), "inc", nil); err != nil {
 		t.Fatal(err)
 	}
-	out, err := e.dst.Client().Invoke(obj.LOID(), "get", nil)
+	out, err := e.dst.Client().Invoke(context.Background(), obj.LOID(), "get", nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package component
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -97,9 +98,11 @@ func (o *ICO) InvokeMethod(method string, args []byte) ([]byte, error) {
 
 // Fetcher obtains components by the LOID of their ICO. The DCDO
 // incorporation path is written against this interface so in-process tests,
-// cached stores, and genuinely remote ICOs are interchangeable.
+// cached stores, and genuinely remote ICOs are interchangeable. Fetches may
+// involve many round trips; ctx lets an evolution abandon a transfer when
+// the caller's deadline expires.
 type Fetcher interface {
-	Fetch(ico naming.LOID) (*Component, error)
+	Fetch(ctx context.Context, ico naming.LOID) (*Component, error)
 }
 
 // RemoteFetcher downloads components from ICOs over RPC, chunk by chunk.
@@ -110,8 +113,8 @@ type RemoteFetcher struct {
 var _ Fetcher = (*RemoteFetcher)(nil)
 
 // Fetch implements Fetcher.
-func (f *RemoteFetcher) Fetch(ico naming.LOID) (*Component, error) {
-	descBytes, err := f.Client.Invoke(ico, MethodGetDescriptor, nil)
+func (f *RemoteFetcher) Fetch(ctx context.Context, ico naming.LOID) (*Component, error) {
+	descBytes, err := f.Client.Invoke(ctx, ico, MethodGetDescriptor, nil)
 	if err != nil {
 		return nil, fmt.Errorf("fetch descriptor from %s: %w", ico, err)
 	}
@@ -120,7 +123,7 @@ func (f *RemoteFetcher) Fetch(ico naming.LOID) (*Component, error) {
 		return nil, fmt.Errorf("fetch from %s: %w", ico, err)
 	}
 
-	sizeBytes, err := f.Client.Invoke(ico, MethodGetCodeSize, nil)
+	sizeBytes, err := f.Client.Invoke(ctx, ico, MethodGetCodeSize, nil)
 	if err != nil {
 		return nil, fmt.Errorf("fetch code size from %s: %w", ico, err)
 	}
@@ -131,10 +134,15 @@ func (f *RemoteFetcher) Fetch(ico naming.LOID) (*Component, error) {
 
 	code := make([]byte, 0, size)
 	for offset := uint64(0); offset < size; {
+		// Chunked transfers can run long; check between chunks so a spent
+		// deadline aborts the download rather than issuing doomed calls.
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("read code from %s at %d: %w", ico, offset, err)
+		}
 		e := wire.NewEncoder(16)
 		e.PutUvarint(offset)
 		e.PutUvarint(ReadChunkSize)
-		chunk, err := f.Client.Invoke(ico, MethodReadCode, e.Bytes())
+		chunk, err := f.Client.Invoke(ctx, ico, MethodReadCode, e.Bytes())
 		if err != nil {
 			return nil, fmt.Errorf("read code from %s at %d: %w", ico, offset, err)
 		}
@@ -203,7 +211,7 @@ type CachingFetcher struct {
 var _ Fetcher = (*CachingFetcher)(nil)
 
 // Fetch implements Fetcher.
-func (f *CachingFetcher) Fetch(ico naming.LOID) (*Component, error) {
+func (f *CachingFetcher) Fetch(ctx context.Context, ico naming.LOID) (*Component, error) {
 	if c, ok := f.Store.Get(ico); ok {
 		f.mu.Lock()
 		f.hits++
@@ -213,7 +221,7 @@ func (f *CachingFetcher) Fetch(ico naming.LOID) (*Component, error) {
 	f.mu.Lock()
 	f.misses++
 	f.mu.Unlock()
-	c, err := f.Backing.Fetch(ico)
+	c, err := f.Backing.Fetch(ctx, ico)
 	if err != nil {
 		return nil, err
 	}
@@ -228,8 +236,12 @@ func (f *CachingFetcher) Stats() (hits, misses uint64) {
 	return f.hits, f.misses
 }
 
-// FetcherFunc adapts a function to the Fetcher interface.
+// FetcherFunc adapts a function to the Fetcher interface. The adapted
+// function ignores ctx; use this for in-memory fetchers where cancellation
+// has nothing to interrupt.
 type FetcherFunc func(ico naming.LOID) (*Component, error)
 
 // Fetch implements Fetcher.
-func (f FetcherFunc) Fetch(ico naming.LOID) (*Component, error) { return f(ico) }
+func (f FetcherFunc) Fetch(_ context.Context, ico naming.LOID) (*Component, error) {
+	return f(ico)
+}

@@ -1,6 +1,8 @@
 package component
 
 import (
+	"context"
+
 	"bytes"
 	"errors"
 	"testing"
@@ -152,7 +154,7 @@ func TestRemoteFetcherRoundTrip(t *testing.T) {
 	comp := syntheticComponent(t, "remote", 3*ReadChunkSize/2)
 	client, loid := remoteEnv(t, comp)
 	f := &RemoteFetcher{Client: client}
-	got, err := f.Fetch(loid)
+	got, err := f.Fetch(context.Background(), loid)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +170,7 @@ func TestRemoteFetcherZeroSizeCode(t *testing.T) {
 	comp := syntheticComponent(t, "tiny", 0)
 	client, loid := remoteEnv(t, comp)
 	f := &RemoteFetcher{Client: client}
-	got, err := f.Fetch(loid)
+	got, err := f.Fetch(context.Background(), loid)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +182,7 @@ func TestRemoteFetcherZeroSizeCode(t *testing.T) {
 func TestRemoteFetcherUnboundICO(t *testing.T) {
 	client, _ := remoteEnv(t, syntheticComponent(t, "x", 1))
 	f := &RemoteFetcher{Client: client}
-	if _, err := f.Fetch(naming.LOID{Instance: 999}); err == nil {
+	if _, err := f.Fetch(context.Background(), naming.LOID{Instance: 999}); err == nil {
 		t.Fatal("expected error fetching unbound ICO")
 	}
 }
@@ -201,7 +203,7 @@ func TestStoreAndCachingFetcher(t *testing.T) {
 	cf := &CachingFetcher{Store: store, Backing: backing}
 
 	for i := 0; i < 3; i++ {
-		got, err := cf.Fetch(loid)
+		got, err := cf.Fetch(context.Background(), loid)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -231,7 +233,7 @@ func TestCachingFetcherPropagatesErrors(t *testing.T) {
 		Store:   NewStore(),
 		Backing: FetcherFunc(func(naming.LOID) (*Component, error) { return nil, wantErr }),
 	}
-	if _, err := cf.Fetch(naming.LOID{Instance: 1}); !errors.Is(err, wantErr) {
+	if _, err := cf.Fetch(context.Background(), naming.LOID{Instance: 1}); !errors.Is(err, wantErr) {
 		t.Fatalf("err = %v, want %v", err, wantErr)
 	}
 	if cf.Store.Len() != 0 {

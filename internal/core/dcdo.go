@@ -14,6 +14,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -145,8 +146,9 @@ type DCDO struct {
 }
 
 var (
-	_ rpc.Object      = (*DCDO)(nil)
-	_ registry.Caller = (*DCDO)(nil)
+	_ rpc.Object             = (*DCDO)(nil)
+	_ rpc.ContextAwareObject = (*DCDO)(nil)
+	_ registry.Caller        = (*DCDO)(nil)
 )
 
 // New returns an empty DCDO; its implementation grows by incorporating
@@ -189,7 +191,7 @@ func (d *DCDO) DFM() *dfm.DFM { return d.table }
 // ("dcdo."-prefixed) and invocations of exported dynamic functions.
 func (d *DCDO) InvokeMethod(method string, args []byte) ([]byte, error) {
 	if strings.HasPrefix(method, ControlPrefix) {
-		return d.invokeControl(method, args)
+		return d.invokeControl(context.Background(), method, args)
 	}
 	if st := d.obsState.Load(); st != nil {
 		return d.invokeMetered(st, method, args)
@@ -200,6 +202,47 @@ func (d *DCDO) InvokeMethod(method string, args []byte) ([]byte, error) {
 	}
 	defer release()
 	return impl(d, args)
+}
+
+// InvokeMethodCtx implements rpc.ContextAwareObject: the dispatcher hands
+// the request context down so an already-cancelled call never resolves or
+// executes, and a deadline that expires during DFM resolution aborts before
+// the user function runs. The stage boundaries — before resolve, and between
+// resolve and execution — are the cancellation points; a function already
+// running is never interrupted (the DFM's thread-activity accounting depends
+// on calls completing).
+func (d *DCDO) InvokeMethodCtx(ctx context.Context, method string, args []byte) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if strings.HasPrefix(method, ControlPrefix) {
+		return d.invokeControl(ctx, method, args)
+	}
+	st := d.obsState.Load()
+	var resolveStart time.Time
+	if st != nil && st.histResolve != nil {
+		resolveStart = time.Now()
+	}
+	impl, release, err := d.table.BeginExportedCall(method)
+	if st != nil && st.histResolve != nil {
+		st.histResolve.Observe(time.Since(resolveStart))
+	}
+	if err != nil {
+		return nil, mapDFMError(err)
+	}
+	defer release()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var funcStart time.Time
+	if st != nil && st.histFunc != nil {
+		funcStart = time.Now()
+	}
+	result, err := impl(d, args)
+	if st != nil && st.histFunc != nil {
+		st.histFunc.Observe(time.Since(funcStart))
+	}
+	return result, err
 }
 
 // CallInternal implements registry.Caller: dynamic functions call other
@@ -232,9 +275,10 @@ func mapDFMError(err error) error {
 
 // Incorporate fetches the component held by the ICO named ico and
 // incorporates it: functions become present (initially disabled unless
-// enable is set) and may then be enabled and called.
-func (d *DCDO) Incorporate(ico naming.LOID, enable bool) error {
-	comp, err := d.cfg.Fetcher.Fetch(ico)
+// enable is set) and may then be enabled and called. The fetch — potentially
+// many network round trips — runs under ctx.
+func (d *DCDO) Incorporate(ctx context.Context, ico naming.LOID, enable bool) error {
+	comp, err := d.cfg.Fetcher.Fetch(ctx, ico)
 	if err != nil {
 		return fmt.Errorf("incorporate: %w", err)
 	}

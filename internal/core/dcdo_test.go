@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"errors"
 	"reflect"
 	"sync"
@@ -103,7 +105,7 @@ func TestIncorporateRejectsDuplicate(t *testing.T) {
 	f := newFixture(t)
 	d := f.newDCDO(t, Config{})
 	f.incorporate(t, d, "mathlib", true)
-	err := d.Incorporate(f.icos["mathlib"], true)
+	err := d.Incorporate(context.Background(), f.icos["mathlib"], true)
 	if !errors.Is(err, ErrAlreadyIncorporated) {
 		t.Fatalf("err = %v, want ErrAlreadyIncorporated", err)
 	}
@@ -112,7 +114,7 @@ func TestIncorporateRejectsDuplicate(t *testing.T) {
 func TestIncorporateRejectsIncompatibleImplType(t *testing.T) {
 	f := newFixture(t)
 	d := f.newDCDO(t, Config{HostImpl: registry.ImplType{Arch: "sparc", Format: "elf", Language: "c"}})
-	err := d.Incorporate(f.icos["mathlib"], true)
+	err := d.Incorporate(context.Background(), f.icos["mathlib"], true)
 	if !errors.Is(err, ErrIncompatibleImpl) {
 		t.Fatalf("err = %v, want ErrIncompatibleImpl", err)
 	}
@@ -182,7 +184,7 @@ func TestPermanentConflictOnIncorporation(t *testing.T) {
 
 	d := f.newDCDO(t, Config{})
 	f.incorporate(t, d, "permA", true)
-	err := d.Incorporate(f.icos["permB"], false)
+	err := d.Incorporate(context.Background(), f.icos["permB"], false)
 	if !errors.Is(err, ErrPermanentConflict) {
 		t.Fatalf("err = %v, want ErrPermanentConflict", err)
 	}
@@ -201,7 +203,7 @@ func TestIncorporateRollbackOnMissingFunc(t *testing.T) {
 	}, naming.LOID{Domain: 1, Class: 9, Instance: 60})
 
 	d := f.newDCDO(t, Config{})
-	err := d.Incorporate(f.icos["broken"], true)
+	err := d.Incorporate(context.Background(), f.icos["broken"], true)
 	if err == nil {
 		t.Fatal("expected incorporation failure")
 	}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"strings"
 	"sync"
 	"testing"
@@ -81,7 +83,7 @@ func TestObserverSeesEvolutionEvent(t *testing.T) {
 	target := snapshotWith(d, func(desc *dfm.Descriptor) {
 		desc.Entry(key("sort", "mathlib")).Exported = false
 	})
-	if _, err := d.ApplyDescriptor(target, version.ID{1, 4}); err != nil {
+	if _, err := d.ApplyDescriptor(context.Background(), target, version.ID{1, 4}); err != nil {
 		t.Fatal(err)
 	}
 	e := rec.last()

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"godcdo/internal/dfm"
@@ -28,11 +29,19 @@ type ApplyReport struct {
 // The object keeps servicing calls throughout: evolution never deactivates
 // the process. Calls racing a mid-flight evolution may observe a function
 // as transiently disabled, which §3.2 requires callers to tolerate.
-func (d *DCDO) ApplyDescriptor(target *dfm.Descriptor, newVersion version.ID) (ApplyReport, error) {
+//
+// ctx is checked at each phase boundary: a cancelled evolution stops between
+// phases, never mid-phase, so the object is always left in a consistent —
+// if intermediate — configuration. Component fetches (phase 3) also run
+// under ctx, so a deadline that expires mid-transfer aborts the download.
+func (d *DCDO) ApplyDescriptor(ctx context.Context, target *dfm.Descriptor, newVersion version.ID) (ApplyReport, error) {
 	d.evolveMu.Lock()
 	defer d.evolveMu.Unlock()
 
 	var report ApplyReport
+	if err := ctx.Err(); err != nil {
+		return report, fmt.Errorf("apply: %w", err)
+	}
 	current := d.Snapshot()
 	plan := dfm.Diff(current, target)
 
@@ -57,6 +66,9 @@ func (d *DCDO) ApplyDescriptor(target *dfm.Descriptor, newVersion version.ID) (A
 	}
 
 	// Phase 2: remove departing and replaced components.
+	if err := ctx.Err(); err != nil {
+		return report, fmt.Errorf("apply: %w", err)
+	}
 	remove := append(append([]string{}, plan.RemoveComponents...), plan.ReplaceComponents...)
 	for _, id := range remove {
 		if err := d.waitComponentIdle(id); err != nil {
@@ -84,13 +96,16 @@ func (d *DCDO) ApplyDescriptor(target *dfm.Descriptor, newVersion version.ID) (A
 
 	// Phase 3: incorporate arriving and replaced components, entries
 	// initially disabled so cross-component swaps never double-enable.
+	if err := ctx.Err(); err != nil {
+		return report, fmt.Errorf("apply: %w", err)
+	}
 	add := append(append([]string{}, plan.AddComponents...), plan.ReplaceComponents...)
 	for _, id := range add {
 		ref, ok := target.Components[id]
 		if !ok {
 			return report, fmt.Errorf("apply: target missing component ref %q", id)
 		}
-		comp, err := d.cfg.Fetcher.Fetch(ref.ICO)
+		comp, err := d.cfg.Fetcher.Fetch(ctx, ref.ICO)
 		if err != nil {
 			return report, fmt.Errorf("apply: fetch %q: %w", id, err)
 		}
@@ -109,6 +124,9 @@ func (d *DCDO) ApplyDescriptor(target *dfm.Descriptor, newVersion version.ID) (A
 
 	// Phase 4: enable everything the target enables — retunes and new
 	// entries alike.
+	if err := ctx.Err(); err != nil {
+		return report, fmt.Errorf("apply: %w", err)
+	}
 	for _, e := range plan.Retune {
 		if !e.Enabled {
 			continue
@@ -144,8 +162,9 @@ func (d *DCDO) ApplyDescriptor(target *dfm.Descriptor, newVersion version.ID) (A
 // --- Remote control plane --------------------------------------------------
 
 // invokeControl dispatches "dcdo."-prefixed methods, the remotely callable
-// configuration and status interface.
-func (d *DCDO) invokeControl(method string, args []byte) ([]byte, error) {
+// configuration and status interface. ctx bounds the long-running operations
+// (applyDescriptor, incorporate); status queries answer regardless.
+func (d *DCDO) invokeControl(ctx context.Context, method string, args []byte) ([]byte, error) {
 	switch method {
 	case MethodInterface:
 		e := wire.NewEncoder(64)
@@ -178,7 +197,7 @@ func (d *DCDO) invokeControl(method string, args []byte) ([]byte, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%w: %v", rpc.ErrBadRequest, err)
 		}
-		report, err := d.ApplyDescriptor(target, ver)
+		report, err := d.ApplyDescriptor(ctx, target, ver)
 		if err != nil {
 			return nil, err
 		}
@@ -220,7 +239,7 @@ func (d *DCDO) invokeControl(method string, args []byte) ([]byte, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%w: enable flag: %v", rpc.ErrBadRequest, err)
 		}
-		return nil, d.Incorporate(ico, enable)
+		return nil, d.Incorporate(ctx, ico, enable)
 
 	case MethodRemoveComponent:
 		dec := wire.NewDecoder(args)

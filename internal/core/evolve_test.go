@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"errors"
 	"reflect"
 	"testing"
@@ -33,7 +35,7 @@ func TestApplyDescriptorRetuneSwapsImplementation(t *testing.T) {
 		desc.Entry(key("compare", "mathlib")).Enabled = false
 		desc.Entry(key("compare", "revlib")).Enabled = true
 	})
-	report, err := d.ApplyDescriptor(target, version.ID{1, 1})
+	report, err := d.ApplyDescriptor(context.Background(), target, version.ID{1, 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +73,7 @@ func TestApplyDescriptorAddsComponent(t *testing.T) {
 			Function: "hash", Component: "utillib", Exported: true, Enabled: true,
 		})
 	})
-	report, err := d.ApplyDescriptor(target, version.ID{1, 1})
+	report, err := d.ApplyDescriptor(context.Background(), target, version.ID{1, 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +107,7 @@ func TestApplyDescriptorRemovesComponent(t *testing.T) {
 		}
 		desc.Entries = kept
 	})
-	report, err := d.ApplyDescriptor(target, version.ID{1, 1})
+	report, err := d.ApplyDescriptor(context.Background(), target, version.ID{1, 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +139,7 @@ func TestApplyDescriptorReplacesRevision(t *testing.T) {
 		ref.ICO = naming.LOID{Domain: 1, Class: 9, Instance: 99}
 		desc.Components["utillib"] = ref
 	})
-	report, err := d.ApplyDescriptor(target, version.ID{2})
+	report, err := d.ApplyDescriptor(context.Background(), target, version.ID{2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +161,7 @@ func TestApplyDescriptorIdempotentOnEquivalentTarget(t *testing.T) {
 	f.incorporate(t, d, "mathlib", true)
 	d.SetVersion(version.ID{1})
 
-	report, err := d.ApplyDescriptor(d.Snapshot(), version.ID{1})
+	report, err := d.ApplyDescriptor(context.Background(), d.Snapshot(), version.ID{1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +184,7 @@ func TestApplyDescriptorFetchFailureLeavesObjectServing(t *testing.T) {
 			Function: "spook", Component: "ghost", Exported: true, Enabled: true,
 		})
 	})
-	if _, err := d.ApplyDescriptor(target, version.ID{9}); err == nil {
+	if _, err := d.ApplyDescriptor(context.Background(), target, version.ID{9}); err == nil {
 		t.Fatal("expected fetch failure")
 	}
 	// The object keeps serving its previous implementation.
@@ -200,12 +202,12 @@ type flakyFetcher struct {
 	backing  component.Fetcher
 }
 
-func (f *flakyFetcher) Fetch(ico naming.LOID) (*component.Component, error) {
+func (f *flakyFetcher) Fetch(ctx context.Context, ico naming.LOID) (*component.Component, error) {
 	if f.failures > 0 {
 		f.failures--
 		return nil, errors.New("transient fetch failure")
 	}
-	return f.backing.Fetch(ico)
+	return f.backing.Fetch(ctx, ico)
 }
 
 func TestApplyDescriptorConvergesAfterTransientFetchFailures(t *testing.T) {
@@ -241,7 +243,7 @@ func TestApplyDescriptorConvergesAfterTransientFetchFailures(t *testing.T) {
 		if attempts > 5 {
 			t.Fatal("apply never converged")
 		}
-		if _, err := d.ApplyDescriptor(target, version.ID{2}); err != nil {
+		if _, err := d.ApplyDescriptor(context.Background(), target, version.ID{2}); err != nil {
 			continue
 		}
 		break
@@ -427,7 +429,7 @@ func TestApplyDescriptorOverRPC(t *testing.T) {
 		desc.Entry(key("compare", "mathlib")).Enabled = false
 		desc.Entry(key("compare", "revlib")).Enabled = true
 	})
-	out, err := env.client.Invoke(d.LOID(), MethodApplyDescriptor, EncodeApplyArgs(target, version.ID{1, 2}))
+	out, err := env.client.Invoke(context.Background(), d.LOID(), MethodApplyDescriptor, EncodeApplyArgs(target, version.ID{1, 2}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -437,7 +439,7 @@ func TestApplyDescriptorOverRPC(t *testing.T) {
 	}
 
 	// And a user call over RPC sees the new behaviour.
-	res, err := env.client.Invoke(d.LOID(), "sort", encodeInts([]int64{1, 2, 3}))
+	res, err := env.client.Invoke(context.Background(), d.LOID(), "sort", encodeInts([]int64{1, 2, 3}))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"time"
 
@@ -79,16 +80,21 @@ func (d *DCDO) invokeMetered(st *dcdoObs, method string, args []byte) ([]byte, e
 // InvokeMethodTraced implements rpc.ContextObject: the dispatcher hands the
 // server-side span context down so the object's internal stages — DFM
 // resolution and user-function execution (or the control-plane handler) —
-// appear as children of server.dispatch in the caller's trace.
-func (d *DCDO) InvokeMethodTraced(parent obs.SpanContext, method string, args []byte) ([]byte, error) {
+// appear as children of server.dispatch in the caller's trace. ctx is
+// checked at the same stage boundaries InvokeMethodCtx uses, so cancelled
+// calls abort between resolution and execution even when traced.
+func (d *DCDO) InvokeMethodTraced(ctx context.Context, parent obs.SpanContext, method string, args []byte) ([]byte, error) {
 	st := d.obsState.Load()
 	if st == nil || st.tracer == nil {
-		return d.InvokeMethod(method, args)
+		return d.InvokeMethodCtx(ctx, method, args)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	if strings.HasPrefix(method, ControlPrefix) {
 		sp := st.tracer.StartSpan(obs.StageDCDOControl, parent)
 		sp.Annotate("method", method)
-		result, err := d.invokeControl(method, args)
+		result, err := d.invokeControl(ctx, method, args)
 		sp.Fail(err)
 		sp.Finish()
 		return result, err
@@ -109,6 +115,9 @@ func (d *DCDO) InvokeMethodTraced(parent obs.SpanContext, method string, args []
 		return nil, mapDFMError(err)
 	}
 	defer release()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	fs := st.tracer.StartSpan(obs.StageDCDOFunc, parent)
 	fs.Annotate("function", method)
@@ -125,18 +134,18 @@ func (d *DCDO) InvokeMethodTraced(parent obs.SpanContext, method string, args []
 	return result, err
 }
 
-// ApplyDescriptorCtx is ApplyDescriptor with the caller's span context (the
-// manager's mgr.apply span), recording the whole evolution as a dcdo.apply
-// span. With tracing off it is exactly ApplyDescriptor.
-func (d *DCDO) ApplyDescriptorCtx(parent obs.SpanContext, target *dfm.Descriptor, newVersion version.ID) (ApplyReport, error) {
+// ApplyDescriptorTraced is ApplyDescriptor with the caller's span context
+// (the manager's mgr.apply span), recording the whole evolution as a
+// dcdo.apply span. With tracing off it is exactly ApplyDescriptor.
+func (d *DCDO) ApplyDescriptorTraced(ctx context.Context, parent obs.SpanContext, target *dfm.Descriptor, newVersion version.ID) (ApplyReport, error) {
 	st := d.obsState.Load()
 	if st == nil || st.tracer == nil {
-		return d.ApplyDescriptor(target, newVersion)
+		return d.ApplyDescriptor(ctx, target, newVersion)
 	}
 	sp := st.tracer.StartSpan(obs.StageDCDOApply, parent)
 	sp.Annotate("object", d.cfg.LOID.String())
 	sp.Annotate("version", newVersion.String())
-	report, err := d.ApplyDescriptor(target, newVersion)
+	report, err := d.ApplyDescriptor(ctx, target, newVersion)
 	sp.Fail(err)
 	sp.Finish()
 	return report, err

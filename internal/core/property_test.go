@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"fmt"
 	"math/rand"
 	"testing"
@@ -140,7 +142,7 @@ func TestPropertyApplyReachesAnyTarget(t *testing.T) {
 	if err := start.ValidateInstantiable(); err != nil {
 		t.Fatalf("generator produced invalid descriptor: %v", err)
 	}
-	if _, err := obj.ApplyDescriptor(start, version.ID{1}); err != nil {
+	if _, err := obj.ApplyDescriptor(context.Background(), start, version.ID{1}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -150,7 +152,7 @@ func TestPropertyApplyReachesAnyTarget(t *testing.T) {
 			t.Fatalf("round %d: generator produced invalid descriptor: %v", round, err)
 		}
 		ver := version.ID{1, uint32(round + 1)}
-		if _, err := obj.ApplyDescriptor(target, ver); err != nil {
+		if _, err := obj.ApplyDescriptor(context.Background(), target, ver); err != nil {
 			t.Fatalf("round %d: apply: %v", round, err)
 		}
 		snap := obj.Snapshot()
@@ -197,7 +199,7 @@ func TestPropertyConcurrentApplySerialised(t *testing.T) {
 			Fetcher:  pool.fetch,
 		})
 		start := pool.randomDescriptor(rng)
-		if _, err := obj.ApplyDescriptor(start, version.ID{1}); err != nil {
+		if _, err := obj.ApplyDescriptor(context.Background(), start, version.ID{1}); err != nil {
 			t.Fatal(err)
 		}
 		a := pool.randomDescriptor(rng)
@@ -205,11 +207,11 @@ func TestPropertyConcurrentApplySerialised(t *testing.T) {
 
 		errs := make(chan error, 2)
 		go func() {
-			_, err := obj.ApplyDescriptor(a, version.ID{1, 1})
+			_, err := obj.ApplyDescriptor(context.Background(), a, version.ID{1, 1})
 			errs <- err
 		}()
 		go func() {
-			_, err := obj.ApplyDescriptor(b, version.ID{1, 2})
+			_, err := obj.ApplyDescriptor(context.Background(), b, version.ID{1, 2})
 			errs <- err
 		}()
 		for i := 0; i < 2; i++ {
@@ -240,7 +242,7 @@ func TestPropertyApplyIdempotent(t *testing.T) {
 			Registry: pool.reg,
 			Fetcher:  pool.fetch,
 		})
-		if _, err := obj.ApplyDescriptor(desc, version.ID{1}); err != nil {
+		if _, err := obj.ApplyDescriptor(context.Background(), desc, version.ID{1}); err != nil {
 			t.Fatal(err)
 		}
 		snap := obj.Snapshot()
@@ -248,7 +250,7 @@ func TestPropertyApplyIdempotent(t *testing.T) {
 		if !plan.Empty() {
 			t.Fatalf("round %d: self-diff not empty: %+v", round, plan)
 		}
-		report, err := obj.ApplyDescriptor(snap, version.ID{1})
+		report, err := obj.ApplyDescriptor(context.Background(), snap, version.ID{1})
 		if err != nil {
 			t.Fatal(err)
 		}

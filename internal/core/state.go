@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"godcdo/internal/dfm"
@@ -65,7 +66,10 @@ func (d *DCDO) RestoreState(buf []byte) error {
 		return fmt.Errorf("core: restore: %w", err)
 	}
 
-	if _, err := d.ApplyDescriptor(desc, ver); err != nil {
+	// RestoreState implements the context-free legion.StatefulObject
+	// contract; restoration runs to completion rather than inheriting any
+	// caller deadline — a half-restored object is worse than a slow one.
+	if _, err := d.ApplyDescriptor(context.Background(), desc, ver); err != nil {
 		return fmt.Errorf("core: restore: %w", err)
 	}
 	d.mu.Lock()

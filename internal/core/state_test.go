@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"testing"
 
 	"godcdo/internal/component"
@@ -92,7 +94,7 @@ func TestStateSurvivesEvolution(t *testing.T) {
 		}
 		desc.Entries = kept
 	})
-	if _, err := d.ApplyDescriptor(target, version.ID{2}); err != nil {
+	if _, err := d.ApplyDescriptor(context.Background(), target, version.ID{2}); err != nil {
 		t.Fatal(err)
 	}
 	out, err := d.InvokeMethod("get", nil)

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"fmt"
 	"sort"
 	"testing"
@@ -250,7 +252,7 @@ func (e *rpcEnv) host(loid naming.LOID, obj rpc.Object) {
 // incorporate is a test helper that incorporates a fixture component by ID.
 func (f *fixture) incorporate(t *testing.T, d *DCDO, id string, enable bool) {
 	t.Helper()
-	if err := d.Incorporate(f.icos[id], enable); err != nil {
+	if err := d.Incorporate(context.Background(), f.icos[id], enable); err != nil {
 		t.Fatalf("incorporate %q: %v", id, err)
 	}
 }

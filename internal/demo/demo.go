@@ -5,6 +5,7 @@
 package demo
 
 import (
+	"context"
 	"fmt"
 
 	"godcdo/internal/component"
@@ -109,7 +110,7 @@ func Install(node *legion.Node) (*Deployment, error) {
 	if err := mgr.Store().MarkInstantiable(root); err != nil {
 		return nil, err
 	}
-	if err := mgr.SetCurrentVersion(root); err != nil {
+	if err := mgr.SetCurrentVersion(context.Background(), root); err != nil {
 		return nil, err
 	}
 
@@ -135,7 +136,7 @@ func Install(node *legion.Node) (*Deployment, error) {
 		return nil, err
 	}
 
-	if err := mgr.CreateInstance(manager.LocalInstance{Obj: obj}, version.ID{1}, registry.NativeImplType); err != nil {
+	if err := mgr.CreateInstance(context.Background(), manager.LocalInstance{Obj: obj}, version.ID{1}, registry.NativeImplType); err != nil {
 		return nil, err
 	}
 	if _, err := node.HostObject(PricingLOID, obj); err != nil {

@@ -1,6 +1,7 @@
 package evolution
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -48,7 +49,10 @@ type LazyUpdater struct {
 	checks    uint64
 }
 
-var _ rpc.Object = (*LazyUpdater)(nil)
+var (
+	_ rpc.Object             = (*LazyUpdater)(nil)
+	_ rpc.ContextAwareObject = (*LazyUpdater)(nil)
+)
 
 // NewLazyUpdater wraps dcdo.
 func NewLazyUpdater(dcdo *core.DCDO, mgr ManagerView, spec LazySpec, clock vclock.Clock) *LazyUpdater {
@@ -80,6 +84,16 @@ func (l *LazyUpdater) InvokeMethod(method string, args []byte) ([]byte, error) {
 		}
 	}
 	return l.dcdo.InvokeMethod(method, args)
+}
+
+// InvokeMethodCtx implements rpc.ContextAwareObject: the update check still
+// runs (it is the object's own maintenance, not the caller's work), then
+// the call proper is delegated with the caller's context intact.
+func (l *LazyUpdater) InvokeMethodCtx(ctx context.Context, method string, args []byte) ([]byte, error) {
+	if l.checkDue() {
+		_ = l.CheckNow() // see InvokeMethod: staleness is tolerated, downtime is not
+	}
+	return l.dcdo.InvokeMethodCtx(ctx, method, args)
 }
 
 // OnMigrate runs the migration-triggered check.
@@ -138,7 +152,10 @@ func (l *LazyUpdater) CheckNow() error {
 	if err != nil {
 		return fmt.Errorf("lazy update to %s: %w", cur, err)
 	}
-	if _, err := l.dcdo.ApplyDescriptor(desc, cur); err != nil {
+	// The update is applied under a background context: it is maintenance
+	// the object chose to run, and aborting it at one caller's deadline
+	// would leave the object half-evolved for every other caller.
+	if _, err := l.dcdo.ApplyDescriptor(context.Background(), desc, cur); err != nil {
 		return fmt.Errorf("lazy update to %s: %w", cur, err)
 	}
 	l.mu.Lock()

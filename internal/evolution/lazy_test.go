@@ -1,6 +1,8 @@
 package evolution
 
 import (
+	"context"
+
 	"errors"
 	"testing"
 	"time"
@@ -111,7 +113,7 @@ func newLazyFixture(t *testing.T) *lazyFixture {
 			v11.String(): mkDesc("fr"),
 		},
 	}
-	if _, err := d.ApplyDescriptor(mkDesc("en"), v1); err != nil {
+	if _, err := d.ApplyDescriptor(context.Background(), mkDesc("en"), v1); err != nil {
 		t.Fatal(err)
 	}
 	return &lazyFixture{dcdo: d, mgr: mgr}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -36,7 +37,7 @@ func RunE1() (*Report, error) {
 		Registry: reg,
 		Fetcher:  built.Fetcher(),
 	})
-	if _, err := obj.ApplyDescriptor(built.Descriptor, version.ID{1}); err != nil {
+	if _, err := obj.ApplyDescriptor(context.Background(), built.Descriptor, version.ID{1}); err != nil {
 		return nil, err
 	}
 
@@ -103,7 +104,7 @@ func RunE1() (*Report, error) {
 			Registry: reg,
 			Fetcher:  b.Fetcher(),
 		})
-		if _, err := o.ApplyDescriptor(b.Descriptor, version.ID{1}); err != nil {
+		if _, err := o.ApplyDescriptor(context.Background(), b.Descriptor, version.ID{1}); err != nil {
 			return nil, err
 		}
 		target := workload.LeafName(prefix, 0, 0)

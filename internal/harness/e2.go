@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -54,7 +55,7 @@ func RunE2() (*Report, error) {
 		return nil, err
 	}
 	normalMean, err := timeOp(iters, func() error {
-		_, err := client.Client().Invoke(normalObj.LOID(), "noop", nil)
+		_, err := client.Client().Invoke(context.Background(), normalObj.LOID(), "noop", nil)
 		return err
 	})
 	if err != nil {
@@ -82,7 +83,7 @@ func RunE2() (*Report, error) {
 			Registry: reg,
 			Fetcher:  built.Fetcher(),
 		})
-		if _, err := obj.ApplyDescriptor(built.Descriptor, version.ID{1}); err != nil {
+		if _, err := obj.ApplyDescriptor(context.Background(), built.Descriptor, version.ID{1}); err != nil {
 			return nil, err
 		}
 		if _, err := server.HostObject(obj.LOID(), obj); err != nil {
@@ -90,7 +91,7 @@ func RunE2() (*Report, error) {
 		}
 		target := workload.LeafName(prefix, 0, 0)
 		mean, err := timeOp(iters, func() error {
-			_, err := client.Client().Invoke(obj.LOID(), target, nil)
+			_, err := client.Client().Invoke(context.Background(), obj.LOID(), target, nil)
 			return err
 		})
 		if err != nil {

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -57,7 +58,7 @@ func RunE3() (*Report, error) {
 			Fetcher:  built.Fetcher(),
 		})
 		start := time.Now()
-		if _, err := obj.ApplyDescriptor(built.Descriptor, version.ID{1}); err != nil {
+		if _, err := obj.ApplyDescriptor(context.Background(), built.Descriptor, version.ID{1}); err != nil {
 			return nil, err
 		}
 		realDur := time.Since(start)

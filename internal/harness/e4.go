@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -113,7 +114,7 @@ func exerciseStaleBinding() (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
-	if _, err := clientNode.Client().Invoke(obj.LOID(), "noop", nil); err != nil {
+	if _, err := clientNode.Client().Invoke(context.Background(), obj.LOID(), "noop", nil); err != nil {
 		return 0, err
 	}
 	target := class.NewIncarnation(obj.LOID())
@@ -121,7 +122,7 @@ func exerciseStaleBinding() (uint64, error) {
 		return 0, err
 	}
 	before := clientNode.Client().Stats().Rebinds
-	if _, err := clientNode.Client().Invoke(obj.LOID(), "noop", nil); err != nil {
+	if _, err := clientNode.Client().Invoke(context.Background(), obj.LOID(), "noop", nil); err != nil {
 		return 0, fmt.Errorf("post-migration call failed: %w", err)
 	}
 	return clientNode.Client().Stats().Rebinds - before, nil
@@ -152,7 +153,7 @@ func exerciseDownload(size int64) (chunks int64, verified bool, err error) {
 	}
 
 	fetcher := &component.RemoteFetcher{Client: host.Client()}
-	got, err := fetcher.Fetch(ico)
+	got, err := fetcher.Fetch(context.Background(), ico)
 	if err != nil {
 		return 0, false, err
 	}

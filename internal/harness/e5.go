@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -45,10 +46,10 @@ func RunE5() (*Report, error) {
 	baseFetcher := base.Fetcher()
 	extraFetcher := extra.Fetcher()
 	fetcher := component.FetcherFunc(func(ico naming.LOID) (*component.Component, error) {
-		if c, err := baseFetcher.Fetch(ico); err == nil {
+		if c, err := baseFetcher.Fetch(context.Background(), ico); err == nil {
 			return c, nil
 		}
-		return extraFetcher.Fetch(ico)
+		return extraFetcher.Fetch(context.Background(), ico)
 	})
 
 	obj := core.New(core.Config{
@@ -56,7 +57,7 @@ func RunE5() (*Report, error) {
 		Registry: reg,
 		Fetcher:  fetcher,
 	})
-	if _, err := obj.ApplyDescriptor(base.Descriptor, version.ID{1}); err != nil {
+	if _, err := obj.ApplyDescriptor(context.Background(), base.Descriptor, version.ID{1}); err != nil {
 		return nil, err
 	}
 
@@ -86,7 +87,7 @@ func RunE5() (*Report, error) {
 		target.Entries[i].Exported = !target.Entries[i].Exported
 	}
 	start := time.Now()
-	report1, err := obj.ApplyDescriptor(target, version.ID{1, 1})
+	report1, err := obj.ApplyDescriptor(context.Background(), target, version.ID{1, 1})
 	if err != nil {
 		return nil, err
 	}
@@ -102,7 +103,7 @@ func RunE5() (*Report, error) {
 	}
 	target2.Entries = append(target2.Entries, extra.Descriptor.Entries...)
 	start = time.Now()
-	report2, err := obj.ApplyDescriptor(target2, version.ID{1, 2})
+	report2, err := obj.ApplyDescriptor(context.Background(), target2, version.ID{1, 2})
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -62,7 +63,7 @@ func RunE7() (*Report, error) {
 		env.client.Latency = sample
 		ok := 0
 		for i := 0; i < e7Calls; i++ {
-			if _, err := env.client.InvokeIdempotent(env.loid, "get", nil); err == nil {
+			if _, err := env.client.InvokeIdempotent(context.Background(), env.loid, "get", nil); err == nil {
 				ok++
 			}
 		}
@@ -83,11 +84,11 @@ func RunE7() (*Report, error) {
 		return nil, err
 	}
 	env.faults.SetEndpoint(env.server.Endpoint(), transport.FaultConfig{DropResponse: 1, Budget: 1})
-	_, probeErr := env.client.Invoke(env.loid, "inc", nil)
+	_, probeErr := env.client.Invoke(context.Background(), env.loid, "inc", nil)
 	ambiguous := errors.Is(probeErr, rpc.ErrAmbiguousResult)
 	execsAfterDrop := env.executed.Load()
 	// The budget is spent, so a follow-up call completes normally.
-	_, retryErr := env.client.Invoke(env.loid, "inc", nil)
+	_, retryErr := env.client.Invoke(context.Background(), env.loid, "inc", nil)
 	table.AddRow("at-most-once probe", "2", "1",
 		fmt.Sprintf("%d", env.client.Stats().Retries),
 		"-", "-")

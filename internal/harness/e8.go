@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -175,7 +176,7 @@ func RunE8() (*Report, error) {
 		disp.Host(loid, obj)
 		agent.Register(loid, naming.Address{Endpoint: srv.Endpoint()})
 		endpoints[loid] = srv.Endpoint()
-		if err := mgr.CreateInstance(manager.RemoteInstance{Client: client, Target: loid},
+		if err := mgr.CreateInstance(context.Background(), manager.RemoteInstance{Client: client, Target: loid},
 			version.ID{1}, registry.NativeImplType); err != nil {
 			return nil, err
 		}
@@ -186,11 +187,11 @@ func RunE8() (*Report, error) {
 	victim := loids[1]
 
 	// --- Act I: designate v1.1, partition the victim, die mid-pass. -------
-	if err := mgr.SetCurrentVersion(target); err != nil {
+	if err := mgr.SetCurrentVersion(context.Background(), target); err != nil {
 		return nil, err
 	}
 	faults.Partition(endpoints[victim])
-	crashRep, err := mgr.EvolveFleetPartial(target, e8Applies)
+	crashRep, err := mgr.EvolveFleetPartial(context.Background(), target, e8Applies)
 	if err != nil {
 		return nil, fmt.Errorf("e8: crashed pass: %w", err)
 	}
@@ -218,7 +219,7 @@ func RunE8() (*Report, error) {
 			// last known version.
 			err = mgr2.AdoptUnverified(inst, registry.NativeImplType, version.ID{1}, "partitioned at crash")
 		} else {
-			err = mgr2.Adopt(inst, registry.NativeImplType)
+			err = mgr2.Adopt(context.Background(), inst, registry.NativeImplType)
 		}
 		if err != nil {
 			return nil, err
@@ -232,13 +233,13 @@ func RunE8() (*Report, error) {
 	mgr2.SetJournal(journal2)
 
 	recoverStart := time.Now()
-	recRep, err := mgr2.Recover()
+	recRep, err := mgr2.Recover(context.Background())
 	if err != nil {
 		return nil, fmt.Errorf("e8: recover: %w", err)
 	}
 	recoverCost := time.Since(recoverStart)
 	// Idempotence probe: a second recovery must find a clean journal.
-	recRep2, err := mgr2.Recover()
+	recRep2, err := mgr2.Recover(context.Background())
 	if err != nil {
 		return nil, fmt.Errorf("e8: second recover: %w", err)
 	}
@@ -253,7 +254,7 @@ func RunE8() (*Report, error) {
 	healStart := time.Now()
 	reconverged := false
 	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); {
-		rep, err := prober.Sweep()
+		rep, err := prober.Sweep(context.Background())
 		if err != nil {
 			return nil, fmt.Errorf("e8: sweep: %w", err)
 		}
@@ -271,7 +272,7 @@ func RunE8() (*Report, error) {
 	// descriptors anywhere.
 	converged := 0
 	for _, loid := range loids {
-		out, err := client.InvokeIdempotent(loid, "greet", nil)
+		out, err := client.InvokeIdempotent(context.Background(), loid, "greet", nil)
 		if err != nil || string(out) != "bonjour" {
 			continue
 		}

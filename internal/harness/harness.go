@@ -97,6 +97,7 @@ func RunAll() ([]*Report, error) {
 		{"E6", RunE6},
 		{"E7", RunE7},
 		{"E8", RunE8},
+		{"E9", RunE9},
 	}
 	reports := make([]*Report, 0, len(runners))
 	for _, r := range runners {

@@ -5,6 +5,8 @@
 package integration_test
 
 import (
+	"context"
+
 	"errors"
 	"fmt"
 	"testing"
@@ -155,7 +157,7 @@ func TestFullDeploymentOverTCP(t *testing.T) {
 	if err := mgr.Store().MarkInstantiable(root); err != nil {
 		t.Fatal(err)
 	}
-	if err := mgr.SetCurrentVersion(root); err != nil {
+	if err := mgr.SetCurrentVersion(context.Background(), root); err != nil {
 		t.Fatal(err)
 	}
 	mgrLOID := naming.LOID{Domain: 0, Class: 2, Instance: 1}
@@ -176,12 +178,12 @@ func TestFullDeploymentOverTCP(t *testing.T) {
 	}
 	// The manager manages it through a remote proxy (itself over TCP).
 	ri := manager.RemoteInstance{Client: infra.Client(), Target: objLOID}
-	if err := mgr.CreateInstance(ri, nil, registry.NativeImplType); err != nil {
+	if err := mgr.CreateInstance(context.Background(), ri, nil, registry.NativeImplType); err != nil {
 		t.Fatal(err)
 	}
 
 	// The client calls the object.
-	out, err := clientNode.Client().Invoke(objLOID, "greet", nil)
+	out, err := clientNode.Client().Invoke(context.Background(), objLOID, "greet", nil)
 	if err != nil || string(out) != "hello" {
 		t.Fatalf("greet = %q, %v", out, err)
 	}
@@ -189,7 +191,7 @@ func TestFullDeploymentOverTCP(t *testing.T) {
 	// An administrator (the client node) derives and activates version 1.1
 	// entirely through the remote manager interface.
 	admin := clientNode.Client()
-	deriveOut, err := admin.Invoke(mgrLOID, manager.MethodDerive, manager.EncodeVersionArgs(root))
+	deriveOut, err := admin.Invoke(context.Background(), mgrLOID, manager.MethodDerive, manager.EncodeVersionArgs(root))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,23 +210,23 @@ func TestFullDeploymentOverTCP(t *testing.T) {
 		{dfm.EntryKey{Function: "greet", Component: "greet-en"}, false},
 		{dfm.EntryKey{Function: "greet", Component: "greet-fr"}, true},
 	} {
-		if _, err := admin.Invoke(mgrLOID, manager.MethodVSetEnabled,
+		if _, err := admin.Invoke(context.Background(), mgrLOID, manager.MethodVSetEnabled,
 			manager.EncodeSetEnabledArgs(child, step.key, step.enabled)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, err := admin.Invoke(mgrLOID, manager.MethodMarkInstantiable, manager.EncodeVersionArgs(child)); err != nil {
+	if _, err := admin.Invoke(context.Background(), mgrLOID, manager.MethodMarkInstantiable, manager.EncodeVersionArgs(child)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := admin.Invoke(mgrLOID, manager.MethodSetCurrent, manager.EncodeVersionArgs(child)); err != nil {
+	if _, err := admin.Invoke(context.Background(), mgrLOID, manager.MethodSetCurrent, manager.EncodeVersionArgs(child)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := admin.Invoke(mgrLOID, manager.MethodEvolveInstance,
+	if _, err := admin.Invoke(context.Background(), mgrLOID, manager.MethodEvolveInstance,
 		manager.EncodeEvolveInstanceArgs(objLOID, child)); err != nil {
 		t.Fatal(err)
 	}
 
-	out, err = clientNode.Client().Invoke(objLOID, "greet", nil)
+	out, err = clientNode.Client().Invoke(context.Background(), objLOID, "greet", nil)
 	if err != nil || string(out) != "bonjour" {
 		t.Fatalf("greet after remote evolution = %q, %v", out, err)
 	}
@@ -288,7 +290,7 @@ func TestDCDOMigrationPreservesStateAndConfiguration(t *testing.T) {
 
 	objLOID := naming.LOID{Domain: 1, Class: 1, Instance: 7}
 	obj := core.New(core.Config{LOID: objLOID, Registry: g.reg, Fetcher: remoteFetcher(src)})
-	if _, err := obj.ApplyDescriptor(desc, version.ID{1}); err != nil {
+	if _, err := obj.ApplyDescriptor(context.Background(), desc, version.ID{1}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := src.HostObject(objLOID, obj); err != nil {
@@ -298,7 +300,7 @@ func TestDCDOMigrationPreservesStateAndConfiguration(t *testing.T) {
 	// A client bumps the counter twice (and caches the src binding).
 	client := mkNode("client")
 	for i := 0; i < 2; i++ {
-		if _, err := client.Client().Invoke(objLOID, "inc", nil); err != nil {
+		if _, err := client.Client().Invoke(context.Background(), objLOID, "inc", nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -314,7 +316,7 @@ func TestDCDOMigrationPreservesStateAndConfiguration(t *testing.T) {
 	}
 
 	// The client's next call heals the stale binding and sees counter 3.
-	out, err := client.Client().Invoke(objLOID, "inc", nil)
+	out, err := client.Client().Invoke(context.Background(), objLOID, "inc", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -371,7 +373,7 @@ func TestHeterogeneousMigration(t *testing.T) {
 		LOID: objLOID, Registry: g.reg, Fetcher: remoteFetcher(goNode),
 		HostImpl: goNode.HostImpl(),
 	})
-	if _, err := obj.ApplyDescriptor(g.descriptor("greet-en"), version.ID{1}); err != nil {
+	if _, err := obj.ApplyDescriptor(context.Background(), g.descriptor("greet-en"), version.ID{1}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := goNode.HostObject(objLOID, obj); err != nil {
@@ -428,7 +430,7 @@ func TestLazyUpdateAgainstRemoteManager(t *testing.T) {
 	if err := mgr.Store().MarkInstantiable(root); err != nil {
 		t.Fatal(err)
 	}
-	if err := mgr.SetCurrentVersion(root); err != nil {
+	if err := mgr.SetCurrentVersion(context.Background(), root); err != nil {
 		t.Fatal(err)
 	}
 	child, err := mgr.Store().Derive(root)
@@ -456,7 +458,7 @@ func TestLazyUpdateAgainstRemoteManager(t *testing.T) {
 		Registry: g.reg,
 		Fetcher:  remoteFetcher(serverNode),
 	})
-	if _, err := obj.ApplyDescriptor(g.descriptor("greet-en"), root); err != nil {
+	if _, err := obj.ApplyDescriptor(context.Background(), g.descriptor("greet-en"), root); err != nil {
 		t.Fatal(err)
 	}
 	view := manager.RemoteView{Client: serverNode.Client(), Target: mgrLOID}
@@ -470,17 +472,17 @@ func TestLazyUpdateAgainstRemoteManager(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer client.Close()
-	out, err := client.Client().Invoke(obj.LOID(), "greet", nil)
+	out, err := client.Client().Invoke(context.Background(), obj.LOID(), "greet", nil)
 	if err != nil || string(out) != "hello" {
 		t.Fatalf("greet = %q, %v", out, err)
 	}
 
 	// Designate the new current version; the next invocation lazily
 	// updates the object through the remote view before serving.
-	if err := mgr.SetCurrentVersion(child); err != nil {
+	if err := mgr.SetCurrentVersion(context.Background(), child); err != nil {
 		t.Fatal(err)
 	}
-	out, err = client.Client().Invoke(obj.LOID(), "greet", nil)
+	out, err = client.Client().Invoke(context.Background(), obj.LOID(), "greet", nil)
 	if err != nil || string(out) != "bonjour" {
 		t.Fatalf("greet after lazy remote update = %q, %v", out, err)
 	}
@@ -510,7 +512,7 @@ func TestDisappearingExportedFunctionAcrossTheWire(t *testing.T) {
 		Registry: g.reg,
 		Fetcher:  remoteFetcher(server),
 	})
-	if _, err := obj.ApplyDescriptor(g.descriptor("greet-en"), version.ID{1}); err != nil {
+	if _, err := obj.ApplyDescriptor(context.Background(), g.descriptor("greet-en"), version.ID{1}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := server.HostObject(obj.LOID(), obj); err != nil {
@@ -524,7 +526,7 @@ func TestDisappearingExportedFunctionAcrossTheWire(t *testing.T) {
 	defer client.Close()
 
 	// Client obtains the interface: greet is there.
-	out, err := client.Client().Invoke(obj.LOID(), core.MethodInterface, nil)
+	out, err := client.Client().Invoke(context.Background(), obj.LOID(), core.MethodInterface, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -538,7 +540,7 @@ func TestDisappearingExportedFunctionAcrossTheWire(t *testing.T) {
 	if err := obj.DisableFunction(dfm.EntryKey{Function: "greet", Component: "greet-en"}); err != nil {
 		t.Fatal(err)
 	}
-	_, err = client.Client().Invoke(obj.LOID(), "greet", nil)
+	_, err = client.Client().Invoke(context.Background(), obj.LOID(), "greet", nil)
 	if !errors.Is(err, rpc.ErrFunctionDisabled) {
 		t.Fatalf("err = %v, want ErrFunctionDisabled across the wire", err)
 	}
@@ -550,7 +552,7 @@ func TestDisappearingExportedFunctionAcrossTheWire(t *testing.T) {
 	if err := obj.RemoveComponent("greet-fr"); err != nil {
 		t.Fatal(err)
 	}
-	_, err = client.Client().Invoke(obj.LOID(), "greet", nil)
+	_, err = client.Client().Invoke(context.Background(), obj.LOID(), "greet", nil)
 	if !errors.Is(err, rpc.ErrNoSuchFunction) {
 		t.Fatalf("err = %v, want ErrNoSuchFunction across the wire", err)
 	}
@@ -611,13 +613,13 @@ func TestDCDODeactivateReactivateThroughVault(t *testing.T) {
 	}
 	objLOID := naming.LOID{Domain: 1, Class: 1, Instance: 40}
 	obj := core.New(core.Config{LOID: objLOID, Registry: g.reg, Fetcher: remoteFetcher(n1)})
-	if _, err := obj.ApplyDescriptor(desc, version.ID{1, 3}); err != nil {
+	if _, err := obj.ApplyDescriptor(context.Background(), desc, version.ID{1, 3}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := n1.HostObject(objLOID, obj); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := n1.Client().Invoke(objLOID, "put", []byte("precious")); err != nil {
+	if _, err := n1.Client().Invoke(context.Background(), objLOID, "put", []byte("precious")); err != nil {
 		t.Fatal(err)
 	}
 
@@ -639,7 +641,7 @@ func TestDCDODeactivateReactivateThroughVault(t *testing.T) {
 	if err := n2.Activate(objLOID, incarnation, v); err != nil {
 		t.Fatal(err)
 	}
-	out, err := n1.Client().Invoke(objLOID, "get", nil)
+	out, err := n1.Client().Invoke(context.Background(), objLOID, "get", nil)
 	if err != nil || string(out) != "precious" {
 		t.Fatalf("get after reactivation = %q, %v", out, err)
 	}
@@ -669,7 +671,7 @@ func TestProactiveFleetOverRemoteInstances(t *testing.T) {
 	if err := mgr.Store().MarkInstantiable(root); err != nil {
 		t.Fatal(err)
 	}
-	if err := mgr.SetCurrentVersion(root); err != nil {
+	if err := mgr.SetCurrentVersion(context.Background(), root); err != nil {
 		t.Fatal(err)
 	}
 
@@ -689,7 +691,7 @@ func TestProactiveFleetOverRemoteInstances(t *testing.T) {
 			t.Fatal(err)
 		}
 		ri := manager.RemoteInstance{Client: infra.Client(), Target: obj.LOID()}
-		if err := mgr.CreateInstance(ri, nil, registry.NativeImplType); err != nil {
+		if err := mgr.CreateInstance(context.Background(), ri, nil, registry.NativeImplType); err != nil {
 			t.Fatal(err)
 		}
 		objs = append(objs, obj)
@@ -711,7 +713,7 @@ func TestProactiveFleetOverRemoteInstances(t *testing.T) {
 		t.Fatal(err)
 	}
 	// One call fans out to the whole fleet over RPC.
-	if err := mgr.SetCurrentVersion(child); err != nil {
+	if err := mgr.SetCurrentVersion(context.Background(), child); err != nil {
 		t.Fatal(err)
 	}
 	for i, obj := range objs {

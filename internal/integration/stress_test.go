@@ -1,6 +1,8 @@
 package integration_test
 
 import (
+	"context"
+
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -42,7 +44,7 @@ func TestStressEvolutionUnderTraffic(t *testing.T) {
 
 	objLOID := naming.LOID{Domain: 1, Class: 1, Instance: 50}
 	obj := core.New(core.Config{LOID: objLOID, Registry: g.reg, Fetcher: remoteFetcher(n1)})
-	if _, err := obj.ApplyDescriptor(g.descriptor("greet-en"), version.ID{1}); err != nil {
+	if _, err := obj.ApplyDescriptor(context.Background(), g.descriptor("greet-en"), version.ID{1}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := n1.HostObject(objLOID, obj); err != nil {
@@ -73,7 +75,7 @@ func TestStressEvolutionUnderTraffic(t *testing.T) {
 					return
 				default:
 				}
-				out, err := client.Invoke(objLOID, "greet", nil)
+				out, err := client.Invoke(context.Background(), objLOID, "greet", nil)
 				calls.Add(1)
 				if err != nil {
 					if errors.Is(err, rpc.ErrFunctionDisabled) || errors.Is(err, rpc.ErrNoSuchObject) {
@@ -113,7 +115,7 @@ func TestStressEvolutionUnderTraffic(t *testing.T) {
 			}
 		} else {
 			round++
-			if _, err := cur.ApplyDescriptor(g.descriptor(next), version.ID{1, round}); err != nil {
+			if _, err := cur.ApplyDescriptor(context.Background(), g.descriptor(next), version.ID{1, round}); err != nil {
 				t.Fatalf("apply: %v", err)
 			}
 		}
@@ -137,7 +139,7 @@ func TestStressEvolutionUnderTraffic(t *testing.T) {
 		t.Fatal("no traffic generated")
 	}
 	// Post-storm health check.
-	out, err := n1.Client().Invoke(objLOID, "greet", nil)
+	out, err := n1.Client().Invoke(context.Background(), objLOID, "greet", nil)
 	if err != nil {
 		t.Fatalf("post-storm invoke: %v", err)
 	}

@@ -1,6 +1,8 @@
 package legion
 
 import (
+	"context"
+
 	"errors"
 	"reflect"
 	"sync"
@@ -47,7 +49,7 @@ func counterMethods() map[string]Method {
 
 func getCounter(t *testing.T, client *rpc.Client, loid naming.LOID) uint64 {
 	t.Helper()
-	out, err := client.Invoke(loid, "get", nil)
+	out, err := client.Invoke(context.Background(), loid, "get", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,14 +92,14 @@ func TestNodeHostAndInvoke(t *testing.T) {
 
 	// Invoke from another node.
 	for i := 0; i < 3; i++ {
-		if _, err := n2.Client().Invoke(obj.LOID(), "inc", nil); err != nil {
+		if _, err := n2.Client().Invoke(context.Background(), obj.LOID(), "inc", nil); err != nil {
 			t.Fatal(err)
 		}
 	}
 	if got := getCounter(t, n2.Client(), obj.LOID()); got != 3 {
 		t.Fatalf("counter = %d, want 3", got)
 	}
-	if _, err := n2.Client().Invoke(obj.LOID(), "nope", nil); !errors.Is(err, rpc.ErrNoSuchFunction) {
+	if _, err := n2.Client().Invoke(context.Background(), obj.LOID(), "nope", nil); !errors.Is(err, rpc.ErrNoSuchFunction) {
 		t.Fatalf("err = %v, want ErrNoSuchFunction", err)
 	}
 }
@@ -175,7 +177,7 @@ func TestMigratePreservesStateAndHealsBindings(t *testing.T) {
 		t.Fatal("test node should use the in-memory agent")
 	}
 	client := dst.Client()
-	if _, err := client.Invoke(loid, "inc", nil); err != nil {
+	if _, err := client.Invoke(context.Background(), loid, "inc", nil); err != nil {
 		t.Fatal(err)
 	}
 
@@ -264,7 +266,7 @@ func TestMigrationStormNoLostCalls(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < callsPerWorker; i++ {
-				if _, err := cl.Client().Invoke(loid, "get", nil); err != nil {
+				if _, err := cl.Client().Invoke(context.Background(), loid, "get", nil); err != nil {
 					failures.Add(1)
 					t.Errorf("lost call: %v", err)
 					return
@@ -357,7 +359,7 @@ func TestNodeOverTCP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := n2.Client().Invoke(obj.LOID(), "inc", nil); err != nil {
+	if _, err := n2.Client().Invoke(context.Background(), obj.LOID(), "inc", nil); err != nil {
 		t.Fatal(err)
 	}
 	if got := getCounter(t, n2.Client(), obj.LOID()); got != 1 {
@@ -392,7 +394,7 @@ func TestDeactivateActivateThroughVault(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := n2.Client().Invoke(obj.LOID(), "inc", nil); err != nil {
+	if _, err := n2.Client().Invoke(context.Background(), obj.LOID(), "inc", nil); err != nil {
 		t.Fatal(err)
 	}
 
@@ -408,7 +410,7 @@ func TestDeactivateActivateThroughVault(t *testing.T) {
 		t.Fatalf("vault = %v", loids)
 	}
 	n2.Cache().Invalidate(obj.LOID())
-	if _, err := n2.Client().Invoke(obj.LOID(), "inc", nil); !errors.Is(err, naming.ErrNotBound) {
+	if _, err := n2.Client().Invoke(context.Background(), obj.LOID(), "inc", nil); !errors.Is(err, naming.ErrNotBound) {
 		t.Fatalf("call to dormant object err = %v, want ErrNotBound", err)
 	}
 

@@ -54,6 +54,12 @@ type NodeConfig struct {
 	// hosted object that implements obs.Configurable into the shared
 	// observability layer. Nil keeps the seed zero-overhead paths.
 	Obs *obs.Obs
+	// MaxInflight caps concurrent dispatches on the node's dispatcher;
+	// excess requests queue up to QueueDepth and are shed with
+	// wire.CodeOverloaded beyond that. Zero leaves admission unlimited.
+	MaxInflight int
+	// QueueDepth bounds the admission queue when MaxInflight is set.
+	QueueDepth int
 }
 
 // Node is one Legion host: it serves hosted objects on a transport endpoint
@@ -89,6 +95,9 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	}
 
 	disp := rpc.NewDispatcher()
+	if cfg.MaxInflight > 0 {
+		disp.SetAdmission(cfg.MaxInflight, cfg.QueueDepth)
+	}
 	var (
 		server transport.Server
 		dialer transport.Dialer
@@ -130,6 +139,23 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 			cfg.Obs.Metrics.RegisterCounters("client."+cfg.Name, client.Metrics())
 		}
 		disp.SetObs(cfg.Obs)
+		if reg := cfg.Obs.Metrics; reg != nil {
+			if ts, ok := server.(*transport.TCPServer); ok {
+				prefix := "server." + cfg.Name + "."
+				reg.RegisterGaugeFunc(prefix+"accepted_conns", func() int64 {
+					return int64(ts.Stats().AcceptedConns)
+				})
+				reg.RegisterGaugeFunc(prefix+"active_conns", func() int64 {
+					return ts.Stats().ActiveConns
+				})
+				reg.RegisterGaugeFunc(prefix+"decode_errors", func() int64 {
+					return int64(ts.Stats().DecodeErrors)
+				})
+				reg.RegisterGaugeFunc(prefix+"dropped_frames", func() int64 {
+					return int64(ts.Stats().DroppedFrames)
+				})
+			}
+		}
 	}
 	// Every node answers liveness probes at the well-known health LOID
 	// (hosted on the dispatcher only — probers address nodes by endpoint).

@@ -1,6 +1,7 @@
 package manager
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -32,8 +33,9 @@ type Factory struct {
 var ErrFactoryIncomplete = errors.New("manager: factory missing manager, allocator, or registry")
 
 // CreateOn creates a new DCDO on node at version v (nil means the manager's
-// current version), hosts it, and adds it to the DCDO table.
-func (f *Factory) CreateOn(node *legion.Node, v version.ID) (*core.DCDO, error) {
+// current version), hosts it, and adds it to the DCDO table. ctx bounds the
+// component fetches configuration performs.
+func (f *Factory) CreateOn(ctx context.Context, node *legion.Node, v version.ID) (*core.DCDO, error) {
 	if f.Manager == nil || f.Alloc == nil || f.Config.Registry == nil {
 		return nil, ErrFactoryIncomplete
 	}
@@ -55,7 +57,7 @@ func (f *Factory) CreateOn(node *legion.Node, v version.ID) (*core.DCDO, error) 
 
 	// Configure first (the expensive part E3 measures), then activate, so
 	// clients never reach a half-built object.
-	if err := f.Manager.CreateInstance(LocalInstance{Obj: obj}, v, node.HostImpl()); err != nil {
+	if err := f.Manager.CreateInstance(ctx, LocalInstance{Obj: obj}, v, node.HostImpl()); err != nil {
 		return nil, fmt.Errorf("factory: %w", err)
 	}
 	if _, err := node.HostObject(cfg.LOID, obj); err != nil {

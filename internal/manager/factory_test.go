@@ -1,6 +1,8 @@
 package manager
 
 import (
+	"context"
+
 	"errors"
 	"testing"
 
@@ -51,7 +53,7 @@ func TestFactoryCreatesHostedManagedInstances(t *testing.T) {
 
 	var objs []*core.DCDO
 	for i := 0; i < 3; i++ {
-		obj, err := factory.CreateOn(node, nil)
+		obj, err := factory.CreateOn(context.Background(), node, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -67,7 +69,7 @@ func TestFactoryCreatesHostedManagedInstances(t *testing.T) {
 		if !node.Hosts(obj.LOID()) {
 			t.Fatalf("%s not hosted", obj.LOID())
 		}
-		out, err := node.Client().Invoke(obj.LOID(), "greet", nil)
+		out, err := node.Client().Invoke(context.Background(), obj.LOID(), "greet", nil)
 		if err != nil || string(out) != "hello" {
 			t.Fatalf("greet = %q, %v", out, err)
 		}
@@ -77,11 +79,11 @@ func TestFactoryCreatesHostedManagedInstances(t *testing.T) {
 	}
 
 	// A proactive current-version change evolves the whole factory fleet.
-	if err := m.SetCurrentVersion(v(1, 1)); err != nil {
+	if err := m.SetCurrentVersion(context.Background(), v(1, 1)); err != nil {
 		t.Fatal(err)
 	}
 	for _, obj := range objs {
-		out, _ := node.Client().Invoke(obj.LOID(), "greet", nil)
+		out, _ := node.Client().Invoke(context.Background(), obj.LOID(), "greet", nil)
 		if string(out) != "bonjour" {
 			t.Fatalf("%s greet = %q after fleet evolution", obj.LOID(), out)
 		}
@@ -90,18 +92,18 @@ func TestFactoryCreatesHostedManagedInstances(t *testing.T) {
 
 func TestFactoryAtSpecificVersion(t *testing.T) {
 	_, _, node, factory := factoryEnv(t)
-	obj, err := factory.CreateOn(node, v(1, 1))
+	obj, err := factory.CreateOn(context.Background(), node, v(1, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, _ := node.Client().Invoke(obj.LOID(), "greet", nil)
+	out, _ := node.Client().Invoke(context.Background(), obj.LOID(), "greet", nil)
 	if string(out) != "bonjour" {
 		t.Fatalf("greet = %q", out)
 	}
 }
 
 func TestFactoryValidation(t *testing.T) {
-	if _, err := (&Factory{}).CreateOn(nil, nil); !errors.Is(err, ErrFactoryIncomplete) {
+	if _, err := (&Factory{}).CreateOn(context.Background(), nil, nil); !errors.Is(err, ErrFactoryIncomplete) {
 		t.Fatalf("err = %v, want ErrFactoryIncomplete", err)
 	}
 }
@@ -112,7 +114,7 @@ func TestFactoryConfigurableVersionRefused(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := factory.CreateOn(node, cfgV); !errors.Is(err, ErrVersionNotReady) {
+	if _, err := factory.CreateOn(context.Background(), node, cfgV); !errors.Is(err, ErrVersionNotReady) {
 		t.Fatalf("err = %v, want ErrVersionNotReady", err)
 	}
 	// Failed creations leave no orphan records.

@@ -1,6 +1,7 @@
 package manager
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -39,20 +40,22 @@ type FleetReport struct {
 // EvolveFleet evolves every managed, non-quarantined instance to v as one
 // journalled pass. Unreachable instances are quarantined and skipped; other
 // per-instance failures are collected and returned joined (each wrapped
-// with its LOID), without stopping the pass.
-func (m *Manager) EvolveFleet(v version.ID) (FleetReport, error) {
-	return m.evolveFleet(v, -1)
+// with its LOID), without stopping the pass. A ctx that ends mid-pass halts
+// the pass between instances — never mid-instance — leaving the journal
+// open for Recover to resume, exactly as a crash would.
+func (m *Manager) EvolveFleet(ctx context.Context, v version.ID) (FleetReport, error) {
+	return m.evolveFleet(ctx, v, -1)
 }
 
 // EvolveFleetPartial is EvolveFleet with a crash point: the pass is
 // abandoned — journal left open, no done record — after maxApplies
 // successful applications. It exists so tests and the chaos harness can
 // simulate a manager dying mid-pass; production callers want EvolveFleet.
-func (m *Manager) EvolveFleetPartial(v version.ID, maxApplies int) (FleetReport, error) {
-	return m.evolveFleet(v, maxApplies)
+func (m *Manager) EvolveFleetPartial(ctx context.Context, v version.ID, maxApplies int) (FleetReport, error) {
+	return m.evolveFleet(ctx, v, maxApplies)
 }
 
-func (m *Manager) evolveFleet(v version.ID, maxApplies int) (FleetReport, error) {
+func (m *Manager) evolveFleet(ctx context.Context, v version.ID, maxApplies int) (FleetReport, error) {
 	m.mu.Lock()
 	j := m.journal
 	planned := make([]naming.LOID, 0, len(m.records))
@@ -73,6 +76,13 @@ func (m *Manager) evolveFleet(v version.ID, maxApplies int) (FleetReport, error)
 
 	var errs []error
 	for _, loid := range planned {
+		if err := ctx.Err(); err != nil {
+			// Halt like a crash: the journal pass stays open, so Recover
+			// resumes the instances this pass never reached.
+			report.Halted = true
+			errs = append(errs, fmt.Errorf("fleet pass %d halted: %w", pass, err))
+			return report, errors.Join(errs...)
+		}
 		if maxApplies >= 0 && len(report.Evolved) >= maxApplies {
 			report.Halted = true
 			return report, errors.Join(errs...)
@@ -86,7 +96,7 @@ func (m *Manager) evolveFleet(v version.ID, maxApplies int) (FleetReport, error)
 			report.Evolved = append(report.Evolved, loid)
 			continue
 		}
-		switch evErr := m.evolveOne(pass, loid, v); {
+		switch evErr := m.evolveOne(ctx, pass, loid, v); {
 		case evErr == nil:
 			report.Evolved = append(report.Evolved, loid)
 		case isConnectivityError(evErr):

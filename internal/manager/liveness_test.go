@@ -1,6 +1,8 @@
 package manager
 
 import (
+	"context"
+
 	"testing"
 	"time"
 
@@ -63,7 +65,7 @@ func newLiveEnv(t *testing.T, f *fixture) *liveEnv {
 		env.eps[loid] = srv.Endpoint()
 
 		inst := RemoteInstance{Client: client, Target: loid}
-		if err := mgr.CreateInstance(inst, v(1), registry.NativeImplType); err != nil {
+		if err := mgr.CreateInstance(context.Background(), inst, v(1), registry.NativeImplType); err != nil {
 			t.Fatalf("create %s: %v", loid, err)
 		}
 		env.loids = append(env.loids, loid)
@@ -91,10 +93,10 @@ func TestFleetEvolutionQuarantinesPartitionedInstance(t *testing.T) {
 	victim := env.loids[1]
 	env.faults.Partition(env.eps[victim])
 
-	if err := m.SetCurrentVersion(v(1, 1)); err != nil {
+	if err := m.SetCurrentVersion(context.Background(), v(1, 1)); err != nil {
 		t.Fatalf("set current: %v", err)
 	}
-	rep, err := m.EvolveFleet(v(1, 1))
+	rep, err := m.EvolveFleet(context.Background(), v(1, 1))
 	if err != nil {
 		t.Fatalf("fleet pass: %v", err)
 	}
@@ -120,7 +122,7 @@ func TestFleetEvolutionQuarantinesPartitionedInstance(t *testing.T) {
 
 	// A second pass skips the quarantined instance outright: it is not in
 	// the plan, so the pass succeeds without probing the dead endpoint.
-	rep2, err := m.EvolveFleet(v(1, 1))
+	rep2, err := m.EvolveFleet(context.Background(), v(1, 1))
 	if err != nil {
 		t.Fatalf("second pass: %v", err)
 	}
@@ -131,7 +133,7 @@ func TestFleetEvolutionQuarantinesPartitionedInstance(t *testing.T) {
 	// While partitioned, the prober keeps it quarantined (backoff defers
 	// repeat probes rather than hammering the dead endpoint).
 	prober := &Prober{Mgr: m, BaseBackoff: time.Millisecond, MaxBackoff: 4 * time.Millisecond}
-	if _, err := prober.Sweep(); err != nil {
+	if _, err := prober.Sweep(context.Background()); err != nil {
 		t.Fatalf("sweep during partition: %v", err)
 	}
 	if q, _ := m.IsQuarantined(victim); !q {
@@ -143,7 +145,7 @@ func TestFleetEvolutionQuarantinesPartitionedInstance(t *testing.T) {
 	env.faults.Heal(env.eps[victim])
 	deadline := time.Now().Add(2 * time.Second)
 	for {
-		rep, err := prober.Sweep()
+		rep, err := prober.Sweep(context.Background())
 		if err != nil {
 			t.Fatalf("sweep after heal: %v", err)
 		}
@@ -162,7 +164,7 @@ func TestFleetEvolutionQuarantinesPartitionedInstance(t *testing.T) {
 	if err != nil || !rec.Version.Equal(v(1, 1)) {
 		t.Fatalf("victim record after heal = %+v (%v), want %s", rec, err, v(1, 1))
 	}
-	actual, err := m.instanceProbe(victim)
+	actual, err := m.instanceProbe(context.Background(), victim)
 	if err != nil || !actual.Equal(v(1, 1)) {
 		t.Fatalf("victim actual version = %s (%v), want %s", actual, err, v(1, 1))
 	}
@@ -181,7 +183,7 @@ func TestProberBackoffDefersProbes(t *testing.T) {
 	m := f.newManager(t, evolution.MultiIncreasing, evolution.Explicit)
 	dead := &flakyInstance{loid: naming.LOID{Domain: 9, Class: 3, Instance: 1}, ver: v(1)}
 	dead.down.Store(true)
-	if err := m.Adopt(dead, registry.NativeImplType); err == nil {
+	if err := m.Adopt(context.Background(), dead, registry.NativeImplType); err == nil {
 		// Adopt probes; a down instance cannot be adopted this way.
 		t.Fatal("adopt of a down instance unexpectedly succeeded")
 	}
@@ -192,7 +194,7 @@ func TestProberBackoffDefersProbes(t *testing.T) {
 	clk := vclock.NewVirtual(time.Unix(0, 0))
 	p := &Prober{Mgr: m, Clock: clk, BaseBackoff: 100 * time.Millisecond, MaxBackoff: time.Second}
 
-	rep, err := p.Sweep()
+	rep, err := p.Sweep(context.Background())
 	if err != nil {
 		t.Fatalf("sweep: %v", err)
 	}
@@ -200,20 +202,20 @@ func TestProberBackoffDefersProbes(t *testing.T) {
 		t.Fatalf("first sweep probed %v, want the dead instance", rep.Probed)
 	}
 	// Within the backoff window the instance is deferred, not re-probed.
-	rep, _ = p.Sweep()
+	rep, _ = p.Sweep(context.Background())
 	if len(rep.Deferred) != 1 || len(rep.Probed) != 0 {
 		t.Fatalf("second sweep = %+v, want deferred", rep)
 	}
 	// After the window it is probed again.
 	clk.Advance(150 * time.Millisecond)
-	rep, _ = p.Sweep()
+	rep, _ = p.Sweep(context.Background())
 	if len(rep.Probed) != 1 {
 		t.Fatalf("post-backoff sweep = %+v, want probe", rep)
 	}
 	// Recovery: instance comes back, probe succeeds, quarantine lifts.
 	dead.down.Store(false)
 	clk.Advance(time.Second)
-	rep, err = p.Sweep()
+	rep, err = p.Sweep(context.Background())
 	if err != nil {
 		t.Fatalf("sweep after recovery: %v", err)
 	}

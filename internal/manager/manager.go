@@ -1,6 +1,7 @@
 package manager
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -28,16 +29,18 @@ var (
 )
 
 // Instance is a managed DCDO as the manager sees it: local instances wrap
-// *core.DCDO directly; remote instances proxy over RPC.
+// *core.DCDO directly; remote instances proxy over RPC. Every operation
+// takes a context — for remote instances these are RPC round trips, and the
+// manager's deadline must reach the wire.
 type Instance interface {
 	// LOID names the instance.
 	LOID() naming.LOID
 	// Version returns the instance's current version.
-	Version() (version.ID, error)
+	Version(ctx context.Context) (version.ID, error)
 	// Apply evolves the instance to the target descriptor and version.
-	Apply(target *dfm.Descriptor, v version.ID) (core.ApplyReport, error)
+	Apply(ctx context.Context, target *dfm.Descriptor, v version.ID) (core.ApplyReport, error)
 	// Interface returns the instance's enabled exported function names.
-	Interface() ([]string, error)
+	Interface(ctx context.Context) ([]string, error)
 }
 
 // Record is one row of the DCDO table (§2.4): the version identifier and
@@ -122,8 +125,9 @@ func (m *Manager) InstantiableDescriptor(v version.ID) (*dfm.Descriptor, error) 
 
 // SetCurrentVersion designates v as the official current version. Under the
 // proactive update policy, every managed instance is immediately evolved
-// (§3.4); errors are collected per instance and returned joined.
-func (m *Manager) SetCurrentVersion(v version.ID) error {
+// (§3.4); errors are collected per instance and returned joined. ctx bounds
+// the proactive fleet pass.
+func (m *Manager) SetCurrentVersion(ctx context.Context, v version.ID) error {
 	if !m.store.IsInstantiable(v) {
 		return fmt.Errorf("%w: %s", ErrVersionNotReady, v)
 	}
@@ -141,14 +145,14 @@ func (m *Manager) SetCurrentVersion(v version.ID) error {
 	if policy != evolution.Proactive {
 		return nil
 	}
-	_, err := m.EvolveFleet(v)
+	_, err := m.EvolveFleet(ctx, v)
 	return err
 }
 
 // CreateInstance initialises a fresh instance to the given instantiable
 // version (or the current version when v is nil) and adds it to the DCDO
 // table.
-func (m *Manager) CreateInstance(inst Instance, v version.ID, impl registry.ImplType) error {
+func (m *Manager) CreateInstance(ctx context.Context, inst Instance, v version.ID, impl registry.ImplType) error {
 	if v.IsZero() {
 		m.mu.Lock()
 		v = m.current.Clone()
@@ -169,7 +173,7 @@ func (m *Manager) CreateInstance(inst Instance, v version.ID, impl registry.Impl
 	}
 	m.mu.Unlock()
 
-	if _, err := inst.Apply(desc, v); err != nil {
+	if _, err := inst.Apply(ctx, desc, v); err != nil {
 		return fmt.Errorf("create %s at %s: %w", loid, v, err)
 	}
 
@@ -189,9 +193,9 @@ func (m *Manager) CreateInstance(inst Instance, v version.ID, impl registry.Impl
 
 // Adopt registers an already configured instance without evolving it (used
 // when a DCDO migrates in from another manager replica).
-func (m *Manager) Adopt(inst Instance, impl registry.ImplType) error {
+func (m *Manager) Adopt(ctx context.Context, inst Instance, impl registry.ImplType) error {
 	loid := inst.LOID()
-	v, err := inst.Version()
+	v, err := inst.Version(ctx)
 	if err != nil {
 		return fmt.Errorf("adopt %s: %w", loid, err)
 	}
@@ -221,13 +225,13 @@ func (m *Manager) Drop(loid naming.LOID) {
 // manager's style. This is the updateInstance() entry point the explicit
 // update policy relies on. With a journal installed the evolution runs as a
 // durable single-instance pass, recoverable if the manager crashes mid-way.
-func (m *Manager) EvolveInstance(loid naming.LOID, v version.ID) error {
+func (m *Manager) EvolveInstance(ctx context.Context, loid naming.LOID, v version.ID) error {
 	j := m.Journal()
 	pass, err := j.BeginPass(v, []naming.LOID{loid})
 	if err != nil {
 		return err
 	}
-	evErr := m.evolveOne(pass, loid, v)
+	evErr := m.evolveOne(ctx, pass, loid, v)
 	// The pass completed — successfully or with a known failure. Only a
 	// crash leaves it open for Recover to finish.
 	if err := j.Done(pass); err != nil && evErr == nil {
@@ -239,7 +243,7 @@ func (m *Manager) EvolveInstance(loid naming.LOID, v version.ID) error {
 // evolveOne evolves one instance under an already-open journal pass: intent
 // is durably recorded before the instance is touched, success after it is
 // verified applied.
-func (m *Manager) evolveOne(pass uint64, loid naming.LOID, v version.ID) error {
+func (m *Manager) evolveOne(ctx context.Context, pass uint64, loid naming.LOID, v version.ID) error {
 	m.mu.Lock()
 	inst, ok := m.instances[loid]
 	rec := m.records[loid]
@@ -261,7 +265,7 @@ func (m *Manager) evolveOne(pass uint64, loid naming.LOID, v version.ID) error {
 		sp.Annotate("from", from.String())
 		sp.Annotate("to", v.String())
 	}
-	err := m.evolveInstance(sp, j, pass, inst, rec, loid, from, current, v)
+	err := m.evolveInstance(ctx, sp, j, pass, inst, rec, loid, from, current, v)
 	if sp != nil {
 		sp.Fail(err)
 		sp.Finish()
@@ -277,7 +281,7 @@ func (m *Manager) evolveOne(pass uint64, loid naming.LOID, v version.ID) error {
 // is applied only if that same row is still installed, so an evolution that
 // raced with Drop (and possibly a re-Adopt) cannot resurrect a stale
 // version onto a new record.
-func (m *Manager) evolveInstance(sp *obs.Span, j *Journal, pass uint64, inst Instance, rec *Record, loid naming.LOID, from, current version.ID, v version.ID) error {
+func (m *Manager) evolveInstance(ctx context.Context, sp *obs.Span, j *Journal, pass uint64, inst Instance, rec *Record, loid naming.LOID, from, current version.ID, v version.ID) error {
 	input := evolution.TransitionInput{
 		From:           from,
 		To:             v,
@@ -300,7 +304,7 @@ func (m *Manager) evolveInstance(sp *obs.Span, j *Journal, pass uint64, inst Ins
 	if err := j.Intent(pass, loid, from, v); err != nil {
 		return err
 	}
-	if _, err := applyInstance(sp, inst, desc, v); err != nil {
+	if _, err := applyInstance(ctx, sp, inst, desc, v); err != nil {
 		return fmt.Errorf("evolve %s to %s: %w", loid, v, err)
 	}
 	m.mu.Lock()
@@ -376,12 +380,12 @@ var _ Instance = LocalInstance{}
 func (l LocalInstance) LOID() naming.LOID { return l.Obj.LOID() }
 
 // Version implements Instance.
-func (l LocalInstance) Version() (version.ID, error) { return l.Obj.Version(), nil }
+func (l LocalInstance) Version(context.Context) (version.ID, error) { return l.Obj.Version(), nil }
 
 // Apply implements Instance.
-func (l LocalInstance) Apply(target *dfm.Descriptor, v version.ID) (core.ApplyReport, error) {
-	return l.Obj.ApplyDescriptor(target, v)
+func (l LocalInstance) Apply(ctx context.Context, target *dfm.Descriptor, v version.ID) (core.ApplyReport, error) {
+	return l.Obj.ApplyDescriptor(ctx, target, v)
 }
 
 // Interface implements Instance.
-func (l LocalInstance) Interface() ([]string, error) { return l.Obj.Interface(), nil }
+func (l LocalInstance) Interface(context.Context) ([]string, error) { return l.Obj.Interface(), nil }

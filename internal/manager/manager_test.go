@@ -1,6 +1,8 @@
 package manager
 
 import (
+	"context"
+
 	"errors"
 	"testing"
 
@@ -16,7 +18,7 @@ func TestCreateInstanceAtCurrentVersion(t *testing.T) {
 	m := f.newManager(t, evolution.SingleVersion, evolution.Explicit)
 	obj := f.newDCDO()
 
-	if err := m.CreateInstance(LocalInstance{Obj: obj}, nil, registry.NativeImplType); err != nil {
+	if err := m.CreateInstance(context.Background(), LocalInstance{Obj: obj}, nil, registry.NativeImplType); err != nil {
 		t.Fatal(err)
 	}
 	out, err := obj.InvokeMethod("greet", nil)
@@ -36,7 +38,7 @@ func TestCreateInstanceAtSpecificVersion(t *testing.T) {
 	f := newFixture(t)
 	m := f.newManager(t, evolution.MultiGeneral, evolution.Explicit)
 	obj := f.newDCDO()
-	if err := m.CreateInstance(LocalInstance{Obj: obj}, v(1, 1), registry.NativeImplType); err != nil {
+	if err := m.CreateInstance(context.Background(), LocalInstance{Obj: obj}, v(1, 1), registry.NativeImplType); err != nil {
 		t.Fatal(err)
 	}
 	out, _ := obj.InvokeMethod("greet", nil)
@@ -49,23 +51,23 @@ func TestCreateInstanceErrors(t *testing.T) {
 	f := newFixture(t)
 	m := f.newManager(t, evolution.SingleVersion, evolution.Explicit)
 	obj := f.newDCDO()
-	if err := m.CreateInstance(LocalInstance{Obj: obj}, nil, registry.NativeImplType); err != nil {
+	if err := m.CreateInstance(context.Background(), LocalInstance{Obj: obj}, nil, registry.NativeImplType); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.CreateInstance(LocalInstance{Obj: obj}, nil, registry.NativeImplType); !errors.Is(err, ErrDuplicateInstance) {
+	if err := m.CreateInstance(context.Background(), LocalInstance{Obj: obj}, nil, registry.NativeImplType); !errors.Is(err, ErrDuplicateInstance) {
 		t.Fatalf("err = %v, want ErrDuplicateInstance", err)
 	}
 
 	// No current version designated.
 	empty := New(evolution.SingleVersion, evolution.Explicit)
-	if err := empty.CreateInstance(LocalInstance{Obj: f.newDCDO()}, nil, registry.NativeImplType); !errors.Is(err, ErrNoCurrentVersion) {
+	if err := empty.CreateInstance(context.Background(), LocalInstance{Obj: f.newDCDO()}, nil, registry.NativeImplType); !errors.Is(err, ErrNoCurrentVersion) {
 		t.Fatalf("err = %v, want ErrNoCurrentVersion", err)
 	}
 
 	// Configurable versions cannot create instances.
 	m2 := f.newManager(t, evolution.MultiGeneral, evolution.Explicit)
 	cfgV, _ := m2.Store().Derive(v(1))
-	if err := m2.CreateInstance(LocalInstance{Obj: f.newDCDO()}, cfgV, registry.NativeImplType); !errors.Is(err, ErrVersionNotReady) {
+	if err := m2.CreateInstance(context.Background(), LocalInstance{Obj: f.newDCDO()}, cfgV, registry.NativeImplType); !errors.Is(err, ErrVersionNotReady) {
 		t.Fatalf("err = %v, want ErrVersionNotReady", err)
 	}
 }
@@ -74,10 +76,10 @@ func TestSetCurrentVersionRequiresInstantiable(t *testing.T) {
 	f := newFixture(t)
 	m := f.newManager(t, evolution.SingleVersion, evolution.Explicit)
 	cfgV, _ := m.Store().Derive(v(1))
-	if err := m.SetCurrentVersion(cfgV); !errors.Is(err, ErrVersionNotReady) {
+	if err := m.SetCurrentVersion(context.Background(), cfgV); !errors.Is(err, ErrVersionNotReady) {
 		t.Fatalf("err = %v, want ErrVersionNotReady", err)
 	}
-	if err := m.SetCurrentVersion(v(1, 1)); err != nil {
+	if err := m.SetCurrentVersion(context.Background(), v(1, 1)); err != nil {
 		t.Fatal(err)
 	}
 	cur, _ := m.CurrentVersion()
@@ -93,13 +95,13 @@ func TestProactiveUpdateEvolvesAllInstances(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		obj := f.newDCDO()
 		inst := LocalInstance{Obj: obj}
-		if err := m.CreateInstance(inst, nil, registry.NativeImplType); err != nil {
+		if err := m.CreateInstance(context.Background(), inst, nil, registry.NativeImplType); err != nil {
 			t.Fatal(err)
 		}
 		objs = append(objs, &inst)
 	}
 	// Designating a new current version immediately evolves everyone.
-	if err := m.SetCurrentVersion(v(1, 1)); err != nil {
+	if err := m.SetCurrentVersion(context.Background(), v(1, 1)); err != nil {
 		t.Fatal(err)
 	}
 	for i, inst := range objs {
@@ -122,10 +124,10 @@ func TestExplicitPolicyLeavesInstancesAlone(t *testing.T) {
 	f := newFixture(t)
 	m := f.newManager(t, evolution.SingleVersion, evolution.Explicit)
 	obj := f.newDCDO()
-	if err := m.CreateInstance(LocalInstance{Obj: obj}, nil, registry.NativeImplType); err != nil {
+	if err := m.CreateInstance(context.Background(), LocalInstance{Obj: obj}, nil, registry.NativeImplType); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.SetCurrentVersion(v(1, 1)); err != nil {
+	if err := m.SetCurrentVersion(context.Background(), v(1, 1)); err != nil {
 		t.Fatal(err)
 	}
 	out, _ := obj.InvokeMethod("greet", nil)
@@ -133,7 +135,7 @@ func TestExplicitPolicyLeavesInstancesAlone(t *testing.T) {
 		t.Fatalf("greet = %q, instance should be out of date under explicit policy", out)
 	}
 	// An external object explicitly updates the instance.
-	if err := m.EvolveInstance(obj.LOID(), v(1, 1)); err != nil {
+	if err := m.EvolveInstance(context.Background(), obj.LOID(), v(1, 1)); err != nil {
 		t.Fatal(err)
 	}
 	out, _ = obj.InvokeMethod("greet", nil)
@@ -146,11 +148,11 @@ func TestSingleVersionStyleDeniesNonCurrent(t *testing.T) {
 	f := newFixture(t)
 	m := f.newManager(t, evolution.SingleVersion, evolution.Explicit)
 	obj := f.newDCDO()
-	if err := m.CreateInstance(LocalInstance{Obj: obj}, nil, registry.NativeImplType); err != nil {
+	if err := m.CreateInstance(context.Background(), LocalInstance{Obj: obj}, nil, registry.NativeImplType); err != nil {
 		t.Fatal(err)
 	}
 	// v1.1 is instantiable but not current: denied under single-version.
-	if err := m.EvolveInstance(obj.LOID(), v(1, 1)); !errors.Is(err, evolution.ErrTransitionDenied) {
+	if err := m.EvolveInstance(context.Background(), obj.LOID(), v(1, 1)); !errors.Is(err, evolution.ErrTransitionDenied) {
 		t.Fatalf("err = %v, want ErrTransitionDenied", err)
 	}
 }
@@ -159,10 +161,10 @@ func TestNoUpdateStyleDeniesEvolution(t *testing.T) {
 	f := newFixture(t)
 	m := f.newManager(t, evolution.MultiNoUpdate, evolution.Explicit)
 	obj := f.newDCDO()
-	if err := m.CreateInstance(LocalInstance{Obj: obj}, v(1), registry.NativeImplType); err != nil {
+	if err := m.CreateInstance(context.Background(), LocalInstance{Obj: obj}, v(1), registry.NativeImplType); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.EvolveInstance(obj.LOID(), v(1, 1)); !errors.Is(err, evolution.ErrTransitionDenied) {
+	if err := m.EvolveInstance(context.Background(), obj.LOID(), v(1, 1)); !errors.Is(err, evolution.ErrTransitionDenied) {
 		t.Fatalf("err = %v, want ErrTransitionDenied", err)
 	}
 }
@@ -171,15 +173,15 @@ func TestIncreasingStyleRequiresDescendant(t *testing.T) {
 	f := newFixture(t)
 	m := f.newManager(t, evolution.MultiIncreasing, evolution.Explicit)
 	obj := f.newDCDO()
-	if err := m.CreateInstance(LocalInstance{Obj: obj}, v(1), registry.NativeImplType); err != nil {
+	if err := m.CreateInstance(context.Background(), LocalInstance{Obj: obj}, v(1), registry.NativeImplType); err != nil {
 		t.Fatal(err)
 	}
 	// 1 -> 1.1 is a descent: allowed.
-	if err := m.EvolveInstance(obj.LOID(), v(1, 1)); err != nil {
+	if err := m.EvolveInstance(context.Background(), obj.LOID(), v(1, 1)); err != nil {
 		t.Fatal(err)
 	}
 	// 1.1 -> 1 is an ascent: denied.
-	if err := m.EvolveInstance(obj.LOID(), v(1)); !errors.Is(err, evolution.ErrTransitionDenied) {
+	if err := m.EvolveInstance(context.Background(), obj.LOID(), v(1)); !errors.Is(err, evolution.ErrTransitionDenied) {
 		t.Fatalf("err = %v, want ErrTransitionDenied", err)
 	}
 }
@@ -188,11 +190,11 @@ func TestGeneralStyleAllowsCrossBranch(t *testing.T) {
 	f := newFixture(t)
 	m := f.newManager(t, evolution.MultiGeneral, evolution.Explicit)
 	obj := f.newDCDO()
-	if err := m.CreateInstance(LocalInstance{Obj: obj}, v(1, 1), registry.NativeImplType); err != nil {
+	if err := m.CreateInstance(context.Background(), LocalInstance{Obj: obj}, v(1, 1), registry.NativeImplType); err != nil {
 		t.Fatal(err)
 	}
 	// 1.1 -> 1 (backwards) is fine under general evolution.
-	if err := m.EvolveInstance(obj.LOID(), v(1)); err != nil {
+	if err := m.EvolveInstance(context.Background(), obj.LOID(), v(1)); err != nil {
 		t.Fatal(err)
 	}
 	out, _ := obj.InvokeMethod("greet", nil)
@@ -220,14 +222,14 @@ func TestHybridStyleChecksMandatoryRules(t *testing.T) {
 	}
 
 	obj := f.newDCDO()
-	if err := m.CreateInstance(LocalInstance{Obj: obj}, v12, registry.NativeImplType); err != nil {
+	if err := m.CreateInstance(context.Background(), LocalInstance{Obj: obj}, v12, registry.NativeImplType); err != nil {
 		t.Fatal(err)
 	}
 
 	// v1.1 keeps the function but enables fr; from v1.2 (greet mandatory)
 	// to v1.1 the function still exists but the mandatory flag is demoted:
 	// hybrid denies it.
-	if err := m.EvolveInstance(obj.LOID(), v(1, 1)); !errors.Is(err, evolution.ErrTransitionDenied) {
+	if err := m.EvolveInstance(context.Background(), obj.LOID(), v(1, 1)); !errors.Is(err, evolution.ErrTransitionDenied) {
 		t.Fatalf("err = %v, want ErrTransitionDenied", err)
 	}
 }
@@ -235,7 +237,7 @@ func TestHybridStyleChecksMandatoryRules(t *testing.T) {
 func TestEvolveUnknownInstance(t *testing.T) {
 	f := newFixture(t)
 	m := f.newManager(t, evolution.SingleVersion, evolution.Explicit)
-	if err := m.EvolveInstance(naming.LOID{Instance: 404}, v(1)); !errors.Is(err, ErrUnknownInstance) {
+	if err := m.EvolveInstance(context.Background(), naming.LOID{Instance: 404}, v(1)); !errors.Is(err, ErrUnknownInstance) {
 		t.Fatalf("err = %v, want ErrUnknownInstance", err)
 	}
 }
@@ -245,14 +247,14 @@ func TestAdoptAndDrop(t *testing.T) {
 	m := f.newManager(t, evolution.MultiGeneral, evolution.Explicit)
 	obj := f.newDCDO()
 	desc, _ := m.Store().InstantiableDescriptor(v(1))
-	if _, err := obj.ApplyDescriptor(desc, v(1)); err != nil {
+	if _, err := obj.ApplyDescriptor(context.Background(), desc, v(1)); err != nil {
 		t.Fatal(err)
 	}
 
-	if err := m.Adopt(LocalInstance{Obj: obj}, registry.NativeImplType); err != nil {
+	if err := m.Adopt(context.Background(), LocalInstance{Obj: obj}, registry.NativeImplType); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Adopt(LocalInstance{Obj: obj}, registry.NativeImplType); !errors.Is(err, ErrDuplicateInstance) {
+	if err := m.Adopt(context.Background(), LocalInstance{Obj: obj}, registry.NativeImplType); !errors.Is(err, ErrDuplicateInstance) {
 		t.Fatalf("err = %v, want ErrDuplicateInstance", err)
 	}
 	rec, err := m.RecordOf(obj.LOID())
@@ -278,10 +280,10 @@ func TestManagerAccessors(t *testing.T) {
 		t.Fatalf("Policy = %v", m.Policy())
 	}
 	obj := f.newDCDO()
-	if err := m.CreateInstance(LocalInstance{Obj: obj}, v(1), registry.NativeImplType); err != nil {
+	if err := m.CreateInstance(context.Background(), LocalInstance{Obj: obj}, v(1), registry.NativeImplType); err != nil {
 		t.Fatal(err)
 	}
-	iface, err := (LocalInstance{Obj: obj}).Interface()
+	iface, err := (LocalInstance{Obj: obj}).Interface(context.Background())
 	if err != nil || len(iface) != 1 || iface[0] != "greet" {
 		t.Fatalf("Interface = %v, %v", iface, err)
 	}
@@ -291,11 +293,11 @@ func TestManagerImplementsManagerViewForLazyUpdates(t *testing.T) {
 	f := newFixture(t)
 	m := f.newManager(t, evolution.SingleVersion, evolution.Lazy)
 	obj := f.newDCDO()
-	if err := m.CreateInstance(LocalInstance{Obj: obj}, nil, registry.NativeImplType); err != nil {
+	if err := m.CreateInstance(context.Background(), LocalInstance{Obj: obj}, nil, registry.NativeImplType); err != nil {
 		t.Fatal(err)
 	}
 	lu := evolution.NewLazyUpdater(obj, m, evolution.StrictConsistency(), nil)
-	if err := m.SetCurrentVersion(v(1, 1)); err != nil {
+	if err := m.SetCurrentVersion(context.Background(), v(1, 1)); err != nil {
 		t.Fatal(err)
 	}
 	out, err := lu.InvokeMethod("greet", nil)

@@ -1,6 +1,8 @@
 package manager
 
 import (
+	"context"
+
 	"godcdo/internal/core"
 	"godcdo/internal/dfm"
 	"godcdo/internal/naming"
@@ -8,17 +10,17 @@ import (
 	"godcdo/internal/version"
 )
 
-// ctxInstance is optionally implemented by instances that can thread trace
-// context into their apply path (LocalInstance does, via
-// core.ApplyDescriptorCtx). Remote instances fall back to plain Apply — the
-// trace context for those rides the RPC envelope instead.
-type ctxInstance interface {
-	ApplyCtx(parent obs.SpanContext, target *dfm.Descriptor, v version.ID) (core.ApplyReport, error)
+// tracedInstance is optionally implemented by instances that can thread
+// trace context into their apply path (LocalInstance does, via
+// core.ApplyDescriptorTraced). Remote instances fall back to plain Apply —
+// the trace context for those rides the RPC envelope instead.
+type tracedInstance interface {
+	ApplyTraced(ctx context.Context, parent obs.SpanContext, target *dfm.Descriptor, v version.ID) (core.ApplyReport, error)
 }
 
-// ApplyCtx implements ctxInstance.
-func (l LocalInstance) ApplyCtx(parent obs.SpanContext, target *dfm.Descriptor, v version.ID) (core.ApplyReport, error) {
-	return l.Obj.ApplyDescriptorCtx(parent, target, v)
+// ApplyTraced implements tracedInstance.
+func (l LocalInstance) ApplyTraced(ctx context.Context, parent obs.SpanContext, target *dfm.Descriptor, v version.ID) (core.ApplyReport, error) {
+	return l.Obj.ApplyDescriptorTraced(ctx, parent, target, v)
 }
 
 var (
@@ -64,19 +66,19 @@ func (m *Manager) event(kind string, loid naming.LOID, v version.ID, detail stri
 // applyInstance runs inst.Apply under a mgr.apply span parented on sp,
 // threading the span context into local instances so the object's
 // dcdo.apply span joins the same trace. With tracing off (sp nil) it is a
-// plain Apply call.
-func applyInstance(sp *obs.Span, inst Instance, desc *dfm.Descriptor, v version.ID) (core.ApplyReport, error) {
+// plain Apply call. ctx flows through either way.
+func applyInstance(ctx context.Context, sp *obs.Span, inst Instance, desc *dfm.Descriptor, v version.ID) (core.ApplyReport, error) {
 	if sp == nil {
-		return inst.Apply(desc, v)
+		return inst.Apply(ctx, desc, v)
 	}
 	child := sp.Child(obs.StageMgrApply)
 	child.Annotate("object", inst.LOID().String())
 	var report core.ApplyReport
 	var err error
-	if ci, ok := inst.(ctxInstance); ok {
-		report, err = ci.ApplyCtx(child.Context(), desc, v)
+	if ti, ok := inst.(tracedInstance); ok {
+		report, err = ti.ApplyTraced(ctx, child.Context(), desc, v)
 	} else {
-		report, err = inst.Apply(desc, v)
+		report, err = inst.Apply(ctx, desc, v)
 	}
 	child.Fail(err)
 	child.Finish()

@@ -1,6 +1,8 @@
 package manager
 
 import (
+	"context"
+
 	"bytes"
 	"errors"
 	"testing"
@@ -109,7 +111,7 @@ func TestManagerRestartFlow(t *testing.T) {
 	f := newFixture(t)
 	m1 := f.newManager(t, evolution.SingleVersion, evolution.Explicit)
 	obj := f.newDCDO()
-	if err := m1.CreateInstance(LocalInstance{Obj: obj}, v(1), registry.NativeImplType); err != nil {
+	if err := m1.CreateInstance(context.Background(), LocalInstance{Obj: obj}, v(1), registry.NativeImplType); err != nil {
 		t.Fatal(err)
 	}
 
@@ -124,13 +126,13 @@ func TestManagerRestartFlow(t *testing.T) {
 		t.Fatal(err)
 	}
 	m2 := NewWithStore(store, evolution.SingleVersion, evolution.Explicit)
-	if err := m2.SetCurrentVersion(v(1, 1)); err != nil {
+	if err := m2.SetCurrentVersion(context.Background(), v(1, 1)); err != nil {
 		t.Fatal(err)
 	}
-	if err := m2.Adopt(LocalInstance{Obj: obj}, registry.NativeImplType); err != nil {
+	if err := m2.Adopt(context.Background(), LocalInstance{Obj: obj}, registry.NativeImplType); err != nil {
 		t.Fatal(err)
 	}
-	if err := m2.EvolveInstance(obj.LOID(), v(1, 1)); err != nil {
+	if err := m2.EvolveInstance(context.Background(), obj.LOID(), v(1, 1)); err != nil {
 		t.Fatal(err)
 	}
 	out, err := obj.InvokeMethod("greet", nil)

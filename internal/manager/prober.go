@@ -1,6 +1,7 @@
 package manager
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -93,8 +94,9 @@ func (p *Prober) backoffBounds() (base, max time.Duration) {
 // Sweep probes every managed instance once (respecting per-instance
 // backoff) and applies the quarantine / re-convergence transitions. It
 // returns what it did; errors re-converging individual instances are
-// collected and joined, never aborting the sweep.
-func (p *Prober) Sweep() (SweepReport, error) {
+// collected and joined, never aborting the sweep. A ctx that ends mid-sweep
+// stops probing further instances; a probe in flight still completes.
+func (p *Prober) Sweep(ctx context.Context) (SweepReport, error) {
 	var report SweepReport
 	var errs []error
 	now := p.clock().Now()
@@ -105,6 +107,9 @@ func (p *Prober) Sweep() (SweepReport, error) {
 	}
 
 	for _, loid := range p.Mgr.InstanceLOIDs() {
+		if ctx.Err() != nil {
+			break // sweep cut short; the next interval picks up the rest
+		}
 		if p.deferred(loid, now) {
 			report.Deferred = append(report.Deferred, loid)
 			continue
@@ -114,7 +119,7 @@ func (p *Prober) Sweep() (SweepReport, error) {
 			continue // dropped between listing and probing
 		}
 		report.Probed = append(report.Probed, loid)
-		_, err := inst.Version()
+		_, err := inst.Version(ctx)
 		if err != nil && isConnectivityError(err) {
 			if p.recordFailure(loid, now) {
 				p.Mgr.quarantine(loid, fmt.Sprintf("probe failed: %v", err))
@@ -128,7 +133,7 @@ func (p *Prober) Sweep() (SweepReport, error) {
 		if q, _ := p.Mgr.IsQuarantined(loid); !q {
 			continue
 		}
-		if err := p.reconverge(loid); err != nil {
+		if err := p.reconverge(ctx, loid); err != nil {
 			errs = append(errs, fmt.Errorf("reconverge %s: %w", loid, err))
 			continue
 		}
@@ -147,16 +152,16 @@ func (p *Prober) Sweep() (SweepReport, error) {
 // reconverge lifts an instance's quarantine and, when a current version is
 // designated and the instance is behind it, evolves the instance to it —
 // the "evolve-to-current" half of the quarantine lifecycle.
-func (p *Prober) reconverge(loid naming.LOID) error {
+func (p *Prober) reconverge(ctx context.Context, loid naming.LOID) error {
 	current, _ := p.Mgr.CurrentVersion()
 	if !current.IsZero() {
-		actual, err := p.Mgr.instanceProbe(loid)
+		actual, err := p.Mgr.instanceProbe(ctx, loid)
 		if err != nil {
 			return err
 		}
 		p.Mgr.syncRecord(loid, actual)
 		if !actual.Equal(current) {
-			if err := p.Mgr.EvolveInstance(loid, current); err != nil {
+			if err := p.Mgr.EvolveInstance(ctx, loid, current); err != nil {
 				return err
 			}
 		}
@@ -228,7 +233,9 @@ func (p *Prober) Run(interval time.Duration) {
 			case <-stop:
 				return
 			case <-p.clock().After(interval):
-				_, _ = p.Sweep()
+				// The background loop owns its sweeps; Stop ends the loop
+				// between sweeps rather than cancelling one mid-flight.
+				_, _ = p.Sweep(context.Background())
 			}
 		}
 	}()
@@ -250,10 +257,10 @@ func (p *Prober) Stop() {
 
 // instanceProbe returns the instance's actual version (an RPC for remote
 // instances).
-func (m *Manager) instanceProbe(loid naming.LOID) (version.ID, error) {
+func (m *Manager) instanceProbe(ctx context.Context, loid naming.LOID) (version.ID, error) {
 	inst := m.instanceOf(loid)
 	if inst == nil {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownInstance, loid)
 	}
-	return inst.Version()
+	return inst.Version(ctx)
 }

@@ -1,6 +1,8 @@
 package manager
 
 import (
+	"context"
+
 	"errors"
 	"sync"
 	"testing"
@@ -28,13 +30,13 @@ type gateInstance struct {
 
 func (g *gateInstance) LOID() naming.LOID { return g.loid }
 
-func (g *gateInstance) Version() (version.ID, error) {
+func (g *gateInstance) Version(context.Context) (version.ID, error) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	return g.ver.Clone(), nil
 }
 
-func (g *gateInstance) Apply(_ *dfm.Descriptor, v version.ID) (core.ApplyReport, error) {
+func (g *gateInstance) Apply(_ context.Context, _ *dfm.Descriptor, v version.ID) (core.ApplyReport, error) {
 	if g.entered != nil {
 		g.once.Do(func() { close(g.entered) })
 	}
@@ -47,7 +49,7 @@ func (g *gateInstance) Apply(_ *dfm.Descriptor, v version.ID) (core.ApplyReport,
 	return core.ApplyReport{}, nil
 }
 
-func (g *gateInstance) Interface() ([]string, error) { return nil, nil }
+func (g *gateInstance) Interface(context.Context) ([]string, error) { return nil, nil }
 
 // TestEvolveDropAdoptNoResurrection pins the evolve/drop race fix: an
 // evolution in flight when its instance is dropped and the LOID re-adopted
@@ -58,12 +60,12 @@ func TestEvolveDropAdoptNoResurrection(t *testing.T) {
 	loid := naming.LOID{Domain: 9, Class: 1, Instance: 1}
 
 	old := &gateInstance{loid: loid, ver: v(1), gate: make(chan struct{}), entered: make(chan struct{})}
-	if err := m.Adopt(old, registry.NativeImplType); err != nil {
+	if err := m.Adopt(context.Background(), old, registry.NativeImplType); err != nil {
 		t.Fatalf("adopt: %v", err)
 	}
 
 	done := make(chan error, 1)
-	go func() { done <- m.EvolveInstance(loid, v(1, 1)) }()
+	go func() { done <- m.EvolveInstance(context.Background(), loid, v(1, 1)) }()
 
 	// Wait until the evolution is parked inside Apply (outside the lock).
 	<-old.entered
@@ -71,7 +73,7 @@ func TestEvolveDropAdoptNoResurrection(t *testing.T) {
 	// Drop the instance mid-evolution and re-adopt the LOID at version 1.
 	m.Drop(loid)
 	fresh := &gateInstance{loid: loid, ver: v(1)}
-	if err := m.Adopt(fresh, registry.NativeImplType); err != nil {
+	if err := m.Adopt(context.Background(), fresh, registry.NativeImplType); err != nil {
 		t.Fatalf("re-adopt: %v", err)
 	}
 
@@ -87,7 +89,7 @@ func TestEvolveDropAdoptNoResurrection(t *testing.T) {
 	if !rec.Version.Equal(v(1)) {
 		t.Fatalf("stale evolution resurrected version %s onto re-adopted record, want %s", rec.Version, v(1))
 	}
-	actual, _ := fresh.Version()
+	actual, _ := fresh.Version(context.Background())
 	if !rec.Version.Equal(actual) {
 		t.Fatalf("record %s disagrees with instance %s", rec.Version, actual)
 	}
@@ -100,7 +102,7 @@ func TestConcurrentEvolveDropAdopt(t *testing.T) {
 	f := newFixture(t)
 	m := f.newManager(t, evolution.MultiGeneral, evolution.Explicit)
 	loid := naming.LOID{Domain: 9, Class: 1, Instance: 2}
-	if err := m.Adopt(&gateInstance{loid: loid, ver: v(1)}, registry.NativeImplType); err != nil {
+	if err := m.Adopt(context.Background(), &gateInstance{loid: loid, ver: v(1)}, registry.NativeImplType); err != nil {
 		t.Fatalf("adopt: %v", err)
 	}
 
@@ -111,7 +113,7 @@ func TestConcurrentEvolveDropAdopt(t *testing.T) {
 		for i := 0; i < iters; i++ {
 			// ErrUnknownInstance is expected while the dropper has the
 			// LOID out of the table.
-			if err := m.EvolveInstance(loid, target); err != nil && !errors.Is(err, ErrUnknownInstance) {
+			if err := m.EvolveInstance(context.Background(), loid, target); err != nil && !errors.Is(err, ErrUnknownInstance) {
 				t.Errorf("evolve to %s: %v", target, err)
 				return
 			}
@@ -124,7 +126,7 @@ func TestConcurrentEvolveDropAdopt(t *testing.T) {
 		defer wg.Done()
 		for i := 0; i < iters; i++ {
 			m.Drop(loid)
-			if err := m.Adopt(&gateInstance{loid: loid, ver: v(1)}, registry.NativeImplType); err != nil {
+			if err := m.Adopt(context.Background(), &gateInstance{loid: loid, ver: v(1)}, registry.NativeImplType); err != nil {
 				t.Errorf("re-adopt: %v", err)
 				return
 			}
@@ -140,7 +142,7 @@ func TestConcurrentEvolveDropAdopt(t *testing.T) {
 	if inst == nil {
 		t.Fatal("instance missing after stress")
 	}
-	actual, err := inst.Version()
+	actual, err := inst.Version(context.Background())
 	if err != nil {
 		t.Fatalf("version: %v", err)
 	}
@@ -159,11 +161,11 @@ func TestCreateInstanceConcurrentDuplicate(t *testing.T) {
 
 	slow := &gateInstance{loid: loid, gate: make(chan struct{})}
 	done := make(chan error, 1)
-	go func() { done <- m.CreateInstance(slow, v(1), registry.NativeImplType) }()
+	go func() { done <- m.CreateInstance(context.Background(), slow, v(1), registry.NativeImplType) }()
 
 	// While the slow create is parked in Apply, another creator claims the
 	// LOID.
-	if err := m.Adopt(&gateInstance{loid: loid, ver: v(1)}, registry.NativeImplType); err != nil {
+	if err := m.Adopt(context.Background(), &gateInstance{loid: loid, ver: v(1)}, registry.NativeImplType); err != nil {
 		t.Fatalf("adopt: %v", err)
 	}
 	close(slow.gate)

@@ -1,6 +1,7 @@
 package manager
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -79,8 +80,9 @@ func (m *Manager) AdoptUnverified(inst Instance, impl registry.ImplType, lastKno
 // is still instantiable, rolled back to their pre-pass version when it is
 // not, and quarantined when unreachable. Completed passes are then
 // compacted out of the journal, so a second Recover is a no-op. Requires a
-// journal (ErrNoJournal otherwise).
-func (m *Manager) Recover() (RecoveryReport, error) {
+// journal (ErrNoJournal otherwise). ctx bounds the probes and evolutions
+// recovery performs.
+func (m *Manager) Recover(ctx context.Context) (RecoveryReport, error) {
 	j := m.Journal()
 	if j == nil {
 		return RecoveryReport{}, ErrNoJournal
@@ -94,7 +96,7 @@ func (m *Manager) Recover() (RecoveryReport, error) {
 	if tr := m.tracer(); tr != nil {
 		sp = tr.StartSpan(obs.StageMgrRecover, obs.SpanContext{})
 	}
-	report, err := m.recover(sp, j, recs)
+	report, err := m.recover(ctx, sp, j, recs)
 	if sp != nil {
 		sp.Annotate("passes", fmt.Sprintf("%d", report.Passes))
 		sp.Fail(err)
@@ -107,7 +109,7 @@ func (m *Manager) Recover() (RecoveryReport, error) {
 	return report, err
 }
 
-func (m *Manager) recover(sp *obs.Span, j *Journal, recs []JournalRecord) (RecoveryReport, error) {
+func (m *Manager) recover(ctx context.Context, sp *obs.Span, j *Journal, recs []JournalRecord) (RecoveryReport, error) {
 	var report RecoveryReport
 	var lastCurrent version.ID
 	passes := make(map[uint64]*passState)
@@ -163,9 +165,9 @@ func (m *Manager) recover(sp *obs.Span, j *Journal, recs []JournalRecord) (Recov
 		}
 		report.Passes++
 		if m.store.IsInstantiable(p.target) {
-			m.resumePass(sp, j, p, &report, &errs)
+			m.resumePass(ctx, sp, j, p, &report, &errs)
 		} else {
-			m.rollbackPass(sp, j, p, &report, &errs)
+			m.rollbackPass(ctx, sp, j, p, &report, &errs)
 		}
 		if err := j.Done(p.pass); err != nil {
 			errs = append(errs, err)
@@ -190,13 +192,13 @@ func (m *Manager) recover(sp *obs.Span, j *Journal, recs []JournalRecord) (Recov
 
 // resumePass drives an interrupted pass forward: every planned instance
 // still managed is probed and, if not already on the target, evolved to it.
-func (m *Manager) resumePass(sp *obs.Span, j *Journal, p *passState, report *RecoveryReport, errs *[]error) {
+func (m *Manager) resumePass(ctx context.Context, sp *obs.Span, j *Journal, p *passState, report *RecoveryReport, errs *[]error) {
 	for _, loid := range p.planned {
 		inst := m.instanceOf(loid)
 		if inst == nil {
 			continue // dropped or never re-registered; nothing to converge
 		}
-		actual, err := inst.Version()
+		actual, err := inst.Version(ctx)
 		if err != nil {
 			m.quarantineUnreachable(j, p.pass, loid, err, report, errs)
 			continue
@@ -212,7 +214,7 @@ func (m *Manager) resumePass(sp *obs.Span, j *Journal, p *passState, report *Rec
 			report.Verified = append(report.Verified, loid)
 			continue
 		}
-		switch err := m.evolveOne(p.pass, loid, p.target); {
+		switch err := m.evolveOne(ctx, p.pass, loid, p.target); {
 		case err == nil:
 			m.UnquarantineInstance(loid)
 			report.Resumed = append(report.Resumed, loid)
@@ -229,7 +231,7 @@ func (m *Manager) resumePass(sp *obs.Span, j *Journal, p *passState, report *Rec
 // back to its journalled pre-pass version. The style is deliberately not
 // consulted — the orphaned version does not exist as far as the store is
 // concerned, so the only consistent state is the pre-pass one.
-func (m *Manager) rollbackPass(sp *obs.Span, j *Journal, p *passState, report *RecoveryReport, errs *[]error) {
+func (m *Manager) rollbackPass(ctx context.Context, sp *obs.Span, j *Journal, p *passState, report *RecoveryReport, errs *[]error) {
 	loids := make([]naming.LOID, 0, len(p.intents))
 	for loid := range p.intents {
 		loids = append(loids, loid)
@@ -241,7 +243,7 @@ func (m *Manager) rollbackPass(sp *obs.Span, j *Journal, p *passState, report *R
 		if inst == nil {
 			continue
 		}
-		actual, err := inst.Version()
+		actual, err := inst.Version(ctx)
 		if err != nil {
 			m.quarantineUnreachable(j, p.pass, loid, err, report, errs)
 			continue
@@ -256,7 +258,7 @@ func (m *Manager) rollbackPass(sp *obs.Span, j *Journal, p *passState, report *R
 			*errs = append(*errs, fmt.Errorf("rollback %s to %s: %w", loid, intent.From, err))
 			continue
 		}
-		if _, err := applyInstance(sp, inst, desc, intent.From); err != nil {
+		if _, err := applyInstance(ctx, sp, inst, desc, intent.From); err != nil {
 			if isConnectivityError(err) {
 				m.quarantineUnreachable(j, p.pass, loid, err, report, errs)
 			} else {

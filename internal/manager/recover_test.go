@@ -1,6 +1,8 @@
 package manager
 
 import (
+	"context"
+
 	"bytes"
 	"errors"
 	"path/filepath"
@@ -29,7 +31,7 @@ type flakyInstance struct {
 
 func (f *flakyInstance) LOID() naming.LOID { return f.loid }
 
-func (f *flakyInstance) Version() (version.ID, error) {
+func (f *flakyInstance) Version(context.Context) (version.ID, error) {
 	if f.down.Load() {
 		return nil, transport.ErrUnreachable
 	}
@@ -38,7 +40,7 @@ func (f *flakyInstance) Version() (version.ID, error) {
 	return f.ver.Clone(), nil
 }
 
-func (f *flakyInstance) Apply(_ *dfm.Descriptor, v version.ID) (core.ApplyReport, error) {
+func (f *flakyInstance) Apply(_ context.Context, _ *dfm.Descriptor, v version.ID) (core.ApplyReport, error) {
 	if f.down.Load() {
 		return core.ApplyReport{}, transport.ErrUnreachable
 	}
@@ -48,7 +50,7 @@ func (f *flakyInstance) Apply(_ *dfm.Descriptor, v version.ID) (core.ApplyReport
 	return core.ApplyReport{}, nil
 }
 
-func (f *flakyInstance) Interface() ([]string, error) {
+func (f *flakyInstance) Interface(context.Context) ([]string, error) {
 	if f.down.Load() {
 		return nil, transport.ErrUnreachable
 	}
@@ -90,14 +92,14 @@ func TestRecoverResumesInterruptedPass(t *testing.T) {
 	objs := make([]*core.DCDO, 3)
 	for i := range objs {
 		objs[i] = f.newDCDO()
-		if err := m.CreateInstance(LocalInstance{Obj: objs[i]}, v(1), registry.NativeImplType); err != nil {
+		if err := m.CreateInstance(context.Background(), LocalInstance{Obj: objs[i]}, v(1), registry.NativeImplType); err != nil {
 			t.Fatalf("create: %v", err)
 		}
 	}
-	if err := m.SetCurrentVersion(v(1, 1)); err != nil {
+	if err := m.SetCurrentVersion(context.Background(), v(1, 1)); err != nil {
 		t.Fatalf("set current: %v", err)
 	}
-	rep, err := m.EvolveFleetPartial(v(1, 1), 1)
+	rep, err := m.EvolveFleetPartial(context.Background(), v(1, 1), 1)
 	if err != nil {
 		t.Fatalf("partial fleet pass: %v", err)
 	}
@@ -111,11 +113,11 @@ func TestRecoverResumesInterruptedPass(t *testing.T) {
 
 	m2 := restartManager(t, m, evolution.MultiIncreasing, evolution.Explicit, path)
 	for _, obj := range objs {
-		if err := m2.Adopt(LocalInstance{Obj: obj}, registry.NativeImplType); err != nil {
+		if err := m2.Adopt(context.Background(), LocalInstance{Obj: obj}, registry.NativeImplType); err != nil {
 			t.Fatalf("re-adopt: %v", err)
 		}
 	}
-	report, err := m2.Recover()
+	report, err := m2.Recover(context.Background())
 	if err != nil {
 		t.Fatalf("recover: %v", err)
 	}
@@ -144,7 +146,7 @@ func TestRecoverResumesInterruptedPass(t *testing.T) {
 
 	// Idempotence: the journal was compacted, so replaying it again finds
 	// nothing to do.
-	report2, err := m2.Recover()
+	report2, err := m2.Recover(context.Background())
 	if err != nil {
 		t.Fatalf("second recover: %v", err)
 	}
@@ -197,12 +199,12 @@ func TestRecoverRollsBackOrphanedTarget(t *testing.T) {
 
 	a, b := f.newDCDO(), f.newDCDO()
 	for _, obj := range []*core.DCDO{a, b} {
-		if err := m.CreateInstance(LocalInstance{Obj: obj}, v(1), registry.NativeImplType); err != nil {
+		if err := m.CreateInstance(context.Background(), LocalInstance{Obj: obj}, v(1), registry.NativeImplType); err != nil {
 			t.Fatalf("create: %v", err)
 		}
 	}
 	// Crash mid-pass: a reaches 1.1, b untouched, no done record.
-	rep, err := m.EvolveFleetPartial(v(1, 1), 1)
+	rep, err := m.EvolveFleetPartial(context.Background(), v(1, 1), 1)
 	if err != nil || !rep.Halted {
 		t.Fatalf("partial pass: %+v err=%v", rep, err)
 	}
@@ -221,11 +223,11 @@ func TestRecoverRollsBackOrphanedTarget(t *testing.T) {
 	}
 	m2.SetJournal(j2)
 	for _, obj := range []*core.DCDO{a, b} {
-		if err := m2.Adopt(LocalInstance{Obj: obj}, registry.NativeImplType); err != nil {
+		if err := m2.Adopt(context.Background(), LocalInstance{Obj: obj}, registry.NativeImplType); err != nil {
 			t.Fatalf("re-adopt: %v", err)
 		}
 	}
-	report, err := m2.Recover()
+	report, err := m2.Recover(context.Background())
 	if err != nil {
 		t.Fatalf("recover: %v", err)
 	}
@@ -255,31 +257,31 @@ func TestRecoverQuarantinesUnreachableInstance(t *testing.T) {
 	m.SetJournal(j)
 
 	good := f.newDCDO()
-	if err := m.CreateInstance(LocalInstance{Obj: good}, v(1), registry.NativeImplType); err != nil {
+	if err := m.CreateInstance(context.Background(), LocalInstance{Obj: good}, v(1), registry.NativeImplType); err != nil {
 		t.Fatal(err)
 	}
 	bad := &flakyInstance{loid: naming.LOID{Domain: 9, Class: 2, Instance: 1}, ver: v(1)}
-	if err := m.Adopt(bad, registry.NativeImplType); err != nil {
+	if err := m.Adopt(context.Background(), bad, registry.NativeImplType); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.SetCurrentVersion(v(1, 1)); err != nil {
+	if err := m.SetCurrentVersion(context.Background(), v(1, 1)); err != nil {
 		t.Fatal(err)
 	}
 	// Crash after beginning the pass but before touching anything.
-	if _, err := m.EvolveFleetPartial(v(1, 1), 0); err != nil {
+	if _, err := m.EvolveFleetPartial(context.Background(), v(1, 1), 0); err != nil {
 		t.Fatal(err)
 	}
 	_ = j.Close()
 
 	bad.down.Store(true) // partitioned across the restart
 	m2 := restartManager(t, m, evolution.MultiIncreasing, evolution.Explicit, path)
-	if err := m2.Adopt(LocalInstance{Obj: good}, registry.NativeImplType); err != nil {
+	if err := m2.Adopt(context.Background(), LocalInstance{Obj: good}, registry.NativeImplType); err != nil {
 		t.Fatal(err)
 	}
 	if err := m2.AdoptUnverified(bad, registry.NativeImplType, v(1), "unreachable at boot"); err != nil {
 		t.Fatal(err)
 	}
-	report, err := m2.Recover()
+	report, err := m2.Recover(context.Background())
 	if err != nil {
 		t.Fatalf("recover: %v", err)
 	}
@@ -294,7 +296,7 @@ func TestRecoverQuarantinesUnreachableInstance(t *testing.T) {
 		t.Fatalf("reachable instance at %s, want %s", got, v(1, 1))
 	}
 	// The quarantined instance is excluded from subsequent fleet passes.
-	rep, err := m2.EvolveFleet(v(1, 1))
+	rep, err := m2.EvolveFleet(context.Background(), v(1, 1))
 	if err != nil {
 		t.Fatalf("fleet pass with quarantined instance: %v", err)
 	}
@@ -308,7 +310,7 @@ func TestRecoverQuarantinesUnreachableInstance(t *testing.T) {
 func TestRecoverRequiresJournal(t *testing.T) {
 	f := newFixture(t)
 	m := f.newManager(t, evolution.MultiIncreasing, evolution.Explicit)
-	if _, err := m.Recover(); !errors.Is(err, ErrNoJournal) {
+	if _, err := m.Recover(context.Background()); !errors.Is(err, ErrNoJournal) {
 		t.Fatalf("recover without journal: %v, want ErrNoJournal", err)
 	}
 }

@@ -1,6 +1,7 @@
 package manager
 
 import (
+	"context"
 	"fmt"
 
 	"godcdo/internal/core"
@@ -62,10 +63,21 @@ type Object struct {
 	Mgr *Manager
 }
 
-var _ rpc.Object = (*Object)(nil)
+var (
+	_ rpc.Object             = (*Object)(nil)
+	_ rpc.ContextAwareObject = (*Object)(nil)
+)
 
-// InvokeMethod implements rpc.Object.
+// InvokeMethod implements rpc.Object for context-free callers.
 func (o *Object) InvokeMethod(method string, args []byte) ([]byte, error) {
+	return o.InvokeMethodCtx(context.Background(), method, args)
+}
+
+// InvokeMethodCtx implements rpc.ContextAwareObject: the long-running
+// manager operations (fleet-wide designations, per-instance evolutions,
+// recovery) run under the caller's context, so a remote client's deadline
+// bounds the instance RPCs the manager issues on its behalf.
+func (o *Object) InvokeMethodCtx(ctx context.Context, method string, args []byte) ([]byte, error) {
 	m := o.Mgr
 	dec := wire.NewDecoder(args)
 	badReq := func(what string, err error) ([]byte, error) {
@@ -97,7 +109,7 @@ func (o *Object) InvokeMethod(method string, args []byte) ([]byte, error) {
 		if err != nil {
 			return badReq("version", err)
 		}
-		return nil, m.SetCurrentVersion(v)
+		return nil, m.SetCurrentVersion(ctx, v)
 
 	case MethodDescriptor, MethodInstantiableDesc:
 		v, err := decodeVersion()
@@ -146,7 +158,7 @@ func (o *Object) InvokeMethod(method string, args []byte) ([]byte, error) {
 		if err != nil {
 			return badReq("version", err)
 		}
-		return nil, m.EvolveInstance(loid, v)
+		return nil, m.EvolveInstance(ctx, loid, v)
 
 	case MethodRecords:
 		records := m.Records()
@@ -298,7 +310,7 @@ func (o *Object) InvokeMethod(method string, args []byte) ([]byte, error) {
 		})
 
 	case MethodRecover:
-		report, err := m.Recover()
+		report, err := m.Recover(ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -574,8 +586,8 @@ var _ Instance = RemoteInstance{}
 func (r RemoteInstance) LOID() naming.LOID { return r.Target }
 
 // Version implements Instance.
-func (r RemoteInstance) Version() (version.ID, error) {
-	out, err := r.Client.Invoke(r.Target, core.MethodVersion, nil)
+func (r RemoteInstance) Version(ctx context.Context) (version.ID, error) {
+	out, err := r.Client.Invoke(ctx, r.Target, core.MethodVersion, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -587,8 +599,8 @@ func (r RemoteInstance) Version() (version.ID, error) {
 }
 
 // Apply implements Instance.
-func (r RemoteInstance) Apply(target *dfm.Descriptor, v version.ID) (core.ApplyReport, error) {
-	out, err := r.Client.Invoke(r.Target, core.MethodApplyDescriptor, core.EncodeApplyArgs(target, v))
+func (r RemoteInstance) Apply(ctx context.Context, target *dfm.Descriptor, v version.ID) (core.ApplyReport, error) {
+	out, err := r.Client.Invoke(ctx, r.Target, core.MethodApplyDescriptor, core.EncodeApplyArgs(target, v))
 	if err != nil {
 		return core.ApplyReport{}, err
 	}
@@ -596,8 +608,8 @@ func (r RemoteInstance) Apply(target *dfm.Descriptor, v version.ID) (core.ApplyR
 }
 
 // Interface implements Instance.
-func (r RemoteInstance) Interface() ([]string, error) {
-	out, err := r.Client.Invoke(r.Target, core.MethodInterface, nil)
+func (r RemoteInstance) Interface(ctx context.Context) ([]string, error) {
+	out, err := r.Client.Invoke(ctx, r.Target, core.MethodInterface, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -610,9 +622,9 @@ func (r RemoteInstance) Interface() ([]string, error) {
 // It compares the object's version with the remote manager's current
 // version and, when they differ, asks the manager to evolve the instance.
 // It reports whether an update was initiated.
-func EnsureCurrent(client *rpc.Client, mgr, obj naming.LOID) (bool, error) {
+func EnsureCurrent(ctx context.Context, client *rpc.Client, mgr, obj naming.LOID) (bool, error) {
 	view := RemoteView{Client: client, Target: mgr}
-	current, err := view.CurrentVersion()
+	current, err := view.currentVersion(ctx)
 	if err != nil {
 		return false, fmt.Errorf("ensure current: %w", err)
 	}
@@ -620,14 +632,14 @@ func EnsureCurrent(client *rpc.Client, mgr, obj naming.LOID) (bool, error) {
 		return false, nil
 	}
 	inst := RemoteInstance{Client: client, Target: obj}
-	mine, err := inst.Version()
+	mine, err := inst.Version(ctx)
 	if err != nil {
 		return false, fmt.Errorf("ensure current: %w", err)
 	}
 	if current.Equal(mine) {
 		return false, nil
 	}
-	if _, err := client.Invoke(mgr, MethodEvolveInstance, EncodeEvolveInstanceArgs(obj, current)); err != nil {
+	if _, err := client.Invoke(ctx, mgr, MethodEvolveInstance, EncodeEvolveInstanceArgs(obj, current)); err != nil {
 		return false, fmt.Errorf("ensure current: %w", err)
 	}
 	return true, nil
@@ -642,9 +654,15 @@ type RemoteView struct {
 
 var _ evolution.ManagerView = RemoteView{}
 
-// CurrentVersion implements evolution.ManagerView.
+// CurrentVersion implements evolution.ManagerView. The interface is
+// deliberately context-free (lazy update checks are the object's own
+// maintenance); the proxy supplies a background context.
 func (r RemoteView) CurrentVersion() (version.ID, error) {
-	out, err := r.Client.Invoke(r.Target, MethodCurrentVersion, nil)
+	return r.currentVersion(context.Background())
+}
+
+func (r RemoteView) currentVersion(ctx context.Context) (version.ID, error) {
+	out, err := r.Client.Invoke(ctx, r.Target, MethodCurrentVersion, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -657,7 +675,7 @@ func (r RemoteView) CurrentVersion() (version.ID, error) {
 
 // InstantiableDescriptor implements evolution.ManagerView.
 func (r RemoteView) InstantiableDescriptor(v version.ID) (*dfm.Descriptor, error) {
-	out, err := r.Client.Invoke(r.Target, MethodInstantiableDesc, EncodeVersionArgs(v))
+	out, err := r.Client.Invoke(context.Background(), r.Target, MethodInstantiableDesc, EncodeVersionArgs(v))
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,8 @@
 package manager
 
 import (
+	"context"
+
 	"errors"
 	"reflect"
 	"testing"
@@ -84,7 +86,7 @@ func TestRemoteCurrentVersionAndDescriptor(t *testing.T) {
 		t.Fatal("configurable descriptor served as instantiable")
 	}
 	// But visible through the plain descriptor method.
-	out, err := env.client.Invoke(env.mgrLOI, MethodDescriptor, EncodeVersionArgs(cfgV))
+	out, err := env.client.Invoke(context.Background(), env.mgrLOI, MethodDescriptor, EncodeVersionArgs(cfgV))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +99,7 @@ func TestRemoteVersionLifecycle(t *testing.T) {
 	env := newRemoteEnv(t, evolution.SingleVersion)
 
 	// Derive a new version remotely.
-	out, err := env.client.Invoke(env.mgrLOI, MethodDerive, EncodeVersionArgs(v(1)))
+	out, err := env.client.Invoke(context.Background(), env.mgrLOI, MethodDerive, EncodeVersionArgs(v(1)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,19 +107,19 @@ func TestRemoteVersionLifecycle(t *testing.T) {
 	child, _ := versionFromSegs(segs)
 
 	// Configure it: swap the enabled implementation to fr.
-	if _, err := env.client.Invoke(env.mgrLOI, MethodVSetEnabled,
+	if _, err := env.client.Invoke(context.Background(), env.mgrLOI, MethodVSetEnabled,
 		EncodeSetEnabledArgs(child, dfm.EntryKey{Function: "greet", Component: "en"}, false)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := env.client.Invoke(env.mgrLOI, MethodVSetEnabled,
+	if _, err := env.client.Invoke(context.Background(), env.mgrLOI, MethodVSetEnabled,
 		EncodeSetEnabledArgs(child, dfm.EntryKey{Function: "greet", Component: "fr"}, true)); err != nil {
 		t.Fatal(err)
 	}
 	// Mark instantiable and set current.
-	if _, err := env.client.Invoke(env.mgrLOI, MethodMarkInstantiable, EncodeVersionArgs(child)); err != nil {
+	if _, err := env.client.Invoke(context.Background(), env.mgrLOI, MethodMarkInstantiable, EncodeVersionArgs(child)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := env.client.Invoke(env.mgrLOI, MethodSetCurrent, EncodeVersionArgs(child)); err != nil {
+	if _, err := env.client.Invoke(context.Background(), env.mgrLOI, MethodSetCurrent, EncodeVersionArgs(child)); err != nil {
 		t.Fatal(err)
 	}
 	cur, _ := env.mgr.CurrentVersion()
@@ -140,27 +142,27 @@ func TestRemoteInstanceEvolution(t *testing.T) {
 
 	// The manager manages the object through a remote proxy.
 	ri := RemoteInstance{Client: env.client, Target: obj.LOID()}
-	if err := env.mgr.CreateInstance(ri, nil, registry.NativeImplType); err != nil {
+	if err := env.mgr.CreateInstance(context.Background(), ri, nil, registry.NativeImplType); err != nil {
 		t.Fatal(err)
 	}
-	got, err := ri.Version()
+	got, err := ri.Version(context.Background())
 	if err != nil || !got.Equal(v(1)) {
 		t.Fatalf("remote version = %v, %v", got, err)
 	}
-	iface, err := ri.Interface()
+	iface, err := ri.Interface(context.Background())
 	if err != nil || !reflect.DeepEqual(iface, []string{"greet"}) {
 		t.Fatalf("remote interface = %v, %v", iface, err)
 	}
 
 	// Evolve via the manager's remote interface.
-	if _, err := env.client.Invoke(env.mgrLOI, MethodSetCurrent, EncodeVersionArgs(v(1, 1))); err != nil {
+	if _, err := env.client.Invoke(context.Background(), env.mgrLOI, MethodSetCurrent, EncodeVersionArgs(v(1, 1))); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := env.client.Invoke(env.mgrLOI, MethodEvolveInstance,
+	if _, err := env.client.Invoke(context.Background(), env.mgrLOI, MethodEvolveInstance,
 		EncodeEvolveInstanceArgs(obj.LOID(), v(1, 1))); err != nil {
 		t.Fatal(err)
 	}
-	out, err := env.client.Invoke(obj.LOID(), "greet", nil)
+	out, err := env.client.Invoke(context.Background(), obj.LOID(), "greet", nil)
 	if err != nil || string(out) != "bonjour" {
 		t.Fatalf("greet after remote evolution = %q, %v", out, err)
 	}
@@ -170,12 +172,12 @@ func TestEnsureCurrentUpdatesStaleInstance(t *testing.T) {
 	env := newRemoteEnv(t, evolution.SingleVersion)
 	obj := env.hostDCDO(t)
 	ri := RemoteInstance{Client: env.client, Target: obj.LOID()}
-	if err := env.mgr.CreateInstance(ri, nil, registry.NativeImplType); err != nil {
+	if err := env.mgr.CreateInstance(context.Background(), ri, nil, registry.NativeImplType); err != nil {
 		t.Fatal(err)
 	}
 
 	// Object is already current: no update initiated.
-	updated, err := EnsureCurrent(env.client, env.mgrLOI, obj.LOID())
+	updated, err := EnsureCurrent(context.Background(), env.client, env.mgrLOI, obj.LOID())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,13 +187,13 @@ func TestEnsureCurrentUpdatesStaleInstance(t *testing.T) {
 
 	// Designate 1.1 current under the explicit policy: the instance stays
 	// stale until a client calls EnsureCurrent.
-	if err := env.mgr.SetCurrentVersion(v(1, 1)); err != nil {
+	if err := env.mgr.SetCurrentVersion(context.Background(), v(1, 1)); err != nil {
 		t.Fatal(err)
 	}
 	if !obj.Version().Equal(v(1)) {
 		t.Fatalf("instance evolved without explicit request: %v", obj.Version())
 	}
-	updated, err = EnsureCurrent(env.client, env.mgrLOI, obj.LOID())
+	updated, err = EnsureCurrent(context.Background(), env.client, env.mgrLOI, obj.LOID())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +203,7 @@ func TestEnsureCurrentUpdatesStaleInstance(t *testing.T) {
 	if !obj.Version().Equal(v(1, 1)) {
 		t.Fatalf("version = %v, want 1.1", obj.Version())
 	}
-	out, err := env.client.Invoke(obj.LOID(), "greet", nil)
+	out, err := env.client.Invoke(context.Background(), obj.LOID(), "greet", nil)
 	if err != nil || string(out) != "bonjour" {
 		t.Fatalf("greet after explicit update = %q, %v", out, err)
 	}
@@ -211,13 +213,13 @@ func TestEnsureCurrentNoCurrentVersion(t *testing.T) {
 	env := newRemoteEnv(t, evolution.SingleVersion)
 	obj := env.hostDCDO(t)
 	ri := RemoteInstance{Client: env.client, Target: obj.LOID()}
-	if err := env.mgr.CreateInstance(ri, v(1), registry.NativeImplType); err != nil {
+	if err := env.mgr.CreateInstance(context.Background(), ri, v(1), registry.NativeImplType); err != nil {
 		t.Fatal(err)
 	}
 	env.mgr.mu.Lock()
 	env.mgr.current = nil
 	env.mgr.mu.Unlock()
-	updated, err := EnsureCurrent(env.client, env.mgrLOI, obj.LOID())
+	updated, err := EnsureCurrent(context.Background(), env.client, env.mgrLOI, obj.LOID())
 	if err != nil || updated {
 		t.Fatalf("EnsureCurrent = %v, %v; want no-op", updated, err)
 	}
@@ -227,11 +229,11 @@ func TestRemoteRecords(t *testing.T) {
 	env := newRemoteEnv(t, evolution.SingleVersion)
 	obj := env.hostDCDO(t)
 	ri := RemoteInstance{Client: env.client, Target: obj.LOID()}
-	if err := env.mgr.CreateInstance(ri, nil, registry.NativeImplType); err != nil {
+	if err := env.mgr.CreateInstance(context.Background(), ri, nil, registry.NativeImplType); err != nil {
 		t.Fatal(err)
 	}
 
-	out, err := env.client.Invoke(env.mgrLOI, MethodRecords, nil)
+	out, err := env.client.Invoke(context.Background(), env.mgrLOI, MethodRecords, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,7 +261,7 @@ func TestRemoteAddComponentAndDep(t *testing.T) {
 	cfgV, _ := env.mgr.Store().Derive(v(1))
 
 	// Remove fr remotely, then re-add it with different entries.
-	if _, err := env.client.Invoke(env.mgrLOI, MethodVRemoveComponent, encodeRemoveComponentArgs(cfgV, "fr")); err != nil {
+	if _, err := env.client.Invoke(context.Background(), env.mgrLOI, MethodVRemoveComponent, encodeRemoveComponentArgs(cfgV, "fr")); err != nil {
 		t.Fatal(err)
 	}
 	desc, _ := env.mgr.Store().Descriptor(cfgV)
@@ -269,11 +271,11 @@ func TestRemoteAddComponentAndDep(t *testing.T) {
 
 	ref := dfm.ComponentRef{ICO: env.f.icoFR, CodeRef: "fr:1", Impl: registry.NativeImplType, CodeSize: 32, Revision: 1}
 	entries := []dfm.EntryDesc{{Function: "greet", Component: "fr", Exported: true}}
-	if _, err := env.client.Invoke(env.mgrLOI, MethodVAddComponent,
+	if _, err := env.client.Invoke(context.Background(), env.mgrLOI, MethodVAddComponent,
 		EncodeAddComponentArgs(cfgV, "fr", ref, entries)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := env.client.Invoke(env.mgrLOI, MethodVAddDep,
+	if _, err := env.client.Invoke(context.Background(), env.mgrLOI, MethodVAddDep,
 		EncodeAddDepArgs(cfgV, dfm.Dependency{Kind: dfm.DepD, FromFunc: "greet", ToFunc: "greet"})); err != nil {
 		t.Fatal(err)
 	}
@@ -283,7 +285,7 @@ func TestRemoteAddComponentAndDep(t *testing.T) {
 	}
 
 	// SetFlags remotely.
-	if _, err := env.client.Invoke(env.mgrLOI, MethodVSetFlags,
+	if _, err := env.client.Invoke(context.Background(), env.mgrLOI, MethodVSetFlags,
 		EncodeSetFlagsArgs(cfgV, dfm.EntryKey{Function: "greet", Component: "en"}, true, true, false)); err != nil {
 		t.Fatal(err)
 	}

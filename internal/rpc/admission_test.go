@@ -1,0 +1,261 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"godcdo/internal/naming"
+	"godcdo/internal/obs"
+	"godcdo/internal/wire"
+)
+
+// ctxCaptureObject records the context it was dispatched under.
+type ctxCaptureObject struct {
+	calls    atomic.Int64
+	deadline atomic.Int64 // unix nanos of the dispatch ctx deadline, 0 = none
+}
+
+func (o *ctxCaptureObject) InvokeMethod(method string, args []byte) ([]byte, error) {
+	return o.InvokeMethodCtx(context.Background(), method, args)
+}
+
+func (o *ctxCaptureObject) InvokeMethodCtx(ctx context.Context, method string, args []byte) ([]byte, error) {
+	o.calls.Add(1)
+	if dl, ok := ctx.Deadline(); ok {
+		o.deadline.Store(dl.UnixNano())
+	}
+	return []byte("ok"), nil
+}
+
+func testRequest(deadline int64) *wire.Envelope {
+	return &wire.Envelope{
+		Kind:     wire.KindRequest,
+		ID:       1,
+		Target:   naming.LOID{Domain: 1, Class: 2, Instance: 3}.String(),
+		Method:   "get",
+		Deadline: deadline,
+	}
+}
+
+func findEvent(o *obs.Obs, kind string) bool {
+	for _, ev := range o.GetEvents().Recent(64) {
+		if ev.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+func TestDispatcherRejectsExpiredOnArrival(t *testing.T) {
+	d := NewDispatcher()
+	o := obs.New()
+	d.SetObs(o)
+	obj := &ctxCaptureObject{}
+	d.Host(naming.LOID{Domain: 1, Class: 2, Instance: 3}, obj)
+
+	resp := d.Handle(context.Background(), testRequest(time.Now().Add(-time.Second).UnixNano()))
+	if resp.Kind != wire.KindError || resp.Code != wire.CodeExpired {
+		t.Fatalf("expired request: kind=%s code=%d, want error/CodeExpired", resp.Kind, resp.Code)
+	}
+	if n := obj.calls.Load(); n != 0 {
+		t.Fatalf("expired request reached the object %d time(s); must be rejected pre-dispatch", n)
+	}
+	if st := d.Stats(); st.ExpiredOnArrival != 1 || st.Admitted != 0 {
+		t.Fatalf("stats = %+v, want ExpiredOnArrival=1 Admitted=0", st)
+	}
+	if !findEvent(o, "request-expired") {
+		t.Fatal("no request-expired event recorded")
+	}
+}
+
+func TestDispatcherClampsSkewedDeadline(t *testing.T) {
+	// A peer with a skewed (or hostile) clock sends a deadline absurdly far
+	// in the future: the dispatch context must be clamped to the local
+	// horizon, never trusted verbatim.
+	d := NewDispatcher()
+	d.MaxRemoteDeadline = 100 * time.Millisecond
+	obj := &ctxCaptureObject{}
+	d.Host(naming.LOID{Domain: 1, Class: 2, Instance: 3}, obj)
+
+	before := time.Now()
+	resp := d.Handle(context.Background(), testRequest(before.Add(24*time.Hour).UnixNano()))
+	if resp.Kind != wire.KindResponse {
+		t.Fatalf("clamped request failed: %+v", resp)
+	}
+	got := obj.deadline.Load()
+	if got == 0 {
+		t.Fatal("dispatch context carried no deadline")
+	}
+	horizon := time.Now().Add(200 * time.Millisecond) // generous: clamp bound + test latency
+	if time.Unix(0, got).After(horizon) {
+		t.Fatalf("deadline %v trusted beyond the clamp horizon %v", time.Unix(0, got), horizon)
+	}
+}
+
+func TestDispatcherSaneDeadlinePropagates(t *testing.T) {
+	// A reasonable deadline must reach the object (approximately) as sent.
+	d := NewDispatcher()
+	obj := &ctxCaptureObject{}
+	d.Host(naming.LOID{Domain: 1, Class: 2, Instance: 3}, obj)
+
+	want := time.Now().Add(time.Second).UnixNano()
+	resp := d.Handle(context.Background(), testRequest(want))
+	if resp.Kind != wire.KindResponse {
+		t.Fatalf("request failed: %+v", resp)
+	}
+	if got := obj.deadline.Load(); got != want {
+		t.Fatalf("dispatch deadline = %d, want the propagated %d", got, want)
+	}
+}
+
+func TestDispatcherShedsWhenSaturated(t *testing.T) {
+	d := NewDispatcher()
+	o := obs.New()
+	d.SetObs(o)
+	d.SetAdmission(1, 0) // one slot, no queue
+
+	gate := make(chan struct{})
+	entered := make(chan struct{})
+	d.Host(naming.LOID{Domain: 1, Class: 2, Instance: 3}, ObjectFunc(func(string, []byte) ([]byte, error) {
+		close(entered)
+		<-gate
+		return nil, nil
+	}))
+
+	done := make(chan *wire.Envelope, 1)
+	go func() { done <- d.Handle(context.Background(), testRequest(0)) }()
+	<-entered // the slot is now held inside the object
+
+	resp := d.Handle(context.Background(), testRequest(0))
+	if resp.Kind != wire.KindError || resp.Code != wire.CodeOverloaded {
+		t.Fatalf("saturated dispatch: kind=%s code=%d, want error/CodeOverloaded", resp.Kind, resp.Code)
+	}
+	close(gate)
+	if first := <-done; first.Kind != wire.KindResponse {
+		t.Fatalf("admitted request failed: %+v", first)
+	}
+	if st := d.Stats(); st.Shed != 1 || st.Admitted != 1 {
+		t.Fatalf("stats = %+v, want Shed=1 Admitted=1", st)
+	}
+	if !findEvent(o, "request-shed") {
+		t.Fatal("no request-shed event recorded")
+	}
+}
+
+func TestDispatcherCancelsQueuedRequest(t *testing.T) {
+	d := NewDispatcher()
+	o := obs.New()
+	d.SetObs(o)
+	d.SetAdmission(1, 1) // one slot, one queued request allowed
+
+	gate := make(chan struct{})
+	entered := make(chan struct{})
+	d.Host(naming.LOID{Domain: 1, Class: 2, Instance: 3}, ObjectFunc(func(string, []byte) ([]byte, error) {
+		close(entered)
+		<-gate
+		return nil, nil
+	}))
+
+	first := make(chan *wire.Envelope, 1)
+	go func() { first <- d.Handle(context.Background(), testRequest(0)) }()
+	<-entered
+
+	// The second request queues; cancelling its context must fail it with
+	// CodeExpired and count it as cancelled — it never reached the object.
+	ctx, cancel := context.WithCancel(context.Background())
+	second := make(chan *wire.Envelope, 1)
+	go func() { second <- d.Handle(ctx, testRequest(0)) }()
+	waitFor(t, func() bool { return d.Stats().Queued == 1 })
+	cancel()
+	resp := <-second
+	if resp.Kind != wire.KindError || resp.Code != wire.CodeExpired {
+		t.Fatalf("cancelled queued request: kind=%s code=%d, want error/CodeExpired", resp.Kind, resp.Code)
+	}
+	close(gate)
+	<-first
+	if st := d.Stats(); st.Cancelled != 1 || st.Admitted != 1 {
+		t.Fatalf("stats = %+v, want Cancelled=1 Admitted=1", st)
+	}
+	if !findEvent(o, "dispatch-cancelled") {
+		t.Fatal("no dispatch-cancelled event recorded")
+	}
+}
+
+func TestClientRetriesOverloadedThenSucceeds(t *testing.T) {
+	// A shed request is safe to retry on both Invoke and InvokeIdempotent:
+	// the server never dispatched it. The client must back off and succeed
+	// once capacity frees, and count the shed.
+	env := newTestEnv(t, "busy")
+	loid := naming.LOID{Domain: 4, Class: 4, Instance: 4}
+	env.host(loid, ObjectFunc(func(method string, args []byte) ([]byte, error) {
+		return []byte("done"), nil
+	}))
+	// Real overload: one dispatch slot, no queue, held by a parked call.
+	env.disp.SetAdmission(1, 0)
+	gate := make(chan struct{})
+	blockLOID := naming.LOID{Domain: 4, Class: 4, Instance: 5}
+	entered := make(chan struct{}, 1)
+	env.host(blockLOID, ObjectFunc(func(string, []byte) ([]byte, error) {
+		entered <- struct{}{}
+		<-gate
+		return nil, nil
+	}))
+	go func() { _, _ = env.client.Invoke(context.Background(), blockLOID, "hold", nil) }()
+	<-entered
+
+	// Back off slowly enough that the retry lands after the slot frees.
+	env.client.Retry.BaseBackoff = 20 * time.Millisecond
+	env.client.Retry.MaxBackoff = 40 * time.Millisecond
+
+	// Free the slot shortly after the first attempt is shed.
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		close(gate)
+	}()
+	out, err := env.client.Invoke(context.Background(), loid, "work", nil)
+	if err != nil {
+		t.Fatalf("invoke under transient overload: %v", err)
+	}
+	if string(out) != "done" {
+		t.Fatalf("out = %q", out)
+	}
+	if st := env.client.Stats(); st.OverloadedSheds == 0 {
+		t.Fatalf("client did not count the shed attempt: %+v", st)
+	}
+}
+
+func TestClientDoesNotRetryExpired(t *testing.T) {
+	// An expired context must fail immediately — retrying work the caller
+	// abandoned is exactly the orphaned execution the deadline exists to
+	// prevent.
+	env := newTestEnv(t, "exp")
+	loid := naming.LOID{Domain: 4, Class: 4, Instance: 6}
+	var calls atomic.Int64
+	env.host(loid, ObjectFunc(func(string, []byte) ([]byte, error) {
+		calls.Add(1)
+		return nil, nil
+	}))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := env.client.Invoke(ctx, loid, "get", nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := calls.Load(); n != 0 {
+		t.Fatalf("cancelled invoke reached the object %d time(s)", n)
+	}
+}
+
+// waitFor polls cond until it holds or the test deadline budget elapses.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

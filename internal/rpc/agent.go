@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -103,6 +104,9 @@ type RemoteAgent struct {
 
 var _ naming.Authority = (*RemoteAgent)(nil)
 
+// call issues one agent RPC. naming.Authority is deliberately context-free
+// (binding resolution is a substrate concern with its own short timeout),
+// so the proxy supplies a background context; Timeout still bounds the call.
 func (r *RemoteAgent) call(method string, payload []byte) (*wire.Envelope, error) {
 	timeout := r.Timeout
 	if timeout == 0 {
@@ -114,7 +118,7 @@ func (r *RemoteAgent) call(method string, payload []byte) (*wire.Envelope, error
 		Method:  method,
 		Payload: payload,
 	}
-	resp, err := r.Dialer.Call(r.Endpoint, req, timeout)
+	resp, err := r.Dialer.Call(context.Background(), r.Endpoint, req, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("binding agent at %s: %w", r.Endpoint, err)
 	}

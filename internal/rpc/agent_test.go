@@ -1,6 +1,8 @@
 package rpc
 
 import (
+	"context"
+
 	"errors"
 	"testing"
 	"time"
@@ -154,7 +156,7 @@ func TestRemoteAgentEndToEnd(t *testing.T) {
 	cache := naming.NewCache(remote, vclock.Real{}, 0)
 	client := NewClient(cache, dialer)
 	client.Retry.CallTimeout = 2 * time.Second
-	out, err := client.Invoke(loid, "ping", nil)
+	out, err := client.Invoke(context.Background(), loid, "ping", nil)
 	if err != nil || string(out) != "pong" {
 		t.Fatalf("invoke = %q, %v", out, err)
 	}

@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -132,6 +133,10 @@ type ClientStats struct {
 	AmbiguousAborts uint64
 	// Backoffs counts the delays slept between retries.
 	Backoffs uint64
+	// OverloadedSheds counts attempts the server refused at admission
+	// (CodeOverloaded). Shed requests never dispatched, so they are retried
+	// after backoff regardless of idempotency.
+	OverloadedSheds uint64
 }
 
 // Counter names used in the client's metrics.CounterSet.
@@ -144,6 +149,7 @@ const (
 	statAmbiguousFailures = "failures_ambiguous"
 	statAmbiguousAborts   = "ambiguous_aborts"
 	statBackoffs          = "backoffs"
+	statOverloadedSheds   = "overloaded_sheds"
 )
 
 // Client invokes methods on objects named by LOID. It resolves addresses
@@ -189,6 +195,7 @@ type Client struct {
 	cAmbig   *metrics.Counter
 	cAborts  *metrics.Counter
 	cBackoff *metrics.Counter
+	cShed    *metrics.Counter
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
@@ -212,6 +219,7 @@ func NewClient(cache *naming.Cache, dialer transport.Dialer) *Client {
 		cAmbig:   cs.Counter(statAmbiguousFailures),
 		cAborts:  cs.Counter(statAmbiguousAborts),
 		cBackoff: cs.Counter(statBackoffs),
+		cShed:    cs.Counter(statOverloadedSheds),
 		rng:      rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
 }
@@ -227,6 +235,7 @@ func (c *Client) Stats() ClientStats {
 		AmbiguousFailures: c.cAmbig.Value(),
 		AmbiguousAborts:   c.cAborts.Value(),
 		Backoffs:          c.cBackoff.Value(),
+		OverloadedSheds:   c.cShed.Value(),
 	}
 }
 
@@ -256,27 +265,32 @@ func (c *Client) ObserveStages(reg *metrics.Registry) {
 // prepared for ErrNoSuchFunction / ErrFunctionDisabled. Those errors are
 // returned as-is (rebinding would not help — the object was reached). Only
 // reachability failures trigger rebind-and-retry.
-func (c *Client) Invoke(loid naming.LOID, method string, args []byte) ([]byte, error) {
-	return c.invoke(loid, method, args, false)
+//
+// ctx bounds the whole call: its absolute deadline rides in the request
+// envelope so the server can refuse already-expired work, cancellation
+// aborts retries and backoff sleeps, and the per-attempt timeout shrinks to
+// fit ctx's remaining budget.
+func (c *Client) Invoke(ctx context.Context, loid naming.LOID, method string, args []byte) ([]byte, error) {
+	return c.invoke(ctx, loid, method, args, false)
 }
 
 // InvokeIdempotent is Invoke for functions the caller asserts are idempotent:
 // ambiguous failures are retried under the policy (with backoff) because a
 // duplicate execution is harmless.
-func (c *Client) InvokeIdempotent(loid naming.LOID, method string, args []byte) ([]byte, error) {
-	return c.invoke(loid, method, args, true)
+func (c *Client) InvokeIdempotent(ctx context.Context, loid naming.LOID, method string, args []byte) ([]byte, error) {
+	return c.invoke(ctx, loid, method, args, true)
 }
 
-func (c *Client) invoke(loid naming.LOID, method string, args []byte, idempotent bool) ([]byte, error) {
+func (c *Client) invoke(ctx context.Context, loid naming.LOID, method string, args []byte, idempotent bool) ([]byte, error) {
 	if c.Tracer == nil {
 		// Fast path: untraced calls must not pay a single allocation for the
 		// obs layer (BenchmarkInvokeTracingOff gates this).
-		return c.invokeInner(loid, method, args, idempotent, nil)
+		return c.invokeInner(ctx, loid, method, args, idempotent, nil)
 	}
 	root := c.Tracer.StartSpan(obs.StageClientInvoke, obs.SpanContext{})
 	root.Annotate("loid", loid.String())
 	root.Annotate("method", method)
-	result, err := c.invokeInner(loid, method, args, idempotent, root)
+	result, err := c.invokeInner(ctx, loid, method, args, idempotent, root)
 	root.Fail(err)
 	root.Finish()
 	return result, err
@@ -286,7 +300,7 @@ func (c *Client) invoke(loid naming.LOID, method string, args []byte, idempotent
 // span, or nil when tracing is off; every span- or histogram-touching
 // statement is guarded so the nil/nil configuration executes exactly the
 // seed instruction sequence.
-func (c *Client) invokeInner(loid naming.LOID, method string, args []byte, idempotent bool, root *obs.Span) ([]byte, error) {
+func (c *Client) invokeInner(ctx context.Context, loid naming.LOID, method string, args []byte, idempotent bool, root *obs.Span) ([]byte, error) {
 	p := c.Retry.normalized()
 	c.cCalls.Inc()
 	start := time.Now()
@@ -299,6 +313,10 @@ func (c *Client) invokeInner(loid naming.LOID, method string, args []byte, idemp
 
 loop:
 	for {
+		if err := ctx.Err(); err != nil {
+			c.cErrors.Inc()
+			return nil, fmt.Errorf("invoke %s.%s: %w", loid, method, err)
+		}
 		var bindStart time.Time
 		if c.histBind != nil {
 			bindStart = time.Now()
@@ -337,7 +355,11 @@ loop:
 				if root != nil {
 					boSpan = root.Child(obs.StageClientBackoff)
 				}
-				time.Sleep(delay)
+				if err := sleepCtx(ctx, delay); err != nil {
+					boSpan.Finish()
+					c.cErrors.Inc()
+					return nil, fmt.Errorf("invoke %s.%s: %w", loid, method, err)
+				}
 				boSpan.Finish()
 			}
 			backoffs++
@@ -371,7 +393,7 @@ loop:
 			req.TraceID = ctx.TraceID
 			req.SpanID = ctx.SpanID
 		}
-		resp, err := c.dialer.Call(endpoint, req, timeout)
+		resp, err := c.dialer.Call(ctx, endpoint, req, timeout)
 		if attSpan != nil {
 			attSpan.Fail(err)
 			attSpan.Finish()
@@ -417,6 +439,21 @@ loop:
 			return resp.Payload, nil
 		case wire.KindError:
 			remote := &RemoteError{Code: resp.Code, Message: resp.ErrorMsg}
+			if resp.Code == wire.CodeOverloaded {
+				// The server shed the request at admission: it never
+				// dispatched, so retrying is safe even for non-idempotent
+				// methods — but only after backing off, and without touching
+				// the binding (the endpoint is alive, just busy).
+				lastErr = remote
+				c.cShed.Inc()
+				attemptFailures++
+				if attemptFailures >= p.MaxAttempts {
+					break loop
+				}
+				lastFailedEndpoint = endpoint // force backoff before the retry
+				c.cRetries.Inc()
+				continue
+			}
 			if resp.Code == wire.CodeNoSuchObject || resp.Code == wire.CodeStaleBinding {
 				// The endpoint is alive but no longer hosts the object:
 				// classic stale binding after migration. The function did
@@ -468,4 +505,17 @@ func joinErr(primary, secondary error) error {
 		return primary
 	}
 	return fmt.Errorf("%w (last failure: %v)", primary, secondary)
+}
+
+// sleepCtx sleeps for d unless ctx ends first, in which case it returns
+// ctx's error: a cancelled caller must not sit out a backoff delay.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }

@@ -9,6 +9,7 @@
 package rpc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -45,6 +46,15 @@ var (
 	// ErrBudgetExhausted means the retry policy's overall deadline budget
 	// expired before any attempt succeeded.
 	ErrBudgetExhausted = errors.New("rpc: retry budget exhausted")
+	// ErrOverloaded means the server shed the request at admission: its
+	// concurrency limit and queue were full. The request never dispatched,
+	// so retrying after backoff is always safe (both Invoke and
+	// InvokeIdempotent do so automatically).
+	ErrOverloaded = errors.New("rpc: server overloaded (request shed)")
+	// ErrExpired means the request's propagated deadline had already passed
+	// when the server examined it — on arrival, while queued for admission,
+	// or between execution stages. The function did not complete.
+	ErrExpired = errors.New("rpc: deadline expired before dispatch completed")
 )
 
 // RemoteError carries a failure returned by the remote object. It wraps the
@@ -74,6 +84,10 @@ func (e *RemoteError) Unwrap() error {
 		return ErrUnavailable
 	case wire.CodeBadRequest:
 		return ErrBadRequest
+	case wire.CodeOverloaded:
+		return ErrOverloaded
+	case wire.CodeExpired:
+		return ErrExpired
 	default:
 		return nil
 	}
@@ -99,6 +113,14 @@ func CodeOf(err error) uint64 {
 		return wire.CodeUnavailable
 	case errors.Is(err, ErrBadRequest):
 		return wire.CodeBadRequest
+	case errors.Is(err, ErrOverloaded):
+		return wire.CodeOverloaded
+	case errors.Is(err, ErrExpired),
+		errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, context.Canceled):
+		// A context error surfacing from object execution means the call's
+		// propagated deadline (or the caller itself) expired mid-dispatch.
+		return wire.CodeExpired
 	default:
 		return wire.CodeInternal
 	}

@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"time"
@@ -92,10 +93,10 @@ type HealthClient struct {
 	Timeout time.Duration
 }
 
-// Ping probes the node once. The returned error is transport-classified
-// (see transport.Classify), so callers can distinguish an unreachable node
-// from a node that answered strangely.
-func (c *HealthClient) Ping() (HealthInfo, error) {
+// Ping probes the node once under ctx. The returned error is
+// transport-classified (see transport.Classify), so callers can distinguish
+// an unreachable node from a node that answered strangely.
+func (c *HealthClient) Ping(ctx context.Context) (HealthInfo, error) {
 	timeout := c.Timeout
 	if timeout == 0 {
 		timeout = 2 * time.Second
@@ -105,7 +106,7 @@ func (c *HealthClient) Ping() (HealthInfo, error) {
 		Target: HealthLOID.String(),
 		Method: MethodHealthPing,
 	}
-	resp, err := c.Dialer.Call(c.Endpoint, req, timeout)
+	resp, err := c.Dialer.Call(ctx, c.Endpoint, req, timeout)
 	if err != nil {
 		return HealthInfo{}, fmt.Errorf("health probe of %s: %w", c.Endpoint, err)
 	}

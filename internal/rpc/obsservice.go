@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"time"
@@ -105,7 +106,7 @@ type ObsClient struct {
 	Timeout time.Duration
 }
 
-func (c *ObsClient) call(method string, payload []byte) ([]byte, error) {
+func (c *ObsClient) call(ctx context.Context, method string, payload []byte) ([]byte, error) {
 	timeout := c.Timeout
 	if timeout == 0 {
 		timeout = 5 * time.Second
@@ -116,7 +117,7 @@ func (c *ObsClient) call(method string, payload []byte) ([]byte, error) {
 		Method:  method,
 		Payload: payload,
 	}
-	resp, err := c.Dialer.Call(c.Endpoint, req, timeout)
+	resp, err := c.Dialer.Call(ctx, c.Endpoint, req, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("obs service at %s: %w", c.Endpoint, err)
 	}
@@ -127,8 +128,8 @@ func (c *ObsClient) call(method string, payload []byte) ([]byte, error) {
 }
 
 // Snapshot fetches the node's full observability snapshot.
-func (c *ObsClient) Snapshot() (obs.Snapshot, error) {
-	payload, err := c.call(MethodObsSnapshot, nil)
+func (c *ObsClient) Snapshot(ctx context.Context) (obs.Snapshot, error) {
+	payload, err := c.call(ctx, MethodObsSnapshot, nil)
 	if err != nil {
 		return obs.Snapshot{}, err
 	}
@@ -141,12 +142,12 @@ func (c *ObsClient) Snapshot() (obs.Snapshot, error) {
 
 // Spans fetches recent spans; traceID filters to one trace when nonzero,
 // limit bounds the count when positive.
-func (c *ObsClient) Spans(traceID uint64, limit int) ([]obs.SpanRecord, error) {
+func (c *ObsClient) Spans(ctx context.Context, traceID uint64, limit int) ([]obs.SpanRecord, error) {
 	args, err := json.Marshal(obsQuery{TraceID: traceID, Limit: limit})
 	if err != nil {
 		return nil, err
 	}
-	payload, err := c.call(MethodObsSpans, args)
+	payload, err := c.call(ctx, MethodObsSpans, args)
 	if err != nil {
 		return nil, err
 	}
@@ -159,12 +160,12 @@ func (c *ObsClient) Spans(traceID uint64, limit int) ([]obs.SpanRecord, error) {
 
 // Events fetches recent evolution events; limit bounds the count when
 // positive.
-func (c *ObsClient) Events(limit int) ([]obs.Event, error) {
+func (c *ObsClient) Events(ctx context.Context, limit int) ([]obs.Event, error) {
 	args, err := json.Marshal(obsQuery{Limit: limit})
 	if err != nil {
 		return nil, err
 	}
-	payload, err := c.call(MethodObsEvents, args)
+	payload, err := c.call(ctx, MethodObsEvents, args)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,8 @@
 package rpc
 
 import (
+	"context"
+
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -65,7 +67,7 @@ func TestInvokeNonIdempotentNeverExecutedTwiceUnderResponseDrop(t *testing.T) {
 	env.host(loid, obj)
 	env.faults.SetEndpoint(env.server.Endpoint(), transport.FaultConfig{DropResponse: 1, Budget: 1})
 
-	_, err := env.client.Invoke(loid, "debit", []byte("100"))
+	_, err := env.client.Invoke(context.Background(), loid, "debit", []byte("100"))
 	if !errors.Is(err, ErrAmbiguousResult) {
 		t.Fatalf("err = %v, want ErrAmbiguousResult", err)
 	}
@@ -78,7 +80,7 @@ func TestInvokeNonIdempotentNeverExecutedTwiceUnderResponseDrop(t *testing.T) {
 	}
 
 	// The fault budget is spent: the same call now goes through cleanly.
-	out, err := env.client.Invoke(loid, "debit", []byte("100"))
+	out, err := env.client.Invoke(context.Background(), loid, "debit", []byte("100"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +103,7 @@ func TestInvokeIdempotentRetriesWithBackoffSchedule(t *testing.T) {
 	// Deterministic schedule: exactly the first two responses are lost.
 	env.faults.SetEndpoint(env.server.Endpoint(), transport.FaultConfig{DropResponse: 1, Budget: 2})
 
-	out, err := env.client.InvokeIdempotent(loid, "read", []byte("k"))
+	out, err := env.client.InvokeIdempotent(context.Background(), loid, "read", []byte("k"))
 	if err != nil {
 		t.Fatalf("idempotent invoke under response drops: %v", err)
 	}
@@ -143,7 +145,7 @@ func TestInvokeRetriesSafeFailuresForNonIdempotentMethods(t *testing.T) {
 	env.host(loid, obj)
 	env.faults.SetEndpoint(env.server.Endpoint(), transport.FaultConfig{ResetBeforeWrite: 1, Budget: 2})
 
-	out, err := env.client.Invoke(loid, "debit", []byte("1"))
+	out, err := env.client.Invoke(context.Background(), loid, "debit", []byte("1"))
 	if err != nil {
 		t.Fatalf("invoke through safe failures: %v", err)
 	}
@@ -166,7 +168,7 @@ func TestInvokeExhaustsAttemptBudget(t *testing.T) {
 	env.host(loid, &recordingObject{})
 	env.faults.SetEndpoint(env.server.Endpoint(), transport.FaultConfig{ResetBeforeWrite: 1})
 
-	_, err := env.client.Invoke(loid, "m", nil)
+	_, err := env.client.Invoke(context.Background(), loid, "m", nil)
 	if !errors.Is(err, transport.ErrReset) {
 		t.Fatalf("err = %v, want wrapped ErrReset", err)
 	}
@@ -199,7 +201,7 @@ func TestInvokeBudgetExhausted(t *testing.T) {
 		Budget:      30 * time.Millisecond,
 	}
 	start := time.Now()
-	_, err := client.Invoke(loid, "m", nil)
+	_, err := client.Invoke(context.Background(), loid, "m", nil)
 	if !errors.Is(err, ErrBudgetExhausted) {
 		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
 	}
@@ -220,7 +222,7 @@ func TestInvokeRejectsZeroCallTimeout(t *testing.T) {
 	env.host(loid, echoObject())
 
 	env.client.Retry.CallTimeout = 0
-	_, err := env.client.Invoke(loid, "m", nil)
+	_, err := env.client.Invoke(context.Background(), loid, "m", nil)
 	if !errors.Is(err, transport.ErrInvalidTimeout) {
 		t.Fatalf("err = %v, want ErrInvalidTimeout", err)
 	}
@@ -251,7 +253,7 @@ func TestClientMetricsExposed(t *testing.T) {
 	env := newTestEnv(t, "n1")
 	loid := naming.LOID{Instance: 7}
 	env.host(loid, echoObject())
-	if _, err := env.client.Invoke(loid, "m", nil); err != nil {
+	if _, err := env.client.Invoke(context.Background(), loid, "m", nil); err != nil {
 		t.Fatal(err)
 	}
 	snap := env.client.Metrics().Snapshot()
@@ -336,7 +338,7 @@ func TestInvokeConcurrentMigrationNoLostCalls(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			for i := 0; i < callsPerWorker; i++ {
-				out, err := client.Invoke(loid, "m", []byte{byte(w)})
+				out, err := client.Invoke(context.Background(), loid, "m", []byte{byte(w)})
 				if err != nil {
 					t.Errorf("worker %d call %d: %v", w, i, err)
 					failures.Add(1)

@@ -1,6 +1,8 @@
 package rpc
 
 import (
+	"context"
+
 	"errors"
 	"fmt"
 	"testing"
@@ -64,7 +66,7 @@ func TestInvokeRoundTrip(t *testing.T) {
 	loid := naming.LOID{Domain: 1, Class: 1, Instance: 1}
 	env.host(loid, echoObject())
 
-	out, err := env.client.Invoke(loid, "greet", []byte("world"))
+	out, err := env.client.Invoke(context.Background(), loid, "greet", []byte("world"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +81,7 @@ func TestInvokeRoundTrip(t *testing.T) {
 
 func TestInvokeUnboundObject(t *testing.T) {
 	env := newTestEnv(t, "n1")
-	_, err := env.client.Invoke(naming.LOID{Instance: 404}, "m", nil)
+	_, err := env.client.Invoke(context.Background(), naming.LOID{Instance: 404}, "m", nil)
 	if !errors.Is(err, naming.ErrNotBound) {
 		t.Fatalf("err = %v, want ErrNotBound", err)
 	}
@@ -94,7 +96,7 @@ func TestInvokeNoSuchFunctionNotRetried(t *testing.T) {
 		return nil, fmt.Errorf("function %q: %w", method, ErrNoSuchFunction)
 	}))
 
-	_, err := env.client.Invoke(loid, "gone", nil)
+	_, err := env.client.Invoke(context.Background(), loid, "gone", nil)
 	if !errors.Is(err, ErrNoSuchFunction) {
 		t.Fatalf("err = %v, want ErrNoSuchFunction", err)
 	}
@@ -112,7 +114,7 @@ func TestInvokeDisabledFunctionErrorCode(t *testing.T) {
 	env.host(loid, ObjectFunc(func(string, []byte) ([]byte, error) {
 		return nil, ErrFunctionDisabled
 	}))
-	_, err := env.client.Invoke(loid, "f", nil)
+	_, err := env.client.Invoke(context.Background(), loid, "f", nil)
 	if !errors.Is(err, ErrFunctionDisabled) {
 		t.Fatalf("err = %v, want ErrFunctionDisabled", err)
 	}
@@ -128,7 +130,7 @@ func TestInvokeRebindsAfterMigration(t *testing.T) {
 	env.host(loid, echoObject())
 
 	// Warm the cache.
-	if _, err := env.client.Invoke(loid, "m", nil); err != nil {
+	if _, err := env.client.Invoke(context.Background(), loid, "m", nil); err != nil {
 		t.Fatal(err)
 	}
 
@@ -143,7 +145,7 @@ func TestInvokeRebindsAfterMigration(t *testing.T) {
 	disp2.Host(loid, echoObject())
 	env.agent.Register(loid, naming.Address{Endpoint: srv2.Endpoint()})
 
-	out, err := env.client.Invoke(loid, "m", []byte("post-migrate"))
+	out, err := env.client.Invoke(context.Background(), loid, "m", []byte("post-migrate"))
 	if err != nil {
 		t.Fatalf("invoke after migration: %v", err)
 	}
@@ -162,7 +164,7 @@ func TestInvokeRebindExhaustion(t *testing.T) {
 	env.agent.Register(loid, naming.Address{Endpoint: env.server.Endpoint()})
 
 	env.client.Retry.MaxRebinds = 3
-	_, err := env.client.Invoke(loid, "m", nil)
+	_, err := env.client.Invoke(context.Background(), loid, "m", nil)
 	if !errors.Is(err, ErrNoSuchObject) {
 		t.Fatalf("err = %v, want wrapped ErrNoSuchObject", err)
 	}
@@ -190,7 +192,7 @@ func TestInvokeUnreachableEndpointRebinds(t *testing.T) {
 	}()
 	<-done
 
-	out, err := env.client.Invoke(loid, "m", []byte("x"))
+	out, err := env.client.Invoke(context.Background(), loid, "m", []byte("x"))
 	if err != nil {
 		t.Fatalf("invoke: %v", err)
 	}
@@ -201,7 +203,7 @@ func TestInvokeUnreachableEndpointRebinds(t *testing.T) {
 
 func TestDispatcherRejectsNonRequests(t *testing.T) {
 	d := NewDispatcher()
-	resp := d.Handle(&wire.Envelope{Kind: wire.KindResponse, ID: 7})
+	resp := d.Handle(context.Background(), &wire.Envelope{Kind: wire.KindResponse, ID: 7})
 	if resp.Kind != wire.KindError || resp.Code != wire.CodeBadRequest || resp.ID != 7 {
 		t.Fatalf("resp = %+v", resp)
 	}
@@ -209,7 +211,7 @@ func TestDispatcherRejectsNonRequests(t *testing.T) {
 
 func TestDispatcherRejectsBadLOID(t *testing.T) {
 	d := NewDispatcher()
-	resp := d.Handle(&wire.Envelope{Kind: wire.KindRequest, Target: "not-a-loid"})
+	resp := d.Handle(context.Background(), &wire.Envelope{Kind: wire.KindRequest, Target: "not-a-loid"})
 	if resp.Kind != wire.KindError || resp.Code != wire.CodeBadRequest {
 		t.Fatalf("resp = %+v", resp)
 	}
@@ -283,7 +285,7 @@ func TestInvokeOverTCP(t *testing.T) {
 	client := NewClient(cache, dialer)
 	client.Retry.CallTimeout = 2 * time.Second
 
-	out, err := client.Invoke(loid, "tcp", []byte("y"))
+	out, err := client.Invoke(context.Background(), loid, "tcp", []byte("y"))
 	if err != nil {
 		t.Fatal(err)
 	}

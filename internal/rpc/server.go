@@ -1,8 +1,10 @@
 package rpc
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"godcdo/internal/metrics"
@@ -22,16 +24,25 @@ type Object interface {
 	InvokeMethod(method string, args []byte) ([]byte, error)
 }
 
+// ContextAwareObject is optionally implemented by hosted objects (core.DCDO
+// does) that can observe the call's context between their internal stages:
+// such objects stop work at the next stage boundary when the caller's
+// propagated deadline expires or the server shuts down, instead of running
+// orphaned work to completion.
+type ContextAwareObject interface {
+	// InvokeMethodCtx is InvokeMethod bounded by ctx.
+	InvokeMethodCtx(ctx context.Context, method string, args []byte) ([]byte, error)
+}
+
 // ContextObject is optionally implemented by hosted objects (core.DCDO does)
 // that can thread trace context through their internal stages. The
-// dispatcher type-asserts for it only when the inbound request carries trace
-// metadata and tracing is enabled, so plain Objects and untraced traffic pay
-// nothing.
+// dispatcher type-asserts for it only when tracing is enabled, so plain
+// Objects and untraced traffic pay nothing.
 type ContextObject interface {
-	// InvokeMethodTraced is InvokeMethod with the caller's span context,
+	// InvokeMethodTraced is InvokeMethodCtx with the caller's span context,
 	// letting the object parent its internal spans (resolve, func) on the
 	// server-side dispatch span.
-	InvokeMethodTraced(parent obs.SpanContext, method string, args []byte) ([]byte, error)
+	InvokeMethodTraced(ctx context.Context, parent obs.SpanContext, method string, args []byte) ([]byte, error)
 }
 
 // ObjectFunc adapts a function to the Object interface.
@@ -42,17 +53,59 @@ func (f ObjectFunc) InvokeMethod(method string, args []byte) ([]byte, error) {
 	return f(method, args)
 }
 
+// DefaultMaxRemoteDeadline is how far in the future a propagated deadline is
+// allowed to reach. A remote peer's clock is not trusted: an absurd or
+// skewed deadline is clamped to now+this rather than pinning server
+// resources arbitrarily long.
+const DefaultMaxRemoteDeadline = 5 * time.Minute
+
+// DispatchStats counts dispatcher admission outcomes.
+type DispatchStats struct {
+	// Admitted counts requests that reached object dispatch.
+	Admitted uint64
+	// Shed counts requests refused with CodeOverloaded because the
+	// concurrency limit and queue were both full.
+	Shed uint64
+	// ExpiredOnArrival counts requests whose propagated deadline had already
+	// passed when they arrived; they were rejected before dispatch.
+	ExpiredOnArrival uint64
+	// Cancelled counts admitted requests whose context ended mid-dispatch —
+	// while queued for an execution slot or between the object's stages.
+	Cancelled uint64
+	// Queued is the number of requests currently waiting for an execution
+	// slot (a point-in-time gauge, not a cumulative count).
+	Queued int64
+}
+
 // Dispatcher routes inbound envelopes to the objects hosted at one endpoint.
 // It implements transport.Handler and is safe for concurrent use.
 type Dispatcher struct {
+	// MaxRemoteDeadline clamps how far ahead a request's propagated deadline
+	// may reach (DefaultMaxRemoteDeadline when zero). Set before serving.
+	MaxRemoteDeadline time.Duration
+
 	mu      sync.RWMutex
 	objects map[naming.LOID]Object
+
+	// Admission control, installed by SetAdmission. slots is a semaphore
+	// bounding concurrent dispatches; queueDepth bounds how many requests
+	// may wait for a slot before new arrivals are shed. Both nil/zero by
+	// default: unlimited concurrency, exactly the pre-admission behaviour.
+	slots      chan struct{}
+	queueDepth int64
+	queued     atomic.Int64
+
+	admitted  atomic.Uint64
+	shed      atomic.Uint64
+	expired   atomic.Uint64
+	cancelled atomic.Uint64
 
 	// Observability, installed by SetObs; all nil by default so Handle's
 	// fast path is unchanged when the node runs without obs.
 	tracer       *obs.Tracer
 	histDispatch *metrics.Histogram
 	inflight     *metrics.Gauge
+	events       *obs.EventLog
 }
 
 var _ transport.Handler = (*Dispatcher)(nil)
@@ -62,6 +115,33 @@ func NewDispatcher() *Dispatcher {
 	return &Dispatcher{objects: make(map[naming.LOID]Object)}
 }
 
+// SetAdmission installs admission control: at most maxInflight requests
+// dispatch concurrently, up to queueDepth more wait for a slot, and anything
+// beyond that is shed immediately with CodeOverloaded. maxInflight <= 0
+// removes the limit. Call before serving traffic.
+func (d *Dispatcher) SetAdmission(maxInflight, queueDepth int) {
+	if maxInflight <= 0 {
+		d.slots, d.queueDepth = nil, 0
+		return
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	d.slots = make(chan struct{}, maxInflight)
+	d.queueDepth = int64(queueDepth)
+}
+
+// Stats returns a snapshot of the admission counters.
+func (d *Dispatcher) Stats() DispatchStats {
+	return DispatchStats{
+		Admitted:         d.admitted.Load(),
+		Shed:             d.shed.Load(),
+		ExpiredOnArrival: d.expired.Load(),
+		Cancelled:        d.cancelled.Load(),
+		Queued:           d.queued.Load(),
+	}
+}
+
 // SetObs wires the dispatcher into o: inbound requests get server.dispatch
 // spans (joined to the caller's trace via envelope metadata), dispatch
 // latency lands in the server.dispatch histogram, and the registry gains an
@@ -69,14 +149,19 @@ func NewDispatcher() *Dispatcher {
 // disables all of it.
 func (d *Dispatcher) SetObs(o *obs.Obs) {
 	if o == nil {
-		d.tracer, d.histDispatch, d.inflight = nil, nil, nil
+		d.tracer, d.histDispatch, d.inflight, d.events = nil, nil, nil, nil
 		return
 	}
 	d.tracer = o.Tracer
+	d.events = o.Events
 	if reg := o.Metrics; reg != nil {
 		d.histDispatch = reg.Histogram(obs.StageServerDispatch)
 		d.inflight = reg.Gauge("dispatcher.inflight")
 		reg.RegisterGaugeFunc("dispatcher.hosted_objects", func() int64 { return int64(d.Len()) })
+		reg.RegisterGaugeFunc("dispatcher.admitted", func() int64 { return int64(d.admitted.Load()) })
+		reg.RegisterGaugeFunc("dispatcher.shed", func() int64 { return int64(d.shed.Load()) })
+		reg.RegisterGaugeFunc("dispatcher.expired_on_arrival", func() int64 { return int64(d.expired.Load()) })
+		reg.RegisterGaugeFunc("dispatcher.cancelled_mid_dispatch", func() int64 { return int64(d.cancelled.Load()) })
 	} else {
 		d.histDispatch, d.inflight = nil, nil
 	}
@@ -114,11 +199,59 @@ func (d *Dispatcher) Len() int {
 	return len(d.objects)
 }
 
-// Handle implements transport.Handler.
-func (d *Dispatcher) Handle(req *wire.Envelope) *wire.Envelope {
+// Handle implements transport.Handler. The inbound pipeline is:
+//
+//  1. deadline screening — a request whose propagated deadline already
+//     passed is rejected with CodeExpired before any work happens (the
+//     caller gave up; executing it would be orphaned work);
+//  2. admission — when SetAdmission is active, the request takes an
+//     execution slot, waits in the bounded queue for one, or is shed with
+//     CodeOverloaded;
+//  3. dispatch — the object runs under a context carrying the (clamped)
+//     deadline, so context-aware objects stop at stage boundaries.
+//
+// Requests without a deadline and dispatchers without admission control
+// follow the exact pre-context fast path.
+func (d *Dispatcher) Handle(ctx context.Context, req *wire.Envelope) *wire.Envelope {
 	if req.Kind != wire.KindRequest {
 		return errEnvelope(req.ID, wire.CodeBadRequest, fmt.Sprintf("unexpected envelope kind %s", req.Kind))
 	}
+
+	if req.Deadline > 0 {
+		now := time.Now()
+		deadline := time.Unix(0, req.Deadline)
+		// Clamp rather than trust: the peer's clock may be skewed or hostile.
+		maxAhead := d.MaxRemoteDeadline
+		if maxAhead <= 0 {
+			maxAhead = DefaultMaxRemoteDeadline
+		}
+		if horizon := now.Add(maxAhead); deadline.After(horizon) {
+			deadline = horizon
+		}
+		if !deadline.After(now) {
+			d.expired.Add(1)
+			d.event("request-expired", req, "deadline passed before dispatch")
+			return errEnvelope(req.ID, wire.CodeExpired,
+				fmt.Sprintf("%v: deadline expired %v before arrival", ErrExpired, now.Sub(deadline)))
+		}
+		// Derive the execution context only when the transport's ctx is not
+		// already at least as strict, so the in-process path (which carries
+		// the caller's ctx directly) does not pay a second deadline timer.
+		if cur, ok := ctx.Deadline(); !ok || cur.After(deadline) {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithDeadline(ctx, deadline)
+			defer cancel()
+		}
+	}
+
+	if d.slots != nil {
+		if resp := d.admit(ctx, req); resp != nil {
+			return resp
+		}
+		defer func() { <-d.slots }()
+	}
+	d.admitted.Add(1)
+
 	if d.inflight != nil {
 		d.inflight.Inc()
 		defer d.inflight.Dec()
@@ -149,22 +282,75 @@ func (d *Dispatcher) Handle(req *wire.Envelope) *wire.Envelope {
 	var result []byte
 	if sp != nil {
 		if ctxObj, ok := obj.(ContextObject); ok {
-			result, err = ctxObj.InvokeMethodTraced(sp.Context(), req.Method, req.Payload)
+			result, err = ctxObj.InvokeMethodTraced(ctx, sp.Context(), req.Method, req.Payload)
 		} else {
-			result, err = obj.InvokeMethod(req.Method, req.Payload)
+			result, err = invokeObject(ctx, obj, req.Method, req.Payload)
 		}
 		sp.Fail(err)
 		sp.Finish()
 	} else {
-		result, err = obj.InvokeMethod(req.Method, req.Payload)
+		result, err = invokeObject(ctx, obj, req.Method, req.Payload)
 	}
 	if d.histDispatch != nil {
 		d.histDispatch.Observe(time.Since(dispatchStart))
 	}
 	if err != nil {
+		if ctx.Err() != nil {
+			// The context ended while the object was executing and the
+			// object surfaced it: the work stopped at a stage boundary.
+			d.cancelled.Add(1)
+			d.event("dispatch-cancelled", req, ctx.Err().Error())
+		}
 		return errEnvelope(req.ID, CodeOf(err), err.Error())
 	}
 	return &wire.Envelope{Kind: wire.KindResponse, ID: req.ID, Target: req.Target, Method: req.Method, Payload: result}
+}
+
+// invokeObject dispatches through the context-aware interface when the
+// object offers it, falling back to plain InvokeMethod.
+func invokeObject(ctx context.Context, obj Object, method string, args []byte) ([]byte, error) {
+	if co, ok := obj.(ContextAwareObject); ok {
+		return co.InvokeMethodCtx(ctx, method, args)
+	}
+	return obj.InvokeMethod(method, args)
+}
+
+// admit takes an execution slot, waiting in the bounded queue when none is
+// free. It returns nil when the request is admitted (the caller must release
+// the slot) or the error envelope to send when it is shed or expires while
+// queued.
+func (d *Dispatcher) admit(ctx context.Context, req *wire.Envelope) *wire.Envelope {
+	select {
+	case d.slots <- struct{}{}:
+		return nil // free slot, no queueing
+	default:
+	}
+	// All slots busy: join the bounded queue or shed.
+	if d.queued.Add(1) > d.queueDepth {
+		d.queued.Add(-1)
+		d.shed.Add(1)
+		d.event("request-shed", req, "concurrency limit and queue full")
+		return errEnvelope(req.ID, wire.CodeOverloaded,
+			fmt.Sprintf("%v: %d in flight, queue full", ErrOverloaded, cap(d.slots)))
+	}
+	defer d.queued.Add(-1)
+	select {
+	case d.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		// The caller's deadline (or the server's shutdown) ended the wait
+		// before a slot freed: dispatch began but never reached the object.
+		d.cancelled.Add(1)
+		d.event("dispatch-cancelled", req, "context ended while queued for admission")
+		return errEnvelope(req.ID, wire.CodeExpired,
+			fmt.Sprintf("%v: %v while queued for admission", ErrExpired, ctx.Err()))
+	}
+}
+
+// event appends an admission event to the node's event log (no-op when obs
+// is not installed — EventLog.Append is nil-safe).
+func (d *Dispatcher) event(kind string, req *wire.Envelope, detail string) {
+	d.events.Append(obs.Event{Kind: kind, Object: req.Target, Function: req.Method, Detail: detail})
 }
 
 func errEnvelope(id, code uint64, msg string) *wire.Envelope {

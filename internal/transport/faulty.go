@@ -11,6 +11,7 @@
 package transport
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -219,7 +220,7 @@ func NewFaultDialer(inner Dialer, faults *Faults) *FaultDialer {
 }
 
 // Call implements Dialer.
-func (d *FaultDialer) Call(endpoint string, req *wire.Envelope, timeout time.Duration) (*wire.Envelope, error) {
+func (d *FaultDialer) Call(ctx context.Context, endpoint string, req *wire.Envelope, timeout time.Duration) (*wire.Envelope, error) {
 	p := d.Faults.plan(endpoint)
 	if p.partitioned {
 		return nil, safeErr(fmt.Errorf("%w: %s (injected partition)", ErrUnreachable, endpoint))
@@ -245,7 +246,7 @@ func (d *FaultDialer) Call(endpoint string, req *wire.Envelope, timeout time.Dur
 	if remaining <= 0 {
 		return nil, ambiguousErr(fmt.Errorf("%w: %s after %v (injected latency)", ErrTimeout, endpoint, timeout))
 	}
-	resp, err := d.Inner.Call(endpoint, req, remaining)
+	resp, err := d.Inner.Call(ctx, endpoint, req, remaining)
 	if err != nil {
 		return nil, err
 	}
@@ -283,7 +284,7 @@ func NewFaultHandler(inner Handler, faults *Faults, endpoint string) *FaultHandl
 }
 
 // Handle implements Handler.
-func (h *FaultHandler) Handle(req *wire.Envelope) *wire.Envelope {
+func (h *FaultHandler) Handle(ctx context.Context, req *wire.Envelope) *wire.Envelope {
 	p := h.Faults.plan(h.Endpoint)
 	if p.partitioned || p.reset || p.dropRequest {
 		// The request is lost before dispatch: no execution, no response.
@@ -292,7 +293,7 @@ func (h *FaultHandler) Handle(req *wire.Envelope) *wire.Envelope {
 	if p.delay > 0 {
 		time.Sleep(p.delay)
 	}
-	resp := h.Inner.Handle(req)
+	resp := h.Inner.Handle(ctx, req)
 	if p.dropResponse {
 		return Dropped
 	}

@@ -1,6 +1,8 @@
 package transport
 
 import (
+	"context"
+
 	"errors"
 	"sync/atomic"
 	"testing"
@@ -15,7 +17,7 @@ func TestFaultDialerCleanPassthrough(t *testing.T) {
 		t.Fatal(err)
 	}
 	d := NewFaultDialer(n.Dialer(), NewFaults(1))
-	resp, err := d.Call("inproc:clean", &wire.Envelope{Kind: wire.KindRequest, Payload: []byte("x")}, time.Second)
+	resp, err := d.Call(context.Background(), "inproc:clean", &wire.Envelope{Kind: wire.KindRequest, Payload: []byte("x")}, time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +37,7 @@ func TestFaultDialerPartition(t *testing.T) {
 	fsrv := NewFaultServer(srv, faults)
 
 	fsrv.Partition()
-	_, err = d.Call(srv.Endpoint(), &wire.Envelope{Kind: wire.KindRequest}, time.Second)
+	_, err = d.Call(context.Background(), srv.Endpoint(), &wire.Envelope{Kind: wire.KindRequest}, time.Second)
 	if !errors.Is(err, ErrUnreachable) {
 		t.Fatalf("err = %v, want ErrUnreachable", err)
 	}
@@ -44,7 +46,7 @@ func TestFaultDialerPartition(t *testing.T) {
 	}
 
 	fsrv.Heal()
-	if _, err := d.Call(srv.Endpoint(), &wire.Envelope{Kind: wire.KindRequest}, time.Second); err != nil {
+	if _, err := d.Call(context.Background(), srv.Endpoint(), &wire.Envelope{Kind: wire.KindRequest}, time.Second); err != nil {
 		t.Fatalf("healed call: %v", err)
 	}
 	if st := faults.Stats(); st.PartitionRefusals != 1 {
@@ -55,7 +57,7 @@ func TestFaultDialerPartition(t *testing.T) {
 func TestFaultDialerDropResponseIsAmbiguousAndBudgeted(t *testing.T) {
 	n := NewInprocNetwork()
 	calls := 0
-	if _, err := n.Listen("dropresp", HandlerFunc(func(req *wire.Envelope) *wire.Envelope {
+	if _, err := n.Listen("dropresp", HandlerFunc(func(ctx context.Context, req *wire.Envelope) *wire.Envelope {
 		calls++
 		return &wire.Envelope{Kind: wire.KindResponse}
 	})); err != nil {
@@ -66,7 +68,7 @@ func TestFaultDialerDropResponseIsAmbiguousAndBudgeted(t *testing.T) {
 	d := NewFaultDialer(n.Dialer(), faults)
 
 	for i := 0; i < 2; i++ {
-		_, err := d.Call("inproc:dropresp", &wire.Envelope{Kind: wire.KindRequest}, 10*time.Millisecond)
+		_, err := d.Call(context.Background(), "inproc:dropresp", &wire.Envelope{Kind: wire.KindRequest}, 10*time.Millisecond)
 		if !errors.Is(err, ErrTimeout) {
 			t.Fatalf("drop %d: err = %v, want ErrTimeout", i, err)
 		}
@@ -78,7 +80,7 @@ func TestFaultDialerDropResponseIsAmbiguousAndBudgeted(t *testing.T) {
 	if calls != 2 {
 		t.Fatalf("handler executed %d times, want 2 (drop-response still executes)", calls)
 	}
-	if _, err := d.Call("inproc:dropresp", &wire.Envelope{Kind: wire.KindRequest}, 10*time.Millisecond); err != nil {
+	if _, err := d.Call(context.Background(), "inproc:dropresp", &wire.Envelope{Kind: wire.KindRequest}, 10*time.Millisecond); err != nil {
 		t.Fatalf("post-budget call: %v", err)
 	}
 	if st := faults.Stats(); st.DroppedResponses != 2 {
@@ -89,7 +91,7 @@ func TestFaultDialerDropResponseIsAmbiguousAndBudgeted(t *testing.T) {
 func TestFaultDialerDropRequestNeverExecutes(t *testing.T) {
 	n := NewInprocNetwork()
 	calls := 0
-	if _, err := n.Listen("dropreq", HandlerFunc(func(req *wire.Envelope) *wire.Envelope {
+	if _, err := n.Listen("dropreq", HandlerFunc(func(ctx context.Context, req *wire.Envelope) *wire.Envelope {
 		calls++
 		return &wire.Envelope{Kind: wire.KindResponse}
 	})); err != nil {
@@ -99,7 +101,7 @@ func TestFaultDialerDropRequestNeverExecutes(t *testing.T) {
 	faults.SetEndpoint("inproc:dropreq", FaultConfig{DropRequest: 1, Budget: 1})
 	d := NewFaultDialer(n.Dialer(), faults)
 
-	_, err := d.Call("inproc:dropreq", &wire.Envelope{Kind: wire.KindRequest}, 10*time.Millisecond)
+	_, err := d.Call(context.Background(), "inproc:dropreq", &wire.Envelope{Kind: wire.KindRequest}, 10*time.Millisecond)
 	if !errors.Is(err, ErrTimeout) {
 		t.Fatalf("err = %v, want ErrTimeout", err)
 	}
@@ -117,7 +119,7 @@ func TestFaultDialerResetBeforeWriteIsSafe(t *testing.T) {
 	faults.SetEndpoint("inproc:reset", FaultConfig{ResetBeforeWrite: 1, Budget: 1})
 	d := NewFaultDialer(n.Dialer(), faults)
 
-	_, err := d.Call("inproc:reset", &wire.Envelope{Kind: wire.KindRequest}, time.Second)
+	_, err := d.Call(context.Background(), "inproc:reset", &wire.Envelope{Kind: wire.KindRequest}, time.Second)
 	if !errors.Is(err, ErrReset) {
 		t.Fatalf("err = %v, want ErrReset", err)
 	}
@@ -125,7 +127,7 @@ func TestFaultDialerResetBeforeWriteIsSafe(t *testing.T) {
 		t.Fatalf("reset-before-write classified %v, want safe", Classify(err))
 	}
 	// Budget spent: the next call goes through.
-	if _, err := d.Call("inproc:reset", &wire.Envelope{Kind: wire.KindRequest}, time.Second); err != nil {
+	if _, err := d.Call(context.Background(), "inproc:reset", &wire.Envelope{Kind: wire.KindRequest}, time.Second); err != nil {
 		t.Fatalf("post-budget call: %v", err)
 	}
 }
@@ -140,7 +142,7 @@ func TestFaultDialerLatencyTimesOutWhenExceedingDeadline(t *testing.T) {
 	d := NewFaultDialer(n.Dialer(), faults)
 
 	start := time.Now()
-	_, err := d.Call("inproc:slow", &wire.Envelope{Kind: wire.KindRequest}, 10*time.Millisecond)
+	_, err := d.Call(context.Background(), "inproc:slow", &wire.Envelope{Kind: wire.KindRequest}, 10*time.Millisecond)
 	if !errors.Is(err, ErrTimeout) {
 		t.Fatalf("err = %v, want ErrTimeout", err)
 	}
@@ -148,7 +150,7 @@ func TestFaultDialerLatencyTimesOutWhenExceedingDeadline(t *testing.T) {
 		t.Fatalf("returned after %v, want >= the 10ms timeout", elapsed)
 	}
 	// With a generous deadline the same latency is only a delay.
-	if _, err := d.Call("inproc:slow", &wire.Envelope{Kind: wire.KindRequest}, time.Second); err != nil {
+	if _, err := d.Call(context.Background(), "inproc:slow", &wire.Envelope{Kind: wire.KindRequest}, time.Second); err != nil {
 		t.Fatalf("call with headroom: %v", err)
 	}
 }
@@ -187,15 +189,15 @@ func TestFaultHandlerServerSideDrops(t *testing.T) {
 	faults := NewFaults(9)
 	inner := echoHandler()
 	executed := 0
-	counting := HandlerFunc(func(req *wire.Envelope) *wire.Envelope {
+	counting := HandlerFunc(func(ctx context.Context, req *wire.Envelope) *wire.Envelope {
 		executed++
-		return inner.Handle(req)
+		return inner.Handle(ctx, req)
 	})
 	h := NewFaultHandler(counting, faults, "tcp:host:1")
 
 	// Server-side request drop: never executed, response is Dropped.
 	faults.SetEndpoint("tcp:host:1", FaultConfig{DropRequest: 1, Budget: 1})
-	if resp := h.Handle(&wire.Envelope{Kind: wire.KindRequest}); resp != Dropped {
+	if resp := h.Handle(context.Background(), &wire.Envelope{Kind: wire.KindRequest}); resp != Dropped {
 		t.Fatalf("resp = %+v, want Dropped", resp)
 	}
 	if executed != 0 {
@@ -204,7 +206,7 @@ func TestFaultHandlerServerSideDrops(t *testing.T) {
 
 	// Server-side response drop: executed once, response still lost.
 	faults.SetEndpoint("tcp:host:1", FaultConfig{DropResponse: 1, Budget: 1})
-	if resp := h.Handle(&wire.Envelope{Kind: wire.KindRequest}); resp != Dropped {
+	if resp := h.Handle(context.Background(), &wire.Envelope{Kind: wire.KindRequest}); resp != Dropped {
 		t.Fatalf("resp = %+v, want Dropped", resp)
 	}
 	if executed != 1 {
@@ -212,7 +214,7 @@ func TestFaultHandlerServerSideDrops(t *testing.T) {
 	}
 
 	// Budget spent: clean pass-through.
-	if resp := h.Handle(&wire.Envelope{Kind: wire.KindRequest, Payload: []byte("ok")}); resp == Dropped || resp == nil {
+	if resp := h.Handle(context.Background(), &wire.Envelope{Kind: wire.KindRequest, Payload: []byte("ok")}); resp == Dropped || resp == nil {
 		t.Fatal("post-budget request did not pass through")
 	}
 	if executed != 2 {
@@ -223,7 +225,7 @@ func TestFaultHandlerServerSideDrops(t *testing.T) {
 func TestFaultServerTCPDroppedResponseTimesOutCaller(t *testing.T) {
 	faults := NewFaults(11)
 	var executed atomic.Int32
-	handler := HandlerFunc(func(req *wire.Envelope) *wire.Envelope {
+	handler := HandlerFunc(func(ctx context.Context, req *wire.Envelope) *wire.Envelope {
 		executed.Add(1)
 		return &wire.Envelope{Kind: wire.KindResponse, Payload: req.Payload}
 	})
@@ -240,7 +242,7 @@ func TestFaultServerTCPDroppedResponseTimesOutCaller(t *testing.T) {
 
 	d := NewTCPDialer()
 	defer d.Close()
-	_, err = d.Call(fsrv.Endpoint(), &wire.Envelope{Kind: wire.KindRequest}, 50*time.Millisecond)
+	_, err = d.Call(context.Background(), fsrv.Endpoint(), &wire.Envelope{Kind: wire.KindRequest}, 50*time.Millisecond)
 	if !errors.Is(err, ErrTimeout) {
 		t.Fatalf("err = %v, want ErrTimeout (response dropped server-side)", err)
 	}
@@ -251,7 +253,7 @@ func TestFaultServerTCPDroppedResponseTimesOutCaller(t *testing.T) {
 		t.Fatalf("handler executed %d times, want 1", n)
 	}
 	// The connection survives a dropped response; the next call succeeds.
-	resp, err := d.Call(fsrv.Endpoint(), &wire.Envelope{Kind: wire.KindRequest, Payload: []byte("again")}, time.Second)
+	resp, err := d.Call(context.Background(), fsrv.Endpoint(), &wire.Envelope{Kind: wire.KindRequest, Payload: []byte("again")}, time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}

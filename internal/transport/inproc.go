@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -68,9 +69,10 @@ type InprocDialer struct {
 var _ Dialer = (*InprocDialer)(nil)
 
 // Call implements Dialer. The handler runs synchronously on the caller's
-// goroutine; timeout applies only in the sense that a missing endpoint fails
+// goroutine with the caller's ctx, so cancellation and deadlines propagate
+// directly; timeout applies only in the sense that a missing endpoint fails
 // immediately (a synchronous handler cannot be abandoned).
-func (d *InprocDialer) Call(endpoint string, req *wire.Envelope, timeout time.Duration) (*wire.Envelope, error) {
+func (d *InprocDialer) Call(ctx context.Context, endpoint string, req *wire.Envelope, timeout time.Duration) (*wire.Envelope, error) {
 	d.mu.Lock()
 	if d.closed {
 		d.mu.Unlock()
@@ -88,6 +90,10 @@ func (d *InprocDialer) Call(endpoint string, req *wire.Envelope, timeout time.Du
 	if timeout <= 0 {
 		return nil, fmt.Errorf("%w: %v", ErrInvalidTimeout, timeout)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, &CallError{Class: RetryNever, Err: err}
+	}
+	StampDeadline(ctx, req)
 	d.net.mu.RLock()
 	handler, ok := d.net.handlers[name]
 	d.net.mu.RUnlock()
@@ -101,7 +107,7 @@ func (d *InprocDialer) Call(endpoint string, req *wire.Envelope, timeout time.Du
 	req.ID = d.net.nextID
 	d.net.mu.Unlock()
 
-	resp := handler.Handle(req)
+	resp := handler.Handle(ctx, req)
 	if resp == Dropped {
 		// The handler executed (or deliberately discarded) the request and
 		// its response was lost: surface the same ambiguous timeout a TCP

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -13,6 +14,17 @@ import (
 	"godcdo/internal/wire"
 )
 
+// ServerStats counts TCPServer outcomes, mirroring DialerStats on the other
+// side of the wire. DecodeErrors count connections dropped because a frame
+// failed to decode (stream desynchronisation); DroppedFrames count responses
+// deliberately withheld (the Dropped fault-injection sentinel).
+type ServerStats struct {
+	AcceptedConns uint64
+	ActiveConns   int64
+	DecodeErrors  uint64
+	DroppedFrames uint64
+}
+
 // TCPServer serves envelopes over TCP. Each connection is read by one
 // goroutine; requests are dispatched concurrently so a slow handler does not
 // head-of-line block pipelined callers.
@@ -20,10 +32,20 @@ type TCPServer struct {
 	handler  Handler
 	listener net.Listener
 
+	// ctx is the server's lifetime context, cancelled on Close so in-flight
+	// handlers observe shutdown. It is the ctx passed to Handler.Handle.
+	ctx    context.Context
+	cancel context.CancelFunc
+
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
 	closed bool
 	wg     sync.WaitGroup
+
+	accepted     atomic.Uint64
+	active       atomic.Int64
+	decodeErrors atomic.Uint64
+	dropped      atomic.Uint64
 }
 
 var _ Server = (*TCPServer)(nil)
@@ -34,10 +56,21 @@ func ListenTCP(addr string, handler Handler) (*TCPServer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("listen %q: %w", addr, err)
 	}
-	s := &TCPServer{handler: handler, listener: ln, conns: make(map[net.Conn]struct{})}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &TCPServer{handler: handler, listener: ln, ctx: ctx, cancel: cancel, conns: make(map[net.Conn]struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
+}
+
+// Stats returns a snapshot of the server counters.
+func (s *TCPServer) Stats() ServerStats {
+	return ServerStats{
+		AcceptedConns: s.accepted.Load(),
+		ActiveConns:   s.active.Load(),
+		DecodeErrors:  s.decodeErrors.Load(),
+		DroppedFrames: s.dropped.Load(),
+	}
 }
 
 // Endpoint implements Server.
@@ -59,6 +92,7 @@ func (s *TCPServer) Close() error {
 	}
 	s.mu.Unlock()
 
+	s.cancel()
 	err := s.listener.Close()
 	for _, c := range conns {
 		_ = c.Close()
@@ -82,6 +116,8 @@ func (s *TCPServer) acceptLoop() {
 		}
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
+		s.accepted.Add(1)
+		s.active.Add(1)
 		s.wg.Add(1)
 		go s.serveConn(conn)
 	}
@@ -94,6 +130,7 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 		_ = conn.Close()
+		s.active.Add(-1)
 	}()
 
 	var writeMu sync.Mutex
@@ -109,13 +146,18 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		}
 		req, err := wire.DecodeEnvelope(frame)
 		if err != nil {
-			return // stream desynchronised; drop the connection
+			// Stream desynchronised; the connection must drop (nothing after
+			// a bad frame can be trusted), but count it so operators can see
+			// protocol corruption instead of a silent disconnect.
+			s.decodeErrors.Add(1)
+			return
 		}
 		handlers.Add(1)
 		go func() {
 			defer handlers.Done()
-			resp := s.handler.Handle(req)
+			resp := s.handler.Handle(s.ctx, req)
 			if resp == Dropped {
+				s.dropped.Add(1)
 				return // injected response loss: leave the caller to time out
 			}
 			if resp == nil {
@@ -167,8 +209,11 @@ type TCPDialer struct {
 
 	mu     sync.Mutex
 	conns  map[string]*tcpClientConn
-	nextID uint64
 	closed bool
+
+	// nextID is outside the pool mutex: call-ID allocation is on every
+	// call's fast path and must not contend with dial/evict bookkeeping.
+	nextID atomic.Uint64
 
 	dials     atomic.Uint64
 	timeouts  atomic.Uint64
@@ -212,7 +257,7 @@ type tcpClientConn struct {
 }
 
 // Call implements Dialer.
-func (d *TCPDialer) Call(endpoint string, req *wire.Envelope, timeout time.Duration) (*wire.Envelope, error) {
+func (d *TCPDialer) Call(ctx context.Context, endpoint string, req *wire.Envelope, timeout time.Duration) (*wire.Envelope, error) {
 	scheme, addr, err := ParseEndpoint(endpoint)
 	if err != nil {
 		return nil, err
@@ -223,16 +268,18 @@ func (d *TCPDialer) Call(endpoint string, req *wire.Envelope, timeout time.Durat
 	if timeout <= 0 {
 		return nil, fmt.Errorf("%w: %v", ErrInvalidTimeout, timeout)
 	}
+	wait, err := callWait(ctx, timeout)
+	if err != nil {
+		return nil, err
+	}
+	StampDeadline(ctx, req)
 	cc, err := d.getConn(endpoint, addr)
 	if err != nil {
 		// Dial failure: nothing was sent, safe to retry elsewhere.
 		return nil, safeErr(err)
 	}
 
-	d.mu.Lock()
-	d.nextID++
-	id := d.nextID
-	d.mu.Unlock()
+	id := d.nextID.Add(1)
 	req.ID = id
 
 	respCh := make(chan *wire.Envelope, 1)
@@ -259,7 +306,7 @@ func (d *TCPDialer) Call(endpoint string, req *wire.Envelope, timeout time.Durat
 	}
 	cc.mu.Unlock()
 
-	timer := time.NewTimer(timeout)
+	timer := time.NewTimer(wait)
 	defer timer.Stop()
 	select {
 	case resp := <-respCh:
@@ -272,6 +319,21 @@ func (d *TCPDialer) Call(endpoint string, req *wire.Envelope, timeout time.Durat
 		cc.consecTimeouts = 0
 		cc.mu.Unlock()
 		return resp, nil
+	case <-ctx.Done():
+		// The caller gave up (cancellation or its deadline, whichever ctx
+		// carries). The request was already written, so the server may
+		// execute it anyway; keep the orphan watch so a late response is
+		// accounted rather than dropped silently. Cancellation says nothing
+		// about connection health, so it does not feed timeout eviction.
+		cc.mu.Lock()
+		if _, wasPending := cc.pending[id]; wasPending {
+			delete(cc.pending, id)
+			if len(cc.orphans) < maxOrphanWatch {
+				cc.orphans[id] = struct{}{}
+			}
+		}
+		cc.mu.Unlock()
+		return nil, &CallError{Class: RetryNever, Err: ctx.Err()}
 	case <-timer.C:
 		cc.mu.Lock()
 		_, wasPending := cc.pending[id]
@@ -301,7 +363,7 @@ func (d *TCPDialer) Call(endpoint string, req *wire.Envelope, timeout time.Durat
 			d.evictions.Add(1)
 			d.dropConn(endpoint, cc)
 		}
-		return nil, ambiguousErr(fmt.Errorf("%w: %s after %v", ErrTimeout, endpoint, timeout))
+		return nil, ambiguousErr(fmt.Errorf("%w: %s after %v", ErrTimeout, endpoint, wait))
 	}
 }
 

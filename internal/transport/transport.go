@@ -5,6 +5,7 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -93,6 +94,10 @@ func Classify(err error) RetryClass {
 	switch {
 	case errors.Is(err, ErrBadEndpoint), errors.Is(err, ErrClosed), errors.Is(err, ErrInvalidTimeout):
 		return RetryNever
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// The caller's context is spent: no further attempt can succeed
+		// within it, so retrying the same call cannot help.
+		return RetryNever
 	case errors.Is(err, ErrUnreachable):
 		// A bare unreachable means the dial itself failed: nothing was sent.
 		return RetrySafe
@@ -112,15 +117,23 @@ var Dropped = &wire.Envelope{Kind: wire.KindError, ErrorMsg: "transport: respons
 // Handler processes one inbound request envelope and returns the response
 // envelope (KindResponse or KindError). Handlers must be safe for concurrent
 // use; the TCP server dispatches pipelined requests concurrently.
+//
+// ctx is the server-side call context: the in-process transport passes the
+// caller's context straight through (so cancellation propagates for free),
+// while the TCP server passes its own lifetime context (cancelled on Close).
+// Any deadline the *caller* set travels separately as req.Deadline; the
+// dispatcher, not the transport, decides how to honour it.
 type Handler interface {
-	Handle(req *wire.Envelope) *wire.Envelope
+	Handle(ctx context.Context, req *wire.Envelope) *wire.Envelope
 }
 
 // HandlerFunc adapts a function to the Handler interface.
-type HandlerFunc func(req *wire.Envelope) *wire.Envelope
+type HandlerFunc func(ctx context.Context, req *wire.Envelope) *wire.Envelope
 
 // Handle implements Handler.
-func (f HandlerFunc) Handle(req *wire.Envelope) *wire.Envelope { return f(req) }
+func (f HandlerFunc) Handle(ctx context.Context, req *wire.Envelope) *wire.Envelope {
+	return f(ctx, req)
+}
 
 // Server accepts inbound envelopes on an endpoint.
 type Server interface {
@@ -134,10 +147,46 @@ type Server interface {
 // Dialer issues request/response calls against endpoints.
 type Dialer interface {
 	// Call sends req to endpoint and waits up to timeout for the matching
-	// response.
-	Call(endpoint string, req *wire.Envelope, timeout time.Duration) (*wire.Envelope, error)
+	// response. The effective wait is the smaller of timeout and ctx's
+	// remaining budget; a done ctx aborts the wait immediately. Dialers
+	// stamp ctx's absolute deadline (when one is set and req carries none)
+	// into req.Deadline so it propagates to the server.
+	Call(ctx context.Context, endpoint string, req *wire.Envelope, timeout time.Duration) (*wire.Envelope, error)
 	// Close releases pooled connections.
 	Close() error
+}
+
+// StampDeadline copies ctx's absolute deadline into req.Deadline when ctx
+// carries one and the envelope does not already have an equal-or-earlier
+// deadline. Dialers call it on every outbound request so the server sees the
+// caller's end-to-end budget, not the per-attempt transport timeout.
+func StampDeadline(ctx context.Context, req *wire.Envelope) {
+	if d, ok := ctx.Deadline(); ok {
+		if ns := d.UnixNano(); req.Deadline == 0 || ns < req.Deadline {
+			req.Deadline = ns
+		}
+	}
+}
+
+// callWait returns the effective wait budget for a call: the smaller of the
+// configured timeout and ctx's remaining time. A context that is already
+// done yields ctx.Err wrapped as RetryNever via the caller's use of Classify.
+func callWait(ctx context.Context, timeout time.Duration) (time.Duration, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, &CallError{Class: RetryNever, Err: err}
+	}
+	if d, ok := ctx.Deadline(); ok {
+		if remain := time.Until(d); remain < timeout {
+			timeout = remain
+		}
+	}
+	if timeout <= 0 {
+		// The context deadline leaves no budget: surface it as the
+		// context's own error class rather than ErrInvalidTimeout, which is
+		// reserved for caller bugs.
+		return 0, &CallError{Class: RetryNever, Err: context.DeadlineExceeded}
+	}
+	return timeout, nil
 }
 
 // Scheme identifies the transport family of an endpoint.
@@ -181,7 +230,7 @@ func NewMultiDialer(dialers map[Scheme]Dialer) *MultiDialer {
 }
 
 // Call implements Dialer.
-func (m *MultiDialer) Call(endpoint string, req *wire.Envelope, timeout time.Duration) (*wire.Envelope, error) {
+func (m *MultiDialer) Call(ctx context.Context, endpoint string, req *wire.Envelope, timeout time.Duration) (*wire.Envelope, error) {
 	scheme, _, err := ParseEndpoint(endpoint)
 	if err != nil {
 		return nil, err
@@ -190,7 +239,7 @@ func (m *MultiDialer) Call(endpoint string, req *wire.Envelope, timeout time.Dur
 	if !ok {
 		return nil, fmt.Errorf("%w: no dialer for scheme %q", ErrBadEndpoint, scheme)
 	}
-	return d.Call(endpoint, req, timeout)
+	return d.Call(ctx, endpoint, req, timeout)
 }
 
 // Close implements Dialer, closing every registered dialer.

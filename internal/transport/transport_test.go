@@ -1,6 +1,8 @@
 package transport
 
 import (
+	"context"
+
 	"errors"
 	"fmt"
 	"net"
@@ -12,7 +14,7 @@ import (
 )
 
 func echoHandler() Handler {
-	return HandlerFunc(func(req *wire.Envelope) *wire.Envelope {
+	return HandlerFunc(func(ctx context.Context, req *wire.Envelope) *wire.Envelope {
 		return &wire.Envelope{
 			Kind:    wire.KindResponse,
 			Target:  req.Target,
@@ -61,7 +63,7 @@ func TestTCPRoundTrip(t *testing.T) {
 	defer d.Close()
 
 	req := &wire.Envelope{Kind: wire.KindRequest, Target: "loid:1.1.1", Method: "ping", Payload: []byte("abc")}
-	resp, err := d.Call(srv.Endpoint(), req, 2*time.Second)
+	resp, err := d.Call(context.Background(), srv.Endpoint(), req, 2*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +92,7 @@ func TestTCPConcurrentCallsShareConnection(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			payload := []byte(fmt.Sprintf("msg-%d", i))
-			resp, err := d.Call(srv.Endpoint(), &wire.Envelope{Kind: wire.KindRequest, Payload: payload}, 5*time.Second)
+			resp, err := d.Call(context.Background(), srv.Endpoint(), &wire.Envelope{Kind: wire.KindRequest, Payload: payload}, 5*time.Second)
 			if err != nil {
 				errs <- err
 				return
@@ -115,7 +117,7 @@ func TestTCPConcurrentCallsShareConnection(t *testing.T) {
 
 func TestTCPSlowHandlerDoesNotBlockPipelinedCalls(t *testing.T) {
 	block := make(chan struct{})
-	handler := HandlerFunc(func(req *wire.Envelope) *wire.Envelope {
+	handler := HandlerFunc(func(ctx context.Context, req *wire.Envelope) *wire.Envelope {
 		if req.Method == "slow" {
 			<-block
 		}
@@ -131,12 +133,12 @@ func TestTCPSlowHandlerDoesNotBlockPipelinedCalls(t *testing.T) {
 
 	slowDone := make(chan error, 1)
 	go func() {
-		_, err := d.Call(srv.Endpoint(), &wire.Envelope{Kind: wire.KindRequest, Method: "slow"}, 10*time.Second)
+		_, err := d.Call(context.Background(), srv.Endpoint(), &wire.Envelope{Kind: wire.KindRequest, Method: "slow"}, 10*time.Second)
 		slowDone <- err
 	}()
 	time.Sleep(20 * time.Millisecond) // let slow call reach the handler
 
-	if _, err := d.Call(srv.Endpoint(), &wire.Envelope{Kind: wire.KindRequest, Method: "fast"}, 2*time.Second); err != nil {
+	if _, err := d.Call(context.Background(), srv.Endpoint(), &wire.Envelope{Kind: wire.KindRequest, Method: "fast"}, 2*time.Second); err != nil {
 		t.Fatalf("fast call blocked behind slow call: %v", err)
 	}
 	close(block)
@@ -146,7 +148,7 @@ func TestTCPSlowHandlerDoesNotBlockPipelinedCalls(t *testing.T) {
 }
 
 func TestTCPCallTimeout(t *testing.T) {
-	handler := HandlerFunc(func(req *wire.Envelope) *wire.Envelope {
+	handler := HandlerFunc(func(ctx context.Context, req *wire.Envelope) *wire.Envelope {
 		time.Sleep(time.Second)
 		return &wire.Envelope{Kind: wire.KindResponse}
 	})
@@ -158,7 +160,7 @@ func TestTCPCallTimeout(t *testing.T) {
 	d := NewTCPDialer()
 	defer d.Close()
 
-	_, err = d.Call(srv.Endpoint(), &wire.Envelope{Kind: wire.KindRequest}, 30*time.Millisecond)
+	_, err = d.Call(context.Background(), srv.Endpoint(), &wire.Envelope{Kind: wire.KindRequest}, 30*time.Millisecond)
 	if !errors.Is(err, ErrTimeout) {
 		t.Fatalf("err = %v, want ErrTimeout", err)
 	}
@@ -166,7 +168,7 @@ func TestTCPCallTimeout(t *testing.T) {
 
 func TestTCPServerCloseFailsInflightCalls(t *testing.T) {
 	started := make(chan struct{}, 1)
-	handler := HandlerFunc(func(req *wire.Envelope) *wire.Envelope {
+	handler := HandlerFunc(func(ctx context.Context, req *wire.Envelope) *wire.Envelope {
 		started <- struct{}{}
 		time.Sleep(100 * time.Millisecond)
 		return &wire.Envelope{Kind: wire.KindResponse}
@@ -180,7 +182,7 @@ func TestTCPServerCloseFailsInflightCalls(t *testing.T) {
 
 	done := make(chan error, 1)
 	go func() {
-		_, err := d.Call(srv.Endpoint(), &wire.Envelope{Kind: wire.KindRequest}, 5*time.Second)
+		_, err := d.Call(context.Background(), srv.Endpoint(), &wire.Envelope{Kind: wire.KindRequest}, 5*time.Second)
 		done <- err
 	}()
 	<-started
@@ -194,7 +196,7 @@ func TestTCPDialUnreachable(t *testing.T) {
 	d := NewTCPDialer()
 	d.DialTimeout = 200 * time.Millisecond
 	defer d.Close()
-	_, err := d.Call("tcp:127.0.0.1:1", &wire.Envelope{Kind: wire.KindRequest}, time.Second)
+	_, err := d.Call(context.Background(), "tcp:127.0.0.1:1", &wire.Envelope{Kind: wire.KindRequest}, time.Second)
 	if !errors.Is(err, ErrUnreachable) {
 		t.Fatalf("err = %v, want ErrUnreachable", err)
 	}
@@ -203,7 +205,7 @@ func TestTCPDialUnreachable(t *testing.T) {
 func TestTCPDialerRejectsWrongScheme(t *testing.T) {
 	d := NewTCPDialer()
 	defer d.Close()
-	if _, err := d.Call("inproc:x", &wire.Envelope{}, time.Second); !errors.Is(err, ErrBadEndpoint) {
+	if _, err := d.Call(context.Background(), "inproc:x", &wire.Envelope{}, time.Second); !errors.Is(err, ErrBadEndpoint) {
 		t.Fatalf("err = %v, want ErrBadEndpoint", err)
 	}
 }
@@ -211,20 +213,20 @@ func TestTCPDialerRejectsWrongScheme(t *testing.T) {
 func TestTCPDialerClosed(t *testing.T) {
 	d := NewTCPDialer()
 	_ = d.Close()
-	if _, err := d.Call("tcp:127.0.0.1:1", &wire.Envelope{}, time.Second); !errors.Is(err, ErrClosed) {
+	if _, err := d.Call(context.Background(), "tcp:127.0.0.1:1", &wire.Envelope{}, time.Second); !errors.Is(err, ErrClosed) {
 		t.Fatalf("err = %v, want ErrClosed", err)
 	}
 }
 
 func TestTCPNilHandlerResponse(t *testing.T) {
-	srv, err := ListenTCP("127.0.0.1:0", HandlerFunc(func(*wire.Envelope) *wire.Envelope { return nil }))
+	srv, err := ListenTCP("127.0.0.1:0", HandlerFunc(func(context.Context, *wire.Envelope) *wire.Envelope { return nil }))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer srv.Close()
 	d := NewTCPDialer()
 	defer d.Close()
-	resp, err := d.Call(srv.Endpoint(), &wire.Envelope{Kind: wire.KindRequest}, 2*time.Second)
+	resp, err := d.Call(context.Background(), srv.Endpoint(), &wire.Envelope{Kind: wire.KindRequest}, 2*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,7 +266,7 @@ func TestTCPServerDropsDesynchronisedStream(t *testing.T) {
 	// The listener survives and keeps serving clean clients.
 	d := NewTCPDialer()
 	defer d.Close()
-	if _, err := d.Call(srv.Endpoint(), &wire.Envelope{Kind: wire.KindRequest}, 2*time.Second); err != nil {
+	if _, err := d.Call(context.Background(), srv.Endpoint(), &wire.Envelope{Kind: wire.KindRequest}, 2*time.Second); err != nil {
 		t.Fatalf("server wedged after garbage stream: %v", err)
 	}
 }
@@ -303,7 +305,7 @@ func TestInprocRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	d := n.Dialer()
-	resp, err := d.Call(srv.Endpoint(), &wire.Envelope{Kind: wire.KindRequest, Payload: []byte("x")}, time.Second)
+	resp, err := d.Call(context.Background(), srv.Endpoint(), &wire.Envelope{Kind: wire.KindRequest, Payload: []byte("x")}, time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -327,7 +329,7 @@ func TestInprocCloseUnregisters(t *testing.T) {
 	srv, _ := n.Listen("gone", echoHandler())
 	_ = srv.Close()
 	d := n.Dialer()
-	if _, err := d.Call("inproc:gone", &wire.Envelope{}, time.Second); !errors.Is(err, ErrUnreachable) {
+	if _, err := d.Call(context.Background(), "inproc:gone", &wire.Envelope{}, time.Second); !errors.Is(err, ErrUnreachable) {
 		t.Fatalf("err = %v, want ErrUnreachable", err)
 	}
 	// Name is reusable after Close.
@@ -340,7 +342,7 @@ func TestInprocDialerClosed(t *testing.T) {
 	n := NewInprocNetwork()
 	d := n.Dialer()
 	_ = d.Close()
-	if _, err := d.Call("inproc:x", &wire.Envelope{}, time.Second); !errors.Is(err, ErrClosed) {
+	if _, err := d.Call(context.Background(), "inproc:x", &wire.Envelope{}, time.Second); !errors.Is(err, ErrClosed) {
 		t.Fatalf("err = %v, want ErrClosed", err)
 	}
 }
@@ -349,7 +351,7 @@ func TestTCPDialerRejectsNonPositiveTimeout(t *testing.T) {
 	d := NewTCPDialer()
 	defer d.Close()
 	for _, timeout := range []time.Duration{0, -time.Second} {
-		_, err := d.Call("tcp:127.0.0.1:1", &wire.Envelope{Kind: wire.KindRequest}, timeout)
+		_, err := d.Call(context.Background(), "tcp:127.0.0.1:1", &wire.Envelope{Kind: wire.KindRequest}, timeout)
 		if !errors.Is(err, ErrInvalidTimeout) {
 			t.Fatalf("timeout %v: err = %v, want ErrInvalidTimeout", timeout, err)
 		}
@@ -365,7 +367,7 @@ func TestInprocDialerRejectsNonPositiveTimeout(t *testing.T) {
 		t.Fatal(err)
 	}
 	d := n.Dialer()
-	_, err := d.Call("inproc:tz", &wire.Envelope{Kind: wire.KindRequest}, 0)
+	_, err := d.Call(context.Background(), "inproc:tz", &wire.Envelope{Kind: wire.KindRequest}, 0)
 	if !errors.Is(err, ErrInvalidTimeout) {
 		t.Fatalf("err = %v, want ErrInvalidTimeout", err)
 	}
@@ -396,7 +398,7 @@ func TestClassify(t *testing.T) {
 func TestTCPDialerEvictsWedgedConnection(t *testing.T) {
 	// A handler that never answers "wedge" simulates a connection whose
 	// peer has stopped responding without closing the socket.
-	handler := HandlerFunc(func(req *wire.Envelope) *wire.Envelope {
+	handler := HandlerFunc(func(ctx context.Context, req *wire.Envelope) *wire.Envelope {
 		if req.Method == "wedge" {
 			return Dropped
 		}
@@ -413,7 +415,7 @@ func TestTCPDialerEvictsWedgedConnection(t *testing.T) {
 	defer d.Close()
 
 	for i := 0; i < 2; i++ {
-		if _, err := d.Call(srv.Endpoint(), &wire.Envelope{Kind: wire.KindRequest, Method: "wedge"}, 20*time.Millisecond); !errors.Is(err, ErrTimeout) {
+		if _, err := d.Call(context.Background(), srv.Endpoint(), &wire.Envelope{Kind: wire.KindRequest, Method: "wedge"}, 20*time.Millisecond); !errors.Is(err, ErrTimeout) {
 			t.Fatalf("wedge call %d: err = %v, want ErrTimeout", i, err)
 		}
 	}
@@ -432,7 +434,7 @@ func TestTCPDialerEvictsWedgedConnection(t *testing.T) {
 	}
 
 	// The next call redials a fresh connection and succeeds.
-	if _, err := d.Call(srv.Endpoint(), &wire.Envelope{Kind: wire.KindRequest, Method: "ok"}, time.Second); err != nil {
+	if _, err := d.Call(context.Background(), srv.Endpoint(), &wire.Envelope{Kind: wire.KindRequest, Method: "ok"}, time.Second); err != nil {
 		t.Fatalf("call after eviction: %v", err)
 	}
 	if st := d.Stats(); st.Dials != 2 {
@@ -442,7 +444,7 @@ func TestTCPDialerEvictsWedgedConnection(t *testing.T) {
 
 func TestTCPDialerCountsOrphanedResponses(t *testing.T) {
 	release := make(chan struct{})
-	handler := HandlerFunc(func(req *wire.Envelope) *wire.Envelope {
+	handler := HandlerFunc(func(ctx context.Context, req *wire.Envelope) *wire.Envelope {
 		if req.Method == "late" {
 			<-release
 		}
@@ -457,7 +459,7 @@ func TestTCPDialerCountsOrphanedResponses(t *testing.T) {
 	d := NewTCPDialer()
 	defer d.Close()
 
-	_, err = d.Call(srv.Endpoint(), &wire.Envelope{Kind: wire.KindRequest, Method: "late"}, 20*time.Millisecond)
+	_, err = d.Call(context.Background(), srv.Endpoint(), &wire.Envelope{Kind: wire.KindRequest, Method: "late"}, 20*time.Millisecond)
 	if !errors.Is(err, ErrTimeout) {
 		t.Fatalf("err = %v, want ErrTimeout", err)
 	}
@@ -471,7 +473,7 @@ func TestTCPDialerCountsOrphanedResponses(t *testing.T) {
 		time.Sleep(5 * time.Millisecond)
 	}
 	// A successful call resets the consecutive-timeout streak: no eviction.
-	if _, err := d.Call(srv.Endpoint(), &wire.Envelope{Kind: wire.KindRequest, Method: "ok"}, time.Second); err != nil {
+	if _, err := d.Call(context.Background(), srv.Endpoint(), &wire.Envelope{Kind: wire.KindRequest, Method: "ok"}, time.Second); err != nil {
 		t.Fatal(err)
 	}
 	if st := d.Stats(); st.Evictions != 0 {
@@ -496,13 +498,13 @@ func TestMultiDialerRouting(t *testing.T) {
 	})
 	defer md.Close()
 
-	if _, err := md.Call("inproc:a", &wire.Envelope{Kind: wire.KindRequest}, time.Second); err != nil {
+	if _, err := md.Call(context.Background(), "inproc:a", &wire.Envelope{Kind: wire.KindRequest}, time.Second); err != nil {
 		t.Fatalf("inproc via multi: %v", err)
 	}
-	if _, err := md.Call(tcpSrv.Endpoint(), &wire.Envelope{Kind: wire.KindRequest}, time.Second); err != nil {
+	if _, err := md.Call(context.Background(), tcpSrv.Endpoint(), &wire.Envelope{Kind: wire.KindRequest}, time.Second); err != nil {
 		t.Fatalf("tcp via multi: %v", err)
 	}
-	if _, err := md.Call("bogus", &wire.Envelope{}, time.Second); !errors.Is(err, ErrBadEndpoint) {
+	if _, err := md.Call(context.Background(), "bogus", &wire.Envelope{}, time.Second); !errors.Is(err, ErrBadEndpoint) {
 		t.Fatalf("err = %v, want ErrBadEndpoint", err)
 	}
 }

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 )
@@ -44,6 +45,14 @@ const (
 	CodeStaleBinding   uint64 = 5
 	CodeBadRequest     uint64 = 6
 	CodeUnavailable    uint64 = 7
+	// CodeOverloaded is returned when the server sheds a request at
+	// admission: the dispatcher's concurrency limit and queue are full. The
+	// request was never dispatched, so retrying after backoff is always safe.
+	CodeOverloaded uint64 = 8
+	// CodeExpired is returned when the request's propagated deadline had
+	// already passed on arrival (rejected before dispatch) or expired while
+	// the call was queued or between execution stages.
+	CodeExpired uint64 = 9
 )
 
 // ErrTruncatedEnvelope is returned when an envelope cannot be fully decoded.
@@ -53,19 +62,21 @@ var ErrTruncatedEnvelope = errors.New("wire: truncated envelope")
 // Tags are part of the wire contract; append only. Decoders skip unknown
 // tags, so new tags may be introduced without breaking old peers.
 const (
-	metaTraceID uint64 = 1
-	metaSpanID  uint64 = 2
+	metaTraceID  uint64 = 1
+	metaSpanID   uint64 = 2
+	metaDeadline uint64 = 3
 )
 
 // Envelope is the unit of communication between nodes. Target is the
 // destination object's LOID in string form; Method names the function being
 // invoked (for requests) and Code/ErrorMsg describe failures (for errors).
 //
-// TraceID/SpanID carry distributed-tracing context. On the wire they live in
-// an optional metadata section appended after Payload; because the original
-// decoder ignored trailing bytes, pre-metadata peers still accept frames
-// carrying metadata, and post-metadata peers accept frames without it (the
-// fields decode as zero).
+// TraceID/SpanID carry distributed-tracing context and Deadline carries the
+// caller's absolute deadline. On the wire they live in an optional metadata
+// section appended after Payload; because the original decoder ignored
+// trailing bytes, pre-metadata peers still accept frames carrying metadata,
+// and post-metadata peers accept frames without it (the fields decode as
+// zero).
 type Envelope struct {
 	Kind     Kind
 	ID       uint64 // request/response correlation
@@ -76,6 +87,7 @@ type Envelope struct {
 	Payload  []byte // method arguments or results
 	TraceID  uint64 // tracing: trace this message belongs to (0 = untraced)
 	SpanID   uint64 // tracing: sender's span, parent of the receiver's span
+	Deadline int64  // caller's absolute deadline, Unix nanoseconds (0 = none)
 }
 
 // Encode serialises the envelope. The metadata section is emitted only when
@@ -90,7 +102,7 @@ func (ev *Envelope) Encode() []byte {
 	e.PutUvarint(ev.Code)
 	e.PutString(ev.ErrorMsg)
 	e.PutBytes(ev.Payload)
-	if ev.TraceID != 0 || ev.SpanID != 0 {
+	if ev.TraceID != 0 || ev.SpanID != 0 || ev.Deadline > 0 {
 		ev.encodeMetadata(e)
 	}
 	return e.Bytes()
@@ -98,7 +110,9 @@ func (ev *Envelope) Encode() []byte {
 
 // encodeMetadata appends the metadata section: a uvarint pair count followed
 // by (uvarint tag, length-prefixed value) pairs. Length-prefixing every
-// value lets decoders skip tags they do not understand.
+// value lets decoders skip tags they do not understand. The value scratch
+// space is a fixed stack array so metadata-carrying envelopes (every request
+// with a propagated deadline) encode without extra allocations.
 func (ev *Envelope) encodeMetadata(e *Encoder) {
 	var pairs uint64
 	if ev.TraceID != 0 {
@@ -107,19 +121,24 @@ func (ev *Envelope) encodeMetadata(e *Encoder) {
 	if ev.SpanID != 0 {
 		pairs++
 	}
+	if ev.Deadline > 0 {
+		pairs++
+	}
 	e.PutUvarint(pairs)
-	var val Encoder
+	var scratch [binary.MaxVarintLen64]byte
 	put := func(tag, v uint64) {
-		val.Reset()
-		val.PutUvarint(v)
+		n := binary.PutUvarint(scratch[:], v)
 		e.PutUvarint(tag)
-		e.PutBytes(val.Bytes())
+		e.PutBytes(scratch[:n])
 	}
 	if ev.TraceID != 0 {
 		put(metaTraceID, ev.TraceID)
 	}
 	if ev.SpanID != 0 {
 		put(metaSpanID, ev.SpanID)
+	}
+	if ev.Deadline > 0 {
+		put(metaDeadline, uint64(ev.Deadline))
 	}
 }
 
@@ -149,6 +168,12 @@ func (ev *Envelope) decodeMetadata(d *Decoder) {
 		case metaSpanID:
 			if v, err := NewDecoder(val).Uvarint(); err == nil {
 				ev.SpanID = v
+			}
+		case metaDeadline:
+			// A deadline past the int64 range is malformed; leave it zero
+			// (no deadline) rather than trusting a garbage value.
+			if v, err := NewDecoder(val).Uvarint(); err == nil && v <= 1<<63-1 {
+				ev.Deadline = int64(v)
 			}
 			// Unknown tags are skipped: the length prefix already consumed
 			// their value.

@@ -1,0 +1,91 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestDeadlineMetadataRoundTrip(t *testing.T) {
+	ev := sampleEnvelope()
+	ev.Deadline = 1_700_000_000_123_456_789
+	got, err := DecodeEnvelope(ev.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Deadline != ev.Deadline {
+		t.Fatalf("Deadline = %d, want %d", got.Deadline, ev.Deadline)
+	}
+	if got.Target != ev.Target || got.Method != ev.Method || !bytes.Equal(got.Payload, ev.Payload) {
+		t.Fatalf("body fields corrupted: %+v", got)
+	}
+}
+
+func TestDeadlineAlongsideTraceContext(t *testing.T) {
+	// All three metadata tags together: each must survive independently.
+	ev := sampleEnvelope()
+	ev.TraceID = 11
+	ev.SpanID = 22
+	ev.Deadline = 33
+	got, err := DecodeEnvelope(ev.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TraceID != 11 || got.SpanID != 22 || got.Deadline != 33 {
+		t.Fatalf("metadata lost: trace=%d span=%d deadline=%d", got.TraceID, got.SpanID, got.Deadline)
+	}
+}
+
+func TestNoDeadlineKeepsLegacyEncoding(t *testing.T) {
+	// A request without a deadline (and no trace context) must stay
+	// byte-identical to the pre-metadata encoding — the deadline tag is
+	// strictly pay-for-what-you-use.
+	ev := sampleEnvelope()
+	if !bytes.Equal(ev.Encode(), legacyEncode(ev)) {
+		t.Fatal("deadline-free encoding differs from pre-metadata encoding")
+	}
+}
+
+func TestLegacyFrameDecodesWithoutDeadline(t *testing.T) {
+	// Old peer, new decoder: no phantom deadline may appear.
+	got, err := DecodeEnvelope(legacyEncode(sampleEnvelope()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Deadline != 0 {
+		t.Fatalf("phantom deadline %d on a legacy frame", got.Deadline)
+	}
+}
+
+func TestLegacyDecoderIgnoresDeadlineFrames(t *testing.T) {
+	// New peer, old decoder: the body must parse; the deadline is simply
+	// invisible to the old peer.
+	ev := sampleEnvelope()
+	ev.Deadline = 987654321
+	got, err := legacyDecode(ev.Encode())
+	if err != nil {
+		t.Fatalf("legacy decoder rejected a deadline frame: %v", err)
+	}
+	if got.Target != ev.Target || !bytes.Equal(got.Payload, ev.Payload) {
+		t.Fatalf("legacy decoder corrupted body: %+v", got)
+	}
+}
+
+func TestDeadlineOverflowIgnored(t *testing.T) {
+	// A deadline value that does not fit int64 (a hostile or broken peer)
+	// must be dropped, not wrapped into a bogus — possibly negative — time.
+	base := legacyEncode(sampleEnvelope())
+	e := NewEncoder(16)
+	e.PutUvarint(1) // one pair
+	e.PutUvarint(metaDeadline)
+	var val Encoder
+	val.PutUvarint(1 << 63) // exceeds math.MaxInt64
+	e.PutBytes(val.Bytes())
+	buf := append(append([]byte{}, base...), e.Bytes()...)
+	got, err := DecodeEnvelope(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Deadline != 0 {
+		t.Fatalf("overflowing deadline accepted as %d", got.Deadline)
+	}
+}

@@ -1,6 +1,8 @@
 package workload
 
 import (
+	"context"
+
 	"errors"
 	"testing"
 
@@ -75,7 +77,7 @@ func TestBuiltInstantiatesWorkingDCDO(t *testing.T) {
 		Registry: reg,
 		Fetcher:  b.Fetcher(),
 	})
-	if _, err := d.ApplyDescriptor(b.Descriptor, version.ID{1}); err != nil {
+	if _, err := d.ApplyDescriptor(context.Background(), b.Descriptor, version.ID{1}); err != nil {
 		t.Fatal(err)
 	}
 	// Leaf calls work.
@@ -132,7 +134,7 @@ func TestBuildFetcherUnknownICO(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := b.Fetcher().Fetch(naming.LOID{Instance: 999}); err == nil {
+	if _, err := b.Fetcher().Fetch(context.Background(), naming.LOID{Instance: 999}); err == nil {
 		t.Fatal("unknown ICO fetched")
 	}
 }

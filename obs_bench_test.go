@@ -1,6 +1,8 @@
 package godcdo_test
 
 import (
+	"context"
+
 	"testing"
 
 	"godcdo/internal/legion"
@@ -38,7 +40,7 @@ func BenchmarkInvokeTracingOff(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := client.Client().Invoke(obj.LOID(), target, nil); err != nil {
+		if _, err := client.Client().Invoke(context.Background(), obj.LOID(), target, nil); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,6 +1,8 @@
 package godcdo_test
 
 import (
+	"context"
+
 	"testing"
 
 	"godcdo/internal/core"
@@ -45,7 +47,7 @@ func TestTraceCoversInvokeRebindDispatchResolveExec(t *testing.T) {
 		Registry: reg,
 		Fetcher:  built.Fetcher(),
 	})
-	if _, err := obj.ApplyDescriptor(built.Descriptor, version.ID{1}); err != nil {
+	if _, err := obj.ApplyDescriptor(context.Background(), built.Descriptor, version.ID{1}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := nodeA.HostObject(obj.LOID(), obj); err != nil {
@@ -54,7 +56,7 @@ func TestTraceCoversInvokeRebindDispatchResolveExec(t *testing.T) {
 	target := workload.LeafName("tr", 0, 0)
 
 	// Warm the client's binding cache against node A...
-	if _, err := clientNode.Client().Invoke(obj.LOID(), target, nil); err != nil {
+	if _, err := clientNode.Client().Invoke(context.Background(), obj.LOID(), target, nil); err != nil {
 		t.Fatal(err)
 	}
 	// ...then move the object to node B, leaving the cached binding stale.
@@ -64,7 +66,7 @@ func TestTraceCoversInvokeRebindDispatchResolveExec(t *testing.T) {
 	if _, err := nodeB.HostObject(obj.LOID(), obj); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := clientNode.Client().Invoke(obj.LOID(), target, nil); err != nil {
+	if _, err := clientNode.Client().Invoke(context.Background(), obj.LOID(), target, nil); err != nil {
 		t.Fatal(err)
 	}
 
