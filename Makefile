@@ -7,9 +7,16 @@ GO ?= go
 # disabled. vet-obs fails if the disabled path ever allocates more than this.
 OBS_ALLOC_BASELINE ?= 5
 
-.PHONY: ci vet vet-obs build test race bench-smoke bench experiments fuzz-smoke chaos
+# Fast-path allocation ceilings (allocs/op), set from the PR-5 transport
+# overhaul with a little headroom. vet-wire fails if envelope encode, envelope
+# decode, or the fast-path single-call TCP invoke ever regress past them.
+WIRE_ENCODE_ALLOC_BASELINE ?= 1
+WIRE_DECODE_ALLOC_BASELINE ?= 3
+INVOKE_ALLOC_BASELINE ?= 16
 
-ci: vet vet-obs build race bench-smoke chaos fuzz-smoke
+.PHONY: ci vet vet-obs vet-wire build test race bench-smoke bench bench-json experiments fuzz-smoke chaos
+
+ci: vet vet-obs vet-wire build race bench-smoke chaos fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -26,6 +33,24 @@ vet-obs:
 		echo "vet-obs: tracing-off invoke allocates $$allocs allocs/op, budget $(OBS_ALLOC_BASELINE)"; exit 1; \
 	fi; \
 	echo "vet-obs: tracing-off invoke at $$allocs allocs/op (budget $(OBS_ALLOC_BASELINE))"
+
+# Transport fast-path alloc gate (mirrors vet-obs): envelope encode/decode
+# and the fast-path TCP invoke must stay at or below their recorded
+# allocs/op ceilings, so pooling and coalescing wins cannot silently erode.
+vet-wire:
+	$(GO) vet ./internal/wire/ ./internal/transport/
+	@out=$$($(GO) test -run xxx -bench 'BenchmarkAblation_WireEnvelope|BenchmarkE10_TransportFastPath/fast/sequential' -benchmem -benchtime=2000x . | tee /dev/stderr); \
+	gate() { \
+		allocs=$$(echo "$$out" | awk -v pat="$$1" '$$0 ~ pat {for (i=1; i<=NF; i++) if ($$(i+1) == "allocs/op") print $$i; exit}'); \
+		if [ -z "$$allocs" ]; then echo "vet-wire: could not parse allocs/op for $$1"; exit 1; fi; \
+		if [ "$$allocs" -gt "$$2" ]; then \
+			echo "vet-wire: $$1 allocates $$allocs allocs/op, budget $$2"; exit 1; \
+		fi; \
+		echo "vet-wire: $$1 at $$allocs allocs/op (budget $$2)"; \
+	}; \
+	gate 'WireEnvelope/encode' $(WIRE_ENCODE_ALLOC_BASELINE) && \
+	gate 'WireEnvelope/decode' $(WIRE_DECODE_ALLOC_BASELINE) && \
+	gate 'TransportFastPath/fast/sequential' $(INVOKE_ALLOC_BASELINE)
 
 build:
 	$(GO) build ./...
@@ -54,12 +79,20 @@ bench:
 experiments:
 	$(GO) run ./cmd/dcdo-bench
 
+# Full experiment sweep with machine-readable export: the unit of the
+# BENCH_*.json perf trajectory (bump BENCH_JSON per PR).
+BENCH_JSON ?= BENCH_5.json
+
+bench-json:
+	$(GO) run ./cmd/dcdo-bench -json $(BENCH_JSON)
+
 # Bounded run of the native fuzz targets: the wire decoder and the store
 # image loader must never panic on adversarial bytes. FUZZTIME is per target.
 FUZZTIME ?= 30s
 
 fuzz-smoke:
 	$(GO) test -run xxx -fuzz FuzzDecodeEnvelope -fuzztime $(FUZZTIME) ./internal/wire/
+	$(GO) test -run xxx -fuzz 'FuzzFrameRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/wire/
 	$(GO) test -run xxx -fuzz FuzzLoadStore -fuzztime $(FUZZTIME) ./internal/manager/
 
 # Crash/partition drills under the race detector: the E8 chaos experiment

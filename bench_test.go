@@ -451,6 +451,78 @@ func BenchmarkE7_FaultedInvoke(b *testing.B) {
 	}
 }
 
+// --- E10: transport fast path ---------------------------------------------------------
+
+// benchTCPEcho builds a TCP node hosting an echo object plus a client over a
+// dialer in the requested transport mode, mirroring the E10 harness setup.
+func benchTCPEcho(b *testing.B, legacy bool, stripes int) (*rpc.Client, naming.LOID, func()) {
+	b.Helper()
+	agent := naming.NewAgent(vclock.Real{})
+	node, err := legion.NewNode(legion.NodeConfig{
+		Name: "bench-e10", Agent: agent, TCPAddr: "127.0.0.1:0",
+		DisableTransportFastPath: legacy,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	loid := naming.LOID{Domain: 10, Class: 10, Instance: 1}
+	if _, err := node.HostObject(loid, rpc.ObjectFunc(func(_ string, args []byte) ([]byte, error) {
+		return args, nil
+	})); err != nil {
+		_ = node.Close()
+		b.Fatal(err)
+	}
+	dialer := transport.NewTCPDialer()
+	dialer.DisableFastPath = legacy
+	dialer.Stripes = stripes
+	client := rpc.NewClient(naming.NewCache(agent, vclock.Real{}, 0), dialer)
+	client.Retry.CallTimeout = 10 * time.Second
+	return client, loid, func() {
+		_ = dialer.Close()
+		_ = node.Close()
+	}
+}
+
+// BenchmarkE10_TransportFastPath is the testing.B face of experiment E10:
+// invoke over TCP loopback in both transport generations, sequential (run
+// with -benchmem for the alloc story) and pipelined (RunParallel; the
+// coalescing/striping story).
+func BenchmarkE10_TransportFastPath(b *testing.B) {
+	payload := make([]byte, 64)
+	for _, mode := range []struct {
+		name    string
+		legacy  bool
+		stripes int
+	}{
+		{"legacy", true, 0},
+		{"fast", false, 4},
+	} {
+		b.Run(mode.name+"/sequential", func(b *testing.B) {
+			client, loid, done := benchTCPEcho(b, mode.legacy, mode.stripes)
+			defer done()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := client.Invoke(context.Background(), loid, "echo", payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(mode.name+"/pipelined-64", func(b *testing.B) {
+			client, loid, done := benchTCPEcho(b, mode.legacy, mode.stripes)
+			defer done()
+			b.SetParallelism(64)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, err := client.Invoke(context.Background(), loid, "echo", payload); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
+
 // --- Ablations (design decisions from DESIGN.md) ----------------------------------------
 
 // Ablation 1: DFM lookup via atomic snapshot (the implementation) vs taking

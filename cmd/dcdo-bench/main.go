@@ -1,14 +1,16 @@
 // Command dcdo-bench regenerates the paper's performance study (§4): every
-// experiment E1–E9, each printing the table it reproduces and the pass/fail
+// experiment E1–E10, each printing the table it reproduces and the pass/fail
 // shape criteria derived from the paper's reported numbers.
 //
 // Usage:
 //
-//	dcdo-bench            # run all experiments
-//	dcdo-bench -e E4      # run one experiment
+//	dcdo-bench                         # run all experiments
+//	dcdo-bench -e E4                   # run one experiment
+//	dcdo-bench -e E10 -json BENCH.json # also export machine-readable metrics
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,21 +28,23 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("dcdo-bench", flag.ContinueOnError)
-	experiment := fs.String("e", "all", "experiment to run (E1..E9 or all)")
+	experiment := fs.String("e", "all", "experiment to run (E1..E10 or all)")
+	jsonPath := fs.String("json", "", "write machine-readable results (ids, checks, metrics) to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	runners := map[string]func() (*harness.Report, error){
-		"E1": harness.RunE1,
-		"E2": harness.RunE2,
-		"E3": harness.RunE3,
-		"E4": harness.RunE4,
-		"E5": harness.RunE5,
-		"E6": harness.RunE6,
-		"E7": harness.RunE7,
-		"E8": harness.RunE8,
-		"E9": harness.RunE9,
+		"E1":  harness.RunE1,
+		"E2":  harness.RunE2,
+		"E3":  harness.RunE3,
+		"E4":  harness.RunE4,
+		"E5":  harness.RunE5,
+		"E6":  harness.RunE6,
+		"E7":  harness.RunE7,
+		"E8":  harness.RunE8,
+		"E9":  harness.RunE9,
+		"E10": harness.RunE10,
 	}
 
 	var reports []*harness.Report
@@ -54,7 +58,7 @@ func run(args []string) error {
 	default:
 		runner, ok := runners[want]
 		if !ok {
-			return fmt.Errorf("unknown experiment %q (want E1..E9 or all)", *experiment)
+			return fmt.Errorf("unknown experiment %q (want E1..E10 or all)", *experiment)
 		}
 		rep, err := runner()
 		if err != nil {
@@ -70,9 +74,49 @@ func run(args []string) error {
 			failed++
 		}
 	}
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath, reports); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
 	if failed > 0 {
 		return fmt.Errorf("%d experiment(s) failed their shape criteria", failed)
 	}
 	fmt.Printf("all %d experiment(s) passed their shape criteria\n", len(reports))
 	return nil
+}
+
+// jsonReport is the exported shape of one experiment, the unit of the
+// BENCH_*.json perf trajectory.
+type jsonReport struct {
+	ID      string             `json:"id"`
+	Title   string             `json:"title"`
+	Passed  bool               `json:"passed"`
+	Checks  []jsonCheck        `json:"checks"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+type jsonCheck struct {
+	Name   string `json:"name"`
+	Pass   bool   `json:"pass"`
+	Detail string `json:"detail"`
+}
+
+// writeJSON exports the reports' checks and headline metrics.
+func writeJSON(path string, reports []*harness.Report) error {
+	out := make([]jsonReport, 0, len(reports))
+	for _, rep := range reports {
+		jr := jsonReport{ID: rep.ID, Title: rep.Title, Passed: rep.Passed(), Metrics: rep.Metrics}
+		for _, c := range rep.Checks {
+			jr.Checks = append(jr.Checks, jsonCheck{Name: c.Name, Pass: c.Pass, Detail: c.Detail})
+		}
+		out = append(out, jr)
+	}
+	data, err := json.MarshalIndent(map[string]any{"reports": out}, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return os.WriteFile(path, data, 0o644)
 }

@@ -50,11 +50,20 @@ func run(args []string) error {
 	journalDir := fs.String("journal-dir", "", "directory for the demo manager's durable evolution journal and store image (with -demo)")
 	maxInflight := fs.Int("max-inflight", 0, "max concurrent dispatches before requests queue (0 = unlimited)")
 	queueDepth := fs.Int("queue-depth", 0, "admission queue depth beyond max-inflight; excess requests are shed with OVERLOADED (with -max-inflight)")
+	transportStripes := fs.Int("transport-stripes", 0, "TCP connections per endpoint in the dialer, spread round-robin (0 = 1)")
+	transportWorkers := fs.Int("transport-workers", 0, "max concurrent TCP handler goroutines before read loops apply backpressure (0 = unlimited)")
+	transportLegacy := fs.Bool("transport-legacy", false, "disable the transport fast path (frame pooling and write coalescing)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	node, localAgent, err := startNode(*name, *addr, *agentEndpoint, *maxInflight, *queueDepth)
+	node, localAgent, err := startNode(*name, *addr, *agentEndpoint, legion.NodeConfig{
+		MaxInflight:              *maxInflight,
+		QueueDepth:               *queueDepth,
+		TransportStripes:         *transportStripes,
+		TransportWorkers:         *transportWorkers,
+		DisableTransportFastPath: *transportLegacy,
+	})
 	if err != nil {
 		return err
 	}
@@ -98,8 +107,10 @@ func run(args []string) error {
 }
 
 // startNode builds the node against a local or remote binding agent. When
-// local, the agent service is hosted on the node itself.
-func startNode(name, addr, agentEndpoint string, maxInflight, queueDepth int) (*legion.Node, *naming.Agent, error) {
+// local, the agent service is hosted on the node itself. cfg carries the
+// tuning knobs (admission, transport); identity and wiring fields are set
+// here.
+func startNode(name, addr, agentEndpoint string, cfg legion.NodeConfig) (*legion.Node, *naming.Agent, error) {
 	var (
 		authority  naming.Authority
 		localAgent *naming.Agent
@@ -113,14 +124,11 @@ func startNode(name, addr, agentEndpoint string, maxInflight, queueDepth int) (*
 			Endpoint: agentEndpoint,
 		}
 	}
-	node, err := legion.NewNode(legion.NodeConfig{
-		Name:        name,
-		Agent:       authority,
-		TCPAddr:     addr,
-		Obs:         obs.New(),
-		MaxInflight: maxInflight,
-		QueueDepth:  queueDepth,
-	})
+	cfg.Name = name
+	cfg.Agent = authority
+	cfg.TCPAddr = addr
+	cfg.Obs = obs.New()
+	node, err := legion.NewNode(cfg)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"godcdo/internal/demo"
+	"godcdo/internal/legion"
 	"godcdo/internal/naming"
 	"godcdo/internal/obs"
 	"godcdo/internal/rpc"
@@ -17,7 +18,7 @@ import (
 )
 
 func TestStartNodeServesLocalAgent(t *testing.T) {
-	node, localAgent, err := startNode("t1", "127.0.0.1:0", "", 0, 0)
+	node, localAgent, err := startNode("t1", "127.0.0.1:0", "", legion.NodeConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,12 +40,12 @@ func TestStartNodeServesLocalAgent(t *testing.T) {
 
 func TestStartNodeAgainstRemoteAgent(t *testing.T) {
 	// First node serves the agent; second node registers through it.
-	first, _, err := startNode("hub", "127.0.0.1:0", "", 0, 0)
+	first, _, err := startNode("hub", "127.0.0.1:0", "", legion.NodeConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer first.Close()
-	second, localAgent, err := startNode("leaf", "127.0.0.1:0", first.Endpoint(), 0, 0)
+	second, localAgent, err := startNode("leaf", "127.0.0.1:0", first.Endpoint(), legion.NodeConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,13 +67,13 @@ func TestStartNodeAgainstRemoteAgent(t *testing.T) {
 }
 
 func TestStartNodeBadAddr(t *testing.T) {
-	if _, _, err := startNode("bad", "256.0.0.1:99999", "", 0, 0); err == nil {
+	if _, _, err := startNode("bad", "256.0.0.1:99999", "", legion.NodeConfig{}); err == nil {
 		t.Fatal("bad address accepted")
 	}
 }
 
 func TestDemoInstallEndToEnd(t *testing.T) {
-	node, _, err := startNode("demo", "127.0.0.1:0", "", 0, 0)
+	node, _, err := startNode("demo", "127.0.0.1:0", "", legion.NodeConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +133,7 @@ func TestRunBadFlag(t *testing.T) {
 }
 
 func TestNodeObsServiceAndHTTP(t *testing.T) {
-	node, _, err := startNode("obsnode", "127.0.0.1:0", "", 0, 0)
+	node, _, err := startNode("obsnode", "127.0.0.1:0", "", legion.NodeConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}

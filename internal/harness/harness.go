@@ -44,6 +44,9 @@ type Report struct {
 	Notes []string
 	// Checks are the shape criteria.
 	Checks []Check
+	// Metrics carries the experiment's headline numbers in machine-readable
+	// form for the BENCH_*.json perf trajectory (dcdo-bench -json).
+	Metrics map[string]float64
 }
 
 // Passed reports whether every check passed.
@@ -98,6 +101,7 @@ func RunAll() ([]*Report, error) {
 		{"E7", RunE7},
 		{"E8", RunE8},
 		{"E9", RunE9},
+		{"E10", RunE10},
 	}
 	reports := make([]*Report, 0, len(runners))
 	for _, r := range runners {

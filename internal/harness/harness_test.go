@@ -101,6 +101,17 @@ func TestRunE9(t *testing.T) {
 	requirePassed(t, rep)
 }
 
+func TestRunE10(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive transport comparison")
+	}
+	rep, err := RunE10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requirePassed(t, rep)
+}
+
 func TestRunAllOrderAndPass(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full experiment suite")
@@ -109,10 +120,10 @@ func TestRunAllOrderAndPass(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(reports) != 9 {
-		t.Fatalf("reports = %d, want 9", len(reports))
+	if len(reports) != 10 {
+		t.Fatalf("reports = %d, want 10", len(reports))
 	}
-	wantIDs := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"}
+	wantIDs := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"}
 	for i, rep := range reports {
 		if rep.ID != wantIDs[i] {
 			t.Errorf("report %d = %s, want %s", i, rep.ID, wantIDs[i])

@@ -60,6 +60,19 @@ type NodeConfig struct {
 	MaxInflight int
 	// QueueDepth bounds the admission queue when MaxInflight is set.
 	QueueDepth int
+	// TransportStripes sets the TCP dialer's per-endpoint connection count
+	// (calls are spread round-robin). Zero means 1, the pre-striping
+	// behaviour.
+	TransportStripes int
+	// TransportWorkers bounds the TCP server's concurrent handler
+	// goroutines, below the dispatcher's admission control (which sheds;
+	// this caps goroutine fan-out and applies read-loop backpressure).
+	// Zero means unlimited.
+	TransportWorkers int
+	// DisableTransportFastPath reverts the node's TCP transport to the
+	// pre-fast-path behaviour (no frame pooling, no write coalescing) in
+	// both directions. Baseline for experiments and an escape hatch.
+	DisableTransportFastPath bool
 }
 
 // Node is one Legion host: it serves hosted objects on a transport endpoint
@@ -98,6 +111,9 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	if cfg.MaxInflight > 0 {
 		disp.SetAdmission(cfg.MaxInflight, cfg.QueueDepth)
 	}
+	tcpDialer := transport.NewTCPDialer()
+	tcpDialer.Stripes = cfg.TransportStripes
+	tcpDialer.DisableFastPath = cfg.DisableTransportFastPath
 	var (
 		server transport.Server
 		dialer transport.Dialer
@@ -110,18 +126,21 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		}
 		dialer = transport.NewMultiDialer(map[transport.Scheme]transport.Dialer{
 			transport.SchemeInproc: cfg.Inproc.Dialer(),
-			transport.SchemeTCP:    transport.NewTCPDialer(),
+			transport.SchemeTCP:    tcpDialer,
 		})
 	} else {
 		addr := cfg.TCPAddr
 		if addr == "" {
 			addr = "127.0.0.1:0"
 		}
-		server, err = transport.ListenTCP(addr, disp)
+		server, err = transport.ListenTCPOptions(addr, disp, transport.TCPServerOptions{
+			MaxWorkers:      cfg.TransportWorkers,
+			DisableFastPath: cfg.DisableTransportFastPath,
+		})
 		if err != nil {
 			return nil, fmt.Errorf("legion: node %q: %w", cfg.Name, err)
 		}
-		dialer = transport.NewTCPDialer()
+		dialer = tcpDialer
 	}
 
 	cache := naming.NewCache(cfg.Agent, clock, 0)
@@ -140,7 +159,8 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		}
 		disp.SetObs(cfg.Obs)
 		if reg := cfg.Obs.Metrics; reg != nil {
-			if ts, ok := server.(*transport.TCPServer); ok {
+			ts, _ := server.(*transport.TCPServer)
+			if ts != nil {
 				prefix := "server." + cfg.Name + "."
 				reg.RegisterGaugeFunc(prefix+"accepted_conns", func() int64 {
 					return int64(ts.Stats().AcceptedConns)
@@ -155,6 +175,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 					return int64(ts.Stats().DroppedFrames)
 				})
 			}
+			rpc.RegisterTransportMetrics(reg, cfg.Name, tcpDialer, ts)
 		}
 	}
 	// Every node answers liveness probes at the well-known health LOID

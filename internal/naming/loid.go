@@ -41,25 +41,33 @@ func (l LOID) String() string {
 // ErrBadLOID is returned by ParseLOID for malformed input.
 var ErrBadLOID = errors.New("naming: malformed LOID")
 
-// ParseLOID parses the canonical textual form produced by String.
+// ParseLOID parses the canonical textual form produced by String. It runs on
+// every request dispatch (the envelope's Target field), so the happy path
+// allocates nothing: segments are sliced in place rather than Split out.
 func ParseLOID(s string) (LOID, error) {
 	rest, ok := strings.CutPrefix(s, "loid:")
 	if !ok {
 		return LOID{}, fmt.Errorf("%w: missing prefix in %q", ErrBadLOID, s)
 	}
-	parts := strings.Split(rest, ".")
-	if len(parts) != 3 {
+	i := strings.IndexByte(rest, '.')
+	if i < 0 {
 		return LOID{}, fmt.Errorf("%w: want 3 segments in %q", ErrBadLOID, s)
 	}
-	domain, err := strconv.ParseUint(parts[0], 10, 32)
+	j := strings.IndexByte(rest[i+1:], '.')
+	if j < 0 {
+		return LOID{}, fmt.Errorf("%w: want 3 segments in %q", ErrBadLOID, s)
+	}
+	j += i + 1
+	domain, err := strconv.ParseUint(rest[:i], 10, 32)
 	if err != nil {
 		return LOID{}, fmt.Errorf("%w: domain: %v", ErrBadLOID, err)
 	}
-	class, err := strconv.ParseUint(parts[1], 10, 32)
+	class, err := strconv.ParseUint(rest[i+1:j], 10, 32)
 	if err != nil {
 		return LOID{}, fmt.Errorf("%w: class: %v", ErrBadLOID, err)
 	}
-	inst, err := strconv.ParseUint(parts[2], 10, 64)
+	// A fourth segment fails here: ParseUint rejects the embedded dot.
+	inst, err := strconv.ParseUint(rest[j+1:], 10, 64)
 	if err != nil {
 		return LOID{}, fmt.Errorf("%w: instance: %v", ErrBadLOID, err)
 	}

@@ -199,6 +199,21 @@ type Client struct {
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
+
+	// targets caches each LOID's canonical Target string. Rendering the
+	// string costs an allocation per call otherwise, and a client talks to a
+	// small, stable set of objects, so the cache converges immediately.
+	targets sync.Map // naming.LOID -> string
+}
+
+// targetString returns loid's canonical string, cached per LOID.
+func (c *Client) targetString(loid naming.LOID) string {
+	if v, ok := c.targets.Load(loid); ok {
+		return v.(string)
+	}
+	s := loid.String()
+	c.targets.Store(loid, s)
+	return s
 }
 
 // NewClient returns a client over the given cache and dialer with
@@ -379,7 +394,7 @@ loop:
 
 		req := &wire.Envelope{
 			Kind:    wire.KindRequest,
-			Target:  loid.String(),
+			Target:  c.targetString(loid),
 			Method:  method,
 			Payload: args,
 		}

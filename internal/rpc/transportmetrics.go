@@ -1,0 +1,66 @@
+package rpc
+
+import (
+	"godcdo/internal/metrics"
+	"godcdo/internal/transport"
+	"godcdo/internal/wire"
+)
+
+// RegisterTransportMetrics wires the transport fast path's gauges into reg
+// under "transport.<name>.*": connection striping occupancy, realised write
+// batch size on both directions, and the process-global frame-pool hit rate.
+// Either the dialer or the server may be nil (a node serving inproc still
+// has a TCP dialer, and vice versa). Ratio gauges are scaled by 100 because
+// the registry carries integers.
+func RegisterTransportMetrics(reg *metrics.Registry, name string, d *transport.TCPDialer, s *transport.TCPServer) {
+	if reg == nil {
+		return
+	}
+	prefix := "transport." + name + "."
+	if d != nil {
+		reg.RegisterGaugeFunc(prefix+"dialer_open_conns", func() int64 {
+			return int64(d.Stats().OpenConns)
+		})
+		reg.RegisterGaugeFunc(prefix+"dialer_batch_flushes", func() int64 {
+			return int64(d.Stats().BatchFlushes)
+		})
+		reg.RegisterGaugeFunc(prefix+"dialer_batched_frames", func() int64 {
+			return int64(d.Stats().BatchedFrames)
+		})
+		reg.RegisterGaugeFunc(prefix+"dialer_batch_size_x100", func() int64 {
+			st := d.Stats()
+			if st.BatchFlushes == 0 {
+				return 0
+			}
+			return int64(st.BatchedFrames * 100 / st.BatchFlushes)
+		})
+	}
+	if s != nil {
+		reg.RegisterGaugeFunc(prefix+"server_batch_flushes", func() int64 {
+			return int64(s.Stats().BatchFlushes)
+		})
+		reg.RegisterGaugeFunc(prefix+"server_batched_frames", func() int64 {
+			return int64(s.Stats().BatchedFrames)
+		})
+		reg.RegisterGaugeFunc(prefix+"server_batch_size_x100", func() int64 {
+			st := s.Stats()
+			if st.BatchFlushes == 0 {
+				return 0
+			}
+			return int64(st.BatchedFrames * 100 / st.BatchFlushes)
+		})
+	}
+	// The frame pool is process-global; the per-node prefix keeps snapshots
+	// self-contained and re-registration is idempotent.
+	reg.RegisterGaugeFunc(prefix+"frame_pool_hit_rate_x100", func() int64 {
+		st := wire.FramePoolStats()
+		total := st.Hits + st.Misses
+		if total == 0 {
+			return 0
+		}
+		return int64(st.Hits * 100 / total)
+	})
+	reg.RegisterGaugeFunc(prefix+"frame_pool_oversize", func() int64 {
+		return int64(wire.FramePoolStats().Oversize)
+	})
+}

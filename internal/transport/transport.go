@@ -123,6 +123,12 @@ var Dropped = &wire.Envelope{Kind: wire.KindError, ErrorMsg: "transport: respons
 // while the TCP server passes its own lifetime context (cancelled on Close).
 // Any deadline the *caller* set travels separately as req.Deadline; the
 // dispatcher, not the transport, decides how to honour it.
+//
+// Ownership: req.Payload may alias a pooled frame buffer that the transport
+// reclaims after Handle returns and the response has been encoded. Handlers
+// may read it freely during the call — and may even return a response whose
+// Payload aliases it, since encoding copies — but must copy any bytes they
+// retain past returning (background goroutines, caches, journals).
 type Handler interface {
 	Handle(ctx context.Context, req *wire.Envelope) *wire.Envelope
 }

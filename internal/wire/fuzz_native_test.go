@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"bytes"
 	"testing"
 )
 
@@ -29,5 +30,47 @@ func FuzzDecodeEnvelope(f *testing.F) {
 		if again.Kind != ev.Kind || again.ID != ev.ID || again.Target != ev.Target || again.Method != ev.Method {
 			t.Fatalf("round trip changed identity: %+v -> %+v", ev, again)
 		}
+	})
+}
+
+// FuzzFrameRoundTrip asserts the pooled frame path is byte-faithful: any
+// payload written by WriteFrame must come back identical through
+// ReadFramePooled, and releasing the pooled buffer must never corrupt a
+// subsequent read.
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("payload"))
+	f.Add(bytes.Repeat([]byte{0xD7}, 600)) // magic-byte-dense, crosses a size class
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, payload); err != nil {
+			if len(payload) > MaxFrameSize {
+				return
+			}
+			t.Fatalf("WriteFrame: %v", err)
+		}
+		got, err := ReadFramePooled(&buf)
+		if err != nil {
+			t.Fatalf("ReadFramePooled: %v", err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("frame changed in flight: %d bytes vs %d", len(got), len(payload))
+		}
+		// Release, then read a second frame through the pool: reuse must not
+		// leak the first payload into the second.
+		PutBuf(got)
+		probe := []byte("probe-after-release")
+		buf.Reset()
+		if err := WriteFrame(&buf, probe); err != nil {
+			t.Fatal(err)
+		}
+		again, err := ReadFramePooled(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(again, probe) {
+			t.Fatalf("pooled reuse corrupted frame: %q", again)
+		}
+		PutBuf(again)
 	})
 }

@@ -90,11 +90,61 @@ type Envelope struct {
 	Deadline int64  // caller's absolute deadline, Unix nanoseconds (0 = none)
 }
 
+// envelopeFixedOverhead bounds the non-variable bytes of an encoded
+// envelope: kind (≤2) + id (≤10) + code (≤10) + four length prefixes
+// (≤5 each), rounded up.
+const envelopeFixedOverhead = 48
+
+// envelopeMetadataOverhead bounds the metadata section: a pair count (1)
+// plus three pairs of tag (≤2) + length prefix (1) + varint value (≤10).
+const envelopeMetadataOverhead = 40
+
+// hasMetadata reports whether the optional trailing metadata section will be
+// emitted.
+func (ev *Envelope) hasMetadata() bool {
+	return ev.TraceID != 0 || ev.SpanID != 0 || ev.Deadline > 0
+}
+
+// EncodedSizeHint returns an upper bound on Encode's output size, metadata
+// section included — so encoding into a buffer of this capacity never
+// reallocates mid-encode (traced and deadline-stamped requests used to pay
+// exactly that reallocation on every call).
+func (ev *Envelope) EncodedSizeHint() int {
+	n := envelopeFixedOverhead + len(ev.Target) + len(ev.Method) + len(ev.ErrorMsg) + len(ev.Payload)
+	if ev.hasMetadata() {
+		n += envelopeMetadataOverhead
+	}
+	return n
+}
+
 // Encode serialises the envelope. The metadata section is emitted only when
 // at least one metadata field is set, so untraced traffic is byte-identical
 // to the pre-metadata encoding.
 func (ev *Envelope) Encode() []byte {
-	e := NewEncoder(16 + len(ev.Target) + len(ev.Method) + len(ev.ErrorMsg) + len(ev.Payload))
+	e := Encoder{buf: make([]byte, 0, ev.EncodedSizeHint())}
+	ev.encodeInto(&e)
+	return e.buf
+}
+
+// AppendEncode appends the envelope's encoding to buf and returns the
+// extended slice, allocating only if buf lacks capacity.
+func (ev *Envelope) AppendEncode(buf []byte) []byte {
+	e := Encoder{buf: buf}
+	ev.encodeInto(&e)
+	return e.buf
+}
+
+// EncodePooled serialises the envelope into a buffer from the frame pool.
+// The caller owns the result and releases it with PutBuf once written out;
+// this is the transport write path's zero-allocation encode.
+func (ev *Envelope) EncodePooled() []byte {
+	e := Encoder{buf: GetBuf(ev.EncodedSizeHint())[:0]}
+	ev.encodeInto(&e)
+	return e.buf
+}
+
+// encodeInto writes the envelope body through e.
+func (ev *Envelope) encodeInto(e *Encoder) {
 	e.PutUvarint(uint64(ev.Kind))
 	e.PutUvarint(ev.ID)
 	e.PutString(ev.Target)
@@ -102,10 +152,9 @@ func (ev *Envelope) Encode() []byte {
 	e.PutUvarint(ev.Code)
 	e.PutString(ev.ErrorMsg)
 	e.PutBytes(ev.Payload)
-	if ev.TraceID != 0 || ev.SpanID != 0 || ev.Deadline > 0 {
+	if ev.hasMetadata() {
 		ev.encodeMetadata(e)
 	}
-	return e.Bytes()
 }
 
 // encodeMetadata appends the metadata section: a uvarint pair count followed

@@ -1,0 +1,147 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// Frame-buffer pooling. The invoke hot path reads one frame and encodes one
+// envelope per message in each direction; paying a fresh make([]byte, n) for
+// every one of them is exactly the kind of substrate overhead the paper's
+// performance study says the mechanism must not add. Buffers are pooled in a
+// small set of size classes so a steady-state node allocates nothing on the
+// frame path.
+//
+// Ownership contract (see also DESIGN.md "Transport fast path"):
+//
+//   - GetBuf/ReadFramePooled hand the caller exclusive ownership of the
+//     returned buffer.
+//   - DecodeEnvelope's Payload (and anything else derived via Decoder.Bytes)
+//     aliases the frame buffer. The buffer may be released only after that
+//     data has been consumed or copied.
+//   - PutBuf returns ownership to the pool; the caller must not touch the
+//     slice (or anything aliasing it) afterwards.
+//
+// Callers that cannot prove when the derived data dies simply skip PutBuf and
+// let the GC reclaim the buffer — releasing is an optimisation, never an
+// obligation.
+
+// bufClasses are the pooled capacity classes. Frames larger than the last
+// class are allocated fresh (counted as oversize, not pool misses).
+var bufClasses = [...]int{512, 4 << 10, 64 << 10, 1 << 20}
+
+var bufPools [len(bufClasses)]sync.Pool
+
+// Pool counters. Global rather than per-connection: the pool itself is
+// process-global, and the hit rate is a property of the whole node's traffic
+// mix.
+var (
+	poolHits     atomic.Uint64
+	poolMisses   atomic.Uint64
+	poolOversize atomic.Uint64
+)
+
+// PoolStats is a snapshot of the frame-buffer pool counters.
+type PoolStats struct {
+	// Hits counts GetBuf calls satisfied from a pooled buffer.
+	Hits uint64
+	// Misses counts GetBuf calls that allocated a fresh class-sized buffer.
+	Misses uint64
+	// Oversize counts GetBuf calls larger than the largest class (allocated
+	// fresh, never pooled).
+	Oversize uint64
+}
+
+// FramePoolStats returns a snapshot of the pool counters.
+func FramePoolStats() PoolStats {
+	return PoolStats{
+		Hits:     poolHits.Load(),
+		Misses:   poolMisses.Load(),
+		Oversize: poolOversize.Load(),
+	}
+}
+
+// classFor returns the index of the smallest class holding n bytes, or -1
+// when n exceeds every class.
+func classFor(n int) int {
+	for i, c := range bufClasses {
+		if n <= c {
+			return i
+		}
+	}
+	return -1
+}
+
+// GetBuf returns a buffer of length n (capacity possibly larger) from the
+// pool. The caller owns it until PutBuf.
+func GetBuf(n int) []byte {
+	ci := classFor(n)
+	if ci < 0 {
+		poolOversize.Add(1)
+		return make([]byte, n)
+	}
+	if v := bufPools[ci].Get(); v != nil {
+		box := v.(*poolBuf)
+		b := box.b
+		box.b = nil
+		boxPool.Put(box)
+		poolHits.Add(1)
+		return b[:n]
+	}
+	poolMisses.Add(1)
+	return make([]byte, n, bufClasses[ci])
+}
+
+// poolBuf boxes a slice so Put does not allocate an interface header on
+// every release (the classic sync.Pool []byte pitfall).
+type poolBuf struct{ b []byte }
+
+var boxPool = sync.Pool{New: func() any { return new(poolBuf) }}
+
+// PutBuf returns a buffer obtained from GetBuf (or any buffer the caller
+// owns outright) to the pool. Buffers whose capacity matches no class are
+// dropped for the GC.
+func PutBuf(b []byte) {
+	c := cap(b)
+	// Find the largest class the capacity fully covers, so a Get from that
+	// class always has room.
+	ci := -1
+	for i, cls := range bufClasses {
+		if c >= cls {
+			ci = i
+		}
+	}
+	if ci < 0 {
+		return
+	}
+	box := boxPool.Get().(*poolBuf)
+	box.b = b[:0:c]
+	bufPools[ci].Put(box)
+}
+
+// ReadFramePooled reads one frame written by WriteFrame into pooled storage.
+// The returned buffer is owned by the caller, who releases it with PutBuf
+// once every byte derived from it (notably a decoded envelope's Payload) has
+// been consumed or copied. The error paths never leak a pooled buffer.
+func ReadFramePooled(r io.Reader) ([]byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	if hdr[0] != MagicByte {
+		return nil, ErrBadMagic
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n > MaxFrameSize {
+		return nil, ErrFrameTooLarge
+	}
+	payload := GetBuf(int(n))
+	if _, err := io.ReadFull(r, payload); err != nil {
+		PutBuf(payload)
+		return nil, fmt.Errorf("read frame payload: %w", err)
+	}
+	return payload, nil
+}

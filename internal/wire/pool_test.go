@@ -1,0 +1,150 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"sync"
+	"testing"
+)
+
+func TestGetBufClasses(t *testing.T) {
+	for _, n := range []int{0, 1, 511, 512, 513, 4096, 70000, 1 << 20} {
+		b := GetBuf(n)
+		if len(b) != n {
+			t.Fatalf("GetBuf(%d) len = %d", n, len(b))
+		}
+		PutBuf(b)
+	}
+	// Oversize buffers are allocated exactly and never pooled.
+	big := GetBuf(2 << 20)
+	if len(big) != 2<<20 {
+		t.Fatalf("oversize len = %d", len(big))
+	}
+	if FramePoolStats().Oversize == 0 {
+		t.Fatal("oversize allocation not counted")
+	}
+}
+
+func TestPutBufThenGetReuses(t *testing.T) {
+	// Pools may drop buffers under GC pressure, so assert the accounting
+	// moves rather than demanding a specific buffer back.
+	before := FramePoolStats()
+	b := GetBuf(100)
+	b[0] = 0xAB
+	PutBuf(b)
+	c := GetBuf(50)
+	after := FramePoolStats()
+	if hits, misses := after.Hits-before.Hits, after.Misses-before.Misses; hits+misses != 2 {
+		t.Fatalf("pool accounting drifted: +%d hits +%d misses for 2 gets", hits, misses)
+	}
+	PutBuf(c)
+}
+
+func TestPutBufDropsUnderSized(t *testing.T) {
+	PutBuf(make([]byte, 10)) // capacity below every class: silently dropped
+}
+
+func TestReadFramePooledRoundTrip(t *testing.T) {
+	payload := []byte("pooled frame payload")
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFramePooled(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("got %q want %q", got, payload)
+	}
+	PutBuf(got)
+}
+
+func TestReadFramePooledErrors(t *testing.T) {
+	if _, err := ReadFramePooled(bytes.NewReader([]byte{0x00, 0, 0, 0, 1, 'x'})); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("bad magic: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-2]
+	if _, err := ReadFramePooled(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+	if _, err := ReadFramePooled(bytes.NewReader(nil)); !errors.Is(err, io.EOF) {
+		t.Fatal("empty stream must yield EOF")
+	}
+}
+
+func TestEncodeVariantsAgree(t *testing.T) {
+	cases := []*Envelope{
+		{Kind: KindRequest, ID: 7, Target: "loid:1.2.3", Method: "get", Payload: []byte("hi")},
+		{Kind: KindError, ID: 9, Code: 404, ErrorMsg: "gone"},
+		{Kind: KindRequest, ID: 1, Target: "loid:1.2.3", Method: "m", TraceID: 42, SpanID: 7, Deadline: 1 << 40},
+	}
+	for _, ev := range cases {
+		want := ev.Encode()
+		if got := ev.AppendEncode(nil); !bytes.Equal(got, want) {
+			t.Fatalf("AppendEncode mismatch: %x vs %x", got, want)
+		}
+		pooled := ev.EncodePooled()
+		if !bytes.Equal(pooled, want) {
+			t.Fatalf("EncodePooled mismatch: %x vs %x", pooled, want)
+		}
+		PutBuf(pooled)
+		// AppendEncode really appends.
+		prefixed := ev.AppendEncode([]byte{0xEE})
+		if prefixed[0] != 0xEE || !bytes.Equal(prefixed[1:], want) {
+			t.Fatal("AppendEncode clobbered its prefix")
+		}
+	}
+}
+
+// TestEncodedSizeHintCoversMetadata is the regression test for the old size
+// hint, which ignored the metadata section and forced a mid-encode
+// reallocation on every traced or deadline-stamped request.
+func TestEncodedSizeHintCoversMetadata(t *testing.T) {
+	ev := &Envelope{
+		Kind: KindRequest, ID: 1<<64 - 1, Target: "loid:9.9.9", Method: "work",
+		Payload: bytes.Repeat([]byte("p"), 300),
+		TraceID: 1<<64 - 1, SpanID: 1<<64 - 1, Deadline: 1<<63 - 1,
+	}
+	hint := ev.EncodedSizeHint()
+	if n := len(ev.Encode()); n > hint {
+		t.Fatalf("encoded %d bytes exceeds hint %d (mid-encode realloc)", n, hint)
+	}
+	// Encoding into a hint-capacity buffer must not grow it.
+	buf := make([]byte, 0, hint)
+	out := ev.AppendEncode(buf)
+	if cap(out) != hint {
+		t.Fatalf("AppendEncode grew the buffer: cap %d -> %d", hint, cap(out))
+	}
+}
+
+// TestPoolConcurrentReuse hammers Get/Put from many goroutines under -race:
+// two goroutines must never observe the same buffer concurrently.
+func TestPoolConcurrentReuse(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				b := GetBuf(64 + g)
+				for j := range b {
+					b[j] = byte(g)
+				}
+				for j := range b {
+					if b[j] != byte(g) {
+						t.Errorf("buffer shared across goroutines: got %d want %d", b[j], g)
+						return
+					}
+				}
+				PutBuf(b)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
