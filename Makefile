@@ -65,12 +65,14 @@ test:
 race:
 	$(GO) test -race -short -shuffle=on ./...
 
-# One iteration of every benchmark plus the E9 overload experiment: proves
-# the bench harness still compiles and runs (and admission control still
-# sheds and screens deadlines) without paying for a full calibrated run.
+# One iteration of every benchmark plus the E9 overload experiment and a
+# short end-to-end rollout (E11 drives canary waves, an SLO rollback, and a
+# journal resume): proves the bench harness still compiles and runs (and
+# admission control still sheds and screens deadlines) without paying for a
+# full calibrated run.
 bench-smoke:
 	$(GO) test -run xxx -bench . -benchtime=1x .
-	$(GO) test -run 'TestRunE9' ./internal/harness/
+	$(GO) test -run 'TestRunE9|TestRunE11' ./internal/harness/
 
 bench:
 	$(GO) test -bench . -benchmem .
@@ -81,7 +83,7 @@ experiments:
 
 # Full experiment sweep with machine-readable export: the unit of the
 # BENCH_*.json perf trajectory (bump BENCH_JSON per PR).
-BENCH_JSON ?= BENCH_5.json
+BENCH_JSON ?= BENCH_6.json
 
 bench-json:
 	$(GO) run ./cmd/dcdo-bench -json $(BENCH_JSON)
@@ -96,8 +98,11 @@ fuzz-smoke:
 	$(GO) test -run xxx -fuzz FuzzLoadStore -fuzztime $(FUZZTIME) ./internal/manager/
 
 # Crash/partition drills under the race detector: the E8 chaos experiment
-# (manager killed mid-pass with a partitioned instance) plus the manager's
-# concurrency and recovery contracts.
+# (manager killed mid-pass with a partitioned instance), the E11 rollout
+# drill (SLO auto-rollback plus supervisor killed mid-wave and resumed),
+# the manager's concurrency and recovery contracts, and the supervisor's
+# pause/abort-vs-widening race.
 chaos:
-	$(GO) test -race -run 'TestRunE8' ./internal/harness/
+	$(GO) test -race -run 'TestRunE8|TestRunE11' ./internal/harness/
 	$(GO) test -race -run 'TestRecover|TestEvolveDropAdopt|TestConcurrentEvolveDropAdopt|TestCreateInstanceConcurrentDuplicate|TestFleetEvolution|TestProber' ./internal/manager/
+	$(GO) test -race -run 'TestRollout|TestSupervisor' ./internal/supervisor/

@@ -15,6 +15,8 @@
 //	dcdo-ctl -agent tcp:127.0.0.1:7400 setcurrent loid:0.2.1 1.1
 //	dcdo-ctl -agent tcp:127.0.0.1:7400 health loid:0.2.1
 //	dcdo-ctl -agent tcp:127.0.0.1:7400 recover loid:0.2.1
+//	dcdo-ctl -agent tcp:127.0.0.1:7400 rollout start 1.1 -canary 1 -waves 2,4 -slo-p99 5ms
+//	dcdo-ctl -agent tcp:127.0.0.1:7400 rollout status
 package main
 
 import (
@@ -35,6 +37,7 @@ import (
 	"godcdo/internal/naming"
 	"godcdo/internal/obs"
 	"godcdo/internal/rpc"
+	"godcdo/internal/supervisor"
 	"godcdo/internal/transport"
 	"godcdo/internal/vclock"
 	"godcdo/internal/version"
@@ -64,7 +67,7 @@ func run(args []string) error {
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return errors.New("missing command (invoke|interface|version|snapshot|enable|disable|evolve|ensure-current|records|setcurrent|health|recover|trace)")
+		return errors.New("missing command (invoke|interface|version|snapshot|enable|disable|evolve|ensure-current|records|setcurrent|health|recover|trace|rollout)")
 	}
 
 	dialer := transport.NewTCPDialer()
@@ -363,8 +366,141 @@ func run(args []string) error {
 		oc := &rpc.ObsClient{Dialer: dialer, Endpoint: *agentEndpoint, Timeout: *timeout}
 		return runTrace(ctx, oc, rest)
 
+	case "rollout":
+		rc := &supervisor.Client{Dialer: dialer, Endpoint: *agentEndpoint, Timeout: *timeout}
+		return runRollout(ctx, rc, rest)
+
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+// runRollout implements the `rollout` subcommand family against the rollout
+// supervisor of the node at -agent's endpoint:
+//
+//	rollout start <version> [flags]  submit a policy and begin the rollout
+//	rollout status                   show the active (or last) rollout
+//	rollout pause                    suspend widening (the wave in flight finishes)
+//	rollout resume                   continue a paused rollout
+//	rollout abort [reason]           stop and roll promoted instances back
+func runRollout(ctx context.Context, rc *supervisor.Client, rest []string) error {
+	if len(rest) == 0 {
+		return errors.New("usage: rollout start|status|pause|resume|abort")
+	}
+	sub, rest := rest[0], rest[1:]
+	switch sub {
+	case "start":
+		if len(rest) == 0 {
+			return errors.New("usage: rollout start <version> [flags]")
+		}
+		target, err := version.Parse(rest[0])
+		if err != nil {
+			return fmt.Errorf("target version: %w", err)
+		}
+		fs := flag.NewFlagSet("rollout start", flag.ContinueOnError)
+		name := fs.String("name", "", "rollout label for status output and events")
+		canary := fs.Int("canary", 1, "canary wave width")
+		waves := fs.String("waves", "", "comma-separated widths of the waves after the canary (empty: each wave doubles)")
+		bake := fs.Duration("bake", 0, "per-wave bake time under the SLO guard (0: supervisor default)")
+		probe := fs.Duration("probe", 0, "guard evaluation interval during a bake (0: bake/8)")
+		hist := fs.String("slo-histogram", "client.invoke", "registry histogram the p99 guard reads (empty: no latency guard)")
+		maxP99 := fs.Duration("slo-p99", 0, "p99 latency ceiling; a baking wave exceeding it rolls back (0: no latency guard)")
+		counters := fs.String("slo-counters", "", "registry counter set the error-rate guard reads (empty: no error guard)")
+		maxErrRate := fs.Float64("slo-error-rate", 0, "error-rate ceiling errors/calls (0: no error guard)")
+		minSamples := fs.Uint64("slo-min-samples", 0, "latency observations a window needs before p99 counts")
+		if err := fs.Parse(rest[1:]); err != nil {
+			return err
+		}
+		policy := supervisor.Policy{
+			Name:          *name,
+			Target:        target,
+			CanarySize:    *canary,
+			BakeTime:      *bake,
+			ProbeInterval: *probe,
+			SLO: supervisor.SLO{
+				LatencyHistogram: *hist,
+				MaxP99:           *maxP99,
+				ErrorCounters:    *counters,
+				MaxErrorRate:     *maxErrRate,
+				MinSamples:       *minSamples,
+			},
+		}
+		if *waves != "" {
+			for _, part := range strings.Split(*waves, ",") {
+				w, err := strconv.Atoi(strings.TrimSpace(part))
+				if err != nil {
+					return fmt.Errorf("wave width %q: %w", part, err)
+				}
+				policy.WaveWidths = append(policy.WaveWidths, w)
+			}
+		}
+		st, err := rc.Start(ctx, policy)
+		if err != nil {
+			return err
+		}
+		printRolloutStatus(st)
+		return nil
+
+	case "status":
+		st, err := rc.Status(ctx)
+		if err != nil {
+			return err
+		}
+		printRolloutStatus(st)
+		return nil
+
+	case "pause":
+		st, err := rc.Pause(ctx)
+		if err != nil {
+			return err
+		}
+		printRolloutStatus(st)
+		return nil
+
+	case "resume":
+		st, err := rc.Resume(ctx)
+		if err != nil {
+			return err
+		}
+		printRolloutStatus(st)
+		return nil
+
+	case "abort":
+		st, err := rc.Abort(ctx, strings.Join(rest, " "))
+		if err != nil {
+			return err
+		}
+		printRolloutStatus(st)
+		return nil
+
+	default:
+		return fmt.Errorf("unknown rollout subcommand %q (start|status|pause|resume|abort)", sub)
+	}
+}
+
+// printRolloutStatus renders a rollout Status for operators.
+func printRolloutStatus(st supervisor.Status) {
+	if st.Phase == "" {
+		fmt.Println("no rollout has run")
+		return
+	}
+	label := ""
+	if st.Policy != nil && st.Policy.Name != "" {
+		label = " " + st.Policy.Name
+	}
+	fmt.Printf("rollout %d%s: phase %s", st.Rollout, label, st.Phase)
+	if st.Paused {
+		fmt.Print(" (paused)")
+	}
+	fmt.Println()
+	fmt.Printf("  baseline %s -> target %s\n", st.Baseline, st.Target)
+	fmt.Printf("  waves %d, promoted %d instance(s)\n", st.Wave, len(st.Promoted))
+	if st.Verdict.Samples > 0 || st.Verdict.Calls > 0 {
+		fmt.Printf("  last window: p99 %v over %d sample(s), %d/%d errors (rate %.4f)\n",
+			st.Verdict.P99, st.Verdict.Samples, st.Verdict.Errors, st.Verdict.Calls, st.Verdict.ErrorRate)
+	}
+	if st.Err != "" {
+		fmt.Printf("  error: %s\n", st.Err)
 	}
 }
 

@@ -28,6 +28,7 @@ import (
 	"godcdo/internal/naming"
 	"godcdo/internal/obs"
 	"godcdo/internal/rpc"
+	"godcdo/internal/supervisor"
 	"godcdo/internal/transport"
 	"godcdo/internal/vault"
 	"godcdo/internal/vclock"
@@ -46,8 +47,9 @@ func run(args []string) error {
 	agentEndpoint := fs.String("agent", "", "endpoint of a remote binding agent (empty: serve one here)")
 	demoFlag := fs.Bool("demo", false, "host the demo pricing DCDO, its ICOs, and a manager")
 	name := fs.String("name", "node", "node display name")
-	obsHTTP := fs.String("obs-http", "", "HTTP listen address for /debug/obs (empty: no HTTP endpoint)")
+	obsHTTP := fs.String("obs-http", "", "HTTP listen address for /debug/obs and /debug/rollout (empty: no HTTP endpoint)")
 	journalDir := fs.String("journal-dir", "", "directory for the demo manager's durable evolution journal and store image (with -demo)")
+	supervise := fs.Bool("supervise", false, "run a rollout supervisor over the demo manager (with -demo); resumes an interrupted rollout from the journal")
 	maxInflight := fs.Int("max-inflight", 0, "max concurrent dispatches before requests queue (0 = unlimited)")
 	queueDepth := fs.Int("queue-depth", 0, "admission queue depth beyond max-inflight; excess requests are shed with OVERLOADED (with -max-inflight)")
 	transportStripes := fs.Int("transport-stripes", 0, "TCP connections per endpoint in the dialer, spread round-robin (0 = 1)")
@@ -74,14 +76,8 @@ func run(args []string) error {
 	}
 	fmt.Printf("obs service at %s as %s (dcdo-ctl -agent %s trace)\n",
 		node.Endpoint(), rpc.ObsLOID, node.Endpoint())
-	if *obsHTTP != "" {
-		httpAddr, err := startObsHTTP(*obsHTTP, node.Obs())
-		if err != nil {
-			return err
-		}
-		fmt.Printf("obs HTTP at http://%s/debug/obs\n", httpAddr)
-	}
 
+	var sup *supervisor.Supervisor
 	if *demoFlag {
 		dep, err := demo.Install(node)
 		if err != nil {
@@ -97,6 +93,40 @@ func run(args []string) error {
 		fmt.Printf("demo manager at %s (versions 1 instantiable+current, 1.1 instantiable)\n", demo.ManagerLOID)
 		fmt.Printf("try: dcdo-ctl -agent %s invoke %s price --uint 20\n", node.Endpoint(), demo.PricingLOID)
 		fmt.Printf("     dcdo-ctl -agent %s evolve %s %s 1.1\n", node.Endpoint(), demo.ManagerLOID, demo.PricingLOID)
+
+		if *supervise {
+			sup = &supervisor.Supervisor{
+				Mgr: dep.Manager,
+				Reg: node.Obs().GetMetrics(),
+				Hub: supervisor.NewHub(),
+			}
+			sup.Attach(node)
+			fmt.Printf("rollout supervisor at %s as %s (dcdo-ctl -agent %s rollout status)\n",
+				node.Endpoint(), rpc.RolloutLOID, node.Endpoint())
+			if *journalDir != "" {
+				resumed, err := sup.Resume(context.Background())
+				if err != nil {
+					return fmt.Errorf("resume rollout: %w", err)
+				}
+				if resumed {
+					st := sup.Status()
+					fmt.Printf("resumed interrupted rollout %d to %s (phase %s)\n", st.Rollout, st.Target, st.Phase)
+				}
+			}
+		}
+	} else if *supervise {
+		return fmt.Errorf("-supervise requires -demo (the supervisor drives the demo manager)")
+	}
+
+	if *obsHTTP != "" {
+		httpAddr, err := startObsHTTP(*obsHTTP, node.Obs(), sup)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("obs HTTP at http://%s/debug/obs\n", httpAddr)
+		if sup != nil {
+			fmt.Printf("rollout HTTP at http://%s/debug/rollout\n", httpAddr)
+		}
 	}
 
 	sig := make(chan os.Signal, 1)
@@ -186,14 +216,20 @@ func attachJournal(mgr *manager.Manager, dir string) error {
 	return nil
 }
 
-// startObsHTTP serves o's /debug/obs handler on addr, returning the bound
+// startObsHTTP serves o's /debug/obs handler — and, when a supervisor is
+// running, its /debug/rollout handler — on addr, returning the bound
 // address.
-func startObsHTTP(addr string, o *obs.Obs) (string, error) {
+func startObsHTTP(addr string, o *obs.Obs, sup *supervisor.Supervisor) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", fmt.Errorf("obs http: %w", err)
 	}
-	srv := &http.Server{Handler: o.Handler()}
+	mux := http.NewServeMux()
+	mux.Handle("/", o.Handler())
+	if sup != nil {
+		mux.Handle("/debug/rollout", sup.Handler())
+	}
+	srv := &http.Server{Handler: mux}
 	go func() { _ = srv.Serve(ln) }()
 	return ln.Addr().String(), nil
 }

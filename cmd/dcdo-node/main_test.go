@@ -166,7 +166,7 @@ func TestNodeObsServiceAndHTTP(t *testing.T) {
 	}
 
 	// And the /debug/obs HTTP endpoint serves the same snapshot as JSON.
-	httpAddr, err := startObsHTTP("127.0.0.1:0", node.Obs())
+	httpAddr, err := startObsHTTP("127.0.0.1:0", node.Obs(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}

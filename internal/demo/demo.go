@@ -1,7 +1,9 @@
 // Package demo assembles the demo deployment dcdo-node serves and tests
 // drive: a pricing DCDO (flat v1, bulk-discount v1.1), the ICOs holding its
-// two component revisions, and a single-version proactive manager with both
-// versions instantiable.
+// two component revisions, and a proactive manager with both versions
+// instantiable. The manager runs the multi-version increasing style so a
+// rollout supervisor can canary 1.1 beside instances still on 1
+// (single-version would deny any instance leaving the designated version).
 package demo
 
 import (
@@ -87,7 +89,7 @@ func Install(node *legion.Node) (*Deployment, error) {
 		Fetcher:  fetcher,
 	})
 
-	mgr := manager.New(evolution.SingleVersion, evolution.Proactive)
+	mgr := manager.New(evolution.MultiIncreasing, evolution.Proactive)
 	// Wire observability before any configuration so instance creation and
 	// version designation are captured too (HostObject would only wire from
 	// hosting time onward).

@@ -102,6 +102,7 @@ func RunAll() ([]*Report, error) {
 		{"E8", RunE8},
 		{"E9", RunE9},
 		{"E10", RunE10},
+		{"E11", RunE11},
 	}
 	reports := make([]*Report, 0, len(runners))
 	for _, r := range runners {

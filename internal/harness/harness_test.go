@@ -112,6 +112,14 @@ func TestRunE10(t *testing.T) {
 	requirePassed(t, rep)
 }
 
+func TestRunE11(t *testing.T) {
+	rep, err := RunE11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requirePassed(t, rep)
+}
+
 func TestRunAllOrderAndPass(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full experiment suite")
@@ -120,10 +128,10 @@ func TestRunAllOrderAndPass(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(reports) != 10 {
-		t.Fatalf("reports = %d, want 10", len(reports))
+	if len(reports) != 11 {
+		t.Fatalf("reports = %d, want 11", len(reports))
 	}
-	wantIDs := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"}
+	wantIDs := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11"}
 	for i, rep := range reports {
 		if rep.ID != wantIDs[i] {
 			t.Errorf("report %d = %s, want %s", i, rep.ID, wantIDs[i])

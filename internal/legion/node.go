@@ -241,6 +241,20 @@ func (n *Node) HostObject(loid naming.LOID, obj rpc.Object) (naming.Address, err
 	return addr, nil
 }
 
+// HostInfraService hosts an infrastructure service at a well-known LOID on
+// the node's dispatcher only — never registered with the binding agent,
+// mirroring how the health and obs services are reached: callers address
+// the node by endpoint, not by binding lookup. The object picks up the
+// node's observability handle when it is Configurable.
+func (n *Node) HostInfraService(loid naming.LOID, obj rpc.Object) {
+	if n.obs != nil {
+		if c, ok := obj.(obs.Configurable); ok {
+			c.SetObs(n.obs)
+		}
+	}
+	n.disp.Host(loid, obj)
+}
+
 // EvictObject deactivates loid on this node. When deregister is set the
 // binding agent forgets the object entirely (destruction); otherwise the
 // binding is left stale (crash / pre-migration), which is what clients then

@@ -44,7 +44,7 @@ type FleetReport struct {
 // the pass between instances — never mid-instance — leaving the journal
 // open for Recover to resume, exactly as a crash would.
 func (m *Manager) EvolveFleet(ctx context.Context, v version.ID) (FleetReport, error) {
-	return m.evolveFleet(ctx, v, -1)
+	return m.evolveFleet(ctx, v, -1, nil)
 }
 
 // EvolveFleetPartial is EvolveFleet with a crash point: the pass is
@@ -52,16 +52,43 @@ func (m *Manager) EvolveFleet(ctx context.Context, v version.ID) (FleetReport, e
 // successful applications. It exists so tests and the chaos harness can
 // simulate a manager dying mid-pass; production callers want EvolveFleet.
 func (m *Manager) EvolveFleetPartial(ctx context.Context, v version.ID, maxApplies int) (FleetReport, error) {
-	return m.evolveFleet(ctx, v, maxApplies)
+	return m.evolveFleet(ctx, v, maxApplies, nil)
 }
 
-func (m *Manager) evolveFleet(ctx context.Context, v version.ID, maxApplies int) (FleetReport, error) {
+// EvolveFleetSubset evolves only the given instances to v, as one journalled
+// pass. This is the rollout supervisor's wave primitive: the journal pass
+// plans exactly the subset, so a crash mid-wave makes Recover finish the
+// wave — and only the wave — rather than pushing the whole fleet to the
+// target behind the SLO guard's back. Quarantined and unknown LOIDs in the
+// subset are skipped.
+func (m *Manager) EvolveFleetSubset(ctx context.Context, v version.ID, subset []naming.LOID) (FleetReport, error) {
+	return m.evolveFleet(ctx, v, -1, subset)
+}
+
+// EvolveFleetSubsetPartial is EvolveFleetSubset with EvolveFleetPartial's
+// crash point, for chaos tests that kill a supervisor mid-wave.
+func (m *Manager) EvolveFleetSubsetPartial(ctx context.Context, v version.ID, subset []naming.LOID, maxApplies int) (FleetReport, error) {
+	return m.evolveFleet(ctx, v, maxApplies, subset)
+}
+
+func (m *Manager) evolveFleet(ctx context.Context, v version.ID, maxApplies int, only []naming.LOID) (FleetReport, error) {
 	m.mu.Lock()
 	j := m.journal
-	planned := make([]naming.LOID, 0, len(m.records))
-	for loid := range m.records {
-		if _, q := m.quarantined[loid]; !q {
-			planned = append(planned, loid)
+	var planned []naming.LOID
+	if only != nil {
+		planned = make([]naming.LOID, 0, len(only))
+		for _, loid := range only {
+			_, q := m.quarantined[loid]
+			if m.records[loid] != nil && !q {
+				planned = append(planned, loid)
+			}
+		}
+	} else {
+		planned = make([]naming.LOID, 0, len(m.records))
+		for loid := range m.records {
+			if _, q := m.quarantined[loid]; !q {
+				planned = append(planned, loid)
+			}
 		}
 	}
 	m.mu.Unlock()

@@ -71,6 +71,22 @@ const (
 	// OpDone closes a pass; a begin without a matching done is an
 	// interrupted evolution.
 	OpDone
+	// OpRolloutStart opens a supervised rollout: Target is the rollout's
+	// target version, From the baseline to roll back to, and Reason carries
+	// the serialised policy so a restarted supervisor can resume with the
+	// same SLO guard and wave plan. Pass is the rollout identifier (drawn
+	// from the same sequence as evolution passes).
+	OpRolloutStart
+	// OpRolloutWave records that one wave of instances (Planned) finished
+	// baking healthy and was promoted.
+	OpRolloutWave
+	// OpRolloutRollback records the supervisor's decision to abandon the
+	// target and return promoted instances to the baseline (Reason says why).
+	OpRolloutRollback
+	// OpRolloutDone closes a rollout; Reason is its terminal disposition
+	// ("completed", "rolled-back", or "aborted"). A rollout start without a
+	// matching done is an interrupted rollout the supervisor resumes.
+	OpRolloutDone
 )
 
 // String implements fmt.Stringer.
@@ -88,6 +104,14 @@ func (op JournalOp) String() string {
 		return "skipped"
 	case OpDone:
 		return "done"
+	case OpRolloutStart:
+		return "rollout-start"
+	case OpRolloutWave:
+		return "rollout-wave"
+	case OpRolloutRollback:
+		return "rollout-rollback"
+	case OpRolloutDone:
+		return "rollout-done"
 	default:
 		return fmt.Sprintf("op(%d)", int(op))
 	}
@@ -98,12 +122,12 @@ func (op JournalOp) String() string {
 type JournalRecord struct {
 	Op      JournalOp
 	Pass    uint64
-	Target  version.ID    // OpCurrent, OpBegin
-	Planned []naming.LOID // OpBegin
+	Target  version.ID    // OpCurrent, OpBegin, OpRolloutStart
+	Planned []naming.LOID // OpBegin, OpRolloutWave
 	LOID    naming.LOID   // OpIntent, OpApplied, OpSkipped
-	From    version.ID    // OpIntent
+	From    version.ID    // OpIntent, OpRolloutStart (baseline)
 	To      version.ID    // OpIntent, OpApplied
-	Reason  string        // OpSkipped
+	Reason  string        // OpSkipped, OpBegin (pass kind), rollout records
 }
 
 // encode serialises the record payload (without the frame).
@@ -219,6 +243,15 @@ type Journal struct {
 // records to continue the pass-identifier sequence. A torn final record from
 // an earlier crash is tolerated.
 func OpenJournal(path string) (*Journal, error) {
+	// A compaction that crashed between writing its temp file and the rename
+	// strands a ".durable-*" file beside the journal. It must never be
+	// adopted (its contents may be a torn half-image) and nothing else will
+	// clean it, so sweep the directory before reading. Open runs before any
+	// concurrent compaction can be in flight, so the sweep cannot race a
+	// live WriteDurable.
+	if _, err := vault.RemoveOrphanedTemps(filepath.Dir(path)); err != nil {
+		return nil, fmt.Errorf("manager: open journal %q: %w", path, err)
+	}
 	recs, err := ReadJournal(path)
 	if err != nil {
 		return nil, err
@@ -293,6 +326,21 @@ func (j *Journal) appendLocked(r JournalRecord) error {
 // the target version and the instances the pass plans to evolve. Nil-safe
 // (returns pass 0).
 func (j *Journal) BeginPass(target version.ID, planned []naming.LOID) (uint64, error) {
+	return j.beginPass(OpBegin, target, planned, "")
+}
+
+// BeginRollbackPass is BeginPass for a rollback: the begin record's Reason
+// marks the pass as style-exempt, so a recovery that resumes it applies the
+// target descriptor directly instead of re-running the style check (which a
+// forward-only style would veto — exactly as live rollback does).
+func (j *Journal) BeginRollbackPass(target version.ID, planned []naming.LOID) (uint64, error) {
+	return j.beginPass(OpBegin, target, planned, passReasonRollback)
+}
+
+// passReasonRollback on an OpBegin record marks a style-exempt rollback pass.
+const passReasonRollback = "rollback"
+
+func (j *Journal) beginPass(op JournalOp, target version.ID, planned []naming.LOID, reason string) (uint64, error) {
 	if j == nil {
 		return 0, nil
 	}
@@ -300,7 +348,7 @@ func (j *Journal) BeginPass(target version.ID, planned []naming.LOID) (uint64, e
 	defer j.mu.Unlock()
 	pass := j.nextPass
 	j.nextPass++
-	err := j.appendLocked(JournalRecord{Op: OpBegin, Pass: pass, Target: target.Clone(), Planned: planned})
+	err := j.appendLocked(JournalRecord{Op: op, Pass: pass, Target: target.Clone(), Planned: planned, Reason: reason})
 	if err != nil {
 		return 0, err
 	}
@@ -326,6 +374,46 @@ func (j *Journal) Skipped(pass uint64, loid naming.LOID, reason string) error {
 // Done closes the pass. Nil-safe.
 func (j *Journal) Done(pass uint64) error {
 	return j.Append(JournalRecord{Op: OpDone, Pass: pass})
+}
+
+// RolloutStart allocates a rollout identifier and durably records the
+// rollout's target, baseline, and serialised policy. Nil-safe (returns 0).
+func (j *Journal) RolloutStart(target, baseline version.ID, policy string) (uint64, error) {
+	if j == nil {
+		return 0, nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	id := j.nextPass
+	j.nextPass++
+	err := j.appendLocked(JournalRecord{
+		Op:     OpRolloutStart,
+		Pass:   id,
+		Target: target.Clone(),
+		From:   baseline.Clone(),
+		Reason: policy,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// RolloutWave records that the given instances baked healthy and were
+// promoted under the rollout. Nil-safe.
+func (j *Journal) RolloutWave(rollout uint64, promoted []naming.LOID) error {
+	return j.Append(JournalRecord{Op: OpRolloutWave, Pass: rollout, Planned: promoted})
+}
+
+// RolloutRollback records the supervisor's decision to roll the rollout
+// back. Nil-safe.
+func (j *Journal) RolloutRollback(rollout uint64, reason string) error {
+	return j.Append(JournalRecord{Op: OpRolloutRollback, Pass: rollout, Reason: reason})
+}
+
+// RolloutDone closes the rollout with its terminal disposition. Nil-safe.
+func (j *Journal) RolloutDone(rollout uint64, disposition string) error {
+	return j.Append(JournalRecord{Op: OpRolloutDone, Pass: rollout, Reason: disposition})
 }
 
 // Current records a current-version designation. Nil-safe.

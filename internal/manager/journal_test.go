@@ -104,6 +104,71 @@ func TestJournalPassSequenceSurvivesReopen(t *testing.T) {
 	}
 }
 
+// TestJournalOpenSweepsOrphanedTemps simulates a compaction crash: the temp
+// image was written and fsynced but the rename never happened, leaving a
+// ".durable-*" file beside the journal. Reopening must remove the orphan
+// (never adopt it) and read the original journal intact.
+func TestJournalOpenSweepsOrphanedTemps(t *testing.T) {
+	path := journalPath(t)
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	if err := j.Current(v(1)); err != nil {
+		t.Fatalf("Current: %v", err)
+	}
+	pass, _ := j.BeginPass(v(1, 1), nil)
+	if err := j.Done(pass); err != nil {
+		t.Fatalf("Done: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// The crashed compaction's would-be image: a valid journal holding only
+	// a different designation, abandoned pre-rename. If open adopted it, the
+	// pass history (and the real designation) would silently vanish.
+	dir := filepath.Dir(path)
+	orphan := frameRecord(JournalRecord{Op: OpCurrent, Target: v(9)}.encode())
+	for i := 0; i < 2; i++ {
+		tmp, err := os.CreateTemp(dir, ".durable-*")
+		if err != nil {
+			t.Fatalf("create orphan: %v", err)
+		}
+		if _, err := tmp.Write(orphan); err != nil {
+			t.Fatalf("write orphan: %v", err)
+		}
+		if err := tmp.Close(); err != nil {
+			t.Fatalf("close orphan: %v", err)
+		}
+	}
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer j2.Close()
+	recs, err := j2.Records()
+	if err != nil {
+		t.Fatalf("Records: %v", err)
+	}
+	if len(recs) != 3 || recs[0].Op != OpCurrent || !recs[0].Target.Equal(v(1)) {
+		t.Fatalf("journal after sweep = %+v, want the original 3 records", recs)
+	}
+	leftovers, err := filepath.Glob(filepath.Join(dir, ".durable-*"))
+	if err != nil {
+		t.Fatalf("glob: %v", err)
+	}
+	if len(leftovers) != 0 {
+		t.Fatalf("orphaned temp files survived open: %v", leftovers)
+	}
+	// The sweep must not disturb a working journal: the next compaction's
+	// own temp-and-rename still succeeds.
+	if err := j2.Compact(recs[:1]); err != nil {
+		t.Fatalf("Compact after sweep: %v", err)
+	}
+}
+
 func TestJournalToleratesTornTail(t *testing.T) {
 	path := journalPath(t)
 	j, err := OpenJournal(path)

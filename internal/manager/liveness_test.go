@@ -176,6 +176,71 @@ func TestFleetEvolutionQuarantinesPartitionedInstance(t *testing.T) {
 	}
 }
 
+// TestProberPrunesDroppedInstanceState is the regression test for the
+// probe-state leak: state for a dropped LOID must disappear on the next
+// sweep, and a re-created instance under the same LOID must start with a
+// clean failure count rather than inheriting the old incarnation's backoff.
+func TestProberPrunesDroppedInstanceState(t *testing.T) {
+	f := newFixture(t)
+	m := f.newManager(t, evolution.MultiIncreasing, evolution.Explicit)
+	loid := naming.LOID{Domain: 9, Class: 3, Instance: 7}
+	dead := &flakyInstance{loid: loid, ver: v(1)}
+	dead.down.Store(true)
+	if err := m.AdoptUnverified(dead, registry.NativeImplType, v(1), "down"); err != nil {
+		t.Fatalf("adopt unverified: %v", err)
+	}
+
+	clk := vclock.NewVirtual(time.Unix(0, 0))
+	// Threshold 2: one failure accumulates state without quarantining, so
+	// inherited state would visibly mis-quarantine a fresh instance.
+	p := &Prober{Mgr: m, Clock: clk, FailureThreshold: 2, BaseBackoff: 10 * time.Millisecond}
+	if _, err := p.Sweep(context.Background()); err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	p.mu.Lock()
+	_, tracked := p.state[loid]
+	p.mu.Unlock()
+	if !tracked {
+		t.Fatal("failing instance has no probe state after sweep")
+	}
+
+	// Drop the instance; the next sweep must prune its state even though the
+	// LOID never gets probed again.
+	m.Drop(loid)
+	clk.Advance(time.Minute)
+	if _, err := p.Sweep(context.Background()); err != nil {
+		t.Fatalf("sweep after drop: %v", err)
+	}
+	p.mu.Lock()
+	leaked := len(p.state)
+	p.mu.Unlock()
+	if leaked != 0 {
+		t.Fatalf("probe state leaked for %d dropped LOIDs", leaked)
+	}
+
+	// Re-create the LOID as a healthy instance: one failure of the *old*
+	// incarnation must not count against the new one, so a single transient
+	// failure now stays below the threshold.
+	fresh := &flakyInstance{loid: loid, ver: v(1)}
+	fresh.down.Store(true)
+	if err := m.AdoptUnverified(fresh, registry.NativeImplType, v(1), "fresh"); err != nil {
+		t.Fatalf("re-adopt: %v", err)
+	}
+	rep, err := p.Sweep(context.Background())
+	if err != nil {
+		t.Fatalf("sweep of fresh instance: %v", err)
+	}
+	if len(rep.Quarantined) != 0 {
+		t.Fatalf("fresh instance crossed the quarantine threshold on first failure: inherited stale probe state (report %+v)", rep)
+	}
+	p.mu.Lock()
+	st := p.state[loid]
+	p.mu.Unlock()
+	if st == nil || st.failures != 1 {
+		t.Fatalf("fresh instance probe state = %+v, want exactly 1 failure", st)
+	}
+}
+
 // TestProberBackoffDefersProbes pins the backoff contract: consecutive
 // failures stretch the window between probes of a dead instance.
 func TestProberBackoffDefersProbes(t *testing.T) {

@@ -240,6 +240,79 @@ func (m *Manager) EvolveInstance(ctx context.Context, loid naming.LOID, v versio
 	return evErr
 }
 
+// RollbackInstance forces one managed DCDO back to version v without
+// consulting the evolution style. Styles encode *forward* discipline
+// (multi-increasing only ever admits descendants), which is exactly wrong
+// for an operational retreat: when a canary trips its SLO the supervisor
+// must return it to the baseline the style would veto. The move is still a
+// journalled single-instance pass — begun with the rollback reason, so a
+// crash mid-retreat resumes as a rollback too — and still requires v to be
+// instantiable in the store.
+func (m *Manager) RollbackInstance(ctx context.Context, loid naming.LOID, v version.ID) error {
+	j := m.Journal()
+	pass, err := j.BeginRollbackPass(v, []naming.LOID{loid})
+	if err != nil {
+		return err
+	}
+	rbErr := m.rollbackOne(ctx, pass, loid, v)
+	if err := j.Done(pass); err != nil && rbErr == nil {
+		rbErr = err
+	}
+	return rbErr
+}
+
+// rollbackOne is evolveOne minus the style check: descriptor fetched,
+// intent journalled, descriptor applied, table row pinned.
+func (m *Manager) rollbackOne(ctx context.Context, pass uint64, loid naming.LOID, v version.ID) error {
+	m.mu.Lock()
+	inst, ok := m.instances[loid]
+	rec := m.records[loid]
+	var from version.ID
+	if rec != nil {
+		from = rec.Version.Clone()
+	}
+	j := m.journal
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownInstance, loid)
+	}
+
+	var sp *obs.Span
+	if tr := m.tracer(); tr != nil {
+		sp = tr.StartSpan(obs.StageMgrEvolve, obs.SpanContext{})
+		sp.Annotate("object", loid.String())
+		sp.Annotate("from", from.String())
+		sp.Annotate("to", v.String())
+		sp.Annotate("rollback", "true")
+	}
+	err := func() error {
+		desc, err := m.store.InstantiableDescriptor(v)
+		if err != nil {
+			return err
+		}
+		if err := j.Intent(pass, loid, from, v); err != nil {
+			return err
+		}
+		if _, err := applyInstance(ctx, sp, inst, desc, v); err != nil {
+			return fmt.Errorf("rollback %s to %s: %w", loid, v, err)
+		}
+		m.mu.Lock()
+		if cur, ok := m.records[loid]; ok && cur == rec {
+			cur.Version = v.Clone()
+		}
+		m.mu.Unlock()
+		return j.Applied(pass, loid, v)
+	}()
+	if sp != nil {
+		sp.Fail(err)
+		sp.Finish()
+	}
+	if err == nil {
+		m.event("rolled-back", loid, v, "from="+from.String())
+	}
+	return err
+}
+
 // evolveOne evolves one instance under an already-open journal pass: intent
 // is durably recorded before the instance is touched, success after it is
 // verified applied.
@@ -282,6 +355,13 @@ func (m *Manager) evolveOne(ctx context.Context, pass uint64, loid naming.LOID, 
 // raced with Drop (and possibly a re-Adopt) cannot resurrect a stale
 // version onto a new record.
 func (m *Manager) evolveInstance(ctx context.Context, sp *obs.Span, j *Journal, pass uint64, inst Instance, rec *Record, loid naming.LOID, from, current version.ID, v version.ID) error {
+	// An instance already at the target has nothing to evolve: succeed
+	// without consulting the style (whose rules govern *transitions* — the
+	// increasing style, for one, deliberately rejects the degenerate
+	// self-edge) and without re-applying the descriptor.
+	if !from.IsZero() && from.Equal(v) {
+		return nil
+	}
 	input := evolution.TransitionInput{
 		From:           from,
 		To:             v,

@@ -106,7 +106,9 @@ func (p *Prober) Sweep(ctx context.Context) (SweepReport, error) {
 		sp = tr.StartSpan(obs.StageMgrProbe, obs.SpanContext{})
 	}
 
-	for _, loid := range p.Mgr.InstanceLOIDs() {
+	loids := p.Mgr.InstanceLOIDs()
+	p.prune(loids)
+	for _, loid := range loids {
 		if ctx.Err() != nil {
 			break // sweep cut short; the next interval picks up the rest
 		}
@@ -204,6 +206,28 @@ func (p *Prober) recordFailure(loid naming.LOID, now time.Time) bool {
 	}
 	st.nextProbe = now.Add(st.backoff)
 	return st.failures == p.threshold()
+}
+
+// prune drops probe state for LOIDs no longer managed. Without it the map
+// grows without bound on a long-lived manager as instances are dropped or
+// migrated away, and — worse — a LOID re-created later would inherit the old
+// incarnation's consecutive-failure count and backoff window, so its first
+// transient hiccup could quarantine it immediately.
+func (p *Prober) prune(fleet []naming.LOID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.state) == 0 {
+		return
+	}
+	live := make(map[naming.LOID]struct{}, len(fleet))
+	for _, loid := range fleet {
+		live[loid] = struct{}{}
+	}
+	for loid := range p.state {
+		if _, ok := live[loid]; !ok {
+			delete(p.state, loid)
+		}
+	}
 }
 
 // recordSuccess clears loid's failure state.

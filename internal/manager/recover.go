@@ -46,6 +46,7 @@ type RecoveryReport struct {
 type passState struct {
 	pass    uint64
 	target  version.ID
+	reason  string // OpBegin reason; passReasonRollback marks style-exempt
 	planned []naming.LOID
 	intents map[naming.LOID]JournalRecord // latest intent per instance
 	applied map[naming.LOID]bool
@@ -114,14 +115,31 @@ func (m *Manager) recover(ctx context.Context, sp *obs.Span, j *Journal, recs []
 	var lastCurrent version.ID
 	passes := make(map[uint64]*passState)
 	var order []uint64
+	// Rollout records belong to the supervisor, not the manager: recovery
+	// finishes the manager's evolution passes but must carry any rollout
+	// still open (start without done) through its compaction so a restarted
+	// supervisor can resume it.
+	rolloutRecs := make(map[uint64][]JournalRecord)
+	rolloutDone := make(map[uint64]bool)
+	var rolloutOrder []uint64
 	for _, r := range recs {
 		switch r.Op {
 		case OpCurrent:
 			lastCurrent = r.Target
+		case OpRolloutStart:
+			if _, seen := rolloutRecs[r.Pass]; !seen {
+				rolloutOrder = append(rolloutOrder, r.Pass)
+			}
+			rolloutRecs[r.Pass] = append(rolloutRecs[r.Pass], r)
+		case OpRolloutWave, OpRolloutRollback:
+			rolloutRecs[r.Pass] = append(rolloutRecs[r.Pass], r)
+		case OpRolloutDone:
+			rolloutDone[r.Pass] = true
 		case OpBegin:
 			passes[r.Pass] = &passState{
 				pass:    r.Pass,
 				target:  r.Target,
+				reason:  r.Reason,
 				planned: r.Planned,
 				intents: make(map[naming.LOID]JournalRecord),
 				applied: make(map[naming.LOID]bool),
@@ -175,10 +193,16 @@ func (m *Manager) recover(ctx context.Context, sp *obs.Span, j *Journal, recs []
 	}
 
 	// Every pass is now closed; shrink the journal to just the designation
-	// a future restart needs.
+	// a future restart needs — plus any open rollout's records, which the
+	// supervisor (not this recovery) will close.
 	var keep []JournalRecord
 	if !report.Current.IsZero() {
 		keep = append(keep, JournalRecord{Op: OpCurrent, Target: report.Current})
+	}
+	for _, id := range rolloutOrder {
+		if !rolloutDone[id] {
+			keep = append(keep, rolloutRecs[id]...)
+		}
 	}
 	if err := j.Compact(keep); err != nil {
 		errs = append(errs, err)
@@ -214,7 +238,7 @@ func (m *Manager) resumePass(ctx context.Context, sp *obs.Span, j *Journal, p *p
 			report.Verified = append(report.Verified, loid)
 			continue
 		}
-		switch err := m.evolveOne(ctx, p.pass, loid, p.target); {
+		switch err := m.resumeOne(ctx, sp, j, p, loid); {
 		case err == nil:
 			m.UnquarantineInstance(loid)
 			report.Resumed = append(report.Resumed, loid)
@@ -224,6 +248,41 @@ func (m *Manager) resumePass(ctx context.Context, sp *obs.Span, j *Journal, p *p
 			*errs = append(*errs, fmt.Errorf("resume %s: %w", loid, err))
 		}
 	}
+}
+
+// resumeOne pushes one instance to an interrupted pass's target. A normal
+// pass goes through evolveOne, which re-runs the style check; a rollback
+// pass (begin reason passReasonRollback) applies the target descriptor
+// directly — the forward-only style vetoed the transition when the rollback
+// was decided live, so it must not be consulted again on resume.
+func (m *Manager) resumeOne(ctx context.Context, sp *obs.Span, j *Journal, p *passState, loid naming.LOID) error {
+	if p.reason != passReasonRollback {
+		return m.evolveOne(ctx, p.pass, loid, p.target)
+	}
+	inst := m.instanceOf(loid)
+	if inst == nil {
+		return fmt.Errorf("%w: %s", ErrUnknownInstance, loid)
+	}
+	desc, err := m.store.InstantiableDescriptor(p.target)
+	if err != nil {
+		return err
+	}
+	rec, err := m.RecordOf(loid)
+	if err != nil {
+		return err
+	}
+	if err := j.Intent(p.pass, loid, rec.Version, p.target); err != nil {
+		return err
+	}
+	if _, err := applyInstance(ctx, sp, inst, desc, p.target); err != nil {
+		return err
+	}
+	m.syncRecord(loid, p.target)
+	if err := j.Applied(p.pass, loid, p.target); err != nil {
+		return err
+	}
+	m.event("rolled-back", loid, p.target, "resumed rollback pass")
+	return nil
 }
 
 // rollbackPass undoes an interrupted pass whose target the loaded store no

@@ -22,6 +22,7 @@ type Histogram struct {
 	name    string
 	count   atomic.Uint64
 	sum     atomic.Int64
+	max     atomic.Int64
 	buckets [histBuckets]atomic.Uint64
 }
 
@@ -43,6 +44,17 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.buckets[idx].Add(1)
 	h.count.Add(1)
 	h.sum.Add(int64(d))
+	// Track the true observed maximum so quantile estimates can be clamped
+	// to it: a log-scale bucket's upper bound can sit almost 2x above the
+	// largest value actually recorded, and an SLO guard must not trip on
+	// that phantom tail. Steady state is one load; the CAS only retries
+	// while a new maximum is being set.
+	for {
+		cur := h.max.Load()
+		if int64(d) <= cur || h.max.CompareAndSwap(cur, int64(d)) {
+			break
+		}
+	}
 }
 
 // Count returns the number of observations.
@@ -60,16 +72,18 @@ func (h *Histogram) Mean() time.Duration {
 	return time.Duration(h.sum.Load() / int64(n))
 }
 
+// Max returns the largest duration observed so far (zero for an empty
+// histogram or one that has only seen zero/negative durations).
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max.Load()) }
+
 // Quantile estimates the q-quantile (q in [0,1]) of the observed
 // distribution. An empty histogram reports zero. The estimate interpolates
-// linearly inside the containing bucket.
+// linearly inside the containing bucket and is clamped to the recorded
+// maximum, so it never exceeds a value that was actually observed —
+// without the clamp a log-scale bucket's upper bound could report tail
+// latency nearly 2x above the true maximum. Quantile(1) is exact: it
+// returns the recorded maximum itself.
 func (h *Histogram) Quantile(q float64) time.Duration {
-	if q < 0 {
-		q = 0
-	}
-	if q > 1 {
-		q = 1
-	}
 	// Snapshot bucket counts first; concurrent Observes may skew count vs
 	// buckets slightly, so derive the total from the snapshot itself.
 	var counts [histBuckets]uint64
@@ -78,9 +92,28 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 		counts[i] = h.buckets[i].Load()
 		total += counts[i]
 	}
+	return quantileOverCounts(&counts, total, q, h.Max())
+}
+
+// quantileOverCounts is the shared estimator behind Quantile and
+// QuantileBetween: linear interpolation inside the containing bucket,
+// clamped to max (the true observed ceiling) when max is positive.
+func quantileOverCounts(counts *[histBuckets]uint64, total uint64, q float64, max time.Duration) time.Duration {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
 	if total == 0 {
 		return 0
 	}
+	if q == 1 && max > 0 {
+		// The top quantile is the maximum by definition; the recorded max is
+		// exact where bucket interpolation is not.
+		return max
+	}
+	est := time.Duration(-1)
 	rank := q * float64(total-1)
 	var cum float64
 	for i, c := range counts {
@@ -90,19 +123,73 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 		if rank < cum+float64(c) {
 			lo, hi := bucketBounds(i)
 			frac := (rank - cum) / float64(c)
-			return lo + time.Duration(frac*float64(hi-lo))
+			est = lo + time.Duration(frac*float64(hi-lo))
+			break
 		}
 		cum += float64(c)
 	}
-	// Rank fell past the last populated bucket (rounding); return its upper
-	// bound.
-	for i := histBuckets - 1; i >= 0; i-- {
-		if counts[i] > 0 {
-			_, hi := bucketBounds(i)
-			return hi
+	if est < 0 {
+		// Rank fell past the last populated bucket (rounding); fall back to
+		// its upper bound before clamping.
+		for i := histBuckets - 1; i >= 0; i-- {
+			if counts[i] > 0 {
+				_, est = bucketBounds(i)
+				break
+			}
+		}
+		if est < 0 {
+			return 0
 		}
 	}
-	return 0
+	if max > 0 && est > max {
+		est = max
+	}
+	return est
+}
+
+// HistogramCounts is a raw snapshot of a histogram's counters, suitable for
+// delta arithmetic: a sliding-window consumer keeps the previous snapshot and
+// evaluates quantiles over the difference via QuantileBetween.
+type HistogramCounts struct {
+	Count   uint64
+	SumNs   int64
+	MaxNs   int64
+	Buckets [histBuckets]uint64
+}
+
+// Counts captures the histogram's raw counters. Concurrent Observes may skew
+// Count against the bucket array by in-flight observations; windowed
+// consumers should derive totals from the buckets themselves (QuantileBetween
+// does).
+func (h *Histogram) Counts() HistogramCounts {
+	var c HistogramCounts
+	c.Count = h.count.Load()
+	c.SumNs = h.sum.Load()
+	c.MaxNs = h.max.Load()
+	for i := range h.buckets {
+		c.Buckets[i] = h.buckets[i].Load()
+	}
+	return c
+}
+
+// QuantileBetween estimates the q-quantile of the observations recorded
+// between two snapshots of the same histogram (prev taken before cur). It is
+// the primitive behind sliding-window SLO evaluation: quantiles over only
+// the last window's traffic, not the process lifetime. The estimate is
+// clamped to cur's recorded maximum — the max is lifetime-wide, so the clamp
+// is conservative (never under-reports the window's tail). Returns the
+// window's observation count alongside the estimate; a zero count means no
+// traffic landed in the window and the estimate is zero.
+func QuantileBetween(prev, cur HistogramCounts, q float64) (time.Duration, uint64) {
+	var delta [histBuckets]uint64
+	var total uint64
+	for i := range delta {
+		if cur.Buckets[i] > prev.Buckets[i] {
+			delta[i] = cur.Buckets[i] - prev.Buckets[i]
+			total += delta[i]
+		}
+	}
+	return quantileOverCounts(&delta, total, q, time.Duration(cur.MaxNs)), total
 }
 
 // bucketBounds returns the [lo, hi) duration range of bucket i.
@@ -126,6 +213,7 @@ type HistogramSnapshot struct {
 	P50Ns int64  `json:"p50_ns"`
 	P95Ns int64  `json:"p95_ns"`
 	P99Ns int64  `json:"p99_ns"`
+	MaxNs int64  `json:"max_ns"`
 }
 
 // Snapshot summarises the histogram's current state.
@@ -136,5 +224,6 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		P50Ns: int64(h.Quantile(0.50)),
 		P95Ns: int64(h.Quantile(0.95)),
 		P99Ns: int64(h.Quantile(0.99)),
+		MaxNs: h.max.Load(),
 	}
 }

@@ -202,6 +202,148 @@ func TestSampleQuantileCachedSort(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantileClampedToMax(t *testing.T) {
+	// A single observation of 100µs lands in bucket [65536ns, 131072ns).
+	// Before the max clamp, Quantile(1) interpolated to the bucket's lower
+	// bound and intermediate quantiles could exceed the true maximum; now
+	// every quantile of a single-observation histogram is exactly the
+	// observed value.
+	tests := []struct {
+		name string
+		obs  []time.Duration
+		q    float64
+		want func(got time.Duration) bool
+		desc string
+	}{
+		{
+			name: "q0 single observation",
+			obs:  []time.Duration{100 * time.Microsecond},
+			q:    0,
+			want: func(got time.Duration) bool { return got >= 65536 && got <= 100*time.Microsecond },
+			desc: "within bucket and not above the observed value",
+		},
+		{
+			name: "q1 single observation is exact",
+			obs:  []time.Duration{100 * time.Microsecond},
+			q:    1,
+			want: func(got time.Duration) bool { return got == 100*time.Microsecond },
+			desc: "exactly the recorded max",
+		},
+		{
+			name: "q1 multiple observations is exact max",
+			obs:  []time.Duration{time.Microsecond, 3 * time.Microsecond, 90 * time.Microsecond},
+			q:    1,
+			want: func(got time.Duration) bool { return got == 90*time.Microsecond },
+			desc: "exactly the recorded max",
+		},
+		{
+			name: "single bucket never exceeds max",
+			obs: []time.Duration{
+				70 * time.Microsecond, 70 * time.Microsecond, 70 * time.Microsecond,
+				70 * time.Microsecond, 70 * time.Microsecond,
+			},
+			q:    0.99,
+			want: func(got time.Duration) bool { return got <= 70*time.Microsecond && got >= 65536 },
+			desc: "clamped to 70µs despite the bucket topping out at ~131µs",
+		},
+		{
+			name: "q between buckets stays under max",
+			obs:  []time.Duration{time.Microsecond, 100 * time.Microsecond},
+			q:    0.9,
+			want: func(got time.Duration) bool { return got <= 100*time.Microsecond },
+			desc: "upper-bucket interpolation clamped to the true max",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			h := NewHistogram(tt.name)
+			for _, d := range tt.obs {
+				h.Observe(d)
+			}
+			got := h.Quantile(tt.q)
+			if !tt.want(got) {
+				t.Fatalf("Quantile(%v) = %v, want %s", tt.q, got, tt.desc)
+			}
+		})
+	}
+}
+
+func TestHistogramMax(t *testing.T) {
+	h := NewHistogram("max")
+	if h.Max() != 0 {
+		t.Fatalf("empty Max = %v", h.Max())
+	}
+	h.Observe(5 * time.Millisecond)
+	h.Observe(time.Millisecond)
+	h.Observe(-time.Second)
+	if h.Max() != 5*time.Millisecond {
+		t.Fatalf("Max = %v, want 5ms", h.Max())
+	}
+	if h.Snapshot().MaxNs != int64(5*time.Millisecond) {
+		t.Fatalf("snapshot MaxNs = %d", h.Snapshot().MaxNs)
+	}
+}
+
+func TestHistogramQuantileSaturatingCounts(t *testing.T) {
+	// Bucket counts near uint64 saturation must not overflow the rank
+	// arithmetic (it is float-based); set the atomics directly since
+	// observing 2^63 times is not practical.
+	h := NewHistogram("sat")
+	h.buckets[10].Store(^uint64(0) / 2)
+	h.buckets[20].Store(^uint64(0) / 2)
+	h.count.Store(^uint64(0) - 1)
+	h.max.Store(int64(1) << 20)
+	for _, q := range []float64{0, 0.25, 0.75, 1} {
+		got := h.Quantile(q)
+		if got < 0 || got > time.Duration(int64(1)<<20) {
+			t.Fatalf("Quantile(%v) = %v, outside [0, max]", q, got)
+		}
+	}
+	if p25 := h.Quantile(0.25); p25 >= 1024 {
+		t.Fatalf("p25 = %v, want inside bucket 10 [512, 1024)", p25)
+	}
+}
+
+func TestQuantileBetween(t *testing.T) {
+	h := NewHistogram("win")
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Microsecond)
+	}
+	prev := h.Counts()
+	// The new window is all slow traffic; a lifetime quantile would still
+	// report ~1µs at p50, the windowed one must not.
+	for i := 0; i < 50; i++ {
+		h.Observe(2 * time.Millisecond)
+	}
+	cur := h.Counts()
+	p50, n := QuantileBetween(prev, cur, 0.5)
+	if n != 50 {
+		t.Fatalf("window count = %d, want 50", n)
+	}
+	if p50 < time.Millisecond || p50 > 2*time.Millisecond {
+		t.Fatalf("windowed p50 = %v, want ~2ms", p50)
+	}
+	if p100, _ := QuantileBetween(prev, cur, 1); p100 != 2*time.Millisecond {
+		t.Fatalf("windowed p100 = %v, want exactly 2ms", p100)
+	}
+	// An empty window reports zero samples and a zero estimate.
+	if q, n := QuantileBetween(cur, cur, 0.99); q != 0 || n != 0 {
+		t.Fatalf("empty window: q=%v n=%d", q, n)
+	}
+}
+
+func TestRegistryLookupCounters(t *testing.T) {
+	r := NewRegistry()
+	if r.LookupCounters("client") != nil {
+		t.Fatal("LookupCounters invented a set")
+	}
+	cs := NewCounterSet()
+	r.RegisterCounters("client", cs)
+	if r.LookupCounters("client") != cs {
+		t.Fatal("LookupCounters did not return the registered set")
+	}
+}
+
 func TestQuantileClamped(t *testing.T) {
 	durs := []time.Duration{10, 20}
 	if got := quantile(durs, -1); got != 10 {

@@ -75,6 +75,16 @@ func (r *Registry) RegisterCounters(name string, cs *CounterSet) {
 	r.mu.Unlock()
 }
 
+// LookupCounters returns the CounterSet registered under name, or nil if
+// none is registered. Unlike Histogram there is no create-on-miss: counter
+// sets are owned by their producers (client stats, dispatchers) and only
+// registered here for export and SLO evaluation.
+func (r *Registry) LookupCounters(name string) *CounterSet {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters[name]
+}
+
 // RegistrySnapshot is a point-in-time flattening of a registry, shaped for
 // JSON export.
 type RegistrySnapshot struct {

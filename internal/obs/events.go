@@ -28,6 +28,7 @@ type EventLog struct {
 	ring []Event
 	head int
 	size int
+	sink func(Event)
 }
 
 // DefaultEventLogSize is how many events a log retains.
@@ -59,6 +60,24 @@ func (l *EventLog) Append(ev Event) {
 	if l.size < len(l.ring) {
 		l.size++
 	}
+	sink := l.sink
+	l.mu.Unlock()
+	if sink != nil {
+		sink(ev)
+	}
+}
+
+// SetSink installs a callback invoked with every appended event (after its
+// sequence number and time are stamped), on the appender's goroutine — it
+// must be fast and must never block, since appenders include evolution hot
+// paths. One sink per log (the supervisor's hub fans out from there); nil
+// uninstalls. Nil-safe.
+func (l *EventLog) SetSink(fn func(Event)) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.sink = fn
 	l.mu.Unlock()
 }
 

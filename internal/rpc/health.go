@@ -28,6 +28,11 @@ const MethodHealthPing = "health.ping"
 // instance 1, the obs service instance 2).
 var HealthLOID = naming.LOID{Domain: 0, Class: 1, Instance: 3}
 
+// RolloutLOID is the well-known LOID a node's rollout-supervisor service is
+// hosted at (the service itself lives in internal/supervisor; only the
+// address is declared here, beside its infrastructure siblings).
+var RolloutLOID = naming.LOID{Domain: 0, Class: 1, Instance: 4}
+
 // HealthInfo is a ping response.
 type HealthInfo struct {
 	// Node is the responding node's name.

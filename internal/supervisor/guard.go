@@ -1,0 +1,125 @@
+package supervisor
+
+import (
+	"fmt"
+	"time"
+
+	"godcdo/internal/metrics"
+)
+
+// Guard evaluates an SLO over a window of a metrics registry anchored at the
+// last Prime. Each Evaluate judges only the traffic that landed since the
+// window opened — a rollout must react to what the canary is doing *now*,
+// not to the process-lifetime averages that months of healthy baseline
+// traffic would otherwise drown it in. The window grows across a bake (so
+// sparse traffic accumulates toward MinSamples instead of never clearing
+// it), and each new bake re-Primes to shed the previous wave's numbers.
+type Guard struct {
+	reg *metrics.Registry
+	slo SLO
+
+	primed    bool
+	prevHist  metrics.HistogramCounts
+	prevCalls uint64
+	prevErrs  uint64
+}
+
+// Verdict is one window's judgement.
+type Verdict struct {
+	// Healthy is false when a guard tripped.
+	Healthy bool `json:"healthy"`
+	// Breach says which guard tripped and by how much ("" when healthy).
+	Breach string `json:"breach,omitempty"`
+	// Samples is the window's latency observation count.
+	Samples uint64 `json:"samples"`
+	// Insufficient reports that the latency window held fewer than
+	// MinSamples observations, so P99 carries no weight.
+	Insufficient bool `json:"insufficient,omitempty"`
+	// P99 is the window's p99 latency estimate (clamped to the recorded
+	// maximum; zero with no samples).
+	P99 time.Duration `json:"p99_ns"`
+	// Calls and Errors are the window's attempt and failure counts.
+	Calls  uint64 `json:"calls"`
+	Errors uint64 `json:"errors"`
+	// ErrorRate is Errors/Calls (zero with no calls).
+	ErrorRate float64 `json:"error_rate"`
+}
+
+// NewGuard returns a guard reading slo's metrics from reg. The guard is
+// unprimed: the first Evaluate implicitly opens the window at zero, so
+// callers should Prime right before the traffic they mean to judge.
+func NewGuard(reg *metrics.Registry, slo SLO) *Guard {
+	return &Guard{reg: reg, slo: slo}
+}
+
+// Prime opens a fresh window at the registry's current counts, discarding
+// whatever accumulated before. Call it at the start of each bake so the
+// previous wave's (or the baseline's) traffic is not judged again.
+func (g *Guard) Prime() {
+	g.snapshot()
+	g.primed = true
+}
+
+func (g *Guard) snapshot() {
+	if g.slo.LatencyHistogram != "" {
+		if h := g.reg.LookupHistogram(g.slo.LatencyHistogram); h != nil {
+			g.prevHist = h.Counts()
+		}
+	}
+	g.prevCalls, g.prevErrs = g.counterValues()
+}
+
+func (g *Guard) counterValues() (calls, errs uint64) {
+	if g.slo.ErrorCounters == "" {
+		return 0, 0
+	}
+	cs := g.reg.LookupCounters(g.slo.ErrorCounters)
+	if cs == nil {
+		return 0, 0
+	}
+	callsName := g.slo.CallsCounter
+	if callsName == "" {
+		callsName = "calls"
+	}
+	errsName := g.slo.ErrorsCounter
+	if errsName == "" {
+		errsName = "errors"
+	}
+	return cs.Counter(callsName).Value(), cs.Counter(errsName).Value()
+}
+
+// Evaluate judges the traffic that landed since the window opened. The
+// window stays anchored: successive Evaluates during one bake see a growing
+// sample set, and only Prime moves the anchor.
+func (g *Guard) Evaluate() Verdict {
+	v := Verdict{Healthy: true}
+	if !g.primed {
+		g.Prime()
+	}
+
+	if g.slo.LatencyHistogram != "" {
+		if h := g.reg.LookupHistogram(g.slo.LatencyHistogram); h != nil {
+			cur := h.Counts()
+			p99, n := metrics.QuantileBetween(g.prevHist, cur, 0.99)
+			v.P99, v.Samples = p99, n
+			if n < g.slo.MinSamples {
+				v.Insufficient = true
+			} else if g.slo.MaxP99 > 0 && p99 > g.slo.MaxP99 {
+				v.Healthy = false
+				v.Breach = fmt.Sprintf("p99 %v exceeds %v over %d samples", p99, g.slo.MaxP99, n)
+			}
+		}
+	}
+
+	calls, errs := g.counterValues()
+	dCalls, dErrs := calls-g.prevCalls, errs-g.prevErrs
+	v.Calls, v.Errors = dCalls, dErrs
+	if dCalls > 0 {
+		v.ErrorRate = float64(dErrs) / float64(dCalls)
+		if g.slo.MaxErrorRate > 0 && v.ErrorRate > g.slo.MaxErrorRate && v.Healthy {
+			v.Healthy = false
+			v.Breach = fmt.Sprintf("error rate %.4f exceeds %.4f over %d calls", v.ErrorRate, g.slo.MaxErrorRate, dCalls)
+		}
+	}
+	return v
+}

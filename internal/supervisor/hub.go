@@ -1,0 +1,79 @@
+package supervisor
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"godcdo/internal/obs"
+)
+
+// Hub is a streaming fan-out of the node's event feed: subscribers get a
+// buffered channel of every obs.Event appended after they subscribe. It
+// bridges the obs EventLog's single sink hook (SetSink) to any number of
+// consumers — the rollout dashboard, dcdo-ctl watchers, tests. Publishing
+// never blocks: a subscriber that falls behind loses events (counted in
+// Dropped) rather than stalling the evolution paths that emit them.
+type Hub struct {
+	mu      sync.Mutex
+	subs    map[int]chan obs.Event
+	next    int
+	dropped atomic.Uint64
+}
+
+// NewHub returns an empty hub.
+func NewHub() *Hub {
+	return &Hub{subs: make(map[int]chan obs.Event)}
+}
+
+// Bind installs the hub as log's sink, so every event appended to the log
+// is published here. One hub per log.
+func (h *Hub) Bind(log *obs.EventLog) {
+	log.SetSink(h.Publish)
+}
+
+// Publish delivers ev to every subscriber without blocking.
+func (h *Hub) Publish(ev obs.Event) {
+	h.mu.Lock()
+	for _, ch := range h.subs {
+		select {
+		case ch <- ev:
+		default:
+			h.dropped.Add(1)
+		}
+	}
+	h.mu.Unlock()
+}
+
+// Subscribe returns a channel carrying subsequently published events and a
+// cancel function that closes it. buf bounds how far the subscriber may lag
+// before losing events (default 64).
+func (h *Hub) Subscribe(buf int) (<-chan obs.Event, func()) {
+	if buf <= 0 {
+		buf = 64
+	}
+	ch := make(chan obs.Event, buf)
+	h.mu.Lock()
+	id := h.next
+	h.next++
+	h.subs[id] = ch
+	h.mu.Unlock()
+	cancel := func() {
+		h.mu.Lock()
+		if _, ok := h.subs[id]; ok {
+			delete(h.subs, id)
+			close(ch)
+		}
+		h.mu.Unlock()
+	}
+	return ch, cancel
+}
+
+// Subscribers returns the current subscriber count.
+func (h *Hub) Subscribers() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs)
+}
+
+// Dropped returns how many events were lost to slow subscribers.
+func (h *Hub) Dropped() uint64 { return h.dropped.Load() }

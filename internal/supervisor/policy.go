@@ -1,0 +1,191 @@
+// Package supervisor is the rollout control plane: a daemon that executes
+// declarative canary-rollout policies against a manager's fleet. A policy
+// names a target version, a canary size, wave widths, an SLO guard, and a
+// bake time; the supervisor evolves a canary, watches the SLO over a sliding
+// window, widens in waves, and on regression rolls every promoted instance
+// back to the baseline using the version tree. Every decision is journalled
+// through the manager's evolution journal, so a supervisor that crashes
+// mid-rollout resumes it on restart (see Resume).
+package supervisor
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"godcdo/internal/version"
+)
+
+// SLO is the guard a wave must satisfy while baking. Thresholds are
+// evaluated over a sliding window (the observations since the previous
+// evaluation), read from the node's metrics registry — the same histograms
+// and counters /debug/obs exports. A zero threshold disables that guard.
+type SLO struct {
+	// LatencyHistogram names the registry histogram the p99 guard reads
+	// (typically "client.invoke"). Empty disables the latency guard.
+	LatencyHistogram string `json:"latency_histogram,omitempty"`
+	// MaxP99 trips the guard when the window's p99 exceeds it.
+	MaxP99 time.Duration `json:"max_p99_ns,omitempty"`
+	// ErrorCounters names the registry counter set the error-rate guard
+	// reads (typically "client.<node>"). Empty disables the error guard.
+	ErrorCounters string `json:"error_counters,omitempty"`
+	// CallsCounter and ErrorsCounter name the attempt and failure counters
+	// within ErrorCounters (default "calls" and "errors").
+	CallsCounter  string `json:"calls_counter,omitempty"`
+	ErrorsCounter string `json:"errors_counter,omitempty"`
+	// MaxErrorRate trips the guard when window errors / window calls
+	// exceeds it (0 < rate ≤ 1).
+	MaxErrorRate float64 `json:"max_error_rate,omitempty"`
+	// MinSamples is how many window observations the latency guard needs
+	// before its estimate counts; below it the guard reports insufficient
+	// evidence rather than tripping or passing.
+	MinSamples uint64 `json:"min_samples,omitempty"`
+}
+
+// Enabled reports whether the SLO has any active guard.
+func (s SLO) Enabled() bool {
+	return (s.LatencyHistogram != "" && s.MaxP99 > 0) ||
+		(s.ErrorCounters != "" && s.MaxErrorRate > 0)
+}
+
+// Policy is one declarative rollout: what to roll out, how fast to widen,
+// and what health bar each wave must clear. Policies are JSON-serialisable —
+// the wire shape dcdo-ctl submits and the journal persists (so a restarted
+// supervisor resumes under the policy it started with).
+type Policy struct {
+	// Name labels the rollout in status output and events.
+	Name string `json:"name,omitempty"`
+	// Target is the version the rollout drives the fleet to.
+	Target version.ID `json:"-"`
+	// CanarySize is the first wave's width (default 1 — a single canary).
+	CanarySize int `json:"canary_size,omitempty"`
+	// WaveWidths are the widths of the waves after the canary; the last
+	// width repeats until the fleet is covered. Empty means each wave
+	// doubles the previous width.
+	WaveWidths []int `json:"wave_widths,omitempty"`
+	// BakeTime is how long each wave bakes under the SLO guard before
+	// promotion (default 2 s).
+	BakeTime time.Duration `json:"bake_time_ns,omitempty"`
+	// ProbeInterval is how often the guard is evaluated during a bake
+	// (default BakeTime/8, floor 1 ms).
+	ProbeInterval time.Duration `json:"probe_interval_ns,omitempty"`
+	// SLO is the health bar.
+	SLO SLO `json:"slo"`
+}
+
+type policyJSON struct {
+	Name          string        `json:"name,omitempty"`
+	Target        string        `json:"target"`
+	CanarySize    int           `json:"canary_size,omitempty"`
+	WaveWidths    []int         `json:"wave_widths,omitempty"`
+	BakeTime      time.Duration `json:"bake_time_ns,omitempty"`
+	ProbeInterval time.Duration `json:"probe_interval_ns,omitempty"`
+	SLO           SLO           `json:"slo"`
+}
+
+// MarshalJSON renders Target in dotted-decimal form, the shape operators
+// type and the version tree prints.
+func (p Policy) MarshalJSON() ([]byte, error) {
+	return json.Marshal(policyJSON{
+		Name:          p.Name,
+		Target:        p.Target.String(),
+		CanarySize:    p.CanarySize,
+		WaveWidths:    p.WaveWidths,
+		BakeTime:      p.BakeTime,
+		ProbeInterval: p.ProbeInterval,
+		SLO:           p.SLO,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (p *Policy) UnmarshalJSON(data []byte) error {
+	var pj policyJSON
+	if err := json.Unmarshal(data, &pj); err != nil {
+		return err
+	}
+	target, err := version.Parse(pj.Target)
+	if err != nil {
+		return fmt.Errorf("policy target: %w", err)
+	}
+	*p = Policy{
+		Name:          pj.Name,
+		Target:        target,
+		CanarySize:    pj.CanarySize,
+		WaveWidths:    pj.WaveWidths,
+		BakeTime:      pj.BakeTime,
+		ProbeInterval: pj.ProbeInterval,
+		SLO:           pj.SLO,
+	}
+	return nil
+}
+
+// Validate reports whether the policy is executable.
+func (p Policy) Validate() error {
+	if p.Target.IsZero() {
+		return errors.New("supervisor: policy has no target version")
+	}
+	if p.CanarySize < 0 {
+		return fmt.Errorf("supervisor: negative canary size %d", p.CanarySize)
+	}
+	for _, w := range p.WaveWidths {
+		if w <= 0 {
+			return fmt.Errorf("supervisor: non-positive wave width %d", w)
+		}
+	}
+	if p.BakeTime < 0 || p.ProbeInterval < 0 {
+		return errors.New("supervisor: negative bake time or probe interval")
+	}
+	if p.SLO.MaxErrorRate < 0 || p.SLO.MaxErrorRate > 1 {
+		return fmt.Errorf("supervisor: error-rate threshold %v outside (0, 1]", p.SLO.MaxErrorRate)
+	}
+	return nil
+}
+
+// canarySize returns the first wave's width.
+func (p Policy) canarySize() int {
+	if p.CanarySize <= 0 {
+		return 1
+	}
+	return p.CanarySize
+}
+
+// waveWidth returns the width of wave i (0 = the canary). Beyond the
+// configured widths the last one repeats; with none configured each wave
+// doubles the previous width.
+func (p Policy) waveWidth(i int) int {
+	if i <= 0 {
+		return p.canarySize()
+	}
+	if len(p.WaveWidths) > 0 {
+		if i-1 < len(p.WaveWidths) {
+			return p.WaveWidths[i-1]
+		}
+		return p.WaveWidths[len(p.WaveWidths)-1]
+	}
+	w := p.canarySize()
+	for n := 0; n < i; n++ {
+		w *= 2
+	}
+	return w
+}
+
+// bakeTime returns the effective bake duration.
+func (p Policy) bakeTime() time.Duration {
+	if p.BakeTime <= 0 {
+		return 2 * time.Second
+	}
+	return p.BakeTime
+}
+
+// probeInterval returns the effective guard-evaluation interval.
+func (p Policy) probeInterval() time.Duration {
+	if p.ProbeInterval > 0 {
+		return p.ProbeInterval
+	}
+	iv := p.bakeTime() / 8
+	if iv < time.Millisecond {
+		iv = time.Millisecond
+	}
+	return iv
+}

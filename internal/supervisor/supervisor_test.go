@@ -1,0 +1,327 @@
+package supervisor
+
+import (
+	"context"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"godcdo/internal/manager"
+	"godcdo/internal/metrics"
+	"godcdo/internal/obs"
+	"godcdo/internal/registry"
+)
+
+// workload feeds a registry's latency histogram and call counters from a
+// background goroutine, standing in for real client traffic.
+type workload struct {
+	reg     *metrics.Registry
+	latency atomic.Int64 // nanoseconds each synthetic call "takes"
+	failing atomic.Bool
+	stop    chan struct{}
+	wg      sync.WaitGroup
+}
+
+func startWorkload(reg *metrics.Registry, latency time.Duration) *workload {
+	w := &workload{reg: reg, stop: make(chan struct{})}
+	w.latency.Store(int64(latency))
+	cs := metrics.NewCounterSet()
+	reg.RegisterCounters("client.test", cs)
+	hist := reg.Histogram("client.invoke")
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		tick := time.NewTicker(200 * time.Microsecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-w.stop:
+				return
+			case <-tick.C:
+				hist.Observe(time.Duration(w.latency.Load()))
+				cs.Counter("calls").Inc()
+				if w.failing.Load() {
+					cs.Counter("errors").Inc()
+				}
+			}
+		}
+	}()
+	return w
+}
+
+func (w *workload) Stop() {
+	close(w.stop)
+	w.wg.Wait()
+}
+
+func testPolicy() Policy {
+	return Policy{
+		Name:          "test",
+		Target:        v(1, 1),
+		CanarySize:    1,
+		WaveWidths:    []int{2},
+		BakeTime:      20 * time.Millisecond,
+		ProbeInterval: 2 * time.Millisecond,
+		SLO: SLO{
+			LatencyHistogram: "client.invoke",
+			MaxP99:           time.Millisecond,
+			ErrorCounters:    "client.test",
+			MaxErrorRate:     0.05,
+			MinSamples:       5,
+		},
+	}
+}
+
+func waitStatus(t *testing.T, sup *Supervisor) Status {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	st, err := sup.Wait(ctx)
+	if err != nil {
+		t.Fatalf("Wait: %v (status %+v)", err, st)
+	}
+	return st
+}
+
+func fleetVersions(t *testing.T, m *manager.Manager) map[string]int {
+	t.Helper()
+	out := make(map[string]int)
+	for _, rec := range m.Records() {
+		out[rec.Version.String()]++
+	}
+	return out
+}
+
+func TestRolloutCompletesThroughWaves(t *testing.T) {
+	f := newFixture(t)
+	m := f.newManager(t)
+	f.populate(t, m, 5)
+	reg := metrics.NewRegistry()
+	w := startWorkload(reg, 100*time.Microsecond) // healthy: well under MaxP99
+	defer w.Stop()
+
+	o := obs.New()
+	hub := NewHub()
+	hub.Bind(o.GetEvents())
+	events, cancelSub := hub.Subscribe(256)
+
+	sup := &Supervisor{Mgr: m, Reg: reg, Obs: o, Hub: hub}
+	if err := sup.Start(context.Background(), testPolicy()); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := sup.Start(context.Background(), testPolicy()); err != ErrRolloutActive {
+		t.Fatalf("second Start = %v, want ErrRolloutActive", err)
+	}
+	st := waitStatus(t, sup)
+	if st.Phase != PhaseCompleted {
+		t.Fatalf("terminal phase = %q (%+v)", st.Phase, st)
+	}
+	// Canary (1) + waves of 2: 5 instances in 3 waves.
+	if st.Wave != 3 || len(st.Promoted) != 5 {
+		t.Fatalf("waves=%d promoted=%d, want 3 waves covering 5 instances", st.Wave, len(st.Promoted))
+	}
+	if got := fleetVersions(t, m); got["1.1"] != 5 {
+		t.Fatalf("fleet versions = %v, want all at 1.1", got)
+	}
+	if cur, _ := m.CurrentVersion(); !cur.Equal(v(1, 1)) {
+		t.Fatalf("current = %s, want 1.1", cur)
+	}
+	// The hub carried the rollout's event stream.
+	cancelSub()
+	seen := make(map[string]bool)
+	for ev := range events {
+		seen[ev.Kind] = true
+	}
+	for _, kind := range []string{"rollout-started", "rollout-promoted", "rollout-completed"} {
+		if !seen[kind] {
+			t.Fatalf("hub missed event %q (saw %v)", kind, seen)
+		}
+	}
+}
+
+func TestRolloutRollsBackOnSLOBreach(t *testing.T) {
+	f := newFixture(t)
+	m := f.newManager(t)
+	f.populate(t, m, 4)
+	reg := metrics.NewRegistry()
+	w := startWorkload(reg, 10*time.Millisecond) // 10ms p99 >> 1ms threshold
+	defer w.Stop()
+
+	sup := &Supervisor{Mgr: m, Reg: reg, Obs: obs.New()}
+	if err := sup.Start(context.Background(), testPolicy()); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	st := waitStatus(t, sup)
+	if st.Phase != PhaseRolledBack {
+		t.Fatalf("terminal phase = %q (%+v)", st.Phase, st)
+	}
+	if got := fleetVersions(t, m); got["1"] != 4 {
+		t.Fatalf("fleet versions = %v, want all back at baseline 1", got)
+	}
+	if cur, _ := m.CurrentVersion(); !cur.Equal(v(1)) {
+		t.Fatalf("current = %s, want baseline 1 untouched", cur)
+	}
+	if st.Err == "" {
+		t.Fatal("rolled-back status carries no breach reason")
+	}
+}
+
+func TestRolloutRollsBackOnErrorRate(t *testing.T) {
+	f := newFixture(t)
+	m := f.newManager(t)
+	f.populate(t, m, 3)
+	reg := metrics.NewRegistry()
+	w := startWorkload(reg, 100*time.Microsecond)
+	w.failing.Store(true) // every call errors: rate 1.0 >> 0.05
+	defer w.Stop()
+
+	sup := &Supervisor{Mgr: m, Reg: reg}
+	if err := sup.Start(context.Background(), testPolicy()); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	st := waitStatus(t, sup)
+	if st.Phase != PhaseRolledBack {
+		t.Fatalf("terminal phase = %q (%+v)", st.Phase, st)
+	}
+	if got := fleetVersions(t, m); got["1"] != 3 {
+		t.Fatalf("fleet versions = %v, want all back at baseline", got)
+	}
+}
+
+func TestRolloutResumesAfterMidWaveCrash(t *testing.T) {
+	f := newFixture(t)
+	m := f.newManager(t)
+	dir := t.TempDir()
+	j, err := manager.OpenJournal(filepath.Join(dir, "evolution.journal"))
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	m.SetJournal(j)
+	// Re-designate so the journal records the designation (the fixture set
+	// it before the journal existed).
+	if err := m.SetCurrentVersion(context.Background(), v(1)); err != nil {
+		t.Fatal(err)
+	}
+	insts := f.populate(t, m, 5)
+	reg := metrics.NewRegistry()
+	w := startWorkload(reg, 100*time.Microsecond)
+	defer w.Stop()
+
+	// The supervisor dies mid-wave 2: canary promoted, then one of the
+	// second wave's two instances applied with the pass left open.
+	sup := &Supervisor{Mgr: m, Reg: reg, CrashMidWave: 2}
+	if err := sup.Start(context.Background(), testPolicy()); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	st := waitStatus(t, sup)
+	if st.Phase == PhaseCompleted || st.Phase == PhaseRolledBack {
+		t.Fatalf("crashed rollout reached terminal phase %q", st.Phase)
+	}
+	if len(st.Promoted) != 1 {
+		t.Fatalf("promoted before crash = %d, want just the canary", len(st.Promoted))
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("close journal: %v", err)
+	}
+
+	// "Restart": a fresh manager over an identical store image, the
+	// reopened journal, and the same (re-adopted) instances.
+	m2 := f.newBareManager(t)
+	j2, err := manager.OpenJournal(filepath.Join(dir, "evolution.journal"))
+	if err != nil {
+		t.Fatalf("reopen journal: %v", err)
+	}
+	m2.SetJournal(j2)
+	for _, inst := range insts {
+		if err := m2.Adopt(context.Background(), inst, registry.NativeImplType); err != nil {
+			t.Fatalf("re-adopt %s: %v", inst.LOID(), err)
+		}
+	}
+
+	sup2 := &Supervisor{Mgr: m2, Reg: reg}
+	resumed, err := sup2.Resume(context.Background())
+	if err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	if !resumed {
+		t.Fatal("Resume found no open rollout")
+	}
+	st2 := waitStatus(t, sup2)
+	if st2.Phase != PhaseCompleted {
+		t.Fatalf("resumed rollout terminal phase = %q (%+v)", st2.Phase, st2)
+	}
+	if got := fleetVersions(t, m2); got["1.1"] != 5 {
+		t.Fatalf("fleet versions after resume = %v, want all at 1.1", got)
+	}
+	if cur, _ := m2.CurrentVersion(); !cur.Equal(v(1, 1)) {
+		t.Fatalf("current after resume = %s, want 1.1", cur)
+	}
+	// A second Resume finds nothing: the rollout closed.
+	if again, err := sup2.Resume(context.Background()); err != nil || again {
+		t.Fatalf("second Resume = (%v, %v), want (false, nil)", again, err)
+	}
+}
+
+// TestSupervisorPauseAbortRacesWidening exercises pause/unpause/abort from
+// concurrent goroutines while the rollout is actively widening — run under
+// -race in CI. The rollout must land in a terminal state with the fleet
+// uniformly on one version.
+func TestSupervisorPauseAbortRacesWidening(t *testing.T) {
+	f := newFixture(t)
+	m := f.newManager(t)
+	f.populate(t, m, 8)
+	reg := metrics.NewRegistry()
+	w := startWorkload(reg, 100*time.Microsecond)
+	defer w.Stop()
+
+	policy := testPolicy()
+	policy.BakeTime = 5 * time.Millisecond
+	policy.ProbeInterval = time.Millisecond
+
+	sup := &Supervisor{Mgr: m, Reg: reg, Obs: obs.New()}
+	if err := sup.Start(context.Background(), policy); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 20; i++ {
+				switch rng.Intn(3) {
+				case 0:
+					_ = sup.Pause()
+				case 1:
+					_ = sup.Unpause()
+				default:
+					_ = sup.Status()
+				}
+				time.Sleep(time.Duration(rng.Intn(2000)) * time.Microsecond)
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	_ = sup.Unpause() // ensure not parked paused
+	// Let it run a little longer, then abort (a no-op if already done).
+	time.Sleep(10 * time.Millisecond)
+	_ = sup.Abort("race test abort")
+	st := waitStatus(t, sup)
+
+	switch st.Phase {
+	case PhaseCompleted:
+		if got := fleetVersions(t, m); got["1.1"] != 8 {
+			t.Fatalf("completed but fleet = %v", got)
+		}
+	case PhaseAborted, PhaseRolledBack:
+		if got := fleetVersions(t, m); got["1"] != 8 {
+			t.Fatalf("aborted but fleet = %v, want all at baseline", got)
+		}
+	default:
+		t.Fatalf("terminal phase = %q (%+v)", st.Phase, st)
+	}
+}

@@ -49,6 +49,29 @@ func WriteDurable(path string, data []byte) error {
 	return nil
 }
 
+// RemoveOrphanedTemps deletes leftover WriteDurable temp files in dir. A
+// crash between a temp file's fsync and its rename strands a ".durable-*"
+// file that nothing will ever adopt; callers that own a directory (the
+// journal, the file vault) sweep these on open, before any concurrent
+// WriteDurable could be in flight. Returns how many files were removed.
+func RemoveOrphanedTemps(dir string) (int, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, ".durable-*"))
+	if err != nil {
+		return 0, fmt.Errorf("vault: sweep temps in %q: %w", dir, err)
+	}
+	removed := 0
+	for _, m := range matches {
+		if err := os.Remove(m); err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			return removed, fmt.Errorf("vault: sweep temps in %q: %w", dir, err)
+		}
+		removed++
+	}
+	return removed, nil
+}
+
 // SyncDir fsyncs a directory so renames and creations inside it are durable.
 // On platforms where directories cannot be fsynced (notably Windows) it is a
 // no-op.
