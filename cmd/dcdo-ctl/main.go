@@ -507,10 +507,12 @@ func printRolloutStatus(st supervisor.Status) {
 // runTrace implements the `trace` subcommand family against the obs service
 // of the node at -agent's endpoint:
 //
-//	trace                  recent spans grouped by trace
-//	trace spans [traceID]  spans of one trace (or recent ones)
-//	trace events           recent evolution/configuration events
-//	trace metrics          histogram and counter snapshot
+//	trace                   recent spans grouped by trace
+//	trace spans [traceID]   spans of one trace (or recent ones)
+//	trace events            recent evolution/configuration events
+//	trace metrics           histogram and counter snapshot
+//	trace flight [traceID]  traces the flight recorder retained (errored/slow)
+//	trace slowest           retained traces ordered by slowest span
 func runTrace(ctx context.Context, oc *rpc.ObsClient, rest []string) error {
 	sub := "spans"
 	if len(rest) > 0 {
@@ -574,8 +576,34 @@ func runTrace(ctx context.Context, oc *rpc.ObsClient, rest []string) error {
 		printMetrics(snap.Metrics)
 		return nil
 
+	case "flight", "slowest":
+		var traceID uint64
+		if sub == "flight" && len(rest) > 0 {
+			var err error
+			if traceID, err = strconv.ParseUint(rest[0], 10, 64); err != nil {
+				return fmt.Errorf("trace id: %w", err)
+			}
+		}
+		rep, err := oc.Flight(ctx, traceID, 0, sub == "slowest")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("flight recorder: %d live, %d retained, %d evicted\n",
+			rep.Stats.Live, rep.Stats.Retained, rep.Stats.Evicted)
+		if len(rep.Traces) == 0 {
+			fmt.Println("no traces retained")
+			return nil
+		}
+		for _, ft := range rep.Traces {
+			fmt.Printf("trace %d reason=%s slowest=%v retained=%s (%d spans)\n",
+				ft.TraceID, ft.Reason, time.Duration(ft.MaxNs),
+				ft.Retained.Format(time.RFC3339), len(ft.Spans))
+			printSpans(ft.Spans)
+		}
+		return nil
+
 	default:
-		return fmt.Errorf("unknown trace subcommand %q (spans|events|metrics)", sub)
+		return fmt.Errorf("unknown trace subcommand %q (spans|events|metrics|flight|slowest)", sub)
 	}
 }
 

@@ -292,3 +292,62 @@ func TestCtlTrace(t *testing.T) {
 		t.Fatal("bad trace id accepted")
 	}
 }
+
+// startFlightDemoNode mirrors startObsDemoNode with a flight recorder
+// configured for errors-only retention.
+func startFlightDemoNode(t *testing.T) string {
+	t.Helper()
+	agent := naming.NewAgent(vclock.Real{})
+	o := obs.NewWithOptions(obs.Options{FlightCapacity: 64, FlightThreshold: -1})
+	node, err := legion.NewNode(legion.NodeConfig{Name: "ctl-flight-test", Agent: agent, Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = node.Close() })
+	node.Dispatcher().Host(rpc.ObsLOID, &rpc.ObsService{Obs: node.Obs()})
+	if _, err := node.HostObject(rpc.AgentLOID, &rpc.AgentService{Agent: agent}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := demo.Install(node); err != nil {
+		t.Fatal(err)
+	}
+	return node.Endpoint()
+}
+
+func TestCtlTraceFlight(t *testing.T) {
+	endpoint := startFlightDemoNode(t)
+	pricing := demo.PricingLOID.String()
+
+	// Empty recorder first.
+	out, err := ctl(t, endpoint, "trace", "flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "no traces retained") {
+		t.Fatalf("empty flight output: %q", out)
+	}
+
+	// An errored call is retained and shows up in flight and slowest.
+	if _, err := ctl(t, endpoint, "invoke", pricing, "no-such-method"); err == nil {
+		t.Fatal("bad method succeeded")
+	}
+	out, err = ctl(t, endpoint, "trace", "flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"1 retained", "reason=error", "server.dispatch"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace flight missing %q:\n%s", want, out)
+		}
+	}
+	out, err = ctl(t, endpoint, "trace", "slowest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "slowest=") {
+		t.Errorf("trace slowest missing slowest=:\n%s", out)
+	}
+	if _, err := ctl(t, endpoint, "trace", "flight", "not-a-number"); err == nil {
+		t.Fatal("bad flight trace id accepted")
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -25,6 +26,7 @@ import (
 	"godcdo/internal/demo"
 	"godcdo/internal/legion"
 	"godcdo/internal/manager"
+	"godcdo/internal/metrics"
 	"godcdo/internal/naming"
 	"godcdo/internal/obs"
 	"godcdo/internal/rpc"
@@ -55,6 +57,12 @@ func run(args []string) error {
 	transportStripes := fs.Int("transport-stripes", 0, "TCP connections per endpoint in the dialer, spread round-robin (0 = 1)")
 	transportWorkers := fs.Int("transport-workers", 0, "max concurrent TCP handler goroutines before read loops apply backpressure (0 = unlimited)")
 	transportLegacy := fs.Bool("transport-legacy", false, "disable the transport fast path (frame pooling and write coalescing)")
+	traceSample := fs.Float64("trace-sample", 1, "fraction of traces to keep (head sampling; 1 = keep all, 0.01 = 1%). Dropped traces still reach the flight recorder on error or slowness")
+	obsSpans := fs.Int("obs-spans", 0, "span ring capacity (0 = default)")
+	obsEvents := fs.Int("obs-events", 0, "event ring capacity (0 = default)")
+	flightTraces := fs.Int("flight-traces", obs.DefaultFlightCapacity, "flight recorder capacity in retained traces (0 = disable the flight recorder)")
+	flightThreshold := fs.Duration("flight-threshold", obs.DefaultFlightThreshold, "span latency above which a trace is retained in the flight recorder (negative: retain on errors only)")
+	pprofFlag := fs.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the obs HTTP endpoint (with -obs-http)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -65,6 +73,12 @@ func run(args []string) error {
 		TransportStripes:         *transportStripes,
 		TransportWorkers:         *transportWorkers,
 		DisableTransportFastPath: *transportLegacy,
+	}, obs.Options{
+		SampleRate:      *traceSample,
+		SpanRing:        *obsSpans,
+		EventRing:       *obsEvents,
+		FlightCapacity:  *flightTraces,
+		FlightThreshold: *flightThreshold,
 	})
 	if err != nil {
 		return err
@@ -119,14 +133,19 @@ func run(args []string) error {
 	}
 
 	if *obsHTTP != "" {
-		httpAddr, err := startObsHTTP(*obsHTTP, node.Obs(), sup)
+		httpAddr, err := startObsHTTP(*obsHTTP, node.Obs(), sup, *pprofFlag)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("obs HTTP at http://%s/debug/obs\n", httpAddr)
+		fmt.Printf("obs HTTP at http://%s/debug/obs (Prometheus text at /metrics)\n", httpAddr)
 		if sup != nil {
 			fmt.Printf("rollout HTTP at http://%s/debug/rollout\n", httpAddr)
 		}
+		if *pprofFlag {
+			fmt.Printf("pprof at http://%s/debug/pprof/\n", httpAddr)
+		}
+	} else if *pprofFlag {
+		return fmt.Errorf("-pprof requires -obs-http (profiles are served on the obs HTTP endpoint)")
 	}
 
 	sig := make(chan os.Signal, 1)
@@ -139,8 +158,9 @@ func run(args []string) error {
 // startNode builds the node against a local or remote binding agent. When
 // local, the agent service is hosted on the node itself. cfg carries the
 // tuning knobs (admission, transport); identity and wiring fields are set
-// here.
-func startNode(name, addr, agentEndpoint string, cfg legion.NodeConfig) (*legion.Node, *naming.Agent, error) {
+// here. obsOpts shapes the node's observability plane (sampling, ring
+// sizes, flight recorder).
+func startNode(name, addr, agentEndpoint string, cfg legion.NodeConfig, obsOpts obs.Options) (*legion.Node, *naming.Agent, error) {
 	var (
 		authority  naming.Authority
 		localAgent *naming.Agent
@@ -157,7 +177,7 @@ func startNode(name, addr, agentEndpoint string, cfg legion.NodeConfig) (*legion
 	cfg.Name = name
 	cfg.Agent = authority
 	cfg.TCPAddr = addr
-	cfg.Obs = obs.New()
+	cfg.Obs = obs.NewWithOptions(obsOpts)
 	node, err := legion.NewNode(cfg)
 	if err != nil {
 		return nil, nil, err
@@ -218,8 +238,9 @@ func attachJournal(mgr *manager.Manager, dir string) error {
 
 // startObsHTTP serves o's /debug/obs handler — and, when a supervisor is
 // running, its /debug/rollout handler — on addr, returning the bound
-// address.
-func startObsHTTP(addr string, o *obs.Obs, sup *supervisor.Supervisor) (string, error) {
+// address. The same mux serves the metrics registry in Prometheus text
+// form at /metrics, and pprof profiles under /debug/pprof/ when enabled.
+func startObsHTTP(addr string, o *obs.Obs, sup *supervisor.Supervisor, withPprof bool) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", fmt.Errorf("obs http: %w", err)
@@ -228,6 +249,19 @@ func startObsHTTP(addr string, o *obs.Obs, sup *supervisor.Supervisor) (string, 
 	mux.Handle("/", o.Handler())
 	if sup != nil {
 		mux.Handle("/debug/rollout", sup.Handler())
+	}
+	if reg := o.GetMetrics(); reg != nil {
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", metrics.ExpositionContentType)
+			_ = reg.WriteExposition(w)
+		})
+	}
+	if withPprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 	srv := &http.Server{Handler: mux}
 	go func() { _ = srv.Serve(ln) }()

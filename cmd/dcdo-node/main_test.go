@@ -4,12 +4,15 @@ import (
 	"context"
 
 	"encoding/json"
+	"io"
 	"net/http"
+	"strings"
 	"testing"
 	"time"
 
 	"godcdo/internal/demo"
 	"godcdo/internal/legion"
+	"godcdo/internal/metrics"
 	"godcdo/internal/naming"
 	"godcdo/internal/obs"
 	"godcdo/internal/rpc"
@@ -18,7 +21,7 @@ import (
 )
 
 func TestStartNodeServesLocalAgent(t *testing.T) {
-	node, localAgent, err := startNode("t1", "127.0.0.1:0", "", legion.NodeConfig{})
+	node, localAgent, err := startNode("t1", "127.0.0.1:0", "", legion.NodeConfig{}, obs.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,12 +43,12 @@ func TestStartNodeServesLocalAgent(t *testing.T) {
 
 func TestStartNodeAgainstRemoteAgent(t *testing.T) {
 	// First node serves the agent; second node registers through it.
-	first, _, err := startNode("hub", "127.0.0.1:0", "", legion.NodeConfig{})
+	first, _, err := startNode("hub", "127.0.0.1:0", "", legion.NodeConfig{}, obs.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer first.Close()
-	second, localAgent, err := startNode("leaf", "127.0.0.1:0", first.Endpoint(), legion.NodeConfig{})
+	second, localAgent, err := startNode("leaf", "127.0.0.1:0", first.Endpoint(), legion.NodeConfig{}, obs.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,13 +70,13 @@ func TestStartNodeAgainstRemoteAgent(t *testing.T) {
 }
 
 func TestStartNodeBadAddr(t *testing.T) {
-	if _, _, err := startNode("bad", "256.0.0.1:99999", "", legion.NodeConfig{}); err == nil {
+	if _, _, err := startNode("bad", "256.0.0.1:99999", "", legion.NodeConfig{}, obs.Options{}); err == nil {
 		t.Fatal("bad address accepted")
 	}
 }
 
 func TestDemoInstallEndToEnd(t *testing.T) {
-	node, _, err := startNode("demo", "127.0.0.1:0", "", legion.NodeConfig{})
+	node, _, err := startNode("demo", "127.0.0.1:0", "", legion.NodeConfig{}, obs.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +136,7 @@ func TestRunBadFlag(t *testing.T) {
 }
 
 func TestNodeObsServiceAndHTTP(t *testing.T) {
-	node, _, err := startNode("obsnode", "127.0.0.1:0", "", legion.NodeConfig{})
+	node, _, err := startNode("obsnode", "127.0.0.1:0", "", legion.NodeConfig{}, obs.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +169,7 @@ func TestNodeObsServiceAndHTTP(t *testing.T) {
 	}
 
 	// And the /debug/obs HTTP endpoint serves the same snapshot as JSON.
-	httpAddr, err := startObsHTTP("127.0.0.1:0", node.Obs(), nil)
+	httpAddr, err := startObsHTTP("127.0.0.1:0", node.Obs(), nil, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,5 +189,94 @@ func TestNodeObsServiceAndHTTP(t *testing.T) {
 	}
 	if len(body.Spans) == 0 {
 		t.Fatal("HTTP snapshot has no spans")
+	}
+}
+
+func TestNodeMetricsFlightAndPprofHTTP(t *testing.T) {
+	node, _, err := startNode("promnode", "127.0.0.1:0", "", legion.NodeConfig{}, obs.Options{
+		FlightCapacity:  64,
+		FlightThreshold: -1, // errors only
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	if _, err := demo.Install(node); err != nil {
+		t.Fatal(err)
+	}
+	args := wire.NewEncoder(8)
+	args.PutUvarint(20)
+	if _, err := node.Client().Invoke(context.Background(), demo.PricingLOID, "price", args.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	// A call to a missing method errors remotely and must land in the
+	// flight recorder.
+	if _, err := node.Client().Invoke(context.Background(), demo.PricingLOID, "no-such-method", nil); err == nil {
+		t.Fatal("expected remote error")
+	}
+
+	httpAddr, err := startObsHTTP("127.0.0.1:0", node.Obs(), nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// /metrics serves Prometheus text with the dimensioned invoke series.
+	resp, err := http.Get("http://" + httpAddr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d, %v", resp.StatusCode, err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != metrics.ExpositionContentType {
+		t.Fatalf("content type = %q", ct)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE invoke_latency_seconds histogram",
+		`invoke_calls_total{loid="` + demo.PricingLOID.String() + `",method="price"}`,
+		"invoke_errors_total{",
+		"flight_promnode_retained",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metrics missing %q in:\n%s", want, text)
+		}
+	}
+
+	// /debug/flight serves the retained error trace.
+	resp, err = http.Get("http://" + httpAddr + "/debug/flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flight struct {
+		Stats  obs.FlightStats   `json:"stats"`
+		Traces []obs.FlightTrace `json:"traces"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&flight)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flight.Stats.Retained == 0 || len(flight.Traces) == 0 {
+		t.Fatalf("flight recorder empty after an errored call: %+v", flight.Stats)
+	}
+
+	// pprof answers with a real profile.
+	resp, err = http.Get("http://" + httpAddr + "/debug/pprof/heap?debug=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK || len(prof) == 0 {
+		t.Fatalf("GET /debug/pprof/heap = %d, %d bytes, %v", resp.StatusCode, len(prof), err)
+	}
+}
+
+func TestRunRejectsPprofWithoutHTTP(t *testing.T) {
+	if err := run([]string{"-pprof", "-addr", "127.0.0.1:0", "-obs-http", ""}); err == nil {
+		t.Fatal("-pprof without -obs-http accepted")
 	}
 }

@@ -103,6 +103,7 @@ func RunAll() ([]*Report, error) {
 		{"E9", RunE9},
 		{"E10", RunE10},
 		{"E11", RunE11},
+		{"E12", RunE12},
 	}
 	reports := make([]*Report, 0, len(runners))
 	for _, r := range runners {

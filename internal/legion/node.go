@@ -176,6 +176,18 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 				})
 			}
 			rpc.RegisterTransportMetrics(reg, cfg.Name, tcpDialer, ts)
+			if fl := cfg.Obs.GetFlight(); fl != nil {
+				prefix := "flight." + cfg.Name + "."
+				reg.RegisterGaugeFunc(prefix+"live", func() int64 {
+					return int64(fl.Stats().Live)
+				})
+				reg.RegisterGaugeFunc(prefix+"retained", func() int64 {
+					return int64(fl.Stats().Retained)
+				})
+				reg.RegisterGaugeFunc(prefix+"evicted", func() int64 {
+					return int64(fl.Stats().Evicted)
+				})
+			}
 		}
 	}
 	// Every node answers liveness probes at the well-known health LOID

@@ -1,0 +1,75 @@
+package metrics
+
+// CohortWindow evaluates an error-budget burn rate for a cohort of children
+// within a pair of counter vectors (calls and errors sharing label sets).
+// It follows the anchored-window model the supervisor's SLO guard already
+// uses for histograms: Prime anchors the window at the current totals, and
+// each Burn call reports the burn rate accumulated since the anchor — so a
+// bake period evaluates only its own traffic, per cohort (e.g. the canary
+// wave's LOIDs vs. the baseline fleet), not process-lifetime aggregates.
+type CohortWindow struct {
+	calls *CounterVec
+	errs  *CounterVec
+	match func(labels string) bool
+
+	primed     bool
+	prevCalls  uint64
+	prevErrors uint64
+}
+
+// NewCohortWindow returns a window over the cohort of children selected by
+// match (nil = every child) in the given calls/errors vectors. Either
+// vector may be nil; missing vectors contribute zero.
+func NewCohortWindow(calls, errs *CounterVec, match func(labels string) bool) *CohortWindow {
+	return &CohortWindow{calls: calls, errs: errs, match: match}
+}
+
+// sums reads current cohort totals.
+func (w *CohortWindow) sums() (calls, errs uint64) {
+	if w.calls != nil {
+		calls = w.calls.Sum(w.match)
+	}
+	if w.errs != nil {
+		errs = w.errs.Sum(w.match)
+	}
+	return calls, errs
+}
+
+// Prime anchors the window at the current totals. Children created after
+// priming still count fully — they start at zero, which is also the
+// anchor's implicit value for them.
+func (w *CohortWindow) Prime() {
+	w.prevCalls, w.prevErrors = w.sums()
+	w.primed = true
+}
+
+// Delta returns the calls and errors accumulated in the window since Prime
+// (or since construction, treating the anchor as zero, when never primed).
+func (w *CohortWindow) Delta() (calls, errs uint64) {
+	curCalls, curErrs := w.sums()
+	if !w.primed {
+		return curCalls, curErrs
+	}
+	if curCalls > w.prevCalls {
+		calls = curCalls - w.prevCalls
+	}
+	if curErrs > w.prevErrors {
+		errs = curErrs - w.prevErrors
+	}
+	return calls, errs
+}
+
+// Burn reports the window's error-budget burn rate: the observed error rate
+// divided by budget (the SLO's allowed error fraction, e.g. 0.001 for
+// 99.9%). A burn of 1.0 means errors are arriving exactly at the budgeted
+// rate; 10.0 means the budget is being consumed ten times too fast. Also
+// returns the window's call count so callers can require a minimum sample
+// size before acting. A zero-call window or non-positive budget burns 0.
+func (w *CohortWindow) Burn(budget float64) (burn float64, calls uint64) {
+	calls, errs := w.Delta()
+	if calls == 0 || budget <= 0 {
+		return 0, calls
+	}
+	rate := float64(errs) / float64(calls)
+	return rate / budget, calls
+}

@@ -54,6 +54,28 @@ func (s *CounterSet) Counter(name string) *Counter {
 	return c
 }
 
+// Lookup returns the counter registered under name, or nil if never
+// created. Read paths (SLO guards, exporters) use this instead of Counter
+// so probing for a name a producer never incremented doesn't materialise a
+// zero counter in every future snapshot.
+func (s *CounterSet) Lookup(name string) *Counter {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counters[name]
+}
+
+// snapshotMap returns name → value for every counter, shaped for the
+// registry snapshot.
+func (s *CounterSet) snapshotMap() map[string]uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := make(map[string]uint64, len(s.counters))
+	for name, c := range s.counters {
+		m[name] = c.Value()
+	}
+	return m
+}
+
 // Snapshot returns every counter's current value, sorted by name.
 func (s *CounterSet) Snapshot() []CounterValue {
 	s.mu.Lock()

@@ -1,0 +1,187 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ExpositionContentType is the Content-Type for the Prometheus text format
+// this package writes.
+const ExpositionContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteExposition renders the registry in the Prometheus text exposition
+// format (0.0.4): histograms (flat and labelled) as `_seconds` histogram
+// families with cumulative `le` buckets, gauges and gauge funcs as gauges,
+// and counter sets / counter vectors as `_total` counters. Metric names are
+// sanitised to the Prometheus charset (dots become underscores), durations
+// are converted from nanoseconds to seconds per convention.
+//
+// The write happens against a point-in-time gathering of the metric
+// pointers, so the scrape never holds the registry lock while formatting.
+func (r *Registry) WriteExposition(w io.Writer) error {
+	// Gather stable pointers under the lock; format outside it.
+	r.mu.Lock()
+	hists := make([]*Histogram, 0, len(r.histograms))
+	for _, h := range r.histograms {
+		hists = append(hists, h)
+	}
+	hvecs := make([]*HistogramVec, 0, len(r.histogramVecs))
+	for _, v := range r.histogramVecs {
+		hvecs = append(hvecs, v)
+	}
+	cvecs := make([]*CounterVec, 0, len(r.counterVecs))
+	for _, v := range r.counterVecs {
+		cvecs = append(cvecs, v)
+	}
+	gauges := make([]*Gauge, 0, len(r.gauges))
+	for _, g := range r.gauges {
+		gauges = append(gauges, g)
+	}
+	gfuncs := make([]gaugeFuncSample, 0, len(r.gaugeFuncs))
+	for name, fn := range r.gaugeFuncs {
+		gfuncs = append(gfuncs, gaugeFuncSample{name, fn})
+	}
+	type namedSet struct {
+		name string
+		set  *CounterSet
+	}
+	csets := make([]namedSet, 0, len(r.counters))
+	for name, cs := range r.counters {
+		csets = append(csets, namedSet{name, cs})
+	}
+	r.mu.Unlock()
+
+	sort.Slice(hists, func(i, j int) bool { return hists[i].Name() < hists[j].Name() })
+	sort.Slice(hvecs, func(i, j int) bool { return hvecs[i].Name() < hvecs[j].Name() })
+	sort.Slice(cvecs, func(i, j int) bool { return cvecs[i].Name() < cvecs[j].Name() })
+	sort.Slice(gauges, func(i, j int) bool { return gauges[i].Name() < gauges[j].Name() })
+	sort.Slice(gfuncs, func(i, j int) bool { return gfuncs[i].name < gfuncs[j].name })
+	sort.Slice(csets, func(i, j int) bool { return csets[i].name < csets[j].name })
+
+	var b strings.Builder
+	for _, h := range hists {
+		writeHistogram(&b, sanitizeMetricName(h.Name())+"_seconds", "", h)
+	}
+	for _, v := range hvecs {
+		family := sanitizeMetricName(v.Name()) + "_seconds"
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", family)
+		for _, child := range v.Children() {
+			writeHistogramBody(&b, family, child.Labels, child.Metric)
+		}
+	}
+	for _, g := range gauges {
+		name := sanitizeMetricName(g.Name())
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %d\n", name, name, g.Value())
+	}
+	for _, gf := range gfuncs {
+		name := sanitizeMetricName(gf.name)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %d\n", name, name, gf.fn())
+	}
+	for _, ns := range csets {
+		prefix := sanitizeMetricName(ns.name)
+		for _, cv := range ns.set.Snapshot() {
+			name := prefix + "_" + sanitizeMetricName(cv.Name) + "_total"
+			fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", name, name, cv.Value)
+		}
+	}
+	for _, v := range cvecs {
+		family := sanitizeMetricName(v.Name()) + "_total"
+		fmt.Fprintf(&b, "# TYPE %s counter\n", family)
+		for _, child := range v.Children() {
+			fmt.Fprintf(&b, "%s{%s} %d\n", family, child.Labels, child.Metric.Value())
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeHistogram emits a full histogram family (TYPE line + body).
+func writeHistogram(b *strings.Builder, family, labels string, h *Histogram) {
+	fmt.Fprintf(b, "# TYPE %s histogram\n", family)
+	writeHistogramBody(b, family, labels, h)
+}
+
+// writeHistogramBody emits cumulative `le` bucket lines plus _sum/_count
+// for one histogram (one labelled child of a family, or a flat histogram
+// with empty labels). Only populated buckets get a line — with 65 log-scale
+// buckets per histogram that keeps scrape size proportional to the data —
+// plus the mandatory `+Inf` bound.
+func writeHistogramBody(b *strings.Builder, family, labels string, h *Histogram) {
+	c := h.Counts()
+	var cum, total uint64
+	for _, n := range c.Buckets {
+		total += n
+	}
+	for i, n := range c.Buckets {
+		cum += n
+		if n == 0 {
+			continue
+		}
+		if i >= 64 {
+			// The top bucket's bound is effectively infinite; the +Inf line
+			// below covers it.
+			break
+		}
+		_, hi := bucketBounds(i)
+		writeBucketLine(b, family, labels, strconv.FormatFloat(float64(hi)/1e9, 'g', -1, 64), cum)
+	}
+	writeBucketLine(b, family, labels, "+Inf", total)
+	sep0, sep1 := "", ""
+	if labels != "" {
+		sep0, sep1 = "{", "}"
+	}
+	fmt.Fprintf(b, "%s_sum%s%s%s %s\n", family, sep0, labels, sep1,
+		strconv.FormatFloat(float64(c.SumNs)/1e9, 'g', -1, 64))
+	fmt.Fprintf(b, "%s_count%s%s%s %d\n", family, sep0, labels, sep1, total)
+}
+
+// writeBucketLine emits one `_bucket` sample, splicing `le` into any
+// existing label set.
+func writeBucketLine(b *strings.Builder, family, labels, le string, cum uint64) {
+	if labels == "" {
+		fmt.Fprintf(b, "%s_bucket{le=\"%s\"} %d\n", family, le, cum)
+		return
+	}
+	fmt.Fprintf(b, "%s_bucket{%s,le=\"%s\"} %d\n", family, labels, le, cum)
+}
+
+// sanitizeMetricName maps an internal metric name onto the Prometheus
+// charset [a-zA-Z_:][a-zA-Z0-9_:]*; every other byte becomes '_'.
+func sanitizeMetricName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	ok := true
+	for i := 0; i < len(name); i++ {
+		if !isNameByte(name[i], i) {
+			ok = false
+			break
+		}
+	}
+	if ok {
+		return name
+	}
+	out := make([]byte, len(name))
+	for i := 0; i < len(name); i++ {
+		if isNameByte(name[i], i) {
+			out[i] = name[i]
+		} else {
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}
+
+func isNameByte(c byte, pos int) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		return true
+	case c >= '0' && c <= '9':
+		return pos > 0
+	default:
+		return false
+	}
+}

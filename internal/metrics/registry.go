@@ -9,20 +9,24 @@ import "sync"
 // everything for the obs layer's JSON export and the harness's
 // stage-breakdown tables.
 type Registry struct {
-	mu         sync.Mutex
-	histograms map[string]*Histogram
-	gauges     map[string]*Gauge
-	gaugeFuncs map[string]func() int64
-	counters   map[string]*CounterSet
+	mu            sync.Mutex
+	histograms    map[string]*Histogram
+	gauges        map[string]*Gauge
+	gaugeFuncs    map[string]func() int64
+	counters      map[string]*CounterSet
+	histogramVecs map[string]*HistogramVec
+	counterVecs   map[string]*CounterVec
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		histograms: make(map[string]*Histogram),
-		gauges:     make(map[string]*Gauge),
-		gaugeFuncs: make(map[string]func() int64),
-		counters:   make(map[string]*CounterSet),
+		histograms:    make(map[string]*Histogram),
+		gauges:        make(map[string]*Gauge),
+		gaugeFuncs:    make(map[string]func() int64),
+		counters:      make(map[string]*CounterSet),
+		histogramVecs: make(map[string]*HistogramVec),
+		counterVecs:   make(map[string]*CounterVec),
 	}
 }
 
@@ -56,6 +60,60 @@ func (r *Registry) Gauge(name string) *Gauge {
 		r.gauges[name] = g
 	}
 	return g
+}
+
+// LookupGauge returns the named gauge or nil without creating one — the
+// read-path counterpart of Gauge, so observers (SLO guards, exporters,
+// status endpoints) don't litter the registry with empty metrics when they
+// probe for a name that no producer registered.
+func (r *Registry) LookupGauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.gauges[name]
+}
+
+// HistogramVec returns the labelled histogram family registered under name,
+// creating it on first use with the given label names and cardinality bound
+// (DefaultVecCardinality if maxCard <= 0). The first registration fixes the
+// label schema; later calls return the existing family regardless of the
+// label arguments, so producers should agree on a single declaration site.
+func (r *Registry) HistogramVec(name string, labelNames []string, maxCard int) *HistogramVec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.histogramVecs[name]
+	if !ok {
+		v = NewHistogramVec(name, labelNames, maxCard)
+		r.histogramVecs[name] = v
+	}
+	return v
+}
+
+// LookupHistogramVec returns the named family or nil without creating one.
+func (r *Registry) LookupHistogramVec(name string) *HistogramVec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.histogramVecs[name]
+}
+
+// CounterVec returns the labelled counter family registered under name,
+// creating it on first use; the same schema-fixing rule as HistogramVec
+// applies.
+func (r *Registry) CounterVec(name string, labelNames []string, maxCard int) *CounterVec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.counterVecs[name]
+	if !ok {
+		v = NewCounterVec(name, labelNames, maxCard)
+		r.counterVecs[name] = v
+	}
+	return v
+}
+
+// LookupCounterVec returns the named family or nil without creating one.
+func (r *Registry) LookupCounterVec(name string) *CounterVec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counterVecs[name]
 }
 
 // RegisterGaugeFunc registers a callback sampled at snapshot time (for
@@ -93,49 +151,59 @@ type RegistrySnapshot struct {
 	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
 }
 
+// gaugeFuncSample is scratch for deferring gauge-callback invocation past
+// the registry lock.
+type gaugeFuncSample struct {
+	name string
+	fn   func() int64
+}
+
 // Snapshot flattens the registry. Gauge functions are invoked on the
 // calling goroutine and must be fast and safe for concurrent use.
+//
+// The output maps are built directly under the registry lock — histogram,
+// gauge, and counter reads are all atomic, so no intermediate copies of the
+// registry's maps are needed (this path used to allocate four throwaway
+// maps per call, and the SLO guard snapshots every probe interval). Only
+// the gauge callbacks are deferred past the unlock: they run arbitrary
+// external code (dispatcher sizes, pool stats) that must not execute under
+// the registry mutex.
 func (r *Registry) Snapshot() RegistrySnapshot {
 	r.mu.Lock()
-	hists := make(map[string]*Histogram, len(r.histograms))
+	snap := RegistrySnapshot{
+		Counters:   make(map[string]map[string]uint64, len(r.counters)+len(r.counterVecs)),
+		Gauges:     make(map[string]int64, len(r.gauges)+len(r.gaugeFuncs)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.histograms)),
+	}
 	for name, h := range r.histograms {
-		hists[name] = h
+		snap.Histograms[name] = h.Snapshot()
 	}
-	gauges := make(map[string]*Gauge, len(r.gauges))
+	for _, v := range r.histogramVecs {
+		for _, child := range v.Children() {
+			snap.Histograms[child.Metric.Name()] = child.Metric.Snapshot()
+		}
+	}
 	for name, g := range r.gauges {
-		gauges[name] = g
+		snap.Gauges[name] = g.Value()
 	}
-	gaugeFuncs := make(map[string]func() int64, len(r.gaugeFuncs))
-	for name, fn := range r.gaugeFuncs {
-		gaugeFuncs[name] = fn
-	}
-	counters := make(map[string]*CounterSet, len(r.counters))
 	for name, cs := range r.counters {
-		counters[name] = cs
+		snap.Counters[name] = cs.snapshotMap()
+	}
+	for name, v := range r.counterVecs {
+		m := make(map[string]uint64, 8)
+		for _, child := range v.Children() {
+			m[child.Labels] = child.Metric.Value()
+		}
+		snap.Counters[name] = m
+	}
+	deferred := make([]gaugeFuncSample, 0, len(r.gaugeFuncs))
+	for name, fn := range r.gaugeFuncs {
+		deferred = append(deferred, gaugeFuncSample{name, fn})
 	}
 	r.mu.Unlock()
 
-	snap := RegistrySnapshot{
-		Counters:   make(map[string]map[string]uint64, len(counters)),
-		Gauges:     make(map[string]int64, len(gauges)+len(gaugeFuncs)),
-		Histograms: make(map[string]HistogramSnapshot, len(hists)),
-	}
-	for name, h := range hists {
-		snap.Histograms[name] = h.Snapshot()
-	}
-	for name, g := range gauges {
-		snap.Gauges[name] = g.Value()
-	}
-	for name, fn := range gaugeFuncs {
-		snap.Gauges[name] = fn()
-	}
-	for name, cs := range counters {
-		vals := cs.Snapshot()
-		m := make(map[string]uint64, len(vals))
-		for _, cv := range vals {
-			m[cv.Name] = cv.Value
-		}
-		snap.Counters[name] = m
+	for _, s := range deferred {
+		snap.Gauges[s.name] = s.fn()
 	}
 	return snap
 }

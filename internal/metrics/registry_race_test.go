@@ -1,0 +1,115 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// These tests exist to run under `go test -race -shuffle=on`: concurrent
+// create-on-first-use against snapshot/exposition readers is exactly what a
+// live node does (hot paths registering metrics while the SLO guard and
+// /metrics scrape), and the registry had no concurrency coverage before.
+
+func TestRegistryConcurrentCreateAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	const writers = 8
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Histogram(fmt.Sprintf("h.%d.%d", w, i%17)).Observe(time.Duration(i))
+				r.Gauge(fmt.Sprintf("g.%d.%d", w, i%13)).Set(int64(i))
+				r.CounterVec("calls", []string{"loid"}, 64).With(fmt.Sprintf("%d.%d", w, i%7)).Inc()
+				r.HistogramVec("lat", []string{"loid"}, 64).With(fmt.Sprintf("%d.%d", w, i%7)).Observe(time.Duration(i))
+				if i%31 == 0 {
+					r.RegisterGaugeFunc(fmt.Sprintf("gf.%d", w), func() int64 { return int64(i) })
+					cs := NewCounterSet()
+					cs.Counter("x").Inc()
+					r.RegisterCounters(fmt.Sprintf("cs.%d", w), cs)
+				}
+			}
+		}(w)
+	}
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = r.Snapshot()
+			var b strings.Builder
+			_ = r.WriteExposition(&b)
+			_ = r.LookupGauge("g.0.0")
+			_ = r.LookupHistogramVec("lat")
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	snap := r.Snapshot()
+	if len(snap.Histograms) == 0 || len(snap.Gauges) == 0 || len(snap.Counters) == 0 {
+		t.Fatalf("snapshot empty after concurrent churn: %d/%d/%d",
+			len(snap.Histograms), len(snap.Gauges), len(snap.Counters))
+	}
+}
+
+func TestHistogramVecConcurrentWithAndObserve(t *testing.T) {
+	v := NewHistogramVec("lat", []string{"loid", "method"}, 32)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				// More label sets than the bound, so overflow creation races
+				// with regular creation and with Children().
+				h := v.With(fmt.Sprintf("%d.%d", w, i%10), "m")
+				h.Observe(time.Duration(i))
+				if i%50 == 0 {
+					_ = v.Children()
+					_ = NewCohortWindow(nil, nil, nil)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total uint64
+	for _, kid := range v.Children() {
+		total += kid.Metric.Count()
+	}
+	if total != 8*500 {
+		t.Fatalf("observations lost under concurrency: %d, want %d", total, 8*500)
+	}
+}
+
+func TestCounterVecConcurrentSum(t *testing.T) {
+	v := NewCounterVec("calls", []string{"loid"}, 16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				v.With(fmt.Sprintf("l%d", w%4)).Inc()
+				if i%100 == 0 {
+					_ = v.Sum(MatchLabel("loid", "l0"))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := v.Sum(nil); got != 8000 {
+		t.Fatalf("sum = %d, want 8000", got)
+	}
+}

@@ -1,0 +1,286 @@
+package metrics
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// OverflowLabel is the label value dimensioned metrics collapse into once a
+// vector reaches its cardinality bound. Bounding cardinality is what makes
+// per-LOID metrics safe on a node hosting an unbounded number of objects: a
+// scrape stays O(bound), and a label-cardinality explosion degrades into one
+// aggregated child instead of unbounded memory.
+const OverflowLabel = "other"
+
+// DefaultVecCardinality bounds how many distinct label combinations a vector
+// tracks before overflowing into the `other` child.
+const DefaultVecCardinality = 512
+
+// labelKey renders label names/values as a canonical, exposition-ready
+// string: `name="value",...` in the order the label names were declared.
+// Values are escaped per the Prometheus text format.
+func labelKey(names, values []string) string {
+	var b strings.Builder
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(values[i]))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// escapeLabelValue escapes backslash, double-quote, and newline per the
+// Prometheus text exposition format.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
+	}
+	return b.String()
+}
+
+// HistogramVec is a family of histograms sharing one name, keyed by label
+// values (e.g. invoke latency keyed by LOID x method). Children are created
+// on first use with stable pointers — hot paths resolve a child once (one
+// mutex-guarded map lookup) and then observe lock-free. Cardinality is
+// bounded: past maxCard distinct label sets, observations collapse into a
+// single `other` child so a misbehaving label source cannot exhaust memory.
+type HistogramVec struct {
+	name    string
+	labels  []string
+	maxCard int
+
+	mu       sync.Mutex
+	children map[string]*Histogram // keyed by canonical label string
+	overflow *Histogram
+}
+
+// NewHistogramVec returns a histogram family with the given label names,
+// tracking at most maxCard distinct label sets (DefaultVecCardinality if
+// maxCard <= 0).
+func NewHistogramVec(name string, labelNames []string, maxCard int) *HistogramVec {
+	if maxCard <= 0 {
+		maxCard = DefaultVecCardinality
+	}
+	return &HistogramVec{
+		name:     name,
+		labels:   append([]string(nil), labelNames...),
+		maxCard:  maxCard,
+		children: make(map[string]*Histogram),
+	}
+}
+
+// Name returns the family name.
+func (v *HistogramVec) Name() string { return v.name }
+
+// LabelNames returns the declared label names.
+func (v *HistogramVec) LabelNames() []string { return v.labels }
+
+// With returns the child histogram for the given label values (one value per
+// declared label name; missing values render empty). The pointer is stable —
+// callers should cache it next to whatever keys their hot path already
+// resolves. At the cardinality bound, new label sets share the `other`
+// child.
+func (v *HistogramVec) With(labelValues ...string) *Histogram {
+	key := labelKey(v.labels, padValues(labelValues, len(v.labels)))
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h, ok := v.children[key]; ok {
+		return h
+	}
+	if len(v.children) >= v.maxCard {
+		return v.overflowLocked()
+	}
+	h := NewHistogram(v.name + "{" + key + "}")
+	v.children[key] = h
+	return h
+}
+
+// overflowLocked lazily creates the shared overflow child, registering it
+// under every label set to `other`.
+func (v *HistogramVec) overflowLocked() *Histogram {
+	if v.overflow == nil {
+		vals := make([]string, len(v.labels))
+		for i := range vals {
+			vals[i] = OverflowLabel
+		}
+		key := labelKey(v.labels, vals)
+		v.overflow = NewHistogram(v.name + "{" + key + "}")
+		v.children[key] = v.overflow
+	}
+	return v.overflow
+}
+
+// Children returns each child keyed by its canonical label string, sorted by
+// key, paired for iteration by snapshots and the exposition writer.
+func (v *HistogramVec) Children() []VecChild[*Histogram] {
+	v.mu.Lock()
+	out := make([]VecChild[*Histogram], 0, len(v.children))
+	for key, h := range v.children {
+		out = append(out, VecChild[*Histogram]{Labels: key, Metric: h})
+	}
+	v.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Labels < out[j].Labels })
+	return out
+}
+
+// VecChild pairs a child metric with its canonical label string.
+type VecChild[M any] struct {
+	Labels string
+	Metric M
+}
+
+// CounterVec is a family of counters sharing one name, keyed by label
+// values, with the same stable-pointer and bounded-cardinality contract as
+// HistogramVec.
+type CounterVec struct {
+	name    string
+	labels  []string
+	maxCard int
+
+	mu       sync.Mutex
+	children map[string]*Counter
+	overflow *Counter
+}
+
+// NewCounterVec returns a counter family with the given label names,
+// tracking at most maxCard distinct label sets (DefaultVecCardinality if
+// maxCard <= 0).
+func NewCounterVec(name string, labelNames []string, maxCard int) *CounterVec {
+	if maxCard <= 0 {
+		maxCard = DefaultVecCardinality
+	}
+	return &CounterVec{
+		name:     name,
+		labels:   append([]string(nil), labelNames...),
+		maxCard:  maxCard,
+		children: make(map[string]*Counter),
+	}
+}
+
+// Name returns the family name.
+func (v *CounterVec) Name() string { return v.name }
+
+// LabelNames returns the declared label names.
+func (v *CounterVec) LabelNames() []string { return v.labels }
+
+// With returns the child counter for the given label values; stable
+// pointer, `other` overflow at the cardinality bound.
+func (v *CounterVec) With(labelValues ...string) *Counter {
+	key := labelKey(v.labels, padValues(labelValues, len(v.labels)))
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c, ok := v.children[key]; ok {
+		return c
+	}
+	if len(v.children) >= v.maxCard {
+		if v.overflow == nil {
+			vals := make([]string, len(v.labels))
+			for i := range vals {
+				vals[i] = OverflowLabel
+			}
+			okey := labelKey(v.labels, vals)
+			v.overflow = NewCounter(v.name + "{" + okey + "}")
+			v.children[okey] = v.overflow
+		}
+		return v.overflow
+	}
+	c := NewCounter(v.name + "{" + key + "}")
+	v.children[key] = c
+	return c
+}
+
+// Children returns each child keyed by its canonical label string, sorted.
+func (v *CounterVec) Children() []VecChild[*Counter] {
+	v.mu.Lock()
+	out := make([]VecChild[*Counter], 0, len(v.children))
+	for key, c := range v.children {
+		out = append(out, VecChild[*Counter]{Labels: key, Metric: c})
+	}
+	v.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Labels < out[j].Labels })
+	return out
+}
+
+// Sum totals the children whose canonical label string satisfies match
+// (every child when match is nil). This is the cohort primitive: burn-rate
+// windows sum `loid="x"` children for the canary set against the rest.
+func (v *CounterVec) Sum(match func(labels string) bool) uint64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	var total uint64
+	for key, c := range v.children {
+		if match == nil || match(key) {
+			total += c.Value()
+		}
+	}
+	return total
+}
+
+// MatchLabel returns a predicate matching children whose canonical label
+// string carries name="value".
+func MatchLabel(name, value string) func(labels string) bool {
+	needle := name + `="` + escapeLabelValue(value) + `"`
+	return func(labels string) bool {
+		// Canonical strings separate pairs with commas, so a needle match is
+		// exact at a boundary.
+		idx := strings.Index(labels, needle)
+		for idx >= 0 {
+			end := idx + len(needle)
+			if (idx == 0 || labels[idx-1] == ',') && (end == len(labels) || labels[end] == ',') {
+				return true
+			}
+			next := strings.Index(labels[idx+1:], needle)
+			if next < 0 {
+				return false
+			}
+			idx += 1 + next
+		}
+		return false
+	}
+}
+
+// MatchAnyLabel returns a predicate matching children carrying name="v" for
+// any v in values.
+func MatchAnyLabel(name string, values []string) func(labels string) bool {
+	preds := make([]func(string) bool, len(values))
+	for i, v := range values {
+		preds[i] = MatchLabel(name, v)
+	}
+	return func(labels string) bool {
+		for _, p := range preds {
+			if p(labels) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// padValues right-pads values with empty strings to length n (truncating
+// extras), so With never panics on a miscounted call site.
+func padValues(values []string, n int) []string {
+	if len(values) == n {
+		return values
+	}
+	out := make([]string, n)
+	copy(out, values)
+	return out
+}

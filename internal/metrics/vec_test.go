@@ -1,0 +1,255 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistogramVecStablePointersAndSnapshot(t *testing.T) {
+	v := NewHistogramVec("invoke.latency", []string{"loid", "method"}, 8)
+	h1 := v.With("1.2.3", "get")
+	h2 := v.With("1.2.3", "get")
+	if h1 != h2 {
+		t.Fatal("same labels returned different children")
+	}
+	h1.Observe(time.Millisecond)
+	v.With("1.2.3", "put").Observe(2 * time.Millisecond)
+	kids := v.Children()
+	if len(kids) != 2 {
+		t.Fatalf("children = %d, want 2", len(kids))
+	}
+	if kids[0].Labels != `loid="1.2.3",method="get"` {
+		t.Fatalf("label key = %q", kids[0].Labels)
+	}
+	if got := h1.Name(); got != `invoke.latency{loid="1.2.3",method="get"}` {
+		t.Fatalf("child name = %q", got)
+	}
+}
+
+func TestHistogramVecOverflow(t *testing.T) {
+	v := NewHistogramVec("lat", []string{"loid"}, 2)
+	a := v.With("a")
+	bb := v.With("b")
+	c := v.With("c") // over the bound: collapses into `other`
+	d := v.With("d")
+	if c != d {
+		t.Fatal("overflow children must share one histogram")
+	}
+	if c == a || c == bb {
+		t.Fatal("overflow child aliases a real child")
+	}
+	c.Observe(time.Millisecond)
+	found := false
+	for _, kid := range v.Children() {
+		if kid.Labels == `loid="other"` {
+			found = true
+			if kid.Metric.Count() != 1 {
+				t.Fatalf("overflow count = %d", kid.Metric.Count())
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no `other` child in snapshot")
+	}
+	// Existing children keep resolving after the bound is hit.
+	if v.With("a") != a {
+		t.Fatal("existing child lost after overflow")
+	}
+}
+
+func TestCounterVecSumAndMatch(t *testing.T) {
+	v := NewCounterVec("invoke.errors", []string{"loid", "method"}, 16)
+	v.With("1.1.1", "get").Add(3)
+	v.With("1.1.1", "put").Add(2)
+	v.With("2.2.2", "get").Add(10)
+	if got := v.Sum(nil); got != 15 {
+		t.Fatalf("total = %d, want 15", got)
+	}
+	if got := v.Sum(MatchLabel("loid", "1.1.1")); got != 5 {
+		t.Fatalf("cohort 1.1.1 = %d, want 5", got)
+	}
+	if got := v.Sum(MatchAnyLabel("loid", []string{"1.1.1", "2.2.2"})); got != 15 {
+		t.Fatalf("union cohort = %d, want 15", got)
+	}
+	if got := v.Sum(MatchLabel("loid", "9.9.9")); got != 0 {
+		t.Fatalf("empty cohort = %d, want 0", got)
+	}
+	// A value that is a substring of another must not match.
+	v2 := NewCounterVec("c", []string{"loid"}, 8)
+	v2.With("1.1.1").Add(1)
+	v2.With("11.1.1").Add(100)
+	if got := v2.Sum(MatchLabel("loid", "1.1.1")); got != 1 {
+		t.Fatalf("substring label matched: %d, want 1", got)
+	}
+}
+
+func TestCounterVecOverflow(t *testing.T) {
+	v := NewCounterVec("c", []string{"k"}, 1)
+	v.With("a").Inc()
+	v.With("b").Inc()
+	v.With("z").Inc()
+	if v.With("b") != v.With("z") {
+		t.Fatal("overflow counters must share")
+	}
+	if got := v.Sum(MatchLabel("k", OverflowLabel)); got != 2 {
+		t.Fatalf("overflow sum = %d, want 2", got)
+	}
+}
+
+func TestLabelValueEscaping(t *testing.T) {
+	v := NewCounterVec("c", []string{"k"}, 8)
+	v.With("a\"b\\c\nd").Inc()
+	kids := v.Children()
+	if len(kids) != 1 {
+		t.Fatalf("children = %d", len(kids))
+	}
+	want := `k="a\"b\\c\nd"`
+	if kids[0].Labels != want {
+		t.Fatalf("escaped labels = %q, want %q", kids[0].Labels, want)
+	}
+}
+
+func TestVecPadValues(t *testing.T) {
+	v := NewCounterVec("c", []string{"a", "b"}, 8)
+	v.With("x").Inc() // miscounted call: second value renders empty
+	if kids := v.Children(); kids[0].Labels != `a="x",b=""` {
+		t.Fatalf("padded labels = %q", kids[0].Labels)
+	}
+}
+
+func TestCohortWindowBurn(t *testing.T) {
+	calls := NewCounterVec("invoke.calls", []string{"loid"}, 16)
+	errs := NewCounterVec("invoke.errors", []string{"loid"}, 16)
+	calls.With("canary").Add(1000)
+	errs.With("canary").Add(100)
+	calls.With("base").Add(1000)
+
+	w := NewCohortWindow(calls, errs, MatchLabel("loid", "canary"))
+	w.Prime()
+	// Pre-prime traffic is excluded.
+	if burn, n := w.Burn(0.001); burn != 0 || n != 0 {
+		t.Fatalf("primed window saw pre-existing traffic: burn %v n %d", burn, n)
+	}
+	calls.With("canary").Add(1000)
+	errs.With("canary").Add(10) // 1% error rate against a 0.1% budget → burn 10
+	calls.With("base").Add(5000)
+	errs.With("base").Add(5000) // baseline noise must not leak into the cohort
+	burn, n := w.Burn(0.001)
+	if n != 1000 {
+		t.Fatalf("window calls = %d, want 1000", n)
+	}
+	if burn < 9.9 || burn > 10.1 {
+		t.Fatalf("burn = %v, want 10", burn)
+	}
+	// Baseline cohort: at-budget errors burn exactly 1.
+	wb := NewCohortWindow(calls, errs, MatchLabel("loid", "base"))
+	base, bn := wb.Burn(1.0)
+	if bn != 6000 || base < 0.83 || base > 0.84 {
+		t.Fatalf("baseline burn = %v over %d", base, bn)
+	}
+	// Zero budget or empty window burns zero.
+	if burn, _ := w.Burn(0); burn != 0 {
+		t.Fatal("zero budget burned")
+	}
+	empty := NewCohortWindow(calls, errs, MatchLabel("loid", "nobody"))
+	empty.Prime()
+	if burn, n := empty.Burn(0.1); burn != 0 || n != 0 {
+		t.Fatalf("empty cohort burn = %v n %d", burn, n)
+	}
+}
+
+func TestRegistryVecAccessors(t *testing.T) {
+	r := NewRegistry()
+	if r.LookupHistogramVec("hv") != nil || r.LookupCounterVec("cv") != nil || r.LookupGauge("g") != nil {
+		t.Fatal("lookup created metrics on miss")
+	}
+	hv := r.HistogramVec("hv", []string{"loid"}, 8)
+	if r.HistogramVec("hv", []string{"ignored"}, 1) != hv || r.LookupHistogramVec("hv") != hv {
+		t.Fatal("histogram vec identity broken")
+	}
+	cv := r.CounterVec("cv", []string{"loid"}, 8)
+	if r.LookupCounterVec("cv") != cv {
+		t.Fatal("counter vec identity broken")
+	}
+	g := r.Gauge("g")
+	if r.LookupGauge("g") != g {
+		t.Fatal("LookupGauge missed an existing gauge")
+	}
+
+	hv.With("1.2.3").Observe(time.Millisecond)
+	cv.With("1.2.3").Add(7)
+	snap := r.Snapshot()
+	if hs, ok := snap.Histograms[`hv{loid="1.2.3"}`]; !ok || hs.Count != 1 {
+		t.Fatalf("vec child missing from snapshot: %+v", snap.Histograms)
+	}
+	if snap.Counters["cv"][`loid="1.2.3"`] != 7 {
+		t.Fatalf("counter vec missing from snapshot: %+v", snap.Counters)
+	}
+}
+
+func TestCounterSetLookup(t *testing.T) {
+	cs := NewCounterSet()
+	if cs.Lookup("missing") != nil {
+		t.Fatal("Lookup created a counter")
+	}
+	if len(cs.Snapshot()) != 0 {
+		t.Fatal("probing polluted the set")
+	}
+	c := cs.Counter("hits")
+	if cs.Lookup("hits") != c {
+		t.Fatal("Lookup missed an existing counter")
+	}
+}
+
+func TestSanitizeMetricName(t *testing.T) {
+	for in, want := range map[string]string{
+		"client.invoke":      "client_invoke",
+		"server.n-1.depth":   "server_n_1_depth",
+		"ok_name:sub":        "ok_name:sub",
+		"9starts.with.digit": "_starts_with_digit",
+		"":                   "_",
+	} {
+		if got := sanitizeMetricName(in); got != want {
+			t.Fatalf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWriteExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("client.invoke").Observe(time.Millisecond)
+	r.Histogram("client.invoke").Observe(3 * time.Millisecond)
+	r.Gauge("queue.depth").Set(4)
+	r.RegisterGaugeFunc("hosted.objects", func() int64 { return 11 })
+	cs := NewCounterSet()
+	cs.Counter("rebinds").Add(2)
+	r.RegisterCounters("client.stats", cs)
+	r.HistogramVec("invoke.latency", []string{"loid", "method"}, 8).With("1.2.3", "get").Observe(2 * time.Millisecond)
+	r.CounterVec("invoke.errors", []string{"loid", "method"}, 8).With("1.2.3", "get").Add(5)
+
+	var b strings.Builder
+	if err := r.WriteExposition(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE client_invoke_seconds histogram",
+		`client_invoke_seconds_bucket{le="+Inf"} 2`,
+		"client_invoke_seconds_count 2",
+		"# TYPE queue_depth gauge\nqueue_depth 4",
+		"hosted_objects 11",
+		"# TYPE client_stats_rebinds_total counter\nclient_stats_rebinds_total 2",
+		`invoke_latency_seconds_bucket{loid="1.2.3",method="get",le="+Inf"} 1`,
+		`invoke_latency_seconds_count{loid="1.2.3",method="get"} 1`,
+		`invoke_errors_total{loid="1.2.3",method="get"} 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Cumulative bucket counts must be monotonic per series.
+	if strings.Count(out, "client_invoke_seconds_bucket") < 2 {
+		t.Fatalf("expected at least two bucket lines:\n%s", out)
+	}
+}

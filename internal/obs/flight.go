@@ -1,0 +1,276 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Retention reasons recorded on flight-recorder entries.
+const (
+	RetainError = "error" // a span in the trace failed
+	RetainSlow  = "slow"  // a span exceeded the latency threshold
+)
+
+// Defaults for the flight recorder's bounds.
+const (
+	// DefaultFlightCapacity is how many retained traces the recorder holds
+	// before evicting the oldest.
+	DefaultFlightCapacity = 256
+	// DefaultFlightThreshold is the latency above which a span promotes its
+	// trace to retained status.
+	DefaultFlightThreshold = 100 * time.Millisecond
+	// maxFlightSpans caps how many spans one retained trace accumulates, so
+	// a pathological retry storm cannot grow an entry without bound.
+	maxFlightSpans = 128
+)
+
+// FlightTrace is one retained trace: the complete set of spans the node saw
+// for a trace that errored or ran slow, regardless of the head-sampling
+// decision. This is what makes the 1-in-10k slow request explainable at 1%
+// head sampling.
+type FlightTrace struct {
+	TraceID  uint64        `json:"trace_id"`
+	Reason   string        `json:"reason"`
+	Retained time.Time     `json:"retained"`
+	MaxNs    time.Duration `json:"max_ns"` // slowest span in the trace
+	Spans    []SpanRecord  `json:"spans"`
+}
+
+// FlightStats summarises recorder activity for gauges and /debug surfaces.
+type FlightStats struct {
+	Live     int    `json:"live"`     // traces currently retained
+	Retained uint64 `json:"retained"` // traces ever promoted
+	Evicted  uint64 `json:"evicted"`  // traces pushed out by capacity
+}
+
+// FlightRecorder is a bounded ring of retained traces. Promotion is
+// tail-based: a trace enters when any of its spans errors or exceeds the
+// latency threshold — whether those spans were recorded eagerly (sampled
+// traces) or materialised lazily on completion (unsampled traces). Once a
+// trace is retained, spans that finish later keep appending to it, so the
+// recorder ends up holding the *complete* trace, not just the triggering
+// span. When full, the oldest retained trace is evicted FIFO.
+//
+// All methods are nil-safe so unconfigured nodes pay one pointer compare.
+type FlightRecorder struct {
+	threshold atomic.Int64 // promotion latency threshold, ns (0 = errors only)
+
+	mu       sync.Mutex
+	capacity int
+	traces   map[uint64]*FlightTrace
+	order    []uint64 // retention order, oldest first
+
+	retained atomic.Uint64
+	evicted  atomic.Uint64
+}
+
+// NewFlightRecorder returns a recorder holding up to capacity traces
+// (DefaultFlightCapacity if capacity <= 0), promoting on error or on spans
+// at or above threshold (DefaultFlightThreshold if threshold == 0; negative
+// disables latency promotion, retaining errors only).
+func NewFlightRecorder(capacity int, threshold time.Duration) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = DefaultFlightCapacity
+	}
+	f := &FlightRecorder{
+		capacity: capacity,
+		traces:   make(map[uint64]*FlightTrace, capacity),
+		order:    make([]uint64, 0, capacity),
+	}
+	if threshold == 0 {
+		threshold = DefaultFlightThreshold
+	}
+	f.SetThreshold(threshold)
+	return f
+}
+
+// Threshold returns the promotion latency threshold (0 = errors only).
+func (f *FlightRecorder) Threshold() time.Duration {
+	if f == nil {
+		return 0
+	}
+	ns := f.threshold.Load()
+	if ns < 0 {
+		return 0
+	}
+	return time.Duration(ns)
+}
+
+// SetThreshold retunes the promotion threshold on a live node. Negative
+// disables latency-based promotion (errors still retain).
+func (f *FlightRecorder) SetThreshold(d time.Duration) {
+	if f == nil {
+		return
+	}
+	f.threshold.Store(int64(d))
+}
+
+// shouldPromote reports whether a span with the given duration/error state
+// triggers retention, and the reason. Cheap: one atomic load.
+func (f *FlightRecorder) shouldPromote(d time.Duration, errored bool) (string, bool) {
+	if f == nil {
+		return "", false
+	}
+	if errored {
+		return RetainError, true
+	}
+	if th := f.threshold.Load(); th > 0 && int64(d) >= th {
+		return RetainSlow, true
+	}
+	return "", false
+}
+
+// ShouldRetain reports whether a call outcome (duration + error) would
+// promote its trace. Exposed for lazy (unsampled) call paths that decide at
+// completion whether to materialise spans at all.
+func (f *FlightRecorder) ShouldRetain(d time.Duration, errored bool) bool {
+	_, ok := f.shouldPromote(d, errored)
+	return ok
+}
+
+// Retain promotes traceID with the given spans, creating the entry if needed
+// and merging new spans (deduplicated by span ID) into an existing one. The
+// first promotion's reason sticks. Nil-safe.
+func (f *FlightRecorder) Retain(traceID uint64, reason string, spans ...SpanRecord) {
+	if f == nil || traceID == 0 {
+		return
+	}
+	f.mu.Lock()
+	ft, ok := f.traces[traceID]
+	if !ok {
+		if len(f.order) >= f.capacity {
+			oldest := f.order[0]
+			f.order = f.order[1:]
+			delete(f.traces, oldest)
+			f.evicted.Add(1)
+		}
+		ft = &FlightTrace{TraceID: traceID, Reason: reason, Retained: time.Now()}
+		f.traces[traceID] = ft
+		f.order = append(f.order, traceID)
+		f.retained.Add(1)
+	}
+	for _, rec := range spans {
+		f.appendLocked(ft, rec)
+	}
+	f.mu.Unlock()
+}
+
+// Append adds rec to an already-retained trace; it does nothing when the
+// trace was never promoted. This is how spans finishing after the promotion
+// trigger (e.g. the client root closing after a server span errored)
+// complete the retained trace. Nil-safe.
+func (f *FlightRecorder) Append(rec SpanRecord) {
+	if f == nil || rec.TraceID == 0 {
+		return
+	}
+	f.mu.Lock()
+	if ft, ok := f.traces[rec.TraceID]; ok {
+		f.appendLocked(ft, rec)
+	}
+	f.mu.Unlock()
+}
+
+// appendLocked merges rec into ft, skipping duplicates and enforcing the
+// per-trace span cap.
+func (f *FlightRecorder) appendLocked(ft *FlightTrace, rec SpanRecord) {
+	if len(ft.Spans) >= maxFlightSpans {
+		return
+	}
+	for i := range ft.Spans {
+		if ft.Spans[i].SpanID == rec.SpanID && rec.SpanID != 0 {
+			return
+		}
+	}
+	ft.Spans = append(ft.Spans, rec)
+	if rec.Duration > ft.MaxNs {
+		ft.MaxNs = rec.Duration
+	}
+}
+
+// Retained reports whether traceID is currently held. Nil-safe.
+func (f *FlightRecorder) Retained(traceID uint64) bool {
+	if f == nil || traceID == 0 {
+		return false
+	}
+	f.mu.Lock()
+	_, ok := f.traces[traceID]
+	f.mu.Unlock()
+	return ok
+}
+
+// Trace returns a copy of the retained trace, or false if not held.
+func (f *FlightRecorder) Trace(traceID uint64) (FlightTrace, bool) {
+	if f == nil {
+		return FlightTrace{}, false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ft, ok := f.traces[traceID]
+	if !ok {
+		return FlightTrace{}, false
+	}
+	return copyFlightTrace(ft), true
+}
+
+// Recent returns up to limit retained traces, most recently promoted first
+// (all if limit <= 0). Nil-safe.
+func (f *FlightRecorder) Recent(limit int) []FlightTrace {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := len(f.order)
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	out := make([]FlightTrace, 0, n)
+	for i := len(f.order) - 1; i >= 0 && len(out) < n; i-- {
+		out = append(out, copyFlightTrace(f.traces[f.order[i]]))
+	}
+	return out
+}
+
+// Slowest returns up to limit retained traces ordered by their slowest span,
+// longest first (all if limit <= 0). Nil-safe.
+func (f *FlightRecorder) Slowest(limit int) []FlightTrace {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	out := make([]FlightTrace, 0, len(f.order))
+	for _, id := range f.order {
+		out = append(out, copyFlightTrace(f.traces[id]))
+	}
+	f.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].MaxNs > out[j].MaxNs })
+	if limit > 0 && limit < len(out) {
+		out = out[:limit]
+	}
+	return out
+}
+
+// Stats returns recorder activity counters. Nil-safe.
+func (f *FlightRecorder) Stats() FlightStats {
+	if f == nil {
+		return FlightStats{}
+	}
+	f.mu.Lock()
+	live := len(f.order)
+	f.mu.Unlock()
+	return FlightStats{
+		Live:     live,
+		Retained: f.retained.Load(),
+		Evicted:  f.evicted.Load(),
+	}
+}
+
+// copyFlightTrace deep-copies the span slice so callers can hold the result
+// without racing recorder mutation.
+func copyFlightTrace(ft *FlightTrace) FlightTrace {
+	cp := *ft
+	cp.Spans = append([]SpanRecord(nil), ft.Spans...)
+	return cp
+}

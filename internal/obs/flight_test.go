@@ -1,0 +1,239 @@
+package obs
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestSamplerRateDistribution(t *testing.T) {
+	s := NewSampler(0.01)
+	const n = 200000
+	kept := 0
+	for i := uint64(1); i <= n; i++ {
+		if s.Keep(i) {
+			kept++
+		}
+	}
+	// 1% of 200k = 2000; sequential IDs through splitmix64 should land
+	// within a loose 3x band.
+	if kept < 700 || kept > 6000 {
+		t.Fatalf("kept %d of %d at 1%%, want ~2000", kept, n)
+	}
+	decisions, keptStat := s.Stats()
+	if decisions != n || keptStat != uint64(kept) {
+		t.Fatalf("stats = %d/%d, want %d/%d", decisions, keptStat, n, kept)
+	}
+}
+
+func TestSamplerDecisionStablePerTraceID(t *testing.T) {
+	s := NewSampler(0.5)
+	for i := uint64(1); i < 1000; i++ {
+		if s.Keep(i) != s.Keep(i) {
+			t.Fatalf("decision for trace %d not stable", i)
+		}
+	}
+}
+
+func TestSamplerEdgeRates(t *testing.T) {
+	if !NewSampler(1).Keep(42) || !NewSampler(2).Keep(42) {
+		t.Fatal("rate >= 1 must keep everything")
+	}
+	s := NewSampler(0)
+	for i := uint64(1); i < 100; i++ {
+		if s.Keep(i) {
+			t.Fatalf("rate 0 kept trace %d", i)
+		}
+	}
+	var nilS *Sampler
+	if !nilS.Keep(7) {
+		t.Fatal("nil sampler must keep everything")
+	}
+}
+
+func TestSamplerRetune(t *testing.T) {
+	s := NewSampler(0)
+	if s.Keep(1) {
+		t.Fatal("rate 0 kept")
+	}
+	s.SetRate(1)
+	if !s.Keep(1) {
+		t.Fatal("retuned rate 1 dropped")
+	}
+}
+
+func TestFlightRetainOnError(t *testing.T) {
+	tr := NewTracer(64)
+	fl := NewFlightRecorder(8, -1) // errors only
+	tr.SetFlight(fl)
+
+	root := tr.StartSpan(StageClientInvoke, SpanContext{})
+	child := root.Child(StageServerDispatch)
+	child.Fail(errors.New("boom"))
+	child.Finish()
+	root.Finish()
+
+	ft, ok := fl.Trace(root.Context().TraceID)
+	if !ok {
+		t.Fatal("errored trace not retained")
+	}
+	if ft.Reason != RetainError {
+		t.Fatalf("reason = %q, want %q", ft.Reason, RetainError)
+	}
+	// Both the triggering child and the later-finishing root must be there.
+	if len(ft.Spans) != 2 {
+		t.Fatalf("retained %d spans, want 2: %+v", len(ft.Spans), ft.Spans)
+	}
+}
+
+func TestFlightRetainOnSlow(t *testing.T) {
+	tr := NewTracer(64)
+	fl := NewFlightRecorder(8, time.Millisecond)
+	tr.SetFlight(fl)
+
+	slow := tr.StartSpan(StageClientInvoke, SpanContext{})
+	time.Sleep(3 * time.Millisecond)
+	slow.Finish()
+	fast := tr.StartSpan(StageClientInvoke, SpanContext{})
+	fast.Finish()
+
+	if _, ok := fl.Trace(slow.Context().TraceID); !ok {
+		t.Fatal("slow trace not retained")
+	}
+	if _, ok := fl.Trace(fast.Context().TraceID); ok {
+		t.Fatal("fast healthy trace retained")
+	}
+	if got := fl.Recent(0); len(got) != 1 || got[0].Reason != RetainSlow {
+		t.Fatalf("recent = %+v, want one slow retention", got)
+	}
+}
+
+func TestFlightLazyRetention(t *testing.T) {
+	// The unsampled path materialises records directly, without spans.
+	fl := NewFlightRecorder(8, 50*time.Millisecond)
+	if fl.ShouldRetain(10*time.Millisecond, false) {
+		t.Fatal("healthy fast call retained")
+	}
+	if !fl.ShouldRetain(60*time.Millisecond, false) || !fl.ShouldRetain(0, true) {
+		t.Fatal("slow/errored call not retained")
+	}
+	fl.Retain(77, RetainSlow, SpanRecord{TraceID: 77, SpanID: 1, Stage: StageClientInvoke, Duration: 60 * time.Millisecond})
+	// A server-side record for the same trace merges in.
+	fl.Retain(77, RetainError, SpanRecord{TraceID: 77, SpanID: 2, ParentID: 1, Stage: StageServerDispatch, Duration: 55 * time.Millisecond})
+	ft, ok := fl.Trace(77)
+	if !ok || len(ft.Spans) != 2 {
+		t.Fatalf("merged trace = %+v ok=%v, want 2 spans", ft, ok)
+	}
+	if ft.Reason != RetainSlow {
+		t.Fatalf("first promotion reason must stick, got %q", ft.Reason)
+	}
+	if ft.MaxNs != 60*time.Millisecond {
+		t.Fatalf("MaxNs = %v, want 60ms", ft.MaxNs)
+	}
+}
+
+func TestFlightEvictionFIFO(t *testing.T) {
+	fl := NewFlightRecorder(3, -1)
+	for id := uint64(1); id <= 5; id++ {
+		fl.Retain(id, RetainError, SpanRecord{TraceID: id, SpanID: id})
+	}
+	for id := uint64(1); id <= 2; id++ {
+		if fl.Retained(id) {
+			t.Fatalf("trace %d should have been evicted", id)
+		}
+	}
+	for id := uint64(3); id <= 5; id++ {
+		if !fl.Retained(id) {
+			t.Fatalf("trace %d missing", id)
+		}
+	}
+	st := fl.Stats()
+	if st.Live != 3 || st.Retained != 5 || st.Evicted != 2 {
+		t.Fatalf("stats = %+v, want live 3 retained 5 evicted 2", st)
+	}
+}
+
+func TestFlightSpanDedupAndCap(t *testing.T) {
+	fl := NewFlightRecorder(2, -1)
+	rec := SpanRecord{TraceID: 9, SpanID: 4, Stage: StageClientInvoke}
+	fl.Retain(9, RetainError, rec)
+	fl.Retain(9, RetainError, rec) // duplicate span ID ignored
+	fl.Append(rec)
+	ft, _ := fl.Trace(9)
+	if len(ft.Spans) != 1 {
+		t.Fatalf("duplicate spans retained: %d", len(ft.Spans))
+	}
+	for i := 0; i < maxFlightSpans+10; i++ {
+		fl.Append(SpanRecord{TraceID: 9, SpanID: uint64(100 + i)})
+	}
+	ft, _ = fl.Trace(9)
+	if len(ft.Spans) > maxFlightSpans {
+		t.Fatalf("span cap breached: %d", len(ft.Spans))
+	}
+}
+
+func TestFlightSlowestOrdering(t *testing.T) {
+	fl := NewFlightRecorder(8, -1)
+	fl.Retain(1, RetainSlow, SpanRecord{TraceID: 1, SpanID: 1, Duration: 10 * time.Millisecond})
+	fl.Retain(2, RetainSlow, SpanRecord{TraceID: 2, SpanID: 2, Duration: 30 * time.Millisecond})
+	fl.Retain(3, RetainSlow, SpanRecord{TraceID: 3, SpanID: 3, Duration: 20 * time.Millisecond})
+	got := fl.Slowest(2)
+	if len(got) != 2 || got[0].TraceID != 2 || got[1].TraceID != 3 {
+		t.Fatalf("slowest = %+v, want traces 2,3", got)
+	}
+}
+
+func TestFlightAppendIgnoresUnretained(t *testing.T) {
+	fl := NewFlightRecorder(4, -1)
+	fl.Append(SpanRecord{TraceID: 123, SpanID: 1})
+	if fl.Retained(123) {
+		t.Fatal("Append must not create entries")
+	}
+}
+
+func TestFlightNilSafety(t *testing.T) {
+	var fl *FlightRecorder
+	fl.Retain(1, RetainError, SpanRecord{})
+	fl.Append(SpanRecord{TraceID: 1})
+	if fl.Retained(1) || fl.ShouldRetain(time.Hour, true) {
+		t.Fatal("nil recorder retained something")
+	}
+	if _, ok := fl.Trace(1); ok {
+		t.Fatal("nil recorder returned a trace")
+	}
+	if fl.Recent(0) != nil || fl.Slowest(0) != nil {
+		t.Fatal("nil recorder returned traces")
+	}
+	if st := fl.Stats(); st != (FlightStats{}) {
+		t.Fatalf("nil stats = %+v", st)
+	}
+	fl.SetThreshold(time.Second)
+	if fl.Threshold() != 0 {
+		t.Fatal("nil threshold nonzero")
+	}
+	var tr *Tracer
+	if tr.MintContext() != (SpanContext{}) || tr.MintSpanID() != 0 || !tr.Keep(5) || tr.Flight() != nil {
+		t.Fatal("nil tracer helpers not nil-safe")
+	}
+}
+
+func TestNewWithOptionsShapes(t *testing.T) {
+	o := NewWithOptions(Options{SpanRing: 16, EventRing: 8, SampleRate: 0.25, FlightCapacity: 32, FlightThreshold: time.Second})
+	if o.Tracer == nil || o.Tracer.Sampler() == nil {
+		t.Fatal("sampler not installed")
+	}
+	if o.Flight == nil || o.Tracer.Flight() != o.Flight {
+		t.Fatal("flight recorder not wired to tracer")
+	}
+	if o.Flight.Threshold() != time.Second {
+		t.Fatalf("threshold = %v", o.Flight.Threshold())
+	}
+	// New() keeps the legacy shape: everything kept, no flight recorder.
+	if def := New(); def.Tracer.Sampler() != nil || def.GetFlight() != nil {
+		t.Fatal("New() must not sample or retain")
+	}
+	// Rate >= 1 installs no sampler (keep everything, zero overhead).
+	if o2 := NewWithOptions(Options{SampleRate: 1}); o2.Tracer.Sampler() != nil {
+		t.Fatal("rate 1 installed a sampler")
+	}
+}

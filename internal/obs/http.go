@@ -40,6 +40,32 @@ func (o *Obs) Handler() http.Handler {
 		}
 		writeJSON(w, events)
 	})
+	mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, r *http.Request) {
+		fl := o.GetFlight()
+		if tid := queryUint64(r, "trace"); tid != 0 {
+			ft, ok := fl.Trace(tid)
+			if !ok {
+				http.Error(w, "trace not retained", http.StatusNotFound)
+				return
+			}
+			writeJSON(w, ft)
+			return
+		}
+		limit := queryInt(r, "limit", 64)
+		var traces []FlightTrace
+		if r.URL.Query().Get("sort") == "slowest" {
+			traces = fl.Slowest(limit)
+		} else {
+			traces = fl.Recent(limit)
+		}
+		if traces == nil {
+			traces = []FlightTrace{}
+		}
+		writeJSON(w, struct {
+			Stats  FlightStats   `json:"stats"`
+			Traces []FlightTrace `json:"traces"`
+		}{fl.Stats(), traces})
+	})
 	return mux
 }
 

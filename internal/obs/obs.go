@@ -8,22 +8,58 @@ import (
 )
 
 // Obs bundles the node-wide observability surfaces: a metrics registry, a
-// tracer, and an evolution-event log. A nil *Obs disables everything; the
-// accessors below are nil-safe so call sites hold one optional pointer.
+// tracer, an evolution-event log, and (optionally) a flight recorder for
+// tail-retained traces. A nil *Obs disables everything; the accessors below
+// are nil-safe so call sites hold one optional pointer.
 type Obs struct {
 	Metrics *metrics.Registry
 	Tracer  *Tracer
 	Events  *EventLog
+	Flight  *FlightRecorder
+}
+
+// Options configures an Obs built by NewWithOptions. The zero value
+// reproduces New(): full tracing at default ring sizes, every trace kept,
+// no flight recorder.
+type Options struct {
+	// SpanRing / EventRing size the tracer and event-log rings
+	// (defaults: DefaultRingSize / DefaultEventLogSize).
+	SpanRing  int
+	EventRing int
+	// SampleRate sets the head-sampling keep probability. Values <= 0 or
+	// >= 1 keep every trace (no sampler is installed), matching the
+	// pre-sampling behaviour.
+	SampleRate float64
+	// FlightCapacity > 0 enables the flight recorder with room for that
+	// many retained traces; FlightThreshold is its slow-span promotion
+	// threshold (DefaultFlightThreshold when zero, errors-only when
+	// negative).
+	FlightCapacity  int
+	FlightThreshold time.Duration
 }
 
 // New returns an Obs with tracing, events, and metrics all enabled at
-// default ring sizes.
+// default ring sizes, keeping every trace (no sampling, no flight
+// recorder).
 func New() *Obs {
-	return &Obs{
+	return NewWithOptions(Options{})
+}
+
+// NewWithOptions returns an Obs shaped by opts; see Options for defaults.
+func NewWithOptions(opts Options) *Obs {
+	o := &Obs{
 		Metrics: metrics.NewRegistry(),
-		Tracer:  NewTracer(0),
-		Events:  NewEventLog(0),
+		Tracer:  NewTracer(opts.SpanRing),
+		Events:  NewEventLog(opts.EventRing),
 	}
+	if opts.SampleRate > 0 && opts.SampleRate < 1 {
+		o.Tracer.SetSampler(NewSampler(opts.SampleRate))
+	}
+	if opts.FlightCapacity > 0 {
+		o.Flight = NewFlightRecorder(opts.FlightCapacity, opts.FlightThreshold)
+		o.Tracer.SetFlight(o.Flight)
+	}
+	return o
 }
 
 // NewMetricsOnly returns an Obs that collects metrics and events but does
@@ -58,6 +94,15 @@ func (o *Obs) GetEvents() *EventLog {
 		return nil
 	}
 	return o.Events
+}
+
+// GetFlight returns the flight recorder, or nil when o is nil or tail
+// retention is not configured. Nil-safe.
+func (o *Obs) GetFlight() *FlightRecorder {
+	if o == nil {
+		return nil
+	}
+	return o.Flight
 }
 
 // Configurable is implemented by hosted objects (and other components) that

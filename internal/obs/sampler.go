@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Sampler makes the head sampling decision for new traces: a trace is either
+// kept (eager span recording, as before sampling existed) or dropped (no
+// spans; only tail retention in the flight recorder applies). The decision is
+// made once, at the trace root on the client, and carried across the wire as
+// an envelope trace flag so every node treats the distributed trace the same
+// way.
+//
+// A nil *Sampler keeps everything — it is the disabled state, and the state
+// obs.New() configures by default, so existing behaviour (and the cross-node
+// trace integration tests) are unchanged unless a rate is set explicitly.
+type Sampler struct {
+	// threshold partitions the uint64 space: a trace ID hashed below it is
+	// kept. Stored atomically so the rate can be retuned on a live node.
+	threshold atomic.Uint64
+	// decisions/kept count sampling outcomes for the /debug surfaces.
+	decisions atomic.Uint64
+	kept      atomic.Uint64
+}
+
+// NewSampler returns a head sampler keeping approximately rate of traces
+// (rate in [0,1]). Rates at or above 1 keep everything; returning a non-nil
+// sampler even then keeps the stats surfaces live. Rates at or below 0 drop
+// everything (tail retention still applies).
+func NewSampler(rate float64) *Sampler {
+	s := &Sampler{}
+	s.SetRate(rate)
+	return s
+}
+
+// SetRate retunes the keep probability. Safe on a live node.
+func (s *Sampler) SetRate(rate float64) {
+	switch {
+	case rate <= 0:
+		s.threshold.Store(0)
+	case rate >= 1:
+		s.threshold.Store(math.MaxUint64)
+	default:
+		s.threshold.Store(uint64(rate * math.MaxUint64))
+	}
+}
+
+// Keep decides whether the trace identified by traceID is sampled. The
+// decision is a pure function of the ID (splitmix64 finalizer) so it is
+// stable across retries that reuse the ID, cheap (no locks, no allocs), and
+// uniform even though trace IDs from one tracer are sequential. A nil
+// sampler keeps everything.
+func (s *Sampler) Keep(traceID uint64) bool {
+	if s == nil {
+		return true
+	}
+	t := s.threshold.Load()
+	if t == math.MaxUint64 {
+		s.decisions.Add(1)
+		s.kept.Add(1)
+		return true
+	}
+	keep := mix64(traceID) < t
+	s.decisions.Add(1)
+	if keep {
+		s.kept.Add(1)
+	}
+	return keep
+}
+
+// Stats returns how many head decisions were made and how many kept.
+func (s *Sampler) Stats() (decisions, kept uint64) {
+	if s == nil {
+		return 0, 0
+	}
+	return s.decisions.Load(), s.kept.Load()
+}
+
+// mix64 is the splitmix64 finalizer: a cheap invertible hash with good
+// avalanche, turning sequential trace IDs into uniform samples.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

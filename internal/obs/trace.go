@@ -77,12 +77,22 @@ type Span struct {
 // Tracer mints trace/span IDs and keeps a fixed-size ring of recently
 // finished spans. A nil *Tracer is the disabled state: StartSpan returns
 // nil and the caller's instrumentation collapses to a pointer compare.
+//
+// A tracer optionally carries a head Sampler (nil keeps every trace) and a
+// FlightRecorder (nil disables tail retention). When both are present the
+// tracer implements the two-tier recording model: sampled traces record
+// eager spans into the ring as always, and any recorded span that errors or
+// exceeds the recorder's threshold promotes its whole trace into the
+// recorder; unsampled traces skip the ring entirely and are materialised
+// into the recorder lazily by the rpc layer only when they misbehave.
 type Tracer struct {
-	next atomic.Uint64 // ID allocator; seeded randomly so nodes don't collide
-	mu   sync.Mutex
-	ring []SpanRecord
-	head int
-	size int
+	next    atomic.Uint64 // ID allocator; seeded randomly so nodes don't collide
+	sampler *Sampler
+	flight  *FlightRecorder
+	mu      sync.Mutex
+	ring    []SpanRecord
+	head    int
+	size    int
 }
 
 // DefaultRingSize is how many finished spans a tracer retains.
@@ -109,6 +119,69 @@ func (t *Tracer) nextID() uint64 {
 			return id
 		}
 	}
+}
+
+// SetSampler installs (or clears) the head sampler. A nil sampler keeps
+// every trace.
+func (t *Tracer) SetSampler(s *Sampler) {
+	if t == nil {
+		return
+	}
+	t.sampler = s
+}
+
+// Sampler returns the tracer's head sampler (nil = keep everything).
+func (t *Tracer) Sampler() *Sampler {
+	if t == nil {
+		return nil
+	}
+	return t.sampler
+}
+
+// SetFlight installs (or clears) the flight recorder spans promote into.
+func (t *Tracer) SetFlight(f *FlightRecorder) {
+	if t == nil {
+		return
+	}
+	t.flight = f
+}
+
+// Flight returns the tracer's flight recorder (nil = no tail retention).
+// Nil-safe.
+func (t *Tracer) Flight() *FlightRecorder {
+	if t == nil {
+		return nil
+	}
+	return t.flight
+}
+
+// Keep applies the head sampler to traceID. Nil-safe: a nil tracer (or no
+// sampler) keeps everything.
+func (t *Tracer) Keep(traceID uint64) bool {
+	if t == nil {
+		return true
+	}
+	return t.sampler.Keep(traceID)
+}
+
+// MintContext allocates a fresh root trace context without creating a Span.
+// This is the unsampled fast path's primitive: the caller gets wire-ready
+// trace/span IDs (two atomic adds, zero allocations) and materialises
+// SpanRecords only if the call later proves worth retaining. Nil-safe.
+func (t *Tracer) MintContext() SpanContext {
+	if t == nil {
+		return SpanContext{}
+	}
+	return SpanContext{TraceID: t.nextID(), SpanID: t.nextID()}
+}
+
+// MintSpanID allocates a fresh span ID for lazily-materialised records.
+// Nil-safe.
+func (t *Tracer) MintSpanID() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.nextID()
 }
 
 // StartSpan begins a span for the given stage. If parent is valid the span
@@ -195,7 +268,11 @@ func (sp *Span) Finish() {
 	sp.tracer.record(rec)
 }
 
-// record appends rec to the ring, evicting the oldest entry when full.
+// record appends rec to the ring, evicting the oldest entry when full, and
+// runs the tail-retention trigger: a span that errored or exceeded the
+// flight recorder's threshold promotes its whole trace (every span for it
+// still in the ring) into the recorder; spans of already-retained traces
+// keep appending so the retained trace ends up complete.
 func (t *Tracer) record(rec SpanRecord) {
 	t.mu.Lock()
 	t.ring[t.head] = rec
@@ -204,6 +281,13 @@ func (t *Tracer) record(rec SpanRecord) {
 		t.size++
 	}
 	t.mu.Unlock()
+	if f := t.flight; f != nil {
+		if reason, ok := f.shouldPromote(rec.Duration, rec.Err != ""); ok {
+			f.Retain(rec.TraceID, reason, t.Trace(rec.TraceID)...)
+		} else {
+			f.Append(rec)
+		}
+	}
 }
 
 // Recent returns up to limit of the most recently finished spans, oldest

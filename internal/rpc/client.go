@@ -300,22 +300,67 @@ func (c *Client) invoke(ctx context.Context, loid naming.LOID, method string, ar
 	if c.Tracer == nil {
 		// Fast path: untraced calls must not pay a single allocation for the
 		// obs layer (BenchmarkInvokeTracingOff gates this).
-		return c.invokeInner(ctx, loid, method, args, idempotent, nil)
+		return c.invokeInner(ctx, loid, method, args, idempotent, nil, obs.SpanContext{})
 	}
-	root := c.Tracer.StartSpan(obs.StageClientInvoke, obs.SpanContext{})
+	// Head sampling: the keep/drop decision is made once, here at the trace
+	// root, and propagated on the wire so every node treats the distributed
+	// trace the same way. A tracer without a sampler keeps everything.
+	tctx := c.Tracer.MintContext()
+	if !c.Tracer.Keep(tctx.TraceID) {
+		return c.invokeUnsampled(ctx, loid, method, args, idempotent, tctx)
+	}
+	// Root the client.invoke span on the minted trace ID (a parent context
+	// with no span ID parents nothing but pins the trace), so the sampled
+	// trace carries the same ID the sampling decision was made on.
+	root := c.Tracer.StartSpan(obs.StageClientInvoke, obs.SpanContext{TraceID: tctx.TraceID})
 	root.Annotate("loid", loid.String())
 	root.Annotate("method", method)
-	result, err := c.invokeInner(ctx, loid, method, args, idempotent, root)
+	result, err := c.invokeInner(ctx, loid, method, args, idempotent, root, obs.SpanContext{})
 	root.Fail(err)
 	root.Finish()
+	return result, err
+}
+
+// invokeUnsampled is the dropped-trace path: no spans are created — the
+// minted context rides the wire with the unsampled flag (a few uvarint
+// appends into the request's existing metadata section) and the call is
+// otherwise byte-for-byte the tracing-off instruction sequence. Only if the
+// call completes slow or failed does it materialise a client.invoke record
+// into the flight recorder, so the 1-in-10k outlier stays explainable while
+// the other 9999 calls pay ~zero.
+func (c *Client) invokeUnsampled(ctx context.Context, loid naming.LOID, method string, args []byte, idempotent bool, tctx obs.SpanContext) ([]byte, error) {
+	start := time.Now()
+	result, err := c.invokeInner(ctx, loid, method, args, idempotent, nil, tctx)
+	if fl := c.Tracer.Flight(); fl != nil {
+		dur := time.Since(start)
+		if fl.ShouldRetain(dur, err != nil) {
+			reason := obs.RetainSlow
+			rec := obs.SpanRecord{
+				TraceID:  tctx.TraceID,
+				SpanID:   tctx.SpanID,
+				Stage:    obs.StageClientInvoke,
+				Start:    start,
+				Duration: dur,
+				Annots:   map[string]string{"loid": loid.String(), "method": method, "sampled": "false"},
+			}
+			if err != nil {
+				reason = obs.RetainError
+				rec.Err = err.Error()
+			}
+			fl.Retain(tctx.TraceID, reason, rec)
+		}
+	}
 	return result, err
 }
 
 // invokeInner runs the retry/rebind loop. root is the call's client.invoke
 // span, or nil when tracing is off; every span- or histogram-touching
 // statement is guarded so the nil/nil configuration executes exactly the
-// seed instruction sequence.
-func (c *Client) invokeInner(ctx context.Context, loid naming.LOID, method string, args []byte, idempotent bool, root *obs.Span) ([]byte, error) {
+// seed instruction sequence. tail, when valid (and root nil), is an
+// unsampled trace context: it is stamped into each attempt's envelope with
+// the unsampled flag so the server joins the drop decision, without any
+// span machinery on this side.
+func (c *Client) invokeInner(ctx context.Context, loid naming.LOID, method string, args []byte, idempotent bool, root *obs.Span, tail obs.SpanContext) ([]byte, error) {
 	p := c.Retry.normalized()
 	c.cCalls.Inc()
 	start := time.Now()
@@ -407,6 +452,14 @@ loop:
 			ctx := attSpan.Context()
 			req.TraceID = ctx.TraceID
 			req.SpanID = ctx.SpanID
+		} else if tail.Valid() {
+			// Unsampled trace: propagate the context and the drop decision so
+			// the server skips eager spans too, but can still tail-retain its
+			// side of the call (parented on our minted span ID) if it turns
+			// out slow or failed.
+			req.TraceID = tail.TraceID
+			req.SpanID = tail.SpanID
+			req.TraceFlags = wire.TraceFlagUnsampled
 		}
 		resp, err := c.dialer.Call(ctx, endpoint, req, timeout)
 		if attSpan != nil {

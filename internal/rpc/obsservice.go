@@ -24,6 +24,7 @@ const (
 	MethodObsSnapshot = "obs.snapshot"
 	MethodObsSpans    = "obs.spans"
 	MethodObsEvents   = "obs.events"
+	MethodObsFlight   = "obs.flight"
 )
 
 // ObsLOID is the well-known LOID a node's observability service is hosted
@@ -31,10 +32,20 @@ const (
 // holds instance 1).
 var ObsLOID = naming.LOID{Domain: 0, Class: 1, Instance: 2}
 
-// obsQuery parameterises obs.spans requests.
+// obsQuery parameterises obs.spans and obs.flight requests.
 type obsQuery struct {
 	TraceID uint64 `json:"trace_id,omitempty"`
 	Limit   int    `json:"limit,omitempty"`
+	// Slowest orders obs.flight results by slowest span instead of most
+	// recently retained.
+	Slowest bool `json:"slowest,omitempty"`
+}
+
+// FlightReport is the obs.flight response: recorder stats plus retained
+// traces.
+type FlightReport struct {
+	Stats  obs.FlightStats   `json:"stats"`
+	Traces []obs.FlightTrace `json:"traces"`
 }
 
 // ObsService wraps a node's observability state as a hosted object. It is
@@ -89,6 +100,33 @@ func (s *ObsService) InvokeMethod(method string, args []byte) ([]byte, error) {
 			events = []obs.Event{}
 		}
 		return json.Marshal(events)
+
+	case MethodObsFlight:
+		var q obsQuery
+		if len(args) > 0 {
+			if err := json.Unmarshal(args, &q); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+			}
+		}
+		if q.Limit <= 0 {
+			q.Limit = 64
+		}
+		fl := s.Obs.GetFlight()
+		rep := FlightReport{Stats: fl.Stats()}
+		switch {
+		case q.TraceID != 0:
+			if ft, ok := fl.Trace(q.TraceID); ok {
+				rep.Traces = []obs.FlightTrace{ft}
+			}
+		case q.Slowest:
+			rep.Traces = fl.Slowest(q.Limit)
+		default:
+			rep.Traces = fl.Recent(q.Limit)
+		}
+		if rep.Traces == nil {
+			rep.Traces = []obs.FlightTrace{}
+		}
+		return json.Marshal(rep)
 
 	default:
 		return nil, fmt.Errorf("%w: %q", ErrNoSuchFunction, method)
@@ -156,6 +194,25 @@ func (c *ObsClient) Spans(ctx context.Context, traceID uint64, limit int) ([]obs
 		return nil, fmt.Errorf("obs service: corrupt spans: %w", err)
 	}
 	return spans, nil
+}
+
+// Flight fetches the node's flight recorder state: retained (tail-sampled)
+// traces plus recorder stats. traceID filters to one trace when nonzero;
+// slowest orders by the slowest span; limit bounds the count when positive.
+func (c *ObsClient) Flight(ctx context.Context, traceID uint64, limit int, slowest bool) (FlightReport, error) {
+	args, err := json.Marshal(obsQuery{TraceID: traceID, Limit: limit, Slowest: slowest})
+	if err != nil {
+		return FlightReport{}, err
+	}
+	payload, err := c.call(ctx, MethodObsFlight, args)
+	if err != nil {
+		return FlightReport{}, err
+	}
+	var rep FlightReport
+	if err := json.Unmarshal(payload, &rep); err != nil {
+		return FlightReport{}, fmt.Errorf("obs service: corrupt flight report: %w", err)
+	}
+	return rep, nil
 }
 
 // Events fetches recent evolution events; limit bounds the count when

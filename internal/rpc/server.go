@@ -59,6 +59,65 @@ func (f ObjectFunc) InvokeMethod(method string, args []byte) ([]byte, error) {
 // resources arbitrarily long.
 const DefaultMaxRemoteDeadline = 5 * time.Minute
 
+// Names of the dispatcher's dimensioned metric families, registered by
+// SetObs: per-object, per-method invoke latency and call/error counts,
+// labelled loid x method with bounded cardinality. These are what the
+// supervisor's per-cohort burn-rate windows and the /metrics exposition
+// read.
+const (
+	InvokeLatencyVec = "invoke.latency"
+	InvokeCallsVec   = "invoke.calls"
+	InvokeErrorsVec  = "invoke.errors"
+)
+
+// invokeLabels are the label names of the dispatcher's metric families.
+var invokeLabels = []string{"loid", "method"}
+
+// methodStats caches the resolved dimensioned-metric children for one
+// (object, method) pair, so the steady-state dispatch path is one read-locked
+// map hit instead of three label-key constructions.
+type methodStats struct {
+	lat   *metrics.Histogram
+	calls *metrics.Counter
+	errs  *metrics.Counter
+}
+
+// hosted wraps one served object with its per-method metric cache.
+type hosted struct {
+	obj    Object
+	target string // canonical LOID string, the `loid` label value
+
+	mu      sync.RWMutex
+	methods map[string]*methodStats
+}
+
+// stats returns the cached metric children for method, resolving them from
+// the dispatcher's vectors on first call. Only invoked when the dispatcher
+// has dimensioned metrics installed.
+func (h *hosted) stats(d *Dispatcher, method string) *methodStats {
+	h.mu.RLock()
+	st, ok := h.methods[method]
+	h.mu.RUnlock()
+	if ok {
+		return st
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if st, ok := h.methods[method]; ok {
+		return st
+	}
+	st = &methodStats{
+		lat:   d.vLat.With(h.target, method),
+		calls: d.vCalls.With(h.target, method),
+		errs:  d.vErrs.With(h.target, method),
+	}
+	if h.methods == nil {
+		h.methods = make(map[string]*methodStats, 8)
+	}
+	h.methods[method] = st
+	return st
+}
+
 // DispatchStats counts dispatcher admission outcomes.
 type DispatchStats struct {
 	// Admitted counts requests that reached object dispatch.
@@ -85,7 +144,7 @@ type Dispatcher struct {
 	MaxRemoteDeadline time.Duration
 
 	mu      sync.RWMutex
-	objects map[naming.LOID]Object
+	objects map[naming.LOID]*hosted
 
 	// Admission control, installed by SetAdmission. slots is a semaphore
 	// bounding concurrent dispatches; queueDepth bounds how many requests
@@ -106,13 +165,21 @@ type Dispatcher struct {
 	histDispatch *metrics.Histogram
 	inflight     *metrics.Gauge
 	events       *obs.EventLog
+	flight       *obs.FlightRecorder
+
+	// Dimensioned per-object metric families (loid x method), installed by
+	// SetObs when the registry is present. Children are cached per hosted
+	// object in methodStats.
+	vLat   *metrics.HistogramVec
+	vCalls *metrics.CounterVec
+	vErrs  *metrics.CounterVec
 }
 
 var _ transport.Handler = (*Dispatcher)(nil)
 
 // NewDispatcher returns an empty dispatcher.
 func NewDispatcher() *Dispatcher {
-	return &Dispatcher{objects: make(map[naming.LOID]Object)}
+	return &Dispatcher{objects: make(map[naming.LOID]*hosted)}
 }
 
 // SetAdmission installs admission control: at most maxInflight requests
@@ -149,14 +216,19 @@ func (d *Dispatcher) Stats() DispatchStats {
 // disables all of it.
 func (d *Dispatcher) SetObs(o *obs.Obs) {
 	if o == nil {
-		d.tracer, d.histDispatch, d.inflight, d.events = nil, nil, nil, nil
+		d.tracer, d.histDispatch, d.inflight, d.events, d.flight = nil, nil, nil, nil, nil
+		d.vLat, d.vCalls, d.vErrs = nil, nil, nil
 		return
 	}
 	d.tracer = o.Tracer
 	d.events = o.Events
+	d.flight = o.GetFlight()
 	if reg := o.Metrics; reg != nil {
 		d.histDispatch = reg.Histogram(obs.StageServerDispatch)
 		d.inflight = reg.Gauge("dispatcher.inflight")
+		d.vLat = reg.HistogramVec(InvokeLatencyVec, invokeLabels, 0)
+		d.vCalls = reg.CounterVec(InvokeCallsVec, invokeLabels, 0)
+		d.vErrs = reg.CounterVec(InvokeErrorsVec, invokeLabels, 0)
 		reg.RegisterGaugeFunc("dispatcher.hosted_objects", func() int64 { return int64(d.Len()) })
 		reg.RegisterGaugeFunc("dispatcher.admitted", func() int64 { return int64(d.admitted.Load()) })
 		reg.RegisterGaugeFunc("dispatcher.shed", func() int64 { return int64(d.shed.Load()) })
@@ -164,14 +236,16 @@ func (d *Dispatcher) SetObs(o *obs.Obs) {
 		reg.RegisterGaugeFunc("dispatcher.cancelled_mid_dispatch", func() int64 { return int64(d.cancelled.Load()) })
 	} else {
 		d.histDispatch, d.inflight = nil, nil
+		d.vLat, d.vCalls, d.vErrs = nil, nil, nil
 	}
 }
 
 // Host makes obj reachable at loid on this dispatcher, replacing any
 // previous object at the same LOID.
 func (d *Dispatcher) Host(loid naming.LOID, obj Object) {
+	h := &hosted{obj: obj, target: loid.String()}
 	d.mu.Lock()
-	d.objects[loid] = obj
+	d.objects[loid] = h
 	d.mu.Unlock()
 }
 
@@ -256,8 +330,13 @@ func (d *Dispatcher) Handle(ctx context.Context, req *wire.Envelope) *wire.Envel
 		d.inflight.Inc()
 		defer d.inflight.Dec()
 	}
+	// The caller's head-sampling decision: an unsampled trace gets no eager
+	// spans here either — only lazy tail retention below — so the whole
+	// distributed trace is kept or dropped as a unit.
+	unsampled := req.TraceFlags&wire.TraceFlagUnsampled != 0
+	measured := d.histDispatch != nil || d.vLat != nil || (unsampled && d.flight != nil)
 	var dispatchStart time.Time
-	if d.histDispatch != nil {
+	if measured {
 		dispatchStart = time.Now()
 	}
 	loid, err := naming.ParseLOID(req.Target)
@@ -265,14 +344,19 @@ func (d *Dispatcher) Handle(ctx context.Context, req *wire.Envelope) *wire.Envel
 		return errEnvelope(req.ID, wire.CodeBadRequest, err.Error())
 	}
 	d.mu.RLock()
-	obj, ok := d.objects[loid]
+	h, ok := d.objects[loid]
 	d.mu.RUnlock()
 	if !ok {
 		return errEnvelope(req.ID, wire.CodeNoSuchObject, fmt.Sprintf("%s not hosted here", loid))
 	}
+	obj := h.obj
+	var st *methodStats
+	if d.vLat != nil {
+		st = h.stats(d, req.Method)
+	}
 
 	var sp *obs.Span
-	if d.tracer != nil {
+	if d.tracer != nil && !unsampled {
 		// Join the caller's trace when the envelope carries context; root a
 		// server-local trace otherwise.
 		sp = d.tracer.StartSpan(obs.StageServerDispatch, obs.SpanContext{TraceID: req.TraceID, SpanID: req.SpanID})
@@ -291,8 +375,39 @@ func (d *Dispatcher) Handle(ctx context.Context, req *wire.Envelope) *wire.Envel
 	} else {
 		result, err = invokeObject(ctx, obj, req.Method, req.Payload)
 	}
+	var dur time.Duration
+	if measured {
+		dur = time.Since(dispatchStart)
+	}
 	if d.histDispatch != nil {
-		d.histDispatch.Observe(time.Since(dispatchStart))
+		d.histDispatch.Observe(dur)
+	}
+	if st != nil {
+		st.lat.Observe(dur)
+		st.calls.Inc()
+		if err != nil {
+			st.errs.Inc()
+		}
+	}
+	if unsampled && d.flight != nil && req.TraceID != 0 && d.flight.ShouldRetain(dur, err != nil) {
+		// Lazy tail retention for a dropped trace: materialise this side's
+		// dispatch record (parented on the caller's wire span) only now that
+		// the call proved slow or failed.
+		reason := obs.RetainSlow
+		rec := obs.SpanRecord{
+			TraceID:  req.TraceID,
+			SpanID:   d.tracer.MintSpanID(),
+			ParentID: req.SpanID,
+			Stage:    obs.StageServerDispatch,
+			Start:    dispatchStart,
+			Duration: dur,
+			Annots:   map[string]string{"loid": req.Target, "method": req.Method, "sampled": "false"},
+		}
+		if err != nil {
+			reason = obs.RetainError
+			rec.Err = err.Error()
+		}
+		d.flight.Retain(req.TraceID, reason, rec)
 	}
 	if err != nil {
 		if ctx.Err() != nil {

@@ -1,0 +1,190 @@
+package supervisor
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"godcdo/internal/metrics"
+)
+
+// cohortWorkload feeds the dimensioned per-object invoke counters the
+// burn-rate guard reads, standing in for a dispatcher serving real traffic.
+// Calls land on every LOID; errors land only on sickLOID.
+type cohortWorkload struct {
+	stop chan struct{}
+	wg   sync.WaitGroup
+	sick atomic.Bool
+}
+
+func startCohortWorkload(reg *metrics.Registry, loids []string, sickLOID string) *cohortWorkload {
+	w := &cohortWorkload{stop: make(chan struct{})}
+	calls := reg.CounterVec(DefaultCohortCallsVec, []string{"loid", "method"}, 64)
+	errs := reg.CounterVec(DefaultCohortErrorsVec, []string{"loid", "method"}, 64)
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		tick := time.NewTicker(200 * time.Microsecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-w.stop:
+				return
+			case <-tick.C:
+				for _, loid := range loids {
+					calls.With(loid, "greet").Inc()
+					if w.sick.Load() && loid == sickLOID {
+						errs.With(loid, "greet").Inc()
+					}
+				}
+			}
+		}
+	}()
+	return w
+}
+
+func (w *cohortWorkload) Stop() {
+	close(w.stop)
+	w.wg.Wait()
+}
+
+func burnPolicy() Policy {
+	return Policy{
+		Name:          "burn",
+		Target:        v(1, 1),
+		CanarySize:    1,
+		WaveWidths:    []int{2},
+		BakeTime:      20 * time.Millisecond,
+		ProbeInterval: 2 * time.Millisecond,
+		SLO: SLO{
+			// Burn-rate guard only: 0.1% budget, trip at 10x sustainable
+			// spend. The sick canary errors on every call (burn 1000).
+			ErrorBudget: 0.001,
+			MaxBurnRate: 10,
+			MinSamples:  5,
+		},
+	}
+}
+
+// The fixture populates LOIDs 1.1.1..1.1.n and waves form in sorted order,
+// so loid:1.1.1 is always the canary. Label values match what the
+// dispatcher records: LOID.String().
+func fixtureLOIDStrings(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = "loid:1.1." + string(rune('1'+i))
+	}
+	return out
+}
+
+func TestRolloutRollsBackOnCohortBurnRate(t *testing.T) {
+	f := newFixture(t)
+	m := f.newManager(t)
+	f.populate(t, m, 4)
+	reg := metrics.NewRegistry()
+	w := startCohortWorkload(reg, fixtureLOIDStrings(4), "loid:1.1.1")
+	w.sick.Store(true) // the canary errors on every call
+	defer w.Stop()
+
+	sup := &Supervisor{Mgr: m, Reg: reg}
+	if err := sup.Start(context.Background(), burnPolicy()); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	st := waitStatus(t, sup)
+	if st.Phase != PhaseRolledBack {
+		t.Fatalf("terminal phase = %q (%+v)", st.Phase, st)
+	}
+	if !strings.Contains(st.Err, "burn rate") {
+		t.Fatalf("breach = %q, want a burn-rate breach", st.Err)
+	}
+	if got := fleetVersions(t, m); got["1"] != 4 {
+		t.Fatalf("fleet versions = %v, want all back at baseline", got)
+	}
+}
+
+func TestCohortBurnRateIgnoresBaselineErrors(t *testing.T) {
+	// Errors land only on 1.1.4, which is never in the first wave (the
+	// canary is 1.1.1) — the cohort guard must not trip on baseline noise,
+	// where a fleet-wide error-rate guard with the same budget would.
+	f := newFixture(t)
+	m := f.newManager(t)
+	f.populate(t, m, 2)
+	reg := metrics.NewRegistry()
+	loids := fixtureLOIDStrings(2)
+	w := startCohortWorkload(reg, append(loids, "loid:1.1.99"), "loid:1.1.99")
+	w.sick.Store(true)
+	defer w.Stop()
+
+	sup := &Supervisor{Mgr: m, Reg: reg}
+	if err := sup.Start(context.Background(), burnPolicy()); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	st := waitStatus(t, sup)
+	if st.Phase != PhaseCompleted {
+		t.Fatalf("terminal phase = %q, err=%q — baseline errors tripped the cohort guard", st.Phase, st.Err)
+	}
+}
+
+func TestGuardCohortWindowsAndVerdictFields(t *testing.T) {
+	reg := metrics.NewRegistry()
+	calls := reg.CounterVec(DefaultCohortCallsVec, []string{"loid", "method"}, 64)
+	errs := reg.CounterVec(DefaultCohortErrorsVec, []string{"loid", "method"}, 64)
+
+	slo := SLO{ErrorBudget: 0.001, MaxBurnRate: 10, MinSamples: 10}
+	if !slo.Enabled() || !slo.BurnGuardEnabled() {
+		t.Fatal("burn-only SLO not considered enabled")
+	}
+	g := NewGuard(reg, slo)
+	g.SetCohort([]string{"loid:1.1.1"})
+	g.Prime()
+
+	// Cohort: 100 calls, 2 errors → rate 0.02, burn 20. Baseline: clean.
+	for i := 0; i < 100; i++ {
+		calls.With("loid:1.1.1", "m").Inc()
+		calls.With("loid:9.9.9", "m").Inc()
+	}
+	errs.With("loid:1.1.1", "m").Add(2)
+
+	v := g.Evaluate()
+	if v.Healthy {
+		t.Fatalf("burn 20 over threshold 10 judged healthy: %+v", v)
+	}
+	if v.CohortCalls != 100 || v.BurnRate != 20 {
+		t.Fatalf("cohort calls=%d burn=%v, want 100/20", v.CohortCalls, v.BurnRate)
+	}
+	if v.BaselineBurnRate != 0 {
+		t.Fatalf("baseline burn = %v, want 0", v.BaselineBurnRate)
+	}
+	if !strings.Contains(v.Breach, "burn rate") {
+		t.Fatalf("breach = %q", v.Breach)
+	}
+
+	// Under MinSamples the guard reports insufficient, never trips.
+	g2 := NewGuard(reg, slo)
+	g2.SetCohort([]string{"loid:1.1.1"})
+	g2.Prime()
+	calls.With("loid:1.1.1", "m").Inc()
+	errs.With("loid:1.1.1", "m").Inc()
+	v2 := g2.Evaluate()
+	if !v2.Healthy || !v2.Insufficient {
+		t.Fatalf("1-call window should be insufficient, not a breach: %+v", v2)
+	}
+}
+
+func TestBurnPolicyValidation(t *testing.T) {
+	p := burnPolicy()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("valid burn policy rejected: %v", err)
+	}
+	p.SLO.ErrorBudget = 0
+	if err := p.Validate(); err == nil {
+		t.Fatal("max_burn_rate without error_budget accepted")
+	}
+	p.SLO.ErrorBudget = 1.5
+	if err := p.Validate(); err == nil {
+		t.Fatal("error budget > 1 accepted")
+	}
+}

@@ -22,6 +22,11 @@ type Guard struct {
 	prevHist  metrics.HistogramCounts
 	prevCalls uint64
 	prevErrs  uint64
+
+	// cohort/baseline window the wave's per-object counters against the
+	// rest of the fleet's when the burn-rate guard is armed (nil otherwise).
+	cohort   *metrics.CohortWindow
+	baseline *metrics.CohortWindow
 }
 
 // Verdict is one window's judgement.
@@ -43,6 +48,15 @@ type Verdict struct {
 	Errors uint64 `json:"errors"`
 	// ErrorRate is Errors/Calls (zero with no calls).
 	ErrorRate float64 `json:"error_rate"`
+	// CohortCalls is the wave cohort's windowed call count (burn guard
+	// armed and a cohort set; zero otherwise).
+	CohortCalls uint64 `json:"cohort_calls,omitempty"`
+	// BurnRate is the wave cohort's windowed error rate divided by the
+	// error budget. 1 = spending budget at exactly the sustainable pace.
+	BurnRate float64 `json:"burn_rate,omitempty"`
+	// BaselineBurnRate is the same ratio for every object *outside* the
+	// wave — the healthy-fleet reference the cohort is judged against.
+	BaselineBurnRate float64 `json:"baseline_burn_rate,omitempty"`
 }
 
 // NewGuard returns a guard reading slo's metrics from reg. The guard is
@@ -50,6 +64,28 @@ type Verdict struct {
 // callers should Prime right before the traffic they mean to judge.
 func NewGuard(reg *metrics.Registry, slo SLO) *Guard {
 	return &Guard{reg: reg, slo: slo}
+}
+
+// SetCohort arms the burn-rate guard's windows for a wave: cohortLOIDs are
+// the dotted-decimal LOID strings of the instances being baked. The cohort
+// window covers exactly those objects' dimensioned invoke counters; the
+// baseline window covers everything else, so the verdict can show the
+// canary burning hot against a calm fleet. No-op unless the SLO arms the
+// burn guard and the registry has the counter families. Call before Prime.
+func (g *Guard) SetCohort(cohortLOIDs []string) {
+	if !g.slo.BurnGuardEnabled() || len(cohortLOIDs) == 0 {
+		return
+	}
+	calls := g.reg.LookupCounterVec(g.slo.cohortCallsVec())
+	errs := g.reg.LookupCounterVec(g.slo.cohortErrorsVec())
+	if calls == nil || errs == nil {
+		return
+	}
+	inWave := metrics.MatchAnyLabel("loid", cohortLOIDs)
+	g.cohort = metrics.NewCohortWindow(calls, errs, inWave)
+	g.baseline = metrics.NewCohortWindow(calls, errs, func(labels string) bool {
+		return !inWave(labels)
+	})
 }
 
 // Prime opens a fresh window at the registry's current counts, discarding
@@ -67,6 +103,12 @@ func (g *Guard) snapshot() {
 		}
 	}
 	g.prevCalls, g.prevErrs = g.counterValues()
+	if g.cohort != nil {
+		g.cohort.Prime()
+	}
+	if g.baseline != nil {
+		g.baseline.Prime()
+	}
 }
 
 func (g *Guard) counterValues() (calls, errs uint64) {
@@ -85,7 +127,15 @@ func (g *Guard) counterValues() (calls, errs uint64) {
 	if errsName == "" {
 		errsName = "errors"
 	}
-	return cs.Counter(callsName).Value(), cs.Counter(errsName).Value()
+	// Lookup, not Counter: a guard is a reader and must not mint counters
+	// into a set it is only observing.
+	if c := cs.Lookup(callsName); c != nil {
+		calls = c.Value()
+	}
+	if c := cs.Lookup(errsName); c != nil {
+		errs = c.Value()
+	}
+	return calls, errs
 }
 
 // Evaluate judges the traffic that landed since the window opened. The
@@ -119,6 +169,24 @@ func (g *Guard) Evaluate() Verdict {
 		if g.slo.MaxErrorRate > 0 && v.ErrorRate > g.slo.MaxErrorRate && v.Healthy {
 			v.Healthy = false
 			v.Breach = fmt.Sprintf("error rate %.4f exceeds %.4f over %d calls", v.ErrorRate, g.slo.MaxErrorRate, dCalls)
+		}
+	}
+
+	if g.cohort != nil {
+		burn, cohortCalls := g.cohort.Burn(g.slo.ErrorBudget)
+		v.BurnRate, v.CohortCalls = burn, cohortCalls
+		if g.baseline != nil {
+			v.BaselineBurnRate, _ = g.baseline.Burn(g.slo.ErrorBudget)
+		}
+		// The same MinSamples bar governs the cohort: a single failed call
+		// against a 0.1% budget is a burn rate of 1000, which is noise, not
+		// evidence.
+		if cohortCalls < g.slo.MinSamples {
+			v.Insufficient = true
+		} else if burn > g.slo.MaxBurnRate && v.Healthy {
+			v.Healthy = false
+			v.Breach = fmt.Sprintf("cohort burn rate %.1f exceeds %.1f over %d calls (baseline %.1f)",
+				burn, g.slo.MaxBurnRate, cohortCalls, v.BaselineBurnRate)
 		}
 	}
 	return v

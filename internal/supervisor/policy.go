@@ -41,12 +41,59 @@ type SLO struct {
 	// before its estimate counts; below it the guard reports insufficient
 	// evidence rather than tripping or passing.
 	MinSamples uint64 `json:"min_samples,omitempty"`
+
+	// ErrorBudget is the error rate the service is allowed to spend
+	// (e.g. 0.001 = 99.9% success objective). With MaxBurnRate it arms the
+	// cohort burn-rate guard: the wave's windowed error rate divided by the
+	// budget must stay below MaxBurnRate. Burn rate 1 means the cohort is
+	// spending budget exactly at the sustainable pace; a canary burning at
+	// 10 would exhaust a month of budget in three days.
+	ErrorBudget float64 `json:"error_budget,omitempty"`
+	// MaxBurnRate trips the guard when the wave cohort's burn rate exceeds
+	// it. Requires ErrorBudget > 0. The cohort is the wave's LOIDs, read
+	// from the dimensioned per-object counters the dispatcher records, so a
+	// sick canary trips this guard even while healthy baseline traffic
+	// keeps the fleet-wide error rate under MaxErrorRate.
+	MaxBurnRate float64 `json:"max_burn_rate,omitempty"`
+	// CohortCallsVec and CohortErrorsVec name the dimensioned counter
+	// families the burn-rate guard reads (default "invoke.calls" and
+	// "invoke.errors" — what rpc.Dispatcher records, keyed loid×method).
+	CohortCallsVec  string `json:"cohort_calls_vec,omitempty"`
+	CohortErrorsVec string `json:"cohort_errors_vec,omitempty"`
 }
+
+// Default dimensioned counter families the burn-rate guard reads. They
+// mirror rpc.InvokeCallsVec / rpc.InvokeErrorsVec (named here to keep the
+// control plane decoupled from the rpc package).
+const (
+	DefaultCohortCallsVec  = "invoke.calls"
+	DefaultCohortErrorsVec = "invoke.errors"
+)
 
 // Enabled reports whether the SLO has any active guard.
 func (s SLO) Enabled() bool {
 	return (s.LatencyHistogram != "" && s.MaxP99 > 0) ||
-		(s.ErrorCounters != "" && s.MaxErrorRate > 0)
+		(s.ErrorCounters != "" && s.MaxErrorRate > 0) ||
+		s.BurnGuardEnabled()
+}
+
+// BurnGuardEnabled reports whether the cohort burn-rate guard is armed.
+func (s SLO) BurnGuardEnabled() bool {
+	return s.ErrorBudget > 0 && s.MaxBurnRate > 0
+}
+
+func (s SLO) cohortCallsVec() string {
+	if s.CohortCallsVec != "" {
+		return s.CohortCallsVec
+	}
+	return DefaultCohortCallsVec
+}
+
+func (s SLO) cohortErrorsVec() string {
+	if s.CohortErrorsVec != "" {
+		return s.CohortErrorsVec
+	}
+	return DefaultCohortErrorsVec
 }
 
 // Policy is one declarative rollout: what to roll out, how fast to widen,
@@ -138,6 +185,15 @@ func (p Policy) Validate() error {
 	}
 	if p.SLO.MaxErrorRate < 0 || p.SLO.MaxErrorRate > 1 {
 		return fmt.Errorf("supervisor: error-rate threshold %v outside (0, 1]", p.SLO.MaxErrorRate)
+	}
+	if p.SLO.ErrorBudget < 0 || p.SLO.ErrorBudget > 1 {
+		return fmt.Errorf("supervisor: error budget %v outside (0, 1]", p.SLO.ErrorBudget)
+	}
+	if p.SLO.MaxBurnRate < 0 {
+		return fmt.Errorf("supervisor: negative burn-rate threshold %v", p.SLO.MaxBurnRate)
+	}
+	if p.SLO.MaxBurnRate > 0 && p.SLO.ErrorBudget == 0 {
+		return errors.New("supervisor: max_burn_rate requires error_budget")
 	}
 	return nil
 }

@@ -488,7 +488,7 @@ func (s *Supervisor) run(ctx context.Context, ro *rollout) {
 		}
 
 		s.setPhase(ro, PhaseBaking)
-		healthy, breach := s.bake(ctx, ro)
+		healthy, breach := s.bake(ctx, ro, wave)
 		if !healthy {
 			s.retreat(ctx, ro, breach)
 			return
@@ -537,8 +537,18 @@ func (s *Supervisor) pendingInstances(ro *rollout) []naming.LOID {
 // trips. Windows with too few samples extend the bake rather than count
 // toward it, so a quiet fleet is not promoted on no evidence — bounded at
 // 8 extra bake times so a dead workload cannot wedge the rollout forever.
-func (s *Supervisor) bake(ctx context.Context, ro *rollout) (bool, string) {
+// wave is the cohort under judgement: when the policy arms the burn-rate
+// guard, only those instances' dimensioned invoke counters feed it, so a
+// sick canary is caught even while fleet-wide rates stay green.
+func (s *Supervisor) bake(ctx context.Context, ro *rollout, wave []naming.LOID) (bool, string) {
 	guard := NewGuard(s.Reg, ro.policy.SLO)
+	if len(wave) > 0 {
+		cohort := make([]string, len(wave))
+		for i, loid := range wave {
+			cohort[i] = loid.String()
+		}
+		guard.SetCohort(cohort)
+	}
 	guard.Prime()
 	clk := s.clock()
 	interval := ro.policy.probeInterval()

@@ -62,9 +62,20 @@ var ErrTruncatedEnvelope = errors.New("wire: truncated envelope")
 // Tags are part of the wire contract; append only. Decoders skip unknown
 // tags, so new tags may be introduced without breaking old peers.
 const (
-	metaTraceID  uint64 = 1
-	metaSpanID   uint64 = 2
-	metaDeadline uint64 = 3
+	metaTraceID    uint64 = 1
+	metaSpanID     uint64 = 2
+	metaDeadline   uint64 = 3
+	metaTraceFlags uint64 = 4
+)
+
+// TraceFlags bits carried in the metaTraceFlags metadata entry.
+const (
+	// TraceFlagUnsampled marks a trace the head sampler decided to drop:
+	// receivers must not record eager spans for it (only tail retention in
+	// the flight recorder applies). The flag is a *drop* bit rather than a
+	// keep bit so legacy frames — which carry a TraceID but no flags — keep
+	// their original "record everything" semantics on new peers.
+	TraceFlagUnsampled uint64 = 1
 )
 
 // Envelope is the unit of communication between nodes. Target is the
@@ -88,6 +99,10 @@ type Envelope struct {
 	TraceID  uint64 // tracing: trace this message belongs to (0 = untraced)
 	SpanID   uint64 // tracing: sender's span, parent of the receiver's span
 	Deadline int64  // caller's absolute deadline, Unix nanoseconds (0 = none)
+	// TraceFlags carries the head sampler's decision (TraceFlagUnsampled)
+	// so the whole distributed trace is kept or dropped as a unit. Zero —
+	// including on legacy frames that predate the field — means sampled.
+	TraceFlags uint64
 }
 
 // envelopeFixedOverhead bounds the non-variable bytes of an encoded
@@ -96,13 +111,13 @@ type Envelope struct {
 const envelopeFixedOverhead = 48
 
 // envelopeMetadataOverhead bounds the metadata section: a pair count (1)
-// plus three pairs of tag (≤2) + length prefix (1) + varint value (≤10).
-const envelopeMetadataOverhead = 40
+// plus four pairs of tag (≤2) + length prefix (1) + varint value (≤10).
+const envelopeMetadataOverhead = 53
 
 // hasMetadata reports whether the optional trailing metadata section will be
 // emitted.
 func (ev *Envelope) hasMetadata() bool {
-	return ev.TraceID != 0 || ev.SpanID != 0 || ev.Deadline > 0
+	return ev.TraceID != 0 || ev.SpanID != 0 || ev.Deadline > 0 || ev.TraceFlags != 0
 }
 
 // EncodedSizeHint returns an upper bound on Encode's output size, metadata
@@ -173,6 +188,9 @@ func (ev *Envelope) encodeMetadata(e *Encoder) {
 	if ev.Deadline > 0 {
 		pairs++
 	}
+	if ev.TraceFlags != 0 {
+		pairs++
+	}
 	e.PutUvarint(pairs)
 	var scratch [binary.MaxVarintLen64]byte
 	put := func(tag, v uint64) {
@@ -188,6 +206,9 @@ func (ev *Envelope) encodeMetadata(e *Encoder) {
 	}
 	if ev.Deadline > 0 {
 		put(metaDeadline, uint64(ev.Deadline))
+	}
+	if ev.TraceFlags != 0 {
+		put(metaTraceFlags, ev.TraceFlags)
 	}
 }
 
@@ -223,6 +244,10 @@ func (ev *Envelope) decodeMetadata(d *Decoder) {
 			// (no deadline) rather than trusting a garbage value.
 			if v, err := NewDecoder(val).Uvarint(); err == nil && v <= 1<<63-1 {
 				ev.Deadline = int64(v)
+			}
+		case metaTraceFlags:
+			if v, err := NewDecoder(val).Uvarint(); err == nil {
+				ev.TraceFlags = v
 			}
 			// Unknown tags are skipped: the length prefix already consumed
 			// their value.

@@ -182,6 +182,69 @@ func TestUnknownMetadataTagsSkipped(t *testing.T) {
 	}
 }
 
+func TestTraceFlagsRoundTrip(t *testing.T) {
+	ev := sampleEnvelope()
+	ev.TraceID = 555
+	ev.SpanID = 556
+	ev.TraceFlags = TraceFlagUnsampled
+	got, err := DecodeEnvelope(ev.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TraceFlags != TraceFlagUnsampled {
+		t.Fatalf("TraceFlags = %d, want %d", got.TraceFlags, TraceFlagUnsampled)
+	}
+	if got.TraceID != 555 || got.SpanID != 556 {
+		t.Fatalf("trace context lost alongside flags: %d/%d", got.TraceID, got.SpanID)
+	}
+	// A legacy peer must still parse the body of a flagged frame.
+	legacy, err := legacyDecode(ev.Encode())
+	if err != nil {
+		t.Fatalf("legacy decoder rejected a flagged frame: %v", err)
+	}
+	if legacy.Target != ev.Target || !bytes.Equal(legacy.Payload, ev.Payload) {
+		t.Fatalf("legacy decoder corrupted flagged frame body: %+v", legacy)
+	}
+}
+
+func TestLegacyFramesDecodeAsSampled(t *testing.T) {
+	// A legacy frame carrying a trace but no flags must decode with
+	// TraceFlags zero — i.e. sampled — preserving pre-sampling semantics.
+	ev := sampleEnvelope()
+	ev.TraceID = 31337
+	buf := legacyEncode(ev)
+	e := NewEncoder(8)
+	e.PutUvarint(1)
+	e.PutUvarint(metaTraceID)
+	var val Encoder
+	val.PutUvarint(31337)
+	e.PutBytes(val.Bytes())
+	buf = append(buf, e.Bytes()...)
+	got, err := DecodeEnvelope(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TraceID != 31337 || got.TraceFlags != 0 {
+		t.Fatalf("got trace %d flags %d, want 31337/0", got.TraceID, got.TraceFlags)
+	}
+	if got.TraceFlags&TraceFlagUnsampled != 0 {
+		t.Fatal("legacy frame decoded as unsampled")
+	}
+}
+
+func TestEncodedSizeHintCoversFlaggedMetadata(t *testing.T) {
+	// The size hint must bound the full four-pair metadata section so
+	// flagged+deadline-stamped requests never reallocate mid-encode.
+	ev := sampleEnvelope()
+	ev.TraceID = ^uint64(0)
+	ev.SpanID = ^uint64(0)
+	ev.Deadline = 1<<63 - 1
+	ev.TraceFlags = ^uint64(0)
+	if n, hint := len(ev.Encode()), ev.EncodedSizeHint(); n > hint {
+		t.Fatalf("encoded %d bytes > hint %d", n, hint)
+	}
+}
+
 func TestMetadataRoundTripQuick(t *testing.T) {
 	// Property: for any envelope and trace context, Encode→Decode preserves
 	// both body and metadata, and the legacy decoder preserves the body.

@@ -7,6 +7,7 @@ import (
 
 	"godcdo/internal/legion"
 	"godcdo/internal/naming"
+	"godcdo/internal/obs"
 	"godcdo/internal/registry"
 	"godcdo/internal/transport"
 	"godcdo/internal/vclock"
@@ -43,5 +44,53 @@ func BenchmarkInvokeTracingOff(b *testing.B) {
 		if _, err := client.Client().Invoke(context.Background(), obj.LOID(), target, nil); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkInvokeUnsampled measures the allocation cost of an invoke whose
+// trace the head sampler drops: tracing is on, a flight recorder is armed,
+// but the call is healthy and fast, so nothing is retained. `make vet-obs`
+// asserts allocs/op stays within UNSAMPLED_ALLOC_BASELINE — near the
+// tracing-off cost — because at a 1% sample rate this is 99% of all calls.
+func BenchmarkInvokeUnsampled(b *testing.B) {
+	agent := naming.NewAgent(vclock.Real{})
+	net := transport.NewInprocNetwork()
+	// A sample rate low enough that no trace in any plausible b.N is kept:
+	// every iteration takes the unsampled path.
+	o := obs.NewWithOptions(obs.Options{
+		SampleRate:      1e-9,
+		FlightCapacity:  obs.DefaultFlightCapacity,
+		FlightThreshold: obs.DefaultFlightThreshold,
+	})
+	server, err := legion.NewNode(legion.NodeConfig{Name: "obs-unsampled-server", Agent: agent, Inproc: net, Obs: o})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer server.Close()
+	client, err := legion.NewNode(legion.NodeConfig{Name: "obs-unsampled-client", Agent: agent, Inproc: net, Obs: o})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer client.Close()
+
+	reg := registry.New()
+	obj, _ := buildDCDO(b, reg, workload.Spec{Prefix: "obsuns", Functions: 20, Components: 2}, 1)
+	if _, err := server.HostObject(obj.LOID(), obj); err != nil {
+		b.Fatal(err)
+	}
+	target := workload.LeafName("obsuns", 0, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.Client().Invoke(context.Background(), obj.LOID(), target, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if got := len(o.Tracer.Recent(0)); got != 0 {
+		b.Fatalf("unsampled benchmark recorded %d spans", got)
+	}
+	if st := o.GetFlight().Stats(); st.Retained != 0 {
+		b.Fatalf("unsampled benchmark retained %d traces", st.Retained)
 	}
 }
