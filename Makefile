@@ -20,9 +20,14 @@ WIRE_ENCODE_ALLOC_BASELINE ?= 1
 WIRE_DECODE_ALLOC_BASELINE ?= 3
 INVOKE_ALLOC_BASELINE ?= 16
 
-.PHONY: ci vet vet-obs vet-wire build test race bench-smoke bench bench-json experiments fuzz-smoke chaos
+# Degree-1 invoke ceiling: a deployment that never constructs a Replica must
+# keep the seed invoke alloc budget — replication costs nothing when it is
+# off. vet-repl fails if the unreplicated path ever regresses past this.
+REPL_ALLOC_BASELINE ?= 5
 
-ci: vet vet-obs vet-wire build race bench-smoke chaos fuzz-smoke
+.PHONY: ci vet vet-obs vet-wire vet-repl build test race bench-smoke bench bench-json experiments fuzz-smoke chaos
+
+ci: vet vet-obs vet-wire vet-repl build race bench-smoke chaos fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -62,6 +67,23 @@ vet-wire:
 	gate 'WireEnvelope/decode' $(WIRE_DECODE_ALLOC_BASELINE) && \
 	gate 'TransportFastPath/fast/sequential' $(INVOKE_ALLOC_BASELINE)
 
+# Replication-off gate (mirrors vet-obs): the degree-1 invoke path must stay
+# at the seed alloc baseline, because unreplicated deployments never touch
+# internal/replica. The degree-3 read path is benchmarked alongside for the
+# delta but not gated — its budget is E13's business.
+vet-repl:
+	$(GO) vet ./internal/replica/ ./internal/naming/
+	@out=$$($(GO) test -run xxx -bench 'BenchmarkInvokeUnreplicated' -benchmem -benchtime=10000x . | tee /dev/stderr); \
+	gate() { \
+		allocs=$$(echo "$$out" | awk -v pat="$$1" '$$0 ~ pat {for (i=1; i<=NF; i++) if ($$(i+1) == "allocs/op") print $$i; exit}'); \
+		if [ -z "$$allocs" ]; then echo "vet-repl: could not parse allocs/op for $$1"; exit 1; fi; \
+		if [ "$$allocs" -gt "$$2" ]; then \
+			echo "vet-repl: $$1 allocates $$allocs allocs/op, budget $$2"; exit 1; \
+		fi; \
+		echo "vet-repl: $$1 at $$allocs allocs/op (budget $$2)"; \
+	}; \
+	gate 'BenchmarkInvokeUnreplicated' $(REPL_ALLOC_BASELINE)
+
 build:
 	$(GO) build ./...
 
@@ -94,7 +116,7 @@ experiments:
 
 # Full experiment sweep with machine-readable export: the unit of the
 # BENCH_*.json perf trajectory (bump BENCH_JSON per PR).
-BENCH_JSON ?= BENCH_7.json
+BENCH_JSON ?= BENCH_8.json
 
 bench-json:
 	$(GO) run ./cmd/dcdo-bench -json $(BENCH_JSON)
@@ -111,9 +133,12 @@ fuzz-smoke:
 # Crash/partition drills under the race detector: the E8 chaos experiment
 # (manager killed mid-pass with a partitioned instance), the E11 rollout
 # drill (SLO auto-rollback plus supervisor killed mid-wave and resumed),
-# the manager's concurrency and recovery contracts, and the supervisor's
+# the E13 replication drill (primary replica and primary manager killed
+# mid-load), the manager's concurrency, recovery, and standby-takeover
+# contracts, replica group fencing/failover, and the supervisor's
 # pause/abort-vs-widening race.
 chaos:
-	$(GO) test -race -run 'TestRunE8|TestRunE11' ./internal/harness/
-	$(GO) test -race -run 'TestRecover|TestEvolveDropAdopt|TestConcurrentEvolveDropAdopt|TestCreateInstanceConcurrentDuplicate|TestFleetEvolution|TestProber' ./internal/manager/
+	$(GO) test -race -run 'TestRunE8|TestRunE11|TestRunE13' ./internal/harness/
+	$(GO) test -race -run 'TestRecover|TestEvolveDropAdopt|TestConcurrentEvolveDropAdopt|TestCreateInstanceConcurrentDuplicate|TestFleetEvolution|TestProber|TestJournalShipping|TestStandby|TestShipperSync|TestEvolveReplicated' ./internal/manager/
+	$(GO) test -race ./internal/replica/
 	$(GO) test -race -run 'TestRollout|TestSupervisor' ./internal/supervisor/

@@ -15,6 +15,7 @@
 //	dcdo-ctl -agent tcp:127.0.0.1:7400 setcurrent loid:0.2.1 1.1
 //	dcdo-ctl -agent tcp:127.0.0.1:7400 health loid:0.2.1
 //	dcdo-ctl -agent tcp:127.0.0.1:7400 recover loid:0.2.1
+//	dcdo-ctl -agent tcp:127.0.0.1:7400 replicas loid:1.1.1
 //	dcdo-ctl -agent tcp:127.0.0.1:7400 rollout start 1.1 -canary 1 -waves 2,4 -slo-p99 5ms
 //	dcdo-ctl -agent tcp:127.0.0.1:7400 rollout status
 package main
@@ -36,6 +37,7 @@ import (
 	"godcdo/internal/metrics"
 	"godcdo/internal/naming"
 	"godcdo/internal/obs"
+	"godcdo/internal/replica"
 	"godcdo/internal/rpc"
 	"godcdo/internal/supervisor"
 	"godcdo/internal/transport"
@@ -67,7 +69,7 @@ func run(args []string) error {
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return errors.New("missing command (invoke|interface|version|snapshot|enable|disable|evolve|ensure-current|records|setcurrent|health|recover|trace|rollout)")
+		return errors.New("missing command (invoke|interface|version|snapshot|enable|disable|evolve|ensure-current|records|setcurrent|health|recover|replicas|trace|rollout)")
 	}
 
 	dialer := transport.NewTCPDialer()
@@ -359,6 +361,41 @@ func run(args []string) error {
 			for _, loid := range group.loids {
 				fmt.Printf("%-12s %s\n", group.name, loid)
 			}
+		}
+		return nil
+
+	case "replicas":
+		loid, err := parseLOID(0, "target loid")
+		if err != nil {
+			return err
+		}
+		b, err := remote.Lookup(loid)
+		if err != nil {
+			return err
+		}
+		if !b.Set.Replicated() {
+			fmt.Printf("%s is not replicated (singleton at %s)\n", loid, b.Address.Endpoint)
+			return nil
+		}
+		endpoints := b.Set.Endpoints()
+		fmt.Printf("replica set for %s: generation %d, %d member(s), primary %s\n",
+			loid, b.Set.Generation, len(endpoints), b.Set.Primary)
+		for _, ep := range endpoints {
+			out, err := rpc.DirectCall(ctx, dialer, ep, loid, replica.MethodStatus, nil, *timeout)
+			if err != nil {
+				fmt.Printf("  %-26s unreachable (%v)\n", ep, err)
+				continue
+			}
+			st, err := replica.DecodeStatus(out)
+			if err != nil {
+				return fmt.Errorf("replica status from %s: %w", ep, err)
+			}
+			verStr := "?"
+			if ver, err := version.Decode(st.VersionSegs); err == nil {
+				verStr = ver.String()
+			}
+			fmt.Printf("  %-26s %-8s epoch %-4d seq %-6d version %s\n",
+				ep, st.Role, st.Epoch, st.Seq, verStr)
 		}
 		return nil
 

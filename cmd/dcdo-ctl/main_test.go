@@ -2,16 +2,23 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"fmt"
 	"os"
 	"strings"
 	"testing"
 
+	"godcdo/internal/core"
 	"godcdo/internal/demo"
 	"godcdo/internal/legion"
 	"godcdo/internal/naming"
+	"godcdo/internal/objstate"
 	"godcdo/internal/obs"
+	"godcdo/internal/replica"
 	"godcdo/internal/rpc"
+	"godcdo/internal/transport"
 	"godcdo/internal/vclock"
+	"godcdo/internal/wire"
 )
 
 // startDemoNode runs the demo deployment on an in-process TCP node and
@@ -212,6 +219,118 @@ func TestEncodeArgs(t *testing.T) {
 	raw, err := encodeArgs([]string{"hello"})
 	if err != nil || string(raw) != "hello" {
 		t.Fatalf("raw args = %q, %v", raw, err)
+	}
+}
+
+// ctlInner is a minimal replicated object body: versioned, stateful, with
+// one mutating method so shipped sequence numbers advance.
+type ctlInner struct{ st *objstate.State }
+
+func (i *ctlInner) State() *objstate.State { return i.st }
+
+func (i *ctlInner) InvokeMethodCtx(_ context.Context, method string, args []byte) ([]byte, error) {
+	switch method {
+	case core.MethodVersion:
+		e := wire.NewEncoder(8)
+		e.PutUintSlice([]uint64{1})
+		return e.Bytes(), nil
+	case "set":
+		i.st.Set("k", args)
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("%w: %q", rpc.ErrNoSuchFunction, method)
+	}
+}
+
+func TestCtlReplicas(t *testing.T) {
+	// Singleton path first: the demo pricing object is not replicated.
+	endpoint := startDemoNode(t)
+	out, err := ctl(t, endpoint, "replicas", demo.PricingLOID.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "not replicated") {
+		t.Fatalf("singleton output = %q", out)
+	}
+
+	// Now a real 3-member group across three TCP nodes sharing one agent.
+	agent := naming.NewAgent(vclock.Real{})
+	dialer := transport.NewTCPDialer()
+	t.Cleanup(func() { _ = dialer.Close() })
+	loid := naming.LOID{Domain: 9, Class: 9, Instance: 9}
+
+	nodes := make([]*legion.Node, 3)
+	endpoints := make([]string, 3)
+	for i := range nodes {
+		node, err := legion.NewNode(legion.NodeConfig{Name: fmt.Sprintf("rep%d", i), Agent: agent})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = node.Close() })
+		nodes[i] = node
+		endpoints[i] = node.Endpoint()
+	}
+	// The first node also answers agent lookups for the CLI.
+	if _, err := nodes[0].HostObject(rpc.AgentLOID, &rpc.AgentService{Agent: agent}); err != nil {
+		t.Fatal(err)
+	}
+	for i, node := range nodes {
+		role := replica.RoleBackup
+		var backups []string
+		if i == 0 {
+			role = replica.RolePrimary
+			backups = endpoints[1:]
+		}
+		node.Dispatcher().Host(loid, replica.New(loid, &ctlInner{st: objstate.New()}, dialer, role, 1, backups))
+	}
+	if _, ok := agent.RegisterSet(loid, naming.ReplicaSet{Primary: endpoints[0], Backups: endpoints[1:]}); !ok {
+		t.Fatal("RegisterSet refused")
+	}
+	// One mutation so the primary ships and the seq counters move.
+	if _, err := rpc.DirectCall(context.Background(), dialer, endpoints[0], loid, "set", []byte("v"), 0); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err = ctl(t, endpoints[0], "replicas", loid.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"generation 1", "3 member(s)", "primary " + endpoints[0],
+		"version 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("replicas output missing %q:\n%s", want, out)
+		}
+	}
+	for _, ep := range endpoints {
+		if !strings.Contains(out, ep) {
+			t.Errorf("replicas output missing member %s:\n%s", ep, out)
+		}
+	}
+	if got := strings.Count(out, "backup"); got != 2 {
+		t.Errorf("backup count = %d, want 2:\n%s", got, out)
+	}
+	if got := strings.Count(out, "primary"); got != 2 { // header + primary row
+		t.Errorf("primary count = %d, want 2:\n%s", got, out)
+	}
+
+	// A dead member renders as unreachable instead of failing the command.
+	_ = nodes[2].Close()
+	out, err = ctl(t, endpoints[0], "replicas", loid.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "unreachable") {
+		t.Errorf("replicas output missing unreachable member:\n%s", out)
+	}
+
+	// Missing/unbound LOIDs are errors.
+	if _, err := ctl(t, endpoints[0], "replicas"); err == nil {
+		t.Error("replicas without a loid accepted")
+	}
+	if _, err := ctl(t, endpoints[0], "replicas", "loid:7.7.7"); err == nil {
+		t.Error("replicas of an unbound loid accepted")
 	}
 }
 

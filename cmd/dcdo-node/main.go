@@ -8,6 +8,8 @@
 //	dcdo-node -addr 127.0.0.1:7400 -demo          # agent + manager + demo object
 //	dcdo-node -addr 127.0.0.1:7400 -demo -journal-dir /var/lib/dcdo  # crash-safe manager
 //	dcdo-node -addr 127.0.0.1:7401 -agent tcp:127.0.0.1:7400
+//	dcdo-node -addr 127.0.0.1:7400 -demo -journal-dir /var/a -mirror-to tcp:127.0.0.1:7401   # primary, journal shipped
+//	dcdo-node -addr 127.0.0.1:7401 -demo -journal-dir /var/b -standby-for tcp:127.0.0.1:7400 # standby, takes over on death
 package main
 
 import (
@@ -22,6 +24,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"syscall"
+	"time"
 
 	"godcdo/internal/demo"
 	"godcdo/internal/legion"
@@ -51,7 +54,9 @@ func run(args []string) error {
 	name := fs.String("name", "node", "node display name")
 	obsHTTP := fs.String("obs-http", "", "HTTP listen address for /debug/obs and /debug/rollout (empty: no HTTP endpoint)")
 	journalDir := fs.String("journal-dir", "", "directory for the demo manager's durable evolution journal and store image (with -demo)")
-	supervise := fs.Bool("supervise", false, "run a rollout supervisor over the demo manager (with -demo); resumes an interrupted rollout from the journal")
+	supervise := fs.Bool("supervise", false, "run a rollout supervisor over the demo manager (with -demo -journal-dir); resumes an interrupted rollout from the journal")
+	mirrorTo := fs.String("mirror-to", "", "standby manager endpoint to ship journal records to (with -demo -journal-dir); the standby fences this manager after taking over")
+	standbyFor := fs.String("standby-for", "", "primary manager endpoint to stand by for (with -demo -journal-dir): receive its journal stream and take over when its health probes go dark")
 	maxInflight := fs.Int("max-inflight", 0, "max concurrent dispatches before requests queue (0 = unlimited)")
 	queueDepth := fs.Int("queue-depth", 0, "admission queue depth beyond max-inflight; excess requests are shed with OVERLOADED (with -max-inflight)")
 	transportStripes := fs.Int("transport-stripes", 0, "TCP connections per endpoint in the dialer, spread round-robin (0 = 1)")
@@ -65,6 +70,28 @@ func run(args []string) error {
 	pprofFlag := fs.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the obs HTTP endpoint (with -obs-http)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	// Flag combinations that would otherwise fail mid-rollout (or silently do
+	// nothing) are rejected up front with the dependency spelled out.
+	if *supervise && !*demoFlag {
+		return fmt.Errorf("-supervise requires -demo (the supervisor drives the demo manager)")
+	}
+	if *supervise && *journalDir == "" {
+		return fmt.Errorf("-supervise requires -journal-dir (the supervisor journals rollout phases and resumes them from disk)")
+	}
+	if *mirrorTo != "" && *standbyFor != "" {
+		return fmt.Errorf("-mirror-to and -standby-for are mutually exclusive (a node ships its journal or receives one, not both)")
+	}
+	for flagName, val := range map[string]string{"-mirror-to": *mirrorTo, "-standby-for": *standbyFor} {
+		if val == "" {
+			continue
+		}
+		if !*demoFlag {
+			return fmt.Errorf("%s requires -demo (manager replication mirrors the demo manager's journal)", flagName)
+		}
+		if *journalDir == "" {
+			return fmt.Errorf("%s requires -journal-dir (journal shipping needs a durable journal to stream)", flagName)
+		}
 	}
 
 	node, localAgent, err := startNode(*name, *addr, *agentEndpoint, legion.NodeConfig{
@@ -98,8 +125,17 @@ func run(args []string) error {
 			return err
 		}
 		if *journalDir != "" {
-			if err := attachJournal(dep.Manager, *journalDir); err != nil {
+			j, err := attachJournal(dep.Manager, *journalDir)
+			if err != nil {
 				return err
+			}
+			if *mirrorTo != "" {
+				if err := startMirror(j, *mirrorTo); err != nil {
+					return err
+				}
+			}
+			if *standbyFor != "" {
+				startStandby(node, dep.Manager, *standbyFor)
 			}
 		}
 		fmt.Printf("demo pricing DCDO at %s (version %s, interface %v)\n",
@@ -117,19 +153,15 @@ func run(args []string) error {
 			sup.Attach(node)
 			fmt.Printf("rollout supervisor at %s as %s (dcdo-ctl -agent %s rollout status)\n",
 				node.Endpoint(), rpc.RolloutLOID, node.Endpoint())
-			if *journalDir != "" {
-				resumed, err := sup.Resume(context.Background())
-				if err != nil {
-					return fmt.Errorf("resume rollout: %w", err)
-				}
-				if resumed {
-					st := sup.Status()
-					fmt.Printf("resumed interrupted rollout %d to %s (phase %s)\n", st.Rollout, st.Target, st.Phase)
-				}
+			resumed, err := sup.Resume(context.Background())
+			if err != nil {
+				return fmt.Errorf("resume rollout: %w", err)
+			}
+			if resumed {
+				st := sup.Status()
+				fmt.Printf("resumed interrupted rollout %d to %s (phase %s)\n", st.Rollout, st.Target, st.Phase)
 			}
 		}
-	} else if *supervise {
-		return fmt.Errorf("-supervise requires -demo (the supervisor drives the demo manager)")
 	}
 
 	if *obsHTTP != "" {
@@ -200,20 +232,21 @@ func startNode(name, addr, agentEndpoint string, cfg legion.NodeConfig, obsOpts 
 // run left unfinished, and persists the store image so an operator can
 // rebuild the manager from disk. The demo store is rebuilt deterministically
 // by demo.Install, so a journal from an earlier run of this node replays
-// against identical version identifiers.
-func attachJournal(mgr *manager.Manager, dir string) error {
+// against identical version identifiers. It returns the open journal so the
+// replication flags can ship it or receive into it.
+func attachJournal(mgr *manager.Manager, dir string) (*manager.Journal, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return fmt.Errorf("journal dir: %w", err)
+		return nil, fmt.Errorf("journal dir: %w", err)
 	}
 	journalPath := filepath.Join(dir, "evolution.journal")
 	j, err := manager.OpenJournal(journalPath)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	mgr.SetJournal(j)
 	rep, err := mgr.Recover(context.Background())
 	if err != nil {
-		return fmt.Errorf("recover from %s: %w", journalPath, err)
+		return nil, fmt.Errorf("recover from %s: %w", journalPath, err)
 	}
 	if rep.Passes > 0 {
 		fmt.Printf("recovered %d interrupted evolution pass(es): %d resumed, %d verified, %d rolled back, %d quarantined\n",
@@ -226,15 +259,66 @@ func attachJournal(mgr *manager.Manager, dir string) error {
 
 	var img bytes.Buffer
 	if err := mgr.Store().Save(&img); err != nil {
-		return err
+		return nil, err
 	}
 	imagePath := filepath.Join(dir, "store.image")
 	if err := vault.WriteDurable(imagePath, img.Bytes()); err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Printf("evolution journal at %s; store image at %s\n", journalPath, imagePath)
+	return j, nil
+}
+
+// startMirror turns this node into a replicating primary: every record the
+// journal has (and every future append) is shipped synchronously to the
+// standby's mgr.repl service at endpoint. An ErrFenced shipment later means
+// the standby took over; the failed Append halts this manager's pass.
+func startMirror(j *manager.Journal, endpoint string) error {
+	shipper := &manager.JournalShipper{
+		Dialer:   transport.NewTCPDialer(),
+		Endpoint: endpoint,
+		Epoch:    1,
+	}
+	if err := shipper.Sync(j); err != nil {
+		return fmt.Errorf("sync journal to standby %s: %w", endpoint, err)
+	}
+	j.SetSink(shipper.Ship)
+	fmt.Printf("journal mirrored to standby at %s (manager epoch %d)\n", endpoint, shipper.Epoch)
 	return nil
 }
+
+// startStandby turns this node into a warm standby for the primary manager
+// at endpoint: it hosts the mgr.repl service (appending shipped records to
+// this node's own journal) and monitors the primary's health service,
+// taking over the fleet — fenced epoch bump, then recovery over the shipped
+// journal — once probes go dark.
+func startStandby(node *legion.Node, mgr *manager.Manager, endpoint string) {
+	svc := manager.NewReplService(mgr.Journal(), 1)
+	node.Dispatcher().Host(rpc.MgrReplLOID, svc)
+	standby := &manager.Standby{Mgr: mgr, Service: svc}
+	health := &rpc.HealthClient{
+		Dialer:   transport.NewTCPDialer(),
+		Endpoint: endpoint,
+		Timeout:  standbyProbeInterval,
+	}
+	fmt.Printf("standing by for manager at %s (mgr.repl at %s as %s)\n", endpoint, node.Endpoint(), rpc.MgrReplLOID)
+	go func() {
+		rep, epoch, err := standby.Monitor(context.Background(), health, standbyProbeInterval, standbyProbeThreshold)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dcdo-node: standby takeover:", err)
+			return
+		}
+		fmt.Printf("took over as manager epoch %d: %d interrupted pass(es) reconciled (%d resumed, %d rolled back, %d quarantined)\n",
+			epoch, rep.Passes, len(rep.Resumed), len(rep.RolledBack), len(rep.Quarantined))
+	}()
+}
+
+// Standby health-probe cadence: a primary is declared dead after
+// standbyProbeThreshold consecutive missed probes.
+const (
+	standbyProbeInterval  = 500 * time.Millisecond
+	standbyProbeThreshold = 3
+)
 
 // startObsHTTP serves o's /debug/obs handler — and, when a supervisor is
 // running, its /debug/rollout handler — on addr, returning the bound

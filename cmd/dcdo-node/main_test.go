@@ -280,3 +280,31 @@ func TestRunRejectsPprofWithoutHTTP(t *testing.T) {
 		t.Fatal("-pprof without -obs-http accepted")
 	}
 }
+
+func TestRunRejectsBadFlagCombos(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of the startup error
+	}{
+		{"supervise without demo", []string{"-supervise"}, "-supervise requires -demo"},
+		{"supervise without journal", []string{"-demo", "-supervise"}, "-supervise requires -journal-dir"},
+		{"mirror without demo", []string{"-mirror-to", "tcp:127.0.0.1:1"}, "-mirror-to requires -demo"},
+		{"mirror without journal", []string{"-demo", "-mirror-to", "tcp:127.0.0.1:1"}, "-mirror-to requires -journal-dir"},
+		{"standby without demo", []string{"-standby-for", "tcp:127.0.0.1:1"}, "-standby-for requires -demo"},
+		{"standby without journal", []string{"-demo", "-standby-for", "tcp:127.0.0.1:1"}, "-standby-for requires -journal-dir"},
+		{"mirror and standby together", []string{"-demo", "-journal-dir", "x", "-mirror-to", "tcp:a", "-standby-for", "tcp:b"},
+			"mutually exclusive"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(append([]string{"-addr", "127.0.0.1:0"}, tc.args...))
+			if err == nil {
+				t.Fatalf("%v accepted", tc.args)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error = %q, want it to mention %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -104,6 +104,7 @@ func RunAll() ([]*Report, error) {
 		{"E10", RunE10},
 		{"E11", RunE11},
 		{"E12", RunE12},
+		{"E13", RunE13},
 	}
 	reports := make([]*Report, 0, len(runners))
 	for _, r := range runners {

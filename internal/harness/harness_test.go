@@ -131,6 +131,14 @@ func TestRunE12(t *testing.T) {
 	requirePassed(t, rep)
 }
 
+func TestRunE13(t *testing.T) {
+	rep, err := RunE13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requirePassed(t, rep)
+}
+
 func TestRunAllOrderAndPass(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full experiment suite")
@@ -139,10 +147,10 @@ func TestRunAllOrderAndPass(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(reports) != 12 {
-		t.Fatalf("reports = %d, want 12", len(reports))
+	if len(reports) != 13 {
+		t.Fatalf("reports = %d, want 13", len(reports))
 	}
-	wantIDs := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"}
+	wantIDs := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"}
 	for i, rep := range reports {
 		if rep.ID != wantIDs[i] {
 			t.Errorf("report %d = %s, want %s", i, rep.ID, wantIDs[i])

@@ -87,6 +87,16 @@ const (
 	// ("completed", "rolled-back", or "aborted"). A rollout start without a
 	// matching done is an interrupted rollout the supervisor resumes.
 	OpRolloutDone
+	// OpReplicaPromote records that, within a pass, LOID's replica group
+	// promoted a new primary (Reason carries its endpoint). A recovery that
+	// resumes the pass sees promotion already happened and continues with
+	// the remaining members instead of promoting twice.
+	OpReplicaPromote
+	// OpMgrEpoch records a manager-epoch bump (Pass carries the epoch): a
+	// standby manager journals one before taking over, fencing the late
+	// writes of the primary it replaces. Recovery carries the latest epoch
+	// record through compaction, like OpCurrent.
+	OpMgrEpoch
 )
 
 // String implements fmt.Stringer.
@@ -112,6 +122,10 @@ func (op JournalOp) String() string {
 		return "rollout-rollback"
 	case OpRolloutDone:
 		return "rollout-done"
+	case OpReplicaPromote:
+		return "replica-promote"
+	case OpMgrEpoch:
+		return "mgr-epoch"
 	default:
 		return fmt.Sprintf("op(%d)", int(op))
 	}
@@ -237,6 +251,7 @@ type Journal struct {
 	path     string
 	f        *os.File
 	nextPass uint64
+	sink     func(JournalRecord) error
 }
 
 // OpenJournal opens (or creates) the journal at path, scanning any existing
@@ -319,7 +334,29 @@ func (j *Journal) appendLocked(r JournalRecord) error {
 	if err := j.f.Sync(); err != nil {
 		return fmt.Errorf("manager: journal append: %w", err)
 	}
+	// Replication hook: the record is locally durable, now stream it to the
+	// standby. Shipping failures propagate — in particular a fencing
+	// rejection from a standby that has taken over, which is how a deposed
+	// primary manager finds out it must stop mid-pass.
+	if j.sink != nil {
+		if err := j.sink(r); err != nil {
+			return fmt.Errorf("manager: journal shipping: %w", err)
+		}
+	}
 	return nil
+}
+
+// SetSink installs a function called with every record after it is durably
+// appended, still under the journal lock so the stream preserves append
+// order. The journal shipper to a standby manager is the intended sink; a
+// sink error fails the Append that triggered it. Nil-safe.
+func (j *Journal) SetSink(sink func(JournalRecord) error) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	j.sink = sink
+	j.mu.Unlock()
 }
 
 // BeginPass allocates a pass identifier and durably records the pass intent:
@@ -419,6 +456,17 @@ func (j *Journal) RolloutDone(rollout uint64, disposition string) error {
 // Current records a current-version designation. Nil-safe.
 func (j *Journal) Current(v version.ID) error {
 	return j.Append(JournalRecord{Op: OpCurrent, Target: v.Clone()})
+}
+
+// ReplicaPromote records that loid's group promoted the member at endpoint
+// to primary within the pass. Nil-safe.
+func (j *Journal) ReplicaPromote(pass uint64, loid naming.LOID, endpoint string) error {
+	return j.Append(JournalRecord{Op: OpReplicaPromote, Pass: pass, LOID: loid, Reason: endpoint})
+}
+
+// MgrEpoch records a manager-epoch bump; Pass carries the epoch. Nil-safe.
+func (j *Journal) MgrEpoch(epoch uint64) error {
+	return j.Append(JournalRecord{Op: OpMgrEpoch, Pass: epoch})
 }
 
 // Records reads the journal back from disk (see ReadJournal). Nil-safe.

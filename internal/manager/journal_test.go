@@ -218,6 +218,161 @@ func TestJournalToleratesTornTail(t *testing.T) {
 	}
 }
 
+// TestJournalReplicationOps round-trips the replication-era records
+// (replica promotions inside a pass, manager-epoch bumps) through a close
+// and re-read, exactly like the evolution ops they ride beside.
+func TestJournalReplicationOps(t *testing.T) {
+	path := journalPath(t)
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	loid := naming.LOID{Domain: 1, Class: 2, Instance: 3}
+	pass, err := j.BeginPass(v(2), []naming.LOID{loid})
+	if err != nil {
+		t.Fatalf("BeginPass: %v", err)
+	}
+	if err := j.ReplicaPromote(pass, loid, "inproc://replica-b"); err != nil {
+		t.Fatalf("ReplicaPromote: %v", err)
+	}
+	if err := j.MgrEpoch(7); err != nil {
+		t.Fatalf("MgrEpoch: %v", err)
+	}
+	if err := j.Done(pass); err != nil {
+		t.Fatalf("Done: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	recs, err := ReadJournal(path)
+	if err != nil {
+		t.Fatalf("ReadJournal: %v", err)
+	}
+	wantOps := []JournalOp{OpBegin, OpReplicaPromote, OpMgrEpoch, OpDone}
+	if len(recs) != len(wantOps) {
+		t.Fatalf("got %d records, want %d", len(recs), len(wantOps))
+	}
+	for i, op := range wantOps {
+		if recs[i].Op != op {
+			t.Fatalf("record %d op = %s, want %s", i, recs[i].Op, op)
+		}
+	}
+	promote := recs[1]
+	if promote.Pass != pass || promote.LOID != loid || promote.Reason != "inproc://replica-b" {
+		t.Fatalf("promote record = %+v", promote)
+	}
+	if recs[2].Pass != 7 {
+		t.Fatalf("epoch record pass = %d, want 7", recs[2].Pass)
+	}
+}
+
+// TestJournalTornTailOnReplicatedRecord is the torn-tail test with the tail
+// being a streamed/replicated record: a manager that crashes while fsyncing
+// an epoch bump (or a standby that crashes mid-shipped-append) must reopen
+// to the intact prefix, not reject the journal.
+func TestJournalTornTailOnReplicatedRecord(t *testing.T) {
+	path := journalPath(t)
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	loid := naming.LOID{Domain: 1, Class: 2, Instance: 3}
+	pass, _ := j.BeginPass(v(1, 1), []naming.LOID{loid})
+	if err := j.ReplicaPromote(pass, loid, "inproc://replica-b"); err != nil {
+		t.Fatalf("ReplicaPromote: %v", err)
+	}
+	if err := j.MgrEpoch(3); err != nil {
+		t.Fatalf("MgrEpoch: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-3], 0o644); err != nil {
+		t.Fatalf("truncate: %v", err)
+	}
+	recs, err := ReadJournal(path)
+	if err != nil {
+		t.Fatalf("ReadJournal after truncation: %v", err)
+	}
+	if len(recs) != 2 || recs[0].Op != OpBegin || recs[1].Op != OpReplicaPromote {
+		t.Fatalf("after torn epoch tail got %+v, want begin+promote", recs)
+	}
+
+	// Corrupt the tail payload instead: the checksum must stop the read at
+	// the same place.
+	data[len(data)-1] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatalf("corrupt: %v", err)
+	}
+	recs, err = ReadJournal(path)
+	if err != nil {
+		t.Fatalf("ReadJournal after corruption: %v", err)
+	}
+	if len(recs) != 2 || recs[1].Op != OpReplicaPromote {
+		t.Fatalf("after bit flip got %+v, want begin+promote", recs)
+	}
+}
+
+// TestJournalSink checks the shipping hook: every successfully fsynced
+// append reaches the sink in order, and a sink failure fails the Append that
+// triggered it (a fenced ex-primary must not keep journalling locally as if
+// it still led the fleet).
+func TestJournalSink(t *testing.T) {
+	path := journalPath(t)
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	defer j.Close()
+
+	var shipped []JournalOp
+	var fail error
+	j.SetSink(func(r JournalRecord) error {
+		if fail != nil {
+			return fail
+		}
+		shipped = append(shipped, r.Op)
+		return nil
+	})
+
+	pass, err := j.BeginPass(v(1, 1), nil)
+	if err != nil {
+		t.Fatalf("BeginPass: %v", err)
+	}
+	if err := j.MgrEpoch(2); err != nil {
+		t.Fatalf("MgrEpoch: %v", err)
+	}
+	want := []JournalOp{OpBegin, OpMgrEpoch}
+	if len(shipped) != len(want) || shipped[0] != want[0] || shipped[1] != want[1] {
+		t.Fatalf("shipped = %v, want %v", shipped, want)
+	}
+
+	fail = errors.New("standby fenced us")
+	if err := j.Done(pass); err == nil {
+		t.Fatal("Done with failing sink: want error, got nil")
+	}
+	// The record still landed locally (fsync precedes shipping): a re-read
+	// sees it even though the Append reported the shipping failure.
+	recs, err := j.Records()
+	if err != nil {
+		t.Fatalf("Records: %v", err)
+	}
+	if recs[len(recs)-1].Op != OpDone {
+		t.Fatalf("tail op = %s, want %s", recs[len(recs)-1].Op, OpDone)
+	}
+
+	j.SetSink(nil)
+	if err := j.Current(v(1, 1)); err != nil {
+		t.Fatalf("Current after clearing sink: %v", err)
+	}
+}
+
 func TestJournalCompact(t *testing.T) {
 	path := journalPath(t)
 	j, err := OpenJournal(path)

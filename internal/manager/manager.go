@@ -14,6 +14,7 @@ import (
 	"godcdo/internal/naming"
 	"godcdo/internal/obs"
 	"godcdo/internal/registry"
+	"godcdo/internal/replica"
 	"godcdo/internal/version"
 )
 
@@ -65,6 +66,7 @@ type Manager struct {
 	current     version.ID
 	quarantined map[naming.LOID]string
 	journal     *Journal
+	groups      map[naming.LOID]*replica.Group
 
 	// obsState holds the observability handle installed by SetObs, nil when
 	// disabled.
@@ -100,6 +102,32 @@ func (m *Manager) Journal() *Journal {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.journal
+}
+
+// RegisterReplicaGroup tells the manager that loid is served by a replica
+// group: evolution of loid switches to the zero-downtime replicated path
+// (backups first, promote an evolved backup, then the old primary). A nil
+// group deregisters. Unreplicated LOIDs pay nothing for this — the lookup
+// is one nil-map read on the evolve path only.
+func (m *Manager) RegisterReplicaGroup(loid naming.LOID, g *replica.Group) {
+	m.mu.Lock()
+	if g == nil {
+		delete(m.groups, loid)
+	} else {
+		if m.groups == nil {
+			m.groups = make(map[naming.LOID]*replica.Group)
+		}
+		m.groups[loid] = g
+	}
+	m.mu.Unlock()
+}
+
+// ReplicaGroup returns the group registered for loid (nil when loid is
+// unreplicated).
+func (m *Manager) ReplicaGroup(loid naming.LOID) *replica.Group {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.groups[loid]
 }
 
 // Store exposes the manager's DFM store for version management.
@@ -384,7 +412,11 @@ func (m *Manager) evolveInstance(ctx context.Context, sp *obs.Span, j *Journal, 
 	if err := j.Intent(pass, loid, from, v); err != nil {
 		return err
 	}
-	if _, err := applyInstance(ctx, sp, inst, desc, v); err != nil {
+	if g := m.ReplicaGroup(loid); g != nil {
+		if err := m.evolveReplicated(ctx, j, pass, g, loid, desc, v); err != nil {
+			return fmt.Errorf("evolve %s to %s: %w", loid, v, err)
+		}
+	} else if _, err := applyInstance(ctx, sp, inst, desc, v); err != nil {
 		return fmt.Errorf("evolve %s to %s: %w", loid, v, err)
 	}
 	m.mu.Lock()
@@ -393,6 +425,73 @@ func (m *Manager) evolveInstance(ctx context.Context, sp *obs.Span, j *Journal, 
 	}
 	m.mu.Unlock()
 	return j.Applied(pass, loid, v)
+}
+
+// evolveReplicated evolves a replica group to v with the LOID continuously
+// available: every backup is brought to the target first (each still serving
+// shipped state, none serving clients), then an evolved backup is promoted
+// to primary — the instant of hand-off is the only leadership change and
+// both sides of it run the target version or the old one, never neither —
+// and finally the deposed primary, now a backup, is evolved. Each member
+// already at the target is skipped, which is what makes a crash-interrupted
+// pass resumable: the re-run converges on the remaining members instead of
+// repeating completed work or flipping leadership twice.
+func (m *Manager) evolveReplicated(ctx context.Context, j *Journal, pass uint64, g *replica.Group, loid naming.LOID, desc *dfm.Descriptor, v version.ID) error {
+	set := g.Set()
+	applyArgs := core.EncodeApplyArgs(desc, v)
+
+	memberAt := func(endpoint string) (bool, error) {
+		st, err := g.Status(ctx, endpoint)
+		if err != nil {
+			return false, err
+		}
+		at, err := version.Decode(st.VersionSegs)
+		if err != nil {
+			return false, err
+		}
+		return at.Equal(v), nil
+	}
+
+	// Backups first: invisible to clients, the primary keeps serving.
+	for _, ep := range set.Backups {
+		done, err := memberAt(ep)
+		if err != nil {
+			return fmt.Errorf("replica %s: %w", ep, err)
+		}
+		if done {
+			continue
+		}
+		if _, err := g.Call(ctx, ep, core.MethodApplyDescriptor, applyArgs); err != nil {
+			return fmt.Errorf("replica %s: %w", ep, err)
+		}
+	}
+
+	// If the primary already runs the target (a resumed pass promoted it
+	// before the crash), the group is converged.
+	done, err := memberAt(set.Primary)
+	if err != nil {
+		return fmt.Errorf("replica %s: %w", set.Primary, err)
+	}
+	if done {
+		return nil
+	}
+
+	if len(set.Backups) > 0 {
+		// Promote an evolved backup; the old primary stays in the set as a
+		// backup of the new era and is evolved last.
+		newPrimary := set.Backups[0]
+		if err := j.ReplicaPromote(pass, loid, newPrimary); err != nil {
+			return err
+		}
+		if _, err := g.Promote(ctx, newPrimary, true); err != nil {
+			return err
+		}
+		m.event("replica-promoted", loid, v, "primary="+newPrimary)
+	}
+	if _, err := g.Call(ctx, set.Primary, core.MethodApplyDescriptor, applyArgs); err != nil {
+		return fmt.Errorf("replica %s: %w", set.Primary, err)
+	}
+	return nil
 }
 
 // checkHybridDerivation applies the mandatory/permanent rules between two

@@ -113,6 +113,7 @@ func (m *Manager) Recover(ctx context.Context) (RecoveryReport, error) {
 func (m *Manager) recover(ctx context.Context, sp *obs.Span, j *Journal, recs []JournalRecord) (RecoveryReport, error) {
 	var report RecoveryReport
 	var lastCurrent version.ID
+	var lastEpoch uint64
 	passes := make(map[uint64]*passState)
 	var order []uint64
 	// Rollout records belong to the supervisor, not the manager: recovery
@@ -126,6 +127,12 @@ func (m *Manager) recover(ctx context.Context, sp *obs.Span, j *Journal, recs []
 		switch r.Op {
 		case OpCurrent:
 			lastCurrent = r.Target
+		case OpMgrEpoch:
+			// Manager-epoch bumps are era markers, not pass records: track
+			// the latest so compaction carries it forward like OpCurrent.
+			if r.Pass > lastEpoch {
+				lastEpoch = r.Pass
+			}
 		case OpRolloutStart:
 			if _, seen := rolloutRecs[r.Pass]; !seen {
 				rolloutOrder = append(rolloutOrder, r.Pass)
@@ -198,6 +205,9 @@ func (m *Manager) recover(ctx context.Context, sp *obs.Span, j *Journal, recs []
 	var keep []JournalRecord
 	if !report.Current.IsZero() {
 		keep = append(keep, JournalRecord{Op: OpCurrent, Target: report.Current})
+	}
+	if lastEpoch > 0 {
+		keep = append(keep, JournalRecord{Op: OpMgrEpoch, Pass: lastEpoch})
 	}
 	for _, id := range rolloutOrder {
 		if !rolloutDone[id] {

@@ -1,0 +1,231 @@
+package manager
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"godcdo/internal/rpc"
+	"godcdo/internal/transport"
+	"godcdo/internal/wire"
+)
+
+// Manager replication: the primary manager's journal records stream to a
+// standby over the mgr.repl service, so the standby holds a byte-equivalent
+// WAL and can finish (or roll back) an interrupted fleet pass after taking
+// over. Takeover is fenced by a manager epoch: the standby bumps it before
+// acting, after which the deposed primary's next shipped record is refused
+// with rpc.ErrFenced — failing its in-flight Append and halting its pass.
+
+// Remotely callable manager-replication methods, hosted at rpc.MgrReplLOID.
+const (
+	// MethodMgrReplAppend appends one shipped journal record: the shipper's
+	// epoch followed by the encoded record.
+	MethodMgrReplAppend = "mgr.repl.append"
+	// MethodMgrReplEpoch reports the service's current manager epoch.
+	MethodMgrReplEpoch = "mgr.repl.epoch"
+)
+
+// JournalShipper streams journal records to a standby manager's ReplService.
+// Install it as the journal's sink: j.SetSink(shipper.Ship).
+type JournalShipper struct {
+	// Dialer reaches the standby.
+	Dialer transport.Dialer
+	// Endpoint is the standby node's dialable endpoint.
+	Endpoint string
+	// Epoch is the shipping manager's epoch (1 for a first-era primary). A
+	// standby that has taken over holds a higher epoch and fences us.
+	Epoch uint64
+	// Timeout bounds each shipment. Zero means 2 s.
+	Timeout time.Duration
+}
+
+// Ship sends one record to the standby. An rpc.ErrFenced result means the
+// standby took over and this manager must stop acting for the fleet.
+func (s *JournalShipper) Ship(rec JournalRecord) error {
+	payload := rec.encode()
+	e := wire.NewEncoder(len(payload) + 8)
+	e.PutUvarint(s.Epoch)
+	e.PutBytes(payload)
+	timeout := s.Timeout
+	if timeout == 0 {
+		timeout = 2 * time.Second
+	}
+	_, err := rpc.DirectCall(context.Background(), s.Dialer, s.Endpoint, rpc.MgrReplLOID, MethodMgrReplAppend, e.Bytes(), timeout)
+	if err != nil {
+		return fmt.Errorf("ship to standby %s: %w", s.Endpoint, err)
+	}
+	return nil
+}
+
+// Sync ships every record already in j, bringing a standby attached after
+// journal activity up to date before live streaming begins.
+func (s *JournalShipper) Sync(j *Journal) error {
+	recs, err := j.Records()
+	if err != nil {
+		return err
+	}
+	for _, rec := range recs {
+		if err := s.Ship(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReplService is the standby side of journal shipping: an rpc.Object hosted
+// at rpc.MgrReplLOID that appends shipped records to the standby's own
+// journal and enforces the manager epoch. It is hosted directly on the
+// standby node's dispatcher, never registered with the binding agent (like
+// the health service — it is addressed by endpoint).
+type ReplService struct {
+	mu       sync.Mutex
+	epoch    uint64
+	journal  *Journal
+	received uint64
+}
+
+var _ rpc.Object = (*ReplService)(nil)
+
+// NewReplService returns a service accepting shipments at the given epoch
+// into journal (the standby's own journal file, which must have no sink —
+// shipped records are not re-shipped).
+func NewReplService(journal *Journal, epoch uint64) *ReplService {
+	if epoch == 0 {
+		epoch = 1
+	}
+	return &ReplService{journal: journal, epoch: epoch}
+}
+
+// Epoch returns the service's current manager epoch.
+func (s *ReplService) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// Received reports how many records have been accepted.
+func (s *ReplService) Received() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.received
+}
+
+// Bump advances the epoch past every era seen so far and returns the new
+// epoch. The standby calls it at takeover; from that moment the deposed
+// primary's shipments are fenced.
+func (s *ReplService) Bump() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.epoch++
+	return s.epoch
+}
+
+// InvokeMethod implements rpc.Object.
+func (s *ReplService) InvokeMethod(method string, args []byte) ([]byte, error) {
+	switch method {
+	case MethodMgrReplAppend:
+		dec := wire.NewDecoder(args)
+		epoch, err := dec.Uvarint()
+		if err != nil {
+			return nil, fmt.Errorf("%w: epoch: %v", rpc.ErrBadRequest, err)
+		}
+		payload, err := dec.Bytes()
+		if err != nil {
+			return nil, fmt.Errorf("%w: record: %v", rpc.ErrBadRequest, err)
+		}
+		rec, err := decodeJournalRecord(payload)
+		if err != nil {
+			return nil, fmt.Errorf("%w: record: %v", rpc.ErrBadRequest, err)
+		}
+		s.mu.Lock()
+		if epoch < s.epoch {
+			own := s.epoch
+			s.mu.Unlock()
+			return nil, fmt.Errorf("%w: shipment epoch %d < manager epoch %d", rpc.ErrFenced, epoch, own)
+		}
+		if epoch > s.epoch {
+			s.epoch = epoch
+		}
+		j := s.journal
+		s.received++
+		s.mu.Unlock()
+		if err := j.Append(rec); err != nil {
+			return nil, err
+		}
+		return nil, nil
+
+	case MethodMgrReplEpoch:
+		e := wire.NewEncoder(8)
+		e.PutUvarint(s.Epoch())
+		return e.Bytes(), nil
+
+	default:
+		return nil, fmt.Errorf("%w: %q", rpc.ErrNoSuchFunction, method)
+	}
+}
+
+// Standby couples a cold manager (instances adopted, journal receiving
+// shipped records through a ReplService) with the takeover procedure.
+type Standby struct {
+	// Mgr is the standby manager. Its journal must be the one the Service
+	// appends shipped records to.
+	Mgr *Manager
+	// Service receives the primary's journal stream and owns the epoch.
+	Service *ReplService
+}
+
+// Takeover makes the standby the acting manager: it bumps the manager epoch
+// (fencing the deposed primary's future shipments), durably journals the
+// bump, and runs recovery over the shipped journal — resuming or rolling
+// back whatever fleet pass the dead primary left open. Idempotent in the
+// same sense Recover is: a second takeover finds nothing open.
+func (s *Standby) Takeover(ctx context.Context) (RecoveryReport, uint64, error) {
+	epoch := s.Service.Bump()
+	if err := s.Mgr.Journal().MgrEpoch(epoch); err != nil {
+		return RecoveryReport{}, epoch, fmt.Errorf("takeover: journal epoch bump: %w", err)
+	}
+	rep, err := s.Mgr.Recover(ctx)
+	if err != nil {
+		return rep, epoch, fmt.Errorf("takeover: recover: %w", err)
+	}
+	return rep, epoch, nil
+}
+
+// Monitor probes the primary manager's node with health until it misses
+// `threshold` consecutive probes, then performs Takeover. It blocks until
+// takeover completes or ctx ends. interval is the probe cadence. Misses
+// count only after the primary has answered at least once: a standby
+// brought up before (or without) its primary waits for first contact
+// instead of seizing an epoch the primary then trips over on its first
+// shipment — "stand by for" means take over when the primary dies, not
+// when it has not started yet.
+func (s *Standby) Monitor(ctx context.Context, health *rpc.HealthClient, interval time.Duration, threshold int) (RecoveryReport, uint64, error) {
+	if threshold < 1 {
+		threshold = 1
+	}
+	misses := 0
+	seen := false
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return RecoveryReport{}, 0, ctx.Err()
+		case <-ticker.C:
+		}
+		if _, err := health.Ping(ctx); err != nil {
+			if !seen {
+				continue
+			}
+			misses++
+			if misses >= threshold {
+				return s.Takeover(ctx)
+			}
+			continue
+		}
+		seen = true
+		misses = 0
+	}
+}

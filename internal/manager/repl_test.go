@@ -1,0 +1,363 @@
+package manager
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"godcdo/internal/core"
+	"godcdo/internal/evolution"
+	"godcdo/internal/naming"
+	"godcdo/internal/registry"
+	"godcdo/internal/replica"
+	"godcdo/internal/rpc"
+	"godcdo/internal/transport"
+	"godcdo/internal/vclock"
+)
+
+// standbyEnv wires a primary journal shipping into a standby ReplService
+// hosted over inproc, the way a real deployment pairs two manager nodes.
+type standbyEnv struct {
+	net      *transport.InprocNetwork
+	primaryJ *Journal
+	standbyJ *Journal
+	service  *ReplService
+	shipper  *JournalShipper
+}
+
+func newStandbyEnv(t *testing.T) *standbyEnv {
+	t.Helper()
+	net := transport.NewInprocNetwork()
+	pj, err := OpenJournal(journalPath(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pj.Close() })
+	sj, err := OpenJournal(journalPath(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sj.Close() })
+
+	service := NewReplService(sj, 1)
+	disp := rpc.NewDispatcher()
+	disp.Host(rpc.MgrReplLOID, service)
+	srv, err := net.Listen("standby", disp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shipper := &JournalShipper{
+		Dialer:   net.Dialer(),
+		Endpoint: srv.Endpoint(),
+		Epoch:    1,
+		Timeout:  time.Second,
+	}
+	pj.SetSink(shipper.Ship)
+	return &standbyEnv{net: net, primaryJ: pj, standbyJ: sj, service: service, shipper: shipper}
+}
+
+func TestJournalShippingMirrorsRecords(t *testing.T) {
+	env := newStandbyEnv(t)
+
+	pass, err := env.primaryJ.BeginPass(v(1, 1), []naming.LOID{{Instance: 1}})
+	if err != nil {
+		t.Fatalf("BeginPass: %v", err)
+	}
+	if err := env.primaryJ.Intent(pass, naming.LOID{Instance: 1}, v(1), v(1, 1)); err != nil {
+		t.Fatalf("Intent: %v", err)
+	}
+	if err := env.primaryJ.Done(pass); err != nil {
+		t.Fatalf("Done: %v", err)
+	}
+
+	want, _ := env.primaryJ.Records()
+	got, err := env.standbyJ.Records()
+	if err != nil {
+		t.Fatalf("standby Records: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("standby has %d records, primary %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Op != want[i].Op || got[i].Pass != want[i].Pass {
+			t.Fatalf("record %d diverged: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+	if env.service.Received() != uint64(len(want)) {
+		t.Fatalf("received = %d, want %d", env.service.Received(), len(want))
+	}
+}
+
+func TestStandbyFencesDeposedPrimary(t *testing.T) {
+	env := newStandbyEnv(t)
+
+	if _, err := env.primaryJ.BeginPass(v(1, 1), nil); err != nil {
+		t.Fatalf("BeginPass before takeover: %v", err)
+	}
+
+	// The standby takes over: epoch 2. The deposed primary's next append
+	// fails at the shipping step with a fencing error.
+	env.service.Bump()
+	_, err := env.primaryJ.BeginPass(v(1, 1), nil)
+	if !errors.Is(err, rpc.ErrFenced) {
+		t.Fatalf("append after takeover err = %v, want ErrFenced", err)
+	}
+}
+
+func TestShipperSyncBringsStandbyUpToDate(t *testing.T) {
+	env := newStandbyEnv(t)
+
+	// Records appended before the standby attached (no sink yet).
+	env.primaryJ.SetSink(nil)
+	if err := env.primaryJ.Current(v(1)); err != nil {
+		t.Fatalf("Current: %v", err)
+	}
+	pass, _ := env.primaryJ.BeginPass(v(1, 1), nil)
+	_ = env.primaryJ.Done(pass)
+
+	if err := env.shipper.Sync(env.primaryJ); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	env.primaryJ.SetSink(env.shipper.Ship)
+	if err := env.primaryJ.MgrEpoch(1); err != nil {
+		t.Fatalf("append after sync: %v", err)
+	}
+
+	got, _ := env.standbyJ.Records()
+	if len(got) != 4 || got[0].Op != OpCurrent || got[3].Op != OpMgrEpoch {
+		t.Fatalf("standby records = %+v", got)
+	}
+}
+
+// TestStandbyTakeoverResumesFleetPass is the manager-failover core: the
+// primary manager dies mid-fleet-pass, and the standby — holding only the
+// shipped journal — takes over with a fenced epoch bump and finishes the
+// pass against the same fleet.
+func TestStandbyTakeoverResumesFleetPass(t *testing.T) {
+	env := newStandbyEnv(t)
+	f := newFixture(t)
+	ctx := context.Background()
+
+	primary := f.newManager(t, evolution.MultiGeneral, evolution.Explicit)
+	primary.SetJournal(env.primaryJ)
+	var objs []*core.DCDO
+	for i := 0; i < 3; i++ {
+		obj := f.newDCDO()
+		objs = append(objs, obj)
+		if err := primary.CreateInstance(ctx, LocalInstance{Obj: obj}, v(1), registry.NativeImplType); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The pass dies after one apply; the journal (and its shipped mirror)
+	// holds an open pass.
+	rep, err := primary.EvolveFleetPartial(ctx, v(1, 1), 1)
+	if err != nil || !rep.Halted || len(rep.Evolved) != 1 {
+		t.Fatalf("partial pass: %+v err=%v", rep, err)
+	}
+	_ = env.primaryJ.Close() // crash
+
+	// The standby manager: same store shape, the same fleet re-registered
+	// (in-process here; remotely they would be RemoteInstances), and the
+	// shipped journal.
+	standbyMgr := f.newManager(t, evolution.MultiGeneral, evolution.Explicit)
+	standbyMgr.SetJournal(env.standbyJ)
+	for _, obj := range objs {
+		if err := standbyMgr.Adopt(ctx, LocalInstance{Obj: obj}, registry.NativeImplType); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	sb := &Standby{Mgr: standbyMgr, Service: env.service}
+	report, epoch, err := sb.Takeover(ctx)
+	if err != nil {
+		t.Fatalf("Takeover: %v", err)
+	}
+	if epoch != 2 {
+		t.Fatalf("takeover epoch = %d, want 2", epoch)
+	}
+	if report.Passes != 1 {
+		t.Fatalf("takeover recovered %d passes, want 1", report.Passes)
+	}
+	for i, obj := range objs {
+		if !obj.Version().Equal(v(1, 1)) {
+			t.Fatalf("object %d at %v after takeover, want 1.1", i, obj.Version())
+		}
+	}
+
+	// The epoch survives the takeover's compaction, so a third-era manager
+	// recovering from this journal still knows era 2 happened.
+	recs, err := env.standbyJ.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundEpoch := false
+	for _, r := range recs {
+		if r.Op == OpMgrEpoch && r.Pass == 2 {
+			foundEpoch = true
+		}
+	}
+	if !foundEpoch {
+		t.Fatalf("epoch record lost in compaction: %+v", recs)
+	}
+
+	// A second takeover is idempotent apart from the epoch bump.
+	report2, epoch2, err := sb.Takeover(ctx)
+	if err != nil || report2.Passes != 0 || epoch2 != 3 {
+		t.Fatalf("second takeover: %+v epoch=%d err=%v", report2, epoch2, err)
+	}
+}
+
+// replicatedFleetEnv hosts one replicated LOID (three members on their own
+// inproc endpoints) managed through the RPC stack, for zero-downtime
+// evolution tests.
+type replicatedFleetEnv struct {
+	f      *fixture
+	mgr    *Manager
+	agent  *naming.Agent
+	net    *transport.InprocNetwork
+	client *rpc.Client
+	loid   naming.LOID
+	group  *replica.Group
+	objs   map[string]*core.DCDO
+}
+
+func newReplicatedFleetEnv(t *testing.T) *replicatedFleetEnv {
+	t.Helper()
+	f := newFixture(t)
+	m := f.newManager(t, evolution.MultiGeneral, evolution.Explicit)
+	clk := vclock.Real{}
+	agent := naming.NewAgent(clk)
+	cache := naming.NewCache(agent, clk, 0)
+	net := transport.NewInprocNetwork()
+	client := rpc.NewClient(cache, net.Dialer())
+	client.Retry.BaseBackoff = time.Millisecond
+	client.Retry.MaxBackoff = 4 * time.Millisecond
+
+	env := &replicatedFleetEnv{
+		f: f, mgr: m, agent: agent, net: net, client: client,
+		loid: naming.LOID{Domain: 2, Class: 1, Instance: 1},
+		objs: map[string]*core.DCDO{},
+	}
+
+	desc, err := m.Store().InstantiableDescriptor(v(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	endpoints := []string{"inproc:r0", "inproc:r1", "inproc:r2"}
+	for i, ep := range endpoints {
+		obj := core.New(core.Config{LOID: env.loid, Registry: f.reg, Fetcher: f.fetcher()})
+		if _, err := obj.ApplyDescriptor(context.Background(), desc, v(1)); err != nil {
+			t.Fatal(err)
+		}
+		role := replica.RoleBackup
+		var backups []string
+		if i == 0 {
+			role = replica.RolePrimary
+			backups = endpoints[1:]
+		}
+		rep := replica.New(env.loid, obj, net.Dialer(), role, 1, backups)
+		disp := rpc.NewDispatcher()
+		disp.Host(env.loid, rep)
+		if _, err := net.Listen(ep[len("inproc:"):], disp); err != nil {
+			t.Fatal(err)
+		}
+		env.objs[ep] = obj
+	}
+	env.group = replica.NewGroup(env.loid, net.Dialer(), agent, endpoints[0], endpoints[1:])
+
+	if err := m.Adopt(context.Background(), RemoteInstance{Client: client, Target: env.loid}, registry.NativeImplType); err != nil {
+		t.Fatal(err)
+	}
+	m.RegisterReplicaGroup(env.loid, env.group)
+	return env
+}
+
+func TestEvolveReplicatedZeroDowntime(t *testing.T) {
+	env := newReplicatedFleetEnv(t)
+	ctx := context.Background()
+	j, err := OpenJournal(journalPath(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	env.mgr.SetJournal(j)
+
+	if err := env.mgr.EvolveInstance(ctx, env.loid, v(1, 1)); err != nil {
+		t.Fatalf("EvolveInstance: %v", err)
+	}
+
+	// Every member runs the target.
+	for ep, obj := range env.objs {
+		if !obj.Version().Equal(v(1, 1)) {
+			t.Fatalf("member %s at %v, want 1.1", ep, obj.Version())
+		}
+	}
+	// Leadership moved to the first evolved backup and the naming plane
+	// published the hand-off as generation 2.
+	set := env.agent.Set(env.loid)
+	if set.Primary != "inproc:r1" || set.Generation != 2 {
+		t.Fatalf("published set after evolution = %+v", set)
+	}
+	if !set.Contains("inproc:r0") {
+		t.Fatalf("old primary dropped from set: %+v", set)
+	}
+	// The promotion is journalled, so a recovering manager knows which
+	// member leads the pass's new era.
+	recs, _ := j.Records()
+	var promote *JournalRecord
+	for i := range recs {
+		if recs[i].Op == OpReplicaPromote {
+			promote = &recs[i]
+		}
+	}
+	if promote == nil || promote.LOID != env.loid || promote.Reason != "inproc:r1" {
+		t.Fatalf("promote record = %+v", promote)
+	}
+	// The manager's record tracks the group version.
+	rec, err := env.mgr.RecordOf(env.loid)
+	if err != nil || !rec.Version.Equal(v(1, 1)) {
+		t.Fatalf("record = %+v err=%v", rec, err)
+	}
+
+	// Clients keep working against the evolved group (the fr component is
+	// the enabled one at v1.1).
+	out, err := env.client.Invoke(ctx, env.loid, "greet", nil)
+	if err != nil || string(out) != "bonjour" {
+		t.Fatalf("greet after evolution = %q, %v", out, err)
+	}
+}
+
+// TestEvolveReplicatedResumesAfterPartialPass drives the crash-resume
+// convergence property: a pass interrupted after the backups evolved (but
+// before promotion) is re-run and converges without flipping leadership
+// twice.
+func TestEvolveReplicatedResumesAfterPartialPass(t *testing.T) {
+	env := newReplicatedFleetEnv(t)
+	ctx := context.Background()
+
+	// Manually evolve both backups to the target, simulating the state a
+	// crash left behind mid-evolveReplicated.
+	desc, err := env.mgr.Store().InstantiableDescriptor(v(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ep := range []string{"inproc:r1", "inproc:r2"} {
+		if _, err := env.group.Call(ctx, ep, core.MethodApplyDescriptor, core.EncodeApplyArgs(desc, v(1, 1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if err := env.mgr.EvolveInstance(ctx, env.loid, v(1, 1)); err != nil {
+		t.Fatalf("resumed EvolveInstance: %v", err)
+	}
+	for ep, obj := range env.objs {
+		if !obj.Version().Equal(v(1, 1)) {
+			t.Fatalf("member %s at %v, want 1.1", ep, obj.Version())
+		}
+	}
+	if got := env.group.Epoch(); got != 2 {
+		t.Fatalf("group epoch = %d, want exactly one promotion", got)
+	}
+}

@@ -18,10 +18,88 @@ var (
 	ErrStaleBinding = errors.New("naming: stale binding")
 )
 
-// Binding associates a LOID with the address it resolved to and when.
+// ReplicaSet describes the replica group serving one LOID: the primary
+// endpoint, the backups in failover order, and a generation number that
+// increases on every membership or leadership change. A zero ReplicaSet
+// (Primary == "") marks an ordinary singleton binding.
+type ReplicaSet struct {
+	Primary    string
+	Backups    []string
+	Generation uint64
+}
+
+// Replicated reports whether the set describes a replica group (as opposed
+// to the zero value carried by singleton bindings).
+func (s ReplicaSet) Replicated() bool { return s.Primary != "" }
+
+// Endpoints returns the set's endpoints, primary first.
+func (s ReplicaSet) Endpoints() []string {
+	if !s.Replicated() {
+		return nil
+	}
+	out := make([]string, 0, 1+len(s.Backups))
+	out = append(out, s.Primary)
+	return append(out, s.Backups...)
+}
+
+// Contains reports whether endpoint is a member of the set.
+func (s ReplicaSet) Contains(endpoint string) bool {
+	if s.Primary == endpoint {
+		return true
+	}
+	for _, b := range s.Backups {
+		if b == endpoint {
+			return true
+		}
+	}
+	return false
+}
+
+// Without returns a copy of the set with endpoint removed and reports
+// whether it was a member. Removing the primary promotes the first backup,
+// so a client can fail over locally without re-consulting the agent. The
+// returned set's Primary is "" when no endpoints remain.
+func (s ReplicaSet) Without(endpoint string) (ReplicaSet, bool) {
+	if !s.Contains(endpoint) {
+		return s, false
+	}
+	out := ReplicaSet{Generation: s.Generation}
+	survivors := make([]string, 0, len(s.Backups))
+	if s.Primary != endpoint {
+		out.Primary = s.Primary
+	}
+	for _, b := range s.Backups {
+		if b == endpoint {
+			continue
+		}
+		if out.Primary == "" {
+			out.Primary = b
+			continue
+		}
+		survivors = append(survivors, b)
+	}
+	if len(survivors) > 0 {
+		out.Backups = survivors
+	}
+	return out, true
+}
+
+// Clone deep-copies the set so agent-held state never aliases caller slices.
+func (s ReplicaSet) Clone() ReplicaSet {
+	if len(s.Backups) > 0 {
+		s.Backups = append([]string(nil), s.Backups...)
+	}
+	return s
+}
+
+// Binding associates a LOID with the address it resolved to and when. For
+// replicated LOIDs, Set carries the full replica group; Address.Endpoint
+// always equals the primary endpoint, so unreplicated callers keep working
+// untouched.
 type Binding struct {
 	LOID       LOID
 	Address    Address
+	Set        ReplicaSet
 	ResolvedAt time.Time
 }
 
@@ -51,6 +129,7 @@ type Agent struct {
 
 	mu       sync.RWMutex
 	bindings map[LOID]Address
+	sets     map[LOID]ReplicaSet
 	lookups  uint64
 	updates  uint64
 }
@@ -59,7 +138,7 @@ var _ Authority = (*Agent)(nil)
 
 // NewAgent returns an empty binding agent using clock for timestamps.
 func NewAgent(clock vclock.Clock) *Agent {
-	return &Agent{clock: clock, bindings: make(map[LOID]Address)}
+	return &Agent{clock: clock, bindings: make(map[LOID]Address), sets: make(map[LOID]ReplicaSet)}
 }
 
 // Register binds loid to addr, replacing any previous binding. The new
@@ -72,26 +151,57 @@ func (a *Agent) Register(loid LOID, addr Address) Address {
 		addr.Incarnation = a.bindings[loid].Incarnation + 1
 	}
 	a.bindings[loid] = addr
+	delete(a.sets, loid) // a plain registration demotes the LOID to a singleton
 	a.updates++
 	return addr
 }
 
-// Lookup resolves loid to its current address.
+// RegisterSet binds loid to a replica group. The primary endpoint becomes
+// the binding's address. When set.Generation is zero the agent assigns the
+// next generation; an explicit generation at or below the current one is
+// rejected (the registrar is a deposed primary working from a stale view)
+// and the live set is returned with ok=false. Generations never regress.
+func (a *Agent) RegisterSet(loid LOID, set ReplicaSet) (ReplicaSet, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	cur := a.sets[loid]
+	if set.Generation == 0 {
+		set.Generation = cur.Generation + 1
+	} else if set.Generation <= cur.Generation {
+		return cur.Clone(), false
+	}
+	set = set.Clone()
+	a.sets[loid] = set
+	a.bindings[loid] = Address{Endpoint: set.Primary, Incarnation: a.bindings[loid].Incarnation + 1}
+	a.updates++
+	return set.Clone(), true
+}
+
+// Set returns loid's current replica set (zero when loid is a singleton).
+func (a *Agent) Set(loid LOID) ReplicaSet {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.sets[loid].Clone()
+}
+
+// Lookup resolves loid to its current address (and replica set, if any).
 func (a *Agent) Lookup(loid LOID) (Binding, error) {
 	a.mu.Lock()
 	a.lookups++
 	addr, ok := a.bindings[loid]
+	set := a.sets[loid].Clone()
 	a.mu.Unlock()
 	if !ok {
 		return Binding{}, fmt.Errorf("%w: %s", ErrNotBound, loid)
 	}
-	return Binding{LOID: loid, Address: addr, ResolvedAt: a.clock.Now()}, nil
+	return Binding{LOID: loid, Address: addr, Set: set, ResolvedAt: a.clock.Now()}, nil
 }
 
 // Deregister removes loid's binding; removing an unbound LOID is a no-op.
 func (a *Agent) Deregister(loid LOID) {
 	a.mu.Lock()
 	delete(a.bindings, loid)
+	delete(a.sets, loid)
 	a.updates++
 	a.mu.Unlock()
 }
@@ -174,17 +284,39 @@ func (c *Cache) Invalidate(loid LOID) {
 	c.mu.Unlock()
 }
 
-// InvalidateEndpoint drops the cached binding for loid only if it still
-// points at endpoint, and reports whether an entry was dropped. Concurrent
-// callers that all failed against the same stale endpoint thus perform one
-// logical invalidation: whoever loses the race sees false and knows another
-// caller already forced a re-resolve (rpc.Client uses this to keep rebind
-// counts bounded under concurrency).
+// InvalidateEndpoint invalidates the dead endpoint within loid's cached
+// binding and reports whether anything changed. For singleton bindings the
+// whole entry is dropped (as before). For multi-endpoint bindings only the
+// failed endpoint is trimmed from the replica set — the primary's death
+// promotes the first cached backup — so failover proceeds from cache
+// without a round trip to the agent; the entry is dropped only when no
+// endpoints survive. Concurrent callers that all failed against the same
+// endpoint perform one logical invalidation: whoever loses the race sees
+// false and knows another caller already handled it (rpc.Client uses this
+// to keep rebind counts bounded under concurrency).
 func (c *Cache) InvalidateEndpoint(loid LOID, endpoint string) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	b, ok := c.entries[loid]
-	if !ok || b.Address.Endpoint != endpoint {
+	if !ok {
+		return false
+	}
+	if b.Set.Replicated() {
+		trimmed, member := b.Set.Without(endpoint)
+		if !member {
+			return false
+		}
+		if !trimmed.Replicated() {
+			delete(c.entries, loid)
+		} else {
+			b.Set = trimmed
+			b.Address.Endpoint = trimmed.Primary
+			c.entries[loid] = b
+		}
+		c.stats.Invalidations++
+		return true
+	}
+	if b.Address.Endpoint != endpoint {
 		return false
 	}
 	delete(c.entries, loid)

@@ -289,3 +289,143 @@ func TestAgentStats(t *testing.T) {
 		t.Fatalf("stats = %d lookups %d updates", lookups, updates)
 	}
 }
+
+func TestReplicaSetWithout(t *testing.T) {
+	set := ReplicaSet{Primary: "p", Backups: []string{"b1", "b2"}, Generation: 4}
+
+	// Removing a backup keeps the primary and the rest of the order.
+	out, ok := set.Without("b1")
+	if !ok || out.Primary != "p" || len(out.Backups) != 1 || out.Backups[0] != "b2" {
+		t.Fatalf("Without(backup) = %+v ok=%v", out, ok)
+	}
+
+	// Removing the primary promotes the first backup.
+	out, ok = set.Without("p")
+	if !ok || out.Primary != "b1" || len(out.Backups) != 1 || out.Backups[0] != "b2" {
+		t.Fatalf("Without(primary) = %+v ok=%v", out, ok)
+	}
+
+	// A non-member leaves the set alone.
+	if _, ok := set.Without("stranger"); ok {
+		t.Fatal("Without(non-member) reported a removal")
+	}
+
+	// Draining the last member yields an empty (non-replicated) set.
+	solo := ReplicaSet{Primary: "p"}
+	out, ok = solo.Without("p")
+	if !ok || out.Replicated() {
+		t.Fatalf("Without(last member) = %+v ok=%v", out, ok)
+	}
+
+	// The original is never mutated.
+	if set.Primary != "p" || len(set.Backups) != 2 {
+		t.Fatalf("Without mutated the receiver: %+v", set)
+	}
+}
+
+func TestAgentRegisterSet(t *testing.T) {
+	ag := NewAgent(vclock.Real{})
+	loid := LOID{Instance: 11}
+
+	set, ok := ag.RegisterSet(loid, ReplicaSet{Primary: "tcp:p", Backups: []string{"tcp:b1", "tcp:b2"}})
+	if !ok || set.Generation != 1 {
+		t.Fatalf("first RegisterSet = %+v ok=%v", set, ok)
+	}
+	b, err := ag.Lookup(loid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Address.Endpoint != "tcp:p" {
+		t.Fatalf("primary not reflected in Address: %v", b.Address)
+	}
+	if !b.Set.Replicated() || b.Set.Generation != 1 || len(b.Set.Backups) != 2 {
+		t.Fatalf("Lookup set = %+v", b.Set)
+	}
+
+	// A failover publishes the next generation (auto-assigned).
+	set2, ok := ag.RegisterSet(loid, ReplicaSet{Primary: "tcp:b1", Backups: []string{"tcp:b2"}})
+	if !ok || set2.Generation != 2 {
+		t.Fatalf("second RegisterSet = %+v ok=%v", set2, ok)
+	}
+
+	// An explicit stale generation is fenced: the current set is returned.
+	cur, ok := ag.RegisterSet(loid, ReplicaSet{Primary: "tcp:stale", Generation: 1})
+	if ok {
+		t.Fatal("stale generation accepted")
+	}
+	if cur.Primary != "tcp:b1" || cur.Generation != 2 {
+		t.Fatalf("fenced RegisterSet returned %+v, want the current set", cur)
+	}
+
+	// A plain Register demotes the LOID to a singleton binding.
+	ag.Register(loid, Address{Endpoint: "tcp:solo"})
+	b, err = ag.Lookup(loid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Set.Replicated() {
+		t.Fatalf("plain Register left a replica set behind: %+v", b.Set)
+	}
+
+	// Deregister clears the set state too: a fresh group starts at gen 1.
+	_, _ = ag.RegisterSet(loid, ReplicaSet{Primary: "tcp:p2"})
+	ag.Deregister(loid)
+	fresh, ok := ag.RegisterSet(loid, ReplicaSet{Primary: "tcp:p3"})
+	if !ok || fresh.Generation != 1 {
+		t.Fatalf("RegisterSet after Deregister = %+v ok=%v", fresh, ok)
+	}
+}
+
+func TestCacheInvalidateEndpointReplicated(t *testing.T) {
+	clk := vclock.NewVirtual(time.Unix(0, 0))
+	ag := NewAgent(clk)
+	loid := LOID{Instance: 21}
+	ag.RegisterSet(loid, ReplicaSet{Primary: "tcp:p", Backups: []string{"tcp:b1", "tcp:b2"}})
+
+	c := NewCache(ag, clk, 0)
+	if _, err := c.Resolve(loid); err != nil {
+		t.Fatal(err)
+	}
+
+	// A non-member endpoint leaves the entry alone.
+	if c.InvalidateEndpoint(loid, "tcp:other") {
+		t.Fatal("invalidated for a non-member endpoint")
+	}
+
+	// A dead backup is trimmed without losing the cached binding.
+	if !c.InvalidateEndpoint(loid, "tcp:b1") {
+		t.Fatal("backup trim reported false")
+	}
+	b, err := c.Resolve(loid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Address.Endpoint != "tcp:p" || len(b.Set.Backups) != 1 || b.Set.Backups[0] != "tcp:b2" {
+		t.Fatalf("after backup trim: %v / %+v", b.Address, b.Set)
+	}
+	if c.Stats().Misses != 1 {
+		t.Fatalf("backup trim evicted the entry: stats=%+v", c.Stats())
+	}
+
+	// A dead primary promotes the surviving backup locally — the client can
+	// retry against it without a round-trip to the agent.
+	if !c.InvalidateEndpoint(loid, "tcp:p") {
+		t.Fatal("primary trim reported false")
+	}
+	b, err = c.Resolve(loid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Address.Endpoint != "tcp:b2" || b.Set.Replicated() != true {
+		t.Fatalf("after primary trim: %v / %+v", b.Address, b.Set)
+	}
+
+	// Trimming the last member finally drops the entry: the next Resolve
+	// goes back to the agent.
+	if !c.InvalidateEndpoint(loid, "tcp:b2") {
+		t.Fatal("final trim reported false")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("entry survived final trim: len=%d", c.Len())
+	}
+}

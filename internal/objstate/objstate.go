@@ -14,10 +14,13 @@ import (
 )
 
 // State is a mutable key→bytes map guarded internally. Methods read and
-// write it; capture/restore serialise it deterministically.
+// write it; capture/restore serialise it deterministically. A generation
+// counter increments on every mutation so replication can cheaply detect
+// "did this call change anything" without diffing or re-encoding.
 type State struct {
 	mu   sync.Mutex
 	data map[string][]byte
+	gen  uint64
 }
 
 // New returns an empty state.
@@ -44,14 +47,27 @@ func (s *State) Set(key string, value []byte) {
 	copy(v, value)
 	s.mu.Lock()
 	s.data[key] = v
+	s.gen++
 	s.mu.Unlock()
 }
 
 // Delete removes key.
 func (s *State) Delete(key string) {
 	s.mu.Lock()
-	delete(s.data, key)
+	if _, ok := s.data[key]; ok {
+		delete(s.data, key)
+		s.gen++
+	}
 	s.mu.Unlock()
+}
+
+// Generation reports the mutation counter: it increments on every Set,
+// effective Delete, and ReplaceFrom. Equal generations across two reads
+// mean no mutation happened in between.
+func (s *State) Generation() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gen
 }
 
 // Keys returns the sorted keys.
@@ -117,4 +133,21 @@ func Decode(buf []byte) (*State, error) {
 		s.Set(k, v)
 	}
 	return s, nil
+}
+
+// ReplaceFrom atomically replaces the state's contents with those encoded
+// in buf (produced by Encode on another State). On decode failure the state
+// is left untouched. This is the backup side of replica state shipping: the
+// primary's snapshot lands as one generation bump, never as a partially
+// applied mixture.
+func (s *State) ReplaceFrom(buf []byte) error {
+	next, err := Decode(buf)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.data = next.data
+	s.gen++
+	s.mu.Unlock()
+	return nil
 }

@@ -1,0 +1,200 @@
+package replica
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"godcdo/internal/naming"
+	"godcdo/internal/rpc"
+	"godcdo/internal/transport"
+)
+
+// SetRegistrar publishes replica sets to the naming plane. The in-memory
+// naming.Agent satisfies it directly; remote deployments adapt
+// rpc.RemoteAgent.RegisterSet.
+type SetRegistrar interface {
+	RegisterSet(loid naming.LOID, set naming.ReplicaSet) (naming.ReplicaSet, bool)
+}
+
+// SetSource reads the authoritative current replica set for a LOID.
+// naming.Agent satisfies it; a Group with a source always operates on the
+// published set rather than a view cached at construction, which is what
+// lets a standby manager attach its group view before a failover and still
+// act correctly after one.
+type SetSource interface {
+	Set(loid naming.LOID) naming.ReplicaSet
+}
+
+// Group is the control-plane view of one replica group: it tracks the set,
+// owns the epoch counter, and performs promotion and failover. Exactly one
+// party drives a Group at a time (the manager, or a chaos harness standing
+// in for it); the replicas themselves enforce safety via epoch fencing, so
+// a stale Group's actions are refused rather than corrupting the newer era.
+type Group struct {
+	// LOID is the group's logical object identity.
+	LOID naming.LOID
+	// Dialer reaches member endpoints.
+	Dialer transport.Dialer
+	// Registrar publishes set changes to the naming plane.
+	Registrar SetRegistrar
+	// Source, when set, is the authoritative read side for the current set;
+	// Set() prefers it over the cached view. Wired automatically when the
+	// registrar also reads (naming.Agent does both).
+	Source SetSource
+	// CallTimeout bounds each control call to a member. Zero means 2 s.
+	CallTimeout time.Duration
+
+	mu    sync.Mutex
+	set   naming.ReplicaSet
+	epoch uint64
+}
+
+// NewGroup returns a group view and publishes the initial set (primary
+// first, then backups in failover order) at epoch 1. The caller constructs
+// the member Replicas with the matching role/epoch.
+func NewGroup(loid naming.LOID, dialer transport.Dialer, registrar SetRegistrar, primary string, backups []string) *Group {
+	g := &Group{LOID: loid, Dialer: dialer, Registrar: registrar, epoch: 1}
+	if src, ok := registrar.(SetSource); ok {
+		g.Source = src
+	}
+	set := naming.ReplicaSet{Primary: primary, Backups: append([]string(nil), backups...)}
+	if registrar != nil {
+		set, _ = registrar.RegisterSet(loid, set)
+	}
+	g.set = set
+	return g
+}
+
+// Attach returns a group view adopting an existing set and epoch without
+// publishing anything — the set is already registered. A standby manager
+// taking over an established group uses this to avoid bumping the naming
+// generation for a membership that has not changed.
+func Attach(loid naming.LOID, dialer transport.Dialer, registrar SetRegistrar, set naming.ReplicaSet, epoch uint64) *Group {
+	if epoch == 0 {
+		epoch = 1
+	}
+	g := &Group{LOID: loid, Dialer: dialer, Registrar: registrar, set: set.Clone(), epoch: epoch}
+	if src, ok := registrar.(SetSource); ok {
+		g.Source = src
+	}
+	return g
+}
+
+// Set returns the group's current view of the replica set: the published
+// set when a Source is wired, the cached view otherwise.
+func (g *Group) Set() naming.ReplicaSet {
+	if g.Source != nil {
+		if s := g.Source.Set(g.LOID); s.Replicated() {
+			g.mu.Lock()
+			g.set = s
+			g.mu.Unlock()
+			return s
+		}
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.set
+}
+
+// Epoch returns the group's current epoch.
+func (g *Group) Epoch() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.epoch
+}
+
+// Call invokes method on the group's LOID at a specific member endpoint.
+func (g *Group) Call(ctx context.Context, endpoint, method string, args []byte) ([]byte, error) {
+	return rpc.DirectCall(ctx, g.Dialer, endpoint, g.LOID, method, args, g.timeout())
+}
+
+// Status probes one member's replication status.
+func (g *Group) Status(ctx context.Context, endpoint string) (Status, error) {
+	out, err := g.Call(ctx, endpoint, MethodStatus, nil)
+	if err != nil {
+		return Status{}, err
+	}
+	return DecodeStatus(out)
+}
+
+// Promote makes endpoint the group's primary at a bumped epoch: the member
+// is promoted with the remaining members as its backup list, the old
+// primary is demoted (best-effort — it may be the dead node failover is
+// reacting to), and the new set is published with the next generation.
+// Keep reports whether the old primary stays in the set as a backup (true
+// during planned hand-offs, false when failing away from a dead node).
+func (g *Group) Promote(ctx context.Context, endpoint string, keepOldPrimary bool) (naming.ReplicaSet, error) {
+	oldSet := g.Set()
+	g.mu.Lock()
+	newEpoch := g.epoch + 1
+	g.mu.Unlock()
+
+	if endpoint != oldSet.Primary && !oldSet.Contains(endpoint) {
+		return naming.ReplicaSet{}, fmt.Errorf("replica group %s: %s is not a member", g.LOID, endpoint)
+	}
+
+	// A group view attached before someone else's era change (a standby
+	// manager's, typically) holds a stale epoch; the target member knows
+	// the real one, so derive the new era from whichever is later.
+	if st, err := g.Status(ctx, endpoint); err == nil && st.Epoch >= newEpoch {
+		newEpoch = st.Epoch + 1
+	}
+
+	var backups []string
+	if keepOldPrimary && oldSet.Primary != endpoint {
+		backups = append(backups, oldSet.Primary)
+	}
+	for _, b := range oldSet.Backups {
+		if b != endpoint {
+			backups = append(backups, b)
+		}
+	}
+
+	if _, err := g.Call(ctx, endpoint, MethodPromote, EncodePromoteArgs(newEpoch, backups)); err != nil {
+		return naming.ReplicaSet{}, fmt.Errorf("promote %s for %s: %w", endpoint, g.LOID, err)
+	}
+	if oldSet.Primary != endpoint {
+		// Fence the old primary into a backup of the new era. If it is dead
+		// or partitioned this fails harmlessly: its first shipment into the
+		// new era will be refused with ErrFenced and it demotes itself.
+		_, _ = g.Call(ctx, oldSet.Primary, MethodDemote, EncodeDemoteArgs(newEpoch))
+	}
+
+	newSet := naming.ReplicaSet{Primary: endpoint, Backups: backups}
+	if g.Registrar != nil {
+		if eff, ok := g.Registrar.RegisterSet(g.LOID, newSet); ok {
+			newSet = eff
+		}
+	}
+	g.mu.Lock()
+	g.epoch = newEpoch
+	g.set = newSet
+	g.mu.Unlock()
+	return newSet, nil
+}
+
+// Failover reacts to a dead primary: it probes the backups in failover
+// order, promotes the first one that answers, and publishes a set that no
+// longer contains the old primary. It returns the new primary's endpoint.
+func (g *Group) Failover(ctx context.Context) (string, error) {
+	set := g.Set()
+	for _, candidate := range set.Backups {
+		if _, err := g.Status(ctx, candidate); err != nil {
+			continue
+		}
+		if _, err := g.Promote(ctx, candidate, false); err != nil {
+			return "", err
+		}
+		return candidate, nil
+	}
+	return "", fmt.Errorf("replica group %s: no reachable backup to fail over to", g.LOID)
+}
+
+func (g *Group) timeout() time.Duration {
+	if g.CallTimeout > 0 {
+		return g.CallTimeout
+	}
+	return 2 * time.Second
+}

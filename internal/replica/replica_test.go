@@ -1,0 +1,341 @@
+package replica
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"godcdo/internal/core"
+	"godcdo/internal/naming"
+	"godcdo/internal/objstate"
+	"godcdo/internal/rpc"
+	"godcdo/internal/transport"
+	"godcdo/internal/vclock"
+	"godcdo/internal/wire"
+)
+
+// fakeInner is a minimal Inner: a state container plus "set"/"get" dynamic
+// methods and the dcdo.version control probe. The E13 harness exercises the
+// real core.DCDO path; these tests isolate the replication machinery.
+type fakeInner struct {
+	st   *objstate.State
+	segs []uint64
+}
+
+func newFakeInner(segs ...uint64) *fakeInner {
+	return &fakeInner{st: objstate.New(), segs: segs}
+}
+
+func (f *fakeInner) State() *objstate.State { return f.st }
+
+func (f *fakeInner) InvokeMethodCtx(_ context.Context, method string, args []byte) ([]byte, error) {
+	switch method {
+	case core.MethodVersion:
+		e := wire.NewEncoder(16)
+		e.PutUintSlice(f.segs)
+		return e.Bytes(), nil
+	case "set":
+		dec := wire.NewDecoder(args)
+		k, _ := dec.String()
+		v, _ := dec.Bytes()
+		f.st.Set(k, v)
+		return nil, nil
+	case "get":
+		k, _ := wire.NewDecoder(args).String()
+		v, _ := f.st.Get(k)
+		e := wire.NewEncoder(len(v) + 4)
+		e.PutBytes(v)
+		return e.Bytes(), nil
+	case "noop":
+		return []byte("ok"), nil
+	default:
+		return nil, fmt.Errorf("%w: %q", rpc.ErrNoSuchFunction, method)
+	}
+}
+
+func setArgs(k, v string) []byte {
+	e := wire.NewEncoder(len(k) + len(v) + 8)
+	e.PutString(k)
+	e.PutBytes([]byte(v))
+	return e.Bytes()
+}
+
+func getValue(t *testing.T, inner *fakeInner, k string) string {
+	t.Helper()
+	v, ok := inner.st.Get(k)
+	if !ok {
+		return ""
+	}
+	return string(v)
+}
+
+// replicaEnv hosts a 3-member group (p, b1, b2) for one LOID on an inproc
+// network, each member on its own endpoint.
+type replicaEnv struct {
+	loid    naming.LOID
+	net     *transport.InprocNetwork
+	agent   *naming.Agent
+	inners  map[string]*fakeInner
+	members map[string]*Replica
+	servers map[string]*transport.InprocServer
+}
+
+func newReplicaEnv(t *testing.T) *replicaEnv {
+	t.Helper()
+	env := &replicaEnv{
+		loid:    naming.LOID{Domain: 3, Class: 1, Instance: 1},
+		net:     transport.NewInprocNetwork(),
+		agent:   naming.NewAgent(vclock.Real{}),
+		inners:  map[string]*fakeInner{},
+		members: map[string]*Replica{},
+		servers: map[string]*transport.InprocServer{},
+	}
+	endpoints := map[string]string{"p": "inproc:p", "b1": "inproc:b1", "b2": "inproc:b2"}
+	for name := range endpoints {
+		inner := newFakeInner(1)
+		role := RoleBackup
+		var backups []string
+		if name == "p" {
+			role = RolePrimary
+			backups = []string{"inproc:b1", "inproc:b2"}
+		}
+		rep := New(env.loid, inner, env.net.Dialer(), role, 1, backups)
+		rep.ShipTimeout = 200 * time.Millisecond
+		disp := rpc.NewDispatcher()
+		disp.Host(env.loid, rep)
+		srv, err := env.net.Listen(name, disp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		env.inners[name] = inner
+		env.members[name] = rep
+		env.servers[name] = srv
+	}
+	env.agent.RegisterSet(env.loid, naming.ReplicaSet{
+		Primary: "inproc:p",
+		Backups: []string{"inproc:b1", "inproc:b2"},
+	})
+	return env
+}
+
+func (e *replicaEnv) call(endpoint, method string, args []byte) ([]byte, error) {
+	return rpc.DirectCall(context.Background(), e.net.Dialer(), endpoint, e.loid, method, args, time.Second)
+}
+
+func TestPrimaryExecutesAndShips(t *testing.T) {
+	env := newReplicaEnv(t)
+
+	if _, err := env.call("inproc:p", "set", setArgs("k", "v1")); err != nil {
+		t.Fatalf("set on primary: %v", err)
+	}
+	for _, b := range []string{"b1", "b2"} {
+		if got := getValue(t, env.inners[b], "k"); got != "v1" {
+			t.Fatalf("backup %s state = %q, want v1", b, got)
+		}
+	}
+
+	// A read that does not mutate state ships nothing: the sequence number
+	// is still 1 on every member.
+	if _, err := env.call("inproc:p", "noop", nil); err != nil {
+		t.Fatalf("noop: %v", err)
+	}
+	for name, rep := range env.members {
+		rep.mu.Lock()
+		seq := rep.seq
+		rep.mu.Unlock()
+		if seq != 1 {
+			t.Fatalf("%s seq = %d after read-only call, want 1", name, seq)
+		}
+	}
+
+	// A second mutation ships again.
+	if _, err := env.call("inproc:p", "set", setArgs("k", "v2")); err != nil {
+		t.Fatalf("second set: %v", err)
+	}
+	if got := getValue(t, env.inners["b2"], "k"); got != "v2" {
+		t.Fatalf("backup state after second set = %q, want v2", got)
+	}
+}
+
+func TestBackupRefusesDynamicServesControl(t *testing.T) {
+	env := newReplicaEnv(t)
+
+	_, err := env.call("inproc:b1", "set", setArgs("k", "v"))
+	if !errors.Is(err, rpc.ErrNotPrimary) {
+		t.Fatalf("dynamic call on backup err = %v, want ErrNotPrimary", err)
+	}
+	var re *rpc.RemoteError
+	if !errors.As(err, &re) || re.Code != wire.CodeNotPrimary {
+		t.Fatalf("remote error = %+v, want CodeNotPrimary", re)
+	}
+
+	// Control plane passes through on any role.
+	out, err := env.call("inproc:b1", core.MethodVersion, nil)
+	if err != nil {
+		t.Fatalf("version probe on backup: %v", err)
+	}
+	segs, err := wire.NewDecoder(out).UintSlice()
+	if err != nil || len(segs) != 1 || segs[0] != 1 {
+		t.Fatalf("version = %v (%v)", segs, err)
+	}
+}
+
+func TestStaleShipmentAndDuplicateDropped(t *testing.T) {
+	env := newReplicaEnv(t)
+	if _, err := env.call("inproc:p", "set", setArgs("k", "v1")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay the same sequence with different bytes: deduplicated, state
+	// untouched.
+	snap := env.inners["p"].st.Encode()
+	e := wire.NewEncoder(len(snap) + 16)
+	e.PutUvarint(1) // epoch
+	e.PutUvarint(1) // seq already applied
+	e.PutBytes(snap)
+	if _, err := env.call("inproc:b1", MethodApply, e.Bytes()); err != nil {
+		t.Fatalf("duplicate shipment: %v", err)
+	}
+
+	// A shipment from a dead era is fenced.
+	env.members["b1"].mu.Lock()
+	env.members["b1"].epoch = 5
+	env.members["b1"].mu.Unlock()
+	_, err := env.call("inproc:b1", MethodApply, e.Bytes())
+	if !errors.Is(err, rpc.ErrFenced) {
+		t.Fatalf("stale-epoch shipment err = %v, want ErrFenced", err)
+	}
+}
+
+func TestDeposedPrimarySelfDemotes(t *testing.T) {
+	env := newReplicaEnv(t)
+
+	// A new era starts without the old primary noticing: b1 is promoted at
+	// epoch 2 and b2 learns the new epoch.
+	if _, err := env.call("inproc:b1", MethodPromote, EncodePromoteArgs(2, []string{"inproc:b2"})); err != nil {
+		t.Fatalf("promote b1: %v", err)
+	}
+	if _, err := env.call("inproc:b2", MethodDemote, EncodeDemoteArgs(2)); err != nil {
+		t.Fatalf("demote b2 into era 2: %v", err)
+	}
+
+	// The old primary executes a mutation; its shipment is fenced, so the
+	// caller sees ErrNotPrimary (the state never committed to the group) and
+	// the replica demotes itself.
+	_, err := env.call("inproc:p", "set", setArgs("k", "stale"))
+	if !errors.Is(err, rpc.ErrNotPrimary) {
+		t.Fatalf("deposed primary err = %v, want ErrNotPrimary", err)
+	}
+	if role := env.members["p"].CurrentRole(); role != RoleBackup {
+		t.Fatalf("deposed primary role = %s, want backup", role)
+	}
+	// The stale value never reached the new era's members.
+	if got := getValue(t, env.inners["b2"], "k"); got != "" {
+		t.Fatalf("stale write leaked to new era: %q", got)
+	}
+}
+
+func TestGroupPromoteHandoff(t *testing.T) {
+	env := newReplicaEnv(t)
+	g := Attach(env.loid, env.net.Dialer(), env.agent, env.agent.Set(env.loid), 1)
+
+	set, err := g.Promote(context.Background(), "inproc:b1", true)
+	if err != nil {
+		t.Fatalf("Promote: %v", err)
+	}
+	if set.Primary != "inproc:b1" || len(set.Backups) != 2 || set.Backups[0] != "inproc:p" {
+		t.Fatalf("new set = %+v", set)
+	}
+	if set.Generation != 2 {
+		t.Fatalf("generation = %d, want 2", set.Generation)
+	}
+	if g.Epoch() != 2 {
+		t.Fatalf("group epoch = %d, want 2", g.Epoch())
+	}
+	if env.members["b1"].CurrentRole() != RolePrimary || env.members["p"].CurrentRole() != RoleBackup {
+		t.Fatal("roles did not flip on hand-off")
+	}
+
+	// The new primary serves and ships; the old one refuses.
+	if _, err := env.call("inproc:b1", "set", setArgs("k", "after")); err != nil {
+		t.Fatalf("set on new primary: %v", err)
+	}
+	if got := getValue(t, env.inners["p"], "k"); got != "after" {
+		t.Fatalf("old primary (now backup) state = %q, want after", got)
+	}
+	if _, err := env.call("inproc:p", "set", setArgs("k", "x")); !errors.Is(err, rpc.ErrNotPrimary) {
+		t.Fatalf("old primary err = %v, want ErrNotPrimary", err)
+	}
+}
+
+func TestGroupFailoverSkipsDeadPrimary(t *testing.T) {
+	env := newReplicaEnv(t)
+	g := Attach(env.loid, env.net.Dialer(), env.agent, env.agent.Set(env.loid), 1)
+
+	if err := env.servers["p"].Close(); err != nil {
+		t.Fatal(err)
+	}
+	newPrimary, err := g.Failover(context.Background())
+	if err != nil {
+		t.Fatalf("Failover: %v", err)
+	}
+	if newPrimary != "inproc:b1" {
+		t.Fatalf("failover chose %s, want inproc:b1", newPrimary)
+	}
+	set := g.Set()
+	if set.Primary != "inproc:b1" || set.Contains("inproc:p") {
+		t.Fatalf("post-failover set = %+v (dead primary must be dropped)", set)
+	}
+	// The published set reflects the failover.
+	published := env.agent.Set(env.loid)
+	if published.Primary != "inproc:b1" || published.Generation != 2 {
+		t.Fatalf("published set = %+v", published)
+	}
+}
+
+// TestClientFailsOverTransparently drives the full client path: a cached
+// multi-endpoint binding, primary death, failover, and an idempotent retry
+// that lands on the new primary without surfacing an error.
+func TestClientFailsOverTransparently(t *testing.T) {
+	env := newReplicaEnv(t)
+	cache := naming.NewCache(env.agent, vclock.Real{}, 0)
+	client := rpc.NewClient(cache, env.net.Dialer())
+	client.Retry.BaseBackoff = time.Millisecond
+	client.Retry.MaxBackoff = 4 * time.Millisecond
+
+	ctx := context.Background()
+	if _, err := client.Invoke(ctx, env.loid, "set", setArgs("k", "v1")); err != nil {
+		t.Fatalf("warm-up invoke: %v", err)
+	}
+
+	// Kill the primary and fail the group over (the manager or a failover
+	// controller would do this; the client only needs the agent updated —
+	// or, before it is, the cached backup list).
+	if err := env.servers["p"].Close(); err != nil {
+		t.Fatal(err)
+	}
+	g := Attach(env.loid, env.net.Dialer(), env.agent, env.agent.Set(env.loid), 1)
+	if _, err := g.Failover(ctx); err != nil {
+		t.Fatalf("Failover: %v", err)
+	}
+
+	out, err := client.Invoke(ctx, env.loid, "get", wireString("k"))
+	if err != nil {
+		t.Fatalf("invoke after failover: %v", err)
+	}
+	v, _ := wire.NewDecoder(out).Bytes()
+	if string(v) != "v1" {
+		t.Fatalf("value after failover = %q, want v1 (replicated before the crash)", v)
+	}
+	if st := client.Stats(); st.Errors != 0 {
+		t.Fatalf("client surfaced errors during failover: %+v", st)
+	}
+}
+
+func wireString(s string) []byte {
+	e := wire.NewEncoder(len(s) + 4)
+	e.PutString(s)
+	return e.Bytes()
+}

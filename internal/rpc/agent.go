@@ -18,9 +18,10 @@ import (
 
 // Remotely callable binding-agent methods.
 const (
-	MethodAgentLookup     = "agent.lookup"
-	MethodAgentRegister   = "agent.register"
-	MethodAgentDeregister = "agent.deregister"
+	MethodAgentLookup      = "agent.lookup"
+	MethodAgentRegister    = "agent.register"
+	MethodAgentDeregister  = "agent.deregister"
+	MethodAgentRegisterSet = "agent.registerSet"
 )
 
 // AgentLOID is the well-known LOID a domain's binding-agent service is
@@ -57,6 +58,14 @@ func (s *AgentService) InvokeMethod(method string, args []byte) ([]byte, error) 
 		e := wire.NewEncoder(48)
 		e.PutString(binding.Address.Endpoint)
 		e.PutUvarint(binding.Address.Incarnation)
+		// Replica-set extension, appended after the original fields: old
+		// decoders ignore trailing bytes, so singleton-era clients still
+		// resolve replicated LOIDs (to the primary).
+		e.PutUvarint(binding.Set.Generation)
+		e.PutUvarint(uint64(len(binding.Set.Backups)))
+		for _, b := range binding.Set.Backups {
+			e.PutString(b)
+		}
 		return e.Bytes(), nil
 
 	case MethodAgentRegister:
@@ -75,6 +84,40 @@ func (s *AgentService) InvokeMethod(method string, args []byte) ([]byte, error) 
 		addr := s.Agent.Register(loid, naming.Address{Endpoint: endpoint, Incarnation: incarnation})
 		e := wire.NewEncoder(16)
 		e.PutUvarint(addr.Incarnation)
+		return e.Bytes(), nil
+
+	case MethodAgentRegisterSet:
+		loid, err := decodeLOID()
+		if err != nil {
+			return nil, fmt.Errorf("%w: loid: %v", ErrBadRequest, err)
+		}
+		primary, err := dec.String()
+		if err != nil {
+			return nil, fmt.Errorf("%w: primary: %v", ErrBadRequest, err)
+		}
+		generation, err := dec.Uvarint()
+		if err != nil {
+			return nil, fmt.Errorf("%w: generation: %v", ErrBadRequest, err)
+		}
+		n, err := dec.Uvarint()
+		if err != nil {
+			return nil, fmt.Errorf("%w: backup count: %v", ErrBadRequest, err)
+		}
+		set := naming.ReplicaSet{Primary: primary, Generation: generation}
+		for i := uint64(0); i < n; i++ {
+			b, err := dec.String()
+			if err != nil {
+				return nil, fmt.Errorf("%w: backup: %v", ErrBadRequest, err)
+			}
+			set.Backups = append(set.Backups, b)
+		}
+		eff, ok := s.Agent.RegisterSet(loid, set)
+		if !ok {
+			return nil, &RemoteError{Code: wire.CodeFenced,
+				Message: fmt.Sprintf("replica set generation %d not newer than %d", set.Generation, eff.Generation)}
+		}
+		e := wire.NewEncoder(16)
+		e.PutUvarint(eff.Generation)
 		return e.Bytes(), nil
 
 	case MethodAgentDeregister:
@@ -151,10 +194,53 @@ func (r *RemoteAgent) Lookup(loid naming.LOID) (naming.Binding, error) {
 	if err != nil {
 		return naming.Binding{}, fmt.Errorf("binding agent: corrupt response: %w", err)
 	}
-	return naming.Binding{
+	b := naming.Binding{
 		LOID:    loid,
 		Address: naming.Address{Endpoint: endpoint, Incarnation: incarnation},
-	}, nil
+	}
+	// Optional replica-set extension (absent in singleton-era responses).
+	if dec.Remaining() > 0 {
+		if generation, err := dec.Uvarint(); err == nil {
+			if n, err := dec.Uvarint(); err == nil {
+				backups := make([]string, 0, n)
+				ok := true
+				for i := uint64(0); i < n; i++ {
+					s, err := dec.String()
+					if err != nil {
+						ok = false
+						break
+					}
+					backups = append(backups, s)
+				}
+				if ok && (generation > 0 || len(backups) > 0) {
+					b.Set = naming.ReplicaSet{Primary: endpoint, Backups: backups, Generation: generation}
+				}
+			}
+		}
+	}
+	return b, nil
+}
+
+// RegisterSet registers a replica group for loid against the remote agent
+// and returns the effective set. A generation at or below the agent's
+// current one is rejected with ErrFenced (the caller is a deposed primary).
+func (r *RemoteAgent) RegisterSet(loid naming.LOID, set naming.ReplicaSet) (naming.ReplicaSet, error) {
+	e := wire.NewEncoder(96)
+	e.PutString(loid.String())
+	e.PutString(set.Primary)
+	e.PutUvarint(set.Generation)
+	e.PutUvarint(uint64(len(set.Backups)))
+	for _, b := range set.Backups {
+		e.PutString(b)
+	}
+	resp, err := r.call(MethodAgentRegisterSet, e.Bytes())
+	if err != nil {
+		return naming.ReplicaSet{}, err
+	}
+	if generation, err := wire.NewDecoder(resp.Payload).Uvarint(); err == nil {
+		set.Generation = generation
+	}
+	return set, nil
 }
 
 // Register implements naming.Authority.

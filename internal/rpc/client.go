@@ -522,6 +522,23 @@ loop:
 				c.cRetries.Inc()
 				continue
 			}
+			if resp.Code == wire.CodeNotPrimary {
+				// The endpoint is a backup replica: group leadership moved
+				// since we cached the set. The function did not execute, so
+				// drop the whole cached binding (the agent holds the new
+				// set, trimming one member would not find the primary) and
+				// re-resolve.
+				lastErr = remote
+				c.cache.Invalidate(loid)
+				c.cRebinds.Inc()
+				markRebind(root, endpoint, "not primary")
+				rebinds++
+				if rebinds > p.MaxRebinds {
+					break loop
+				}
+				lastFailedEndpoint = endpoint
+				continue
+			}
 			if resp.Code == wire.CodeNoSuchObject || resp.Code == wire.CodeStaleBinding {
 				// The endpoint is alive but no longer hosts the object:
 				// classic stale binding after migration. The function did

@@ -1,0 +1,38 @@
+package rpc
+
+import (
+	"context"
+	"time"
+
+	"godcdo/internal/naming"
+	"godcdo/internal/transport"
+	"godcdo/internal/wire"
+)
+
+// DirectCall invokes method on the object hosted at a specific endpoint,
+// bypassing binding resolution entirely. Replication plumbing lives here:
+// state shipping to a named backup, probing one member of a replica set,
+// journal shipping to a standby manager — all cases where the caller must
+// reach an exact endpoint, not whichever one the naming plane would pick.
+// Remote failures are returned as *RemoteError (matchable via errors.Is
+// against the package sentinels); transport failures are returned as-is so
+// callers can classify them.
+func DirectCall(ctx context.Context, dialer transport.Dialer, endpoint string, loid naming.LOID, method string, args []byte, timeout time.Duration) ([]byte, error) {
+	if timeout == 0 {
+		timeout = 5 * time.Second
+	}
+	req := &wire.Envelope{
+		Kind:    wire.KindRequest,
+		Target:  loid.String(),
+		Method:  method,
+		Payload: args,
+	}
+	resp, err := dialer.Call(ctx, endpoint, req, timeout)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Kind == wire.KindError {
+		return nil, &RemoteError{Code: resp.Code, Message: resp.ErrorMsg}
+	}
+	return resp.Payload, nil
+}

@@ -55,6 +55,14 @@ var (
 	// when the server examined it — on arrival, while queued for admission,
 	// or between execution stages. The function did not complete.
 	ErrExpired = errors.New("rpc: deadline expired before dispatch completed")
+	// ErrNotPrimary means the target is a backup replica: only the group's
+	// primary executes dynamic functions. The request never ran, so clients
+	// re-resolve the replica set and retry against the new primary.
+	ErrNotPrimary = errors.New("rpc: replica is not the primary")
+	// ErrFenced means the caller presented a group epoch older than the
+	// receiver's: the caller was deposed (a stale ex-primary replica or
+	// manager) and must stop acting for the group.
+	ErrFenced = errors.New("rpc: fenced by newer group epoch")
 )
 
 // RemoteError carries a failure returned by the remote object. It wraps the
@@ -88,6 +96,10 @@ func (e *RemoteError) Unwrap() error {
 		return ErrOverloaded
 	case wire.CodeExpired:
 		return ErrExpired
+	case wire.CodeNotPrimary:
+		return ErrNotPrimary
+	case wire.CodeFenced:
+		return ErrFenced
 	default:
 		return nil
 	}
@@ -115,6 +127,10 @@ func CodeOf(err error) uint64 {
 		return wire.CodeBadRequest
 	case errors.Is(err, ErrOverloaded):
 		return wire.CodeOverloaded
+	case errors.Is(err, ErrNotPrimary):
+		return wire.CodeNotPrimary
+	case errors.Is(err, ErrFenced):
+		return wire.CodeFenced
 	case errors.Is(err, ErrExpired),
 		errors.Is(err, context.DeadlineExceeded),
 		errors.Is(err, context.Canceled):

@@ -33,6 +33,12 @@ var HealthLOID = naming.LOID{Domain: 0, Class: 1, Instance: 3}
 // address is declared here, beside its infrastructure siblings).
 var RolloutLOID = naming.LOID{Domain: 0, Class: 1, Instance: 4}
 
+// MgrReplLOID is the well-known LOID a node's manager-replication service
+// (journal shipping to a standby manager) is hosted at. The service itself
+// lives in internal/manager; only the address is declared here, beside its
+// infrastructure siblings.
+var MgrReplLOID = naming.LOID{Domain: 0, Class: 1, Instance: 5}
+
 // HealthInfo is a ping response.
 type HealthInfo struct {
 	// Node is the responding node's name.

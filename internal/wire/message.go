@@ -53,6 +53,15 @@ const (
 	// already passed on arrival (rejected before dispatch) or expired while
 	// the call was queued or between execution stages.
 	CodeExpired uint64 = 9
+	// CodeNotPrimary is returned by a backup replica asked to execute a
+	// dynamic function: only the group's primary serves application traffic.
+	// The replica set has changed, so clients drop the whole cached binding
+	// and re-resolve (the agent knows the new primary).
+	CodeNotPrimary uint64 = 10
+	// CodeFenced is returned when a message carries a group epoch older than
+	// the receiver's: the sender is a deposed primary (object replica or
+	// manager) that must stop acting for the group.
+	CodeFenced uint64 = 11
 )
 
 // ErrTruncatedEnvelope is returned when an envelope cannot be fully decoded.

@@ -1,0 +1,110 @@
+package godcdo_test
+
+import (
+	"context"
+	"testing"
+
+	"godcdo/internal/core"
+	"godcdo/internal/legion"
+	"godcdo/internal/naming"
+	"godcdo/internal/registry"
+	"godcdo/internal/replica"
+	"godcdo/internal/transport"
+	"godcdo/internal/vclock"
+	"godcdo/internal/version"
+	"godcdo/internal/workload"
+)
+
+// BenchmarkInvokeUnreplicated measures the allocation cost of one in-process
+// invoke of a degree-1 (unreplicated) DCDO. `make vet-repl` asserts
+// allocs/op stays at the seed baseline: a degree-1 deployment never
+// constructs a Replica, so replication must cost nothing when it is off.
+func BenchmarkInvokeUnreplicated(b *testing.B) {
+	agent := naming.NewAgent(vclock.Real{})
+	net := transport.NewInprocNetwork()
+	server, err := legion.NewNode(legion.NodeConfig{Name: "repl-off-server", Agent: agent, Inproc: net})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer server.Close()
+	client, err := legion.NewNode(legion.NodeConfig{Name: "repl-off-client", Agent: agent, Inproc: net})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer client.Close()
+
+	reg := registry.New()
+	obj, _ := buildDCDO(b, reg, workload.Spec{Prefix: "reploff", Functions: 20, Components: 2}, 1)
+	if _, err := server.HostObject(obj.LOID(), obj); err != nil {
+		b.Fatal(err)
+	}
+	target := workload.LeafName("reploff", 0, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.Client().Invoke(context.Background(), obj.LOID(), target, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInvokeReplicated measures the read-path cost of the same invoke
+// against a degree-3 primary/backup group: the call runs through the Replica
+// wrapper's role check and state-generation comparison, but a read leaves
+// the state generation unchanged, so nothing ships. The delta against
+// BenchmarkInvokeUnreplicated is the per-call price of being replicated.
+func BenchmarkInvokeReplicated(b *testing.B) {
+	agent := naming.NewAgent(vclock.Real{})
+	net := transport.NewInprocNetwork()
+	client, err := legion.NewNode(legion.NodeConfig{Name: "repl-on-client", Agent: agent, Inproc: net})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer client.Close()
+
+	reg := registry.New()
+	alloc := naming.NewAllocator(1, 9)
+	built, err := workload.Build(reg, alloc, workload.Spec{Prefix: "replon", Functions: 20, Components: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	loid := naming.LOID{Domain: 1, Class: 1, Instance: 1}
+
+	const degree = 3
+	endpoints := make([]string, degree)
+	nodes := make([]*legion.Node, degree)
+	for i := 0; i < degree; i++ {
+		node, err := legion.NewNode(legion.NodeConfig{
+			Name: "repl-on-server-" + string(rune('a'+i)), Agent: agent, Inproc: net,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer node.Close()
+		nodes[i] = node
+		endpoints[i] = node.Endpoint()
+	}
+	for i, node := range nodes {
+		obj := core.New(core.Config{LOID: loid, Registry: reg, Fetcher: built.Fetcher()})
+		if _, err := obj.ApplyDescriptor(context.Background(), built.Descriptor, version.ID{1}); err != nil {
+			b.Fatal(err)
+		}
+		role, backups := replica.RoleBackup, []string(nil)
+		if i == 0 {
+			role, backups = replica.RolePrimary, endpoints[1:]
+		}
+		node.Dispatcher().Host(loid, replica.New(loid, obj, net.Dialer(), role, 1, backups))
+	}
+	if _, ok := agent.RegisterSet(loid, naming.ReplicaSet{Primary: endpoints[0], Backups: endpoints[1:]}); !ok {
+		b.Fatal("RegisterSet refused")
+	}
+
+	target := workload.LeafName("replon", 0, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.Client().Invoke(context.Background(), loid, target, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
