@@ -25,9 +25,15 @@ INVOKE_ALLOC_BASELINE ?= 16
 # off. vet-repl fails if the unreplicated path ever regresses past this.
 REPL_ALLOC_BASELINE ?= 5
 
-.PHONY: ci vet vet-obs vet-wire vet-repl build test race bench-smoke bench bench-json experiments fuzz-smoke chaos
+# Policy-plane invoke ceiling: attaching a (default) DistributionPolicy to a
+# binding must not add allocations to the idempotent invoke path — the
+# routing decision is a nil check plus one value comparison. Expected 3;
+# vet-policy fails past this.
+POLICY_ALLOC_BASELINE ?= 5
 
-ci: vet vet-obs vet-wire vet-repl build race bench-smoke chaos fuzz-smoke
+.PHONY: ci vet vet-obs vet-wire vet-repl vet-policy build test race bench-smoke bench bench-json experiments fuzz-smoke chaos
+
+ci: vet vet-obs vet-wire vet-repl vet-policy build race bench-smoke chaos fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -84,6 +90,22 @@ vet-repl:
 	}; \
 	gate 'BenchmarkInvokeUnreplicated' $(REPL_ALLOC_BASELINE)
 
+# Distribution-policy gate (mirrors vet-repl): a binding carrying the
+# default policy document must invoke at the unreplicated alloc budget —
+# read routing only costs when backup-ok is actually in force.
+vet-policy:
+	$(GO) vet ./internal/policy/ ./internal/manager/
+	@out=$$($(GO) test -run xxx -bench 'BenchmarkInvokeDefaultPolicy' -benchmem -benchtime=10000x . | tee /dev/stderr); \
+	gate() { \
+		allocs=$$(echo "$$out" | awk -v pat="$$1" '$$0 ~ pat {for (i=1; i<=NF; i++) if ($$(i+1) == "allocs/op") print $$i; exit}'); \
+		if [ -z "$$allocs" ]; then echo "vet-policy: could not parse allocs/op for $$1"; exit 1; fi; \
+		if [ "$$allocs" -gt "$$2" ]; then \
+			echo "vet-policy: $$1 allocates $$allocs allocs/op, budget $$2"; exit 1; \
+		fi; \
+		echo "vet-policy: $$1 at $$allocs allocs/op (budget $$2)"; \
+	}; \
+	gate 'BenchmarkInvokeDefaultPolicy' $(POLICY_ALLOC_BASELINE)
+
 build:
 	$(GO) build ./...
 
@@ -116,7 +138,7 @@ experiments:
 
 # Full experiment sweep with machine-readable export: the unit of the
 # BENCH_*.json perf trajectory (bump BENCH_JSON per PR).
-BENCH_JSON ?= BENCH_8.json
+BENCH_JSON ?= BENCH_9.json
 
 bench-json:
 	$(GO) run ./cmd/dcdo-bench -json $(BENCH_JSON)
@@ -138,7 +160,7 @@ fuzz-smoke:
 # contracts, replica group fencing/failover, and the supervisor's
 # pause/abort-vs-widening race.
 chaos:
-	$(GO) test -race -run 'TestRunE8|TestRunE11|TestRunE13' ./internal/harness/
-	$(GO) test -race -run 'TestRecover|TestEvolveDropAdopt|TestConcurrentEvolveDropAdopt|TestCreateInstanceConcurrentDuplicate|TestFleetEvolution|TestProber|TestJournalShipping|TestStandby|TestShipperSync|TestEvolveReplicated' ./internal/manager/
+	$(GO) test -race -run 'TestRunE8|TestRunE11|TestRunE13|TestRunE14' ./internal/harness/
+	$(GO) test -race -run 'TestRecover|TestEvolveDropAdopt|TestConcurrentEvolveDropAdopt|TestCreateInstanceConcurrentDuplicate|TestFleetEvolution|TestProber|TestJournalShipping|TestStandby|TestShipperSync|TestEvolveReplicated|TestReconcile|TestPolicyRecover|TestSetPolicy' ./internal/manager/
 	$(GO) test -race ./internal/replica/
 	$(GO) test -race -run 'TestRollout|TestSupervisor' ./internal/supervisor/

@@ -1,5 +1,5 @@
 // Command dcdo-bench regenerates the paper's performance study (§4): every
-// experiment E1–E13, each printing the table it reproduces and the pass/fail
+// experiment E1–E14, each printing the table it reproduces and the pass/fail
 // shape criteria derived from the paper's reported numbers.
 //
 // Usage:
@@ -28,7 +28,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("dcdo-bench", flag.ContinueOnError)
-	experiment := fs.String("e", "all", "experiment to run (E1..E13 or all)")
+	experiment := fs.String("e", "all", "experiment to run (E1..E14 or all)")
 	jsonPath := fs.String("json", "", "write machine-readable results (ids, checks, metrics) to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -48,6 +48,7 @@ func run(args []string) error {
 		"E11": harness.RunE11,
 		"E12": harness.RunE12,
 		"E13": harness.RunE13,
+		"E14": harness.RunE14,
 	}
 
 	var reports []*harness.Report
@@ -61,7 +62,7 @@ func run(args []string) error {
 	default:
 		runner, ok := runners[want]
 		if !ok {
-			return fmt.Errorf("unknown experiment %q (want E1..E13 or all)", *experiment)
+			return fmt.Errorf("unknown experiment %q (want E1..E14 or all)", *experiment)
 		}
 		rep, err := runner()
 		if err != nil {

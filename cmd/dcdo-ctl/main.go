@@ -16,6 +16,9 @@
 //	dcdo-ctl -agent tcp:127.0.0.1:7400 health loid:0.2.1
 //	dcdo-ctl -agent tcp:127.0.0.1:7400 recover loid:0.2.1
 //	dcdo-ctl -agent tcp:127.0.0.1:7400 replicas loid:1.1.1
+//	dcdo-ctl -agent tcp:127.0.0.1:7400 policy get loid:0.2.1 loid:1.1.1
+//	dcdo-ctl -agent tcp:127.0.0.1:7400 policy set loid:0.2.1 loid:1.1.1 '{"degree":3,"read_preference":"backup-ok","consistency":"eventual"}'
+//	dcdo-ctl -agent tcp:127.0.0.1:7400 policy diff loid:0.2.1 loid:1.1.1 '{"degree":3}'
 //	dcdo-ctl -agent tcp:127.0.0.1:7400 rollout start 1.1 -canary 1 -waves 2,4 -slo-p99 5ms
 //	dcdo-ctl -agent tcp:127.0.0.1:7400 rollout status
 package main
@@ -37,6 +40,7 @@ import (
 	"godcdo/internal/metrics"
 	"godcdo/internal/naming"
 	"godcdo/internal/obs"
+	"godcdo/internal/policy"
 	"godcdo/internal/replica"
 	"godcdo/internal/rpc"
 	"godcdo/internal/supervisor"
@@ -69,7 +73,7 @@ func run(args []string) error {
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return errors.New("missing command (invoke|interface|version|snapshot|enable|disable|evolve|ensure-current|records|setcurrent|health|recover|replicas|trace|rollout)")
+		return errors.New("missing command (invoke|interface|version|snapshot|enable|disable|evolve|ensure-current|records|setcurrent|health|recover|replicas|policy|trace|rollout)")
 	}
 
 	dialer := transport.NewTCPDialer()
@@ -398,6 +402,86 @@ func run(args []string) error {
 				ep, st.Role, st.Epoch, st.Seq, verStr)
 		}
 		return nil
+
+	case "policy":
+		if len(rest) == 0 {
+			return errors.New("missing policy action (get|set|diff)")
+		}
+		action := rest[0]
+		rest = rest[1:]
+		mgrLOID, err := parseLOID(0, "manager loid")
+		if err != nil {
+			return err
+		}
+		loid, err := parseLOID(1, "target loid")
+		if err != nil {
+			return err
+		}
+		fetch := func() (string, bool, error) {
+			out, err := client.Invoke(ctx, mgrLOID, manager.MethodPolicyGet, manager.EncodePolicyGetArgs(loid))
+			if err != nil {
+				return "", false, err
+			}
+			return manager.DecodePolicyGetReply(out)
+		}
+		switch action {
+		case "get":
+			doc, ok, err := fetch()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				fmt.Printf("no policy designated for %s (implicit default: %s)\n", loid, policy.Default().String())
+				return nil
+			}
+			fmt.Println(doc)
+			return nil
+		case "set":
+			if len(rest) < 3 {
+				return errors.New("missing policy JSON document")
+			}
+			// Validate locally so a malformed document fails with a parse
+			// error here rather than a remote BAD_REQUEST.
+			pol, err := policy.Parse(rest[2])
+			if err != nil {
+				return err
+			}
+			if _, err := client.Invoke(ctx, mgrLOID, manager.MethodPolicySet,
+				manager.EncodePolicySetArgs(loid, pol.String())); err != nil {
+				return err
+			}
+			fmt.Printf("policy for %s: %s\n", loid, pol.String())
+			return nil
+		case "diff":
+			if len(rest) < 3 {
+				return errors.New("missing policy JSON document")
+			}
+			want, err := policy.Parse(rest[2])
+			if err != nil {
+				return err
+			}
+			doc, ok, err := fetch()
+			if err != nil {
+				return err
+			}
+			have := policy.Default()
+			if ok {
+				if have, err = policy.Parse(doc); err != nil {
+					return fmt.Errorf("designated policy for %s is corrupt: %w", loid, err)
+				}
+			}
+			lines := have.Diff(want)
+			if len(lines) == 0 {
+				fmt.Println("(no differences)")
+				return nil
+			}
+			for _, l := range lines {
+				fmt.Println(l)
+			}
+			return nil
+		default:
+			return fmt.Errorf("unknown policy action %q (get|set|diff)", action)
+		}
 
 	case "trace":
 		oc := &rpc.ObsClient{Dialer: dialer, Endpoint: *agentEndpoint, Timeout: *timeout}

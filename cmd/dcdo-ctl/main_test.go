@@ -470,3 +470,53 @@ func TestCtlTraceFlight(t *testing.T) {
 		t.Fatal("bad flight trace id accepted")
 	}
 }
+
+func TestCtlPolicy(t *testing.T) {
+	endpoint := startDemoNode(t)
+	pricing := demo.PricingLOID.String()
+	mgr := demo.ManagerLOID.String()
+
+	out, err := ctl(t, endpoint, "policy", "get", mgr, pricing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "no policy designated") {
+		t.Fatalf("get before set = %q", out)
+	}
+
+	doc := `{"degree":3,"read_preference":"backup-ok","consistency":"eventual","candidates":["tcp:a","tcp:b","tcp:c"]}`
+	if _, err := ctl(t, endpoint, "policy", "set", mgr, pricing, doc); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err = ctl(t, endpoint, "policy", "get", mgr, pricing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `"degree":3`) || !strings.Contains(out, "backup-ok") {
+		t.Fatalf("get after set = %q", out)
+	}
+
+	out, err = ctl(t, endpoint, "policy", "diff", mgr, pricing, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "no differences") {
+		t.Fatalf("diff against identical doc = %q", out)
+	}
+	out, err = ctl(t, endpoint, "policy", "diff", mgr, pricing, `{"degree":1}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "degree: 3 -> 1") {
+		t.Fatalf("diff against degree 1 = %q", out)
+	}
+
+	// Invalid documents are rejected client-side, before any RPC.
+	if _, err := ctl(t, endpoint, "policy", "set", mgr, pricing, `{"degree":0}`); err == nil {
+		t.Fatal("zero-degree policy accepted")
+	}
+	if _, err := ctl(t, endpoint, "policy", "bogus", mgr, pricing); err == nil {
+		t.Fatal("unknown policy action accepted")
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"godcdo/internal/metrics"
 	"godcdo/internal/naming"
 	"godcdo/internal/obs"
+	"godcdo/internal/policy"
 	"godcdo/internal/rpc"
 	"godcdo/internal/supervisor"
 	"godcdo/internal/transport"
@@ -55,7 +56,8 @@ func run(args []string) error {
 	obsHTTP := fs.String("obs-http", "", "HTTP listen address for /debug/obs and /debug/rollout (empty: no HTTP endpoint)")
 	journalDir := fs.String("journal-dir", "", "directory for the demo manager's durable evolution journal and store image (with -demo)")
 	supervise := fs.Bool("supervise", false, "run a rollout supervisor over the demo manager (with -demo -journal-dir); resumes an interrupted rollout from the journal")
-	mirrorTo := fs.String("mirror-to", "", "standby manager endpoint to ship journal records to (with -demo -journal-dir); the standby fences this manager after taking over")
+	policyDoc := fs.String("policy", "", `distribution-policy JSON for the demo DCDO, e.g. '{"degree":3,"read_preference":"backup-ok","consistency":"eventual"}' (with -demo)`)
+	mirrorTo := fs.String("mirror-to", "", "deprecated alias: ship journal records to a standby manager endpoint (with -demo -journal-dir); prefer a -policy document plus -standby-for on the peer")
 	standbyFor := fs.String("standby-for", "", "primary manager endpoint to stand by for (with -demo -journal-dir): receive its journal stream and take over when its health probes go dark")
 	maxInflight := fs.Int("max-inflight", 0, "max concurrent dispatches before requests queue (0 = unlimited)")
 	queueDepth := fs.Int("queue-depth", 0, "admission queue depth beyond max-inflight; excess requests are shed with OVERLOADED (with -max-inflight)")
@@ -93,6 +95,22 @@ func run(args []string) error {
 			return fmt.Errorf("%s requires -journal-dir (journal shipping needs a durable journal to stream)", flagName)
 		}
 	}
+	// The policy document is validated before the node binds a port: a node
+	// that would run with a malformed or unsatisfiable policy must not start.
+	var nodePolicy *policy.DistributionPolicy
+	if *policyDoc != "" {
+		if !*demoFlag {
+			return fmt.Errorf("-policy requires -demo (the policy is designated for the demo DCDO)")
+		}
+		pol, err := policy.Parse(*policyDoc)
+		if err != nil {
+			return fmt.Errorf("-policy: %w", err)
+		}
+		nodePolicy = &pol
+	}
+	if *mirrorTo != "" {
+		fmt.Fprintln(os.Stderr, "dcdo-node: -mirror-to is deprecated; it now also compiles into a degree-2 distribution policy for the manager LOID")
+	}
 
 	node, localAgent, err := startNode(*name, *addr, *agentEndpoint, legion.NodeConfig{
 		MaxInflight:              *maxInflight,
@@ -124,6 +142,11 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
+		// Policies publish through whichever agent the node runs against;
+		// both the in-memory agent and the remote proxy implement the hook.
+		if pub, ok := node.Agent().(manager.PolicyPublisher); ok {
+			dep.Manager.SetPolicyPublisher(pub)
+		}
 		if *journalDir != "" {
 			j, err := attachJournal(dep.Manager, *journalDir)
 			if err != nil {
@@ -136,6 +159,23 @@ func run(args []string) error {
 			}
 			if *standbyFor != "" {
 				startStandby(node, dep.Manager, *standbyFor)
+			}
+		}
+		// Policy designations come after the journal is attached (and after
+		// the mirror starts) so OpPolicySet records are durable and shipped.
+		if nodePolicy != nil {
+			if err := dep.Manager.SetPolicy(demo.PricingLOID, *nodePolicy); err != nil {
+				return fmt.Errorf("-policy: %w", err)
+			}
+			fmt.Printf("distribution policy for %s: %s\n", demo.PricingLOID, nodePolicy.String())
+		}
+		if *mirrorTo != "" {
+			// The deprecated alias is re-expressed as a declarative document:
+			// a degree-2 manager placed on this node and the standby. The
+			// journal shipping remains the mechanism; the document is the
+			// policy-plane record of the same intent.
+			if err := dep.Manager.SetPolicy(demo.ManagerLOID, mirrorAliasPolicy(node.Endpoint(), *mirrorTo)); err != nil {
+				return fmt.Errorf("-mirror-to policy alias: %w", err)
 			}
 		}
 		fmt.Printf("demo pricing DCDO at %s (version %s, interface %v)\n",
@@ -267,6 +307,14 @@ func attachJournal(mgr *manager.Manager, dir string) (*manager.Journal, error) {
 	}
 	fmt.Printf("evolution journal at %s; store image at %s\n", journalPath, imagePath)
 	return j, nil
+}
+
+// mirrorAliasPolicy expresses the deprecated -mirror-to flag as a
+// distribution-policy document: a degree-2 manager group placed on this
+// node and the standby. Both members must appear as candidates or the
+// document cannot satisfy its own degree and validation refuses it.
+func mirrorAliasPolicy(self, standby string) policy.DistributionPolicy {
+	return policy.DistributionPolicy{Degree: 2, Candidates: []string{self, standby}}
 }
 
 // startMirror turns this node into a replicating primary: every record the

@@ -15,6 +15,7 @@ import (
 	"godcdo/internal/metrics"
 	"godcdo/internal/naming"
 	"godcdo/internal/obs"
+	"godcdo/internal/policy"
 	"godcdo/internal/rpc"
 	"godcdo/internal/transport"
 	"godcdo/internal/wire"
@@ -295,6 +296,14 @@ func TestRunRejectsBadFlagCombos(t *testing.T) {
 		{"standby without journal", []string{"-demo", "-standby-for", "tcp:127.0.0.1:1"}, "-standby-for requires -journal-dir"},
 		{"mirror and standby together", []string{"-demo", "-journal-dir", "x", "-mirror-to", "tcp:a", "-standby-for", "tcp:b"},
 			"mutually exclusive"},
+		{"policy without demo", []string{"-policy", `{"degree":2}`}, "-policy requires -demo"},
+		{"policy bad json", []string{"-demo", "-policy", `{"degree":`}, "-policy"},
+		{"policy unknown field", []string{"-demo", "-policy", `{"degree":1,"replicas":3}`}, "-policy"},
+		{"policy zero degree", []string{"-demo", "-policy", `{"degree":0}`}, "degree"},
+		{"policy unsatisfiable degree", []string{"-demo", "-policy", `{"degree":3,"candidates":["tcp:a"]}`},
+			"cannot satisfy degree"},
+		{"policy bad read preference", []string{"-demo", "-policy", `{"degree":1,"read_preference":"nearest"}`},
+			"unknown read preference"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -306,5 +315,26 @@ func TestRunRejectsBadFlagCombos(t *testing.T) {
 				t.Fatalf("error = %q, want it to mention %q", err, tc.want)
 			}
 		})
+	}
+}
+
+func TestMirrorAliasPolicyValidates(t *testing.T) {
+	// Regression: the -mirror-to alias once listed only the standby as a
+	// candidate, so the degree-2 document failed its own validation and
+	// killed the primary after startup. The alias must always produce a
+	// designatable document naming both members.
+	pol := mirrorAliasPolicy("tcp:127.0.0.1:7432", "tcp:127.0.0.1:7433")
+	if err := pol.Validate(); err != nil {
+		t.Fatalf("alias policy invalid: %v", err)
+	}
+	if pol.Degree != 2 || len(pol.Candidates) != 2 {
+		t.Fatalf("alias = %s, want degree 2 with both members as candidates", pol.String())
+	}
+	roundTripped, err := policy.Parse(pol.String())
+	if err != nil {
+		t.Fatalf("alias does not round-trip: %v", err)
+	}
+	if !roundTripped.Equal(pol.Normalize()) {
+		t.Fatalf("round-trip = %s, want %s", roundTripped.String(), pol.Normalize().String())
 	}
 }

@@ -105,6 +105,7 @@ func RunAll() ([]*Report, error) {
 		{"E11", RunE11},
 		{"E12", RunE12},
 		{"E13", RunE13},
+		{"E14", RunE14},
 	}
 	reports := make([]*Report, 0, len(runners))
 	for _, r := range runners {

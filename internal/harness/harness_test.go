@@ -147,10 +147,10 @@ func TestRunAllOrderAndPass(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(reports) != 13 {
-		t.Fatalf("reports = %d, want 13", len(reports))
+	if len(reports) != 14 {
+		t.Fatalf("reports = %d, want 14", len(reports))
 	}
-	wantIDs := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"}
+	wantIDs := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14"}
 	for i, rep := range reports {
 		if rep.ID != wantIDs[i] {
 			t.Errorf("report %d = %s, want %s", i, rep.ID, wantIDs[i])
@@ -178,4 +178,12 @@ func TestReportStringShowsFailures(t *testing.T) {
 	if !strings.Contains(out, "[FAIL] bad") || !strings.Contains(out, "[PASS] good") {
 		t.Fatalf("rendering:\n%s", out)
 	}
+}
+
+func TestRunE14(t *testing.T) {
+	rep, err := RunE14()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requirePassed(t, rep)
 }

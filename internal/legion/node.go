@@ -13,7 +13,9 @@ import (
 
 	"godcdo/internal/naming"
 	"godcdo/internal/obs"
+	"godcdo/internal/policy"
 	"godcdo/internal/registry"
+	"godcdo/internal/replica"
 	"godcdo/internal/rpc"
 	"godcdo/internal/transport"
 	"godcdo/internal/vclock"
@@ -73,6 +75,16 @@ type NodeConfig struct {
 	// pre-fast-path behaviour (no frame pooling, no write coalescing) in
 	// both directions. Baseline for experiments and an escape hatch.
 	DisableTransportFastPath bool
+	// ReplicaFactory, when non-nil, makes the node a placement candidate for
+	// the distribution-policy reconciler: a replica-host service is hosted
+	// at rpc.ReplicaHostLOID that constructs inner objects via the factory
+	// and hosts them as backup replicas on demand.
+	ReplicaFactory replica.Factory
+	// Policy, when non-nil, is registered with the binding agent for every
+	// LOID the node hosts via HostObject (the node's default distribution
+	// policy), provided the agent supports policy registration —
+	// naming.Agent does, pre-policy authorities are left alone.
+	Policy *policy.DistributionPolicy
 }
 
 // Node is one Legion host: it serves hosted objects on a transport endpoint
@@ -88,9 +100,18 @@ type Node struct {
 	hostImpl registry.ImplType
 	clock    vclock.Clock
 	obs      *obs.Obs
+	policy   *policy.DistributionPolicy
+	rhost    *replica.HostService
 
 	mu     sync.Mutex
 	closed bool
+}
+
+// PolicyRegistrar is the slice of the binding agent the node's default
+// policy publishes through. naming.Agent and rpc.RemoteAgent both satisfy
+// it.
+type PolicyRegistrar interface {
+	RegisterPolicy(loid naming.LOID, pol policy.DistributionPolicy)
 }
 
 // NewNode starts a node per cfg.
@@ -193,6 +214,11 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	// Every node answers liveness probes at the well-known health LOID
 	// (hosted on the dispatcher only — probers address nodes by endpoint).
 	disp.Host(rpc.HealthLOID, rpc.NewHealthService(cfg.Name, clock, disp.Len))
+	var rhost *replica.HostService
+	if cfg.ReplicaFactory != nil {
+		rhost = &replica.HostService{Factory: cfg.ReplicaFactory, Dialer: dialer, Host: disp.Host}
+		disp.Host(rpc.ReplicaHostLOID, rhost)
+	}
 	return &Node{
 		name:     cfg.Name,
 		agent:    cfg.Agent,
@@ -204,8 +230,14 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		hostImpl: hostImpl,
 		clock:    clock,
 		obs:      cfg.Obs,
+		policy:   cfg.Policy,
+		rhost:    rhost,
 	}, nil
 }
+
+// ReplicaHost returns the node's replica-host service, nil when the node
+// was configured without a ReplicaFactory.
+func (n *Node) ReplicaHost() *replica.HostService { return n.rhost }
 
 // Obs returns the node's observability handle, nil when disabled.
 func (n *Node) Obs() *obs.Obs { return n.obs }
@@ -250,6 +282,11 @@ func (n *Node) HostObject(loid naming.LOID, obj rpc.Object) (naming.Address, err
 	}
 	n.disp.Host(loid, obj)
 	addr := n.agent.Register(loid, naming.Address{Endpoint: n.server.Endpoint()})
+	if n.policy != nil {
+		if pr, ok := n.agent.(PolicyRegistrar); ok {
+			pr.RegisterPolicy(loid, *n.policy)
+		}
+	}
 	return addr, nil
 }
 

@@ -97,6 +97,18 @@ const (
 	// writes of the primary it replaces. Recovery carries the latest epoch
 	// record through compaction, like OpCurrent.
 	OpMgrEpoch
+	// OpPolicySet records a distribution-policy designation for LOID
+	// (Reason carries the serialised document). Recovery carries the
+	// latest document per LOID through compaction — like OpCurrent — and
+	// the records ship to the standby, so a takeover resumes reconciling
+	// toward the same desired state.
+	OpPolicySet
+	// OpReconcile records one convergence step the policy reconciler is
+	// about to take for LOID (Reason describes it: "add <endpoint>",
+	// "demote <endpoint>", ...). The reconciler is level-triggered —
+	// desired state lives in OpPolicySet records — so these are an audit
+	// trail, not resume state, and compaction drops them.
+	OpReconcile
 )
 
 // String implements fmt.Stringer.
@@ -126,6 +138,10 @@ func (op JournalOp) String() string {
 		return "replica-promote"
 	case OpMgrEpoch:
 		return "mgr-epoch"
+	case OpPolicySet:
+		return "policy-set"
+	case OpReconcile:
+		return "reconcile"
 	default:
 		return fmt.Sprintf("op(%d)", int(op))
 	}
@@ -467,6 +483,18 @@ func (j *Journal) ReplicaPromote(pass uint64, loid naming.LOID, endpoint string)
 // MgrEpoch records a manager-epoch bump; Pass carries the epoch. Nil-safe.
 func (j *Journal) MgrEpoch(epoch uint64) error {
 	return j.Append(JournalRecord{Op: OpMgrEpoch, Pass: epoch})
+}
+
+// PolicySet records a distribution-policy designation for loid; doc is the
+// serialised document. Nil-safe.
+func (j *Journal) PolicySet(loid naming.LOID, doc string) error {
+	return j.Append(JournalRecord{Op: OpPolicySet, LOID: loid, Reason: doc})
+}
+
+// Reconcile records one policy-reconciler convergence step for loid.
+// Nil-safe.
+func (j *Journal) Reconcile(loid naming.LOID, action string) error {
+	return j.Append(JournalRecord{Op: OpReconcile, LOID: loid, Reason: action})
 }
 
 // Records reads the journal back from disk (see ReadJournal). Nil-safe.

@@ -1,12 +1,15 @@
 package manager
 
 import (
+	"context"
 	"errors"
 	"os"
 	"path/filepath"
 	"testing"
 
+	"godcdo/internal/evolution"
 	"godcdo/internal/naming"
+	"godcdo/internal/policy"
 )
 
 func journalPath(t *testing.T) string {
@@ -430,5 +433,168 @@ func TestJournalNilIsNoOp(t *testing.T) {
 	}
 	if recs, err := j.Records(); recs != nil || err != nil {
 		t.Fatalf("nil Records: %v %v", recs, err)
+	}
+}
+
+func TestJournalPolicyOps(t *testing.T) {
+	path := journalPath(t)
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	loid := naming.LOID{Domain: 2, Class: 3, Instance: 4}
+	doc := `{"degree":3,"read_preference":"backup-ok"}`
+	if err := j.PolicySet(loid, doc); err != nil {
+		t.Fatalf("PolicySet: %v", err)
+	}
+	if err := j.Reconcile(loid, "add inproc:n1"); err != nil {
+		t.Fatalf("Reconcile: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	recs, err := ReadJournal(path)
+	if err != nil {
+		t.Fatalf("ReadJournal: %v", err)
+	}
+	wantOps := []JournalOp{OpPolicySet, OpReconcile}
+	if len(recs) != len(wantOps) {
+		t.Fatalf("got %d records, want %d", len(recs), len(wantOps))
+	}
+	for i, op := range wantOps {
+		if recs[i].Op != op {
+			t.Fatalf("record %d op = %s, want %s", i, recs[i].Op, op)
+		}
+	}
+	if recs[0].LOID != loid || recs[0].Reason != doc {
+		t.Fatalf("policy-set record = %+v", recs[0])
+	}
+	if recs[1].LOID != loid || recs[1].Reason != "add inproc:n1" {
+		t.Fatalf("reconcile record = %+v", recs[1])
+	}
+	if got := OpPolicySet.String(); got != "policy-set" {
+		t.Fatalf("OpPolicySet.String() = %q", got)
+	}
+	if got := OpReconcile.String(); got != "reconcile" {
+		t.Fatalf("OpReconcile.String() = %q", got)
+	}
+}
+
+// A torn tail on a policy designation must not take the intact prefix with
+// it: the standby recovering from a shipped journal keeps every fully
+// fsynced designation and loses only the interrupted append.
+func TestJournalTornTailOnPolicyRecord(t *testing.T) {
+	path := journalPath(t)
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	loid := naming.LOID{Domain: 2, Class: 3, Instance: 4}
+	if err := j.PolicySet(loid, `{"degree":2}`); err != nil {
+		t.Fatalf("PolicySet #1: %v", err)
+	}
+	if err := j.PolicySet(loid, `{"degree":3}`); err != nil {
+		t.Fatalf("PolicySet #2: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-5], 0o644); err != nil {
+		t.Fatalf("truncate: %v", err)
+	}
+	recs, err := ReadJournal(path)
+	if err != nil {
+		t.Fatalf("ReadJournal after truncation: %v", err)
+	}
+	if len(recs) != 1 || recs[0].Op != OpPolicySet || recs[0].Reason != `{"degree":2}` {
+		t.Fatalf("after torn policy tail got %+v, want the first designation only", recs)
+	}
+}
+
+// Compaction (run by Recover) must carry the latest policy designation per
+// LOID forward and drop superseded ones plus transient reconcile audit
+// records — a compacted journal still tells a future restart what every
+// object's distribution should be.
+func TestJournalCompactKeepsLatestPolicy(t *testing.T) {
+	path := journalPath(t)
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	loidA := naming.LOID{Domain: 2, Class: 3, Instance: 1}
+	loidB := naming.LOID{Domain: 2, Class: 3, Instance: 2}
+	docA1 := policy.DistributionPolicy{Degree: 1}.Normalize().String()
+	docA2 := func() string {
+		p := policy.Default()
+		p.Degree = 3
+		p.ReadPreference = policy.ReadBackupOK
+		p.Consistency = policy.ConsistencyEventual
+		return p.Normalize().String()
+	}()
+	docB := policy.Default().String()
+	_ = j.PolicySet(loidA, docA1)
+	_ = j.PolicySet(loidB, docB)
+	_ = j.Reconcile(loidA, "add inproc:n1")
+	_ = j.PolicySet(loidA, docA2) // supersedes docA1
+	_ = j.Reconcile(loidA, "demote inproc:n1")
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer j2.Close()
+	m := New(evolution.MultiGeneral, evolution.Explicit)
+	m.SetJournal(j2)
+	report, err := m.Recover(context.Background())
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if report.Policies != 2 {
+		t.Fatalf("recovery restored %d policies, want 2", report.Policies)
+	}
+	if p, ok := m.PolicyOf(loidA); !ok || p.Degree != 3 {
+		t.Fatalf("loidA recovered policy = %+v ok=%v, want the superseding degree-3 doc", p, ok)
+	}
+
+	recs, err := j2.Records()
+	if err != nil {
+		t.Fatalf("Records: %v", err)
+	}
+	var polA, polB, reconciles int
+	for _, r := range recs {
+		switch r.Op {
+		case OpPolicySet:
+			switch r.LOID {
+			case loidA:
+				polA++
+				if r.Reason != docA2 {
+					t.Fatalf("compaction kept %q for loidA, want the latest %q", r.Reason, docA2)
+				}
+			case loidB:
+				polB++
+			}
+		case OpReconcile:
+			reconciles++
+		}
+	}
+	if polA != 1 || polB != 1 || reconciles != 0 {
+		t.Fatalf("compacted journal: %d/%d policy-set, %d reconcile records: %+v", polA, polB, reconciles, recs)
+	}
+
+	// A second recovery from the compacted journal still sees both.
+	m2 := New(evolution.MultiGeneral, evolution.Explicit)
+	m2.SetJournal(j2)
+	report2, err := m2.Recover(context.Background())
+	if err != nil || report2.Policies != 2 {
+		t.Fatalf("second recovery = %+v err=%v", report2, err)
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"godcdo/internal/evolution"
 	"godcdo/internal/naming"
 	"godcdo/internal/obs"
+	"godcdo/internal/policy"
 	"godcdo/internal/registry"
 	"godcdo/internal/replica"
 	"godcdo/internal/version"
@@ -67,6 +68,8 @@ type Manager struct {
 	quarantined map[naming.LOID]string
 	journal     *Journal
 	groups      map[naming.LOID]*replica.Group
+	policies    map[naming.LOID]policy.DistributionPolicy
+	policyPub   PolicyPublisher
 
 	// obsState holds the observability handle installed by SetObs, nil when
 	// disabled.

@@ -1,0 +1,103 @@
+package manager
+
+import (
+	"fmt"
+	"sort"
+
+	"godcdo/internal/naming"
+	"godcdo/internal/policy"
+)
+
+// Distribution-policy plane: the manager is the durable authority for each
+// LOID's declarative DistributionPolicy. SetPolicy journals the document
+// (OpPolicySet — shipped to the standby and carried through compaction),
+// remembers it, and publishes it to the naming plane so clients learn it on
+// resolve. The reconciler (reconciler.go) converges live replica groups
+// onto the documents; everything else — read routing, node flags, ctl —
+// just interprets them.
+
+// PolicyPublisher pushes a policy document to the naming plane so clients
+// receive it alongside the replica set on resolve. naming.Agent implements
+// it directly; rpc.RemoteAgent adapts it over the wire.
+type PolicyPublisher interface {
+	RegisterPolicy(loid naming.LOID, pol policy.DistributionPolicy)
+}
+
+// SetPolicyPublisher installs the naming-plane hook SetPolicy (and policy
+// restoration during Recover) publishes through. Nil disables publishing.
+func (m *Manager) SetPolicyPublisher(p PolicyPublisher) {
+	m.mu.Lock()
+	m.policyPub = p
+	m.mu.Unlock()
+}
+
+// SetPolicy durably designates loid's distribution policy: the document is
+// validated, journalled before anything observes it, stored, and published
+// to the naming plane. The reconciler picks the new desired state up on its
+// next sweep; callers wanting synchronous convergence run a sweep
+// themselves.
+func (m *Manager) SetPolicy(loid naming.LOID, pol policy.DistributionPolicy) error {
+	pol = pol.Normalize()
+	if err := pol.Validate(); err != nil {
+		return err
+	}
+	doc := pol.String()
+	if err := m.Journal().PolicySet(loid, doc); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	if m.policies == nil {
+		m.policies = make(map[naming.LOID]policy.DistributionPolicy)
+	}
+	m.policies[loid] = pol.Clone()
+	pub := m.policyPub
+	m.mu.Unlock()
+	if pub != nil {
+		pub.RegisterPolicy(loid, pol)
+	}
+	m.event("policy-set", loid, nil, doc)
+	return nil
+}
+
+// PolicyOf returns loid's designated policy. ok is false when none was ever
+// set — the caller decides whether the implicit policy.Default() applies.
+func (m *Manager) PolicyOf(loid naming.LOID) (policy.DistributionPolicy, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	pol, ok := m.policies[loid]
+	return pol.Clone(), ok
+}
+
+// PolicyLOIDs returns the LOIDs with a designated policy, sorted.
+func (m *Manager) PolicyLOIDs() []naming.LOID {
+	m.mu.Lock()
+	out := make([]naming.LOID, 0, len(m.policies))
+	for loid := range m.policies {
+		out = append(out, loid)
+	}
+	m.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// restorePolicy installs a journalled document during recovery: no
+// re-journalling (the record is already durable), but the naming plane is
+// re-published — a standby that just took over must make clients' next
+// resolve see the policy its deposed predecessor had designated.
+func (m *Manager) restorePolicy(loid naming.LOID, doc string) error {
+	pol, err := policy.Parse(doc)
+	if err != nil {
+		return fmt.Errorf("recover policy for %s: %w", loid, err)
+	}
+	m.mu.Lock()
+	if m.policies == nil {
+		m.policies = make(map[naming.LOID]policy.DistributionPolicy)
+	}
+	m.policies[loid] = pol
+	pub := m.policyPub
+	m.mu.Unlock()
+	if pub != nil {
+		pub.RegisterPolicy(loid, pol)
+	}
+	return nil
+}

@@ -40,6 +40,9 @@ type RecoveryReport struct {
 	// Quarantined lists instances that could not be probed and were
 	// quarantined for the prober to re-converge later.
 	Quarantined []naming.LOID
+	// Policies is the number of distribution-policy documents restored
+	// from the journal (latest per LOID).
+	Policies int
 }
 
 // passState is one journal pass reconstructed from its records.
@@ -123,10 +126,21 @@ func (m *Manager) recover(ctx context.Context, sp *obs.Span, j *Journal, recs []
 	rolloutRecs := make(map[uint64][]JournalRecord)
 	rolloutDone := make(map[uint64]bool)
 	var rolloutOrder []uint64
+	// Distribution policies are designations like OpCurrent: the latest
+	// document per LOID is restored and carried through compaction.
+	// OpReconcile records are a transient audit trail and compact away —
+	// the reconciler re-derives its work from policy vs observed state.
+	lastPolicy := make(map[naming.LOID]string)
+	var policyOrder []naming.LOID
 	for _, r := range recs {
 		switch r.Op {
 		case OpCurrent:
 			lastCurrent = r.Target
+		case OpPolicySet:
+			if _, seen := lastPolicy[r.LOID]; !seen {
+				policyOrder = append(policyOrder, r.LOID)
+			}
+			lastPolicy[r.LOID] = r.Reason
 		case OpMgrEpoch:
 			// Manager-epoch bumps are era markers, not pass records: track
 			// the latest so compaction carries it forward like OpCurrent.
@@ -183,6 +197,14 @@ func (m *Manager) recover(ctx context.Context, sp *obs.Span, j *Journal, recs []
 	}
 
 	var errs []error
+	for _, loid := range policyOrder {
+		if err := m.restorePolicy(loid, lastPolicy[loid]); err != nil {
+			errs = append(errs, err)
+			delete(lastPolicy, loid) // do not carry a corrupt document forward
+			continue
+		}
+		report.Policies++
+	}
 	for _, id := range order {
 		p := passes[id]
 		if p.done {
@@ -208,6 +230,11 @@ func (m *Manager) recover(ctx context.Context, sp *obs.Span, j *Journal, recs []
 	}
 	if lastEpoch > 0 {
 		keep = append(keep, JournalRecord{Op: OpMgrEpoch, Pass: lastEpoch})
+	}
+	for _, loid := range policyOrder {
+		if doc, ok := lastPolicy[loid]; ok {
+			keep = append(keep, JournalRecord{Op: OpPolicySet, LOID: loid, Reason: doc})
+		}
 	}
 	for _, id := range rolloutOrder {
 		if !rolloutDone[id] {

@@ -8,6 +8,7 @@ import (
 	"godcdo/internal/dfm"
 	"godcdo/internal/evolution"
 	"godcdo/internal/naming"
+	"godcdo/internal/policy"
 	"godcdo/internal/registry"
 	"godcdo/internal/rpc"
 	"godcdo/internal/version"
@@ -33,6 +34,8 @@ const (
 	MethodVAddDep          = "mgr.vAddDep"
 	MethodRecover          = "mgr.recover"
 	MethodHealth           = "mgr.health"
+	MethodPolicyGet        = "mgr.policyGet"
+	MethodPolicySet        = "mgr.policySet"
 )
 
 // InstanceHealth is one row of the mgr.health reply: the DCDO table entry
@@ -309,6 +312,44 @@ func (o *Object) InvokeMethodCtx(ctx context.Context, method string, args []byte
 			return nil
 		})
 
+	case MethodPolicyGet:
+		loidStr, err := dec.String()
+		if err != nil {
+			return badReq("loid", err)
+		}
+		loid, err := naming.ParseLOID(loidStr)
+		if err != nil {
+			return badReq("loid", err)
+		}
+		pol, ok := m.PolicyOf(loid)
+		e := wire.NewEncoder(64)
+		e.PutBool(ok)
+		if ok {
+			e.PutString(pol.String())
+		} else {
+			e.PutString("")
+		}
+		return e.Bytes(), nil
+
+	case MethodPolicySet:
+		loidStr, err := dec.String()
+		if err != nil {
+			return badReq("loid", err)
+		}
+		loid, err := naming.ParseLOID(loidStr)
+		if err != nil {
+			return badReq("loid", err)
+		}
+		doc, err := dec.String()
+		if err != nil {
+			return badReq("policy", err)
+		}
+		pol, err := policy.Parse(doc)
+		if err != nil {
+			return badReq("policy", err)
+		}
+		return nil, m.SetPolicy(loid, pol)
+
 	case MethodRecover:
 		report, err := m.Recover(ctx)
 		if err != nil {
@@ -569,6 +610,34 @@ func EncodeEvolveInstanceArgs(loid naming.LOID, v version.ID) []byte {
 	e := wire.NewEncoder(48)
 	e.PutString(loid.String())
 	e.PutUintSlice(v.Encode())
+	return e.Bytes()
+}
+
+// EncodePolicyGetArgs builds MethodPolicyGet's payload.
+func EncodePolicyGetArgs(loid naming.LOID) []byte {
+	e := wire.NewEncoder(32)
+	e.PutString(loid.String())
+	return e.Bytes()
+}
+
+// DecodePolicyGetReply parses the mgr.policyGet reply: the serialised
+// document and whether one was designated.
+func DecodePolicyGetReply(payload []byte) (doc string, ok bool, err error) {
+	dec := wire.NewDecoder(payload)
+	if ok, err = dec.Bool(); err != nil {
+		return "", false, err
+	}
+	if doc, err = dec.String(); err != nil {
+		return "", false, err
+	}
+	return doc, ok, nil
+}
+
+// EncodePolicySetArgs builds MethodPolicySet's payload.
+func EncodePolicySetArgs(loid naming.LOID, doc string) []byte {
+	e := wire.NewEncoder(32 + len(doc))
+	e.PutString(loid.String())
+	e.PutString(doc)
 	return e.Bytes()
 }
 

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"godcdo/internal/policy"
 	"godcdo/internal/vclock"
 )
 
@@ -95,11 +96,16 @@ func (s ReplicaSet) Clone() ReplicaSet {
 // Binding associates a LOID with the address it resolved to and when. For
 // replicated LOIDs, Set carries the full replica group; Address.Endpoint
 // always equals the primary endpoint, so unreplicated callers keep working
-// untouched.
+// untouched. Policy, when non-nil, is the object's distribution-policy
+// document as registered with the agent — clients learn read-routing and
+// retry defaults on resolve instead of through configuration. The pointed-to
+// document is immutable by convention (the agent clones on registration);
+// nil means the implicit policy.Default().
 type Binding struct {
 	LOID       LOID
 	Address    Address
 	Set        ReplicaSet
+	Policy     *policy.DistributionPolicy
 	ResolvedAt time.Time
 }
 
@@ -130,6 +136,7 @@ type Agent struct {
 	mu       sync.RWMutex
 	bindings map[LOID]Address
 	sets     map[LOID]ReplicaSet
+	policies map[LOID]*policy.DistributionPolicy
 	lookups  uint64
 	updates  uint64
 }
@@ -184,24 +191,57 @@ func (a *Agent) Set(loid LOID) ReplicaSet {
 	return a.sets[loid].Clone()
 }
 
+// RegisterPolicy attaches a distribution-policy document to loid: every
+// subsequent Lookup carries it, so clients learn read routing and retry
+// defaults on resolve. The document is cloned; later registrations replace
+// it (documents are versionless — the manager journal is the authority on
+// history). Registering for an unbound LOID is allowed: the policy waits
+// for the binding.
+func (a *Agent) RegisterPolicy(loid LOID, pol policy.DistributionPolicy) {
+	cloned := pol.Clone()
+	a.mu.Lock()
+	if a.policies == nil {
+		a.policies = make(map[LOID]*policy.DistributionPolicy)
+	}
+	a.policies[loid] = &cloned
+	a.updates++
+	a.mu.Unlock()
+}
+
+// PolicyOf returns loid's registered policy document. ok is false when none
+// is registered (the implicit policy.Default() applies).
+func (a *Agent) PolicyOf(loid LOID) (policy.DistributionPolicy, bool) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	p, ok := a.policies[loid]
+	if !ok {
+		return policy.DistributionPolicy{}, false
+	}
+	return p.Clone(), true
+}
+
 // Lookup resolves loid to its current address (and replica set, if any).
 func (a *Agent) Lookup(loid LOID) (Binding, error) {
 	a.mu.Lock()
 	a.lookups++
 	addr, ok := a.bindings[loid]
 	set := a.sets[loid].Clone()
+	pol := a.policies[loid]
 	a.mu.Unlock()
 	if !ok {
 		return Binding{}, fmt.Errorf("%w: %s", ErrNotBound, loid)
 	}
-	return Binding{LOID: loid, Address: addr, Set: set, ResolvedAt: a.clock.Now()}, nil
+	return Binding{LOID: loid, Address: addr, Set: set, Policy: pol, ResolvedAt: a.clock.Now()}, nil
 }
 
 // Deregister removes loid's binding; removing an unbound LOID is a no-op.
+// The policy document goes with it — a destroyed object's policy must not
+// ambush the next tenant of the LOID.
 func (a *Agent) Deregister(loid LOID) {
 	a.mu.Lock()
 	delete(a.bindings, loid)
 	delete(a.sets, loid)
+	delete(a.policies, loid)
 	a.updates++
 	a.mu.Unlock()
 }

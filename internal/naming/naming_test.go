@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 	"time"
 
+	"godcdo/internal/policy"
 	"godcdo/internal/vclock"
 )
 
@@ -427,5 +428,118 @@ func TestCacheInvalidateEndpointReplicated(t *testing.T) {
 	}
 	if c.Len() != 0 {
 		t.Fatalf("entry survived final trim: len=%d", c.Len())
+	}
+}
+
+// Regression (issue 9, satellite): a local backup promotion in the cache is
+// a stop-gap, not the truth. Once the manager publishes a repaired set at a
+// higher generation, a re-resolve must supersede the locally promoted view —
+// and the cache must not let the promoted (lower-generation) remnant shadow
+// the refresh.
+func TestCachePromotionSupersededByRefresh(t *testing.T) {
+	clk := vclock.NewVirtual(time.Unix(0, 0))
+	ag := NewAgent(clk)
+	loid := LOID{Instance: 31}
+	ag.RegisterSet(loid, ReplicaSet{Primary: "tcp:p", Backups: []string{"tcp:b1", "tcp:b2"}})
+
+	c := NewCache(ag, clk, 0)
+	if _, err := c.Resolve(loid); err != nil {
+		t.Fatal(err)
+	}
+
+	// The primary dies; the cache promotes tcp:b1 locally, preserving the
+	// generation of the set it trimmed.
+	if !c.InvalidateEndpoint(loid, "tcp:p") {
+		t.Fatal("primary trim reported false")
+	}
+	b, err := c.Resolve(loid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Address.Endpoint != "tcp:b1" || b.Set.Generation != 1 {
+		t.Fatalf("local promotion = %v / %+v", b.Address, b.Set)
+	}
+
+	// Meanwhile the reconciler repairs the group and publishes generation 2
+	// with a replacement backup. The cached promotion must not survive a
+	// refresh: Invalidate + Resolve adopts the newer set wholesale.
+	set2, ok := ag.RegisterSet(loid, ReplicaSet{Primary: "tcp:b1", Backups: []string{"tcp:b2", "tcp:b3"}})
+	if !ok || set2.Generation != 2 {
+		t.Fatalf("repair RegisterSet = %+v ok=%v", set2, ok)
+	}
+	c.Invalidate(loid)
+	b, err = c.Resolve(loid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Set.Generation != 2 || len(b.Set.Backups) != 2 || b.Set.Backups[1] != "tcp:b3" {
+		t.Fatalf("refresh did not supersede promotion: %+v", b.Set)
+	}
+
+	// A deposed primary re-registering its stale (pre-repair) view is fenced
+	// by the generation check — the cache keeps seeing the repaired set.
+	if _, ok := ag.RegisterSet(loid, ReplicaSet{Primary: "tcp:p", Backups: []string{"tcp:b1"}, Generation: 1}); ok {
+		t.Fatal("stale re-registration accepted after repair")
+	}
+	c.Invalidate(loid)
+	b, err = c.Resolve(loid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Address.Endpoint != "tcp:b1" || b.Set.Generation != 2 {
+		t.Fatalf("stale registrar clobbered the repaired set: %v / %+v", b.Address, b.Set)
+	}
+}
+
+// A policy document registered with the agent rides every Lookup, survives
+// the cache's local promotion (which edits the set, not the policy), and is
+// dropped with Deregister.
+func TestAgentPolicyRoundTrip(t *testing.T) {
+	clk := vclock.NewVirtual(time.Unix(0, 0))
+	ag := NewAgent(clk)
+	loid := LOID{Instance: 41}
+	ag.RegisterSet(loid, ReplicaSet{Primary: "tcp:p", Backups: []string{"tcp:b1"}})
+
+	if _, ok := ag.PolicyOf(loid); ok {
+		t.Fatal("PolicyOf reported a policy before any was registered")
+	}
+
+	pol := policy.Default()
+	pol.Degree = 2
+	pol.ReadPreference = policy.ReadBackupOK
+	pol.Consistency = policy.ConsistencyEventual
+	ag.RegisterPolicy(loid, pol)
+
+	got, ok := ag.PolicyOf(loid)
+	if !ok || !got.Equal(pol) {
+		t.Fatalf("PolicyOf = %+v ok=%v, want %+v", got, ok, pol)
+	}
+
+	c := NewCache(ag, clk, 0)
+	b, err := c.Resolve(loid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Policy == nil || !b.Policy.Equal(pol) {
+		t.Fatalf("Lookup did not carry the policy: %+v", b.Policy)
+	}
+
+	// Local promotion trims the set in place; the policy pointer rides along.
+	if !c.InvalidateEndpoint(loid, "tcp:p") {
+		t.Fatal("primary trim reported false")
+	}
+	b, err = c.Resolve(loid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Policy == nil || !b.Policy.Equal(pol) {
+		t.Fatalf("policy lost across local promotion: %+v", b.Policy)
+	}
+
+	// Deregister takes the policy with it — the next tenant of the LOID
+	// starts from the implicit default.
+	ag.Deregister(loid)
+	if _, ok := ag.PolicyOf(loid); ok {
+		t.Fatal("policy survived Deregister")
 	}
 }

@@ -175,6 +175,118 @@ func (g *Group) Promote(ctx context.Context, endpoint string, keepOldPrimary boo
 	return newSet, nil
 }
 
+// Expand grows the group onto endpoint as a fresh backup: the node's
+// replica-host service constructs and hosts a member (skipped when endpoint
+// already answers status for the LOID — a pre-built member rejoining), the
+// current primary is re-promoted in place at a bumped epoch with the
+// candidate appended to its backup list, the primary seeds the candidate
+// with a full-state snapshot (MethodSyncTo), and the grown set is published.
+// Expanding onto an existing member is a no-op.
+func (g *Group) Expand(ctx context.Context, endpoint string) (naming.ReplicaSet, error) {
+	oldSet := g.Set()
+	if !oldSet.Replicated() {
+		return naming.ReplicaSet{}, fmt.Errorf("replica group %s: no primary to expand from", g.LOID)
+	}
+	if oldSet.Contains(endpoint) {
+		return oldSet, nil
+	}
+	g.mu.Lock()
+	newEpoch := g.epoch + 1
+	g.mu.Unlock()
+	st, err := g.Status(ctx, oldSet.Primary)
+	if err != nil {
+		return naming.ReplicaSet{}, fmt.Errorf("expand %s for %s: primary %s unreachable: %w",
+			endpoint, g.LOID, oldSet.Primary, err)
+	}
+	if st.Epoch >= newEpoch {
+		newEpoch = st.Epoch + 1
+	}
+
+	if _, err := g.Status(ctx, endpoint); err != nil {
+		// Not yet hosting a member: ask the node's replica-host service to
+		// build one as a backup of the new era.
+		if _, err := rpc.DirectCall(ctx, g.Dialer, endpoint, rpc.ReplicaHostLOID,
+			MethodHostAdd, EncodeHostAddArgs(g.LOID, newEpoch), g.timeout()); err != nil {
+			return naming.ReplicaSet{}, fmt.Errorf("expand %s for %s: host backup: %w", endpoint, g.LOID, err)
+		}
+	}
+
+	backups := append(append([]string(nil), oldSet.Backups...), endpoint)
+	// Re-promoting the sitting primary with a higher epoch is an in-place
+	// membership change: the promote guard admits it, and the bumped epoch
+	// fences any shipment still in flight from the old era.
+	if _, err := g.Call(ctx, oldSet.Primary, MethodPromote, EncodePromoteArgs(newEpoch, backups)); err != nil {
+		return naming.ReplicaSet{}, fmt.Errorf("expand %s for %s: reconfigure primary: %w", endpoint, g.LOID, err)
+	}
+	if _, err := g.Call(ctx, oldSet.Primary, MethodSyncTo, EncodeSyncToArgs(endpoint)); err != nil {
+		return naming.ReplicaSet{}, fmt.Errorf("expand %s for %s: seed backup: %w", endpoint, g.LOID, err)
+	}
+
+	newSet := naming.ReplicaSet{Primary: oldSet.Primary, Backups: backups}
+	if g.Registrar != nil {
+		if eff, ok := g.Registrar.RegisterSet(g.LOID, newSet); ok {
+			newSet = eff
+		}
+	}
+	g.mu.Lock()
+	g.epoch = newEpoch
+	g.set = newSet
+	g.mu.Unlock()
+	return newSet, nil
+}
+
+// Shrink removes a backup from the group: the primary is re-promoted in
+// place at a bumped epoch with the member dropped from its backup list, the
+// removed member is demoted best-effort (it may be the dead node the
+// reconciler is reacting to), and the trimmed set is published. The primary
+// cannot be shrunk away — fail over first. Shrinking a non-member is a
+// no-op.
+func (g *Group) Shrink(ctx context.Context, endpoint string) (naming.ReplicaSet, error) {
+	oldSet := g.Set()
+	if endpoint == oldSet.Primary {
+		return naming.ReplicaSet{}, fmt.Errorf("replica group %s: cannot shrink away the primary", g.LOID)
+	}
+	if !oldSet.Contains(endpoint) {
+		return oldSet, nil
+	}
+	g.mu.Lock()
+	newEpoch := g.epoch + 1
+	g.mu.Unlock()
+	st, err := g.Status(ctx, oldSet.Primary)
+	if err != nil {
+		return naming.ReplicaSet{}, fmt.Errorf("shrink %s for %s: primary %s unreachable: %w",
+			endpoint, g.LOID, oldSet.Primary, err)
+	}
+	if st.Epoch >= newEpoch {
+		newEpoch = st.Epoch + 1
+	}
+
+	backups := make([]string, 0, len(oldSet.Backups))
+	for _, b := range oldSet.Backups {
+		if b != endpoint {
+			backups = append(backups, b)
+		}
+	}
+	if _, err := g.Call(ctx, oldSet.Primary, MethodPromote, EncodePromoteArgs(newEpoch, backups)); err != nil {
+		return naming.ReplicaSet{}, fmt.Errorf("shrink %s for %s: reconfigure primary: %w", endpoint, g.LOID, err)
+	}
+	// Fence the removed member into the new era as a lone backup; if it is
+	// dead this fails harmlessly.
+	_, _ = g.Call(ctx, endpoint, MethodDemote, EncodeDemoteArgs(newEpoch))
+
+	newSet := naming.ReplicaSet{Primary: oldSet.Primary, Backups: backups}
+	if g.Registrar != nil {
+		if eff, ok := g.Registrar.RegisterSet(g.LOID, newSet); ok {
+			newSet = eff
+		}
+	}
+	g.mu.Lock()
+	g.epoch = newEpoch
+	g.set = newSet
+	g.mu.Unlock()
+	return newSet, nil
+}
+
 // Failover reacts to a dead primary: it probes the backups in failover
 // order, promotes the first one that answers, and publishes a set that no
 // longer contains the old primary. It returns the new primary's endpoint.

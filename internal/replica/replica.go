@@ -60,6 +60,9 @@ const (
 	MethodDemote = ReplPrefix + "demote"
 	// MethodStatus reports role, epoch, applied sequence, and version.
 	MethodStatus = ReplPrefix + "status"
+	// MethodSyncTo (primary-only) ships a full state snapshot to one named
+	// endpoint: how a freshly hosted backup is seeded when a group expands.
+	MethodSyncTo = ReplPrefix + "syncto"
 )
 
 // Inner is the object a Replica wraps: context-aware invocation plus the
@@ -173,7 +176,12 @@ func (r *Replica) InvokeMethodCtx(ctx context.Context, method string, args []byt
 			// the real primary.
 			return nil, fmt.Errorf("%w: deposed primary for %s: %v", rpc.ErrNotPrimary, r.loid, shipErr)
 		}
-		return nil, fmt.Errorf("replica %s: state shipment failed: %w", r.loid, shipErr)
+		// The primary is healthy but cannot commit to its group right now
+		// (typically a dead backup the reconciler has not yet dropped).
+		// ErrUnavailable tells the client the condition is transient and that
+		// the call may have executed locally without committing: idempotent
+		// invokes retry through it, non-idempotent ones surface ambiguity.
+		return nil, fmt.Errorf("%w: replica %s: state shipment failed: %v", rpc.ErrUnavailable, r.loid, shipErr)
 	}
 	return out, nil
 }
@@ -227,6 +235,42 @@ func (r *Replica) shipIfChanged(ctx context.Context) error {
 	return nil
 }
 
+// syncTo ships one full-state snapshot to endpoint at the primary's current
+// epoch and a fresh sequence number. It shares shipMu with shipIfChanged so
+// the seeded snapshot is ordered against regular shipments; a following
+// dynamic call re-ships to everyone at a later sequence, so over-shipping is
+// the worst case, divergence never.
+func (r *Replica) syncTo(ctx context.Context, endpoint string) error {
+	r.shipMu.Lock()
+	defer r.shipMu.Unlock()
+
+	r.mu.Lock()
+	if r.role != RolePrimary {
+		epoch := r.epoch
+		r.mu.Unlock()
+		return fmt.Errorf("%w: %s (epoch %d)", rpc.ErrNotPrimary, r.loid, epoch)
+	}
+	r.seq++
+	seq := r.seq
+	epoch := r.epoch
+	r.mu.Unlock()
+
+	snapshot := r.inner.State().Encode()
+	e := wire.NewEncoder(len(snapshot) + 16)
+	e.PutUvarint(epoch)
+	e.PutUvarint(seq)
+	e.PutBytes(snapshot)
+	_, err := rpc.DirectCall(ctx, r.dialer, endpoint, r.loid, MethodApply, e.Bytes(), r.shipTimeout())
+	if errors.Is(err, rpc.ErrFenced) {
+		r.demoteSelf()
+		return err
+	}
+	if err != nil {
+		return fmt.Errorf("sync %s to %s: %w", r.loid, endpoint, err)
+	}
+	return nil
+}
+
 // demoteSelf demotes a fenced ex-primary in place.
 func (r *Replica) demoteSelf() {
 	r.mu.Lock()
@@ -246,6 +290,35 @@ func (r *Replica) shipTimeout() time.Duration {
 func (r *Replica) invokeRepl(ctx context.Context, method string, args []byte) ([]byte, error) {
 	dec := wire.NewDecoder(args)
 	switch method {
+	case rpc.MethodReplRead:
+		// Policy-routed read: unwrap and execute locally on ANY role — the
+		// one replication-plane method backups serve. The caller asserted
+		// the inner method is read-only; the generation check makes a
+		// violation loud instead of letting a backup silently diverge.
+		inner, innerArgs, err := rpc.DecodeReadArgs(args)
+		if err != nil {
+			return nil, err
+		}
+		if strings.HasPrefix(inner, ReplPrefix) || strings.HasPrefix(inner, core.ControlPrefix) {
+			return nil, fmt.Errorf("%w: %q may not ride %s", rpc.ErrBadRequest, inner, rpc.MethodReplRead)
+		}
+		before := r.inner.State().Generation()
+		out, err := r.inner.InvokeMethodCtx(ctx, inner, innerArgs)
+		if err != nil {
+			return nil, err
+		}
+		if r.inner.State().Generation() != before {
+			return nil, fmt.Errorf("replica %s: %q mutated state via %s; backup-ok reads must be read-only",
+				r.loid, inner, rpc.MethodReplRead)
+		}
+		return out, nil
+
+	case MethodSyncTo:
+		endpoint, err := dec.String()
+		if err != nil {
+			return nil, fmt.Errorf("%w: endpoint: %v", rpc.ErrBadRequest, err)
+		}
+		return nil, r.syncTo(ctx, endpoint)
 	case MethodApply:
 		epoch, err := dec.Uvarint()
 		if err != nil {
@@ -370,6 +443,13 @@ func EncodePromoteArgs(epoch uint64, backups []string) []byte {
 func EncodeDemoteArgs(epoch uint64) []byte {
 	e := wire.NewEncoder(8)
 	e.PutUvarint(epoch)
+	return e.Bytes()
+}
+
+// EncodeSyncToArgs encodes a MethodSyncTo payload.
+func EncodeSyncToArgs(endpoint string) []byte {
+	e := wire.NewEncoder(16 + len(endpoint))
+	e.PutString(endpoint)
 	return e.Bytes()
 }
 

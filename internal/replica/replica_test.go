@@ -339,3 +339,187 @@ func wireString(s string) []byte {
 	e.PutString(s)
 	return e.Bytes()
 }
+
+// addHostNode starts a fourth node ("n") carrying a HostService but no
+// member of the group — the reconciler's raw material for Expand. It
+// returns the node's endpoint and a function to fetch the hosted replica's
+// inner once one exists.
+func (e *replicaEnv) addHostNode(t *testing.T) (string, *HostService) {
+	t.Helper()
+	disp := rpc.NewDispatcher()
+	hs := &HostService{
+		Factory: func(naming.LOID) (Inner, error) { return newFakeInner(1), nil },
+		Dialer:  e.net.Dialer(),
+		Host:    disp.Host,
+	}
+	disp.Host(rpc.ReplicaHostLOID, hs)
+	srv, err := e.net.Listen("n", disp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.servers["n"] = srv
+	return "inproc:n", hs
+}
+
+func TestGroupExpandHostsSeedsPublishes(t *testing.T) {
+	env := newReplicaEnv(t)
+	ep, hs := env.addHostNode(t)
+	if _, err := env.call("inproc:p", "set", setArgs("k", "pre")); err != nil {
+		t.Fatal(err)
+	}
+
+	g := Attach(env.loid, env.net.Dialer(), env.agent, env.agent.Set(env.loid), 1)
+	set, err := g.Expand(context.Background(), ep)
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	if set.Primary != "inproc:p" || len(set.Backups) != 3 || set.Backups[2] != ep {
+		t.Fatalf("expanded set = %+v", set)
+	}
+	if set.Generation != 2 {
+		t.Fatalf("expanded generation = %d, want 2", set.Generation)
+	}
+	if g.Epoch() != 2 {
+		t.Fatalf("group epoch = %d, want 2", g.Epoch())
+	}
+	published := env.agent.Set(env.loid)
+	if !published.Contains(ep) || published.Generation != 2 {
+		t.Fatalf("published set = %+v", published)
+	}
+
+	// The new member was seeded with the pre-expansion state…
+	rep, ok := hs.Hosted(env.loid)
+	if !ok {
+		t.Fatal("host service did not build a member")
+	}
+	if v, _ := rep.inner.State().Get("k"); string(v) != "pre" {
+		t.Fatalf("seeded state = %q, want pre", v)
+	}
+	// …and receives subsequent shipments like any backup.
+	if _, err := env.call("inproc:p", "set", setArgs("k", "post")); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := rep.inner.State().Get("k"); string(v) != "post" {
+		t.Fatalf("post-expansion shipment = %q, want post", v)
+	}
+
+	// Expanding onto an existing member is a no-op.
+	again, err := g.Expand(context.Background(), ep)
+	if err != nil {
+		t.Fatalf("idempotent Expand: %v", err)
+	}
+	if again.Generation != set.Generation || len(again.Backups) != 3 {
+		t.Fatalf("idempotent Expand changed the set: %+v", again)
+	}
+}
+
+func TestGroupExpandRequiresReachablePrimary(t *testing.T) {
+	env := newReplicaEnv(t)
+	ep, _ := env.addHostNode(t)
+	g := Attach(env.loid, env.net.Dialer(), env.agent, env.agent.Set(env.loid), 1)
+	if err := env.servers["p"].Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Expand(context.Background(), ep); err == nil {
+		t.Fatal("Expand succeeded with a dead primary")
+	}
+}
+
+func TestGroupShrinkRemovesBackup(t *testing.T) {
+	env := newReplicaEnv(t)
+	g := Attach(env.loid, env.net.Dialer(), env.agent, env.agent.Set(env.loid), 1)
+
+	set, err := g.Shrink(context.Background(), "inproc:b2")
+	if err != nil {
+		t.Fatalf("Shrink: %v", err)
+	}
+	if set.Primary != "inproc:p" || len(set.Backups) != 1 || set.Backups[0] != "inproc:b1" {
+		t.Fatalf("shrunk set = %+v", set)
+	}
+	if published := env.agent.Set(env.loid); published.Contains("inproc:b2") {
+		t.Fatalf("published set still contains the removed member: %+v", published)
+	}
+
+	// Writes after the shrink reach the survivor, not the removed member.
+	if _, err := env.call("inproc:p", "set", setArgs("k", "v")); err != nil {
+		t.Fatal(err)
+	}
+	if got := getValue(t, env.inners["b1"], "k"); got != "v" {
+		t.Fatalf("survivor state = %q, want v", got)
+	}
+	if got := getValue(t, env.inners["b2"], "k"); got != "" {
+		t.Fatalf("removed member still receives shipments: %q", got)
+	}
+
+	// The primary cannot be shrunk away; a non-member shrink is a no-op.
+	if _, err := g.Shrink(context.Background(), "inproc:p"); err == nil {
+		t.Fatal("Shrink removed the primary")
+	}
+	if again, err := g.Shrink(context.Background(), "inproc:zzz"); err != nil || len(again.Backups) != 1 {
+		t.Fatalf("non-member Shrink = %+v, %v", again, err)
+	}
+}
+
+func TestHostServiceIdempotentAdd(t *testing.T) {
+	env := newReplicaEnv(t)
+	ep, hs := env.addHostNode(t)
+	ctx := context.Background()
+	args := EncodeHostAddArgs(env.loid, 5)
+	for i := 0; i < 2; i++ {
+		if _, err := rpc.DirectCall(ctx, env.net.Dialer(), ep, rpc.ReplicaHostLOID,
+			MethodHostAdd, args, time.Second); err != nil {
+			t.Fatalf("add #%d: %v", i+1, err)
+		}
+	}
+	rep, ok := hs.Hosted(env.loid)
+	if !ok {
+		t.Fatal("nothing hosted after add")
+	}
+	if rep.CurrentRole() != RoleBackup || rep.Epoch() != 5 {
+		t.Fatalf("hosted member role=%v epoch=%d, want backup at epoch 5", rep.CurrentRole(), rep.Epoch())
+	}
+
+	// A node without a factory refuses politely.
+	bare := &HostService{}
+	if _, err := bare.InvokeMethod(MethodHostAdd, args); !errors.Is(err, rpc.ErrNoSuchFunction) {
+		t.Fatalf("factory-less add err = %v, want ErrNoSuchFunction", err)
+	}
+}
+
+func TestReplReadServedOnAnyRole(t *testing.T) {
+	env := newReplicaEnv(t)
+	if _, err := env.call("inproc:p", "set", setArgs("k", "v1")); err != nil {
+		t.Fatal(err)
+	}
+
+	// A wrapped read is served by primary and backups alike.
+	for _, ep := range []string{"inproc:p", "inproc:b1", "inproc:b2"} {
+		out, err := env.call(ep, rpc.MethodReplRead, rpc.EncodeReadArgs("get", wireString("k")))
+		if err != nil {
+			t.Fatalf("repl.read on %s: %v", ep, err)
+		}
+		v, _ := wire.NewDecoder(out).Bytes()
+		if string(v) != "v1" {
+			t.Fatalf("repl.read on %s = %q, want v1", ep, v)
+		}
+	}
+
+	// A wrapped mutation trips the generation guard — loudly, not silently.
+	if _, err := env.call("inproc:b1", rpc.MethodReplRead, rpc.EncodeReadArgs("set", setArgs("k", "x"))); err == nil {
+		t.Fatal("repl.read let a mutation through on a backup")
+	}
+
+	// Replication-plane and control methods may not ride the wrapper.
+	for _, inner := range []string{MethodApply, "dcdo.version"} {
+		if _, err := env.call("inproc:b1", rpc.MethodReplRead, rpc.EncodeReadArgs(inner, nil)); !errors.Is(err, rpc.ErrBadRequest) {
+			t.Fatalf("repl.read(%s) err = %v, want ErrBadRequest", inner, err)
+		}
+	}
+}
+
+func TestSyncToPrimaryOnly(t *testing.T) {
+	env := newReplicaEnv(t)
+	if _, err := env.call("inproc:b1", MethodSyncTo, EncodeSyncToArgs("inproc:b2")); !errors.Is(err, rpc.ErrNotPrimary) {
+		t.Fatalf("syncTo on a backup err = %v, want ErrNotPrimary", err)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"godcdo/internal/naming"
+	"godcdo/internal/policy"
 	"godcdo/internal/transport"
 	"godcdo/internal/wire"
 )
@@ -22,6 +23,7 @@ const (
 	MethodAgentRegister    = "agent.register"
 	MethodAgentDeregister  = "agent.deregister"
 	MethodAgentRegisterSet = "agent.registerSet"
+	MethodAgentSetPolicy   = "agent.setPolicy"
 )
 
 // AgentLOID is the well-known LOID a domain's binding-agent service is
@@ -65,6 +67,15 @@ func (s *AgentService) InvokeMethod(method string, args []byte) ([]byte, error) 
 		e.PutUvarint(uint64(len(binding.Set.Backups)))
 		for _, b := range binding.Set.Backups {
 			e.PutString(b)
+		}
+		// Policy extension, appended after the replica set under the same
+		// append-only discipline: a presence flag, then the wire-encoded
+		// document.
+		if binding.Policy != nil {
+			e.PutUvarint(1)
+			e.PutBytes(binding.Policy.EncodeWire())
+		} else {
+			e.PutUvarint(0)
 		}
 		return e.Bytes(), nil
 
@@ -119,6 +130,22 @@ func (s *AgentService) InvokeMethod(method string, args []byte) ([]byte, error) 
 		e := wire.NewEncoder(16)
 		e.PutUvarint(eff.Generation)
 		return e.Bytes(), nil
+
+	case MethodAgentSetPolicy:
+		loid, err := decodeLOID()
+		if err != nil {
+			return nil, fmt.Errorf("%w: loid: %v", ErrBadRequest, err)
+		}
+		raw, err := dec.Bytes()
+		if err != nil {
+			return nil, fmt.Errorf("%w: policy: %v", ErrBadRequest, err)
+		}
+		pol, err := policy.DecodeWire(raw)
+		if err != nil {
+			return nil, fmt.Errorf("%w: policy: %v", ErrBadRequest, err)
+		}
+		s.Agent.RegisterPolicy(loid, pol)
+		return nil, nil
 
 	case MethodAgentDeregister:
 		loid, err := decodeLOID()
@@ -218,6 +245,16 @@ func (r *RemoteAgent) Lookup(loid naming.LOID) (naming.Binding, error) {
 			}
 		}
 	}
+	// Optional policy extension (absent in pre-policy responses).
+	if dec.Remaining() > 0 {
+		if has, err := dec.Uvarint(); err == nil && has == 1 {
+			if raw, err := dec.Bytes(); err == nil {
+				if pol, err := policy.DecodeWire(raw); err == nil {
+					b.Policy = &pol
+				}
+			}
+		}
+	}
 	return b, nil
 }
 
@@ -241,6 +278,18 @@ func (r *RemoteAgent) RegisterSet(loid naming.LOID, set naming.ReplicaSet) (nami
 		set.Generation = generation
 	}
 	return set, nil
+}
+
+// RegisterPolicy publishes a distribution-policy document to the remote
+// agent. It satisfies manager.PolicyPublisher for managers whose naming
+// plane lives in another process; failures are swallowed like Register's —
+// the journal is the durable authority, and the next republish (takeover,
+// explicit SetPolicy) retries.
+func (r *RemoteAgent) RegisterPolicy(loid naming.LOID, pol policy.DistributionPolicy) {
+	e := wire.NewEncoder(96)
+	e.PutString(loid.String())
+	e.PutBytes(pol.EncodeWire())
+	_, _ = r.call(MethodAgentSetPolicy, e.Bytes())
 }
 
 // Register implements naming.Authority.

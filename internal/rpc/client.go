@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"godcdo/internal/metrics"
@@ -137,6 +138,11 @@ type ClientStats struct {
 	// (CodeOverloaded). Shed requests never dispatched, so they are retried
 	// after backoff regardless of idempotency.
 	OverloadedSheds uint64
+	// IdempotentCalls counts InvokeIdempotent entries (a subset of Calls).
+	IdempotentCalls uint64
+	// BackupReads counts idempotent calls answered by a backup replica
+	// under a backup-ok distribution policy (E14 measures the fraction).
+	BackupReads uint64
 }
 
 // Counter names used in the client's metrics.CounterSet.
@@ -150,6 +156,8 @@ const (
 	statAmbiguousAborts   = "ambiguous_aborts"
 	statBackoffs          = "backoffs"
 	statOverloadedSheds   = "overloaded_sheds"
+	statIdempotentCalls   = "calls_idempotent"
+	statBackupReads       = "reads_backup"
 )
 
 // Client invokes methods on objects named by LOID. It resolves addresses
@@ -196,6 +204,15 @@ type Client struct {
 	cAborts  *metrics.Counter
 	cBackoff *metrics.Counter
 	cShed    *metrics.Counter
+	cIdem    *metrics.Counter
+	cBkReads *metrics.Counter
+
+	// readRR spreads policy-routed idempotent reads across a replica group
+	// (position i of the rotation is the primary when i == 0, otherwise
+	// backup i-1). One counter for the whole client is deliberate: a client
+	// talking to several backup-ok groups still interleaves fairly enough,
+	// and per-LOID state would cost a map lookup on the hot path.
+	readRR atomic.Uint64
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
@@ -235,6 +252,8 @@ func NewClient(cache *naming.Cache, dialer transport.Dialer) *Client {
 		cAborts:  cs.Counter(statAmbiguousAborts),
 		cBackoff: cs.Counter(statBackoffs),
 		cShed:    cs.Counter(statOverloadedSheds),
+		cIdem:    cs.Counter(statIdempotentCalls),
+		cBkReads: cs.Counter(statBackupReads),
 		rng:      rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
 }
@@ -251,6 +270,8 @@ func (c *Client) Stats() ClientStats {
 		AmbiguousAborts:   c.cAborts.Value(),
 		Backoffs:          c.cBackoff.Value(),
 		OverloadedSheds:   c.cShed.Value(),
+		IdempotentCalls:   c.cIdem.Value(),
+		BackupReads:       c.cBkReads.Value(),
 	}
 }
 
@@ -363,6 +384,9 @@ func (c *Client) invokeUnsampled(ctx context.Context, loid naming.LOID, method s
 func (c *Client) invokeInner(ctx context.Context, loid naming.LOID, method string, args []byte, idempotent bool, root *obs.Span, tail obs.SpanContext) ([]byte, error) {
 	p := c.Retry.normalized()
 	c.cCalls.Inc()
+	if idempotent {
+		c.cIdem.Inc()
+	}
 	start := time.Now()
 
 	var lastErr error
@@ -398,6 +422,26 @@ loop:
 			return nil, fmt.Errorf("resolve %s: %w", loid, err)
 		}
 		endpoint := binding.Address.Endpoint
+
+		// Policy-routed reads: when the binding's distribution policy allows
+		// reads off the primary, spread idempotent calls round-robin across
+		// the whole group, wrapping the request in MethodReplRead so the
+		// backup's replica wrapper invokes it locally on any role. Only the
+		// first attempt routes away — after any failure or rebind the call
+		// falls back to the primary path, whose failure handling (NotPrimary,
+		// stale binding, transport classes) is already exact. The default
+		// (nil or primary-only) policy pays one pointer compare here.
+		callMethod, callArgs := method, args
+		viaBackup := false
+		if idempotent && attemptFailures == 0 && rebinds == 0 && binding.Policy != nil &&
+			len(binding.Set.Backups) > 0 && binding.Policy.BackupReadsAllowed() {
+			if idx := c.readRR.Add(1) % uint64(1+len(binding.Set.Backups)); idx > 0 {
+				endpoint = binding.Set.Backups[idx-1]
+				callMethod = MethodReplRead
+				callArgs = EncodeReadArgs(method, args)
+				viaBackup = true
+			}
+		}
 
 		// Back off only when retrying the endpoint that just failed: a
 		// rebind that produced a fresh endpoint is new information and is
@@ -440,8 +484,8 @@ loop:
 		req := &wire.Envelope{
 			Kind:    wire.KindRequest,
 			Target:  c.targetString(loid),
-			Method:  method,
-			Payload: args,
+			Method:  callMethod,
+			Payload: callArgs,
 		}
 		var attSpan *obs.Span
 		if root != nil {
@@ -498,6 +542,9 @@ loop:
 
 		switch resp.Kind {
 		case wire.KindResponse:
+			if viaBackup {
+				c.cBkReads.Inc()
+			}
 			if c.Latency != nil {
 				c.Latency.Observe(time.Since(start))
 			}
@@ -514,6 +561,29 @@ loop:
 				// the binding (the endpoint is alive, just busy).
 				lastErr = remote
 				c.cShed.Inc()
+				attemptFailures++
+				if attemptFailures >= p.MaxAttempts {
+					break loop
+				}
+				lastFailedEndpoint = endpoint // force backoff before the retry
+				c.cRetries.Inc()
+				continue
+			}
+			if resp.Code == wire.CodeUnavailable {
+				// The object is alive but temporarily cannot serve — an
+				// evolution blocking window, or a replica primary that cannot
+				// commit state to its group. The function may have executed
+				// locally without committing, so a non-idempotent call must
+				// surface ambiguity; an idempotent one retries after backoff
+				// against the same binding (the endpoint is healthy, the
+				// condition is what has to pass).
+				lastErr = remote
+				c.cAmbig.Inc()
+				if !idempotent {
+					c.cAborts.Inc()
+					c.cErrors.Inc()
+					return nil, fmt.Errorf("invoke %s.%s: %w: %w", loid, method, ErrAmbiguousResult, remote)
+				}
 				attemptFailures++
 				if attemptFailures >= p.MaxAttempts {
 					break loop

@@ -39,6 +39,12 @@ var RolloutLOID = naming.LOID{Domain: 0, Class: 1, Instance: 4}
 // infrastructure siblings.
 var MgrReplLOID = naming.LOID{Domain: 0, Class: 1, Instance: 5}
 
+// ReplicaHostLOID is the well-known LOID a node's replica-hosting service is
+// hosted at: the reconciler asks it to spin up fresh backups when healing a
+// group onto the node. The service itself lives in internal/replica; only
+// the address is declared here, beside its infrastructure siblings.
+var ReplicaHostLOID = naming.LOID{Domain: 0, Class: 1, Instance: 6}
+
 // HealthInfo is a ping response.
 type HealthInfo struct {
 	// Node is the responding node's name.

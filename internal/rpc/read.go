@@ -1,0 +1,41 @@
+package rpc
+
+import (
+	"fmt"
+
+	"godcdo/internal/wire"
+)
+
+// Backup read routing: when a LOID's distribution policy allows reads off
+// the primary (ReadPreference backup-ok with eventual consistency), the
+// client wraps an idempotent invocation in MethodReplRead and sends it to a
+// backup replica. The replica unwraps it and invokes the inner method
+// locally on any role — the one replication-protocol method that is not
+// primary-only. The constant and codec live here rather than in
+// internal/replica because the client must speak the wrapper without
+// importing the replica runtime.
+
+// MethodReplRead wraps an idempotent, read-only method invocation for
+// delivery to any member of a replica group.
+const MethodReplRead = "repl.read"
+
+// EncodeReadArgs frames the inner method and its arguments for
+// MethodReplRead.
+func EncodeReadArgs(method string, args []byte) []byte {
+	e := wire.NewEncoder(16 + len(method) + len(args))
+	e.PutString(method)
+	e.PutBytes(args)
+	return e.Bytes()
+}
+
+// DecodeReadArgs unpacks a MethodReplRead payload.
+func DecodeReadArgs(buf []byte) (method string, args []byte, err error) {
+	dec := wire.NewDecoder(buf)
+	if method, err = dec.String(); err != nil {
+		return "", nil, fmt.Errorf("%w: read method: %v", ErrBadRequest, err)
+	}
+	if args, err = dec.Bytes(); err != nil {
+		return "", nil, fmt.Errorf("%w: read args: %v", ErrBadRequest, err)
+	}
+	return method, args, nil
+}
