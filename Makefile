@@ -31,9 +31,15 @@ REPL_ALLOC_BASELINE ?= 5
 # vet-policy fails past this.
 POLICY_ALLOC_BASELINE ?= 5
 
-.PHONY: ci vet vet-obs vet-wire vet-repl vet-policy build test race bench-smoke bench bench-json experiments fuzz-smoke chaos
+# Batched-invoke ceiling: one 16-call batch frame must allocate well under
+# 16x the single-call budget ($(INVOKE_ALLOC_BASELINE)), i.e. at most
+# 4 allocs per sub-call. Measured: 53 allocs per 16-call batch (~3.3/sub).
+# vet-batch fails if amortisation ever erodes past this.
+BATCH_ALLOC_BASELINE ?= 64
 
-ci: vet vet-obs vet-wire vet-repl vet-policy build race bench-smoke chaos fuzz-smoke
+.PHONY: ci vet vet-obs vet-wire vet-repl vet-policy vet-batch build test race bench-smoke bench bench-json experiments fuzz-smoke chaos
+
+ci: vet vet-obs vet-wire vet-repl vet-policy vet-batch build race bench-smoke chaos fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -106,6 +112,23 @@ vet-policy:
 	}; \
 	gate 'BenchmarkInvokeDefaultPolicy' $(POLICY_ALLOC_BASELINE)
 
+# Scatter-gather gate (mirrors vet-wire): a 16-call batch over loopback TCP
+# must keep its per-frame alloc amortisation — one frame for 16 sub-calls
+# cannot cost more than $(BATCH_ALLOC_BASELINE) allocs (4 per sub-call vs
+# $(INVOKE_ALLOC_BASELINE) for a single call).
+vet-batch:
+	$(GO) vet ./internal/rpc/
+	@out=$$($(GO) test -run xxx -bench 'BenchmarkInvokeBatch/16' -benchmem -benchtime=2000x . | tee /dev/stderr); \
+	gate() { \
+		allocs=$$(echo "$$out" | awk -v pat="$$1" '$$0 ~ pat {for (i=1; i<=NF; i++) if ($$(i+1) == "allocs/op") print $$i; exit}'); \
+		if [ -z "$$allocs" ]; then echo "vet-batch: could not parse allocs/op for $$1"; exit 1; fi; \
+		if [ "$$allocs" -gt "$$2" ]; then \
+			echo "vet-batch: $$1 allocates $$allocs allocs/op, budget $$2"; exit 1; \
+		fi; \
+		echo "vet-batch: $$1 at $$allocs allocs/op (budget $$2)"; \
+	}; \
+	gate 'InvokeBatch/16' $(BATCH_ALLOC_BASELINE)
+
 build:
 	$(GO) build ./...
 
@@ -138,7 +161,7 @@ experiments:
 
 # Full experiment sweep with machine-readable export: the unit of the
 # BENCH_*.json perf trajectory (bump BENCH_JSON per PR).
-BENCH_JSON ?= BENCH_9.json
+BENCH_JSON ?= BENCH_10.json
 
 bench-json:
 	$(GO) run ./cmd/dcdo-bench -json $(BENCH_JSON)

@@ -523,6 +523,55 @@ func BenchmarkE10_TransportFastPath(b *testing.B) {
 	}
 }
 
+// --- E15: batched scatter-gather invoke -----------------------------------------------
+
+// BenchmarkInvokeBatch is the testing.B face of experiment E15: N echo
+// sub-calls per batch frame over TCP loopback with zero-copy borrowed args
+// on the server. The Makefile's vet-batch gate parses the /16 sub-benchmark
+// with -benchmem: allocs/op there is allocs per 16-call batch, so the
+// per-sub-call budget is the gate baseline divided by 16.
+func BenchmarkInvokeBatch(b *testing.B) {
+	payload := make([]byte, 64)
+	agent := naming.NewAgent(vclock.Real{})
+	node, err := legion.NewNode(legion.NodeConfig{
+		Name: "bench-e15", Agent: agent, TCPAddr: "127.0.0.1:0",
+		BorrowedArgs: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer node.Close()
+	loid := naming.LOID{Domain: 15, Class: 10, Instance: 1}
+	if _, err := node.HostObject(loid, rpc.ObjectFunc(func(_ string, args []byte) ([]byte, error) {
+		return args, nil
+	})); err != nil {
+		b.Fatal(err)
+	}
+	dialer := transport.NewTCPDialer()
+	dialer.Stripes = 4
+	defer dialer.Close()
+	client := rpc.NewClient(naming.NewCache(agent, vclock.Real{}, 0), dialer)
+	client.Retry.CallTimeout = 10 * time.Second
+
+	for _, size := range []int{1, 16, 64} {
+		b.Run(fmt.Sprintf("%d", size), func(b *testing.B) {
+			batch := client.NewBatch()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				batch.Reset()
+				for j := 0; j < size; j++ {
+					batch.Add(loid, "echo", payload)
+				}
+				for k, r := range batch.Invoke(context.Background()) {
+					if r.Err != nil {
+						b.Fatalf("sub %d: %v", k, r.Err)
+					}
+				}
+			}
+		})
+	}
+}
+
 // --- Ablations (design decisions from DESIGN.md) ----------------------------------------
 
 // Ablation 1: DFM lookup via atomic snapshot (the implementation) vs taking

@@ -1,5 +1,5 @@
 // Command dcdo-bench regenerates the paper's performance study (§4): every
-// experiment E1–E14, each printing the table it reproduces and the pass/fail
+// experiment E1–E15, each printing the table it reproduces and the pass/fail
 // shape criteria derived from the paper's reported numbers.
 //
 // Usage:
@@ -7,6 +7,7 @@
 //	dcdo-bench                         # run all experiments
 //	dcdo-bench -e E4                   # run one experiment
 //	dcdo-bench -e E10 -json BENCH.json # also export machine-readable metrics
+//	dcdo-bench -e E15 -batch 32        # batched invoke at a non-default batch size
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"strings"
 
 	"godcdo/internal/harness"
+	"godcdo/internal/wire"
 )
 
 func main() {
@@ -28,10 +30,17 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("dcdo-bench", flag.ContinueOnError)
-	experiment := fs.String("e", "all", "experiment to run (E1..E14 or all)")
+	experiment := fs.String("e", "all", "experiment to run (E1..E15 or all)")
 	jsonPath := fs.String("json", "", "write machine-readable results (ids, checks, metrics) to this file")
+	batch := fs.Int("batch", 0, "batch size for E15's scatter-gather measurement (0 = experiment default)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *batch != 0 {
+		if *batch < 1 || *batch > wire.MaxBatchCalls {
+			return fmt.Errorf("-batch %d out of range [1, %d]", *batch, wire.MaxBatchCalls)
+		}
+		harness.SetBatchSize(*batch)
 	}
 
 	runners := map[string]func() (*harness.Report, error){
@@ -49,6 +58,7 @@ func run(args []string) error {
 		"E12": harness.RunE12,
 		"E13": harness.RunE13,
 		"E14": harness.RunE14,
+		"E15": harness.RunE15,
 	}
 
 	var reports []*harness.Report
@@ -62,7 +72,7 @@ func run(args []string) error {
 	default:
 		runner, ok := runners[want]
 		if !ok {
-			return fmt.Errorf("unknown experiment %q (want E1..E14 or all)", *experiment)
+			return fmt.Errorf("unknown experiment %q (want E1..E15 or all)", *experiment)
 		}
 		rep, err := runner()
 		if err != nil {

@@ -3,6 +3,8 @@ package main
 import (
 	"strings"
 	"testing"
+
+	"godcdo/internal/harness"
 )
 
 func TestRunUnknownExperiment(t *testing.T) {
@@ -15,6 +17,27 @@ func TestRunUnknownExperiment(t *testing.T) {
 func TestRunBadFlag(t *testing.T) {
 	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
 		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunBatchFlagValidation(t *testing.T) {
+	for _, bad := range []string{"-1", "1025"} {
+		err := run([]string{"-e", "E15", "-batch", bad})
+		if err == nil || !strings.Contains(err.Error(), "out of range") {
+			t.Fatalf("-batch %s: err = %v, want out-of-range rejection", bad, err)
+		}
+	}
+}
+
+func TestRunBatchFlagSetsBatchSize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full experiment")
+	}
+	// A non-default batch size must flow through to the experiment and
+	// still beat the single-call path.
+	defer harness.SetBatchSize(0) // restore the experiment default
+	if err := run([]string{"-e", "e15", "-batch", "8"}); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -106,6 +106,7 @@ func RunAll() ([]*Report, error) {
 		{"E12", RunE12},
 		{"E13", RunE13},
 		{"E14", RunE14},
+		{"E15", RunE15},
 	}
 	reports := make([]*Report, 0, len(runners))
 	for _, r := range runners {

@@ -147,10 +147,10 @@ func TestRunAllOrderAndPass(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(reports) != 14 {
-		t.Fatalf("reports = %d, want 14", len(reports))
+	if len(reports) != 15 {
+		t.Fatalf("reports = %d, want 15", len(reports))
 	}
-	wantIDs := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14"}
+	wantIDs := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15"}
 	for i, rep := range reports {
 		if rep.ID != wantIDs[i] {
 			t.Errorf("report %d = %s, want %s", i, rep.ID, wantIDs[i])
@@ -182,6 +182,17 @@ func TestReportStringShowsFailures(t *testing.T) {
 
 func TestRunE14(t *testing.T) {
 	rep, err := RunE14()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requirePassed(t, rep)
+}
+
+func TestRunE15(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput comparison needs real time")
+	}
+	rep, err := RunE15()
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -110,56 +110,6 @@ func (p RetryPolicy) backoff(n int, rnd float64) time.Duration {
 	return time.Duration(nominal + rnd*p.Jitter*nominal)
 }
 
-// ClientStats counts client-side invocation outcomes, including how many
-// calls hit a stale binding and were transparently rebound — the mechanism
-// the stale-binding experiment (E4) measures the latency of — and how the
-// retry policy classified failures (E7).
-type ClientStats struct {
-	// Calls counts Invoke/InvokeIdempotent entries.
-	Calls uint64
-	// Rebinds counts cache invalidations this client performed after a
-	// failure (one per logical rebind; concurrent callers failing against
-	// the same stale endpoint share a single rebind).
-	Rebinds uint64
-	// Errors counts calls that ultimately returned an error.
-	Errors uint64
-	// Retries counts additional transport attempts beyond each call's first.
-	Retries uint64
-	// SafeFailures counts attempt failures proven not to have executed.
-	SafeFailures uint64
-	// AmbiguousFailures counts attempt failures that may have executed.
-	AmbiguousFailures uint64
-	// AmbiguousAborts counts non-idempotent calls abandoned (rather than
-	// retried) after an ambiguous failure.
-	AmbiguousAborts uint64
-	// Backoffs counts the delays slept between retries.
-	Backoffs uint64
-	// OverloadedSheds counts attempts the server refused at admission
-	// (CodeOverloaded). Shed requests never dispatched, so they are retried
-	// after backoff regardless of idempotency.
-	OverloadedSheds uint64
-	// IdempotentCalls counts InvokeIdempotent entries (a subset of Calls).
-	IdempotentCalls uint64
-	// BackupReads counts idempotent calls answered by a backup replica
-	// under a backup-ok distribution policy (E14 measures the fraction).
-	BackupReads uint64
-}
-
-// Counter names used in the client's metrics.CounterSet.
-const (
-	statCalls             = "calls"
-	statRebinds           = "rebinds"
-	statErrors            = "errors"
-	statRetries           = "retries"
-	statSafeFailures      = "failures_safe"
-	statAmbiguousFailures = "failures_ambiguous"
-	statAmbiguousAborts   = "ambiguous_aborts"
-	statBackoffs          = "backoffs"
-	statOverloadedSheds   = "overloaded_sheds"
-	statIdempotentCalls   = "calls_idempotent"
-	statBackupReads       = "reads_backup"
-)
-
 // Client invokes methods on objects named by LOID. It resolves addresses
 // through a binding cache; when a call fails because the cached address no
 // longer hosts the object (migration, re-instantiation, crash) it
@@ -194,18 +144,32 @@ type Client struct {
 	histBind   *metrics.Histogram
 	histInvoke *metrics.Histogram
 
-	counters *metrics.CounterSet
-	cCalls   *metrics.Counter
-	cRebinds *metrics.Counter
-	cErrors  *metrics.Counter
-	cRetries *metrics.Counter
-	cSafe    *metrics.Counter
-	cAmbig   *metrics.Counter
-	cAborts  *metrics.Counter
-	cBackoff *metrics.Counter
-	cShed    *metrics.Counter
-	cIdem    *metrics.Counter
-	cBkReads *metrics.Counter
+	counters   *metrics.CounterSet
+	cCalls     *metrics.Counter
+	cRebinds   *metrics.Counter
+	cErrors    *metrics.Counter
+	cRetries   *metrics.Counter
+	cSafe      *metrics.Counter
+	cAmbig     *metrics.Counter
+	cAborts    *metrics.Counter
+	cBackoff   *metrics.Counter
+	cShed      *metrics.Counter
+	cIdem      *metrics.Counter
+	cBkReads   *metrics.Counter
+	cBatches   *metrics.Counter
+	cBatched   *metrics.Counter
+	cBatchFB   *metrics.Counter
+	cHedges    *metrics.Counter
+	cHedgeWins *metrics.Counter
+
+	// hedge, when non-nil, arms tail-latency request hedging for idempotent
+	// single calls (see EnableHedging). Set before issuing calls.
+	hedge *hedger
+
+	// noBatch records endpoints whose server rejected KindBatchRequest with
+	// CodeBadRequest — a pre-batch build. InvokeBatch skips the batch framing
+	// for them and goes straight to per-call invokes (the legacy fallback).
+	noBatch sync.Map // endpoint string -> struct{}
 
 	// readRR spreads policy-routed idempotent reads across a replica group
 	// (position i of the rotation is the primary when i == 0, otherwise
@@ -239,39 +203,27 @@ func (c *Client) targetString(loid naming.LOID) string {
 func NewClient(cache *naming.Cache, dialer transport.Dialer) *Client {
 	cs := metrics.NewCounterSet()
 	return &Client{
-		cache:    cache,
-		dialer:   dialer,
-		Retry:    DefaultRetryPolicy(),
-		counters: cs,
-		cCalls:   cs.Counter(statCalls),
-		cRebinds: cs.Counter(statRebinds),
-		cErrors:  cs.Counter(statErrors),
-		cRetries: cs.Counter(statRetries),
-		cSafe:    cs.Counter(statSafeFailures),
-		cAmbig:   cs.Counter(statAmbiguousFailures),
-		cAborts:  cs.Counter(statAmbiguousAborts),
-		cBackoff: cs.Counter(statBackoffs),
-		cShed:    cs.Counter(statOverloadedSheds),
-		cIdem:    cs.Counter(statIdempotentCalls),
-		cBkReads: cs.Counter(statBackupReads),
-		rng:      rand.New(rand.NewSource(time.Now().UnixNano())),
-	}
-}
-
-// Stats returns a snapshot of the client counters.
-func (c *Client) Stats() ClientStats {
-	return ClientStats{
-		Calls:             c.cCalls.Value(),
-		Rebinds:           c.cRebinds.Value(),
-		Errors:            c.cErrors.Value(),
-		Retries:           c.cRetries.Value(),
-		SafeFailures:      c.cSafe.Value(),
-		AmbiguousFailures: c.cAmbig.Value(),
-		AmbiguousAborts:   c.cAborts.Value(),
-		Backoffs:          c.cBackoff.Value(),
-		OverloadedSheds:   c.cShed.Value(),
-		IdempotentCalls:   c.cIdem.Value(),
-		BackupReads:       c.cBkReads.Value(),
+		cache:      cache,
+		dialer:     dialer,
+		Retry:      DefaultRetryPolicy(),
+		counters:   cs,
+		cCalls:     cs.Counter(statCalls),
+		cRebinds:   cs.Counter(statRebinds),
+		cErrors:    cs.Counter(statErrors),
+		cRetries:   cs.Counter(statRetries),
+		cSafe:      cs.Counter(statSafeFailures),
+		cAmbig:     cs.Counter(statAmbiguousFailures),
+		cAborts:    cs.Counter(statAmbiguousAborts),
+		cBackoff:   cs.Counter(statBackoffs),
+		cShed:      cs.Counter(statOverloadedSheds),
+		cIdem:      cs.Counter(statIdempotentCalls),
+		cBkReads:   cs.Counter(statBackupReads),
+		cBatches:   cs.Counter(statBatches),
+		cBatched:   cs.Counter(statCallsBatched),
+		cBatchFB:   cs.Counter(statBatchFallbacks),
+		cHedges:    cs.Counter(statHedges),
+		cHedgeWins: cs.Counter(statHedgeWins),
+		rng:        rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
 }
 
@@ -505,7 +457,7 @@ loop:
 			req.SpanID = tail.SpanID
 			req.TraceFlags = wire.TraceFlagUnsampled
 		}
-		resp, err := c.dialer.Call(ctx, endpoint, req, timeout)
+		resp, err := c.attemptCall(ctx, endpoint, req, timeout, idempotent)
 		if attSpan != nil {
 			attSpan.Fail(err)
 			attSpan.Finish()

@@ -1,0 +1,167 @@
+package rpc
+
+import (
+	"context"
+	"time"
+
+	"godcdo/internal/metrics"
+	"godcdo/internal/wire"
+)
+
+// Request hedging for idempotent tail latency. A hedged call launches its
+// attempt normally; if no response arrives within a delay derived from the
+// observed latency distribution (e.g. the p95), a second identical request
+// is launched at the same endpoint and the first response — from either —
+// wins. The loser is cancelled. Only idempotent calls hedge: a hedge is by
+// definition a possible duplicate execution, which is exactly what
+// non-idempotent calls must never risk.
+//
+// The delay self-tunes: successful unhedged attempt latencies feed a
+// histogram, and once MinSamples have accumulated the hedge fires at the
+// configured quantile of that distribution (clamped to [MinDelay,
+// MaxDelay]). Until the histogram is warm, calls do not hedge — an unarmed
+// hedger costs one histogram observation per call and nothing else.
+
+// HedgePolicy configures EnableHedging.
+type HedgePolicy struct {
+	// Quantile of observed attempt latency at which the hedge fires.
+	// Values outside (0, 1) are treated as 0.95.
+	Quantile float64
+	// MinDelay floors the derived delay so a noisy fast distribution cannot
+	// hedge effectively every call. Zero means no floor.
+	MinDelay time.Duration
+	// MaxDelay caps the derived delay. Zero means no cap.
+	MaxDelay time.Duration
+	// MinSamples is how many successful attempts must be observed before
+	// hedging arms. Values below 1 are treated as 32.
+	MinSamples int
+}
+
+func (p HedgePolicy) normalized() HedgePolicy {
+	if p.Quantile <= 0 || p.Quantile >= 1 {
+		p.Quantile = 0.95
+	}
+	if p.MinSamples < 1 {
+		p.MinSamples = 32
+	}
+	return p
+}
+
+// hedger is the armed state: the policy plus the latency sample it derives
+// the hedge delay from.
+type hedger struct {
+	policy HedgePolicy
+	lat    *metrics.Histogram
+}
+
+// EnableHedging arms tail-latency hedging for this client's idempotent
+// single calls. Call before issuing invocations; hedging applies only to
+// the single-call path (batch frames settle per-sub-call instead).
+func (c *Client) EnableHedging(p HedgePolicy) {
+	c.hedge = &hedger{policy: p.normalized(), lat: metrics.NewHistogram("client.hedge.latency")}
+}
+
+// delay returns the armed hedge delay, or ok=false while the sample is
+// still warming up.
+func (h *hedger) delay() (time.Duration, bool) {
+	if h.lat.Count() < uint64(h.policy.MinSamples) {
+		return 0, false
+	}
+	d := h.lat.Quantile(h.policy.Quantile)
+	if d < h.policy.MinDelay {
+		d = h.policy.MinDelay
+	}
+	if h.policy.MaxDelay > 0 && d > h.policy.MaxDelay {
+		d = h.policy.MaxDelay
+	}
+	if d <= 0 {
+		return 0, false
+	}
+	return d, true
+}
+
+// attemptCall is the single-attempt transport call, hedged when armed. It
+// sits exactly where dialer.Call sat in the retry machine, so every
+// classification and retry decision upstream is unchanged — hedging only
+// changes how one attempt is physically performed.
+func (c *Client) attemptCall(ctx context.Context, endpoint string, req *wire.Envelope, timeout time.Duration, idempotent bool) (*wire.Envelope, error) {
+	h := c.hedge
+	if h == nil {
+		return c.dialer.Call(ctx, endpoint, req, timeout)
+	}
+	if !idempotent {
+		// Non-idempotent calls never hedge, and their latencies stay out of
+		// the sample (different methods, different distribution).
+		return c.dialer.Call(ctx, endpoint, req, timeout)
+	}
+	delay, armed := h.delay()
+	if !armed {
+		start := time.Now()
+		resp, err := c.dialer.Call(ctx, endpoint, req, timeout)
+		if err == nil {
+			h.lat.Observe(time.Since(start))
+		}
+		return resp, err
+	}
+
+	// Copy the envelope BEFORE the primary launches: dialers stamp
+	// correlation IDs (and possibly deadlines) into req, so the hedge must
+	// snapshot it while it is still exclusively ours.
+	hreq := *req
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel() // reaps the loser
+
+	type outcome struct {
+		resp  *wire.Envelope
+		err   error
+		hedge bool
+	}
+	ch := make(chan outcome, 2) // buffered: the loser must not block forever
+	start := time.Now()
+	go func() {
+		resp, err := c.dialer.Call(hctx, endpoint, req, timeout)
+		ch <- outcome{resp, err, false}
+	}()
+
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	select {
+	case out := <-ch:
+		// Primary settled before the hedge delay: the common case, and the
+		// only path that feeds the latency sample (hedged outcomes would
+		// skew the distribution the delay is derived from).
+		if out.err == nil {
+			h.lat.Observe(time.Since(start))
+		}
+		return out.resp, out.err
+	case <-timer.C:
+		c.cHedges.Inc()
+		go func() {
+			resp, err := c.dialer.Call(hctx, endpoint, &hreq, timeout)
+			ch <- outcome{resp, err, true}
+		}()
+	}
+
+	// Two attempts in flight: first success wins; if the first arrival is
+	// an error, wait for the second before giving up.
+	first := <-ch
+	if first.err == nil {
+		if first.hedge {
+			c.cHedgeWins.Inc()
+		}
+		return first.resp, first.err
+	}
+	second := <-ch
+	if second.err == nil {
+		if second.hedge {
+			c.cHedgeWins.Inc()
+		}
+		return second.resp, second.err
+	}
+	// Both failed: surface the primary's error (it carries the original
+	// failure; the hedge's is usually the cancellation echo).
+	if first.hedge {
+		return second.resp, second.err
+	}
+	return first.resp, first.err
+}

@@ -1,0 +1,94 @@
+package rpc
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"godcdo/internal/naming"
+)
+
+// TestHedgeWinsOverStalledPrimary: after warmup, one request stalls far past
+// the derived hedge delay. The hedge fires, reaches the (now fast) handler,
+// and wins; the call completes without waiting out the stall.
+func TestHedgeWinsOverStalledPrimary(t *testing.T) {
+	env := newTestEnv(t, "n1")
+	loid := naming.LOID{Instance: 1}
+	var stall atomic.Int32
+	env.host(loid, ObjectFunc(func(method string, args []byte) ([]byte, error) {
+		if stall.CompareAndSwap(1, 0) {
+			time.Sleep(300 * time.Millisecond) // exactly one request eats this
+		}
+		return []byte("ok"), nil
+	}))
+	env.client.EnableHedging(HedgePolicy{
+		Quantile:   0.95,
+		MinDelay:   5 * time.Millisecond,
+		MaxDelay:   20 * time.Millisecond,
+		MinSamples: 4,
+	})
+
+	// Warm the latency sample past MinSamples with fast calls.
+	for i := 0; i < 8; i++ {
+		if _, err := env.client.InvokeIdempotent(context.Background(), loid, "m", nil); err != nil {
+			t.Fatalf("warmup %d: %v", i, err)
+		}
+	}
+	if st := env.client.Stats(); st.Hedges != 0 {
+		t.Fatalf("hedged during warmup: %+v", st)
+	}
+
+	stall.Store(1)
+	start := time.Now()
+	out, err := env.client.InvokeIdempotent(context.Background(), loid, "m", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "ok" {
+		t.Fatalf("out = %q", out)
+	}
+	if elapsed := time.Since(start); elapsed >= 300*time.Millisecond {
+		t.Fatalf("call took %v — hedge never rescued it from the stall", elapsed)
+	}
+	st := env.client.Stats()
+	if st.Hedges != 1 || st.HedgeWins != 1 {
+		t.Fatalf("stats = %+v, want exactly 1 hedge and 1 win", st)
+	}
+}
+
+// TestHedgeNeverFiresForNonIdempotent pins the safety rule: a hedge is a
+// possible duplicate execution, so plain Invoke must never hedge no matter
+// how slow the primary is.
+func TestHedgeNeverFiresForNonIdempotent(t *testing.T) {
+	env := newTestEnv(t, "n1")
+	loid := naming.LOID{Instance: 1}
+	executions := atomic.Int32{}
+	var stall atomic.Int32
+	env.host(loid, ObjectFunc(func(method string, args []byte) ([]byte, error) {
+		executions.Add(1)
+		if stall.CompareAndSwap(1, 0) {
+			time.Sleep(50 * time.Millisecond)
+		}
+		return []byte("ok"), nil
+	}))
+	env.client.EnableHedging(HedgePolicy{MinDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond, MinSamples: 4})
+
+	// Warm via idempotent calls so the hedger is definitely armed.
+	for i := 0; i < 8; i++ {
+		if _, err := env.client.InvokeIdempotent(context.Background(), loid, "m", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := executions.Load()
+	stall.Store(1)
+	if _, err := env.client.Invoke(context.Background(), loid, "w", nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := executions.Load() - before; got != 1 {
+		t.Fatalf("non-idempotent call executed %d times", got)
+	}
+	if st := env.client.Stats(); st.Hedges != 0 {
+		t.Fatalf("non-idempotent call hedged: %+v", st)
+	}
+}

@@ -143,6 +143,17 @@ type Dispatcher struct {
 	// may reach (DefaultMaxRemoteDeadline when zero). Set before serving.
 	MaxRemoteDeadline time.Duration
 
+	// BorrowedArgs lets batch sub-calls borrow their argument payloads
+	// straight from the inbound frame (zero copy) instead of receiving a
+	// per-sub defensive copy. The frame-pool ownership contract applies:
+	// the payload is valid only for the duration of the sub-call's
+	// dispatch, exactly like the single-call path has always lent its
+	// frame. Leave false (the default) when hosted objects may retain args
+	// past return; enable it for the batch fast path once handlers are
+	// known borrow-clean (wire.SetPoisonChecks turns violations into
+	// deterministic poison reads in tests). Set before serving.
+	BorrowedArgs bool
+
 	mu      sync.RWMutex
 	objects map[naming.LOID]*hosted
 
@@ -286,36 +297,26 @@ func (d *Dispatcher) Len() int {
 //
 // Requests without a deadline and dispatchers without admission control
 // follow the exact pre-context fast path.
+//
+// KindBatchRequest envelopes take the batch pipeline (handleBatch): the
+// whole batch is screened and admitted as one unit, its sub-requests
+// dispatch through the same core as single calls, and the per-sub results
+// travel back as one KindBatchResponse run.
 func (d *Dispatcher) Handle(ctx context.Context, req *wire.Envelope) *wire.Envelope {
-	if req.Kind != wire.KindRequest {
+	switch req.Kind {
+	case wire.KindRequest:
+	case wire.KindBatchRequest:
+		return d.handleBatch(ctx, req)
+	default:
 		return errEnvelope(req.ID, wire.CodeBadRequest, fmt.Sprintf("unexpected envelope kind %s", req.Kind))
 	}
 
-	if req.Deadline > 0 {
-		now := time.Now()
-		deadline := time.Unix(0, req.Deadline)
-		// Clamp rather than trust: the peer's clock may be skewed or hostile.
-		maxAhead := d.MaxRemoteDeadline
-		if maxAhead <= 0 {
-			maxAhead = DefaultMaxRemoteDeadline
-		}
-		if horizon := now.Add(maxAhead); deadline.After(horizon) {
-			deadline = horizon
-		}
-		if !deadline.After(now) {
-			d.expired.Add(1)
-			d.event("request-expired", req, "deadline passed before dispatch")
-			return errEnvelope(req.ID, wire.CodeExpired,
-				fmt.Sprintf("%v: deadline expired %v before arrival", ErrExpired, now.Sub(deadline)))
-		}
-		// Derive the execution context only when the transport's ctx is not
-		// already at least as strict, so the in-process path (which carries
-		// the caller's ctx directly) does not pay a second deadline timer.
-		if cur, ok := ctx.Deadline(); !ok || cur.After(deadline) {
-			var cancel context.CancelFunc
-			ctx, cancel = context.WithDeadline(ctx, deadline)
-			defer cancel()
-		}
+	ctx, cancel, expired := d.screenDeadline(ctx, req)
+	if cancel != nil {
+		defer cancel()
+	}
+	if expired != nil {
+		return expired
 	}
 
 	if d.slots != nil {
@@ -330,6 +331,50 @@ func (d *Dispatcher) Handle(ctx context.Context, req *wire.Envelope) *wire.Envel
 		d.inflight.Inc()
 		defer d.inflight.Dec()
 	}
+	return d.dispatchOne(ctx, req)
+}
+
+// screenDeadline applies pipeline step 1 to a request carrying a propagated
+// deadline: clamp it against MaxRemoteDeadline, reject it with CodeExpired
+// when it already passed, and otherwise derive an execution context bounded
+// by it. The returned cancel (when non-nil) must be deferred by the caller;
+// a non-nil envelope means the request was rejected.
+func (d *Dispatcher) screenDeadline(ctx context.Context, req *wire.Envelope) (context.Context, context.CancelFunc, *wire.Envelope) {
+	if req.Deadline <= 0 {
+		return ctx, nil, nil
+	}
+	now := time.Now()
+	deadline := time.Unix(0, req.Deadline)
+	// Clamp rather than trust: the peer's clock may be skewed or hostile.
+	maxAhead := d.MaxRemoteDeadline
+	if maxAhead <= 0 {
+		maxAhead = DefaultMaxRemoteDeadline
+	}
+	if horizon := now.Add(maxAhead); deadline.After(horizon) {
+		deadline = horizon
+	}
+	if !deadline.After(now) {
+		d.expired.Add(1)
+		d.event("request-expired", req, "deadline passed before dispatch")
+		return ctx, nil, errEnvelope(req.ID, wire.CodeExpired,
+			fmt.Sprintf("%v: deadline expired %v before arrival", ErrExpired, now.Sub(deadline)))
+	}
+	// Derive the execution context only when the transport's ctx is not
+	// already at least as strict, so the in-process path (which carries
+	// the caller's ctx directly) does not pay a second deadline timer.
+	if cur, ok := ctx.Deadline(); !ok || cur.After(deadline) {
+		ctx, cancel := context.WithDeadline(ctx, deadline)
+		return ctx, cancel, nil
+	}
+	return ctx, nil, nil
+}
+
+// dispatchOne is the dispatch core shared by the single-call and batch
+// paths: object lookup, tracing, dimensioned metrics, flight retention, and
+// the invocation itself. The caller has already screened the deadline and
+// taken admission. The returned envelope comes from the envelope pool; the
+// transport that consumes it may recycle it with wire.PutEnvelope.
+func (d *Dispatcher) dispatchOne(ctx context.Context, req *wire.Envelope) *wire.Envelope {
 	// The caller's head-sampling decision: an unsampled trace gets no eager
 	// spans here either — only lazy tail retention below — so the whole
 	// distributed trace is kept or dropped as a unit.
@@ -418,7 +463,88 @@ func (d *Dispatcher) Handle(ctx context.Context, req *wire.Envelope) *wire.Envel
 		}
 		return errEnvelope(req.ID, CodeOf(err), err.Error())
 	}
-	return &wire.Envelope{Kind: wire.KindResponse, ID: req.ID, Target: req.Target, Method: req.Method, Payload: result}
+	resp := wire.GetEnvelope()
+	resp.Kind, resp.ID, resp.Target, resp.Method, resp.Payload = wire.KindResponse, req.ID, req.Target, req.Method, result
+	return resp
+}
+
+// handleBatch services a KindBatchRequest: the outer deadline is screened
+// once, the whole batch takes one admission slot (it arrived as one frame
+// and dispatches as one unit), and the sub-requests run sequentially through
+// dispatchOne — sequential dispatch is what makes payload borrowing trivially
+// safe, since the inbound frame outlives every sub-call. Each sub-result is
+// encoded into the response run as soon as it is produced, so sub-response
+// envelopes are recycled immediately. When the context expires mid-batch the
+// remaining sub-calls fail with CodeExpired individually (the ones already
+// executed keep their results).
+func (d *Dispatcher) handleBatch(ctx context.Context, req *wire.Envelope) *wire.Envelope {
+	ctx, cancel, expired := d.screenDeadline(ctx, req)
+	if cancel != nil {
+		defer cancel()
+	}
+	if expired != nil {
+		return expired
+	}
+
+	subs, err := wire.DecodeBatchRun(req.Payload, nil)
+	if err != nil {
+		return errEnvelope(req.ID, wire.CodeBadRequest, fmt.Sprintf("batch run: %v", err))
+	}
+
+	if d.slots != nil {
+		if resp := d.admit(ctx, req); resp != nil {
+			return resp
+		}
+		defer func() { <-d.slots }()
+	}
+	d.admitted.Add(uint64(len(subs)))
+	if d.inflight != nil {
+		d.inflight.Inc()
+		defer d.inflight.Dec()
+	}
+
+	// Build the response run incrementally in pooled buffers. The size of
+	// the request run is a decent first guess for the response run.
+	run := wire.AppendBatchHeader(wire.GetBuf(len(req.Payload)+64)[:0], len(subs))
+	scratch := wire.GetBuf(512)[:0]
+	for i := range subs {
+		sub := &subs[i]
+		var sr *wire.Envelope
+		switch {
+		case ctx.Err() != nil:
+			d.cancelled.Add(1)
+			sr = errEnvelope(sub.ID, wire.CodeExpired,
+				fmt.Sprintf("%v: %v before batch entry %d dispatched", ErrExpired, ctx.Err(), i))
+		case sub.Kind != wire.KindRequest:
+			sr = errEnvelope(sub.ID, wire.CodeBadRequest,
+				fmt.Sprintf("unexpected sub-envelope kind %s", sub.Kind))
+		default:
+			// The outer envelope owns the batch's trace context; propagate
+			// it so per-sub dispatch records join the caller's trace.
+			sub.TraceID, sub.SpanID, sub.TraceFlags = req.TraceID, req.SpanID, req.TraceFlags
+			if !d.BorrowedArgs && len(sub.Payload) > 0 {
+				// Defensive copy: a handler written against a copying
+				// transport may retain its args past return; don't let the
+				// zero-copy batch path silently break it.
+				sub.Payload = append([]byte(nil), sub.Payload...)
+			}
+			sr = d.dispatchOne(ctx, sub)
+		}
+		// Sub-responses are identified by position (and sub ID); the outer
+		// envelope carries correlation, so Target/Method bytes are dead
+		// weight on the wire.
+		sr.Target, sr.Method = "", ""
+		run, scratch = wire.AppendBatchEntry(run, sr, scratch)
+		wire.PutEnvelope(sr)
+	}
+	wire.PutBuf(scratch)
+
+	resp := wire.GetEnvelope()
+	resp.Kind, resp.ID, resp.Payload = wire.KindBatchResponse, req.ID, run
+	// The run buffer travels with the envelope; the transport releases both
+	// once the response is encoded out.
+	resp.MarkPayloadPooled()
+	return resp
 }
 
 // invokeObject dispatches through the context-aware interface when the
@@ -468,6 +594,10 @@ func (d *Dispatcher) event(kind string, req *wire.Envelope, detail string) {
 	d.events.Append(obs.Event{Kind: kind, Object: req.Target, Function: req.Method, Detail: detail})
 }
 
+// errEnvelope builds a KindError response from the envelope pool; the
+// consuming transport may recycle it with wire.PutEnvelope.
 func errEnvelope(id, code uint64, msg string) *wire.Envelope {
-	return &wire.Envelope{Kind: wire.KindError, ID: id, Code: code, ErrorMsg: msg}
+	ev := wire.GetEnvelope()
+	ev.Kind, ev.ID, ev.Code, ev.ErrorMsg = wire.KindError, id, code, msg
+	return ev
 }

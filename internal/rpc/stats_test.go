@@ -1,0 +1,51 @@
+package rpc
+
+import (
+	"reflect"
+	"testing"
+
+	"godcdo/internal/naming"
+	"godcdo/internal/transport"
+	"godcdo/internal/vclock"
+)
+
+// TestClientStatsRoundTrip pins the ClientStats ↔ counter-name mapping: every
+// struct field must appear in clientStatFields, and bumping each counter by a
+// distinct amount must surface in exactly the paired field. Adding a field to
+// ClientStats without a table entry fails the NumField check; pairing a field
+// with the wrong name fails the value check.
+func TestClientStatsRoundTrip(t *testing.T) {
+	if got, want := len(clientStatFields), reflect.TypeOf(ClientStats{}).NumField(); got != want {
+		t.Fatalf("clientStatFields has %d entries for %d ClientStats fields — update the table in stats.go", got, want)
+	}
+	seen := make(map[string]bool, len(clientStatFields))
+	for _, f := range clientStatFields {
+		if seen[f.name] {
+			t.Fatalf("counter name %q appears twice in clientStatFields", f.name)
+		}
+		seen[f.name] = true
+	}
+
+	clk := vclock.Real{}
+	agent := naming.NewAgent(clk)
+	c := NewClient(naming.NewCache(agent, clk, 0), transport.NewInprocNetwork().Dialer())
+	for k, f := range clientStatFields {
+		c.Metrics().Counter(f.name).Add(uint64(k + 1))
+	}
+	s := c.Stats()
+	for k, f := range clientStatFields {
+		if got := *f.get(&s); got != uint64(k+1) {
+			t.Fatalf("field for counter %q = %d, want %d — table pairing is wrong", f.name, got, k+1)
+		}
+	}
+	// And the distinct values prove no two fields read the same counter.
+	v := reflect.ValueOf(s)
+	used := make(map[uint64]string)
+	for i := 0; i < v.NumField(); i++ {
+		val := v.Field(i).Uint()
+		if prev, dup := used[val]; dup {
+			t.Fatalf("fields %s and %s read the same counter", prev, v.Type().Field(i).Name)
+		}
+		used[val] = v.Type().Field(i).Name
+	}
+}

@@ -256,6 +256,10 @@ func (s *TCPServer) handleOne(req *wire.Envelope, frame []byte, wr *frameWriter)
 	resp.ID = req.ID
 	buf := resp.EncodePooled()
 	wire.PutBuf(frame)
+	// The response is fully encoded into buf; recycle the envelope (and any
+	// frame-pool payload travelling with it). A no-op for handlers that
+	// return envelopes from other sources.
+	wire.PutEnvelope(resp)
 	if err := wr.Enqueue(outFrame{buf: buf}); err != nil {
 		wire.PutBuf(buf) // writer refused ownership; the conn is going down
 	}
@@ -328,6 +332,9 @@ type DialerStats struct {
 	BatchFlushes      uint64
 	BatchedFrames     uint64
 	OpenConns         int
+	// GrowthDials counts stripes dialed by load (AdaptiveStripes), as
+	// opposed to dialed out of necessity.
+	GrowthDials uint64
 }
 
 // TCPDialer issues calls over pooled TCP connections with responses
@@ -349,6 +356,15 @@ type TCPDialer struct {
 	// Set before the first Call; an endpoint's stripe count is fixed when
 	// its first connection is dialed.
 	Stripes int
+	// AdaptiveStripes changes Stripes from a round-robin ramp into a
+	// load-driven ceiling: one connection is dialed up front and additional
+	// stripes are opened only while the mean in-flight calls per live
+	// stripe meet StripeLoadThreshold. Lightly loaded endpoints keep one
+	// socket; saturated ones grow to Stripes. Set before the first Call.
+	AdaptiveStripes bool
+	// StripeLoadThreshold is the mean in-flight calls per live stripe that
+	// triggers adaptive growth. Zero means defaultStripeLoadThreshold.
+	StripeLoadThreshold int
 	// WriteQueue bounds each connection's outbound frame queue. Zero means
 	// defaultWriteQueue.
 	WriteQueue int
@@ -372,6 +388,7 @@ type TCPDialer struct {
 	orphaned  atomic.Uint64
 	flushes   atomic.Uint64
 	frames    atomic.Uint64
+	growth    atomic.Uint64
 }
 
 var _ Dialer = (*TCPDialer)(nil)
@@ -391,6 +408,7 @@ func (d *TCPDialer) Stats() DialerStats {
 		BatchFlushes:      d.flushes.Load(),
 		BatchedFrames:     d.frames.Load(),
 		OpenConns:         d.openConns(),
+		GrowthDials:       d.growth.Load(),
 	}
 }
 
@@ -423,12 +441,26 @@ func (d *TCPDialer) stripeCount() int {
 	return 1
 }
 
+// defaultStripeLoadThreshold is the mean in-flight calls per live stripe
+// above which AdaptiveStripes opens another connection. Eight in-flight
+// calls is roughly where one coalesced TCP stream's per-flush ceiling starts
+// to show in E10-style pipelined load.
+const defaultStripeLoadThreshold = 8
+
+func (d *TCPDialer) stripeLoadThreshold() int {
+	if d.StripeLoadThreshold > 0 {
+		return d.StripeLoadThreshold
+	}
+	return defaultStripeLoadThreshold
+}
+
 // tcpEndpoint is one endpoint's stripe set. Slots are dialed lazily and
 // nilled on drop; the endpoint entry itself is removed from the pool once
 // every slot is empty, so an unreachable endpoint does not pin map entries.
 type tcpEndpoint struct {
 	stripes []*tcpClientConn // guarded by TCPDialer.mu
 	rr      atomic.Uint64    // round-robin cursor
+	dialing atomic.Bool      // adaptive-growth dial in progress (anti-stampede)
 }
 
 // callOutcome is the resolution of one in-flight call: a response, or a
@@ -483,6 +515,20 @@ type tcpClientConn struct {
 	orphans        map[uint64]struct{} // timed-out IDs awaiting late responses
 	consecTimeouts int
 	dead           error
+
+	// deadFlag mirrors dead != nil so the stripe picker can skip dying
+	// connections without taking cc.mu; set (never cleared) wherever dead
+	// is assigned.
+	deadFlag atomic.Bool
+	// nPending mirrors len(pending) (via syncPending, under cc.mu) so the
+	// adaptive stripe picker can read in-flight load lock-free.
+	nPending atomic.Int64
+}
+
+// syncPending refreshes the lock-free in-flight mirror; call under cc.mu
+// after every pending-map mutation.
+func (cc *tcpClientConn) syncPending() {
+	cc.nPending.Store(int64(len(cc.pending)))
 }
 
 // resolve delivers out to the call waiting on id, if it is still pending.
@@ -492,6 +538,7 @@ func (cc *tcpClientConn) resolve(id uint64, out callOutcome) bool {
 	ch, ok := cc.pending[id]
 	if ok {
 		delete(cc.pending, id)
+		cc.syncPending()
 	}
 	cc.mu.Unlock()
 	if ok {
@@ -548,6 +595,7 @@ func (d *TCPDialer) Call(ctx context.Context, endpoint string, req *wire.Envelop
 			return nil, safeErr(err)
 		}
 		cc.pending[id] = respCh
+		cc.syncPending()
 		cc.mu.Unlock()
 		buf := req.EncodePooled()
 		if err := cc.wr.Enqueue(outFrame{buf: buf, id: id}); err != nil {
@@ -555,6 +603,7 @@ func (d *TCPDialer) Call(ctx context.Context, endpoint string, req *wire.Envelop
 			cc.mu.Lock()
 			_, wasPending := cc.pending[id]
 			delete(cc.pending, id)
+			cc.syncPending()
 			cc.mu.Unlock()
 			if wasPending {
 				// The frame never entered the queue: provably unwritten, and
@@ -579,12 +628,14 @@ func (d *TCPDialer) Call(ctx context.Context, endpoint string, req *wire.Envelop
 			return nil, safeErr(err)
 		}
 		cc.pending[id] = respCh
+		cc.syncPending()
 		writeErr := wire.WriteFrame(cc.bw, req.Encode())
 		if writeErr == nil {
 			writeErr = cc.bw.Flush()
 		}
 		if writeErr != nil {
 			delete(cc.pending, id)
+			cc.syncPending()
 			cc.mu.Unlock()
 			d.dropConn(endpoint, cc)
 			// A write error means the length-prefixed frame never fully reached
@@ -619,6 +670,7 @@ func (d *TCPDialer) Call(ctx context.Context, endpoint string, req *wire.Envelop
 		_, wasPending := cc.pending[id]
 		if wasPending {
 			delete(cc.pending, id)
+			cc.syncPending()
 			if len(cc.orphans) < maxOrphanWatch {
 				cc.orphans[id] = struct{}{}
 			}
@@ -646,6 +698,7 @@ func (d *TCPDialer) Call(ctx context.Context, endpoint string, req *wire.Envelop
 		_, wasPending := cc.pending[id]
 		if wasPending {
 			delete(cc.pending, id)
+			cc.syncPending()
 			if len(cc.orphans) < maxOrphanWatch {
 				cc.orphans[id] = struct{}{}
 			}
@@ -715,6 +768,17 @@ func (d *TCPDialer) Close() error {
 	return nil
 }
 
+// getConn picks (or dials) the stripe connection for one call.
+//
+// Static mode keeps the original lazy round-robin ramp — the rr slot dials
+// when empty — with one fix: a stripe whose connection is already marked
+// dead (writer error or read-loop death racing its removal) is skipped when
+// a live alternative exists, instead of being handed out to fail the call.
+//
+// Adaptive mode (AdaptiveStripes) treats Stripes as a ceiling: the first
+// call dials one connection, later calls rotate over live stripes, and a new
+// stripe is dialed only while mean in-flight load per live stripe reaches
+// StripeLoadThreshold (one grower at a time per endpoint).
 func (d *TCPDialer) getConn(endpoint, addr string) (*tcpClientConn, error) {
 	d.mu.Lock()
 	if d.closed {
@@ -726,10 +790,70 @@ func (d *TCPDialer) getConn(endpoint, addr string) (*tcpClientConn, error) {
 		ep = &tcpEndpoint{stripes: make([]*tcpClientConn, d.stripeCount())}
 		d.conns[endpoint] = ep
 	}
-	idx := int(ep.rr.Add(1) % uint64(len(ep.stripes)))
-	if cc := ep.stripes[idx]; cc != nil {
-		d.mu.Unlock()
-		return cc, nil
+	n := len(ep.stripes)
+	start := int(ep.rr.Add(1) % uint64(n))
+
+	// One scan from the rr cursor: first live stripe wins; remember the
+	// first empty slot and any dead conn, and sum in-flight load.
+	var live, deadCC *tcpClientConn
+	emptyIdx, liveCount := -1, 0
+	var pendingSum int64
+	for i := 0; i < n; i++ {
+		cc := ep.stripes[(start+i)%n]
+		switch {
+		case cc == nil:
+			if emptyIdx < 0 {
+				emptyIdx = (start + i) % n
+			}
+		case cc.deadFlag.Load():
+			if deadCC == nil {
+				deadCC = cc
+			}
+		default:
+			if live == nil {
+				live = cc
+			}
+			liveCount++
+			pendingSum += cc.nPending.Load()
+		}
+	}
+
+	idx, grow := -1, false
+	if d.AdaptiveStripes {
+		switch {
+		case live == nil && emptyIdx >= 0:
+			idx = emptyIdx // nothing usable: dial out of necessity
+		case live != nil && emptyIdx >= 0 &&
+			pendingSum >= int64(liveCount)*int64(d.stripeLoadThreshold()):
+			idx, grow = emptyIdx, true
+		}
+	} else if cc := ep.stripes[start]; cc == nil {
+		idx = start // lazy ramp: the rr slot dials when empty
+	} else if cc.deadFlag.Load() && live == nil && emptyIdx >= 0 {
+		idx = emptyIdx // rr hit a dead conn, nothing live: dial a fresh slot
+	}
+
+	if idx < 0 {
+		pick := live
+		if pick == nil {
+			// Only dead conns remain and no slot is free to redial: hand one
+			// back; Call fails it fast with a safe, retryable error.
+			pick = deadCC
+		}
+		if pick != nil {
+			d.mu.Unlock()
+			return pick, nil
+		}
+		idx = start // unreachable (some slot is always nil or occupied)
+	}
+	if grow {
+		if !ep.dialing.CompareAndSwap(false, true) {
+			// Another caller is already growing this endpoint; don't stampede
+			// dials, just use a live stripe.
+			d.mu.Unlock()
+			return live, nil
+		}
+		defer ep.dialing.Store(false)
 	}
 	d.mu.Unlock()
 
@@ -742,6 +866,9 @@ func (d *TCPDialer) getConn(endpoint, addr string) (*tcpClientConn, error) {
 		return nil, fmt.Errorf("%w: dial %s: %v", ErrUnreachable, addr, err)
 	}
 	d.dials.Add(1)
+	if grow {
+		d.growth.Add(1)
+	}
 	cc := &tcpClientConn{
 		conn:    conn,
 		bw:      bufio.NewWriter(conn),
@@ -785,6 +912,7 @@ func (d *TCPDialer) getConn(endpoint, addr string) (*tcpClientConn, error) {
 				if cc.dead == nil {
 					cc.dead = fmt.Errorf("%w during write: %v", ErrReset, err)
 				}
+				cc.deadFlag.Store(true)
 				cc.mu.Unlock()
 				d.dropConn(endpoint, cc)
 			},
@@ -827,6 +955,7 @@ func (d *TCPDialer) readLoop(endpoint string, cc *tcpClientConn) {
 		cc.mu.Lock()
 		ch, ok := cc.pending[resp.ID]
 		delete(cc.pending, resp.ID)
+		cc.syncPending()
 		var orphan bool
 		if !ok {
 			if _, orphan = cc.orphans[resp.ID]; orphan {
@@ -862,9 +991,11 @@ func (d *TCPDialer) readLoop(endpoint string, cc *tcpClientConn) {
 	if cc.dead == nil {
 		cc.dead = loopErr
 	}
+	cc.deadFlag.Store(true)
 	pend := cc.pending
 	cc.pending = make(map[uint64]chan callOutcome)
 	cc.orphans = make(map[uint64]struct{})
+	cc.syncPending()
 	cc.mu.Unlock()
 	for _, ch := range pend {
 		// These frames were written (or queued) but never answered: the

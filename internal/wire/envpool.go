@@ -1,0 +1,53 @@
+package wire
+
+import "sync"
+
+// Envelope pooling for the server response path. Every dispatched call used
+// to allocate one response envelope that died as soon as the transport
+// encoded it; pooling them removes that per-call allocation the same way the
+// frame pool removed the per-frame one.
+//
+// The contract is deliberately asymmetric so it is impossible to corrupt a
+// response by handing it to the wrong transport:
+//
+//   - Only envelopes obtained from GetEnvelope are marked recyclable.
+//     PutEnvelope on anything else (a stack envelope, a decoded request,
+//     transport.Dropped) is a no-op.
+//   - Only the TCP server write path calls PutEnvelope — after the response
+//     has been fully encoded into its outgoing frame. The in-process
+//     transport hands the handler's envelope straight to the caller and
+//     never recycles it, so pooled envelopes returned over inproc simply
+//     fall to the GC (a pool miss, never an aliasing bug).
+
+var envPool = sync.Pool{New: func() any { return new(Envelope) }}
+
+// GetEnvelope returns a zeroed envelope that PutEnvelope can recycle. The
+// caller owns it until it hands the envelope off (e.g. returns it from a
+// transport.Handler); the component that consumes it decides whether to
+// recycle.
+func GetEnvelope() *Envelope {
+	ev := envPool.Get().(*Envelope)
+	ev.pooled = true
+	return ev
+}
+
+// MarkPayloadPooled records that ev.Payload is a frame-pool buffer
+// (GetBuf) whose ownership travels with the envelope: PutEnvelope releases
+// it via PutBuf when the envelope is recycled.
+func (ev *Envelope) MarkPayloadPooled() { ev.payloadPooled = true }
+
+// PutEnvelope recycles an envelope previously returned by GetEnvelope, along
+// with any frame-pool payload marked via MarkPayloadPooled. Envelopes from
+// any other source are left for the GC, so calling this on every response is
+// always safe. The caller must not touch ev (or a payload it owned)
+// afterwards.
+func PutEnvelope(ev *Envelope) {
+	if ev == nil || !ev.pooled {
+		return
+	}
+	if ev.payloadPooled && ev.Payload != nil {
+		PutBuf(ev.Payload)
+	}
+	*ev = Envelope{}
+	envPool.Put(ev)
+}

@@ -36,11 +36,14 @@ func FuzzDecodeEnvelope(f *testing.F) {
 // FuzzFrameRoundTrip asserts the pooled frame path is byte-faithful: any
 // payload written by WriteFrame must come back identical through
 // ReadFramePooled, and releasing the pooled buffer must never corrupt a
-// subsequent read.
+// subsequent read. It also covers the batch envelope: the fuzz payload is
+// decoded as a batch run (must never panic) and carried as a sub-payload
+// through an encoded batch run (must survive identically).
 func FuzzFrameRoundTrip(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte("payload"))
 	f.Add(bytes.Repeat([]byte{0xD7}, 600)) // magic-byte-dense, crosses a size class
+	f.Add(AppendBatchHeader(nil, 3))       // lying batch count
 	f.Fuzz(func(t *testing.T, payload []byte) {
 		var buf bytes.Buffer
 		if err := WriteFrame(&buf, payload); err != nil {
@@ -72,5 +75,49 @@ func FuzzFrameRoundTrip(f *testing.F) {
 			t.Fatalf("pooled reuse corrupted frame: %q", again)
 		}
 		PutBuf(again)
+
+		// Batch envelope coverage. Arbitrary bytes must never panic the
+		// batch-run decoder (errors are fine).
+		_, _ = DecodeBatchRun(payload, nil)
+
+		// And a well-formed run carrying the fuzz payload must round-trip
+		// through an outer batch envelope with full fidelity.
+		if len(payload) > MaxFrameSize/2 {
+			return
+		}
+		sub := Envelope{Kind: KindRequest, ID: 1, Target: "loid:f", Method: "fz", Payload: payload}
+		run := AppendBatchHeader(nil, 2)
+		var scratch []byte
+		run, scratch = AppendBatchEntry(run, &sub, scratch)
+		sub.ID, sub.Payload = 2, nil
+		run, _ = AppendBatchEntry(run, &sub, scratch)
+		outer := Envelope{Kind: KindBatchRequest, ID: 42, Payload: run}
+
+		buf.Reset()
+		if err := WriteFrame(&buf, outer.Encode()); err != nil {
+			t.Fatalf("WriteFrame(batch): %v", err)
+		}
+		frame, err := ReadFramePooled(&buf)
+		if err != nil {
+			t.Fatalf("ReadFramePooled(batch): %v", err)
+		}
+		dec, err := DecodeEnvelope(frame)
+		if err != nil {
+			t.Fatalf("DecodeEnvelope(batch): %v", err)
+		}
+		if dec.Kind != KindBatchRequest || dec.ID != 42 {
+			t.Fatalf("batch outer changed identity: %+v", dec)
+		}
+		subs, err := DecodeBatchRun(dec.Payload, nil)
+		if err != nil {
+			t.Fatalf("DecodeBatchRun(encoded run): %v", err)
+		}
+		if len(subs) != 2 || subs[0].ID != 1 || subs[1].ID != 2 || subs[0].Method != "fz" {
+			t.Fatalf("batch subs changed identity: %+v", subs)
+		}
+		if !bytes.Equal(subs[0].Payload, payload) {
+			t.Fatalf("batch sub payload changed in flight: %d bytes vs %d", len(subs[0].Payload), len(payload))
+		}
+		PutBuf(frame)
 	})
 }

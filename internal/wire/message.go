@@ -15,6 +15,18 @@ const (
 	KindResponse
 	KindError
 	KindEvent
+	// KindBatchRequest carries a run of independent sub-requests in Payload
+	// (see batch.go). The outer envelope owns correlation (ID) and metadata
+	// (deadline, trace context); sub-envelopes are ordinary KindRequest
+	// envelopes, length-prefixed so a decoder can walk the run. A
+	// pre-batch peer rejects the unknown kind with CodeBadRequest before
+	// dispatching anything, which is what lets new clients fall back
+	// per-call against old servers (legacy tolerance, like metaDeadline).
+	KindBatchRequest
+	// KindBatchResponse carries the per-sub-call results for a
+	// KindBatchRequest, one sub-envelope (KindResponse or KindError) per
+	// sub-request, in request order.
+	KindBatchResponse
 )
 
 // String implements fmt.Stringer.
@@ -28,6 +40,10 @@ func (k Kind) String() string {
 		return "error"
 	case KindEvent:
 		return "event"
+	case KindBatchRequest:
+		return "batch-request"
+	case KindBatchResponse:
+		return "batch-response"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -112,6 +128,13 @@ type Envelope struct {
 	// so the whole distributed trace is kept or dropped as a unit. Zero —
 	// including on legacy frames that predate the field — means sampled.
 	TraceFlags uint64
+
+	// pooled marks an envelope obtained from GetEnvelope, the only kind
+	// PutEnvelope will recycle (see envpool.go).
+	pooled bool
+	// payloadPooled marks Payload as a frame-pool buffer that PutEnvelope
+	// must release via PutBuf.
+	payloadPooled bool
 }
 
 // envelopeFixedOverhead bounds the non-variable bytes of an encoded
@@ -266,36 +289,47 @@ func (ev *Envelope) decodeMetadata(d *Decoder) {
 
 // DecodeEnvelope parses an envelope from buf. The Payload field aliases buf.
 func DecodeEnvelope(buf []byte) (*Envelope, error) {
+	ev := &Envelope{}
+	if err := ev.decodeFrom(buf); err != nil {
+		return nil, err
+	}
+	return ev, nil
+}
+
+// decodeFrom parses an envelope from buf into ev, overwriting every field
+// (stale state from a reused envelope never survives). The Payload field
+// aliases buf.
+func (ev *Envelope) decodeFrom(buf []byte) error {
 	d := NewDecoder(buf)
 	kind, err := d.Uvarint()
 	if err != nil {
-		return nil, fmt.Errorf("%w: kind: %v", ErrTruncatedEnvelope, err)
+		return fmt.Errorf("%w: kind: %v", ErrTruncatedEnvelope, err)
 	}
 	id, err := d.Uvarint()
 	if err != nil {
-		return nil, fmt.Errorf("%w: id: %v", ErrTruncatedEnvelope, err)
+		return fmt.Errorf("%w: id: %v", ErrTruncatedEnvelope, err)
 	}
 	target, err := d.String()
 	if err != nil {
-		return nil, fmt.Errorf("%w: target: %v", ErrTruncatedEnvelope, err)
+		return fmt.Errorf("%w: target: %v", ErrTruncatedEnvelope, err)
 	}
 	method, err := d.String()
 	if err != nil {
-		return nil, fmt.Errorf("%w: method: %v", ErrTruncatedEnvelope, err)
+		return fmt.Errorf("%w: method: %v", ErrTruncatedEnvelope, err)
 	}
 	code, err := d.Uvarint()
 	if err != nil {
-		return nil, fmt.Errorf("%w: code: %v", ErrTruncatedEnvelope, err)
+		return fmt.Errorf("%w: code: %v", ErrTruncatedEnvelope, err)
 	}
 	errMsg, err := d.String()
 	if err != nil {
-		return nil, fmt.Errorf("%w: error message: %v", ErrTruncatedEnvelope, err)
+		return fmt.Errorf("%w: error message: %v", ErrTruncatedEnvelope, err)
 	}
 	payload, err := d.Bytes()
 	if err != nil {
-		return nil, fmt.Errorf("%w: payload: %v", ErrTruncatedEnvelope, err)
+		return fmt.Errorf("%w: payload: %v", ErrTruncatedEnvelope, err)
 	}
-	ev := &Envelope{
+	*ev = Envelope{
 		Kind:     Kind(kind),
 		ID:       id,
 		Target:   target,
@@ -309,5 +343,5 @@ func DecodeEnvelope(buf []byte) (*Envelope, error) {
 	if d.Remaining() > 0 {
 		ev.decodeMetadata(d)
 	}
-	return ev, nil
+	return nil
 }

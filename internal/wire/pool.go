@@ -42,6 +42,7 @@ var (
 	poolHits     atomic.Uint64
 	poolMisses   atomic.Uint64
 	poolOversize atomic.Uint64
+	poolPoisoned atomic.Uint64
 )
 
 // PoolStats is a snapshot of the frame-buffer pool counters.
@@ -53,6 +54,9 @@ type PoolStats struct {
 	// Oversize counts GetBuf calls larger than the largest class (allocated
 	// fresh, never pooled).
 	Oversize uint64
+	// Poisoned counts buffers quarantined by PutBuf while poison checks
+	// were enabled (see SetPoisonChecks).
+	Poisoned uint64
 }
 
 // FramePoolStats returns a snapshot of the pool counters.
@@ -61,8 +65,30 @@ func FramePoolStats() PoolStats {
 		Hits:     poolHits.Load(),
 		Misses:   poolMisses.Load(),
 		Oversize: poolOversize.Load(),
+		Poisoned: poolPoisoned.Load(),
 	}
 }
+
+// PoisonByte fills released buffers while poison checks are enabled. The
+// value is arbitrary but distinctive: a late reader that sees a run of 0xDB
+// is looking at a released frame, not at plausible recycled traffic.
+const PoisonByte = 0xDB
+
+// poisonChecks gates the pool's diagnostic mode (SetPoisonChecks).
+var poisonChecks atomic.Bool
+
+// SetPoisonChecks toggles the pool's use-after-release diagnostic mode.
+// While enabled, PutBuf fills the buffer with PoisonByte and quarantines it
+// (the buffer is never re-pooled), so code that wrongly reads a borrowed
+// payload after releasing its frame sees deterministic poison instead of
+// whatever request happened to recycle the buffer — turning a silent,
+// load-dependent aliasing corruption into an immediately recognisable
+// failure. Intended for tests and debugging: quarantining defeats pooling,
+// so leave it off in production.
+func SetPoisonChecks(on bool) { poisonChecks.Store(on) }
+
+// PoisonChecksEnabled reports whether poison mode is active.
+func PoisonChecksEnabled() bool { return poisonChecks.Load() }
 
 // classFor returns the index of the smallest class holding n bytes, or -1
 // when n exceeds every class.
@@ -105,6 +131,16 @@ var boxPool = sync.Pool{New: func() any { return new(poolBuf) }}
 // owns outright) to the pool. Buffers whose capacity matches no class are
 // dropped for the GC.
 func PutBuf(b []byte) {
+	if poisonChecks.Load() {
+		b = b[:cap(b)]
+		for i := range b {
+			b[i] = PoisonByte
+		}
+		poolPoisoned.Add(1)
+		// Quarantine: the poisoned buffer never re-enters the pool, so the
+		// poison pattern survives for any late reader to trip over.
+		return
+	}
 	c := cap(b)
 	// Find the largest class the capacity fully covers, so a Get from that
 	// class always has room.
